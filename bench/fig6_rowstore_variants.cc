@@ -1,0 +1,70 @@
+// Figure 6: the row-store physical designs of §4 across the SSBM.
+//
+//   T     traditional
+//   T(B)  traditional with bitmap-biased plans
+//   MV    per-query materialized views
+//   VP    full vertical partitioning
+//   AI    index-only plans ("all indexes")
+//
+// Paper shape (averages): MV < T < T(B) < VP << AI.
+#include <cstdio>
+
+#include "harness/runner.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/row_db.h"
+#include "ssb/row_exec.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf("Figure 6 — row-store physical designs, SF=%.3g (times in ms)\n",
+              args.scale_factor);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  ssb::RowDbOptions options;
+  options.materialized_views = true;
+  options.vertical_partitions = true;
+  options.all_indexes = true;
+  options.bitmap_indexes = true;
+  options.pool_pages = args.pool_pages;
+  auto db = ssb::RowDatabase::Build(data, options).ValueOrDie();
+  db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+
+  const std::pair<const char*, ssb::RowDesign> designs[] = {
+      {"T", ssb::RowDesign::kTraditional},
+      {"T(B)", ssb::RowDesign::kTraditionalBitmap},
+      {"MV", ssb::RowDesign::kMaterializedViews},
+      {"VP", ssb::RowDesign::kVerticalPartitioning},
+      {"AI", ssb::RowDesign::kIndexOnly},
+  };
+
+  std::vector<std::string> ids;
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+
+  std::vector<harness::SeriesResult> series;
+  for (const auto& [name, design] : designs) {
+    harness::SeriesResult s;
+    s.name = name;
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      s.by_query[q.id] = harness::TimeCell(
+          [&, d = design] {
+            auto r = ssb::ExecuteRowQuery(*db, q, d);
+            CSTORE_CHECK(r.ok());
+          },
+          args.repetitions, &db->files().stats());
+    }
+    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", name,
+                 s.AverageSeconds() * 1e3);
+    series.push_back(std::move(s));
+  }
+
+  harness::PrintFigure("Figure 6 — row-store designs (ms)", ids, series,
+                       /*show_io=*/true);
+  return 0;
+}

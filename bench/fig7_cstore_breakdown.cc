@@ -1,0 +1,89 @@
+// Figure 7: C-Store optimizations removed one by one (§6.3.2).
+//
+// Configuration code: T/t = tuple/block iteration, I/i = invisible join
+// on/off, C/c = compressed/uncompressed storage, L/l = late/early
+// materialization. The paper's seven steps:
+//
+//   tICL  full optimizations            TICL  block iteration removed
+//   tiCL  invisible join removed        TiCL  both removed
+//   ticL  compression also removed      TicL  ...
+//   Ticl  everything removed (the column-store behaving like a row-store)
+//
+// Paper shape: compression ~2x on average (an order of magnitude on flight
+// 1), late materialization ~3x, block iteration and invisible join ~1.5x.
+#include <cstdio>
+
+#include "core/star_executor.h"
+#include "harness/runner.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf("Figure 7 — C-Store optimization breakdown, SF=%.3g (ms)\n",
+              args.scale_factor);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  auto compressed = ssb::ColumnDatabase::Build(
+                        data, col::CompressionMode::kFull, args.pool_pages)
+                        .ValueOrDie();
+  auto uncompressed = ssb::ColumnDatabase::Build(
+                          data, col::CompressionMode::kNone, args.pool_pages)
+                          .ValueOrDie();
+  compressed->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  uncompressed->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+
+  struct Config {
+    const char* code;
+    bool compressed;
+    core::ExecConfig exec;
+  };
+  const Config configs[] = {
+      {"tICL", true, {true, true, true}},
+      {"TICL", true, {false, true, true}},
+      {"tiCL", true, {true, false, true}},
+      {"TiCL", true, {false, false, true}},
+      {"ticL", false, {true, false, true}},
+      {"TicL", false, {false, false, true}},
+      {"Ticl", false, {false, false, false}},
+  };
+
+  std::vector<std::string> ids;
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+
+  std::vector<harness::SeriesResult> series;
+  for (const Config& config : configs) {
+    ssb::ColumnDatabase* db =
+        config.compressed ? compressed.get() : uncompressed.get();
+    harness::SeriesResult s;
+    s.name = config.code;
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      s.by_query[q.id] = harness::TimeCell(
+          [&] {
+            auto r = core::ExecuteStarQuery(db->Schema(), q, config.exec);
+            CSTORE_CHECK(r.ok());
+          },
+          args.repetitions, &db->files().stats());
+    }
+    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code,
+                 s.AverageSeconds() * 1e3);
+    series.push_back(std::move(s));
+  }
+
+  harness::PrintFigure("Figure 7 — optimization breakdown (ms)", ids, series);
+
+  auto avg = [&](int i) { return series[i].AverageSeconds(); };
+  std::printf("\nFactor attribution (averages):\n");
+  std::printf("  block iteration  (tICL->TICL): %.2fx\n", avg(1) / avg(0));
+  std::printf("  invisible join   (tICL->tiCL): %.2fx\n", avg(2) / avg(0));
+  std::printf("  compression      (TiCL->TicL): %.2fx\n", avg(5) / avg(3));
+  std::printf("  late materialization (TicL->Ticl): %.2fx\n", avg(6) / avg(5));
+  std::printf("  everything       (tICL->Ticl): %.2fx\n", avg(6) / avg(0));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 8: invisible join vs a pre-joined (denormalized) fact table
+// (§6.3.3).
+//
+//   Base       normal schema, invisible join (= Figure 5's "CS")
+//   PJ, No C   denormalized, dimension strings stored uncompressed
+//   PJ, Int C  denormalized, dimension attributes dictionary-coded to ints
+//   PJ, Max C  denormalized, aggressive compression everywhere
+//
+// Paper shape: "PJ, No C" ~5x worse than Base (string predicates); "Int C"
+// close to Base but usually still behind; "Max C" can beat Base.
+#include <cstdio>
+
+#include "core/star_executor.h"
+#include "core/table_executor.h"
+#include "harness/runner.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf("Figure 8 — denormalization study, SF=%.3g (ms)\n",
+              args.scale_factor);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  auto base = ssb::ColumnDatabase::Build(data, col::CompressionMode::kFull,
+                                         args.pool_pages)
+                  .ValueOrDie();
+  auto pj_none = ssb::DenormalizedDatabase::Build(
+                     data, col::CompressionMode::kNone, args.pool_pages)
+                     .ValueOrDie();
+  auto pj_int = ssb::DenormalizedDatabase::Build(
+                    data, col::CompressionMode::kDictOnly, args.pool_pages)
+                    .ValueOrDie();
+  auto pj_max = ssb::DenormalizedDatabase::Build(
+                    data, col::CompressionMode::kFull, args.pool_pages)
+                    .ValueOrDie();
+  base->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  pj_none->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  pj_int->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  pj_max->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+
+  std::vector<std::string> ids;
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+
+  std::vector<harness::SeriesResult> series(4);
+  series[0].name = "Base";
+  series[1].name = "PJ, No C";
+  series[2].name = "PJ, Int C";
+  series[3].name = "PJ, Max C";
+
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    const core::TableQuery tq = ssb::ToDenormalizedQuery(q);
+    series[0].by_query[q.id] = harness::TimeCell(
+        [&] {
+          auto r = core::ExecuteStarQuery(base->Schema(), q,
+                                          core::ExecConfig::AllOn());
+          CSTORE_CHECK(r.ok());
+        },
+        args.repetitions, nullptr);
+    auto run_pj = [&](ssb::DenormalizedDatabase* db) {
+      return harness::TimeCell(
+          [&] {
+            auto r = core::ExecuteTableQuery(db->table(), tq,
+                                             core::ExecConfig::AllOn());
+            CSTORE_CHECK(r.ok());
+          },
+          args.repetitions, nullptr);
+    };
+    series[1].by_query[q.id] = run_pj(pj_none.get());
+    series[2].by_query[q.id] = run_pj(pj_int.get());
+    series[3].by_query[q.id] = run_pj(pj_max.get());
+    std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
+  }
+
+  harness::PrintFigure("Figure 8 — denormalization (ms)", ids, series);
+  std::printf("\nStorage: base lineorder = %.1f MB, PJ No C = %.1f MB, "
+              "PJ Int C = %.1f MB, PJ Max C = %.1f MB\n",
+              base->lineorder().SizeBytes() / 1e6, pj_none->SizeBytes() / 1e6,
+              pj_int->SizeBytes() / 1e6, pj_max->SizeBytes() / 1e6);
+  return 0;
+}

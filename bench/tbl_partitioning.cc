@@ -1,0 +1,60 @@
+// §6.1/§6.2 partitioning claim: orderdate-year partitioning gives the
+// traditional row-store about a 2x average speedup, concentrated in queries
+// with orderdate predicates (flight 1 and 3.4, 4.2, 4.3).
+#include <cstdio>
+
+#include "harness/runner.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/row_db.h"
+#include "ssb/row_exec.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf("Partitioning study — traditional row-store, SF=%.3g (ms)\n",
+              args.scale_factor);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  ssb::RowDbOptions with;
+  with.partition_lineorder = true;
+  with.pool_pages = args.pool_pages;
+  ssb::RowDbOptions without;
+  without.partition_lineorder = false;
+  without.pool_pages = args.pool_pages;
+  auto db_part = ssb::RowDatabase::Build(data, with).ValueOrDie();
+  auto db_flat = ssb::RowDatabase::Build(data, without).ValueOrDie();
+  db_part->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  db_flat->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+
+  std::vector<std::string> ids;
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+
+  std::vector<harness::SeriesResult> series(2);
+  series[0].name = "T (partitioned)";
+  series[1].name = "T (unpartitioned)";
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    series[0].by_query[q.id] = harness::TimeCell(
+        [&] {
+          auto r =
+              ssb::ExecuteRowQuery(*db_part, q, ssb::RowDesign::kTraditional);
+          CSTORE_CHECK(r.ok());
+        },
+        args.repetitions, nullptr);
+    series[1].by_query[q.id] = harness::TimeCell(
+        [&] {
+          auto r =
+              ssb::ExecuteRowQuery(*db_flat, q, ssb::RowDesign::kTraditional);
+          CSTORE_CHECK(r.ok());
+        },
+        args.repetitions, nullptr);
+  }
+  harness::PrintFigure("orderdate-year partitioning (ms)", ids, series);
+  std::printf("\nAverage speedup from partitioning: %.2fx (paper: ~2x)\n",
+              series[1].AverageSeconds() / series[0].AverageSeconds());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// §6.2 in-text size analysis: tuple overheads across physical designs.
+//
+// The paper reports (at SF 10): a single two-column vertical partition of
+// lineorder takes 0.7-1.1 GB (~16 bytes/row of value + record-id + header);
+// the whole 17-column traditional table ~4 GB compressed / 6 GB raw; one
+// C-Store integer column just 240 MB (4 bytes/row) and the compressed
+// C-Store table 2.3 GB, with the sorted orderdate column under 64 KB after
+// RLE. This bench reproduces the per-row accounting at the chosen SF.
+#include <cstdio>
+
+#include "harness/runner.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/row_db.h"
+#include "util/table_printer.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf("Storage size analysis (SF=%.3g, %s rows in lineorder)\n",
+              args.scale_factor,
+              std::to_string(ssb::CardinalitiesFor(args.scale_factor).lineorders)
+                  .c_str());
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+  const double rows = static_cast<double>(data.lineorder.size());
+
+  ssb::RowDbOptions options;
+  options.vertical_partitions = true;
+  options.all_indexes = true;
+  auto row_db = ssb::RowDatabase::Build(data, options).ValueOrDie();
+  auto cs_full =
+      ssb::ColumnDatabase::Build(data, col::CompressionMode::kFull).ValueOrDie();
+  auto cs_none =
+      ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone).ValueOrDie();
+
+  util::TablePrinter t("Per-design lineorder storage");
+  t.SetHeader({"design", "MB", "bytes/row"});
+  auto add = [&](const std::string& name, uint64_t bytes) {
+    t.AddRow({name, util::TablePrinter::Num(bytes / 1e6, 1),
+              util::TablePrinter::Num(bytes / rows, 1)});
+  };
+  add("row-store traditional (17 cols)", row_db->lineorder().SizeBytes());
+  uint64_t vp_total = 0;
+  for (const std::string& name :
+       {"orderdate", "custkey", "suppkey", "partkey", "quantity", "discount",
+        "extendedprice", "revenue", "supplycost"}) {
+    vp_total += row_db->vp(name).SizeBytes();
+  }
+  add("row-store VP (9 query columns)", vp_total);
+  add("  single VP column (custkey)", row_db->vp("custkey").SizeBytes());
+  uint64_t idx_total = 0;
+  for (const std::string& name : ssb::QueryFactColumns()) {
+    idx_total += row_db->fact_index(name).SizeBytes();
+  }
+  add("row-store B+Trees (query columns)", idx_total);
+  add("column-store uncompressed", cs_none->lineorder().SizeBytes());
+  add("  single column (custkey, plain)",
+      cs_none->lineorder().column("custkey").SizeBytes());
+  add("column-store compressed", cs_full->lineorder().SizeBytes());
+  add("  single column (custkey)",
+      cs_full->lineorder().column("custkey").SizeBytes());
+  add("  sorted column (orderdate, RLE)",
+      cs_full->lineorder().column("orderdate").SizeBytes());
+  t.Print();
+
+  std::printf(
+      "\nPaper's claims to check (§6.2): VP column ~16 B/row vs C-Store "
+      "~4 B/row;\nscanning 4 VP columns ~ scanning the whole traditional "
+      "table; RLE'd orderdate\ncolumn tiny (paper: <64 KB at SF 10).\n");
+  std::printf("VP bytes/row over C-Store plain bytes/row (custkey): %.1fx\n",
+              static_cast<double>(row_db->vp("custkey").SizeBytes()) /
+                  cs_none->lineorder().column("custkey").SizeBytes());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Compression explorer: loads the same column under different encodings and
+// prints size, decode speed, and predicate-scan speed — the §5.1 trade-offs.
+//
+//   $ ./build/examples/compression_explorer
+//
+// Three data shapes are explored:
+//   sorted        long runs    -> RLE shines (the paper's flight-1 effect)
+//   low-cardinality unsorted   -> bit-packing wins on size
+//   high-cardinality unsorted  -> plain storage; compression can't help
+#include <cstdio>
+
+#include "column/column_table.h"
+#include "core/predicate.h"
+#include "core/scan.h"
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace cstore;
+
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+
+struct Shape {
+  const char* name;
+  bool sorted;
+  int64_t cardinality;
+};
+
+void Explore(const Shape& shape, util::TablePrinter* table) {
+  util::Rng rng(99);
+  std::vector<int64_t> values(kRows);
+  for (auto& v : values) v = rng.Uniform(0, shape.cardinality - 1);
+  if (shape.sorted) std::sort(values.begin(), values.end());
+
+  for (const auto mode :
+       {col::CompressionMode::kNone, col::CompressionMode::kFull}) {
+    storage::FileManager files;
+    storage::BufferPool pool(&files, 4096);
+    col::ColumnTable t(&files, &pool, "explore");
+    CSTORE_CHECK(t.AddIntColumn("c", DataType::kInt32, values, mode).ok());
+    const col::StoredColumn& column = t.column("c");
+
+    std::vector<int64_t> decoded;
+    util::Stopwatch decode_watch;
+    CSTORE_CHECK(column.DecodeAllInts(&decoded).ok());
+    const double decode_ms = decode_watch.ElapsedMillis();
+
+    util::BitVector bits(kRows);
+    util::Stopwatch scan_watch;
+    auto matches = core::ScanInt(
+        column, core::IntPredicate::Range(0, shape.cardinality / 8), true,
+        &bits);
+    CSTORE_CHECK(matches.ok());
+    const double scan_ms = scan_watch.ElapsedMillis();
+
+    table->AddRow({std::string(shape.name) + (mode == col::CompressionMode::kNone
+                                                  ? " / plain"
+                                                  : " / chosen"),
+                   std::string(compress::EncodingName(column.info().encoding)),
+                   util::TablePrinter::Num(column.SizeBytes() / 1e6, 2),
+                   util::TablePrinter::Num(decode_ms, 2),
+                   util::TablePrinter::Num(scan_ms, 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  util::TablePrinter table("Encodings on 1M int32 values");
+  table.SetHeader({"data / policy", "encoding", "MB", "decode ms", "scan ms"});
+  Explore({"sorted, 1K distinct", true, 1 << 10}, &table);
+  Explore({"unsorted, 1K distinct", false, 1 << 10}, &table);
+  Explore({"unsorted, 1M distinct", false, 1 << 20}, &table);
+  table.Print();
+  std::printf(
+      "\nReading the table: RLE makes the sorted column both tiny and the\n"
+      "fastest to scan (predicates apply per run, §5.1); bit-packing shrinks\n"
+      "the low-cardinality column at a small decode cost; high-cardinality\n"
+      "random data stays plain.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a tiny star schema by hand, run a query through the
+// column engine, and inspect the result.
+//
+//   $ ./build/examples/quickstart
+//
+// The example models a minimal sales warehouse: a `sales` fact table and a
+// `store` dimension, then asks "total revenue per region for stores in the
+// EAST or WEST region".
+#include <cstdio>
+
+#include "column/column_table.h"
+#include "core/exec_config.h"
+#include "core/star_executor.h"
+#include "storage/buffer_pool.h"
+
+using namespace cstore;
+
+int main() {
+  // 1. Storage: a file manager (the simulated device) + a buffer pool.
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 1024);
+
+  // 2. The store dimension: keys 1..6, sorted by region then city — the
+  //    hierarchy layout that enables between-predicate rewriting (§5.4.2).
+  col::ColumnTable store(&files, &pool, "store");
+  CSTORE_CHECK(store
+                   .AddIntColumn("storekey", DataType::kInt32,
+                                 {1, 2, 3, 4, 5, 6},
+                                 col::CompressionMode::kFull)
+                   .ok());
+  CSTORE_CHECK(store
+                   .AddCharColumn("region", 8,
+                                  {"EAST", "EAST", "NORTH", "SOUTH", "WEST",
+                                   "WEST"},
+                                  col::CompressionMode::kFull)
+                   .ok());
+  CSTORE_CHECK(store
+                   .AddCharColumn("city", 16,
+                                  {"Albany", "Boston", "Fargo", "Austin",
+                                   "Fresno", "Seattle"},
+                                  col::CompressionMode::kFull)
+                   .ok());
+
+  // 3. The sales fact table: one row per sale, FK into store.
+  col::ColumnTable sales(&files, &pool, "sales");
+  CSTORE_CHECK(sales
+                   .AddIntColumn("storekey", DataType::kInt32,
+                                 {1, 2, 2, 3, 4, 5, 6, 6, 1, 5},
+                                 col::CompressionMode::kFull)
+                   .ok());
+  CSTORE_CHECK(sales
+                   .AddIntColumn("revenue", DataType::kInt32,
+                                 {10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+                                 col::CompressionMode::kFull)
+                   .ok());
+
+  // 4. Describe the star schema and the query.
+  core::StarSchema schema;
+  schema.fact = &sales;
+  schema.dims = {{"store", &store, "storekey", "storekey",
+                  /*dense_keys=*/true}};
+
+  core::StarQuery query;
+  query.id = "quickstart";
+  query.dim_predicates = {
+      core::DimPredicate::StrIn("store", "region", {"EAST", "WEST"})};
+  query.group_by = {core::GroupByColumn{"store", "region"}};
+  query.agg = core::Aggregate{core::AggKind::kSumColumn, "revenue", ""};
+
+  // 5. Execute with all optimizations on (the paper's "tICL").
+  auto result =
+      core::ExecuteStarQuery(schema, query, core::ExecConfig::AllOn());
+  CSTORE_CHECK(result.ok());
+
+  std::printf("revenue by region (stores in EAST or WEST):\n");
+  for (const core::ResultRow& row : result.ValueOrDie().rows) {
+    std::printf("  %-6s %lld\n", row.group_values[0].ToString().c_str(),
+                static_cast<long long>(row.sum));
+  }
+  std::printf("\npages read so far: %llu (every access went through the "
+              "buffer pool)\n",
+              static_cast<unsigned long long>(files.stats().pages_read));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// SSBM demo: generate the benchmark at a small scale factor, load it into
+// the column engine, and run all thirteen queries, printing results and
+// basic execution stats.
+//
+//   $ ./build/examples/ssb_demo [--sf 0.02]
+#include <cstdio>
+#include <cstring>
+
+#include "core/star_executor.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "util/stopwatch.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  double sf = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) sf = atof(argv[++i]);
+  }
+
+  ssb::GenParams params;
+  params.scale_factor = sf;
+  std::printf("Generating SSBM at SF=%.3g...\n", sf);
+  const ssb::SsbData data = ssb::Generate(params);
+  std::printf("  lineorder: %zu rows, customer: %zu, supplier: %zu, part: %zu, "
+              "date: %zu\n",
+              data.lineorder.size(), data.customer.size(), data.supplier.size(),
+              data.part.size(), data.date.size());
+
+  auto db =
+      ssb::ColumnDatabase::Build(data, col::CompressionMode::kFull).ValueOrDie();
+  std::printf("Loaded column store: %.1f MB on device\n\n",
+              db->SizeBytes() / 1e6);
+
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    util::Stopwatch watch;
+    auto result =
+        core::ExecuteStarQuery(db->Schema(), q, core::ExecConfig::AllOn());
+    CSTORE_CHECK(result.ok());
+    const auto& rows = result.ValueOrDie().rows;
+    std::printf("Q%-4s %6.1f ms, %zu group(s)", q.id.c_str(),
+                watch.ElapsedMillis(), rows.size());
+    if (rows.size() == 1 && rows[0].group_values.empty()) {
+      std::printf(", sum = %lld", static_cast<long long>(rows[0].sum));
+    }
+    std::printf("\n");
+    // Print the first few groups of grouped queries.
+    for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+      if (rows[i].group_values.empty()) break;
+      std::printf("      ");
+      for (const Value& v : rows[i].group_values) {
+        std::printf("%s | ", v.ToString().c_str());
+      }
+      std::printf("%lld\n", static_cast<long long>(rows[i].sum));
+    }
+    if (rows.size() > 3 && !rows[0].group_values.empty()) {
+      std::printf("      ... %zu more\n", rows.size() - 3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "column/block_cursor.h"
+
+#include <algorithm>
+
+namespace cstore::col {
+
+BlockCursor::BlockCursor(const StoredColumn* column) : column_(column) {
+  CSTORE_CHECK(column_->IsIntegerStored());
+  decoded_.reserve(compress::kPagePayloadSize / sizeof(int32_t));
+}
+
+void BlockCursor::Reset() {
+  next_page_ = 0;
+  decoded_.clear();
+  page_offset_ = 0;
+  position_ = 0;
+}
+
+bool BlockCursor::LoadNextPage() {
+  if (next_page_ >= column_->num_pages()) return false;
+  storage::PageGuard guard;
+  auto view = column_->GetPage(next_page_, &guard);
+  CSTORE_CHECK(view.ok());
+  decoded_.resize(view.ValueOrDie().num_values());
+  view.ValueOrDie().DecodeInt64(decoded_.data());
+  page_offset_ = 0;
+  next_page_++;
+  return true;
+}
+
+const int64_t* BlockCursor::NextBlock(uint32_t* n) {
+  if (page_offset_ >= decoded_.size()) {
+    if (!LoadNextPage()) {
+      *n = 0;
+      return nullptr;
+    }
+  }
+  const uint32_t available = static_cast<uint32_t>(decoded_.size()) - page_offset_;
+  *n = std::min(kBlockSize, available);
+  const int64_t* out = decoded_.data() + page_offset_;
+  page_offset_ += *n;
+  position_ += *n;
+  return out;
+}
+
+bool BlockCursor::GetNext(int64_t* v) {
+  if (page_offset_ >= decoded_.size()) {
+    if (!LoadNextPage()) return false;
+    if (decoded_.empty()) return false;
+  }
+  *v = decoded_[page_offset_++];
+  position_++;
+  return true;
+}
+
+}  // namespace cstore::col

@@ -1,0 +1,49 @@
+// Sequential column cursors exposing the paper's two iteration interfaces.
+//
+// C-Store blocks can be accessed through "asArray" (a pointer to an array,
+// iterated directly — block iteration) or "getNext" (one function call per
+// value — tuple-at-a-time). §6.3.2 toggles between these to measure the
+// block-iteration optimization; NextBlock/GetNext are those two interfaces.
+#pragma once
+
+#include <vector>
+
+#include "column/stored_column.h"
+
+namespace cstore::col {
+
+/// Values surfaced per NextBlock call.
+inline constexpr uint32_t kBlockSize = 1024;
+
+/// Forward-only scan of a whole column, decoding page by page.
+class BlockCursor {
+ public:
+  explicit BlockCursor(const StoredColumn* column);
+
+  /// "asArray": returns up to kBlockSize decoded values (widened to int64;
+  /// dictionary codes for encoded char columns). Sets *n to 0 at end of
+  /// column. The pointer is valid until the next call.
+  const int64_t* NextBlock(uint32_t* n);
+
+  /// "getNext": one value per call; returns false at end. Deliberately not
+  /// inlined so each value costs a real function call, as in a Volcano-style
+  /// per-tuple interface.
+  __attribute__((noinline)) bool GetNext(int64_t* v);
+
+  /// Restarts the scan from position 0.
+  void Reset();
+
+  /// Position of the next value to be returned.
+  uint64_t position() const { return position_; }
+
+ private:
+  bool LoadNextPage();
+
+  const StoredColumn* column_;
+  storage::PageNumber next_page_ = 0;
+  std::vector<int64_t> decoded_;  // current page, fully decoded
+  uint32_t page_offset_ = 0;      // consumed values within decoded_
+  uint64_t position_ = 0;
+};
+
+}  // namespace cstore::col

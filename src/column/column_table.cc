@@ -1,0 +1,159 @@
+#include "column/column_table.h"
+
+#include <algorithm>
+
+#include "compress/column_writer.h"
+
+namespace cstore::col {
+
+namespace {
+
+compress::ColumnStats ComputeStats(const std::vector<int64_t>& values) {
+  compress::ColumnStats stats;
+  stats.num_values = values.size();
+  if (values.empty()) return stats;
+  stats.min = stats.max = values[0];
+  stats.num_runs = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    stats.min = std::min(stats.min, values[i]);
+    stats.max = std::max(stats.max, values[i]);
+    if (values[i] != values[i - 1]) stats.num_runs++;
+    if (values[i] < values[i - 1]) stats.sorted = false;
+  }
+  return stats;
+}
+
+}  // namespace
+
+Status ColumnTable::CheckRowCount(uint64_t n) {
+  if (columns_.empty()) {
+    num_rows_ = n;
+    return Status::OK();
+  }
+  if (n != num_rows_) {
+    return Status::InvalidArgument("column row count mismatch in table " + name_);
+  }
+  return Status::OK();
+}
+
+Status ColumnTable::AddIntColumn(const std::string& name, DataType type,
+                                 const std::vector<int64_t>& values,
+                                 CompressionMode mode) {
+  CSTORE_RETURN_IF_ERROR(CheckRowCount(values.size()));
+  const compress::ColumnStats stats = ComputeStats(values);
+
+  ColumnInfo info;
+  info.name = name;
+  info.logical_type = type;
+  info.num_values = values.size();
+  info.sorted = stats.sorted;
+  info.min = stats.min;
+  info.max = stats.max;
+  if (mode == CompressionMode::kFull) {
+    info.encoding = compress::ChooseIntEncoding(stats);
+  } else {
+    info.encoding = type == DataType::kInt64 ? compress::Encoding::kPlainInt64
+                                             : compress::Encoding::kPlainInt32;
+  }
+  if (info.encoding == compress::Encoding::kBitPack) {
+    info.bitpack_base = stats.min;
+    info.bitpack_bits = compress::BitsFor(stats);
+  }
+  info.file = files_->CreateFile(name_ + "." + name);
+
+  compress::ColumnPageWriter writer(files_, info.file, info.encoding, 0,
+                                    info.bitpack_base, info.bitpack_bits);
+  for (int64_t v : values) writer.AppendInt(v);
+  CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
+  CSTORE_CHECK(written == values.size());
+  info.page_starts = writer.page_starts();
+
+  columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+  return Status::OK();
+}
+
+Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
+                                  const std::vector<std::string>& values,
+                                  CompressionMode mode) {
+  CSTORE_RETURN_IF_ERROR(CheckRowCount(values.size()));
+
+  ColumnInfo info;
+  info.name = name;
+  info.logical_type = DataType::kChar;
+  info.char_width = width;
+  info.num_values = values.size();
+  info.file = files_->CreateFile(name_ + "." + name);
+
+  if (mode == CompressionMode::kNone) {
+    info.encoding = compress::Encoding::kPlainChar;
+    bool sorted = true;
+    for (size_t i = 1; i < values.size() && sorted; ++i) {
+      sorted = values[i - 1] <= values[i];
+    }
+    info.sorted = sorted;
+    compress::ColumnPageWriter writer(files_, info.file, info.encoding, width);
+    for (const std::string& s : values) writer.AppendChar(s);
+    CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
+    CSTORE_CHECK(written == values.size());
+    info.page_starts = writer.page_starts();
+    columns_.push_back(
+        std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+    return Status::OK();
+  }
+
+  // Dictionary-encode: order-preserving codes.
+  auto dict = std::make_shared<compress::Dictionary>(
+      compress::Dictionary::Build(values));
+  std::vector<int64_t> codes;
+  codes.reserve(values.size());
+  for (const std::string& s : values) {
+    const int32_t code = dict->CodeOf(s);
+    CSTORE_CHECK(code >= 0);
+    codes.push_back(code);
+  }
+  const compress::ColumnStats stats = ComputeStats(codes);
+  info.dict = std::move(dict);
+  info.sorted = stats.sorted;
+  info.min = stats.min;
+  info.max = stats.max;
+  if (mode == CompressionMode::kFull) {
+    info.encoding = compress::ChooseIntEncoding(stats);
+  } else {
+    info.encoding = compress::Encoding::kPlainInt32;
+  }
+  if (info.encoding == compress::Encoding::kBitPack) {
+    info.bitpack_base = stats.min;
+    info.bitpack_bits = compress::BitsFor(stats);
+  }
+  compress::ColumnPageWriter writer(files_, info.file, info.encoding, 0,
+                                    info.bitpack_base, info.bitpack_bits);
+  for (int64_t c : codes) writer.AppendInt(c);
+  CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
+  CSTORE_CHECK(written == values.size());
+  info.page_starts = writer.page_starts();
+  columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+  return Status::OK();
+}
+
+const StoredColumn& ColumnTable::column(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c->info().name == name) return *c;
+  }
+  CSTORE_CHECK(false);
+  return *columns_[0];
+}
+
+bool ColumnTable::HasColumn(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c->info().name == name) return true;
+  }
+  return false;
+}
+
+uint64_t ColumnTable::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->SizeBytes();
+  return total;
+}
+
+}  // namespace cstore::col

@@ -1,0 +1,56 @@
+// ColumnTable: a column-oriented table — a set of position-aligned columns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "column/stored_column.h"
+
+namespace cstore::col {
+
+/// Builder + container for the columns of one logical table. All columns
+/// must be loaded with the same number of rows (position-aligned).
+class ColumnTable {
+ public:
+  ColumnTable(storage::FileManager* files, storage::BufferPool* pool,
+              std::string name)
+      : files_(files), pool_(pool), name_(std::move(name)) {}
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ColumnTable);
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Loads an integer column. `type` selects the plain width under kNone /
+  /// kDictOnly; kFull picks RLE/bit-packing from the data.
+  Status AddIntColumn(const std::string& name, DataType type,
+                      const std::vector<int64_t>& values, CompressionMode mode);
+
+  /// Loads a string column of declared `width`. Under kNone the strings are
+  /// stored as uncompressed fixed-width char; otherwise they are dictionary
+  /// encoded (order-preserving codes) and the codes stored per `mode`.
+  Status AddCharColumn(const std::string& name, size_t width,
+                       const std::vector<std::string>& values,
+                       CompressionMode mode);
+
+  /// Column by name (CHECK-fails if missing — schema errors are programmer
+  /// errors in this engine).
+  const StoredColumn& column(const std::string& name) const;
+  const StoredColumn& column(size_t i) const { return *columns_[i]; }
+  bool HasColumn(const std::string& name) const;
+
+  /// Total on-device bytes of all columns.
+  uint64_t SizeBytes() const;
+
+ private:
+  Status CheckRowCount(uint64_t n);
+
+  storage::FileManager* files_;
+  storage::BufferPool* pool_;
+  std::string name_;
+  std::vector<std::unique_ptr<StoredColumn>> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace cstore::col

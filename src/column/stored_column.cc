@@ -1,0 +1,57 @@
+#include "column/stored_column.h"
+
+namespace cstore::col {
+
+Result<compress::PageView> StoredColumn::GetPage(storage::PageNumber p,
+                                                 storage::PageGuard* guard) const {
+  CSTORE_ASSIGN_OR_RETURN(*guard,
+                          pool_->FetchPage(storage::PageId{info_.file, p}));
+  return compress::PageView(guard->data(), info_.encoding, info_.char_width);
+}
+
+Status StoredColumn::DecodeAllInts(std::vector<int64_t>* out) const {
+  out->clear();
+  out->reserve(info_.num_values);
+  const storage::PageNumber pages = num_pages();
+  std::vector<int64_t> buf;
+  for (storage::PageNumber p = 0; p < pages; ++p) {
+    storage::PageGuard guard;
+    CSTORE_ASSIGN_OR_RETURN(compress::PageView view, GetPage(p, &guard));
+    buf.resize(view.num_values());
+    const uint32_t n = view.DecodeInt64(buf.data());
+    out->insert(out->end(), buf.begin(), buf.begin() + n);
+  }
+  return Status::OK();
+}
+
+Status StoredColumn::DecodeAllStrings(std::vector<std::string>* out) const {
+  out->clear();
+  out->reserve(info_.num_values);
+  if (info_.encoding == compress::Encoding::kPlainChar) {
+    const storage::PageNumber pages = num_pages();
+    for (storage::PageNumber p = 0; p < pages; ++p) {
+      storage::PageGuard guard;
+      CSTORE_ASSIGN_OR_RETURN(compress::PageView view, GetPage(p, &guard));
+      for (uint32_t i = 0; i < view.num_values(); ++i) {
+        const char* s = view.CharAt(i);
+        // Trim zero padding.
+        size_t len = info_.char_width;
+        while (len > 0 && s[len - 1] == '\0') --len;
+        out->emplace_back(s, len);
+      }
+    }
+    return Status::OK();
+  }
+  if (info_.dict == nullptr) {
+    return Status::InvalidArgument("column " + info_.name +
+                                   " has no string representation");
+  }
+  std::vector<int64_t> codes;
+  CSTORE_RETURN_IF_ERROR(DecodeAllInts(&codes));
+  for (int64_t c : codes) {
+    out->push_back(info_.dict->Decode(static_cast<int32_t>(c)));
+  }
+  return Status::OK();
+}
+
+}  // namespace cstore::col

@@ -1,0 +1,94 @@
+// StoredColumn: one column of a column-oriented table.
+//
+// Values are addressed by implicit position — no record-ids, no tuple
+// headers (§6.3.1 of the paper). Pages live in the paged storage manager and
+// are read through the buffer pool like every other access path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "compress/dictionary.h"
+#include "compress/page_format.h"
+#include "storage/buffer_pool.h"
+
+namespace cstore::col {
+
+/// How aggressively a table is compressed at load time. These are the three
+/// storage policies the paper's experiments distinguish.
+enum class CompressionMode {
+  /// "No C": integers plain, strings as uncompressed fixed-width char.
+  kNone,
+  /// "Int C": strings dictionary-encoded to plain int32 codes; ints plain.
+  kDictOnly,
+  /// "Max C": dictionary codes and integers further compressed (RLE on
+  /// sorted/run-heavy columns, bit-packing on narrow domains).
+  kFull,
+};
+
+/// Immutable metadata describing one stored column.
+struct ColumnInfo {
+  std::string name;
+  DataType logical_type = DataType::kInt32;
+  size_t char_width = 0;  ///< declared width for kChar columns
+  compress::Encoding encoding = compress::Encoding::kPlainInt32;
+  uint64_t num_values = 0;
+  storage::FileId file = 0;
+  int64_t bitpack_base = 0;
+  uint8_t bitpack_bits = 0;
+  /// Present when a kChar column is stored as dictionary codes. Codes are
+  /// order-preserving (sorted dictionary), so string ranges map to code
+  /// ranges — the key-reassignment device of §5.4.2.
+  std::shared_ptr<compress::Dictionary> dict;
+  bool sorted = false;  ///< stored values (or codes) are non-decreasing
+  int64_t min = 0;
+  int64_t max = 0;
+  /// First value position of each page (for position -> page mapping).
+  std::vector<uint64_t> page_starts;
+};
+
+/// Handle to one column's pages plus its metadata.
+class StoredColumn {
+ public:
+  StoredColumn(storage::FileManager* files, storage::BufferPool* pool,
+               ColumnInfo info)
+      : files_(files), pool_(pool), info_(std::move(info)) {}
+
+  const ColumnInfo& info() const { return info_; }
+  uint64_t num_values() const { return info_.num_values; }
+  storage::PageNumber num_pages() const { return files_->NumPages(info_.file); }
+
+  /// True when the column holds integer data or dictionary codes (i.e.
+  /// integer page views apply).
+  bool IsIntegerStored() const {
+    return info_.encoding != compress::Encoding::kPlainChar;
+  }
+
+  /// Pins page `p` and parses its header. `guard` must outlive the view.
+  Result<compress::PageView> GetPage(storage::PageNumber p,
+                                     storage::PageGuard* guard) const;
+
+  /// On-device size of the column (pages * page size).
+  uint64_t SizeBytes() const { return files_->FileBytes(info_.file); }
+
+  /// Decodes the whole column, widening to int64 (integer encodings; for
+  /// dictionary columns these are codes).
+  Status DecodeAllInts(std::vector<int64_t>* out) const;
+
+  /// Materializes the whole column as strings (kChar logical columns only:
+  /// either dictionary-decode or copy fixed-width payloads).
+  Status DecodeAllStrings(std::vector<std::string>* out) const;
+
+  storage::BufferPool* pool() const { return pool_; }
+
+ private:
+  storage::FileManager* files_;
+  storage::BufferPool* pool_;
+  ColumnInfo info_;
+};
+
+}  // namespace cstore::col

@@ -1,0 +1,50 @@
+// Invariant-checking and convenience macros shared across the library.
+//
+// Following the database-systems C++ idiom, recoverable conditions travel as
+// Status/Result values; CSTORE_CHECK is reserved for programmer errors where
+// continuing would corrupt state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CSTORE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Aborts the process when `condition` is false. Use only for invariants that
+/// indicate a bug in this library, never for bad user input.
+#define CSTORE_CHECK(condition)                                              \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "CSTORE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define CSTORE_DCHECK(condition) CSTORE_CHECK(condition)
+#else
+#define CSTORE_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status to the caller.
+#define CSTORE_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::cstore::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define CSTORE_CONCAT_IMPL(a, b) a##b
+#define CSTORE_CONCAT(a, b) CSTORE_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// otherwise returns the error Status to the caller.
+#define CSTORE_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto CSTORE_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!CSTORE_CONCAT(_res_, __LINE__).ok())                       \
+    return CSTORE_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(CSTORE_CONCAT(_res_, __LINE__)).ValueOrDie()

@@ -1,0 +1,53 @@
+// Result<T>: a value-or-Status, for fallible functions that produce a value.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace cstore {
+
+/// Holds either a T or a non-OK Status. Access the value only after checking
+/// ok(); ValueOrDie aborts on error (programmer-error contract, mirroring the
+/// CSTORE_CHECK philosophy).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    CSTORE_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    CSTORE_CHECK(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CSTORE_CHECK(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    CSTORE_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace cstore

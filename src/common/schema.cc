@@ -1,0 +1,32 @@
+#include "common/schema.h"
+
+namespace cstore {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound(std::string("no field named ") + std::string(name));
+}
+
+bool Schema::Contains(std::string_view name) const { return IndexOf(name).ok(); }
+
+size_t Schema::RowWidth() const {
+  size_t w = 0;
+  for (const Field& f : fields_) w += f.Width();
+  return w;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const std::string& name : names) {
+    CSTORE_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+    projected.push_back(fields_[idx]);
+  }
+  return Schema(std::move(projected));
+}
+
+}  // namespace cstore

@@ -1,0 +1,64 @@
+// Schema: ordered, named, typed fields of a relation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace cstore {
+
+/// One column of a relation.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt32;
+  /// Declared width for kChar fields; ignored otherwise.
+  size_t char_width = 0;
+
+  /// Physical width in bytes of one value.
+  size_t Width() const { return DataTypeWidth(type, char_width); }
+
+  static Field Int32(std::string name) {
+    return Field{std::move(name), DataType::kInt32, 0};
+  }
+  static Field Int64(std::string name) {
+    return Field{std::move(name), DataType::kInt64, 0};
+  }
+  static Field Char(std::string name, size_t width) {
+    return Field{std::move(name), DataType::kChar, width};
+  }
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// An immutable ordered field list with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Ordinal of the field named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// True iff a field named `name` exists.
+  bool Contains(std::string_view name) const;
+
+  /// Sum of field widths: the width of one packed (header-less) row.
+  size_t RowWidth() const;
+
+  /// Schema with only the named fields, in the given order (NotFound if any
+  /// name is missing).
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace cstore

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace cstore {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const std::string& Status::message() const { return rep_ ? rep_->message : kEmpty; }
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  out.append(": ");
+  out.append(message());
+  return out;
+}
+
+std::string_view StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace cstore

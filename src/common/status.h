@@ -1,0 +1,79 @@
+// Status: the library-wide error-reporting type.
+//
+// Modeled on the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>), never throw. A default-constructed Status is OK and
+// carries no allocation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace cstore {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kIOError,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsInternal() const { return code() == Code::kInternal; }
+
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  /// Human-readable message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(Status::Code code);
+
+}  // namespace cstore

@@ -1,0 +1,32 @@
+#include "common/types.h"
+
+#include "common/macros.h"
+
+namespace cstore {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kChar:
+      return "char";
+  }
+  return "unknown";
+}
+
+size_t DataTypeWidth(DataType type, size_t char_width) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kChar:
+      return char_width;
+  }
+  CSTORE_CHECK(false);
+  return 0;
+}
+
+}  // namespace cstore

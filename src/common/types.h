@@ -1,0 +1,32 @@
+// Column data types used throughout the engine.
+//
+// SSBM needs three physical types: 32-bit integers (keys, dates, quantities),
+// 64-bit integers (prices, revenues), and fixed-width strings (names, regions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cstore {
+
+/// Physical type of a column.
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  /// Fixed-width character string; width carried by the Field.
+  kChar = 2,
+};
+
+/// Printable name, e.g. "int32".
+std::string_view DataTypeName(DataType type);
+
+/// Byte width of a fixed-width value of `type`; `char_width` supplies the
+/// declared width for kChar.
+size_t DataTypeWidth(DataType type, size_t char_width);
+
+inline bool IsIntegerType(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64;
+}
+
+}  // namespace cstore

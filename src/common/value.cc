@@ -1,0 +1,41 @@
+#include "common/value.h"
+
+#include "util/hash.h"
+
+namespace cstore {
+
+bool Value::operator==(const Value& other) const {
+  if (IsIntegerType(type_) && IsIntegerType(other.type_)) {
+    return AsIntegral() == other.AsIntegral();
+  }
+  return type_ == other.type_ && rep_ == other.rep_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (IsIntegerType(type_) && IsIntegerType(other.type_)) {
+    return AsIntegral() < other.AsIntegral();
+  }
+  return rep_ < other.rep_;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kInt32:
+      return std::to_string(AsInt32());
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kChar:
+      return AsString();
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  if (IsIntegerType(type_)) {
+    return util::HashInt64(AsIntegral());
+  }
+  const std::string& s = AsString();
+  return util::HashBytes(s.data(), s.size());
+}
+
+}  // namespace cstore

@@ -1,0 +1,54 @@
+// Value: a single typed datum, used at API boundaries (query parameters,
+// result rows). Hot execution paths operate on raw columns, never on Values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/types.h"
+
+namespace cstore {
+
+/// A dynamically typed scalar. Cheap to copy for integers; strings allocate.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}), type_(DataType::kInt64) {}
+
+  static Value Int32(int32_t v) { return Value(v); }
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  DataType type() const { return type_; }
+
+  int32_t AsInt32() const { return std::get<int32_t>(rep_); }
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Integer content widened to 64 bits; valid for integer types only.
+  int64_t AsIntegral() const {
+    return type_ == DataType::kInt32 ? std::get<int32_t>(rep_)
+                                     : std::get<int64_t>(rep_);
+  }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order within a type; comparing across int widths compares values.
+  bool operator<(const Value& other) const;
+
+  /// Rendered datum, e.g. "42" or "ASIA".
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (used by hash aggregation over result checking).
+  uint64_t Hash() const;
+
+ private:
+  explicit Value(int32_t v) : rep_(v), type_(DataType::kInt32) {}
+  explicit Value(int64_t v) : rep_(v), type_(DataType::kInt64) {}
+  explicit Value(std::string v) : rep_(std::move(v)), type_(DataType::kChar) {}
+
+  std::variant<int32_t, int64_t, std::string> rep_;
+  DataType type_;
+};
+
+}  // namespace cstore

@@ -1,0 +1,155 @@
+#include "compress/column_writer.h"
+
+#include <cstring>
+
+namespace cstore::compress {
+
+namespace {
+// Leave room in RLE pages for the header: runs are 16 bytes each.
+constexpr size_t kMaxRunsPerPage = kPagePayloadSize / sizeof(RleRun);
+}  // namespace
+
+ColumnPageWriter::ColumnPageWriter(storage::FileManager* files,
+                                   storage::FileId file, Encoding encoding,
+                                   size_t char_width, int64_t bitpack_base,
+                                   uint8_t bitpack_bits)
+    : files_(files),
+      file_(file),
+      encoding_(encoding),
+      char_width_(char_width),
+      bitpack_base_(bitpack_base),
+      bitpack_bits_(bitpack_bits),
+      max_values_per_page_(MaxValuesPerPage(encoding, char_width, bitpack_bits)),
+      page_buf_(storage::kPageSize, 0) {
+  if (encoding == Encoding::kBitPack) {
+    CSTORE_CHECK(bitpack_bits > 0 && bitpack_bits <= 64);
+  }
+}
+
+bool ColumnPageWriter::PageFull() const {
+  if (encoding_ == Encoding::kRle) {
+    return runs_.size() + (has_run_ ? 1 : 0) >= kMaxRunsPerPage;
+  }
+  return page_values_ >= max_values_per_page_;
+}
+
+void ColumnPageWriter::AppendInt(int64_t v) {
+  CSTORE_DCHECK(!finished_);
+  num_values_++;
+  char* payload = page_buf_.data() + sizeof(PageHeader);
+  switch (encoding_) {
+    case Encoding::kPlainInt32: {
+      if (PageFull()) FlushPage();
+      const int32_t narrow = static_cast<int32_t>(v);
+      std::memcpy(payload + sizeof(PageHeader) * 0 +
+                      static_cast<size_t>(page_values_) * sizeof(int32_t),
+                  &narrow, sizeof(narrow));
+      page_values_++;
+      return;
+    }
+    case Encoding::kPlainInt64: {
+      if (PageFull()) FlushPage();
+      std::memcpy(page_buf_.data() + sizeof(PageHeader) +
+                      static_cast<size_t>(page_values_) * sizeof(int64_t),
+                  &v, sizeof(v));
+      page_values_++;
+      return;
+    }
+    case Encoding::kBitPack: {
+      if (PageFull()) FlushPage();
+      const uint64_t offset = static_cast<uint64_t>(v - bitpack_base_);
+      CSTORE_DCHECK(bitpack_bits_ == 64 || (offset >> bitpack_bits_) == 0);
+      auto* words = reinterpret_cast<uint64_t*>(page_buf_.data() +
+                                                sizeof(PageHeader) +
+                                                sizeof(int64_t));
+      const uint64_t bit_pos = static_cast<uint64_t>(page_values_) * bitpack_bits_;
+      const uint64_t word = bit_pos >> 6;
+      const uint32_t shift = static_cast<uint32_t>(bit_pos & 63);
+      words[word] |= offset << shift;
+      if (shift + bitpack_bits_ > 64) {
+        words[word + 1] |= offset >> (64 - shift);
+      }
+      page_values_++;
+      return;
+    }
+    case Encoding::kRle: {
+      if (has_run_ && v == run_value_ && run_length_ < UINT32_MAX) {
+        run_length_++;
+        page_values_++;
+        return;
+      }
+      if (has_run_) {
+        runs_.push_back(RleRun{run_value_, run_length_, 0});
+        has_run_ = false;  // the run now lives in runs_; don't flush it twice
+      }
+      if (PageFull()) FlushPage();
+      has_run_ = true;
+      run_value_ = v;
+      run_length_ = 1;
+      page_values_++;
+      return;
+    }
+    case Encoding::kPlainChar:
+      CSTORE_CHECK(false);  // use AppendChar
+  }
+}
+
+void ColumnPageWriter::AppendChar(std::string_view s) {
+  CSTORE_DCHECK(!finished_);
+  CSTORE_CHECK(encoding_ == Encoding::kPlainChar);
+  if (PageFull()) FlushPage();
+  char* dst = page_buf_.data() + sizeof(PageHeader) +
+              static_cast<size_t>(page_values_) * char_width_;
+  const size_t n = std::min(s.size(), char_width_);
+  std::memcpy(dst, s.data(), n);
+  if (n < char_width_) std::memset(dst + n, 0, char_width_ - n);
+  page_values_++;
+  num_values_++;
+}
+
+void ColumnPageWriter::FlushPage() {
+  if (encoding_ == Encoding::kRle) {
+    // The open run belongs to the page being flushed only if it was counted
+    // in page_values_; AppendInt flushes *before* starting a new run, so the
+    // open run (if any) always belongs to this page.
+    if (has_run_) {
+      runs_.push_back(RleRun{run_value_, run_length_, 0});
+      has_run_ = false;
+    }
+    PageHeader header{page_values_, static_cast<uint32_t>(runs_.size())};
+    std::memcpy(page_buf_.data(), &header, sizeof(header));
+    std::memcpy(page_buf_.data() + sizeof(PageHeader), runs_.data(),
+                runs_.size() * sizeof(RleRun));
+  } else {
+    PageHeader header{page_values_, 0};
+    if (encoding_ == Encoding::kBitPack) header.aux = bitpack_bits_;
+    if (encoding_ == Encoding::kBitPack) {
+      std::memcpy(page_buf_.data() + sizeof(PageHeader), &bitpack_base_,
+                  sizeof(bitpack_base_));
+    }
+    std::memcpy(page_buf_.data(), &header, sizeof(header));
+  }
+
+  const storage::PageNumber pn = files_->AllocatePage(file_);
+  const Status st =
+      files_->WritePage(storage::PageId{file_, pn}, page_buf_.data());
+  CSTORE_CHECK(st.ok());
+
+  page_starts_.push_back(values_flushed_);
+  values_flushed_ += page_values_;
+  std::memset(page_buf_.data(), 0, page_buf_.size());
+  page_values_ = 0;
+  runs_.clear();
+}
+
+Result<uint64_t> ColumnPageWriter::Finish() {
+  if (finished_) return Status::Internal("Finish called twice");
+  if (encoding_ == Encoding::kRle && has_run_) {
+    // FlushPage closes the open run.
+  }
+  if (page_values_ > 0 || has_run_) FlushPage();
+  finished_ = true;
+  return num_values_;
+}
+
+}  // namespace cstore::compress

@@ -1,0 +1,64 @@
+// ColumnPageWriter: encodes a stream of values into self-contained pages.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "compress/page_format.h"
+#include "storage/file_manager.h"
+
+namespace cstore::compress {
+
+/// Streams values of one column into `file` under a fixed encoding.
+/// Integer encodings take AppendInt (dictionary codes included); kPlainChar
+/// takes AppendChar. Call Finish() once to flush the trailing page.
+class ColumnPageWriter {
+ public:
+  /// `bitpack_base`/`bitpack_bits` are required for kBitPack (the loader
+  /// computes them from column stats); `char_width` for kPlainChar.
+  ColumnPageWriter(storage::FileManager* files, storage::FileId file,
+                   Encoding encoding, size_t char_width = 0,
+                   int64_t bitpack_base = 0, uint8_t bitpack_bits = 0);
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ColumnPageWriter);
+
+  void AppendInt(int64_t v);
+  void AppendChar(std::string_view s);
+
+  /// Flushes the final partial page. Returns total values written.
+  Result<uint64_t> Finish();
+
+  uint64_t num_values() const { return num_values_; }
+
+  /// After Finish(): position of the first value of each page (ascending).
+  /// Lets readers map a row position to its page with a binary search even
+  /// for variable-density encodings like RLE.
+  const std::vector<uint64_t>& page_starts() const { return page_starts_; }
+
+ private:
+  void FlushPage();
+  bool PageFull() const;
+
+  storage::FileManager* files_;
+  storage::FileId file_;
+  Encoding encoding_;
+  size_t char_width_;
+  int64_t bitpack_base_;
+  uint8_t bitpack_bits_;
+  size_t max_values_per_page_;
+
+  // Current-page accumulation state.
+  std::vector<char> page_buf_;
+  uint32_t page_values_ = 0;
+  std::vector<RleRun> runs_;        // kRle
+  bool has_run_ = false;
+  int64_t run_value_ = 0;
+  uint32_t run_length_ = 0;
+  uint64_t num_values_ = 0;
+  uint64_t values_flushed_ = 0;
+  std::vector<uint64_t> page_starts_;
+  bool finished_ = false;
+};
+
+}  // namespace cstore::compress

@@ -1,0 +1,41 @@
+#include "compress/dictionary.h"
+
+#include <algorithm>
+
+namespace cstore::compress {
+
+Dictionary Dictionary::Build(const std::vector<std::string>& values) {
+  Dictionary d;
+  d.entries_ = values;
+  std::sort(d.entries_.begin(), d.entries_.end());
+  d.entries_.erase(std::unique(d.entries_.begin(), d.entries_.end()),
+                   d.entries_.end());
+  return d;
+}
+
+int32_t Dictionary::CodeOf(std::string_view s) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), s);
+  if (it == entries_.end() || *it != s) return -1;
+  return static_cast<int32_t>(it - entries_.begin());
+}
+
+int32_t Dictionary::LowerBound(std::string_view s) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), s);
+  return static_cast<int32_t>(it - entries_.begin());
+}
+
+int32_t Dictionary::UpperBound(std::string_view s) const {
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), s,
+                             [](std::string_view a, const std::string& b) {
+                               return a < std::string_view(b);
+                             });
+  return static_cast<int32_t>(it - entries_.begin());
+}
+
+uint64_t Dictionary::ByteSize() const {
+  uint64_t n = 0;
+  for (const auto& e : entries_) n += e.size() + sizeof(uint32_t);
+  return n;
+}
+
+}  // namespace cstore::compress

@@ -1,0 +1,49 @@
+// Order-preserving string dictionary.
+//
+// Codes are assigned in sorted order, so string equality/range/IN predicates
+// become integer predicates on codes — both a compression device and the key
+// reassignment trick behind between-predicate rewriting (§5.4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cstore::compress {
+
+/// Immutable sorted dictionary: code i <-> i-th smallest distinct string.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds from arbitrary (possibly duplicated, unsorted) values.
+  static Dictionary Build(const std::vector<std::string>& values);
+
+  /// Number of distinct entries.
+  size_t size() const { return entries_.size(); }
+
+  /// Code of `s`, or -1 if `s` is not in the dictionary.
+  int32_t CodeOf(std::string_view s) const;
+
+  /// First code whose string is >= `s` (may equal size()).
+  int32_t LowerBound(std::string_view s) const;
+  /// First code whose string is > `s` (may equal size()).
+  int32_t UpperBound(std::string_view s) const;
+
+  /// String for `code`.
+  const std::string& Decode(int32_t code) const {
+    CSTORE_DCHECK(code >= 0 && static_cast<size_t>(code) < entries_.size());
+    return entries_[code];
+  }
+
+  /// Bytes to store all entries (for size accounting).
+  uint64_t ByteSize() const;
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+}  // namespace cstore::compress

@@ -1,0 +1,37 @@
+#include "compress/encoding.h"
+
+namespace cstore::compress {
+
+std::string_view EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kPlainInt32:
+      return "plain32";
+    case Encoding::kPlainInt64:
+      return "plain64";
+    case Encoding::kPlainChar:
+      return "plainchar";
+    case Encoding::kRle:
+      return "rle";
+    case Encoding::kBitPack:
+      return "bitpack";
+  }
+  return "unknown";
+}
+
+uint8_t BitsFor(const ColumnStats& stats) {
+  const uint64_t range = static_cast<uint64_t>(stats.max - stats.min);
+  uint8_t bits = 1;
+  while (bits < 64 && (range >> bits) != 0) ++bits;
+  return bits;
+}
+
+Encoding ChooseIntEncoding(const ColumnStats& stats) {
+  // Long runs compress superbly with RLE and allow run-at-a-time execution.
+  if (stats.AvgRunLength() >= 4.0) return Encoding::kRle;
+  // Narrow domains pack well.
+  if (BitsFor(stats) <= 24) return Encoding::kBitPack;
+  const bool fits32 = stats.min >= INT32_MIN && stats.max <= INT32_MAX;
+  return fits32 ? Encoding::kPlainInt32 : Encoding::kPlainInt64;
+}
+
+}  // namespace cstore::compress

@@ -1,0 +1,54 @@
+// Column encodings (§5.1 of the paper).
+//
+// Every encoded column is a sequence of *self-contained* 32 KB pages: each
+// page carries a small header plus whole atomic units (values, RLE runs),
+// so scans can operate in place on buffer-pool frames without stitching
+// bytes across page boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cstore::compress {
+
+/// Physical layout of one column's pages.
+enum class Encoding : uint8_t {
+  /// 4-byte little-endian integers.
+  kPlainInt32 = 0,
+  /// 8-byte little-endian integers.
+  kPlainInt64 = 1,
+  /// Fixed-width character strings, uncompressed.
+  kPlainChar = 2,
+  /// Run-length encoding: (value, run length) pairs. The paper's
+  /// order-of-magnitude win on sorted columns (flight 1) comes from here.
+  kRle = 3,
+  /// Frame-of-reference bit-packing: base + n-bit offsets.
+  kBitPack = 4,
+};
+
+std::string_view EncodingName(Encoding e);
+
+/// Summary statistics the loader computes to pick an encoding.
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  uint64_t num_values = 0;
+  uint64_t num_runs = 0;  ///< number of maximal equal-value runs
+  bool sorted = true;     ///< non-decreasing
+
+  double AvgRunLength() const {
+    return num_runs == 0 ? 0.0
+                         : static_cast<double>(num_values) /
+                               static_cast<double>(num_runs);
+  }
+};
+
+/// Bits needed to represent values in [stats.min, stats.max] as offsets.
+uint8_t BitsFor(const ColumnStats& stats);
+
+/// Picks the best encoding for an integer column ("Max C" policy):
+/// RLE when runs are long (sorted or near-sorted data), bit-packing when the
+/// domain is narrow, plain otherwise.
+Encoding ChooseIntEncoding(const ColumnStats& stats);
+
+}  // namespace cstore::compress

@@ -1,0 +1,107 @@
+#include "compress/page_format.h"
+
+namespace cstore::compress {
+
+namespace {
+
+/// Extracts the i-th `bits`-wide group from packed words (little-endian bit
+/// order within each word).
+inline uint64_t UnpackBits(const uint64_t* words, uint8_t bits, uint32_t i) {
+  const uint64_t bit_pos = static_cast<uint64_t>(i) * bits;
+  const uint64_t word = bit_pos >> 6;
+  const uint32_t offset = static_cast<uint32_t>(bit_pos & 63);
+  uint64_t v = words[word] >> offset;
+  if (offset + bits > 64) {
+    v |= words[word + 1] << (64 - offset);
+  }
+  const uint64_t mask = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+  return v & mask;
+}
+
+}  // namespace
+
+uint32_t PageView::DecodeInt64(int64_t* out) const {
+  const uint32_t n = header_.num_values;
+  switch (encoding_) {
+    case Encoding::kPlainInt32: {
+      const int32_t* in = AsInt32();
+      for (uint32_t i = 0; i < n; ++i) out[i] = in[i];
+      return n;
+    }
+    case Encoding::kPlainInt64: {
+      std::memcpy(out, AsInt64(), static_cast<size_t>(n) * sizeof(int64_t));
+      return n;
+    }
+    case Encoding::kRle: {
+      const RleRun* rs = runs();
+      uint32_t k = 0;
+      for (uint32_t r = 0; r < header_.aux; ++r) {
+        for (uint32_t j = 0; j < rs[r].length; ++j) out[k++] = rs[r].value;
+      }
+      CSTORE_DCHECK(k == n);
+      return n;
+    }
+    case Encoding::kBitPack: {
+      const uint64_t* words = bitpack_words();
+      const int64_t base = bitpack_base();
+      const uint8_t bits = bitpack_bits();
+      for (uint32_t i = 0; i < n; ++i) {
+        out[i] = base + static_cast<int64_t>(UnpackBits(words, bits, i));
+      }
+      return n;
+    }
+    case Encoding::kPlainChar:
+      CSTORE_CHECK(false);  // not an integer encoding
+  }
+  return 0;
+}
+
+int64_t PageView::ValueAt(uint32_t i) const {
+  CSTORE_DCHECK(i < header_.num_values);
+  switch (encoding_) {
+    case Encoding::kPlainInt32:
+      return AsInt32()[i];
+    case Encoding::kPlainInt64:
+      return AsInt64()[i];
+    case Encoding::kBitPack:
+      return bitpack_base() +
+             static_cast<int64_t>(UnpackBits(bitpack_words(), bitpack_bits(), i));
+    case Encoding::kRle: {
+      const RleRun* rs = runs();
+      uint32_t seen = 0;
+      for (uint32_t r = 0; r < header_.aux; ++r) {
+        if (i < seen + rs[r].length) return rs[r].value;
+        seen += rs[r].length;
+      }
+      CSTORE_CHECK(false);
+      return 0;
+    }
+    case Encoding::kPlainChar:
+      CSTORE_CHECK(false);
+  }
+  return 0;
+}
+
+size_t MaxValuesPerPage(Encoding encoding, size_t char_width,
+                        uint8_t bitpack_bits) {
+  switch (encoding) {
+    case Encoding::kPlainInt32:
+      return kPagePayloadSize / sizeof(int32_t);
+    case Encoding::kPlainInt64:
+      return kPagePayloadSize / sizeof(int64_t);
+    case Encoding::kPlainChar:
+      CSTORE_CHECK(char_width > 0);
+      return kPagePayloadSize / char_width;
+    case Encoding::kBitPack: {
+      CSTORE_CHECK(bitpack_bits > 0);
+      // Reserve the 8-byte base and one slack word for the unpack overread.
+      const size_t usable_bits = (kPagePayloadSize - 2 * sizeof(int64_t)) * 8;
+      return usable_bits / bitpack_bits;
+    }
+    case Encoding::kRle:
+      return 0;  // variable: limited by runs, not values
+  }
+  return 0;
+}
+
+}  // namespace cstore::compress

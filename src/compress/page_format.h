@@ -1,0 +1,111 @@
+// On-page layout of encoded column pages and zero-copy page views.
+//
+// Layout (all little-endian, payload 8-byte aligned):
+//   [PageHeader{uint32 num_values, uint32 aux}][payload ...]
+//   kPlainInt32: payload = int32[num_values]
+//   kPlainInt64: payload = int64[num_values]
+//   kPlainChar : payload = num_values * width bytes
+//   kRle       : aux = num_runs; payload = RleRun[num_runs]
+//   kBitPack   : aux = bits; payload = int64 base, then packed bit groups
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+#include "compress/encoding.h"
+#include "storage/page.h"
+
+namespace cstore::compress {
+
+/// First 8 bytes of every encoded page.
+struct PageHeader {
+  uint32_t num_values = 0;
+  uint32_t aux = 0;
+};
+static_assert(sizeof(PageHeader) == 8);
+
+/// One RLE run: `length` repetitions of `value`.
+struct RleRun {
+  int64_t value;
+  uint32_t length;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(RleRun) == 16);
+
+inline constexpr size_t kPagePayloadSize = storage::kPageSize - sizeof(PageHeader);
+
+/// Parsed, zero-copy view over one encoded page resident in a buffer frame.
+/// The underlying PageGuard must outlive the view.
+class PageView {
+ public:
+  /// Parses the header of `page` (kPageSize bytes) for a column with the
+  /// given encoding and (for kPlainChar) value width.
+  PageView(const char* page, Encoding encoding, size_t char_width)
+      : encoding_(encoding), char_width_(char_width) {
+    std::memcpy(&header_, page, sizeof(header_));
+    payload_ = page + sizeof(PageHeader);
+  }
+
+  Encoding encoding() const { return encoding_; }
+  uint32_t num_values() const { return header_.num_values; }
+
+  const int32_t* AsInt32() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kPlainInt32);
+    return reinterpret_cast<const int32_t*>(payload_);
+  }
+  const int64_t* AsInt64() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kPlainInt64);
+    return reinterpret_cast<const int64_t*>(payload_);
+  }
+  /// Pointer to the i-th fixed-width string.
+  const char* CharAt(uint32_t i) const {
+    CSTORE_DCHECK(encoding_ == Encoding::kPlainChar);
+    return payload_ + static_cast<size_t>(i) * char_width_;
+  }
+  size_t char_width() const { return char_width_; }
+
+  uint32_t num_runs() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kRle);
+    return header_.aux;
+  }
+  const RleRun* runs() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kRle);
+    return reinterpret_cast<const RleRun*>(payload_);
+  }
+
+  uint8_t bitpack_bits() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kBitPack);
+    return static_cast<uint8_t>(header_.aux);
+  }
+  int64_t bitpack_base() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kBitPack);
+    int64_t base;
+    std::memcpy(&base, payload_, sizeof(base));
+    return base;
+  }
+  const uint64_t* bitpack_words() const {
+    CSTORE_DCHECK(encoding_ == Encoding::kBitPack);
+    return reinterpret_cast<const uint64_t*>(payload_ + sizeof(int64_t));
+  }
+
+  /// Decodes the whole page into `out` (widened to int64). Valid for every
+  /// integer encoding. Returns the number of values written.
+  uint32_t DecodeInt64(int64_t* out) const;
+
+  /// Value at in-page index `i`, widened to int64 (integer encodings only).
+  /// O(1) for plain/bitpack, O(num_runs) for RLE — use DecodeInt64 or run
+  /// iteration on hot paths.
+  int64_t ValueAt(uint32_t i) const;
+
+ private:
+  Encoding encoding_;
+  size_t char_width_;
+  PageHeader header_;
+  const char* payload_;
+};
+
+/// Values that fit in one page under `encoding` (0 means variable: kRle).
+size_t MaxValuesPerPage(Encoding encoding, size_t char_width, uint8_t bitpack_bits);
+
+}  // namespace cstore::compress

@@ -1,0 +1,85 @@
+#include "core/aggregate.h"
+
+namespace cstore::core {
+
+namespace {
+
+uint32_t BitsForCount(uint64_t n) {
+  uint32_t bits = 1;
+  while (bits < 64 && (n >> bits) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void GroupKeyCodec::Push(Attr attr) {
+  attr.shift = used_bits_;
+  used_bits_ += attr.bits;
+  CSTORE_CHECK(used_bits_ <= 64);
+  attrs_.push_back(std::move(attr));
+}
+
+void GroupKeyCodec::AddDictAttr(std::shared_ptr<compress::Dictionary> dict) {
+  Attr a;
+  a.kind = Attr::Kind::kDict;
+  a.bits = BitsForCount(dict->size() == 0 ? 1 : dict->size() - 1);
+  a.base = 0;
+  a.dict = std::move(dict);
+  a.pool = nullptr;
+  Push(std::move(a));
+}
+
+void GroupKeyCodec::AddIntAttr(int64_t min, int64_t max) {
+  CSTORE_CHECK(min <= max);
+  Attr a;
+  a.kind = Attr::Kind::kInt;
+  a.bits = BitsForCount(static_cast<uint64_t>(max - min));
+  a.base = min;
+  a.pool = nullptr;
+  Push(std::move(a));
+}
+
+void GroupKeyCodec::AddInternAttr(const std::vector<std::string>* pool,
+                                  uint32_t bits) {
+  Attr a;
+  a.kind = Attr::Kind::kIntern;
+  a.bits = bits;
+  a.base = 0;
+  a.pool = pool;
+  Push(std::move(a));
+}
+
+std::vector<Value> GroupKeyCodec::Unpack(uint64_t key) const {
+  std::vector<Value> out;
+  out.reserve(attrs_.size());
+  for (const Attr& a : attrs_) {
+    const uint64_t mask = a.bits == 64 ? ~0ULL : ((1ULL << a.bits) - 1);
+    const int64_t raw = static_cast<int64_t>((key >> a.shift) & mask) + a.base;
+    switch (a.kind) {
+      case Attr::Kind::kDict:
+        out.push_back(Value::Str(a.dict->Decode(static_cast<int32_t>(raw))));
+        break;
+      case Attr::Kind::kInt:
+        out.push_back(Value::Int64(raw));
+        break;
+      case Attr::Kind::kIntern:
+        out.push_back(Value::Str((*a.pool)[static_cast<size_t>(raw)]));
+        break;
+    }
+  }
+  return out;
+}
+
+QueryResult GroupAggregator::Finish() const {
+  QueryResult result;
+  result.rows.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    ResultRow row;
+    row.group_values = codec_.Unpack(keys_[i]);
+    row.sum = sums_[i];
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace cstore::core

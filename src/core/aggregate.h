@@ -1,0 +1,93 @@
+// Grouped SUM aggregation over packed integer group keys.
+//
+// SSBM group-by cardinalities are tiny (at most a few thousand groups), so
+// every executor — row and column alike — aggregates by packing the group
+// attributes into one 64-bit key and accumulating in a flat hash map.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/value.h"
+#include "compress/dictionary.h"
+#include "core/star_query.h"
+#include "util/int_map.h"
+
+namespace cstore::core {
+
+/// Describes how group-by attributes pack into a 64-bit key and how the key
+/// unpacks back into output Values.
+class GroupKeyCodec {
+ public:
+  /// Attribute whose raw values are dictionary codes; decoded via `dict`.
+  void AddDictAttr(std::shared_ptr<compress::Dictionary> dict);
+  /// Integer attribute with values in [min, max]; emitted as Int64.
+  void AddIntAttr(int64_t min, int64_t max);
+  /// Attribute interned on the fly into `pool` (pool outlives the codec);
+  /// raw values are intern ids. `bits` caps the pool size.
+  void AddInternAttr(const std::vector<std::string>* pool, uint32_t bits = 20);
+
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Packs raw attribute values (dict codes / ints / intern ids), in the
+  /// order the attributes were added.
+  uint64_t Pack(const int64_t* raw) const {
+    uint64_t key = 0;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      const uint64_t part = static_cast<uint64_t>(raw[i] - attrs_[i].base);
+      CSTORE_DCHECK((part >> attrs_[i].bits) == 0);
+      key |= part << attrs_[i].shift;
+    }
+    return key;
+  }
+
+  /// Inverse of Pack, producing output Values.
+  std::vector<Value> Unpack(uint64_t key) const;
+
+ private:
+  struct Attr {
+    enum class Kind { kDict, kInt, kIntern } kind;
+    uint32_t bits;
+    uint32_t shift;
+    int64_t base;
+    std::shared_ptr<compress::Dictionary> dict;
+    const std::vector<std::string>* pool;
+  };
+
+  void Push(Attr attr);
+
+  std::vector<Attr> attrs_;
+  uint32_t used_bits_ = 0;
+};
+
+/// SUM accumulator keyed by packed group keys.
+class GroupAggregator {
+ public:
+  explicit GroupAggregator(GroupKeyCodec codec)
+      : codec_(std::move(codec)), map_(256) {}
+
+  void Add(uint64_t packed_key, int64_t value) {
+    uint32_t* slot =
+        map_.FindOrInsert(static_cast<int64_t>(packed_key),
+                          static_cast<uint32_t>(sums_.size()));
+    if (*slot == sums_.size()) {
+      keys_.push_back(packed_key);
+      sums_.push_back(0);
+    }
+    sums_[*slot] += value;
+  }
+
+  size_t num_groups() const { return sums_.size(); }
+
+  /// Unpacks every group into result rows (unsorted).
+  QueryResult Finish() const;
+
+ private:
+  GroupKeyCodec codec_;
+  util::IntMap map_;
+  std::vector<uint64_t> keys_;
+  std::vector<int64_t> sums_;
+};
+
+}  // namespace cstore::core

@@ -1,0 +1,42 @@
+// ExecConfig: the runtime optimization knobs of Figure 7.
+//
+// The paper removes C-Store's optimizations one by one and encodes each
+// configuration as four letters: T/t (tuple vs block iteration), I/i
+// (invisible join on/off), C/c (compression on/off), L/l (late vs early
+// materialization). Compression is a property of how the database was
+// *loaded* (see col::CompressionMode); the other three are runtime knobs.
+#pragma once
+
+#include <string>
+
+namespace cstore::core {
+
+/// Runtime execution switches for the column-store executor.
+struct ExecConfig {
+  /// "t" when true: operators iterate over blocks/arrays; "T" when false:
+  /// one function call per value (tuple-at-a-time).
+  bool block_iteration = true;
+  /// "I" when true: invisible join with between-predicate rewriting; "i"
+  /// when false: plain late-materialized hash join (§5.4.2).
+  bool invisible_join = true;
+  /// "L" when true: late materialization; "l" when false: tuples are
+  /// constructed at the start of the plan (early materialization).
+  bool late_materialization = true;
+
+  /// Figure 7 code, given whether the database was loaded compressed.
+  /// E.g. full optimizations on compressed data = "tICL"; everything off on
+  /// uncompressed data = "Ticl".
+  std::string Code(bool compressed_database) const {
+    std::string code;
+    code += block_iteration ? 't' : 'T';
+    code += invisible_join ? 'I' : 'i';
+    code += compressed_database ? 'C' : 'c';
+    code += late_materialization ? 'L' : 'l';
+    return code;
+  }
+
+  static ExecConfig AllOn() { return ExecConfig{}; }
+  static ExecConfig AllOff() { return ExecConfig{false, false, false}; }
+};
+
+}  // namespace cstore::core

@@ -1,0 +1,32 @@
+// Gather: extract column values at the positions of a bitmap.
+//
+// This is the materialization step of a late-materialized plan (§5.2):
+// after all predicates are intersected into one position list, only the
+// surviving positions' values are read. Pages with no selected positions
+// are skipped entirely.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "column/stored_column.h"
+#include "common/result.h"
+#include "util/bit_vector.h"
+
+namespace cstore::core {
+
+/// Appends the value at every set position of `sel` (ascending) to `out`.
+/// Integer-stored columns only (dictionary codes for encoded char columns).
+Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
+                  std::vector<int64_t>* out);
+
+/// Gather for uncompressed char columns: values are interned on the fly
+/// into `pool` (first-seen order) and their intern ids appended to `out`.
+/// This is what a query must do to group by an uncompressed string column —
+/// the per-row hashing cost is part of the "PJ, No C" story of Figure 8.
+Status GatherCharsInterned(const col::StoredColumn& column,
+                           const util::BitVector& sel,
+                           std::vector<int64_t>* out,
+                           std::vector<std::string>* pool);
+
+}  // namespace cstore::core

@@ -1,0 +1,99 @@
+#include "core/predicate.h"
+
+namespace cstore::core {
+
+bool StrPredicate::Matches(std::string_view v) const {
+  switch (op) {
+    case PredOp::kEq:
+      return v == values[0];
+    case PredOp::kRange:
+      return v >= values[0] && v <= values[1];
+    case PredOp::kIn:
+      for (const std::string& s : values) {
+        if (v == s) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+Result<CompiledPredicate> CompiledPredicate::Compile(
+    const DimPredicate& spec, const col::StoredColumn& column) {
+  CompiledPredicate out;
+  const col::ColumnInfo& info = column.info();
+
+  if (!spec.is_string) {
+    // Integer attribute (e.g. date.year).
+    if (!column.IsIntegerStored()) {
+      return Status::InvalidArgument("integer predicate on char column " +
+                                     info.name);
+    }
+    switch (spec.op) {
+      case PredOp::kEq:
+        out.int_pred_ = IntPredicate::Range(spec.ints[0], spec.ints[0]);
+        break;
+      case PredOp::kRange:
+        out.int_pred_ = IntPredicate::Range(spec.ints[0], spec.ints[1]);
+        break;
+      case PredOp::kIn: {
+        out.int_pred_.kind = IntPredicate::Kind::kSet;
+        for (int64_t v : spec.ints) out.int_pred_.set.Insert(v);
+        break;
+      }
+    }
+    return out;
+  }
+
+  if (info.dict != nullptr) {
+    // String predicate over an order-preserving dictionary: compare codes.
+    const compress::Dictionary& dict = *info.dict;
+    switch (spec.op) {
+      case PredOp::kEq: {
+        const int32_t code = dict.CodeOf(spec.strs[0]);
+        out.int_pred_ = code < 0 ? IntPredicate::Empty()
+                                 : IntPredicate::Range(code, code);
+        break;
+      }
+      case PredOp::kRange: {
+        const int32_t lo = dict.LowerBound(spec.strs[0]);
+        const int32_t hi = dict.UpperBound(spec.strs[1]) - 1;
+        out.int_pred_ =
+            lo > hi ? IntPredicate::Empty() : IntPredicate::Range(lo, hi);
+        break;
+      }
+      case PredOp::kIn: {
+        out.int_pred_.kind = IntPredicate::Kind::kSet;
+        bool any = false;
+        for (const std::string& s : spec.strs) {
+          const int32_t code = dict.CodeOf(s);
+          if (code >= 0) {
+            out.int_pred_.set.Insert(code);
+            any = true;
+          }
+        }
+        if (!any) out.int_pred_ = IntPredicate::Empty();
+        break;
+      }
+    }
+    return out;
+  }
+
+  if (info.encoding == compress::Encoding::kPlainChar) {
+    out.is_string_ = true;
+    out.str_pred_.op = spec.op;
+    out.str_pred_.values = spec.strs;
+    return out;
+  }
+
+  return Status::InvalidArgument("string predicate on integer column " +
+                                 info.name);
+}
+
+CompiledPredicate CompiledPredicate::FromFactPredicate(
+    const FactPredicate& spec) {
+  CompiledPredicate out;
+  out.int_pred_ = IntPredicate::Range(spec.lo, spec.hi);
+  return out;
+}
+
+}  // namespace cstore::core

@@ -1,0 +1,35 @@
+// Column scans: predicate -> position bitmap (§5.2's position lists).
+//
+// The scan is where three of the paper's optimizations live:
+//  * direct operation on compressed data — RLE pages are evaluated run at a
+//    time (one comparison covers thousands of rows);
+//  * block iteration — array loops over page payloads vs one getNext() call
+//    per value;
+//  * position lists as bit-strings, combined downstream with bitwise AND.
+#pragma once
+
+#include "column/stored_column.h"
+#include "core/predicate.h"
+#include "util/bit_vector.h"
+
+namespace cstore::core {
+
+/// Evaluates `pred` over every value of the integer-stored column, setting
+/// the bit of each matching position in `out` (which must be sized to the
+/// column's row count). `block_iteration` selects array loops vs per-value
+/// getNext() calls. Returns the number of matches.
+Result<uint64_t> ScanInt(const col::StoredColumn& column,
+                         const IntPredicate& pred, bool block_iteration,
+                         util::BitVector* out);
+
+/// Same for a string predicate over an uncompressed char column.
+Result<uint64_t> ScanChar(const col::StoredColumn& column,
+                          const StrPredicate& pred, bool block_iteration,
+                          util::BitVector* out);
+
+/// Dispatches on the compiled predicate's flavour.
+Result<uint64_t> ScanColumn(const col::StoredColumn& column,
+                            const CompiledPredicate& pred, bool block_iteration,
+                            util::BitVector* out);
+
+}  // namespace cstore::core

@@ -1,0 +1,537 @@
+#include "core/star_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "column/block_cursor.h"
+#include "core/aggregate.h"
+#include "core/gather.h"
+#include "core/predicate.h"
+#include "core/scan.h"
+#include "util/int_map.h"
+
+namespace cstore::core {
+
+namespace {
+
+/// A dimension attribute materialized as per-row integer codes plus the
+/// recipe for turning codes back into output values.
+struct DimAttr {
+  std::vector<int64_t> codes;  // one entry per dimension row
+  enum class Kind { kDict, kInt, kIntern } kind = Kind::kInt;
+  std::shared_ptr<compress::Dictionary> dict;
+  std::unique_ptr<std::vector<std::string>> pool;  // kIntern
+  int64_t min = 0;
+  int64_t max = 0;
+
+  void AddToCodec(GroupKeyCodec* codec) const {
+    switch (kind) {
+      case Kind::kDict:
+        codec->AddDictAttr(dict);
+        break;
+      case Kind::kInt:
+        codec->AddIntAttr(min, max);
+        break;
+      case Kind::kIntern:
+        codec->AddInternAttr(pool.get());
+        break;
+    }
+  }
+};
+
+/// Decodes a dimension attribute column into integer codes (dictionary
+/// codes, raw integers, or on-the-fly intern ids for uncompressed char).
+Result<DimAttr> LoadDimAttr(const col::StoredColumn& column) {
+  DimAttr attr;
+  const col::ColumnInfo& info = column.info();
+  if (info.encoding == compress::Encoding::kPlainChar) {
+    attr.kind = DimAttr::Kind::kIntern;
+    attr.pool = std::make_unique<std::vector<std::string>>();
+    std::vector<std::string> values;
+    CSTORE_RETURN_IF_ERROR(column.DecodeAllStrings(&values));
+    std::unordered_map<std::string, int64_t> intern;
+    attr.codes.reserve(values.size());
+    for (const std::string& s : values) {
+      auto it = intern.find(s);
+      if (it == intern.end()) {
+        it = intern.emplace(s, attr.pool->size()).first;
+        attr.pool->push_back(s);
+      }
+      attr.codes.push_back(it->second);
+    }
+    attr.min = 0;
+    attr.max = static_cast<int64_t>(attr.pool->size()) - 1;
+    return attr;
+  }
+  CSTORE_RETURN_IF_ERROR(column.DecodeAllInts(&attr.codes));
+  if (info.dict != nullptr) {
+    attr.kind = DimAttr::Kind::kDict;
+    attr.dict = info.dict;
+  } else {
+    attr.kind = DimAttr::Kind::kInt;
+  }
+  attr.min = info.min;
+  attr.max = info.max;
+  return attr;
+}
+
+/// Per-dimension runtime state shared by both plans.
+struct DimRuntime {
+  const StarSchema::Dim* dim = nullptr;
+  bool has_predicate = false;
+  bool needed = false;  // has predicate or supplies a group-by attribute
+
+  // Phase 1 results.
+  util::BitVector matching;  // dim positions passing all predicates
+  uint64_t match_count = 0;
+  bool contiguous = false;
+  uint32_t first_pos = 0;
+  uint32_t last_pos = 0;
+
+  std::vector<int64_t> keys;  // decoded dimension key column
+
+  // Fact-side join predicate (phase 2).
+  enum class FkMode { kNone, kBetween, kHash } fk_mode = FkMode::kNone;
+  int64_t key_lo = 0;
+  int64_t key_hi = 0;
+  IntPredicate fk_pred;
+
+  // Phase 3: key -> dimension position for non-dense keys (the date table).
+  std::unique_ptr<util::IntMap> key_to_pos;
+
+  uint32_t PositionOfKey(int64_t key) const {
+    if (dim->dense_keys) return static_cast<uint32_t>(key - 1);
+    const uint32_t* pos = key_to_pos->Find(key);
+    CSTORE_CHECK(pos != nullptr);
+    return *pos;
+  }
+};
+
+/// Phase 1: evaluate all of a dimension's predicates, then derive the
+/// rewritten fact predicate.
+Status RunPhase1(const StarQuery& query, const ExecConfig& config,
+                 DimRuntime* rt) {
+  const col::ColumnTable& table = *rt->dim->table;
+  const uint64_t n = table.num_rows();
+  rt->matching = util::BitVector(n);
+
+  bool first = true;
+  for (const DimPredicate& spec : query.dim_predicates) {
+    if (spec.dim != rt->dim->name) continue;
+    const col::StoredColumn& column = table.column(spec.column);
+    CSTORE_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                            CompiledPredicate::Compile(spec, column));
+    util::BitVector bits(n);
+    CSTORE_ASSIGN_OR_RETURN(
+        uint64_t matches, ScanColumn(column, pred, config.block_iteration, &bits));
+    (void)matches;
+    if (first) {
+      rt->matching = std::move(bits);
+      first = false;
+    } else {
+      rt->matching.And(bits);
+    }
+  }
+  if (first) {
+    // No predicate on this dimension: every row matches.
+    rt->matching.SetRange(0, n);
+  }
+
+  // Contiguity detection (the run-time check of §5.4.2: "the code that
+  // evaluates predicates against the dimension table is capable of
+  // detecting whether the result set is contiguous").
+  rt->match_count = 0;
+  bool first_seen = false;
+  rt->matching.ForEachSet([&](uint32_t pos) {
+    if (!first_seen) {
+      rt->first_pos = pos;
+      first_seen = true;
+    }
+    rt->last_pos = pos;
+    rt->match_count++;
+  });
+  rt->contiguous =
+      first_seen &&
+      rt->match_count == static_cast<uint64_t>(rt->last_pos) - rt->first_pos + 1;
+
+  if (!rt->has_predicate) return Status::OK();
+
+  // Decode keys and build the rewritten fact predicate.
+  CSTORE_RETURN_IF_ERROR(
+      table.column(rt->dim->key_column).DecodeAllInts(&rt->keys));
+  const bool keys_sorted = table.column(rt->dim->key_column).info().sorted;
+  if (rt->match_count == 0) {
+    rt->fk_mode = DimRuntime::FkMode::kBetween;
+    rt->fk_pred = IntPredicate::Empty();
+    return Status::OK();
+  }
+  if (config.invisible_join && rt->contiguous && keys_sorted) {
+    // Between-predicate rewriting: the contiguous dimension positions map to
+    // a key interval; the join becomes a range check on the fact FK column.
+    rt->fk_mode = DimRuntime::FkMode::kBetween;
+    rt->key_lo = rt->keys[rt->first_pos];
+    rt->key_hi = rt->keys[rt->last_pos];
+    rt->fk_pred = IntPredicate::Range(rt->key_lo, rt->key_hi);
+  } else {
+    // Hash-lookup predicate (simulates a late-materialized hash join).
+    rt->fk_mode = DimRuntime::FkMode::kHash;
+    rt->fk_pred.kind = IntPredicate::Kind::kSet;
+    rt->matching.ForEachSet(
+        [&](uint32_t pos) { rt->fk_pred.set.Insert(rt->keys[pos]); });
+  }
+  return Status::OK();
+}
+
+/// Builds the measure vector for rows selected by `sel`.
+Status GatherMeasure(const col::ColumnTable& fact, const Aggregate& agg,
+                     const util::BitVector& sel, std::vector<int64_t>* out) {
+  std::vector<int64_t> a;
+  CSTORE_RETURN_IF_ERROR(GatherInts(fact.column(agg.column_a), sel, &a));
+  if (agg.kind == AggKind::kSumColumn) {
+    *out = std::move(a);
+    return Status::OK();
+  }
+  std::vector<int64_t> b;
+  CSTORE_RETURN_IF_ERROR(GatherInts(fact.column(agg.column_b), sel, &b));
+  out->resize(a.size());
+  if (agg.kind == AggKind::kSumProduct) {
+    for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] * b[i];
+  } else {
+    for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] - b[i];
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query,
+                                const ExecConfig& config) {
+  const col::ColumnTable& fact = *schema.fact;
+  const uint64_t n = fact.num_rows();
+
+  // ---- Phase 1: dimension predicates -> rewritten fact predicates. ----
+  std::vector<DimRuntime> dims(schema.dims.size());
+  for (size_t d = 0; d < schema.dims.size(); ++d) {
+    dims[d].dim = &schema.dims[d];
+    for (const DimPredicate& p : query.dim_predicates) {
+      if (p.dim == schema.dims[d].name) dims[d].has_predicate = true;
+    }
+    for (const GroupByColumn& g : query.group_by) {
+      if (g.dim == schema.dims[d].name) dims[d].needed = true;
+    }
+    if (dims[d].has_predicate) dims[d].needed = true;
+    if (dims[d].needed) {
+      CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &dims[d]));
+    }
+  }
+
+  // ---- Phase 2: fact predicates -> intersected position list. ----
+  util::BitVector selected(n);
+  bool first = true;
+  auto apply = [&](const col::StoredColumn& column,
+                   const IntPredicate& pred) -> Status {
+    util::BitVector bits(n);
+    CSTORE_ASSIGN_OR_RETURN(uint64_t m,
+                            ScanInt(column, pred, config.block_iteration, &bits));
+    (void)m;
+    if (first) {
+      selected = std::move(bits);
+      first = false;
+    } else {
+      selected.And(bits);
+    }
+    return Status::OK();
+  };
+  for (const FactPredicate& fp : query.fact_predicates) {
+    CSTORE_RETURN_IF_ERROR(
+        apply(fact.column(fp.column),
+              CompiledPredicate::FromFactPredicate(fp).int_pred()));
+  }
+  for (const DimRuntime& rt : dims) {
+    if (rt.has_predicate) {
+      CSTORE_RETURN_IF_ERROR(apply(fact.column(rt.dim->fact_fk_column),
+                                   rt.fk_pred));
+    }
+  }
+  if (first) selected.SetRange(0, n);
+
+  // ---- Phase 3: extraction and aggregation. ----
+  std::vector<int64_t> measure;
+  CSTORE_RETURN_IF_ERROR(GatherMeasure(fact, query.agg, selected, &measure));
+
+  if (query.group_by.empty()) {
+    int64_t sum = 0;
+    for (int64_t v : measure) sum += v;
+    QueryResult result;
+    result.rows.push_back(ResultRow{{}, sum});
+    return result;
+  }
+
+  // Per group-by attribute: translate fact FK values (at the selected
+  // positions) into dimension attribute codes.
+  GroupKeyCodec codec;
+  std::vector<DimAttr> attrs;
+  std::vector<std::vector<int64_t>> group_codes;
+  attrs.reserve(query.group_by.size());
+  // Cache FK gathers: several group-by attrs may come from the same dim.
+  std::unordered_map<std::string, std::vector<int64_t>> fk_cache;
+  for (const GroupByColumn& g : query.group_by) {
+    const size_t d = schema.DimIndex(g.dim);
+    DimRuntime& rt = dims[d];
+    if (rt.keys.empty()) {
+      CSTORE_RETURN_IF_ERROR(
+          rt.dim->table->column(rt.dim->key_column).DecodeAllInts(&rt.keys));
+    }
+    if (!rt.dim->dense_keys && rt.key_to_pos == nullptr) {
+      // "a full join must be performed" (§5.4.1, the date table case): build
+      // the key -> position map once.
+      rt.key_to_pos = std::make_unique<util::IntMap>(rt.keys.size());
+      for (size_t i = 0; i < rt.keys.size(); ++i) {
+        rt.key_to_pos->Insert(rt.keys[i], static_cast<uint32_t>(i));
+      }
+    }
+    CSTORE_ASSIGN_OR_RETURN(DimAttr attr,
+                            LoadDimAttr(rt.dim->table->column(g.column)));
+
+    auto it = fk_cache.find(rt.dim->fact_fk_column);
+    if (it == fk_cache.end()) {
+      std::vector<int64_t> fks;
+      CSTORE_RETURN_IF_ERROR(
+          GatherInts(fact.column(rt.dim->fact_fk_column), selected, &fks));
+      it = fk_cache.emplace(rt.dim->fact_fk_column, std::move(fks)).first;
+    }
+    const std::vector<int64_t>& fks = it->second;
+
+    std::vector<int64_t> codes(fks.size());
+    if (rt.dim->dense_keys) {
+      // Direct array extraction: the FK is the dimension position + 1.
+      for (size_t i = 0; i < fks.size(); ++i) {
+        codes[i] = attr.codes[static_cast<size_t>(fks[i] - 1)];
+      }
+    } else {
+      for (size_t i = 0; i < fks.size(); ++i) {
+        codes[i] = attr.codes[rt.PositionOfKey(fks[i])];
+      }
+    }
+    attr.AddToCodec(&codec);
+    attrs.push_back(std::move(attr));
+    group_codes.push_back(std::move(codes));
+  }
+
+  GroupAggregator agg(codec);
+  const size_t num_attrs = group_codes.size();
+  std::vector<int64_t> raw(num_attrs);
+  for (size_t r = 0; r < measure.size(); ++r) {
+    for (size_t g = 0; g < num_attrs; ++g) raw[g] = group_codes[g][r];
+    agg.Add(codec.Pack(raw.data()), measure[r]);
+  }
+  QueryResult result = agg.Finish();
+  result.Sort(query.order_by);
+  return result;
+}
+
+/// Early materialization: decode every needed fact column, stitch tuples,
+/// then process row at a time (the "l" configurations and the naive
+/// column-store of §5.2).
+Result<QueryResult> ExecuteEarly(const StarSchema& schema,
+                                 const StarQuery& query,
+                                 const ExecConfig& config) {
+  const col::ColumnTable& fact = *schema.fact;
+  const uint64_t n = fact.num_rows();
+
+  // Decide which fact columns a tuple needs.
+  struct FactCol {
+    const col::StoredColumn* column;
+    std::string name;
+  };
+  std::vector<FactCol> cols;
+  auto col_index = [&](const std::string& name) -> size_t {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].name == name) return i;
+    }
+    cols.push_back(FactCol{&fact.column(name), name});
+    return cols.size() - 1;
+  };
+
+  std::vector<std::pair<size_t, IntPredicate>> local_preds;
+  for (const FactPredicate& fp : query.fact_predicates) {
+    local_preds.emplace_back(
+        col_index(fp.column),
+        CompiledPredicate::FromFactPredicate(fp).int_pred());
+  }
+
+  // Dimension hash tables: key -> index into a payload of group codes.
+  struct DimJoin {
+    size_t fk_col;
+    util::IntMap map{16};
+    std::vector<std::vector<int64_t>> payload_codes;  // per group attr
+    std::vector<size_t> group_slots;  // positions in the group-codes row
+  };
+  std::vector<DimRuntime> dims(schema.dims.size());
+  std::vector<DimJoin> joins;
+  std::vector<DimAttr> attrs;  // owners of intern pools
+  // At most one attribute per group-by column; reserve so that pointers into
+  // elements stay valid as we append.
+  attrs.reserve(query.group_by.size());
+  GroupKeyCodec codec;
+  size_t num_group_attrs = 0;
+
+  for (size_t d = 0; d < schema.dims.size(); ++d) {
+    DimRuntime& rt = dims[d];
+    rt.dim = &schema.dims[d];
+    for (const DimPredicate& p : query.dim_predicates) {
+      if (p.dim == rt.dim->name) rt.has_predicate = true;
+    }
+    bool grouped = false;
+    for (const GroupByColumn& g : query.group_by) {
+      if (g.dim == rt.dim->name) grouped = true;
+    }
+    if (!rt.has_predicate && !grouped) continue;
+
+    // Evaluate the dimension predicates (block scans — dims are small).
+    CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &rt));
+    if (rt.keys.empty()) {
+      CSTORE_RETURN_IF_ERROR(
+          rt.dim->table->column(rt.dim->key_column).DecodeAllInts(&rt.keys));
+    }
+
+    DimJoin join;
+    join.fk_col = col_index(rt.dim->fact_fk_column);
+    // Load the group attributes of this dimension, in group-by order.
+    std::vector<const std::vector<int64_t>*> attr_codes;
+    for (size_t gi = 0; gi < query.group_by.size(); ++gi) {
+      const GroupByColumn& g = query.group_by[gi];
+      if (g.dim != rt.dim->name) continue;
+      CSTORE_ASSIGN_OR_RETURN(DimAttr attr,
+                              LoadDimAttr(rt.dim->table->column(g.column)));
+      attrs.push_back(std::move(attr));
+      attr_codes.push_back(&attrs.back().codes);
+      join.group_slots.push_back(gi);
+    }
+    // Insert every matching dimension row.
+    join.payload_codes.resize(join.group_slots.size());
+    rt.matching.ForEachSet([&](uint32_t pos) {
+      const uint32_t payload = static_cast<uint32_t>(
+          join.group_slots.empty() ? 0 : join.payload_codes[0].size());
+      for (size_t a = 0; a < join.group_slots.size(); ++a) {
+        join.payload_codes[a].push_back((*attr_codes[a])[pos]);
+      }
+      join.map.Insert(rt.keys[pos], payload);
+    });
+    joins.push_back(std::move(join));
+  }
+
+  // Register codec attrs in group-by order (attrs were loaded per dim; remap).
+  {
+    std::vector<const DimAttr*> by_slot(query.group_by.size(), nullptr);
+    size_t attr_idx = 0;
+    for (const DimJoin& join : joins) {
+      for (size_t slot : join.group_slots) {
+        by_slot[slot] = &attrs[attr_idx++];
+      }
+    }
+    for (const DimAttr* a : by_slot) {
+      if (a != nullptr) {
+        a->AddToCodec(&codec);
+        num_group_attrs++;
+      }
+    }
+  }
+
+  // Measure columns.
+  const size_t agg_a = col_index(query.agg.column_a);
+  const size_t agg_b = query.agg.kind == AggKind::kSumColumn
+                           ? agg_a
+                           : col_index(query.agg.column_b);
+
+  // ---- Tuple construction at the *beginning* of the plan. ----
+  const size_t width = cols.size();
+  std::vector<int64_t> tuples;
+  tuples.resize(n * width);
+  {
+    std::vector<col::BlockCursor> cursors;
+    cursors.reserve(width);
+    for (const FactCol& fc : cols) cursors.emplace_back(fc.column);
+    if (config.block_iteration) {
+      for (size_t c = 0; c < width; ++c) {
+        uint64_t row = 0;
+        uint32_t got = 0;
+        const int64_t* block;
+        while ((block = cursors[c].NextBlock(&got)), got > 0) {
+          for (uint32_t i = 0; i < got; ++i) {
+            tuples[(row + i) * width + c] = block[i];
+          }
+          row += got;
+        }
+      }
+    } else {
+      for (size_t c = 0; c < width; ++c) {
+        int64_t v;
+        uint64_t row = 0;
+        while (cursors[c].GetNext(&v)) {
+          tuples[row * width + c] = v;
+          row++;
+        }
+      }
+    }
+  }
+
+  // ---- Row-at-a-time processing over constructed tuples. ----
+  GroupAggregator agg(codec);
+  std::vector<int64_t> raw(num_group_attrs, 0);
+  int64_t scalar_sum = 0;
+  bool any_groups = num_group_attrs > 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    const int64_t* tuple = &tuples[r * width];
+    bool pass = true;
+    for (const auto& [ci, pred] : local_preds) {
+      if (!pred.Matches(tuple[ci])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (const DimJoin& join : joins) {
+      const uint32_t* payload = join.map.Find(tuple[join.fk_col]);
+      if (payload == nullptr) {
+        pass = false;
+        break;
+      }
+      for (size_t a = 0; a < join.group_slots.size(); ++a) {
+        raw[join.group_slots[a]] = join.payload_codes[a][*payload];
+      }
+    }
+    if (!pass) continue;
+    int64_t measure = tuple[agg_a];
+    if (query.agg.kind == AggKind::kSumProduct) {
+      measure *= tuple[agg_b];
+    } else if (query.agg.kind == AggKind::kSumDiff) {
+      measure -= tuple[agg_b];
+    }
+    if (any_groups) {
+      agg.Add(codec.Pack(raw.data()), measure);
+    } else {
+      scalar_sum += measure;
+    }
+  }
+
+  if (!any_groups) {
+    QueryResult result;
+    result.rows.push_back(ResultRow{{}, scalar_sum});
+    return result;
+  }
+  QueryResult result = agg.Finish();
+  result.Sort(query.order_by);
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
+                                     const StarQuery& query,
+                                     const ExecConfig& config) {
+  if (config.late_materialization) {
+    return ExecuteLate(schema, query, config);
+  }
+  return ExecuteEarly(schema, query, config);
+}
+
+}  // namespace cstore::core

@@ -1,0 +1,30 @@
+// Column-oriented execution of star queries (§5 of the paper).
+//
+// Late-materialization path (config.late_materialization):
+//   Phase 1  apply predicates to dimension tables -> matching dim positions;
+//            rewrite each join as a predicate on the fact foreign-key column
+//            (a between-predicate when keys are contiguous and the invisible
+//            join is enabled, a hash-set probe otherwise).
+//   Phase 2  evaluate all fact predicates into position bitmaps; intersect
+//            with bitwise AND into one position list P.
+//   Phase 3  extract foreign keys at P, map them to dimension positions
+//            (direct array lookup for dense keys, a hash join for the date
+//            table), pull group-by attributes, and aggregate.
+//
+// Early-materialization path (!config.late_materialization): all needed fact
+// columns are decoded and stitched into row-format tuples up front; the rest
+// of the plan is row-style tuple-at-a-time processing.
+#pragma once
+
+#include "core/exec_config.h"
+#include "core/star_query.h"
+
+namespace cstore::core {
+
+/// Executes `query` against `schema` under `config`. Results are sorted per
+/// the query's ORDER BY.
+Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
+                                     const StarQuery& query,
+                                     const ExecConfig& config);
+
+}  // namespace cstore::core

@@ -1,0 +1,105 @@
+#include "core/star_query.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cstore::core {
+
+size_t StarSchema::DimIndex(const std::string& name) const {
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].name == name) return i;
+  }
+  CSTORE_CHECK(false);
+  return 0;
+}
+
+DimPredicate DimPredicate::StrEq(std::string dim, std::string col,
+                                 std::string v) {
+  DimPredicate p;
+  p.dim = std::move(dim);
+  p.column = std::move(col);
+  p.op = PredOp::kEq;
+  p.strs = {std::move(v)};
+  return p;
+}
+
+DimPredicate DimPredicate::StrRange(std::string dim, std::string col,
+                                    std::string lo, std::string hi) {
+  DimPredicate p;
+  p.dim = std::move(dim);
+  p.column = std::move(col);
+  p.op = PredOp::kRange;
+  p.strs = {std::move(lo), std::move(hi)};
+  return p;
+}
+
+DimPredicate DimPredicate::StrIn(std::string dim, std::string col,
+                                 std::vector<std::string> vs) {
+  DimPredicate p;
+  p.dim = std::move(dim);
+  p.column = std::move(col);
+  p.op = PredOp::kIn;
+  p.strs = std::move(vs);
+  return p;
+}
+
+DimPredicate DimPredicate::IntEq(std::string dim, std::string col, int64_t v) {
+  DimPredicate p;
+  p.dim = std::move(dim);
+  p.column = std::move(col);
+  p.op = PredOp::kEq;
+  p.is_string = false;
+  p.ints = {v};
+  return p;
+}
+
+DimPredicate DimPredicate::IntRange(std::string dim, std::string col, int64_t lo,
+                                    int64_t hi) {
+  DimPredicate p;
+  p.dim = std::move(dim);
+  p.column = std::move(col);
+  p.op = PredOp::kRange;
+  p.is_string = false;
+  p.ints = {lo, hi};
+  return p;
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (const ResultRow& r : rows) {
+    for (const Value& v : r.group_values) {
+      out += v.ToString();
+      out += "|";
+    }
+    out += std::to_string(r.sum);
+    out += "\n";
+  }
+  return out;
+}
+
+void QueryResult::Sort(OrderBy order) {
+  auto group_less = [](const ResultRow& a, const ResultRow& b) {
+    for (size_t i = 0; i < a.group_values.size(); ++i) {
+      if (a.group_values[i] < b.group_values[i]) return true;
+      if (b.group_values[i] < a.group_values[i]) return false;
+    }
+    return false;
+  };
+  if (order == OrderBy::kGroups) {
+    std::sort(rows.begin(), rows.end(), group_less);
+    return;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [&](const ResultRow& a, const ResultRow& b) {
+              if (!a.group_values.empty()) {
+                const size_t last = a.group_values.size() - 1;
+                if (a.group_values[last] < b.group_values[last]) return true;
+                if (b.group_values[last] < a.group_values[last]) return false;
+              }
+              if (a.sum != b.sum) return a.sum > b.sum;
+              return group_less(a, b);
+            });
+}
+
+}  // namespace cstore::core

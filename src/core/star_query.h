@@ -1,0 +1,129 @@
+// StarQuery: a declarative star-schema query, the shape of every SSBM query.
+//
+//   SELECT <group-by dims>, AGG(<measure expression>)
+//   FROM fact JOIN dims ON fk = key
+//   WHERE <dim predicates> AND <fact predicates>
+//   GROUP BY <dims> ORDER BY ...
+//
+// Both engines (row and column) execute the same StarQuery values, so every
+// figure compares identical logical work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "column/column_table.h"
+#include "common/value.h"
+
+namespace cstore::core {
+
+/// The star schema: one fact table and its dimensions.
+struct StarSchema {
+  struct Dim {
+    std::string name;             ///< e.g. "customer"
+    const col::ColumnTable* table = nullptr;
+    std::string key_column;       ///< dimension primary key column
+    std::string fact_fk_column;   ///< fact foreign key referencing it
+    /// True when key == position + 1 (contiguous identifiers from 1), the
+    /// "common case" of §5.4.1 enabling direct array extraction. The SSBM
+    /// date table is the exception (keys are yyyymmdd).
+    bool dense_keys = true;
+  };
+
+  const col::ColumnTable* fact = nullptr;
+  std::vector<Dim> dims;
+
+  /// Index of the dimension named `name` (CHECK-fails if absent).
+  size_t DimIndex(const std::string& name) const;
+};
+
+/// Comparison shape of a predicate.
+enum class PredOp {
+  kEq,     ///< column == value
+  kRange,  ///< lo <= column <= hi (inclusive)
+  kIn,     ///< column IN (set)
+};
+
+/// Predicate on one dimension-table attribute.
+struct DimPredicate {
+  std::string dim;     ///< dimension name
+  std::string column;  ///< attribute within the dimension
+  PredOp op = PredOp::kEq;
+  bool is_string = true;
+  std::vector<std::string> strs;  ///< kEq: {v}; kRange: {lo, hi}; kIn: values
+  std::vector<int64_t> ints;      ///< same, for integer attributes
+
+  static DimPredicate StrEq(std::string dim, std::string col, std::string v);
+  static DimPredicate StrRange(std::string dim, std::string col, std::string lo,
+                               std::string hi);
+  static DimPredicate StrIn(std::string dim, std::string col,
+                            std::vector<std::string> vs);
+  static DimPredicate IntEq(std::string dim, std::string col, int64_t v);
+  static DimPredicate IntRange(std::string dim, std::string col, int64_t lo,
+                               int64_t hi);
+};
+
+/// Range predicate on an integer fact-table column (flight 1's quantity and
+/// discount restrictions).
+struct FactPredicate {
+  std::string column;
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+};
+
+/// One GROUP BY column: an attribute of a dimension table.
+struct GroupByColumn {
+  std::string dim;
+  std::string column;
+};
+
+/// The measure being summed.
+enum class AggKind {
+  kSumColumn,   ///< SUM(a)
+  kSumProduct,  ///< SUM(a * b)
+  kSumDiff,     ///< SUM(a - b)
+};
+
+struct Aggregate {
+  AggKind kind = AggKind::kSumColumn;
+  std::string column_a;
+  std::string column_b;  ///< second operand for product/diff
+};
+
+/// Result ordering (the two shapes the SSBM uses).
+enum class OrderBy {
+  kGroups,          ///< by group-by columns, ascending
+  kLastAscSumDesc,  ///< by last group column asc, then sum desc (flight 3's
+                    ///< "ORDER BY d.year asc, revenue desc")
+};
+
+/// A complete star query.
+struct StarQuery {
+  std::string id;  ///< e.g. "3.1"
+  std::vector<DimPredicate> dim_predicates;
+  std::vector<FactPredicate> fact_predicates;
+  std::vector<GroupByColumn> group_by;
+  Aggregate agg;
+  OrderBy order_by = OrderBy::kGroups;
+};
+
+/// One output row: group values in group_by order plus the sum.
+struct ResultRow {
+  std::vector<Value> group_values;
+  int64_t sum = 0;
+};
+
+/// Query output. For ungrouped queries there is exactly one row with no
+/// group values.
+struct QueryResult {
+  std::vector<ResultRow> rows;
+
+  /// Canonical string for result comparison in tests.
+  std::string ToString() const;
+
+  /// Sorts rows per `order` (executors call this before returning).
+  void Sort(OrderBy order);
+};
+
+}  // namespace cstore::core

@@ -1,0 +1,118 @@
+#include "core/table_executor.h"
+
+#include "core/aggregate.h"
+#include "core/gather.h"
+#include "core/predicate.h"
+#include "core/scan.h"
+
+namespace cstore::core {
+
+namespace {
+
+/// Adapts a TablePredicate to the DimPredicate shape CompiledPredicate
+/// understands (the compilation rules are identical).
+DimPredicate ToDimPredicate(const TablePredicate& p) {
+  DimPredicate d;
+  d.column = p.column;
+  d.op = p.op;
+  d.is_string = p.is_string;
+  d.strs = p.strs;
+  d.ints = p.ints;
+  return d;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
+                                      const TableQuery& query,
+                                      const ExecConfig& config) {
+  const uint64_t n = table.num_rows();
+
+  // Predicates -> intersected position bitmap.
+  util::BitVector selected(n);
+  bool first = true;
+  for (const TablePredicate& spec : query.predicates) {
+    const col::StoredColumn& column = table.column(spec.column);
+    CSTORE_ASSIGN_OR_RETURN(
+        CompiledPredicate pred,
+        CompiledPredicate::Compile(ToDimPredicate(spec), column));
+    util::BitVector bits(n);
+    CSTORE_ASSIGN_OR_RETURN(
+        uint64_t m, ScanColumn(column, pred, config.block_iteration, &bits));
+    (void)m;
+    if (first) {
+      selected = std::move(bits);
+      first = false;
+    } else {
+      selected.And(bits);
+    }
+  }
+  if (first) selected.SetRange(0, n);
+
+  // Measure values at the selected positions.
+  std::vector<int64_t> measure;
+  {
+    std::vector<int64_t> a;
+    CSTORE_RETURN_IF_ERROR(GatherInts(table.column(query.agg.column_a),
+                                      selected, &a));
+    if (query.agg.kind == AggKind::kSumColumn) {
+      measure = std::move(a);
+    } else {
+      std::vector<int64_t> b;
+      CSTORE_RETURN_IF_ERROR(GatherInts(table.column(query.agg.column_b),
+                                        selected, &b));
+      measure.resize(a.size());
+      if (query.agg.kind == AggKind::kSumProduct) {
+        for (size_t i = 0; i < a.size(); ++i) measure[i] = a[i] * b[i];
+      } else {
+        for (size_t i = 0; i < a.size(); ++i) measure[i] = a[i] - b[i];
+      }
+    }
+  }
+
+  if (query.group_by.empty()) {
+    int64_t sum = 0;
+    for (int64_t v : measure) sum += v;
+    QueryResult result;
+    result.rows.push_back(ResultRow{{}, sum});
+    return result;
+  }
+
+  // Group-by columns at the selected positions.
+  GroupKeyCodec codec;
+  std::vector<std::vector<int64_t>> group_codes;
+  std::vector<std::unique_ptr<std::vector<std::string>>> pools;
+  for (const std::string& name : query.group_by) {
+    const col::StoredColumn& column = table.column(name);
+    const col::ColumnInfo& info = column.info();
+    std::vector<int64_t> codes;
+    if (info.encoding == compress::Encoding::kPlainChar) {
+      // Uncompressed strings: intern on the fly (the "PJ, No C" cost).
+      pools.push_back(std::make_unique<std::vector<std::string>>());
+      CSTORE_RETURN_IF_ERROR(
+          GatherCharsInterned(column, selected, &codes, pools.back().get()));
+      codec.AddInternAttr(pools.back().get());
+    } else {
+      CSTORE_RETURN_IF_ERROR(GatherInts(column, selected, &codes));
+      if (info.dict != nullptr) {
+        codec.AddDictAttr(info.dict);
+      } else {
+        codec.AddIntAttr(info.min, info.max);
+      }
+    }
+    group_codes.push_back(std::move(codes));
+  }
+
+  GroupAggregator agg(codec);
+  const size_t num_attrs = group_codes.size();
+  std::vector<int64_t> raw(num_attrs);
+  for (size_t r = 0; r < measure.size(); ++r) {
+    for (size_t g = 0; g < num_attrs; ++g) raw[g] = group_codes[g][r];
+    agg.Add(codec.Pack(raw.data()), measure[r]);
+  }
+  QueryResult result = agg.Finish();
+  result.Sort(query.order_by);
+  return result;
+}
+
+}  // namespace cstore::core

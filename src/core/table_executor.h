@@ -1,0 +1,37 @@
+// Single-table queries: scan-filter-group-aggregate over one column table.
+//
+// This is how queries run against the denormalized (pre-joined) fact table
+// of §6.3.3 / Figure 8: dimension attributes are ordinary fact columns, so
+// predicates and group-bys apply to them directly — on raw strings for the
+// uncompressed variant ("PJ, No C"), on dictionary codes otherwise.
+#pragma once
+
+#include "core/exec_config.h"
+#include "core/star_query.h"
+
+namespace cstore::core {
+
+/// A predicate on any column of the table (string or integer).
+struct TablePredicate {
+  std::string column;
+  PredOp op = PredOp::kEq;
+  bool is_string = true;
+  std::vector<std::string> strs;
+  std::vector<int64_t> ints;
+};
+
+/// Query over a single (typically denormalized) table.
+struct TableQuery {
+  std::string id;
+  std::vector<TablePredicate> predicates;
+  std::vector<std::string> group_by;
+  Aggregate agg;
+  OrderBy order_by = OrderBy::kGroups;
+};
+
+/// Executes `query` against `table` (late-materialized plan).
+Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
+                                      const TableQuery& query,
+                                      const ExecConfig& config);
+
+}  // namespace cstore::core

@@ -1,0 +1,91 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace cstore::harness {
+
+double SeriesResult::AverageSeconds() const {
+  if (by_query.empty()) return 0;
+  double total = 0;
+  for (const auto& [id, cell] : by_query) total += cell.seconds;
+  return total / static_cast<double>(by_query.size());
+}
+
+CellResult TimeCell(const std::function<void()>& fn, int repetitions,
+                    const storage::IoStats* stats) {
+  fn();  // warm-up (warm buffer pool, as in the paper's protocol)
+  CellResult cell;
+  const storage::IoStats before = stats != nullptr ? *stats : storage::IoStats{};
+  util::Stopwatch watch;
+  for (int r = 0; r < repetitions; ++r) fn();
+  cell.seconds = watch.ElapsedSeconds() / repetitions;
+  if (stats != nullptr) {
+    const storage::IoStats delta = *stats - before;
+    cell.pages_read = delta.pages_read / repetitions;
+  }
+  return cell;
+}
+
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& query_ids,
+                 const std::vector<SeriesResult>& series, bool show_io) {
+  util::TablePrinter printer(title);
+  std::vector<std::string> header = {"config"};
+  for (const auto& id : query_ids) header.push_back(id);
+  header.push_back("AVG");
+  printer.SetHeader(header);
+  for (const SeriesResult& s : series) {
+    std::vector<std::string> row = {s.name};
+    for (const auto& id : query_ids) {
+      auto it = s.by_query.find(id);
+      row.push_back(it == s.by_query.end()
+                        ? "-"
+                        : util::TablePrinter::Num(it->second.seconds * 1e3, 1));
+    }
+    row.push_back(util::TablePrinter::Num(s.AverageSeconds() * 1e3, 1));
+    printer.AddRow(row);
+  }
+  printer.Print();
+  if (show_io) {
+    util::TablePrinter io(title + " — simulated I/O (pages read)");
+    io.SetHeader(header);
+    for (const SeriesResult& s : series) {
+      std::vector<std::string> row = {s.name};
+      uint64_t total = 0;
+      for (const auto& id : query_ids) {
+        auto it = s.by_query.find(id);
+        const uint64_t pages =
+            it == s.by_query.end() ? 0 : it->second.pages_read;
+        total += pages;
+        row.push_back(std::to_string(pages));
+      }
+      row.push_back(std::to_string(query_ids.empty()
+                                       ? 0
+                                       : total / query_ids.size()));
+      io.AddRow(row);
+    }
+    io.Print();
+  }
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      args.scale_factor = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.repetitions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
+      args.pool_pages = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--disk") == 0 && i + 1 < argc) {
+      args.disk_mbps = std::atof(argv[++i]);
+    }
+  }
+  return args;
+}
+
+}  // namespace cstore::harness

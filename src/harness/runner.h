@@ -1,0 +1,61 @@
+// Benchmark harness: times (configuration x query) cells and renders the
+// paper-style tables (one row per system, one column per query, AVG last).
+//
+// Measurement protocol follows §6: a warm-up run (warm buffer pool), then
+// the average of `repetitions` timed runs. Simulated I/O (pages read through
+// the storage manager) is captured alongside wall time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+
+namespace cstore::harness {
+
+/// Timing + I/O for one cell.
+struct CellResult {
+  double seconds = 0;
+  uint64_t pages_read = 0;
+};
+
+/// One experiment row: a named configuration measured over the 13 queries.
+struct SeriesResult {
+  std::string name;
+  std::map<std::string, CellResult> by_query;  // query id -> result
+
+  double AverageSeconds() const;
+};
+
+/// Runs `fn` once for warm-up and `repetitions` times for timing; returns
+/// the mean. `stats` (optional) is diffed around the timed runs.
+CellResult TimeCell(const std::function<void()>& fn, int repetitions,
+                    const storage::IoStats* stats);
+
+/// Prints a figure-style table: one row per series, columns = query ids +
+/// AVG. `unit_scale` converts seconds (e.g. 1000 for ms).
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& query_ids,
+                 const std::vector<SeriesResult>& series, bool show_io = false);
+
+/// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
+/// "--disk <MB/s>" flags (very small helper).
+struct BenchArgs {
+  double scale_factor = 0.1;
+  int repetitions = 1;
+  /// Buffer-pool pages per database. Deliberately smaller than a query's
+  /// working set (the paper: "the amount of data read by each query exceeds
+  /// the size of the buffer pool"), so warm runs still pay device reads.
+  /// 192 pages = 6 MB: at the default SF 0.1 this holds a compressed
+  /// query's columns but not an uncompressed query's, mirroring the paper's
+  /// pool:data ratio (500 MB pool vs ~6 GB lineorder at SF 10).
+  size_t pool_pages = 192;
+  /// Simulated disk bandwidth in MB/s (the paper's array: 160-200 MB/s).
+  /// 0 disables the disk model.
+  double disk_mbps = 200.0;
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+}  // namespace cstore::harness

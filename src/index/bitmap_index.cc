@@ -1,0 +1,41 @@
+#include "index/bitmap_index.h"
+
+namespace cstore::index {
+
+Result<BitmapIndex> BitmapIndex::Build(const std::vector<int64_t>& values,
+                                       size_t max_cardinality) {
+  BitmapIndex idx;
+  idx.num_rows_ = values.size();
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto it = idx.bitmaps_.find(values[i]);
+    if (it == idx.bitmaps_.end()) {
+      if (idx.bitmaps_.size() >= max_cardinality) {
+        return Status::InvalidArgument(
+            "column cardinality too high for a bitmap index");
+      }
+      it = idx.bitmaps_.emplace(values[i], util::BitVector(values.size())).first;
+    }
+    it->second.Set(i);
+  }
+  return idx;
+}
+
+util::BitVector BitmapIndex::Eq(int64_t v) const {
+  auto it = bitmaps_.find(v);
+  if (it != bitmaps_.end()) return it->second;
+  return util::BitVector(num_rows_);
+}
+
+util::BitVector BitmapIndex::Range(int64_t lo, int64_t hi) const {
+  util::BitVector out(num_rows_);
+  for (const auto& [value, bits] : bitmaps_) {
+    if (value >= lo && value <= hi) out.Or(bits);
+  }
+  return out;
+}
+
+uint64_t BitmapIndex::ByteSize() const {
+  return static_cast<uint64_t>(bitmaps_.size()) * ((num_rows_ + 7) / 8);
+}
+
+}  // namespace cstore::index

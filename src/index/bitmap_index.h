@@ -1,0 +1,44 @@
+// BitmapIndex: one bit-vector per distinct value of a low-cardinality column.
+//
+// Used by the "traditional (bitmap)" row-store configuration (§4, §6.2): the
+// optimizer biased toward bitmaps evaluates fact-table predicates by AND/OR
+// of these vectors instead of evaluating them during the sequential scan.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "util/bit_vector.h"
+
+namespace cstore::index {
+
+/// In-memory value->bitmap index over a column of `num_rows` integers.
+class BitmapIndex {
+ public:
+  /// Builds from column values; fails if cardinality exceeds `max_cardinality`
+  /// (bitmap indexes only make sense on low-cardinality columns).
+  static Result<BitmapIndex> Build(const std::vector<int64_t>& values,
+                                   size_t max_cardinality = 4096);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t cardinality() const { return bitmaps_.size(); }
+
+  /// Bitmap of rows equal to `v` (all-zero vector if absent).
+  util::BitVector Eq(int64_t v) const;
+
+  /// Bitmap of rows with lo <= value <= hi (OR of per-value bitmaps, the way
+  /// a bitmap-biased plan evaluates ranges).
+  util::BitVector Range(int64_t lo, int64_t hi) const;
+
+  /// Total bytes of all bitmaps (for size accounting).
+  uint64_t ByteSize() const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::unordered_map<int64_t, util::BitVector> bitmaps_;
+};
+
+}  // namespace cstore::index

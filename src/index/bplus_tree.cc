@@ -1,0 +1,154 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cstore::index {
+
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageNumber;
+
+BPlusTree::BPlusTree(storage::FileManager* files, storage::BufferPool* pool,
+                     std::string name)
+    : files_(files), pool_(pool), file_(files->CreateFile(std::move(name))) {}
+
+Status BPlusTree::BulkLoad(std::vector<IndexEntry> entries) {
+  CSTORE_CHECK(root_ == UINT32_MAX);  // load-once
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return a.key != b.key ? a.key < b.key : a.rid < b.rid;
+            });
+  num_entries_ = entries.size();
+
+  std::vector<char> buf(storage::kPageSize, 0);
+
+  // Level 0: pack leaves, remembering each leaf's (first key, page).
+  std::vector<InternalEntry> level;
+  size_t i = 0;
+  PageNumber prev_leaf = UINT32_MAX;
+  while (i < entries.size() || entries.empty()) {
+    const size_t n = entries.empty()
+                         ? 0
+                         : std::min(kLeafCapacity, entries.size() - i);
+    std::memset(buf.data(), 0, buf.size());
+    NodeHeader header;
+    header.count = static_cast<uint32_t>(n);
+    header.is_leaf = 1;
+    std::memcpy(buf.data(), &header, sizeof(header));
+    if (n > 0) {
+      std::memcpy(buf.data() + sizeof(NodeHeader), &entries[i],
+                  n * sizeof(IndexEntry));
+    }
+    const PageNumber pn = files_->AllocatePage(file_);
+    CSTORE_RETURN_IF_ERROR(files_->WritePage(PageId{file_, pn}, buf.data()));
+    if (prev_leaf != UINT32_MAX) {
+      // Patch the previous leaf's next pointer.
+      std::vector<char> prev(storage::kPageSize);
+      CSTORE_RETURN_IF_ERROR(files_->ReadPage(PageId{file_, prev_leaf}, prev.data()));
+      NodeHeader ph;
+      std::memcpy(&ph, prev.data(), sizeof(ph));
+      ph.next_leaf = pn;
+      std::memcpy(prev.data(), &ph, sizeof(ph));
+      CSTORE_RETURN_IF_ERROR(files_->WritePage(PageId{file_, prev_leaf}, prev.data()));
+    } else {
+      first_leaf_ = pn;
+    }
+    prev_leaf = pn;
+    level.push_back(InternalEntry{n > 0 ? entries[i].key : 0, pn, 0});
+    i += n;
+    if (entries.empty()) break;
+    if (i >= entries.size()) break;
+  }
+
+  // Build internal levels until a single root remains.
+  height_ = 1;
+  while (level.size() > 1) {
+    std::vector<InternalEntry> next_level;
+    for (size_t j = 0; j < level.size(); j += kInternalCapacity) {
+      const size_t n = std::min(kInternalCapacity, level.size() - j);
+      std::memset(buf.data(), 0, buf.size());
+      NodeHeader header;
+      header.count = static_cast<uint32_t>(n);
+      header.is_leaf = 0;
+      std::memcpy(buf.data(), &header, sizeof(header));
+      std::memcpy(buf.data() + sizeof(NodeHeader), &level[j],
+                  n * sizeof(InternalEntry));
+      const PageNumber pn = files_->AllocatePage(file_);
+      CSTORE_RETURN_IF_ERROR(files_->WritePage(PageId{file_, pn}, buf.data()));
+      next_level.push_back(InternalEntry{level[j].key, pn, 0});
+    }
+    level = std::move(next_level);
+    height_++;
+  }
+  root_ = level.empty() ? first_leaf_ : level[0].child_page;
+  return Status::OK();
+}
+
+Result<PageNumber> BPlusTree::FindLeaf(int64_t key) const {
+  PageNumber page = root_;
+  while (true) {
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(PageId{file_, page}));
+    NodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    if (header.is_leaf) return page;
+    const auto* children = reinterpret_cast<const InternalEntry*>(
+        guard.data() + sizeof(NodeHeader));
+    // Last child whose first key is strictly below `key`. Duplicate keys can
+    // span leaves, so descending on <= would skip earlier duplicates; the
+    // range scan tolerates starting one leaf early (it skips keys < lo).
+    uint32_t pick = 0;
+    uint32_t lo = 0, hi = header.count;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (children[mid].key < key) {
+        pick = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    page = children[pick].child_page;
+  }
+}
+
+Status BPlusTree::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<void(int64_t, uint32_t)>& fn) const {
+  if (root_ == UINT32_MAX || num_entries_ == 0) return Status::OK();
+  CSTORE_ASSIGN_OR_RETURN(PageNumber page, FindLeaf(lo));
+  while (page != UINT32_MAX) {
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(PageId{file_, page}));
+    NodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    const auto* entries =
+        reinterpret_cast<const IndexEntry*>(guard.data() + sizeof(NodeHeader));
+    for (uint32_t i = 0; i < header.count; ++i) {
+      if (entries[i].key < lo) continue;
+      if (entries[i].key > hi) return Status::OK();
+      fn(entries[i].key, entries[i].rid);
+    }
+    page = header.next_leaf;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanAll(
+    const std::function<void(int64_t, uint32_t)>& fn) const {
+  if (root_ == UINT32_MAX || num_entries_ == 0) return Status::OK();
+  PageNumber page = first_leaf_;
+  while (page != UINT32_MAX) {
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(PageId{file_, page}));
+    NodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    const auto* entries =
+        reinterpret_cast<const IndexEntry*>(guard.data() + sizeof(NodeHeader));
+    for (uint32_t i = 0; i < header.count; ++i) {
+      fn(entries[i].key, entries[i].rid);
+    }
+    page = header.next_leaf;
+  }
+  return Status::OK();
+}
+
+}  // namespace cstore::index

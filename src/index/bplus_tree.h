@@ -1,0 +1,83 @@
+// Paged B+Tree over (int64 key, uint32 rid) pairs, bulk-loaded.
+//
+// Backs the paper's "index-only plans" (§4): an unclustered index per column
+// whose leaves hold (value, record-id) pairs. Reads flow through the buffer
+// pool, so full index scans are charged I/O like any other access path.
+// The SSBM database is load-once, so the tree is built by bulk load; point
+// inserts are intentionally unsupported.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace cstore::index {
+
+/// One (key, rid) pair as stored in leaf pages.
+struct IndexEntry {
+  int64_t key;
+  uint32_t rid;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(IndexEntry) == 16);
+
+/// Immutable bulk-loaded B+Tree; duplicates allowed (ordered by key, rid).
+class BPlusTree {
+ public:
+  BPlusTree(storage::FileManager* files, storage::BufferPool* pool,
+            std::string name);
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(BPlusTree);
+
+  /// Builds the tree from entries (sorted in place by (key, rid)).
+  Status BulkLoad(std::vector<IndexEntry> entries);
+
+  /// Calls fn(key, rid) for every entry with lo <= key <= hi, in key order.
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<void(int64_t, uint32_t)>& fn) const;
+
+  /// Full index scan in key order (the "no predicate" index-only path).
+  Status ScanAll(const std::function<void(int64_t, uint32_t)>& fn) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t SizeBytes() const { return files_->FileBytes(file_); }
+  uint32_t height() const { return height_; }
+
+ private:
+  struct NodeHeader {
+    uint32_t count = 0;
+    uint32_t is_leaf = 0;
+    uint32_t next_leaf = UINT32_MAX;  // leaf chain
+    uint32_t pad = 0;
+  };
+  static_assert(sizeof(NodeHeader) == 16);
+
+  /// Separator entry in internal nodes: smallest key in child subtree.
+  struct InternalEntry {
+    int64_t key;
+    uint32_t child_page;
+    uint32_t pad = 0;
+  };
+  static_assert(sizeof(InternalEntry) == 16);
+
+  static constexpr size_t kLeafCapacity =
+      (storage::kPageSize - sizeof(NodeHeader)) / sizeof(IndexEntry);
+  static constexpr size_t kInternalCapacity =
+      (storage::kPageSize - sizeof(NodeHeader)) / sizeof(InternalEntry);
+
+  /// Descends to the first leaf that may contain `key`.
+  Result<storage::PageNumber> FindLeaf(int64_t key) const;
+
+  storage::FileManager* files_;
+  storage::BufferPool* pool_;
+  storage::FileId file_;
+  storage::PageNumber root_ = UINT32_MAX;
+  storage::PageNumber first_leaf_ = UINT32_MAX;
+  uint64_t num_entries_ = 0;
+  uint32_t height_ = 0;
+};
+
+}  // namespace cstore::index

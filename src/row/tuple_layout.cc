@@ -1,0 +1,24 @@
+#include "row/tuple_layout.h"
+
+namespace cstore::row {
+
+TupleLayout::TupleLayout(const Schema& schema) : schema_(schema) {
+  size_t offset = kHeaderSize + kRecordIdSize;
+  offsets_.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    offsets_.push_back(offset);
+    offset += schema.field(i).Width();
+  }
+  tuple_size_ = offset;
+}
+
+void TupleLayout::SetChar(char* tuple, size_t field, std::string_view s) const {
+  const Field& f = schema_.field(field);
+  CSTORE_DCHECK(f.type == DataType::kChar);
+  char* dst = tuple + offsets_[field];
+  const size_t n = std::min(s.size(), f.char_width);
+  std::memcpy(dst, s.data(), n);
+  if (n < f.char_width) std::memset(dst + n, 0, f.char_width - n);
+}
+
+}  // namespace cstore::row

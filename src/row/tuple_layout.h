@@ -1,0 +1,89 @@
+// TupleLayout: the physical format of a row-store tuple.
+//
+// Every tuple carries an 8-byte header (length + null-bitmap words, as real
+// row-stores do) plus a 4-byte record-id, then fixed-width fields. This is
+// the "tuple overhead" §6.2 of the paper measures: ~8 bytes of header plus
+// ~4 bytes of record-id per row in vertically partitioned tables.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/schema.h"
+
+namespace cstore::row {
+
+/// Byte offsets of fields within a fixed-width tuple.
+class TupleLayout {
+ public:
+  /// Per-tuple header bytes (length word + null bitmap word).
+  static constexpr size_t kHeaderSize = 8;
+  /// Explicit record-id stored after the header.
+  static constexpr size_t kRecordIdSize = 4;
+
+  TupleLayout() = default;
+  explicit TupleLayout(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+  /// Total tuple bytes including header and record-id.
+  size_t tuple_size() const { return tuple_size_; }
+
+  void SetRecordId(char* tuple, uint32_t rid) const {
+    std::memcpy(tuple + kHeaderSize, &rid, sizeof(rid));
+  }
+  uint32_t GetRecordId(const char* tuple) const {
+    uint32_t rid;
+    std::memcpy(&rid, tuple + kHeaderSize, sizeof(rid));
+    return rid;
+  }
+
+  /// Writes the header (tuple length; null bitmap zero — SSBM has no NULLs).
+  void InitHeader(char* tuple) const {
+    const uint32_t len = static_cast<uint32_t>(tuple_size_);
+    std::memcpy(tuple, &len, sizeof(len));
+    std::memset(tuple + sizeof(len), 0, kHeaderSize - sizeof(len));
+  }
+
+  void SetInt32(char* tuple, size_t field, int32_t v) const {
+    CSTORE_DCHECK(schema_.field(field).type == DataType::kInt32);
+    std::memcpy(tuple + offsets_[field], &v, sizeof(v));
+  }
+  void SetInt64(char* tuple, size_t field, int64_t v) const {
+    CSTORE_DCHECK(schema_.field(field).type == DataType::kInt64);
+    std::memcpy(tuple + offsets_[field], &v, sizeof(v));
+  }
+  void SetChar(char* tuple, size_t field, std::string_view s) const;
+
+  int32_t GetInt32(const char* tuple, size_t field) const {
+    int32_t v;
+    std::memcpy(&v, tuple + offsets_[field], sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(const char* tuple, size_t field) const {
+    int64_t v;
+    std::memcpy(&v, tuple + offsets_[field], sizeof(v));
+    return v;
+  }
+  /// Integer field widened to 64 bits regardless of declared width.
+  int64_t GetIntegral(const char* tuple, size_t field) const {
+    return schema_.field(field).type == DataType::kInt32
+               ? GetInt32(tuple, field)
+               : GetInt64(tuple, field);
+  }
+  /// Zero-padded fixed-width string field (view into the tuple buffer).
+  std::string_view GetChar(const char* tuple, size_t field) const {
+    return std::string_view(tuple + offsets_[field],
+                            schema_.field(field).char_width);
+  }
+
+  size_t field_offset(size_t field) const { return offsets_[field]; }
+
+ private:
+  Schema schema_;
+  std::vector<size_t> offsets_;
+  size_t tuple_size_ = kHeaderSize + kRecordIdSize;
+};
+
+}  // namespace cstore::row

@@ -1,0 +1,144 @@
+// In-memory columnar form of the generated SSBM tables (§3 of the paper).
+//
+// The generator produces these vectors; loaders turn them into row-store or
+// column-store physical designs. Dimension tables are generated pre-sorted
+// by their attribute hierarchies (region -> nation -> city, mfgr -> category
+// -> brand1, chronological dates) with keys assigned in sorted order — the
+// key-reassignment layout C-Store relies on for between-predicate rewriting
+// (§5.4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cstore::ssb {
+
+/// DATE dimension: one row per calendar day, 1992-01-01 .. 1998-12-31.
+struct DateTable {
+  std::vector<int64_t> datekey;        ///< yyyymmdd, ascending
+  std::vector<std::string> date;       ///< "1992-01-02"
+  std::vector<std::string> dayofweek;  ///< "Monday"..."Sunday"
+  std::vector<std::string> month;      ///< "January"...
+  std::vector<int64_t> year;           ///< 1992..1998
+  std::vector<int64_t> yearmonthnum;   ///< yyyymm
+  std::vector<std::string> yearmonth;  ///< "Jan1992"
+  std::vector<int64_t> daynuminweek;
+  std::vector<int64_t> daynuminmonth;
+  std::vector<int64_t> daynuminyear;
+  std::vector<int64_t> monthnuminyear;
+  std::vector<int64_t> weeknuminyear;
+  std::vector<std::string> sellingseason;
+  std::vector<int64_t> lastdayinweekfl;
+  std::vector<int64_t> lastdayinmonthfl;
+  std::vector<int64_t> holidayfl;
+  std::vector<int64_t> weekdayfl;
+
+  size_t size() const { return datekey.size(); }
+};
+
+/// CUSTOMER dimension, sorted by (region, nation, city).
+struct CustomerTable {
+  std::vector<int64_t> custkey;  ///< 1..N in sorted order
+  std::vector<std::string> name;
+  std::vector<std::string> address;
+  std::vector<std::string> city;
+  std::vector<std::string> nation;
+  std::vector<std::string> region;
+  std::vector<std::string> phone;
+  std::vector<std::string> mktsegment;
+
+  size_t size() const { return custkey.size(); }
+};
+
+/// SUPPLIER dimension, sorted by (region, nation, city).
+struct SupplierTable {
+  std::vector<int64_t> suppkey;
+  std::vector<std::string> name;
+  std::vector<std::string> address;
+  std::vector<std::string> city;
+  std::vector<std::string> nation;
+  std::vector<std::string> region;
+  std::vector<std::string> phone;
+
+  size_t size() const { return suppkey.size(); }
+};
+
+/// PART dimension, sorted by (mfgr, category, brand1).
+struct PartTable {
+  std::vector<int64_t> partkey;
+  std::vector<std::string> name;
+  std::vector<std::string> mfgr;      ///< MFGR#1..MFGR#5
+  std::vector<std::string> category;  ///< mfgr + 1..5, e.g. MFGR#12
+  std::vector<std::string> brand1;    ///< category + 1..40, e.g. MFGR#1221
+  std::vector<std::string> color;
+  std::vector<std::string> type;
+  std::vector<int64_t> size_attr;
+  std::vector<std::string> container;
+
+  size_t size() const { return partkey.size(); }
+};
+
+/// LINEORDER fact table, sorted by (orderdate, quantity, discount) — the
+/// C-Store sort order the paper uses (orderdate primary, quantity and
+/// discount secondary, §6.3.2).
+struct LineorderTable {
+  std::vector<int64_t> orderkey;
+  std::vector<int64_t> linenumber;
+  std::vector<int64_t> custkey;
+  std::vector<int64_t> partkey;
+  std::vector<int64_t> suppkey;
+  std::vector<int64_t> orderdate;  ///< datekey (yyyymmdd)
+  std::vector<std::string> ordpriority;
+  std::vector<std::string> shippriority;
+  std::vector<int64_t> quantity;       ///< 1..50
+  std::vector<int64_t> extendedprice;
+  std::vector<int64_t> ordtotalprice;
+  std::vector<int64_t> discount;  ///< 0..10
+  std::vector<int64_t> revenue;   ///< extendedprice * (100 - discount) / 100
+  std::vector<int64_t> supplycost;
+  std::vector<int64_t> tax;
+  std::vector<int64_t> commitdate;  ///< datekey
+  std::vector<std::string> shipmode;
+
+  size_t size() const { return orderkey.size(); }
+};
+
+/// The whole generated benchmark database.
+struct SsbData {
+  double scale_factor = 0.0;
+  DateTable date;
+  CustomerTable customer;
+  SupplierTable supplier;
+  PartTable part;
+  LineorderTable lineorder;
+};
+
+/// Fixed-width char widths per SSB column (used by both engines so that row
+/// tuples and char columns agree byte-for-byte).
+struct CharWidths {
+  static constexpr size_t kDate = 12;
+  static constexpr size_t kDayOfWeek = 9;
+  static constexpr size_t kMonth = 9;
+  static constexpr size_t kYearMonth = 7;
+  static constexpr size_t kSeason = 12;
+  static constexpr size_t kName = 25;
+  static constexpr size_t kAddress = 25;
+  static constexpr size_t kCity = 10;
+  static constexpr size_t kNation = 15;
+  static constexpr size_t kRegion = 12;
+  static constexpr size_t kPhone = 15;
+  static constexpr size_t kMktSegment = 10;
+  static constexpr size_t kPartName = 22;
+  static constexpr size_t kMfgr = 6;
+  static constexpr size_t kCategory = 7;
+  static constexpr size_t kBrand = 9;
+  static constexpr size_t kColor = 11;
+  static constexpr size_t kType = 25;
+  static constexpr size_t kContainer = 10;
+  static constexpr size_t kOrdPriority = 15;
+  static constexpr size_t kShipPriority = 1;
+  static constexpr size_t kShipMode = 10;
+};
+
+}  // namespace cstore::ssb

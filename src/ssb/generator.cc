@@ -1,0 +1,335 @@
+#include "ssb/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "util/rng.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Calendar helpers (proleptic Gregorian; the SSB range 1992-1998 includes the
+// leap years 1992 and 1996).
+// ---------------------------------------------------------------------------
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+const char* const kMonthNames[12] = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+const char* const kMonthAbbrev[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+const char* const kWeekdays[7] = {"Monday", "Tuesday",  "Wednesday", "Thursday",
+                                  "Friday", "Saturday", "Sunday"};
+
+}  // namespace
+
+const char* const kNations[25] = {
+    "ALGERIA", "ETHIOPIA", "KENYA",   "MOROCCO",   "MOZAMBIQUE",      // AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA",  "PERU",      "UNITED STATES",   // AMERICA
+    "CHINA",   "INDIA",    "INDONESIA", "JAPAN",   "VIETNAM",         // ASIA
+    "FRANCE",  "GERMANY",  "ROMANIA", "RUSSIA",    "UNITED KINGDOM",  // EUROPE
+    "EGYPT",   "IRAN",     "IRAQ",    "JORDAN",    "SAUDI ARABIA"};   // MIDEAST
+
+const char* const kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                 "MIDDLE EAST"};
+
+int RegionOfNation(int nation_index) { return nation_index / 5; }
+
+namespace {
+
+/// SSB city: first 9 characters of the nation (space-padded) + one digit.
+std::string CityOf(int nation_index, int digit) {
+  std::string c(kNations[nation_index]);
+  c.resize(9, ' ');
+  c.push_back(static_cast<char>('0' + digit));
+  return c;
+}
+
+std::string Phone(util::Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng->Uniform(10, 34)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "HOUSEHOLD", "MACHINERY"};
+const char* const kColors[10] = {"almond", "azure", "beige",  "blue", "brown",
+                                 "coral",  "cyan",  "forest", "green", "ivory"};
+const char* const kTypes[6] = {"ECONOMY ANODIZED", "LARGE BRUSHED",
+                               "MEDIUM POLISHED",  "PROMO BURNISHED",
+                               "SMALL PLATED",     "STANDARD BURNISHED"};
+const char* const kContainers[8] = {"SM CASE", "SM BOX", "MED BAG", "MED BOX",
+                                    "LG CASE", "LG BOX", "JUMBO BAG", "WRAP BAG"};
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECI", "5-LOW"};
+const char* const kShipModes[7] = {"AIR",  "FOB",  "MAIL", "RAIL",
+                                   "REG AIR", "SHIP", "TRUCK"};
+
+DateTable GenerateDates() {
+  DateTable t;
+  // 1992-01-01 was a Wednesday (day-of-week index 2 with Monday = 0).
+  int dow = 2;
+  for (int y = 1992; y <= 1998; ++y) {
+    int day_in_year = 1;
+    const int year_days = IsLeap(y) ? 366 : 365;
+    for (int m = 1; m <= 12; ++m) {
+      const int dim = DaysInMonth(y, m);
+      for (int d = 1; d <= dim; ++d) {
+        t.datekey.push_back(y * 10000 + m * 100 + d);
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+        t.date.emplace_back(buf);
+        t.dayofweek.emplace_back(kWeekdays[dow]);
+        t.month.emplace_back(kMonthNames[m - 1]);
+        t.year.push_back(y);
+        t.yearmonthnum.push_back(y * 100 + m);
+        t.yearmonth.push_back(std::string(kMonthAbbrev[m - 1]) +
+                              std::to_string(y));
+        t.daynuminweek.push_back(dow + 1);
+        t.daynuminmonth.push_back(d);
+        t.daynuminyear.push_back(day_in_year);
+        t.monthnuminyear.push_back(m);
+        t.weeknuminyear.push_back((day_in_year - 1) / 7 + 1);
+        const bool christmas = m == 12 && d >= 15;
+        const bool summer = m >= 6 && m <= 8;
+        t.sellingseason.emplace_back(christmas ? "Christmas"
+                                               : summer ? "Summer" : "Regular");
+        t.lastdayinweekfl.push_back(dow == 6 ? 1 : 0);
+        t.lastdayinmonthfl.push_back(d == dim ? 1 : 0);
+        t.holidayfl.push_back((m == 12 && d == 25) || (m == 1 && d == 1) ? 1 : 0);
+        t.weekdayfl.push_back(dow <= 4 ? 1 : 0);
+        dow = (dow + 1) % 7;
+        day_in_year++;
+      }
+    }
+    (void)year_days;
+  }
+  return t;
+}
+
+CustomerTable GenerateCustomers(size_t n, util::Rng* rng) {
+  // Draw (nation, city digit) uniformly, then sort by the region -> nation ->
+  // city hierarchy and assign keys in sorted order.
+  struct Draw {
+    int nation;
+    int digit;
+  };
+  std::vector<Draw> draws(n);
+  for (auto& d : draws) {
+    d.nation = static_cast<int>(rng->Uniform(0, 24));
+    d.digit = static_cast<int>(rng->Uniform(0, 9));
+  }
+  std::sort(draws.begin(), draws.end(), [](const Draw& a, const Draw& b) {
+    const int ra = RegionOfNation(a.nation), rb = RegionOfNation(b.nation);
+    if (ra != rb) return ra < rb;
+    if (std::string_view(kNations[a.nation]) !=
+        std::string_view(kNations[b.nation])) {
+      return std::string_view(kNations[a.nation]) <
+             std::string_view(kNations[b.nation]);
+    }
+    return a.digit < b.digit;
+  });
+
+  CustomerTable t;
+  char buf[32];
+  for (size_t i = 0; i < n; ++i) {
+    t.custkey.push_back(static_cast<int64_t>(i + 1));
+    std::snprintf(buf, sizeof(buf), "Customer#%09zu", i + 1);
+    t.name.emplace_back(buf);
+    t.address.push_back(rng->AlphaString(15));
+    t.city.push_back(CityOf(draws[i].nation, draws[i].digit));
+    t.nation.emplace_back(kNations[draws[i].nation]);
+    t.region.emplace_back(kRegions[RegionOfNation(draws[i].nation)]);
+    t.phone.push_back(Phone(rng));
+    t.mktsegment.emplace_back(kSegments[rng->Uniform(0, 4)]);
+  }
+  return t;
+}
+
+SupplierTable GenerateSuppliers(size_t n, util::Rng* rng) {
+  struct Draw {
+    int nation;
+    int digit;
+  };
+  std::vector<Draw> draws(n);
+  for (auto& d : draws) {
+    d.nation = static_cast<int>(rng->Uniform(0, 24));
+    d.digit = static_cast<int>(rng->Uniform(0, 9));
+  }
+  std::sort(draws.begin(), draws.end(), [](const Draw& a, const Draw& b) {
+    const int ra = RegionOfNation(a.nation), rb = RegionOfNation(b.nation);
+    if (ra != rb) return ra < rb;
+    if (std::string_view(kNations[a.nation]) !=
+        std::string_view(kNations[b.nation])) {
+      return std::string_view(kNations[a.nation]) <
+             std::string_view(kNations[b.nation]);
+    }
+    return a.digit < b.digit;
+  });
+
+  SupplierTable t;
+  char buf[32];
+  for (size_t i = 0; i < n; ++i) {
+    t.suppkey.push_back(static_cast<int64_t>(i + 1));
+    std::snprintf(buf, sizeof(buf), "Supplier#%09zu", i + 1);
+    t.name.emplace_back(buf);
+    t.address.push_back(rng->AlphaString(15));
+    t.city.push_back(CityOf(draws[i].nation, draws[i].digit));
+    t.nation.emplace_back(kNations[draws[i].nation]);
+    t.region.emplace_back(kRegions[RegionOfNation(draws[i].nation)]);
+    t.phone.push_back(Phone(rng));
+  }
+  return t;
+}
+
+PartTable GenerateParts(size_t n, util::Rng* rng) {
+  struct Draw {
+    int mfgr;      // 1..5
+    int category;  // 1..5
+    int brand;     // 1..40
+  };
+  std::vector<Draw> draws(n);
+  for (auto& d : draws) {
+    d.mfgr = static_cast<int>(rng->Uniform(1, 5));
+    d.category = static_cast<int>(rng->Uniform(1, 5));
+    d.brand = static_cast<int>(rng->Uniform(1, 40));
+  }
+  auto brand_str = [](const Draw& d) {
+    return "MFGR#" + std::to_string(d.mfgr) + std::to_string(d.category) +
+           std::to_string(d.brand);
+  };
+  // Sort by the mfgr -> category -> brand1 hierarchy, brand1 lexicographic
+  // (the dictionary is lexicographic too, so string ranges stay contiguous).
+  std::sort(draws.begin(), draws.end(), [&](const Draw& a, const Draw& b) {
+    if (a.mfgr != b.mfgr) return a.mfgr < b.mfgr;
+    if (a.category != b.category) return a.category < b.category;
+    return brand_str(a) < brand_str(b);
+  });
+
+  PartTable t;
+  for (size_t i = 0; i < n; ++i) {
+    const Draw& d = draws[i];
+    t.partkey.push_back(static_cast<int64_t>(i + 1));
+    t.name.push_back(std::string(kColors[rng->Uniform(0, 9)]) + " " +
+                     kColors[rng->Uniform(0, 9)]);
+    t.mfgr.push_back("MFGR#" + std::to_string(d.mfgr));
+    t.category.push_back("MFGR#" + std::to_string(d.mfgr) +
+                         std::to_string(d.category));
+    t.brand1.push_back(brand_str(d));
+    t.color.emplace_back(kColors[rng->Uniform(0, 9)]);
+    t.type.emplace_back(kTypes[rng->Uniform(0, 5)]);
+    t.size_attr.push_back(rng->Uniform(1, 50));
+    t.container.emplace_back(kContainers[rng->Uniform(0, 7)]);
+  }
+  return t;
+}
+
+LineorderTable GenerateLineorders(size_t n, const DateTable& dates,
+                                  size_t customers, size_t suppliers,
+                                  size_t parts, util::Rng* rng) {
+  struct Order {
+    int32_t date_index;
+    int16_t quantity;
+    int8_t discount;
+  };
+  // Draw the sort-defining attributes first, sort, then fill the rest; this
+  // yields the (orderdate, quantity, discount) C-Store sort order.
+  std::vector<Order> draws(n);
+  const int64_t num_days = static_cast<int64_t>(dates.size());
+  for (auto& o : draws) {
+    o.date_index = static_cast<int32_t>(rng->Uniform(0, num_days - 1));
+    o.quantity = static_cast<int16_t>(rng->Uniform(1, 50));
+    o.discount = static_cast<int8_t>(rng->Uniform(0, 10));
+  }
+  std::sort(draws.begin(), draws.end(), [](const Order& a, const Order& b) {
+    if (a.date_index != b.date_index) return a.date_index < b.date_index;
+    if (a.quantity != b.quantity) return a.quantity < b.quantity;
+    return a.discount < b.discount;
+  });
+
+  LineorderTable t;
+  t.orderkey.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Order& o = draws[i];
+    // Roughly 4 lines per order on average, TPC-H style.
+    t.orderkey.push_back(static_cast<int64_t>(i / 4 + 1));
+    t.linenumber.push_back(static_cast<int64_t>(i % 4 + 1));
+    t.custkey.push_back(rng->Uniform(1, static_cast<int64_t>(customers)));
+    t.partkey.push_back(rng->Uniform(1, static_cast<int64_t>(parts)));
+    t.suppkey.push_back(rng->Uniform(1, static_cast<int64_t>(suppliers)));
+    t.orderdate.push_back(dates.datekey[o.date_index]);
+    t.ordpriority.emplace_back(kPriorities[rng->Uniform(0, 4)]);
+    t.shippriority.emplace_back("0");
+    t.quantity.push_back(o.quantity);
+    const int64_t price = rng->Uniform(100, 100000);
+    t.extendedprice.push_back(price);
+    t.ordtotalprice.push_back(price * 4);
+    t.discount.push_back(o.discount);
+    const int64_t revenue = price * (100 - o.discount) / 100;
+    t.revenue.push_back(revenue);
+    t.supplycost.push_back(revenue * rng->Uniform(40, 70) / 100);
+    t.tax.push_back(rng->Uniform(0, 8));
+    const int64_t commit_index =
+        std::min<int64_t>(o.date_index + rng->Uniform(30, 90), num_days - 1);
+    t.commitdate.push_back(dates.datekey[commit_index]);
+    t.shipmode.emplace_back(kShipModes[rng->Uniform(0, 6)]);
+  }
+  return t;
+}
+
+}  // namespace
+
+Cardinalities CardinalitiesFor(double sf) {
+  CSTORE_CHECK(sf > 0);
+  Cardinalities c;
+  c.customers = static_cast<size_t>(30000 * sf);
+  c.suppliers = static_cast<size_t>(2000 * sf);
+  c.lineorders = static_cast<size_t>(6000000 * sf);
+  if (sf >= 1.0) {
+    c.parts = static_cast<size_t>(
+        200000 * (1 + static_cast<int>(std::floor(std::log2(sf)))));
+  } else {
+    // SSB only defines part counts for SF >= 1; below that we scale linearly
+    // with a floor so hierarchies stay populated (DESIGN.md §5).
+    c.parts = std::max<size_t>(2000, static_cast<size_t>(200000 * sf));
+  }
+  c.customers = std::max<size_t>(c.customers, 250);
+  c.suppliers = std::max<size_t>(c.suppliers, 100);
+  c.lineorders = std::max<size_t>(c.lineorders, 1000);
+  c.dates = 2557;  // 1992-01-01 .. 1998-12-31
+  return c;
+}
+
+SsbData Generate(const GenParams& params) {
+  util::Rng rng(params.seed);
+  const Cardinalities card = CardinalitiesFor(params.scale_factor);
+
+  SsbData data;
+  data.scale_factor = params.scale_factor;
+  data.date = GenerateDates();
+  CSTORE_CHECK(data.date.size() == card.dates);
+  data.customer = GenerateCustomers(card.customers, &rng);
+  data.supplier = GenerateSuppliers(card.suppliers, &rng);
+  data.part = GenerateParts(card.parts, &rng);
+  data.lineorder = GenerateLineorders(card.lineorders, data.date,
+                                      card.customers, card.suppliers,
+                                      card.parts, &rng);
+  return data;
+}
+
+}  // namespace cstore::ssb

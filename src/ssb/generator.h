@@ -1,0 +1,41 @@
+// Deterministic SSBM data generator (the paper's §3 schema, Figure 1).
+//
+// Cardinalities follow the paper: LINEORDER = 6,000,000 x SF, CUSTOMER =
+// 30,000 x SF, SUPPLIER = 2,000 x SF, DATE = 7 years of days, PART =
+// 200,000 x (1 + floor(log2(SF))) for SF >= 1 (for SF < 1 we scale linearly
+// with a floor — documented in DESIGN.md, §5 Substitutions).
+//
+// Value domains match SSB dbgen closely enough that every paper query's
+// LINEORDER selectivity (§3) is reproduced; tests assert this.
+#pragma once
+
+#include "ssb/data.h"
+
+namespace cstore::ssb {
+
+/// Generation parameters.
+struct GenParams {
+  double scale_factor = 0.1;
+  uint64_t seed = 19920101;
+};
+
+/// Generates the full benchmark database. Deterministic in `params`.
+SsbData Generate(const GenParams& params);
+
+/// Table cardinalities for a scale factor (exposed for tests).
+struct Cardinalities {
+  size_t customers;
+  size_t suppliers;
+  size_t parts;
+  size_t lineorders;
+  size_t dates;
+};
+Cardinalities CardinalitiesFor(double scale_factor);
+
+/// The 25 TPC-H nations in the 5 SSB regions.
+extern const char* const kNations[25];
+extern const char* const kRegions[5];
+/// Region of nation i (index into kRegions).
+int RegionOfNation(int nation_index);
+
+}  // namespace cstore::ssb

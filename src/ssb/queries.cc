@@ -1,0 +1,222 @@
+#include "ssb/queries.h"
+
+#include <map>
+
+#include "common/macros.h"
+
+namespace cstore::ssb {
+
+using core::Aggregate;
+using core::AggKind;
+using core::DimPredicate;
+using core::FactPredicate;
+using core::GroupByColumn;
+using core::OrderBy;
+using core::StarQuery;
+
+namespace {
+
+Aggregate RevenueSum() { return Aggregate{AggKind::kSumColumn, "revenue", ""}; }
+Aggregate DiscountedPrice() {
+  return Aggregate{AggKind::kSumProduct, "extendedprice", "discount"};
+}
+Aggregate Profit() {
+  return Aggregate{AggKind::kSumDiff, "revenue", "supplycost"};
+}
+
+std::vector<StarQuery> BuildQueries() {
+  std::vector<StarQuery> qs;
+
+  // ---- Flight 1: restrictions on date + discount + quantity. ----
+  {
+    StarQuery q;
+    q.id = "1.1";
+    q.dim_predicates = {DimPredicate::IntEq("date", "year", 1993)};
+    q.fact_predicates = {FactPredicate{"discount", 1, 3},
+                         FactPredicate{"quantity", INT64_MIN, 24}};
+    q.agg = DiscountedPrice();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "1.2";
+    q.dim_predicates = {DimPredicate::IntEq("date", "yearmonthnum", 199401)};
+    q.fact_predicates = {FactPredicate{"discount", 4, 6},
+                         FactPredicate{"quantity", 26, 35}};
+    q.agg = DiscountedPrice();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "1.3";
+    q.dim_predicates = {DimPredicate::IntEq("date", "weeknuminyear", 6),
+                        DimPredicate::IntEq("date", "year", 1994)};
+    q.fact_predicates = {FactPredicate{"discount", 5, 7},
+                         FactPredicate{"quantity", 26, 35}};
+    q.agg = DiscountedPrice();
+    qs.push_back(q);
+  }
+
+  // ---- Flight 2: part x supplier, grouped by (year, brand1). ----
+  {
+    StarQuery q;
+    q.id = "2.1";
+    q.dim_predicates = {DimPredicate::StrEq("part", "category", "MFGR#12"),
+                        DimPredicate::StrEq("supplier", "region", "AMERICA")};
+    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
+    q.agg = RevenueSum();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "2.2";
+    q.dim_predicates = {
+        DimPredicate::StrRange("part", "brand1", "MFGR#2221", "MFGR#2228"),
+        DimPredicate::StrEq("supplier", "region", "ASIA")};
+    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
+    q.agg = RevenueSum();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "2.3";
+    q.dim_predicates = {DimPredicate::StrEq("part", "brand1", "MFGR#2239"),
+                        DimPredicate::StrEq("supplier", "region", "EUROPE")};
+    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
+    q.agg = RevenueSum();
+    qs.push_back(q);
+  }
+
+  // ---- Flight 3: customer x supplier x date, revenue by nation/city/year.
+  {
+    StarQuery q;
+    q.id = "3.1";
+    q.dim_predicates = {DimPredicate::StrEq("customer", "region", "ASIA"),
+                        DimPredicate::StrEq("supplier", "region", "ASIA"),
+                        DimPredicate::IntRange("date", "year", 1992, 1997)};
+    q.group_by = {GroupByColumn{"customer", "nation"},
+                  GroupByColumn{"supplier", "nation"},
+                  GroupByColumn{"date", "year"}};
+    q.agg = RevenueSum();
+    q.order_by = OrderBy::kLastAscSumDesc;
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "3.2";
+    q.dim_predicates = {
+        DimPredicate::StrEq("customer", "nation", "UNITED STATES"),
+        DimPredicate::StrEq("supplier", "nation", "UNITED STATES"),
+        DimPredicate::IntRange("date", "year", 1992, 1997)};
+    q.group_by = {GroupByColumn{"customer", "city"},
+                  GroupByColumn{"supplier", "city"},
+                  GroupByColumn{"date", "year"}};
+    q.agg = RevenueSum();
+    q.order_by = OrderBy::kLastAscSumDesc;
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "3.3";
+    q.dim_predicates = {
+        DimPredicate::StrIn("customer", "city", {"UNITED KI1", "UNITED KI5"}),
+        DimPredicate::StrIn("supplier", "city", {"UNITED KI1", "UNITED KI5"}),
+        DimPredicate::IntRange("date", "year", 1992, 1997)};
+    q.group_by = {GroupByColumn{"customer", "city"},
+                  GroupByColumn{"supplier", "city"},
+                  GroupByColumn{"date", "year"}};
+    q.agg = RevenueSum();
+    q.order_by = OrderBy::kLastAscSumDesc;
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "3.4";
+    q.dim_predicates = {
+        DimPredicate::StrIn("customer", "city", {"UNITED KI1", "UNITED KI5"}),
+        DimPredicate::StrIn("supplier", "city", {"UNITED KI1", "UNITED KI5"}),
+        DimPredicate::StrEq("date", "yearmonth", "Dec1997")};
+    q.group_by = {GroupByColumn{"customer", "city"},
+                  GroupByColumn{"supplier", "city"},
+                  GroupByColumn{"date", "year"}};
+    q.agg = RevenueSum();
+    q.order_by = OrderBy::kLastAscSumDesc;
+    qs.push_back(q);
+  }
+
+  // ---- Flight 4: profit queries. ----
+  {
+    StarQuery q;
+    q.id = "4.1";
+    q.dim_predicates = {
+        DimPredicate::StrEq("customer", "region", "AMERICA"),
+        DimPredicate::StrEq("supplier", "region", "AMERICA"),
+        DimPredicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"})};
+    q.group_by = {GroupByColumn{"date", "year"},
+                  GroupByColumn{"customer", "nation"}};
+    q.agg = Profit();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "4.2";
+    q.dim_predicates = {
+        DimPredicate::StrEq("customer", "region", "AMERICA"),
+        DimPredicate::StrEq("supplier", "region", "AMERICA"),
+        DimPredicate::IntRange("date", "year", 1997, 1998),
+        DimPredicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"})};
+    q.group_by = {GroupByColumn{"date", "year"},
+                  GroupByColumn{"supplier", "nation"},
+                  GroupByColumn{"part", "category"}};
+    q.agg = Profit();
+    qs.push_back(q);
+  }
+  {
+    StarQuery q;
+    q.id = "4.3";
+    q.dim_predicates = {
+        DimPredicate::StrEq("customer", "region", "AMERICA"),
+        DimPredicate::StrEq("supplier", "nation", "UNITED STATES"),
+        DimPredicate::IntRange("date", "year", 1997, 1998),
+        DimPredicate::StrEq("part", "category", "MFGR#14")};
+    q.group_by = {GroupByColumn{"date", "year"},
+                  GroupByColumn{"supplier", "city"},
+                  GroupByColumn{"part", "brand1"}};
+    q.agg = Profit();
+    qs.push_back(q);
+  }
+
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<core::StarQuery>& AllQueries() {
+  static const std::vector<StarQuery>* queries =
+      new std::vector<StarQuery>(BuildQueries());
+  return *queries;
+}
+
+const core::StarQuery& QueryById(const std::string& id) {
+  for (const StarQuery& q : AllQueries()) {
+    if (q.id == id) return q;
+  }
+  CSTORE_CHECK(false);
+  return AllQueries()[0];
+}
+
+double PaperSelectivity(const std::string& id) {
+  static const std::map<std::string, double>* sel =
+      new std::map<std::string, double>{
+          {"1.1", 1.9e-2},  {"1.2", 6.5e-4}, {"1.3", 7.5e-5},
+          {"2.1", 8.0e-3},  {"2.2", 1.6e-3}, {"2.3", 2.0e-4},
+          {"3.1", 3.4e-2},  {"3.2", 1.4e-3}, {"3.3", 5.5e-5},
+          {"3.4", 7.6e-7},  {"4.1", 1.6e-2}, {"4.2", 4.5e-3},
+          {"4.3", 9.1e-5},
+      };
+  auto it = sel->find(id);
+  CSTORE_CHECK(it != sel->end());
+  return it->second;
+}
+
+}  // namespace cstore::ssb

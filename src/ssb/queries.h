@@ -1,0 +1,29 @@
+// The thirteen SSBM queries (§3 of the paper) as StarQuery specs.
+//
+// Flight 1: one dimension restriction (date) + fact-local predicates on
+//           discount and quantity; SUM(extendedprice * discount).
+// Flight 2: part + supplier restrictions; SUM(revenue) by (year, brand1).
+// Flight 3: customer + supplier (+date) restrictions; SUM(revenue) grouped
+//           by nations/cities and year, ORDER BY year asc, revenue desc.
+// Flight 4: customer + supplier + part restrictions;
+//           SUM(revenue - supplycost) ("profit") by year and nation/category
+//           /brand.
+#pragma once
+
+#include <vector>
+
+#include "core/star_query.h"
+
+namespace cstore::ssb {
+
+/// All queries in flight order: 1.1, 1.2, 1.3, 2.1, ..., 4.3.
+const std::vector<core::StarQuery>& AllQueries();
+
+/// Query by id, e.g. "3.2" (CHECK-fails on unknown id).
+const core::StarQuery& QueryById(const std::string& id);
+
+/// The paper's published LINEORDER selectivity for a query id (§3), used by
+/// tests to validate the generator.
+double PaperSelectivity(const std::string& id);
+
+}  // namespace cstore::ssb

@@ -1,0 +1,292 @@
+#include "ssb/reference.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+using core::AggKind;
+using core::DimPredicate;
+using core::PredOp;
+using core::StarQuery;
+
+/// Column access for dimension tables by (dim, column) name.
+struct DimView {
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<std::string>* strs = nullptr;
+  size_t size = 0;
+};
+
+DimView DimColumn(const SsbData& data, const std::string& dim,
+                  const std::string& column) {
+  DimView v;
+  auto set_i = [&](const std::vector<int64_t>& c) {
+    v.ints = &c;
+    v.size = c.size();
+  };
+  auto set_s = [&](const std::vector<std::string>& c) {
+    v.strs = &c;
+    v.size = c.size();
+  };
+  if (dim == "date") {
+    const DateTable& t = data.date;
+    if (column == "datekey") set_i(t.datekey);
+    else if (column == "year") set_i(t.year);
+    else if (column == "yearmonthnum") set_i(t.yearmonthnum);
+    else if (column == "weeknuminyear") set_i(t.weeknuminyear);
+    else if (column == "yearmonth") set_s(t.yearmonth);
+    else if (column == "month") set_s(t.month);
+    else if (column == "dayofweek") set_s(t.dayofweek);
+    else CSTORE_CHECK(false);
+  } else if (dim == "customer") {
+    const CustomerTable& t = data.customer;
+    if (column == "custkey") set_i(t.custkey);
+    else if (column == "city") set_s(t.city);
+    else if (column == "nation") set_s(t.nation);
+    else if (column == "region") set_s(t.region);
+    else if (column == "mktsegment") set_s(t.mktsegment);
+    else CSTORE_CHECK(false);
+  } else if (dim == "supplier") {
+    const SupplierTable& t = data.supplier;
+    if (column == "suppkey") set_i(t.suppkey);
+    else if (column == "city") set_s(t.city);
+    else if (column == "nation") set_s(t.nation);
+    else if (column == "region") set_s(t.region);
+    else CSTORE_CHECK(false);
+  } else if (dim == "part") {
+    const PartTable& t = data.part;
+    if (column == "partkey") set_i(t.partkey);
+    else if (column == "mfgr") set_s(t.mfgr);
+    else if (column == "category") set_s(t.category);
+    else if (column == "brand1") set_s(t.brand1);
+    else if (column == "color") set_s(t.color);
+    else CSTORE_CHECK(false);
+  } else {
+    CSTORE_CHECK(false);
+  }
+  return v;
+}
+
+const std::vector<int64_t>& FactIntColumn(const SsbData& data,
+                                          const std::string& column) {
+  const LineorderTable& t = data.lineorder;
+  if (column == "orderkey") return t.orderkey;
+  if (column == "linenumber") return t.linenumber;
+  if (column == "custkey") return t.custkey;
+  if (column == "partkey") return t.partkey;
+  if (column == "suppkey") return t.suppkey;
+  if (column == "orderdate") return t.orderdate;
+  if (column == "quantity") return t.quantity;
+  if (column == "extendedprice") return t.extendedprice;
+  if (column == "ordtotalprice") return t.ordtotalprice;
+  if (column == "discount") return t.discount;
+  if (column == "revenue") return t.revenue;
+  if (column == "supplycost") return t.supplycost;
+  if (column == "tax") return t.tax;
+  if (column == "commitdate") return t.commitdate;
+  CSTORE_CHECK(false);
+  return t.orderkey;
+}
+
+bool MatchStr(const DimPredicate& p, const std::string& v) {
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.strs[0];
+    case PredOp::kRange:
+      return v >= p.strs[0] && v <= p.strs[1];
+    case PredOp::kIn:
+      for (const auto& s : p.strs) {
+        if (v == s) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool MatchInt(const DimPredicate& p, int64_t v) {
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.ints[0];
+    case PredOp::kRange:
+      return v >= p.ints[0] && v <= p.ints[1];
+    case PredOp::kIn:
+      for (int64_t x : p.ints) {
+        if (v == x) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+struct DimSide {
+  std::string fk_column;
+  /// key -> index of the dim row (only rows passing the dim predicates).
+  std::unordered_map<int64_t, size_t> pass;
+};
+
+/// Builds the per-dimension pass sets for the query.
+std::vector<DimSide> BuildDimSides(const SsbData& data, const StarQuery& q) {
+  struct Spec {
+    const char* name;
+    const char* key;
+    const char* fk;
+    size_t size;
+  };
+  const Spec specs[4] = {
+      {"date", "datekey", "orderdate", data.date.size()},
+      {"customer", "custkey", "custkey", data.customer.size()},
+      {"supplier", "suppkey", "suppkey", data.supplier.size()},
+      {"part", "partkey", "partkey", data.part.size()},
+  };
+  std::vector<DimSide> sides;
+  for (const Spec& spec : specs) {
+    bool involved = false;
+    for (const auto& p : q.dim_predicates) involved |= p.dim == spec.name;
+    for (const auto& g : q.group_by) involved |= g.dim == spec.name;
+    if (!involved) continue;
+    DimSide side;
+    side.fk_column = spec.fk;
+    const DimView keys = DimColumn(data, spec.name, spec.key);
+    for (size_t row = 0; row < spec.size; ++row) {
+      bool ok = true;
+      for (const auto& p : q.dim_predicates) {
+        if (p.dim != spec.name) continue;
+        const DimView v = DimColumn(data, spec.name, p.column);
+        if (p.is_string) {
+          ok = MatchStr(p, (*v.strs)[row]);
+        } else {
+          ok = MatchInt(p, (*v.ints)[row]);
+        }
+        if (!ok) break;
+      }
+      if (ok) side.pass[(*keys.ints)[row]] = row;
+    }
+    sides.push_back(std::move(side));
+  }
+  return sides;
+}
+
+}  // namespace
+
+core::QueryResult ReferenceExecute(const SsbData& data,
+                                   const core::StarQuery& q) {
+  const LineorderTable& lo = data.lineorder;
+  std::vector<DimSide> sides = BuildDimSides(data, q);
+
+  const std::vector<int64_t>& agg_a = FactIntColumn(data, q.agg.column_a);
+  const std::vector<int64_t>* agg_b =
+      q.agg.kind == AggKind::kSumColumn ? nullptr
+                                        : &FactIntColumn(data, q.agg.column_b);
+
+  struct GroupCol {
+    DimView view;
+    const DimSide* side;
+  };
+  std::vector<GroupCol> group_cols;
+  for (const auto& g : q.group_by) {
+    GroupCol gc;
+    gc.view = DimColumn(data, g.dim, g.column);
+    const char* fk = g.dim == "date"       ? "orderdate"
+                     : g.dim == "customer" ? "custkey"
+                     : g.dim == "supplier" ? "suppkey"
+                                           : "partkey";
+    gc.side = nullptr;
+    for (const DimSide& s : sides) {
+      if (s.fk_column == fk) gc.side = &s;
+    }
+    CSTORE_CHECK(gc.side != nullptr);
+    group_cols.push_back(gc);
+  }
+
+  std::map<std::vector<Value>, int64_t> groups;
+  int64_t scalar = 0;
+  bool any = false;
+
+  for (size_t r = 0; r < lo.size(); ++r) {
+    bool ok = true;
+    for (const auto& fp : q.fact_predicates) {
+      const int64_t v = FactIntColumn(data, fp.column)[r];
+      if (v < fp.lo || v > fp.hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    std::vector<size_t> dim_rows(sides.size());
+    for (size_t s = 0; s < sides.size() && ok; ++s) {
+      const int64_t fk = FactIntColumn(data, sides[s].fk_column)[r];
+      auto it = sides[s].pass.find(fk);
+      if (it == sides[s].pass.end()) {
+        ok = false;
+      } else {
+        dim_rows[s] = it->second;
+      }
+    }
+    if (!ok) continue;
+    any = true;
+
+    int64_t measure = agg_a[r];
+    if (q.agg.kind == AggKind::kSumProduct) measure *= (*agg_b)[r];
+    if (q.agg.kind == AggKind::kSumDiff) measure -= (*agg_b)[r];
+
+    if (q.group_by.empty()) {
+      scalar += measure;
+      continue;
+    }
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (const GroupCol& gc : group_cols) {
+      size_t dim_row = 0;
+      for (size_t s = 0; s < sides.size(); ++s) {
+        if (&sides[s] == gc.side) dim_row = dim_rows[s];
+      }
+      if (gc.view.strs != nullptr) {
+        key.push_back(Value::Str((*gc.view.strs)[dim_row]));
+      } else {
+        key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+      }
+    }
+    groups[key] += measure;
+  }
+
+  core::QueryResult result;
+  if (q.group_by.empty()) {
+    (void)any;
+    result.rows.push_back(core::ResultRow{{}, scalar});
+    return result;
+  }
+  for (const auto& [key, sum] : groups) {
+    result.rows.push_back(core::ResultRow{key, sum});
+  }
+  result.Sort(q.order_by);
+  return result;
+}
+
+uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& q) {
+  const LineorderTable& lo = data.lineorder;
+  std::vector<DimSide> sides = BuildDimSides(data, q);
+  uint64_t count = 0;
+  for (size_t r = 0; r < lo.size(); ++r) {
+    bool ok = true;
+    for (const auto& fp : q.fact_predicates) {
+      const int64_t v = FactIntColumn(data, fp.column)[r];
+      if (v < fp.lo || v > fp.hi) {
+        ok = false;
+        break;
+      }
+    }
+    for (size_t s = 0; s < sides.size() && ok; ++s) {
+      const int64_t fk = FactIntColumn(data, sides[s].fk_column)[r];
+      ok = sides[s].pass.contains(fk);
+    }
+    if (ok) count++;
+  }
+  return count;
+}
+
+}  // namespace cstore::ssb

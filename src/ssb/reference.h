@@ -1,0 +1,18 @@
+// Reference executor: a deliberately naive, obviously-correct evaluation of
+// a StarQuery straight over the generated in-memory data. Every engine's
+// answers are cross-checked against this in the integration tests.
+#pragma once
+
+#include "core/star_query.h"
+#include "ssb/data.h"
+
+namespace cstore::ssb {
+
+/// Evaluates `query` over `data` by brute force (hash maps + per-row loops).
+core::QueryResult ReferenceExecute(const SsbData& data,
+                                   const core::StarQuery& query);
+
+/// Number of LINEORDER rows passing all predicates (for selectivity tests).
+uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& query);
+
+}  // namespace cstore::ssb

@@ -1,0 +1,389 @@
+#include "ssb/row_db.h"
+
+#include <set>
+
+#include "ssb/queries.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+using row::RowTable;
+using row::TupleLayout;
+using W = CharWidths;
+
+Schema LineorderSchema() {
+  return Schema({
+      Field::Int32("orderkey"), Field::Int32("linenumber"),
+      Field::Int32("custkey"), Field::Int32("partkey"), Field::Int32("suppkey"),
+      Field::Int32("orderdate"), Field::Char("ordpriority", W::kOrdPriority),
+      Field::Char("shippriority", W::kShipPriority), Field::Int32("quantity"),
+      Field::Int32("extendedprice"), Field::Int32("ordtotalprice"),
+      Field::Int32("discount"), Field::Int32("revenue"),
+      Field::Int32("supplycost"), Field::Int32("tax"),
+      Field::Int32("commitdate"), Field::Char("shipmode", W::kShipMode),
+  });
+}
+
+Schema DateSchema() {
+  return Schema({
+      Field::Int32("datekey"), Field::Char("date", W::kDate),
+      Field::Char("dayofweek", W::kDayOfWeek), Field::Char("month", W::kMonth),
+      Field::Int32("year"), Field::Int32("yearmonthnum"),
+      Field::Char("yearmonth", W::kYearMonth), Field::Int32("daynuminweek"),
+      Field::Int32("daynuminmonth"), Field::Int32("daynuminyear"),
+      Field::Int32("monthnuminyear"), Field::Int32("weeknuminyear"),
+      Field::Char("sellingseason", W::kSeason), Field::Int32("lastdayinweekfl"),
+      Field::Int32("lastdayinmonthfl"), Field::Int32("holidayfl"),
+      Field::Int32("weekdayfl"),
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      Field::Int32("custkey"), Field::Char("name", W::kName),
+      Field::Char("address", W::kAddress), Field::Char("city", W::kCity),
+      Field::Char("nation", W::kNation), Field::Char("region", W::kRegion),
+      Field::Char("phone", W::kPhone), Field::Char("mktsegment", W::kMktSegment),
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      Field::Int32("suppkey"), Field::Char("name", W::kName),
+      Field::Char("address", W::kAddress), Field::Char("city", W::kCity),
+      Field::Char("nation", W::kNation), Field::Char("region", W::kRegion),
+      Field::Char("phone", W::kPhone),
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      Field::Int32("partkey"), Field::Char("name", W::kPartName),
+      Field::Char("mfgr", W::kMfgr), Field::Char("category", W::kCategory),
+      Field::Char("brand1", W::kBrand), Field::Char("color", W::kColor),
+      Field::Char("type", W::kType), Field::Int32("size"),
+      Field::Char("container", W::kContainer),
+  });
+}
+
+/// Writes one lineorder row into `buf` under `layout` (fields must be the
+/// full 17-column schema or a projection of it, matched by name).
+void FillLineorderTuple(const TupleLayout& layout, const LineorderTable& lo,
+                        size_t r, char* buf) {
+  const Schema& s = layout.schema();
+  for (size_t f = 0; f < s.num_fields(); ++f) {
+    const std::string& name = s.field(f).name;
+    if (name == "orderkey") layout.SetInt32(buf, f, lo.orderkey[r]);
+    else if (name == "linenumber") layout.SetInt32(buf, f, lo.linenumber[r]);
+    else if (name == "custkey") layout.SetInt32(buf, f, lo.custkey[r]);
+    else if (name == "partkey") layout.SetInt32(buf, f, lo.partkey[r]);
+    else if (name == "suppkey") layout.SetInt32(buf, f, lo.suppkey[r]);
+    else if (name == "orderdate") layout.SetInt32(buf, f, lo.orderdate[r]);
+    else if (name == "ordpriority") layout.SetChar(buf, f, lo.ordpriority[r]);
+    else if (name == "shippriority") layout.SetChar(buf, f, lo.shippriority[r]);
+    else if (name == "quantity") layout.SetInt32(buf, f, lo.quantity[r]);
+    else if (name == "extendedprice")
+      layout.SetInt32(buf, f, lo.extendedprice[r]);
+    else if (name == "ordtotalprice")
+      layout.SetInt32(buf, f, lo.ordtotalprice[r]);
+    else if (name == "discount") layout.SetInt32(buf, f, lo.discount[r]);
+    else if (name == "revenue") layout.SetInt32(buf, f, lo.revenue[r]);
+    else if (name == "supplycost") layout.SetInt32(buf, f, lo.supplycost[r]);
+    else if (name == "tax") layout.SetInt32(buf, f, lo.tax[r]);
+    else if (name == "commitdate") layout.SetInt32(buf, f, lo.commitdate[r]);
+    else if (name == "shipmode") layout.SetChar(buf, f, lo.shipmode[r]);
+    else CSTORE_CHECK(false);
+  }
+}
+
+row::PartitionFn YearPartitionFn(size_t orderdate_field) {
+  return [orderdate_field](const TupleLayout& layout, const char* tuple) {
+    const int32_t datekey = layout.GetInt32(tuple, orderdate_field);
+    return static_cast<uint32_t>(datekey / 10000 - 1992);
+  };
+}
+
+/// The lineorder integer column vector by name.
+const std::vector<int64_t>& FactColumn(const LineorderTable& lo,
+                                       const std::string& name) {
+  if (name == "orderkey") return lo.orderkey;
+  if (name == "linenumber") return lo.linenumber;
+  if (name == "custkey") return lo.custkey;
+  if (name == "partkey") return lo.partkey;
+  if (name == "suppkey") return lo.suppkey;
+  if (name == "orderdate") return lo.orderdate;
+  if (name == "quantity") return lo.quantity;
+  if (name == "extendedprice") return lo.extendedprice;
+  if (name == "ordtotalprice") return lo.ordtotalprice;
+  if (name == "discount") return lo.discount;
+  if (name == "revenue") return lo.revenue;
+  if (name == "supplycost") return lo.supplycost;
+  if (name == "tax") return lo.tax;
+  if (name == "commitdate") return lo.commitdate;
+  CSTORE_CHECK(false);
+  return lo.orderkey;
+}
+
+}  // namespace
+
+/// Fact columns needed by one query (fks of involved dims + local predicate
+/// columns + measures), in schema order for reproducible MV layouts.
+std::vector<std::string> QueryFactColumnsFor(const core::StarQuery& q) {
+  std::set<std::string> need;
+  auto fk_of = [](const std::string& dim) {
+    return dim == "date" ? "orderdate" : dim == "customer" ? "custkey"
+                                     : dim == "supplier"   ? "suppkey"
+                                                           : "partkey";
+  };
+  for (const auto& p : q.dim_predicates) need.insert(fk_of(p.dim));
+  for (const auto& g : q.group_by) need.insert(fk_of(g.dim));
+  for (const auto& p : q.fact_predicates) need.insert(p.column);
+  need.insert(q.agg.column_a);
+  if (q.agg.kind != core::AggKind::kSumColumn) need.insert(q.agg.column_b);
+  std::vector<std::string> ordered;
+  const Schema schema = LineorderSchema();
+  for (const Field& f : schema.fields()) {
+    if (need.contains(f.name)) ordered.push_back(f.name);
+  }
+  return ordered;
+}
+
+const std::vector<std::string>& QueryFactColumns() {
+  static const std::vector<std::string>* cols = [] {
+    std::set<std::string> all;
+    for (const core::StarQuery& q : AllQueries()) {
+      for (const std::string& c : QueryFactColumnsFor(q)) all.insert(c);
+    }
+    return new std::vector<std::string>(all.begin(), all.end());
+  }();
+  return *cols;
+}
+
+Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
+    const SsbData& data, const RowDbOptions& options) {
+  auto db = std::unique_ptr<RowDatabase>(new RowDatabase());
+  db->options_ = options;
+  db->files_ = std::make_unique<storage::FileManager>();
+  db->pool_ =
+      std::make_unique<storage::BufferPool>(db->files_.get(), options.pool_pages);
+  storage::FileManager* files = db->files_.get();
+  storage::BufferPool* pool = db->pool_.get();
+
+  // ---- Base (traditional) tables. ----
+  {
+    const Schema schema = LineorderSchema();
+    const size_t orderdate_field = schema.IndexOf("orderdate").ValueOrDie();
+    if (options.partition_lineorder) {
+      db->lineorder_ = std::make_unique<RowTable>(
+          files, pool, "lineorder", schema, 7, YearPartitionFn(orderdate_field));
+    } else {
+      db->lineorder_ = std::make_unique<RowTable>(files, pool, "lineorder", schema);
+    }
+    std::vector<char> buf(db->lineorder_->layout().tuple_size());
+    for (size_t r = 0; r < data.lineorder.size(); ++r) {
+      FillLineorderTuple(db->lineorder_->layout(), data.lineorder, r, buf.data());
+      CSTORE_RETURN_IF_ERROR(db->lineorder_->Append(buf.data()));
+    }
+  }
+
+  auto load_dim = [&](std::unique_ptr<RowTable>* slot, const char* name,
+                      Schema schema, auto fill, size_t n) -> Status {
+    *slot = std::make_unique<RowTable>(files, pool, name, std::move(schema));
+    std::vector<char> buf((*slot)->layout().tuple_size());
+    for (size_t r = 0; r < n; ++r) {
+      fill((*slot)->layout(), r, buf.data());
+      CSTORE_RETURN_IF_ERROR((*slot)->Append(buf.data()));
+    }
+    return Status::OK();
+  };
+
+  const DateTable& d = data.date;
+  CSTORE_RETURN_IF_ERROR(load_dim(
+      &db->date_, "date", DateSchema(),
+      [&](const TupleLayout& l, size_t r, char* buf) {
+        size_t f = 0;
+        l.SetInt32(buf, f++, d.datekey[r]);
+        l.SetChar(buf, f++, d.date[r]);
+        l.SetChar(buf, f++, d.dayofweek[r]);
+        l.SetChar(buf, f++, d.month[r]);
+        l.SetInt32(buf, f++, d.year[r]);
+        l.SetInt32(buf, f++, d.yearmonthnum[r]);
+        l.SetChar(buf, f++, d.yearmonth[r]);
+        l.SetInt32(buf, f++, d.daynuminweek[r]);
+        l.SetInt32(buf, f++, d.daynuminmonth[r]);
+        l.SetInt32(buf, f++, d.daynuminyear[r]);
+        l.SetInt32(buf, f++, d.monthnuminyear[r]);
+        l.SetInt32(buf, f++, d.weeknuminyear[r]);
+        l.SetChar(buf, f++, d.sellingseason[r]);
+        l.SetInt32(buf, f++, d.lastdayinweekfl[r]);
+        l.SetInt32(buf, f++, d.lastdayinmonthfl[r]);
+        l.SetInt32(buf, f++, d.holidayfl[r]);
+        l.SetInt32(buf, f++, d.weekdayfl[r]);
+      },
+      d.size()));
+
+  const CustomerTable& c = data.customer;
+  CSTORE_RETURN_IF_ERROR(load_dim(
+      &db->customer_, "customer", CustomerSchema(),
+      [&](const TupleLayout& l, size_t r, char* buf) {
+        size_t f = 0;
+        l.SetInt32(buf, f++, c.custkey[r]);
+        l.SetChar(buf, f++, c.name[r]);
+        l.SetChar(buf, f++, c.address[r]);
+        l.SetChar(buf, f++, c.city[r]);
+        l.SetChar(buf, f++, c.nation[r]);
+        l.SetChar(buf, f++, c.region[r]);
+        l.SetChar(buf, f++, c.phone[r]);
+        l.SetChar(buf, f++, c.mktsegment[r]);
+      },
+      c.size()));
+
+  const SupplierTable& s = data.supplier;
+  CSTORE_RETURN_IF_ERROR(load_dim(
+      &db->supplier_, "supplier", SupplierSchema(),
+      [&](const TupleLayout& l, size_t r, char* buf) {
+        size_t f = 0;
+        l.SetInt32(buf, f++, s.suppkey[r]);
+        l.SetChar(buf, f++, s.name[r]);
+        l.SetChar(buf, f++, s.address[r]);
+        l.SetChar(buf, f++, s.city[r]);
+        l.SetChar(buf, f++, s.nation[r]);
+        l.SetChar(buf, f++, s.region[r]);
+        l.SetChar(buf, f++, s.phone[r]);
+      },
+      s.size()));
+
+  const PartTable& p = data.part;
+  CSTORE_RETURN_IF_ERROR(load_dim(
+      &db->part_, "part", PartSchema(),
+      [&](const TupleLayout& l, size_t r, char* buf) {
+        size_t f = 0;
+        l.SetInt32(buf, f++, p.partkey[r]);
+        l.SetChar(buf, f++, p.name[r]);
+        l.SetChar(buf, f++, p.mfgr[r]);
+        l.SetChar(buf, f++, p.category[r]);
+        l.SetChar(buf, f++, p.brand1[r]);
+        l.SetChar(buf, f++, p.color[r]);
+        l.SetChar(buf, f++, p.type[r]);
+        l.SetInt32(buf, f++, p.size_attr[r]);
+        l.SetChar(buf, f++, p.container[r]);
+      },
+      p.size()));
+
+  // ---- Vertical partitions: (record-id, value) per lineorder column. ----
+  if (options.vertical_partitions) {
+    const Schema lineorder_schema = LineorderSchema();
+    for (const Field& field : lineorder_schema.fields()) {
+      if (field.type == DataType::kChar) continue;  // queries use ints only
+      auto table = std::make_unique<RowTable>(
+          files, pool, "vp_" + field.name,
+          Schema({Field::Int32("pos"), Field::Int32("value")}));
+      const std::vector<int64_t>& values = FactColumn(data.lineorder, field.name);
+      std::vector<char> buf(table->layout().tuple_size());
+      for (size_t r = 0; r < values.size(); ++r) {
+        table->layout().SetInt32(buf.data(), 0, static_cast<int32_t>(r));
+        table->layout().SetInt32(buf.data(), 1, static_cast<int32_t>(values[r]));
+        CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
+      }
+      db->vp_[field.name] = std::move(table);
+    }
+  }
+
+  // ---- Unclustered B+Trees for index-only plans. ----
+  if (options.all_indexes) {
+    for (const std::string& name : QueryFactColumns()) {
+      const std::vector<int64_t>& values = FactColumn(data.lineorder, name);
+      std::vector<index::IndexEntry> entries(values.size());
+      for (size_t r = 0; r < values.size(); ++r) {
+        entries[r] = index::IndexEntry{values[r], static_cast<uint32_t>(r), 0};
+      }
+      auto tree =
+          std::make_unique<index::BPlusTree>(files, pool, "idx_" + name);
+      CSTORE_RETURN_IF_ERROR(tree->BulkLoad(std::move(entries)));
+      db->fact_indexes_[name] = std::move(tree);
+    }
+  }
+
+  // ---- Bitmap indexes for the bitmap-biased configuration. ----
+  if (options.bitmap_indexes) {
+    auto build = [&](const char* name,
+                     const std::vector<int64_t>& values) -> Status {
+      CSTORE_ASSIGN_OR_RETURN(index::BitmapIndex idx,
+                              index::BitmapIndex::Build(values, 4096));
+      db->bitmaps_.emplace(name, std::move(idx));
+      return Status::OK();
+    };
+    CSTORE_RETURN_IF_ERROR(build("discount", data.lineorder.discount));
+    CSTORE_RETURN_IF_ERROR(build("quantity", data.lineorder.quantity));
+    std::vector<int64_t> years(data.lineorder.size());
+    for (size_t r = 0; r < years.size(); ++r) {
+      years[r] = data.lineorder.orderdate[r] / 10000;
+    }
+    CSTORE_RETURN_IF_ERROR(build("orderyear", years));
+  }
+
+  // ---- Per-query materialized views. ----
+  if (options.materialized_views) {
+    for (const core::StarQuery& q : AllQueries()) {
+      const std::vector<std::string> cols = QueryFactColumnsFor(q);
+      std::vector<Field> fields;
+      for (const std::string& name : cols) {
+        const Schema full = LineorderSchema();
+        fields.push_back(full.field(full.IndexOf(name).ValueOrDie()));
+      }
+      Schema schema(std::move(fields));
+      std::unique_ptr<RowTable> table;
+      auto od = schema.IndexOf("orderdate");
+      if (options.partition_lineorder && od.ok()) {
+        table = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema, 7,
+                                           YearPartitionFn(od.ValueOrDie()));
+      } else {
+        table = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema);
+      }
+      std::vector<char> buf(table->layout().tuple_size());
+      for (size_t r = 0; r < data.lineorder.size(); ++r) {
+        FillLineorderTuple(table->layout(), data.lineorder, r, buf.data());
+        CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
+      }
+      db->mvs_[q.id] = std::move(table);
+    }
+  }
+
+  return db;
+}
+
+const row::RowTable& RowDatabase::dim(const std::string& name) const {
+  if (name == "date") return *date_;
+  if (name == "customer") return *customer_;
+  if (name == "supplier") return *supplier_;
+  if (name == "part") return *part_;
+  CSTORE_CHECK(false);
+  return *date_;
+}
+
+const row::RowTable& RowDatabase::vp(const std::string& column) const {
+  auto it = vp_.find(column);
+  CSTORE_CHECK(it != vp_.end());
+  return *it->second;
+}
+
+const index::BPlusTree& RowDatabase::fact_index(const std::string& column) const {
+  auto it = fact_indexes_.find(column);
+  CSTORE_CHECK(it != fact_indexes_.end());
+  return *it->second;
+}
+
+const index::BitmapIndex& RowDatabase::bitmap(const std::string& column) const {
+  auto it = bitmaps_.find(column);
+  CSTORE_CHECK(it != bitmaps_.end());
+  return it->second;
+}
+
+const row::RowTable& RowDatabase::mv(const std::string& query_id) const {
+  auto it = mvs_.find(query_id);
+  CSTORE_CHECK(it != mvs_.end());
+  return *it->second;
+}
+
+}  // namespace cstore::ssb

@@ -1,0 +1,104 @@
+// Row-store physical database for SSBM: the "System X" side of the paper.
+//
+// One RowDatabase can hold several §4 physical designs at once, selected by
+// RowDbOptions so that benchmarks only pay for what they measure:
+//  * traditional        — one row table per relation, lineorder partitioned
+//                         on orderdate year (§6.1);
+//  * bitmap indexes     — low-cardinality fact-column bitmaps for the
+//                         "traditional (bitmap)" configuration;
+//  * vertical partitions— one (record-id, value) two-column table per
+//                         lineorder column;
+//  * all indexes        — an unclustered B+Tree over every fact column the
+//                         queries touch, for index-only plans;
+//  * materialized views — per-query minimal projections of lineorder.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/star_query.h"
+#include "index/bitmap_index.h"
+#include "index/bplus_tree.h"
+#include "row/row_table.h"
+#include "ssb/data.h"
+
+namespace cstore::ssb {
+
+struct RowDbOptions {
+  bool bitmap_indexes = false;
+  bool vertical_partitions = false;
+  bool all_indexes = false;
+  bool materialized_views = false;
+  /// Partition lineorder (and MVs) on orderdate year, as the paper's DBA did.
+  bool partition_lineorder = true;
+  size_t pool_pages = 8192;
+};
+
+/// Fact columns any SSBM query touches (fks, local predicates, measures).
+const std::vector<std::string>& QueryFactColumns();
+
+/// Fact columns one query touches, in lineorder schema order — the contents
+/// of that query's optimal materialized view.
+std::vector<std::string> QueryFactColumnsFor(const core::StarQuery& query);
+
+class RowDatabase {
+ public:
+  static Result<std::unique_ptr<RowDatabase>> Build(const SsbData& data,
+                                                    const RowDbOptions& options);
+
+  const row::RowTable& lineorder() const { return *lineorder_; }
+  const row::RowTable& date() const { return *date_; }
+  const row::RowTable& customer() const { return *customer_; }
+  const row::RowTable& supplier() const { return *supplier_; }
+  const row::RowTable& part() const { return *part_; }
+  const row::RowTable& dim(const std::string& name) const;
+
+  /// Vertical partition (record-id, value) table of a lineorder column.
+  const row::RowTable& vp(const std::string& column) const;
+  bool has_vp() const { return !vp_.empty(); }
+
+  /// Unclustered B+Tree over a lineorder column (values + record-ids).
+  const index::BPlusTree& fact_index(const std::string& column) const;
+  bool has_indexes() const { return !fact_indexes_.empty(); }
+
+  /// Bitmap index over a low-cardinality lineorder column ("discount",
+  /// "quantity", "orderyear").
+  const index::BitmapIndex& bitmap(const std::string& column) const;
+  bool has_bitmaps() const { return !bitmaps_.empty(); }
+
+  /// Per-query materialized view (minimal projection of lineorder).
+  const row::RowTable& mv(const std::string& query_id) const;
+  bool has_mvs() const { return !mvs_.empty(); }
+
+  const RowDbOptions& options() const { return options_; }
+  storage::FileManager& files() { return *files_; }
+  const storage::FileManager& files() const { return *files_; }
+  storage::BufferPool& pool() { return *pool_; }
+
+  /// First partition index for a given orderdate year (partitions are one
+  /// per year, 1992..1998; a single partition when partitioning is off).
+  uint32_t PartitionOfYear(int64_t year) const {
+    return options_.partition_lineorder ? static_cast<uint32_t>(year - 1992) : 0;
+  }
+  uint32_t NumFactPartitions() const {
+    return options_.partition_lineorder ? 7 : 1;
+  }
+
+ private:
+  RowDatabase() = default;
+
+  RowDbOptions options_;
+  std::unique_ptr<storage::FileManager> files_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<row::RowTable> lineorder_;
+  std::unique_ptr<row::RowTable> date_;
+  std::unique_ptr<row::RowTable> customer_;
+  std::unique_ptr<row::RowTable> supplier_;
+  std::unique_ptr<row::RowTable> part_;
+  std::map<std::string, std::unique_ptr<row::RowTable>> vp_;
+  std::map<std::string, std::unique_ptr<index::BPlusTree>> fact_indexes_;
+  std::map<std::string, index::BitmapIndex> bitmaps_;
+  std::map<std::string, std::unique_ptr<row::RowTable>> mvs_;
+};
+
+}  // namespace cstore::ssb

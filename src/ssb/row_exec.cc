@@ -1,0 +1,805 @@
+#include "ssb/row_exec.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "core/aggregate.h"
+#include "core/predicate.h"
+#include "util/bit_vector.h"
+#include "util/int_map.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+using core::AggKind;
+using core::DimPredicate;
+using core::GroupKeyCodec;
+using core::PredOp;
+using core::StarQuery;
+using core::TrimPadding;
+using row::RowCursor;
+using row::RowTable;
+using row::TupleLayout;
+
+std::string FkOf(const std::string& dim) {
+  if (dim == "date") return "orderdate";
+  if (dim == "customer") return "custkey";
+  if (dim == "supplier") return "suppkey";
+  return "partkey";
+}
+
+std::string KeyOf(const std::string& dim) {
+  if (dim == "date") return "datekey";
+  if (dim == "customer") return "custkey";
+  if (dim == "supplier") return "suppkey";
+  return "partkey";
+}
+
+bool EvalDimPredicate(const DimPredicate& p, const TupleLayout& layout,
+                      size_t field, const char* tuple) {
+  if (p.is_string) {
+    const std::string_view v =
+        TrimPadding(tuple + layout.field_offset(field),
+                    layout.schema().field(field).char_width);
+    switch (p.op) {
+      case PredOp::kEq:
+        return v == p.strs[0];
+      case PredOp::kRange:
+        return v >= p.strs[0] && v <= p.strs[1];
+      case PredOp::kIn:
+        for (const auto& s : p.strs) {
+          if (v == s) return true;
+        }
+        return false;
+    }
+    return false;
+  }
+  const int64_t v = layout.GetIntegral(tuple, field);
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.ints[0];
+    case PredOp::kRange:
+      return v >= p.ints[0] && v <= p.ints[1];
+    case PredOp::kIn:
+      for (int64_t x : p.ints) {
+        if (v == x) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+/// One dimension's join state: filtered key hash table + group payloads.
+struct DimSide {
+  std::string dim_name;
+  bool has_predicate = false;
+  util::IntMap map{64};  // dim key -> payload row
+  /// One code column per group-by attribute of this dimension.
+  std::vector<std::vector<int64_t>> payload;
+  std::vector<size_t> group_slots;  // positions within query.group_by
+  std::vector<int64_t> years;       // for date: passing years (pruning)
+};
+
+/// Query-wide row-execution context, shared by all designs.
+struct RowContext {
+  std::vector<DimSide> sides;
+  GroupKeyCodec codec;
+  std::vector<std::unique_ptr<std::vector<std::string>>> pools;
+  std::vector<uint32_t> partitions;  // pruned fact partitions ({} = all)
+};
+
+/// Scans the dimension tables, building hash tables of passing keys plus
+/// group-attribute payloads, and the group-key codec (in group-by order).
+Result<RowContext> BuildContext(const RowDatabase& db, const StarQuery& q) {
+  RowContext ctx;
+
+  struct AttrMeta {
+    DimSide* side = nullptr;
+    size_t payload_idx = 0;
+    bool is_string = true;
+    int64_t min = INT64_MAX;
+    int64_t max = INT64_MIN;
+    std::vector<std::string>* pool = nullptr;
+    std::unordered_map<std::string, int64_t> intern;
+  };
+  std::vector<AttrMeta> attr_meta(q.group_by.size());
+
+  for (const char* name : {"date", "customer", "supplier", "part"}) {
+    bool involved = false;
+    for (const auto& p : q.dim_predicates) involved |= p.dim == name;
+    for (const auto& g : q.group_by) involved |= g.dim == name;
+    if (!involved) continue;
+
+    const RowTable& table = db.dim(name);
+    const TupleLayout& layout = table.layout();
+    DimSide side;
+    side.dim_name = name;
+
+    // Resolve predicate and attribute fields once.
+    struct PredField {
+      const DimPredicate* pred;
+      size_t field;
+    };
+    std::vector<PredField> preds;
+    for (const auto& p : q.dim_predicates) {
+      if (p.dim != name) continue;
+      CSTORE_ASSIGN_OR_RETURN(size_t f, layout.schema().IndexOf(p.column));
+      preds.push_back(PredField{&p, f});
+      side.has_predicate = true;
+    }
+    std::vector<std::pair<size_t, size_t>> attrs;  // (group slot, field)
+    for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+      if (q.group_by[gi].dim != name) continue;
+      CSTORE_ASSIGN_OR_RETURN(size_t f,
+                              layout.schema().IndexOf(q.group_by[gi].column));
+      attrs.emplace_back(gi, f);
+    }
+    CSTORE_ASSIGN_OR_RETURN(size_t key_field,
+                            layout.schema().IndexOf(KeyOf(name)));
+    size_t year_field = SIZE_MAX;
+    if (std::string_view(name) == "date") {
+      CSTORE_ASSIGN_OR_RETURN(year_field, layout.schema().IndexOf("year"));
+    }
+
+    side.payload.resize(attrs.size());
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      const size_t gi = attrs[a].first;
+      side.group_slots.push_back(gi);
+      AttrMeta& meta = attr_meta[gi];
+      meta.payload_idx = a;
+      meta.is_string =
+          layout.schema().field(attrs[a].second).type == DataType::kChar;
+      if (meta.is_string) {
+        ctx.pools.push_back(std::make_unique<std::vector<std::string>>());
+        meta.pool = ctx.pools.back().get();
+      }
+    }
+
+    std::set<int64_t> years;
+    auto cursor = table.OpenCursor();
+    const char* tuple;
+    while ((tuple = cursor->Next()) != nullptr) {
+      bool pass = true;
+      for (const PredField& pf : preds) {
+        if (!EvalDimPredicate(*pf.pred, layout, pf.field, tuple)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      const uint32_t payload_row =
+          attrs.empty() ? 0
+                        : static_cast<uint32_t>(side.payload[0].size());
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        const size_t gi = attrs[a].first;
+        AttrMeta& meta = attr_meta[gi];
+        int64_t code;
+        if (meta.is_string) {
+          const std::string v(
+              TrimPadding(tuple + layout.field_offset(attrs[a].second),
+                          layout.schema().field(attrs[a].second).char_width));
+          auto it = meta.intern.find(v);
+          if (it == meta.intern.end()) {
+            it = meta.intern.emplace(v, meta.pool->size()).first;
+            meta.pool->push_back(v);
+          }
+          code = it->second;
+        } else {
+          code = layout.GetIntegral(tuple, attrs[a].second);
+          meta.min = std::min(meta.min, code);
+          meta.max = std::max(meta.max, code);
+        }
+        side.payload[a].push_back(code);
+      }
+      side.map.Insert(layout.GetIntegral(tuple, key_field), payload_row);
+      if (year_field != SIZE_MAX && side.has_predicate) {
+        years.insert(layout.GetIntegral(tuple, year_field));
+      }
+    }
+    side.years.assign(years.begin(), years.end());
+
+    // Record which attr metas belong to this side (pointer fixed later).
+    ctx.sides.push_back(std::move(side));
+    for (auto& [gi, f] : attrs) {
+      attr_meta[gi].side = &ctx.sides.back();
+    }
+    (void)key_field;
+  }
+
+  // Fix side pointers (vector may have reallocated) by re-resolving.
+  for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+    for (DimSide& side : ctx.sides) {
+      if (side.dim_name == q.group_by[gi].dim) attr_meta[gi].side = &side;
+    }
+  }
+
+  // Codec in group-by order.
+  for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+    AttrMeta& meta = attr_meta[gi];
+    CSTORE_CHECK(meta.side != nullptr);
+    if (meta.is_string) {
+      ctx.codec.AddInternAttr(meta.pool);
+    } else {
+      ctx.codec.AddIntAttr(meta.min == INT64_MAX ? 0 : meta.min,
+                           meta.max == INT64_MIN ? 0 : meta.max);
+    }
+  }
+
+  // Partition pruning from the date side.
+  if (db.options().partition_lineorder) {
+    for (const DimSide& side : ctx.sides) {
+      if (side.dim_name == "date" && side.has_predicate) {
+        for (int64_t y : side.years) {
+          ctx.partitions.push_back(db.PartitionOfYear(y));
+        }
+      }
+    }
+    std::sort(ctx.partitions.begin(), ctx.partitions.end());
+    ctx.partitions.erase(
+        std::unique(ctx.partitions.begin(), ctx.partitions.end()),
+        ctx.partitions.end());
+  }
+  return ctx;
+}
+
+/// Probe order: most selective (smallest hash table) first, as the paper's
+/// "pipeline joins in order of predicate selectivity".
+std::vector<const DimSide*> ProbeOrder(const RowContext& ctx) {
+  std::vector<const DimSide*> order;
+  for (const DimSide& s : ctx.sides) order.push_back(&s);
+  std::sort(order.begin(), order.end(), [](const DimSide* a, const DimSide* b) {
+    return a->map.size() < b->map.size();
+  });
+  return order;
+}
+
+struct FactFields {
+  std::vector<std::pair<size_t, core::IntPredicate>> local_preds;
+  std::vector<std::pair<const DimSide*, size_t>> probes;  // (side, fk field)
+  size_t agg_a = 0;
+  size_t agg_b = 0;
+  AggKind agg_kind = AggKind::kSumColumn;
+};
+
+/// Resolves query fields against a fact table layout (full table or MV).
+Result<FactFields> ResolveFactFields(const RowContext& ctx, const StarQuery& q,
+                                     const Schema& schema) {
+  FactFields ff;
+  for (const auto& fp : q.fact_predicates) {
+    CSTORE_ASSIGN_OR_RETURN(size_t f, schema.IndexOf(fp.column));
+    ff.local_preds.emplace_back(f, core::IntPredicate::Range(fp.lo, fp.hi));
+  }
+  for (const DimSide* side : ProbeOrder(ctx)) {
+    CSTORE_ASSIGN_OR_RETURN(size_t f, schema.IndexOf(FkOf(side->dim_name)));
+    ff.probes.emplace_back(side, f);
+  }
+  CSTORE_ASSIGN_OR_RETURN(ff.agg_a, schema.IndexOf(q.agg.column_a));
+  ff.agg_kind = q.agg.kind;
+  if (q.agg.kind != AggKind::kSumColumn) {
+    CSTORE_ASSIGN_OR_RETURN(ff.agg_b, schema.IndexOf(q.agg.column_b));
+  }
+  return ff;
+}
+
+/// The shared aggregation sink.
+class Sink {
+ public:
+  Sink(const RowContext& ctx, const StarQuery& q)
+      : grouped_(!q.group_by.empty()), agg_(ctx.codec), raw_(q.group_by.size()) {}
+
+  void Add(int64_t measure) {
+    if (grouped_) {
+      agg_.Add(codec_pack_(), measure);
+    } else {
+      scalar_ += measure;
+    }
+  }
+
+  int64_t* raw() { return raw_.data(); }
+  size_t raw_size() const { return raw_.size(); }
+
+  core::QueryResult Finish(const RowContext& ctx, const StarQuery& q) {
+    if (!grouped_) {
+      core::QueryResult r;
+      r.rows.push_back(core::ResultRow{{}, scalar_});
+      return r;
+    }
+    core::QueryResult r = agg_.Finish();
+    r.Sort(q.order_by);
+    return r;
+  }
+
+  /// Pack hook: set by callers that fill raw() before Add().
+  void SetPacker(const GroupKeyCodec* codec) {
+    codec_pack_ = [this, codec] { return codec->Pack(raw_.data()); };
+  }
+
+ private:
+  bool grouped_;
+  core::GroupAggregator agg_;
+  std::vector<int64_t> raw_;
+  int64_t scalar_ = 0;
+  std::function<uint64_t()> codec_pack_;
+};
+
+int64_t ComputeMeasure(const FactFields& ff, const TupleLayout& layout,
+                       const char* tuple) {
+  int64_t m = layout.GetIntegral(tuple, ff.agg_a);
+  if (ff.agg_kind == AggKind::kSumProduct) {
+    m *= layout.GetIntegral(tuple, ff.agg_b);
+  } else if (ff.agg_kind == AggKind::kSumDiff) {
+    m -= layout.GetIntegral(tuple, ff.agg_b);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Traditional / MV plan: one pipelined pass.
+// ---------------------------------------------------------------------------
+
+Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
+                                           const StarQuery& q,
+                                           const RowTable& fact,
+                                           const RowContext& ctx) {
+  const TupleLayout& layout = fact.layout();
+  CSTORE_ASSIGN_OR_RETURN(FactFields ff,
+                          ResolveFactFields(ctx, q, layout.schema()));
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+
+  auto cursor = fact.OpenCursor(ctx.partitions);
+  const char* tuple;
+  while ((tuple = cursor->Next()) != nullptr) {
+    bool pass = true;
+    for (const auto& [field, pred] : ff.local_preds) {
+      if (!pred.Matches(layout.GetIntegral(tuple, field))) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (const auto& [side, field] : ff.probes) {
+      const uint32_t* payload = side->map.Find(layout.GetIntegral(tuple, field));
+      if (payload == nullptr) {
+        pass = false;
+        break;
+      }
+      for (size_t a = 0; a < side->group_slots.size(); ++a) {
+        sink.raw()[side->group_slots[a]] = side->payload[a][*payload];
+      }
+    }
+    if (!pass) continue;
+    sink.Add(ComputeMeasure(ff, layout, tuple));
+  }
+  RowContext& mutable_ctx = const_cast<RowContext&>(ctx);
+  (void)mutable_ctx;
+  return sink.Finish(ctx, q);
+}
+
+// ---------------------------------------------------------------------------
+// Traditional (bitmap) plan: bitmap local predicates, one fact pass per
+// dimension predicate, bitwise AND, then a fetch pass.
+// ---------------------------------------------------------------------------
+
+Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
+                                        const StarQuery& q,
+                                        const RowContext& ctx) {
+  const RowTable& fact = db.lineorder();
+  const TupleLayout& layout = fact.layout();
+  CSTORE_ASSIGN_OR_RETURN(FactFields ff,
+                          ResolveFactFields(ctx, q, layout.schema()));
+
+  const uint64_t n = fact.num_rows();
+  util::BitVector selected(n);
+  bool first = true;
+  auto merge = [&](util::BitVector bits) {
+    if (first) {
+      selected = std::move(bits);
+      first = false;
+    } else {
+      selected.And(bits);
+    }
+  };
+
+  // Local predicates through the bitmap indexes.
+  for (const auto& fp : q.fact_predicates) {
+    merge(db.bitmap(fp.column).Range(fp.lo, fp.hi));
+  }
+
+  // One pass over the (pruned) fact partitions per dimension predicate,
+  // probing the filtered dimension and setting bits by stored record-id.
+  for (const auto& [side, field] : ff.probes) {
+    if (!side->has_predicate) continue;
+    util::BitVector bits(n);
+    auto cursor = fact.OpenCursor(ctx.partitions);
+    const char* tuple;
+    while ((tuple = cursor->Next()) != nullptr) {
+      if (side->map.Contains(layout.GetIntegral(tuple, field))) {
+        bits.Set(layout.GetRecordId(tuple));
+      }
+    }
+    merge(std::move(bits));
+  }
+
+  // Fetch pass: re-scan, keep rows whose bit is set, finish joins for group
+  // attributes, aggregate.
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  auto cursor = fact.OpenCursor(ctx.partitions);
+  const char* tuple;
+  while ((tuple = cursor->Next()) != nullptr) {
+    if (!first && !selected.Get(layout.GetRecordId(tuple))) continue;
+    bool pass = true;
+    for (const auto& [side, field] : ff.probes) {
+      const uint32_t* payload = side->map.Find(layout.GetIntegral(tuple, field));
+      if (payload == nullptr) {
+        pass = false;
+        break;
+      }
+      for (size_t a = 0; a < side->group_slots.size(); ++a) {
+        sink.raw()[side->group_slots[a]] = side->payload[a][*payload];
+      }
+    }
+    if (!pass) continue;
+    sink.Add(ComputeMeasure(ff, layout, tuple));
+  }
+  return sink.Finish(ctx, q);
+}
+
+// ---------------------------------------------------------------------------
+// Vertical partitioning plan (§6.2.1).
+// ---------------------------------------------------------------------------
+
+/// Intermediate VP result: record positions plus accumulated group-code
+/// columns (indexed by group slot).
+struct VpResult {
+  std::vector<uint32_t> pos;
+  std::vector<std::vector<int64_t>> group_cols;  // one per query group slot
+  bool initialized = false;
+};
+
+Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
+                                                      const StarQuery& q,
+                                                      const RowContext& ctx) {
+  VpResult result;
+  result.group_cols.resize(q.group_by.size());
+
+  // A "source" contributes a filter and possibly group codes, produced by a
+  // hash join between a (pos, value) column table and a filtered dimension
+  // (or a local predicate). Sources are processed in query order; the first
+  // materializes the position list, later ones filter it by probing a
+  // pos -> payload hash table (System X's rid hash joins).
+  struct Probe {
+    const DimSide* side;
+    const RowTable* vp;
+  };
+  std::vector<Probe> dim_probes;
+  for (const DimSide& side : ctx.sides) {
+    dim_probes.push_back(Probe{&side, &db.vp(FkOf(side.dim_name))});
+  }
+  std::sort(dim_probes.begin(), dim_probes.end(),
+            [](const Probe& a, const Probe& b) {
+              return a.side->map.size() < b.side->map.size();
+            });
+
+  auto apply_dim = [&](const Probe& probe) -> Status {
+    const TupleLayout& layout = probe.vp->layout();
+    if (!result.initialized) {
+      // Materialize: scan the fk column, probe the dimension hash table.
+      auto cursor = probe.vp->OpenCursor();
+      const char* tuple;
+      while ((tuple = cursor->Next()) != nullptr) {
+        const uint32_t* payload =
+            probe.side->map.Find(layout.GetInt32(tuple, 1));
+        if (payload == nullptr) continue;
+        result.pos.push_back(
+            static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
+        for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
+          result.group_cols[probe.side->group_slots[a]].push_back(
+              probe.side->payload[a][*payload]);
+        }
+      }
+      result.initialized = true;
+      return Status::OK();
+    }
+    // Hash join on position: build pos -> payload from the fk column scan,
+    // then filter the current result.
+    util::IntMap pos_map(result.pos.size() * 2);
+    std::vector<uint32_t> payloads;
+    {
+      auto cursor = probe.vp->OpenCursor();
+      const char* tuple;
+      while ((tuple = cursor->Next()) != nullptr) {
+        const uint32_t* payload =
+            probe.side->map.Find(layout.GetInt32(tuple, 1));
+        if (payload == nullptr) continue;
+        pos_map.Insert(layout.GetInt32(tuple, 0),
+                       static_cast<uint32_t>(payloads.size()));
+        payloads.push_back(*payload);
+      }
+    }
+    VpResult next;
+    next.initialized = true;
+    next.group_cols.resize(result.group_cols.size());
+    for (size_t i = 0; i < result.pos.size(); ++i) {
+      const uint32_t* idx = pos_map.Find(result.pos[i]);
+      if (idx == nullptr) continue;
+      next.pos.push_back(result.pos[i]);
+      for (size_t g = 0; g < result.group_cols.size(); ++g) {
+        if (!result.group_cols[g].empty()) {
+          next.group_cols[g].push_back(result.group_cols[g][i]);
+        }
+      }
+      const uint32_t payload = payloads[*idx];
+      for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
+        next.group_cols[probe.side->group_slots[a]].push_back(
+            probe.side->payload[a][payload]);
+      }
+    }
+    result = std::move(next);
+    return Status::OK();
+  };
+
+  auto apply_local = [&](const core::FactPredicate& fp) -> Status {
+    const RowTable& vp = db.vp(fp.column);
+    const TupleLayout& layout = vp.layout();
+    if (!result.initialized) {
+      auto cursor = vp.OpenCursor();
+      const char* tuple;
+      while ((tuple = cursor->Next()) != nullptr) {
+        const int64_t v = layout.GetInt32(tuple, 1);
+        if (v < fp.lo || v > fp.hi) continue;
+        result.pos.push_back(static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
+      }
+      result.initialized = true;
+      return Status::OK();
+    }
+    util::IntSet pos_set(result.pos.size() * 2);
+    {
+      auto cursor = vp.OpenCursor();
+      const char* tuple;
+      while ((tuple = cursor->Next()) != nullptr) {
+        const int64_t v = layout.GetInt32(tuple, 1);
+        if (v < fp.lo || v > fp.hi) continue;
+        pos_set.Insert(layout.GetInt32(tuple, 0));
+      }
+    }
+    VpResult next;
+    next.initialized = true;
+    next.group_cols.resize(result.group_cols.size());
+    for (size_t i = 0; i < result.pos.size(); ++i) {
+      if (!pos_set.Contains(result.pos[i])) continue;
+      next.pos.push_back(result.pos[i]);
+      for (size_t g = 0; g < result.group_cols.size(); ++g) {
+        if (!result.group_cols[g].empty()) {
+          next.group_cols[g].push_back(result.group_cols[g][i]);
+        }
+      }
+    }
+    result = std::move(next);
+    return Status::OK();
+  };
+
+  for (const auto& fp : q.fact_predicates) {
+    CSTORE_RETURN_IF_ERROR(apply_local(fp));
+  }
+  for (const Probe& probe : dim_probes) {
+    CSTORE_RETURN_IF_ERROR(apply_dim(probe));
+  }
+
+  // Measure columns: "an additional hash join to pick up lo.revenue" —
+  // build pos -> value maps by scanning the measure column tables.
+  auto fetch_measure = [&](const std::string& name,
+                           std::vector<int64_t>* out) -> Status {
+    const RowTable& vp = db.vp(name);
+    const TupleLayout& layout = vp.layout();
+    util::IntMap pos_map(vp.num_rows());
+    std::vector<int64_t> values;
+    values.reserve(vp.num_rows());
+    auto cursor = vp.OpenCursor();
+    const char* tuple;
+    while ((tuple = cursor->Next()) != nullptr) {
+      pos_map.Insert(layout.GetInt32(tuple, 0),
+                     static_cast<uint32_t>(values.size()));
+      values.push_back(layout.GetInt32(tuple, 1));
+    }
+    out->reserve(result.pos.size());
+    for (uint32_t pos : result.pos) {
+      const uint32_t* idx = pos_map.Find(pos);
+      CSTORE_CHECK(idx != nullptr);
+      out->push_back(values[*idx]);
+    }
+    return Status::OK();
+  };
+
+  std::vector<int64_t> measure;
+  CSTORE_RETURN_IF_ERROR(fetch_measure(q.agg.column_a, &measure));
+  if (q.agg.kind != AggKind::kSumColumn) {
+    std::vector<int64_t> b;
+    CSTORE_RETURN_IF_ERROR(fetch_measure(q.agg.column_b, &b));
+    for (size_t i = 0; i < measure.size(); ++i) {
+      measure[i] = q.agg.kind == AggKind::kSumProduct ? measure[i] * b[i]
+                                                      : measure[i] - b[i];
+    }
+  }
+
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  for (size_t i = 0; i < measure.size(); ++i) {
+    for (size_t g = 0; g < q.group_by.size(); ++g) {
+      sink.raw()[g] = result.group_cols[g][i];
+    }
+    sink.Add(measure[i]);
+  }
+  return sink.Finish(ctx, q);
+}
+
+// ---------------------------------------------------------------------------
+// Index-only plan (§6.2.1).
+// ---------------------------------------------------------------------------
+
+Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
+                                           const StarQuery& q,
+                                           const RowContext& ctx) {
+  // Columns the plan must assemble, in schema order (fks + local preds +
+  // measures). Each is read by a full (or range) index scan, then glued to
+  // the running result with a record-id hash join.
+  std::vector<std::string> names;
+  std::vector<const core::FactPredicate*> preds;
+  {
+    std::set<std::string> need;
+    auto add = [&](const std::string& n) { need.insert(n); };
+    for (const DimSide& side : ctx.sides) add(FkOf(side.dim_name));
+    for (const auto& fp : q.fact_predicates) add(fp.column);
+    add(q.agg.column_a);
+    if (q.agg.kind != AggKind::kSumColumn) add(q.agg.column_b);
+    names.assign(need.begin(), need.end());
+    for (const std::string& n : names) {
+      const core::FactPredicate* found = nullptr;
+      for (const auto& fp : q.fact_predicates) {
+        if (fp.column == n) found = &fp;
+      }
+      preds.push_back(found);
+    }
+  }
+
+  // Running result: rids + one value column per assembled column.
+  std::vector<uint32_t> rids;
+  std::vector<std::vector<int64_t>> columns;
+  bool initialized = false;
+
+  for (size_t c = 0; c < names.size(); ++c) {
+    const index::BPlusTree& tree = db.fact_index(names[c]);
+    if (!initialized) {
+      // First column: materialize the (rid, value) list from the index scan
+      // (output is in value order — i.e. rid-unsorted, as the paper notes).
+      std::vector<int64_t> values;
+      auto collect = [&](int64_t key, uint32_t rid) {
+        rids.push_back(rid);
+        values.push_back(key);
+      };
+      if (preds[c] != nullptr) {
+        CSTORE_RETURN_IF_ERROR(
+            tree.ScanRange(preds[c]->lo, preds[c]->hi, collect));
+      } else {
+        CSTORE_RETURN_IF_ERROR(tree.ScanAll(collect));
+      }
+      columns.push_back(std::move(values));
+      initialized = true;
+      continue;
+    }
+    // Record-id hash join between the running result and this index scan.
+    util::IntMap rid_map(rids.size() * 2);
+    for (size_t i = 0; i < rids.size(); ++i) {
+      rid_map.Insert(rids[i], static_cast<uint32_t>(i));
+    }
+    std::vector<int64_t> joined(rids.size(), INT64_MIN);
+    std::vector<uint8_t> hit(rids.size(), 0);
+    auto probe = [&](int64_t key, uint32_t rid) {
+      const uint32_t* idx = rid_map.Find(rid);
+      if (idx != nullptr) {
+        joined[*idx] = key;
+        hit[*idx] = 1;
+      }
+    };
+    if (preds[c] != nullptr) {
+      CSTORE_RETURN_IF_ERROR(tree.ScanRange(preds[c]->lo, preds[c]->hi, probe));
+    } else {
+      CSTORE_RETURN_IF_ERROR(tree.ScanAll(probe));
+    }
+    // Compact rows that found a partner.
+    std::vector<uint32_t> new_rids;
+    std::vector<std::vector<int64_t>> new_columns(columns.size() + 1);
+    for (size_t i = 0; i < rids.size(); ++i) {
+      if (!hit[i]) continue;
+      new_rids.push_back(rids[i]);
+      for (size_t k = 0; k < columns.size(); ++k) {
+        new_columns[k].push_back(columns[k][i]);
+      }
+      new_columns[columns.size()].push_back(joined[i]);
+    }
+    rids = std::move(new_rids);
+    columns = std::move(new_columns);
+  }
+
+  auto column_of = [&](const std::string& name) -> const std::vector<int64_t>& {
+    for (size_t c = 0; c < names.size(); ++c) {
+      if (names[c] == name) return columns[c];
+    }
+    CSTORE_CHECK(false);
+    return columns[0];
+  };
+
+  // Dimension filtering + aggregation over the assembled rows.
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  std::vector<const std::vector<int64_t>*> probe_cols;
+  std::vector<const DimSide*> order = ProbeOrder(ctx);
+  for (const DimSide* side : order) {
+    probe_cols.push_back(&column_of(FkOf(side->dim_name)));
+  }
+  const std::vector<int64_t>& a = column_of(q.agg.column_a);
+  const std::vector<int64_t>* b =
+      q.agg.kind == AggKind::kSumColumn ? nullptr : &column_of(q.agg.column_b);
+
+  for (size_t i = 0; i < rids.size(); ++i) {
+    bool pass = true;
+    for (size_t s = 0; s < order.size(); ++s) {
+      const uint32_t* payload = order[s]->map.Find((*probe_cols[s])[i]);
+      if (payload == nullptr) {
+        pass = false;
+        break;
+      }
+      for (size_t x = 0; x < order[s]->group_slots.size(); ++x) {
+        sink.raw()[order[s]->group_slots[x]] = order[s]->payload[x][*payload];
+      }
+    }
+    if (!pass) continue;
+    int64_t measure = a[i];
+    if (q.agg.kind == AggKind::kSumProduct) measure *= (*b)[i];
+    if (q.agg.kind == AggKind::kSumDiff) measure -= (*b)[i];
+    sink.Add(measure);
+  }
+  return sink.Finish(ctx, q);
+}
+
+}  // namespace
+
+std::string_view RowDesignName(RowDesign design) {
+  switch (design) {
+    case RowDesign::kTraditional:
+      return "T";
+    case RowDesign::kTraditionalBitmap:
+      return "T(B)";
+    case RowDesign::kMaterializedViews:
+      return "MV";
+    case RowDesign::kVerticalPartitioning:
+      return "VP";
+    case RowDesign::kIndexOnly:
+      return "AI";
+  }
+  return "?";
+}
+
+Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
+                                          const core::StarQuery& query,
+                                          RowDesign design) {
+  CSTORE_ASSIGN_OR_RETURN(RowContext ctx, BuildContext(db, query));
+  switch (design) {
+    case RowDesign::kTraditional:
+      return ExecutePipelined(db, query, db.lineorder(), ctx);
+    case RowDesign::kTraditionalBitmap:
+      return ExecuteBitmap(db, query, ctx);
+    case RowDesign::kMaterializedViews:
+      return ExecutePipelined(db, query, db.mv(query.id), ctx);
+    case RowDesign::kVerticalPartitioning:
+      return ExecuteVerticalPartitioning(db, query, ctx);
+    case RowDesign::kIndexOnly:
+      return ExecuteIndexOnly(db, query, ctx);
+  }
+  return Status::InvalidArgument("unknown row design");
+}
+
+}  // namespace cstore::ssb

@@ -1,0 +1,44 @@
+// Row-store execution of star queries under the paper's §4 physical designs.
+//
+// All designs produce identical answers; what differs is the access path:
+//  * kTraditional        — one pass over (pruned) lineorder partitions,
+//                          pipelined hash joins against filtered dimensions;
+//  * kTraditionalBitmap  — plans biased toward bitmaps: local predicates via
+//                          bitmap indexes, one extra pass over the fact table
+//                          per dimension predicate to build join bitmaps,
+//                          bitwise AND, then a final fetch pass (§6.2's
+//                          "sometimes inferior plans");
+//  * kMaterializedViews  — the traditional plan over a per-query minimal
+//                          projection of lineorder;
+//  * kVerticalPartitioning — §6.2.1's plan shape: hash-join each two-column
+//                          (record-id, value) table with its filtered
+//                          dimension, chain record-id hash joins, then join
+//                          measure columns by record-id;
+//  * kIndexOnly          — full scans of unclustered B+Trees, columns of the
+//                          fact table reassembled with record-id hash joins
+//                          before dimension filtering (§6.2.1's "giant hash
+//                          joins").
+#pragma once
+
+#include "core/star_query.h"
+#include "ssb/row_db.h"
+
+namespace cstore::ssb {
+
+enum class RowDesign {
+  kTraditional,
+  kTraditionalBitmap,
+  kMaterializedViews,
+  kVerticalPartitioning,
+  kIndexOnly,
+};
+
+std::string_view RowDesignName(RowDesign design);
+
+/// Executes `query` against `db` using the given physical design. The
+/// database must have been built with the options the design requires.
+Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
+                                          const core::StarQuery& query,
+                                          RowDesign design);
+
+}  // namespace cstore::ssb

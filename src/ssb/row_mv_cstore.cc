@@ -1,0 +1,493 @@
+#include "ssb/row_mv_cstore.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/aggregate.h"
+#include "ssb/queries.h"
+#include "ssb/row_db.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+using core::AggKind;
+using core::DimPredicate;
+using core::PredOp;
+using core::StarQuery;
+
+/// Reads an int32 field from a packed row.
+inline int64_t ParseInt(const char* row, size_t offset) {
+  int32_t v;
+  std::memcpy(&v, row + offset, sizeof(v));
+  return v;
+}
+
+inline std::string_view ParseStr(const char* row, size_t offset, size_t width) {
+  size_t len = width;
+  while (len > 0 && row[offset + len - 1] == '\0') --len;
+  return std::string_view(row + offset, len);
+}
+
+bool MatchStr(const DimPredicate& p, std::string_view v) {
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.strs[0];
+    case PredOp::kRange:
+      return v >= p.strs[0] && v <= p.strs[1];
+    case PredOp::kIn:
+      for (const auto& s : p.strs) {
+        if (v == s) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool MatchInt(const DimPredicate& p, int64_t v) {
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.ints[0];
+    case PredOp::kRange:
+      return v >= p.ints[0] && v <= p.ints[1];
+    case PredOp::kIn:
+      for (int64_t x : p.ints) {
+        if (v == x) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string FkOf(const std::string& dim) {
+  if (dim == "date") return "orderdate";
+  if (dim == "customer") return "custkey";
+  if (dim == "supplier") return "suppkey";
+  return "partkey";
+}
+
+}  // namespace
+
+size_t RowMvDatabase::BlobTable::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < field_names.size(); ++i) {
+    if (field_names[i] == name) return i;
+  }
+  CSTORE_CHECK(false);
+  return 0;
+}
+
+namespace {
+
+/// Packs rows described by (name, width) fields into one char column.
+/// `emit` fills the row buffer for row r.
+Result<RowMvDatabase::BlobTable*> PackBlob(
+    std::unique_ptr<col::ColumnTable> table,
+    std::vector<std::pair<std::string, size_t>> fields,  // width 0 => int32
+    size_t num_rows,
+    const std::function<void(size_t, char*)>& emit,
+    RowMvDatabase::BlobTable* out) {
+  out->table = std::move(table);
+  size_t offset = 0;
+  for (const auto& [name, width] : fields) {
+    out->field_names.push_back(name);
+    out->offsets.push_back(offset);
+    out->widths.push_back(width);
+    offset += width == 0 ? sizeof(int32_t) : width;
+  }
+  out->row_width = offset;
+
+  std::vector<std::string> rows(num_rows, std::string(out->row_width, '\0'));
+  std::vector<char> buf(out->row_width);
+  for (size_t r = 0; r < num_rows; ++r) {
+    std::memset(buf.data(), 0, buf.size());
+    emit(r, buf.data());
+    rows[r].assign(buf.data(), out->row_width);
+  }
+  CSTORE_RETURN_IF_ERROR(out->table->AddCharColumn(
+      "rows", out->row_width, rows, col::CompressionMode::kNone));
+  return out;
+}
+
+}  // namespace
+
+Result<RowMvDatabase::BlobTable> RowMvDatabase::PackFact(
+    const SsbData& data, const core::StarQuery& q,
+    storage::FileManager* files, storage::BufferPool* pool) {
+  const std::vector<std::string> cols = QueryFactColumnsFor(q);
+  const LineorderTable& lo = data.lineorder;
+  auto column_of = [&](const std::string& name) -> const std::vector<int64_t>& {
+    if (name == "custkey") return lo.custkey;
+    if (name == "partkey") return lo.partkey;
+    if (name == "suppkey") return lo.suppkey;
+    if (name == "orderdate") return lo.orderdate;
+    if (name == "quantity") return lo.quantity;
+    if (name == "extendedprice") return lo.extendedprice;
+    if (name == "discount") return lo.discount;
+    if (name == "revenue") return lo.revenue;
+    if (name == "supplycost") return lo.supplycost;
+    CSTORE_CHECK(false);
+    return lo.custkey;
+  };
+
+  std::vector<std::pair<std::string, size_t>> fields;
+  std::vector<const std::vector<int64_t>*> sources;
+  for (const std::string& name : cols) {
+    fields.emplace_back(name, 0);
+    sources.push_back(&column_of(name));
+  }
+
+  BlobTable blob;
+  auto table =
+      std::make_unique<col::ColumnTable>(files, pool, "rowmv_" + q.id);
+  CSTORE_ASSIGN_OR_RETURN(
+      BlobTable * ignored,
+      PackBlob(std::move(table), std::move(fields), lo.size(),
+               [&](size_t r, char* buf) {
+                 for (size_t c = 0; c < sources.size(); ++c) {
+                   const int32_t v = static_cast<int32_t>((*sources[c])[r]);
+                   std::memcpy(buf + c * sizeof(int32_t), &v, sizeof(v));
+                 }
+               },
+               &blob));
+  (void)ignored;
+  return blob;
+}
+
+Result<std::unique_ptr<RowMvDatabase>> RowMvDatabase::Build(
+    const SsbData& data, size_t pool_pages) {
+  auto db = std::unique_ptr<RowMvDatabase>(new RowMvDatabase());
+  db->files_ = std::make_unique<storage::FileManager>();
+  db->pool_ =
+      std::make_unique<storage::BufferPool>(db->files_.get(), pool_pages);
+
+  for (const core::StarQuery& q : AllQueries()) {
+    CSTORE_ASSIGN_OR_RETURN(
+        BlobTable blob,
+        PackFact(data, q, db->files_.get(), db->pool_.get()));
+    db->fact_mvs_.emplace(q.id, std::move(blob));
+  }
+
+  using W = CharWidths;
+  // Dimension projections (the columns any query touches), packed as rows.
+  {
+    const DateTable& t = data.date;
+    BlobTable blob;
+    auto table = std::make_unique<col::ColumnTable>(db->files_.get(),
+                                                    db->pool_.get(), "rowmv_date");
+    CSTORE_ASSIGN_OR_RETURN(
+        BlobTable * ignored,
+        PackBlob(std::move(table),
+                 {{"datekey", 0},
+                  {"year", 0},
+                  {"yearmonthnum", 0},
+                  {"weeknuminyear", 0},
+                  {"yearmonth", W::kYearMonth}},
+                 t.size(),
+                 [&](size_t r, char* buf) {
+                   auto put = [&](size_t off, int64_t v) {
+                     const int32_t x = static_cast<int32_t>(v);
+                     std::memcpy(buf + off, &x, sizeof(x));
+                   };
+                   put(0, t.datekey[r]);
+                   put(4, t.year[r]);
+                   put(8, t.yearmonthnum[r]);
+                   put(12, t.weeknuminyear[r]);
+                   std::memcpy(buf + 16, t.yearmonth[r].data(),
+                               std::min(t.yearmonth[r].size(), W::kYearMonth));
+                 },
+                 &blob));
+    (void)ignored;
+    db->dims_.emplace("date", std::move(blob));
+  }
+  {
+    const CustomerTable& t = data.customer;
+    BlobTable blob;
+    auto table = std::make_unique<col::ColumnTable>(
+        db->files_.get(), db->pool_.get(), "rowmv_customer");
+    CSTORE_ASSIGN_OR_RETURN(
+        BlobTable * ignored,
+        PackBlob(std::move(table),
+                 {{"custkey", 0},
+                  {"city", W::kCity},
+                  {"nation", W::kNation},
+                  {"region", W::kRegion}},
+                 t.size(),
+                 [&](size_t r, char* buf) {
+                   const int32_t k = static_cast<int32_t>(t.custkey[r]);
+                   std::memcpy(buf, &k, 4);
+                   std::memcpy(buf + 4, t.city[r].data(),
+                               std::min(t.city[r].size(), W::kCity));
+                   std::memcpy(buf + 4 + W::kCity, t.nation[r].data(),
+                               std::min(t.nation[r].size(), W::kNation));
+                   std::memcpy(buf + 4 + W::kCity + W::kNation,
+                               t.region[r].data(),
+                               std::min(t.region[r].size(), W::kRegion));
+                 },
+                 &blob));
+    (void)ignored;
+    db->dims_.emplace("customer", std::move(blob));
+  }
+  {
+    const SupplierTable& t = data.supplier;
+    BlobTable blob;
+    auto table = std::make_unique<col::ColumnTable>(
+        db->files_.get(), db->pool_.get(), "rowmv_supplier");
+    CSTORE_ASSIGN_OR_RETURN(
+        BlobTable * ignored,
+        PackBlob(std::move(table),
+                 {{"suppkey", 0},
+                  {"city", W::kCity},
+                  {"nation", W::kNation},
+                  {"region", W::kRegion}},
+                 t.size(),
+                 [&](size_t r, char* buf) {
+                   const int32_t k = static_cast<int32_t>(t.suppkey[r]);
+                   std::memcpy(buf, &k, 4);
+                   std::memcpy(buf + 4, t.city[r].data(),
+                               std::min(t.city[r].size(), W::kCity));
+                   std::memcpy(buf + 4 + W::kCity, t.nation[r].data(),
+                               std::min(t.nation[r].size(), W::kNation));
+                   std::memcpy(buf + 4 + W::kCity + W::kNation,
+                               t.region[r].data(),
+                               std::min(t.region[r].size(), W::kRegion));
+                 },
+                 &blob));
+    (void)ignored;
+    db->dims_.emplace("supplier", std::move(blob));
+  }
+  {
+    const PartTable& t = data.part;
+    BlobTable blob;
+    auto table = std::make_unique<col::ColumnTable>(db->files_.get(),
+                                                    db->pool_.get(), "rowmv_part");
+    CSTORE_ASSIGN_OR_RETURN(
+        BlobTable * ignored,
+        PackBlob(std::move(table),
+                 {{"partkey", 0},
+                  {"mfgr", W::kMfgr},
+                  {"category", W::kCategory},
+                  {"brand1", W::kBrand}},
+                 t.size(),
+                 [&](size_t r, char* buf) {
+                   const int32_t k = static_cast<int32_t>(t.partkey[r]);
+                   std::memcpy(buf, &k, 4);
+                   std::memcpy(buf + 4, t.mfgr[r].data(),
+                               std::min(t.mfgr[r].size(), W::kMfgr));
+                   std::memcpy(buf + 4 + W::kMfgr, t.category[r].data(),
+                               std::min(t.category[r].size(), W::kCategory));
+                   std::memcpy(buf + 4 + W::kMfgr + W::kCategory,
+                               t.brand1[r].data(),
+                               std::min(t.brand1[r].size(), W::kBrand));
+                 },
+                 &blob));
+    (void)ignored;
+    db->dims_.emplace("part", std::move(blob));
+  }
+  return db;
+}
+
+Result<core::QueryResult> RowMvDatabase::Execute(
+    const core::StarQuery& q) const {
+  // --- Build dimension hash tables by scanning reconstructed dim rows. ---
+  struct DimSide {
+    std::string name;
+    bool has_predicate = false;
+    util::IntMap map{64};
+    std::vector<std::vector<int64_t>> payload;
+    std::vector<size_t> group_slots;
+  };
+  std::vector<DimSide> sides;
+  std::vector<std::unique_ptr<std::vector<std::string>>> pools;
+  core::GroupKeyCodec codec;
+
+  struct AttrMeta {
+    bool is_string = true;
+    int64_t min = INT64_MAX;
+    int64_t max = INT64_MIN;
+    std::vector<std::string>* pool = nullptr;
+    std::unordered_map<std::string, int64_t> intern;
+  };
+  std::vector<AttrMeta> metas(q.group_by.size());
+
+  for (const auto& [dim_name, blob] : dims_) {
+    bool involved = false;
+    for (const auto& p : q.dim_predicates) involved |= p.dim == dim_name;
+    for (const auto& g : q.group_by) involved |= g.dim == dim_name;
+    if (!involved) continue;
+
+    DimSide side;
+    side.name = dim_name;
+    std::vector<const DimPredicate*> preds;
+    for (const auto& p : q.dim_predicates) {
+      if (p.dim == dim_name) {
+        preds.push_back(&p);
+        side.has_predicate = true;
+      }
+    }
+    std::vector<std::pair<size_t, size_t>> attrs;  // (group slot, field idx)
+    for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+      if (q.group_by[gi].dim != dim_name) continue;
+      attrs.emplace_back(gi, blob.FieldIndex(q.group_by[gi].column));
+      AttrMeta& meta = metas[gi];
+      meta.is_string = blob.widths[blob.FieldIndex(q.group_by[gi].column)] != 0;
+      if (meta.is_string && meta.pool == nullptr) {
+        pools.push_back(std::make_unique<std::vector<std::string>>());
+        meta.pool = pools.back().get();
+      }
+    }
+    side.payload.resize(attrs.size());
+    const size_t key_field = blob.FieldIndex(
+        dim_name == "date" ? "datekey" : FkOf(dim_name));
+
+    // Tuple-at-a-time scan of the packed dimension rows.
+    const col::StoredColumn& column = blob.table->column("rows");
+    const storage::PageNumber pages = column.num_pages();
+    for (storage::PageNumber p = 0; p < pages; ++p) {
+      storage::PageGuard guard;
+      CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
+      for (uint32_t i = 0; i < view.num_values(); ++i) {
+        const char* row = view.CharAt(i);
+        bool pass = true;
+        for (const DimPredicate* pred : preds) {
+          const size_t f = blob.FieldIndex(pred->column);
+          if (blob.widths[f] == 0) {
+            pass = MatchInt(*pred, ParseInt(row, blob.offsets[f]));
+          } else {
+            pass = MatchStr(*pred,
+                            ParseStr(row, blob.offsets[f], blob.widths[f]));
+          }
+          if (!pass) break;
+        }
+        if (!pass) continue;
+        const uint32_t payload_row = static_cast<uint32_t>(
+            attrs.empty() ? 0 : side.payload[0].size());
+        for (size_t a = 0; a < attrs.size(); ++a) {
+          const auto [gi, f] = attrs[a];
+          AttrMeta& meta = metas[gi];
+          int64_t code;
+          if (meta.is_string) {
+            const std::string v(
+                ParseStr(row, blob.offsets[f], blob.widths[f]));
+            auto it = meta.intern.find(v);
+            if (it == meta.intern.end()) {
+              it = meta.intern.emplace(v, meta.pool->size()).first;
+              meta.pool->push_back(v);
+            }
+            code = it->second;
+          } else {
+            code = ParseInt(row, blob.offsets[f]);
+            meta.min = std::min(meta.min, code);
+            meta.max = std::max(meta.max, code);
+          }
+          side.payload[a].push_back(code);
+        }
+        side.group_slots.resize(attrs.size());
+        for (size_t a = 0; a < attrs.size(); ++a) {
+          side.group_slots[a] = attrs[a].first;
+        }
+        side.map.Insert(ParseInt(row, blob.offsets[key_field]), payload_row);
+      }
+    }
+    sides.push_back(std::move(side));
+  }
+
+  for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+    const AttrMeta& meta = metas[gi];
+    if (meta.is_string) {
+      codec.AddInternAttr(meta.pool);
+    } else {
+      codec.AddIntAttr(meta.min == INT64_MAX ? 0 : meta.min,
+                       meta.max == INT64_MIN ? 0 : meta.max);
+    }
+  }
+
+  // --- Fact pass: reconstruct each MV tuple, then row-style processing. ---
+  const BlobTable& fact = fact_mvs_.at(q.id);
+  struct Probe {
+    const DimSide* side;
+    size_t offset;
+  };
+  std::vector<Probe> probes;
+  for (const DimSide& side : sides) {
+    probes.push_back(
+        Probe{&side, fact.offsets[fact.FieldIndex(FkOf(side.name))]});
+  }
+  std::sort(probes.begin(), probes.end(), [](const Probe& a, const Probe& b) {
+    return a.side->map.size() < b.side->map.size();
+  });
+  struct LocalPred {
+    size_t offset;
+    int64_t lo, hi;
+  };
+  std::vector<LocalPred> local_preds;
+  for (const auto& fp : q.fact_predicates) {
+    local_preds.push_back(
+        LocalPred{fact.offsets[fact.FieldIndex(fp.column)], fp.lo, fp.hi});
+  }
+  const size_t agg_a = fact.offsets[fact.FieldIndex(q.agg.column_a)];
+  const size_t agg_b = q.agg.kind == AggKind::kSumColumn
+                           ? agg_a
+                           : fact.offsets[fact.FieldIndex(q.agg.column_b)];
+
+  core::GroupAggregator agg(codec);
+  std::vector<int64_t> raw(q.group_by.size());
+  int64_t scalar = 0;
+  const bool grouped = !q.group_by.empty();
+
+  const col::StoredColumn& column = fact.table->column("rows");
+  const storage::PageNumber pages = column.num_pages();
+  for (storage::PageNumber p = 0; p < pages; ++p) {
+    storage::PageGuard guard;
+    CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
+    for (uint32_t i = 0; i < view.num_values(); ++i) {
+      const char* row = view.CharAt(i);
+      bool pass = true;
+      for (const LocalPred& lp : local_preds) {
+        const int64_t v = ParseInt(row, lp.offset);
+        if (v < lp.lo || v > lp.hi) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      for (const Probe& probe : probes) {
+        const uint32_t* payload =
+            probe.side->map.Find(ParseInt(row, probe.offset));
+        if (payload == nullptr) {
+          pass = false;
+          break;
+        }
+        for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
+          raw[probe.side->group_slots[a]] = probe.side->payload[a][*payload];
+        }
+      }
+      if (!pass) continue;
+      int64_t measure = ParseInt(row, agg_a);
+      if (q.agg.kind == AggKind::kSumProduct) measure *= ParseInt(row, agg_b);
+      if (q.agg.kind == AggKind::kSumDiff) measure -= ParseInt(row, agg_b);
+      if (grouped) {
+        agg.Add(codec.Pack(raw.data()), measure);
+      } else {
+        scalar += measure;
+      }
+    }
+  }
+
+  if (!grouped) {
+    core::QueryResult r;
+    r.rows.push_back(core::ResultRow{{}, scalar});
+    return r;
+  }
+  core::QueryResult r = agg.Finish();
+  r.Sort(q.order_by);
+  return r;
+}
+
+uint64_t RowMvDatabase::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, blob] : fact_mvs_) total += blob.table->SizeBytes();
+  for (const auto& [name, blob] : dims_) total += blob.table->SizeBytes();
+  return total;
+}
+
+}  // namespace cstore::ssb

@@ -1,0 +1,63 @@
+// "CS (Row-MV)": row-oriented materialized views stored inside the
+// column-store (§6.1, Figure 5).
+//
+// The paper stores the row-store's materialized-view data in C-Store as
+// tables with a single string column whose values are entire tuples, then
+// executes the queries with row-store operators after tuple reconstruction.
+// We do the same: each per-query MV (and each dimension projection) becomes
+// one fixed-width char column holding packed binary rows; execution parses
+// every tuple and proceeds tuple-at-a-time.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "column/column_table.h"
+#include "core/star_query.h"
+#include "ssb/data.h"
+#include "storage/buffer_pool.h"
+
+namespace cstore::ssb {
+
+/// The Row-MV database: packed-row blob columns inside the column store.
+class RowMvDatabase {
+ public:
+  /// Builds the per-query fact MVs and the dimension projections.
+  static Result<std::unique_ptr<RowMvDatabase>> Build(const SsbData& data,
+                                                      size_t pool_pages = 8192);
+
+  /// Executes a query over its row-MV using row-store-style operators on
+  /// reconstructed tuples.
+  Result<core::QueryResult> Execute(const core::StarQuery& query) const;
+
+  uint64_t SizeBytes() const;
+
+  storage::FileManager& files() { return *files_; }
+  const storage::FileManager& files() const { return *files_; }
+
+  /// One packed-row table: a single char column plus its row layout.
+  struct BlobTable {
+    std::unique_ptr<col::ColumnTable> table;
+    std::vector<std::string> field_names;
+    std::vector<size_t> offsets;
+    std::vector<size_t> widths;  // 0 for int32 fields
+    size_t row_width = 0;
+
+    size_t FieldIndex(const std::string& name) const;
+  };
+
+ private:
+  RowMvDatabase() = default;
+
+  static Result<BlobTable> PackFact(const SsbData& data,
+                                    const core::StarQuery& q,
+                                    storage::FileManager* files,
+                                    storage::BufferPool* pool);
+
+  std::unique_ptr<storage::FileManager> files_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::map<std::string, BlobTable> fact_mvs_;  // by query id
+  std::map<std::string, BlobTable> dims_;      // by dim name
+};
+
+}  // namespace cstore::ssb

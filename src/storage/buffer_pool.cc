@@ -1,0 +1,142 @@
+#include "storage/buffer_pool.h"
+
+namespace cstore::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+char* PageGuard::mutable_data() {
+  CSTORE_CHECK(valid());
+  pool_->MarkDirty(frame_);
+  return data_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(FileManager* files, size_t capacity_pages) : files_(files) {
+  CSTORE_CHECK(capacity_pages > 0);
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_pages - 1 - i);
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    hits_++;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pin_count++;
+    return PageGuard(this, it->second, f.data.get());
+  }
+
+  misses_++;
+  CSTORE_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  CSTORE_RETURN_IF_ERROR(files_->ReadPage(id, f.data.get()));
+  f.page_id = id;
+  f.used = true;
+  f.dirty = false;
+  f.pin_count = 1;
+  f.in_lru = false;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, f.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage(FileId file, PageNumber* page_number) {
+  const PageNumber pn = files_->AllocatePage(file);
+  if (page_number != nullptr) *page_number = pn;
+  return FetchPage(PageId{file, pn});
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.used && f.dirty) {
+      CSTORE_RETURN_IF_ERROR(files_->WritePage(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  CSTORE_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.pin_count != 0) {
+      return Status::Internal("cannot clear buffer pool with pinned pages");
+    }
+    if (f.used) {
+      page_table_.erase(f.page_id);
+      f.used = false;
+      f.in_lru = false;
+      free_frames_.push_back(i);
+    }
+  }
+  lru_.clear();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  CSTORE_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame);
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all pages pinned");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  frames_[victim].in_lru = false;
+  CSTORE_RETURN_IF_ERROR(EvictFrame(victim));
+  return victim;
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  CSTORE_CHECK(f.used && f.pin_count == 0);
+  if (f.dirty) {
+    CSTORE_RETURN_IF_ERROR(files_->WritePage(f.page_id, f.data.get()));
+  }
+  page_table_.erase(f.page_id);
+  f.used = false;
+  f.dirty = false;
+  return Status::OK();
+}
+
+}  // namespace cstore::storage

@@ -1,0 +1,101 @@
+// BufferPool: fixed set of in-memory frames caching file pages, LRU eviction.
+//
+// All reads in both engines flow through here so that "warm buffer pool"
+// behaviour (the paper's measurement protocol, §6) and page-miss accounting
+// are uniform across the row-store and the column-store.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/file_manager.h"
+#include "storage/page.h"
+
+namespace cstore::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffer frame. The referenced bytes stay valid while the
+/// guard is alive; mark dirty before writing.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, char* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard();
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(PageGuard);
+
+  bool valid() const { return pool_ != nullptr; }
+  const char* data() const { return data_; }
+  char* mutable_data();
+
+  /// Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+};
+
+/// Page cache over a FileManager.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames are allocated eagerly.
+  BufferPool(FileManager* files, size_t capacity_pages);
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  /// Pins the page, reading it from the FileManager on a miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh page in `file` and pins it.
+  Result<PageGuard> NewPage(FileId file, PageNumber* page_number);
+
+  /// Writes back every dirty page (used before size accounting).
+  Status FlushAll();
+
+  /// Drops all cached pages (simulates a cold buffer pool). All pins must be
+  /// released first.
+  Status Clear();
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id;
+    bool used = false;
+    bool dirty = false;
+    int pin_count = 0;
+    /// Iterator into lru_ when pin_count == 0 and used.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame);
+  Result<size_t> GetVictimFrame();
+  Status EvictFrame(size_t frame);
+
+  FileManager* files_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  /// Unpinned resident frames, least-recently-used first.
+  std::list<size_t> lru_;
+  std::vector<size_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cstore::storage

@@ -1,0 +1,73 @@
+#include "storage/file_manager.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace cstore::storage {
+
+namespace {
+
+/// Busy-waits for `seconds` (short, sub-millisecond waits; sleeping would
+/// overshoot by scheduler quanta).
+void SpinFor(double seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+FileId FileManager::CreateFile(std::string name) {
+  files_.push_back(File{std::move(name), {}});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+PageNumber FileManager::AllocatePage(FileId file) {
+  CSTORE_CHECK(file < files_.size());
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  files_[file].pages.push_back(std::move(page));
+  stats_.pages_written += 1;
+  stats_.bytes_written += kPageSize;
+  return static_cast<PageNumber>(files_[file].pages.size() - 1);
+}
+
+Status FileManager::ReadPage(PageId id, char* out) const {
+  if (!ValidPage(id)) {
+    return Status::NotFound("page does not exist");
+  }
+  std::memcpy(out, files_[id.file_id].pages[id.page_number].get(), kPageSize);
+  stats_.pages_read += 1;
+  stats_.bytes_read += kPageSize;
+  if (read_seconds_per_page_ > 0) SpinFor(read_seconds_per_page_);
+  return Status::OK();
+}
+
+Status FileManager::WritePage(PageId id, const char* data) {
+  if (!ValidPage(id)) {
+    return Status::NotFound("page does not exist");
+  }
+  std::memcpy(files_[id.file_id].pages[id.page_number].get(), data, kPageSize);
+  stats_.pages_written += 1;
+  stats_.bytes_written += kPageSize;
+  return Status::OK();
+}
+
+PageNumber FileManager::NumPages(FileId file) const {
+  CSTORE_CHECK(file < files_.size());
+  return static_cast<PageNumber>(files_[file].pages.size());
+}
+
+uint64_t FileManager::FileBytes(FileId file) const {
+  return static_cast<uint64_t>(NumPages(file)) * kPageSize;
+}
+
+const std::string& FileManager::FileName(FileId file) const {
+  CSTORE_CHECK(file < files_.size());
+  return files_[file].name;
+}
+
+}  // namespace cstore::storage

@@ -1,0 +1,80 @@
+// FileManager: the "device" layer — named paged files with I/O accounting.
+//
+// Files are RAM-backed (DESIGN.md §5): a read or write here models a disk
+// transfer and is charged to IoStats. Cached access lives one layer up, in
+// the BufferPool, exactly as in a conventional DBMS storage manager.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace cstore::storage {
+
+/// Owns all paged files and the device-level I/O counters.
+class FileManager {
+ public:
+  FileManager() = default;
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(FileManager);
+
+  /// Enables the simulated disk: every page read costs
+  /// kPageSize / (mb_per_sec * 1e6) seconds of wall time (busy-wait),
+  /// modelling the paper's sequential-throughput-bound 4-disk array
+  /// (160-200 MB/s aggregate, §6). 0 disables the model (default). Loads
+  /// should finish before enabling it; writes are never charged.
+  void SetSimulatedDiskBandwidth(double mb_per_sec) {
+    read_seconds_per_page_ =
+        mb_per_sec <= 0 ? 0.0 : kPageSize / (mb_per_sec * 1e6);
+  }
+  double simulated_read_seconds_per_page() const {
+    return read_seconds_per_page_;
+  }
+
+  /// Creates an empty file; names are informational (for size reports).
+  FileId CreateFile(std::string name);
+
+  /// Appends a zeroed page to `file`, returning its page number. Charged as
+  /// one page write.
+  PageNumber AllocatePage(FileId file);
+
+  /// Copies page contents into `out` (kPageSize bytes). Charged as one read.
+  Status ReadPage(PageId id, char* out) const;
+
+  /// Overwrites page contents from `data` (kPageSize bytes). Charged as one
+  /// write.
+  Status WritePage(PageId id, const char* data);
+
+  /// Number of pages in `file`.
+  PageNumber NumPages(FileId file) const;
+
+  /// Total bytes occupied by `file` (pages * page size).
+  uint64_t FileBytes(FileId file) const;
+
+  const std::string& FileName(FileId file) const;
+  size_t num_files() const { return files_.size(); }
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::unique_ptr<char[]>> pages;
+  };
+
+  bool ValidPage(PageId id) const {
+    return id.file_id < files_.size() &&
+           id.page_number < files_[id.file_id].pages.size();
+  }
+
+  std::vector<File> files_;
+  mutable IoStats stats_;
+  double read_seconds_per_page_ = 0.0;
+};
+
+}  // namespace cstore::storage

@@ -1,0 +1,70 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+namespace cstore::storage {
+
+HeapFile::HeapFile(FileManager* files, BufferPool* pool, std::string name,
+                   size_t record_size)
+    : files_(files),
+      pool_(pool),
+      file_id_(files->CreateFile(std::move(name))),
+      record_size_(record_size),
+      records_per_page_((kPageSize - kPageHeaderSize) / record_size) {
+  CSTORE_CHECK(record_size > 0 && record_size <= kPageSize - kPageHeaderSize);
+}
+
+Result<uint64_t> HeapFile::Append(const char* record) {
+  const PageNumber num_pages = files_->NumPages(file_id_);
+  const uint64_t slot_in_page = num_records_ % records_per_page_;
+  PageGuard guard;
+  if (num_pages == 0 || slot_in_page == 0) {
+    PageNumber pn = 0;
+    CSTORE_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_id_, &pn));
+  } else {
+    CSTORE_ASSIGN_OR_RETURN(guard,
+                            pool_->FetchPage(PageId{file_id_, num_pages - 1}));
+  }
+  char* data = guard.mutable_data();
+  uint32_t count = 0;
+  std::memcpy(&count, data, sizeof(count));
+  std::memcpy(data + kPageHeaderSize + count * record_size_, record, record_size_);
+  count += 1;
+  std::memcpy(data, &count, sizeof(count));
+  return num_records_++;
+}
+
+Status HeapFile::Read(uint64_t rid, char* out) const {
+  if (rid >= num_records_) return Status::NotFound("record id out of range");
+  const PageNumber pn = static_cast<PageNumber>(rid / records_per_page_);
+  const size_t slot = rid % records_per_page_;
+  CSTORE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(PageId{file_id_, pn}));
+  std::memcpy(out, guard.data() + kPageHeaderSize + slot * record_size_,
+              record_size_);
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<void(uint64_t, const char*)>& fn) const {
+  return ScanPages(0, files_->NumPages(file_id_), fn);
+}
+
+Status HeapFile::ScanPages(
+    PageNumber first_page, PageNumber last_page,
+    const std::function<void(uint64_t, const char*)>& fn) const {
+  for (PageNumber pn = first_page; pn < last_page; ++pn) {
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->FetchPage(PageId{file_id_, pn}));
+    const char* data = guard.data();
+    uint32_t count = 0;
+    std::memcpy(&count, data, sizeof(count));
+    uint64_t rid = static_cast<uint64_t>(pn) * records_per_page_;
+    const char* rec = data + kPageHeaderSize;
+    for (uint32_t i = 0; i < count; ++i, rec += record_size_) {
+      fn(rid + i, rec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cstore::storage

@@ -1,0 +1,58 @@
+// HeapFile: an append-only file of fixed-size records packed into pages.
+//
+// The row engine stores every physical table (traditional, vertical
+// partition, materialized view) as one or more heap files; records never
+// span pages, mirroring a slotted-page row-store with fixed-width tuples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace cstore::storage {
+
+/// Fixed-record heap file. Page layout: [uint32 record_count][records...].
+class HeapFile {
+ public:
+  /// Creates a new heap file named `name` holding `record_size`-byte records.
+  HeapFile(FileManager* files, BufferPool* pool, std::string name,
+           size_t record_size);
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(HeapFile);
+
+  size_t record_size() const { return record_size_; }
+  uint64_t num_records() const { return num_records_; }
+  FileId file_id() const { return file_id_; }
+  size_t records_per_page() const { return records_per_page_; }
+
+  /// Appends one record (`record_size` bytes). Returns its ordinal record id.
+  Result<uint64_t> Append(const char* record);
+
+  /// Reads record `rid` into `out`.
+  Status Read(uint64_t rid, char* out) const;
+
+  /// Full sequential scan: fn(rid, record_bytes) for every record, page at a
+  /// time through the buffer pool. `fn` must not retain the pointer.
+  Status Scan(const std::function<void(uint64_t, const char*)>& fn) const;
+
+  /// Scans only the records of pages in [first_page, last_page).
+  Status ScanPages(PageNumber first_page, PageNumber last_page,
+                   const std::function<void(uint64_t, const char*)>& fn) const;
+
+  uint64_t SizeBytes() const { return files_->FileBytes(file_id_); }
+  PageNumber NumPages() const { return files_->NumPages(file_id_); }
+
+ private:
+  static constexpr size_t kPageHeaderSize = sizeof(uint32_t);
+
+  FileManager* files_;
+  BufferPool* pool_;
+  FileId file_id_;
+  size_t record_size_;
+  size_t records_per_page_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace cstore::storage

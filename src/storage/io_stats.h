@@ -1,0 +1,32 @@
+// I/O accounting for the simulated disk (see DESIGN.md §5 Substitutions).
+//
+// The paper's experiments were I/O-aware (4-disk array, 160–200 MB/s
+// aggregate). Our storage is RAM-backed, so instead of real latencies we
+// count every page that crosses the file-manager boundary; the benchmark
+// harness reports these counts next to wall time so the paper's I/O-volume
+// arguments (e.g. VP reads ~4x the bytes per column) remain checkable.
+#pragma once
+
+#include <cstdint>
+
+namespace cstore::storage {
+
+/// Monotonic counters of simulated device traffic.
+struct IoStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{pages_read - other.pages_read,
+                   pages_written - other.pages_written,
+                   bytes_read - other.bytes_read,
+                   bytes_written - other.bytes_written};
+  }
+};
+
+}  // namespace cstore::storage

@@ -1,0 +1,34 @@
+// Page geometry and identifiers for the paged storage manager.
+//
+// The paper's System X was configured with 32 KB disk pages (§6.2); we use
+// the same page size so per-page accounting is comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/hash.h"
+
+namespace cstore::storage {
+
+/// Bytes per page.
+inline constexpr size_t kPageSize = 32 * 1024;
+
+using FileId = uint32_t;
+using PageNumber = uint32_t;
+
+/// Globally unique page address: (file, page-within-file).
+struct PageId {
+  FileId file_id = 0;
+  PageNumber page_number = 0;
+
+  bool operator==(const PageId& other) const = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return util::HashCombine(util::Mix64(id.file_id), util::Mix64(id.page_number));
+  }
+};
+
+}  // namespace cstore::storage

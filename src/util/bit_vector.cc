@@ -1,0 +1,43 @@
+#include "util/bit_vector.h"
+
+namespace cstore::util {
+
+void BitVector::SetRange(size_t begin, size_t end) {
+  CSTORE_DCHECK(begin <= end && end <= num_bits_);
+  for (size_t i = begin; i < end && (i & 63) != 0; ++i) Set(i);
+  size_t i = (begin + 63) & ~size_t{63};
+  if (i < begin) i = begin;  // begin already word-aligned
+  for (; i + 64 <= end; i += 64) words_[i >> 6] = ~0ULL;
+  for (; i < end; ++i) Set(i);
+}
+
+size_t BitVector::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+void BitVector::And(const BitVector& other) {
+  CSTORE_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  CSTORE_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::Not() {
+  for (auto& w : words_) w = ~w;
+  // Clear the padding bits beyond num_bits_ so Count() stays correct.
+  const size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void BitVector::AppendSetPositions(std::vector<uint32_t>* out) const {
+  ForEachSet([out](uint32_t pos) { out->push_back(pos); });
+}
+
+}  // namespace cstore::util

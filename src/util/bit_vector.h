@@ -1,0 +1,73 @@
+// BitVector: dense bitset used for bitmap position lists and bitmap indices.
+//
+// Position lists in the paper are "a simple array, a bit string ... or a set
+// of ranges" (§5.2); this is the bit-string representation, with the bulk
+// bitwise AND/OR the paper uses to intersect predicate results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cstore::util {
+
+/// Fixed-size dense bitset with word-at-a-time bulk operations.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero vector of `n` bits.
+  explicit BitVector(size_t n) : num_bits_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    CSTORE_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Clear(size_t i) {
+    CSTORE_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool Get(size_t i) const {
+    CSTORE_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets all bits in [begin, end).
+  void SetRange(size_t begin, size_t end);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// this &= other (sizes must match) — bitmap intersection.
+  void And(const BitVector& other);
+  /// this |= other (sizes must match).
+  void Or(const BitVector& other);
+  /// Flips every bit.
+  void Not();
+
+  /// Appends the positions of all set bits to `out`.
+  void AppendSetPositions(std::vector<uint32_t>* out) const;
+
+  /// Calls fn(position) for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<uint32_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitVector& other) const = default;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cstore::util

@@ -1,0 +1,40 @@
+// Hashing primitives used by hash joins, hash aggregation, and Value.
+//
+// We use a SplitMix64-style finalizer for integers and an FNV-1a/murmur-style
+// mix for byte strings: cheap, statistically solid, and deterministic across
+// runs (important for reproducible benchmarks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstore::util {
+
+/// Avalanching 64-bit mix (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of a 64-bit integer.
+inline uint64_t HashInt64(int64_t v) { return Mix64(static_cast<uint64_t>(v)); }
+
+/// Hash of an arbitrary byte range.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace cstore::util

@@ -1,0 +1,116 @@
+// Flat open-addressing hash containers for integer keys.
+//
+// Both engines use these for joins and grouped aggregation so that hash-table
+// quality is identical across the row-store and the column-store — the
+// paper's comparisons are about architecture, not hash-map implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "util/hash.h"
+
+namespace cstore::util {
+
+/// Open-addressing map from int64 keys to a uint32 payload (e.g. an index
+/// into a side array). Linear probing, power-of-two capacity, no deletion.
+class IntMap {
+ public:
+  explicit IntMap(size_t expected = 16) { Rehash(CapacityFor(expected)); }
+
+  /// Inserts key->value; returns false (keeping the old value) if present.
+  bool Insert(int64_t key, uint32_t value) {
+    if ((size_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+    size_t i = IndexOf(key);
+    if (used_[i]) return false;
+    used_[i] = 1;
+    keys_[i] = key;
+    values_[i] = value;
+    size_++;
+    return true;
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  const uint32_t* Find(int64_t key) const {
+    const size_t i = IndexOf(key);
+    return used_[i] ? &values_[i] : nullptr;
+  }
+
+  /// Returns the value for `key`, inserting `fallback` first if absent.
+  uint32_t* FindOrInsert(int64_t key, uint32_t fallback) {
+    if ((size_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+    const size_t i = IndexOf(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      keys_[i] = key;
+      values_[i] = fallback;
+      size_++;
+    }
+    return &values_[i];
+  }
+
+  bool Contains(int64_t key) const { return Find(key) != nullptr; }
+  size_t size() const { return size_; }
+
+  /// Calls fn(key, value) for every entry (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static size_t CapacityFor(size_t expected) {
+    size_t cap = 16;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    return cap;
+  }
+
+  size_t IndexOf(int64_t key) const {
+    size_t i = Mix64(static_cast<uint64_t>(key)) & (capacity_ - 1);
+    while (used_[i] && keys_[i] != key) i = (i + 1) & (capacity_ - 1);
+    return i;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    capacity_ = new_capacity;
+    keys_.assign(capacity_, 0);
+    values_.assign(capacity_, 0);
+    used_.assign(capacity_, 0);
+    size_ = 0;
+    for (size_t i = 0; i < old_used.size(); ++i) {
+      if (old_used[i]) Insert(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> values_;
+  std::vector<uint8_t> used_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+/// Open-addressing set of int64 keys (thin wrapper over IntMap semantics).
+class IntSet {
+ public:
+  explicit IntSet(size_t expected = 16) : map_(expected) {}
+
+  void Insert(int64_t key) { map_.Insert(key, 0); }
+  bool Contains(int64_t key) const { return map_.Contains(key); }
+  size_t size() const { return map_.size(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&fn](int64_t k, uint32_t) { fn(k); });
+  }
+
+ private:
+  IntMap map_;
+};
+
+}  // namespace cstore::util

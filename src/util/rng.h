@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the data generator.
+//
+// xoshiro256** seeded via SplitMix64. Deterministic across platforms so the
+// SSBM generator produces bit-identical tables for a given (seed, scale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace cstore::util {
+
+/// Small, fast, deterministic PRNG (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    CSTORE_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random fixed-length uppercase-alpha string (TPC-H-style text filler).
+  std::string AlphaString(size_t len) {
+    std::string s(len, 'A');
+    for (auto& c : s) c = static_cast<char>('A' + Uniform(0, 25));
+    return s;
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cstore::util

@@ -1,0 +1,64 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+namespace cstore::util {
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  for (const auto& r : rows_) all.push_back(r);
+
+  std::vector<size_t> widths;
+  for (const auto& row : all) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += " ";
+      // Left-align the first (label) column, right-align numbers.
+      if (i == 0) {
+        line += cell + std::string(widths[i] - cell.size(), ' ');
+      } else {
+        line += std::string(widths[i] - cell.size(), ' ') + cell;
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += sep;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += sep;
+  }
+  for (const auto& r : rows_) out += render_row(r);
+  out += sep;
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace cstore::util

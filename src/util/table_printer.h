@@ -1,0 +1,37 @@
+// TablePrinter: aligned ASCII tables in the layout of the paper's figures
+// (one row per system/configuration, one column per query, AVG last).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cstore::util {
+
+/// Collects rows of cells and renders an aligned, pipe-separated table.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers (first column is the row label).
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row; cell count should match the header.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 1);
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cstore::util

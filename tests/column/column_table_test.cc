@@ -1,0 +1,142 @@
+#include "column/column_table.h"
+
+#include <gtest/gtest.h>
+
+#include "column/block_cursor.h"
+#include "util/rng.h"
+
+namespace cstore::col {
+namespace {
+
+class ColumnTableTest : public ::testing::Test {
+ protected:
+  ColumnTableTest() : pool_(&files_, 64) {}
+  storage::FileManager files_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(ColumnTableTest, EncodingSelectionUnderFullCompression) {
+  ColumnTable t(&files_, &pool_, "t");
+  util::Rng rng(8);
+
+  std::vector<int64_t> sorted(50000);
+  for (auto& v : sorted) v = rng.Uniform(0, 100);
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_TRUE(t.AddIntColumn("sorted", DataType::kInt32, sorted,
+                             CompressionMode::kFull).ok());
+  EXPECT_EQ(t.column("sorted").info().encoding, compress::Encoding::kRle);
+  EXPECT_TRUE(t.column("sorted").info().sorted);
+
+  std::vector<int64_t> narrow(50000);
+  for (auto& v : narrow) v = rng.Uniform(0, 1000);
+  ASSERT_TRUE(t.AddIntColumn("narrow", DataType::kInt32, narrow,
+                             CompressionMode::kFull).ok());
+  EXPECT_EQ(t.column("narrow").info().encoding, compress::Encoding::kBitPack);
+
+  std::vector<int64_t> wide(50000);
+  for (auto& v : wide) v = static_cast<int64_t>(rng.Next());
+  ASSERT_TRUE(t.AddIntColumn("wide", DataType::kInt64, wide,
+                             CompressionMode::kFull).ok());
+  EXPECT_EQ(t.column("wide").info().encoding, compress::Encoding::kPlainInt64);
+}
+
+TEST_F(ColumnTableTest, NoCompressionKeepsDeclaredWidth) {
+  ColumnTable t(&files_, &pool_, "t");
+  ASSERT_TRUE(t.AddIntColumn("a", DataType::kInt32, {1, 2, 3},
+                             CompressionMode::kNone).ok());
+  ASSERT_TRUE(t.AddIntColumn("b", DataType::kInt64, {1, 2, 3},
+                             CompressionMode::kNone).ok());
+  EXPECT_EQ(t.column("a").info().encoding, compress::Encoding::kPlainInt32);
+  EXPECT_EQ(t.column("b").info().encoding, compress::Encoding::kPlainInt64);
+}
+
+TEST_F(ColumnTableTest, CharColumnModes) {
+  const std::vector<std::string> values = {"ASIA", "EUROPE", "ASIA", "AFRICA"};
+  ColumnTable t(&files_, &pool_, "t");
+  ASSERT_TRUE(t.AddCharColumn("raw", 12, values, CompressionMode::kNone).ok());
+  ASSERT_TRUE(
+      t.AddCharColumn("dict", 12, values, CompressionMode::kDictOnly).ok());
+  ASSERT_TRUE(
+      t.AddCharColumn("full", 12, values, CompressionMode::kFull).ok());
+
+  EXPECT_EQ(t.column("raw").info().encoding, compress::Encoding::kPlainChar);
+  EXPECT_EQ(t.column("raw").info().dict, nullptr);
+  EXPECT_EQ(t.column("dict").info().encoding, compress::Encoding::kPlainInt32);
+  ASSERT_NE(t.column("dict").info().dict, nullptr);
+  EXPECT_EQ(t.column("dict").info().dict->size(), 3u);
+  ASSERT_NE(t.column("full").info().dict, nullptr);
+
+  // All three decode to the same strings.
+  for (const char* name : {"raw", "dict", "full"}) {
+    std::vector<std::string> out;
+    ASSERT_TRUE(t.column(name).DecodeAllStrings(&out).ok());
+    EXPECT_EQ(out, values) << name;
+  }
+}
+
+TEST_F(ColumnTableTest, RowCountMismatchRejected) {
+  ColumnTable t(&files_, &pool_, "t");
+  ASSERT_TRUE(t.AddIntColumn("a", DataType::kInt32, {1, 2, 3},
+                             CompressionMode::kNone).ok());
+  auto s = t.AddIntColumn("b", DataType::kInt32, {1, 2},
+                          CompressionMode::kNone);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(ColumnTableTest, BlockCursorSeesAllValues) {
+  ColumnTable t(&files_, &pool_, "t");
+  util::Rng rng(9);
+  std::vector<int64_t> values(123457);
+  for (auto& v : values) v = rng.Uniform(-1000, 1000);
+  ASSERT_TRUE(t.AddIntColumn("c", DataType::kInt32, values,
+                             CompressionMode::kFull).ok());
+
+  // Block interface.
+  {
+    BlockCursor cursor(&t.column("c"));
+    std::vector<int64_t> got;
+    uint32_t n;
+    const int64_t* block;
+    while ((block = cursor.NextBlock(&n)), n > 0) {
+      got.insert(got.end(), block, block + n);
+    }
+    EXPECT_EQ(got, values);
+  }
+  // getNext interface, after Reset.
+  {
+    BlockCursor cursor(&t.column("c"));
+    int64_t v;
+    ASSERT_TRUE(cursor.GetNext(&v));
+    cursor.Reset();
+    std::vector<int64_t> got;
+    while (cursor.GetNext(&v)) got.push_back(v);
+    EXPECT_EQ(got, values);
+  }
+}
+
+TEST_F(ColumnTableTest, CompressionShrinksStorage) {
+  ColumnTable t(&files_, &pool_, "t");
+  std::vector<int64_t> sorted(200000);
+  util::Rng rng(10);
+  for (auto& v : sorted) v = rng.Uniform(0, 50);
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_TRUE(t.AddIntColumn("plain", DataType::kInt32, sorted,
+                             CompressionMode::kNone).ok());
+  ASSERT_TRUE(t.AddIntColumn("rle", DataType::kInt32, sorted,
+                             CompressionMode::kFull).ok());
+  EXPECT_LT(t.column("rle").SizeBytes() * 10, t.column("plain").SizeBytes());
+}
+
+TEST_F(ColumnTableTest, PageStartsCoverColumn) {
+  ColumnTable t(&files_, &pool_, "t");
+  std::vector<int64_t> values(100000, 1);
+  ASSERT_TRUE(t.AddIntColumn("c", DataType::kInt32, values,
+                             CompressionMode::kNone).ok());
+  const auto& starts = t.column("c").info().page_starts;
+  ASSERT_EQ(starts.size(), t.column("c").num_pages());
+  EXPECT_EQ(starts[0], 0u);
+  for (size_t i = 1; i < starts.size(); ++i) EXPECT_GT(starts[i], starts[i - 1]);
+}
+
+}  // namespace
+}  // namespace cstore::col

@@ -1,0 +1,44 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cstore {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Field::Int32("k"), Field::Int64("v"), Field::Char("s", 10)});
+}
+
+TEST(SchemaTest, FieldWidths) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.field(0).Width(), 4u);
+  EXPECT_EQ(s.field(1).Width(), 8u);
+  EXPECT_EQ(s.field(2).Width(), 10u);
+  EXPECT_EQ(s.RowWidth(), 22u);
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.IndexOf("v").ValueOrDie(), 1u);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+  EXPECT_TRUE(s.Contains("s"));
+  EXPECT_FALSE(s.Contains("nope"));
+}
+
+TEST(SchemaTest, Project) {
+  const Schema s = MakeSchema();
+  const Schema p = s.Project({"s", "k"}).ValueOrDie();
+  ASSERT_EQ(p.num_fields(), 2u);
+  EXPECT_EQ(p.field(0).name, "s");
+  EXPECT_EQ(p.field(1).name, "k");
+  EXPECT_TRUE(s.Project({"k", "zzz"}).status().IsNotFound());
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_fields(), 0u);
+  EXPECT_EQ(s.RowWidth(), 0u);
+}
+
+}  // namespace
+}  // namespace cstore

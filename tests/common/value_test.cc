@@ -1,0 +1,44 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cstore {
+namespace {
+
+TEST(ValueTest, IntAccessorsAndWidening) {
+  EXPECT_EQ(Value::Int32(7).AsInt32(), 7);
+  EXPECT_EQ(Value::Int64(1LL << 40).AsInt64(), 1LL << 40);
+  EXPECT_EQ(Value::Int32(-3).AsIntegral(), -3);
+  EXPECT_EQ(Value::Int64(-3).AsIntegral(), -3);
+}
+
+TEST(ValueTest, StringAccessor) {
+  EXPECT_EQ(Value::Str("ASIA").AsString(), "ASIA");
+  EXPECT_EQ(Value::Str("ASIA").type(), DataType::kChar);
+}
+
+TEST(ValueTest, CrossWidthIntEquality) {
+  EXPECT_EQ(Value::Int32(42), Value::Int64(42));
+  EXPECT_NE(Value::Int32(42), Value::Int64(43));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int32(1), Value::Int64(2));
+  EXPECT_LT(Value::Str("ASIA"), Value::Str("EUROPE"));
+  EXPECT_FALSE(Value::Str("EUROPE") < Value::Str("ASIA"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int32(5).ToString(), "5");
+  EXPECT_EQ(Value::Int64(-17).ToString(), "-17");
+  EXPECT_EQ(Value::Str("x").ToString(), "x");
+}
+
+TEST(ValueTest, HashIsStableAndWidthInsensitive) {
+  EXPECT_EQ(Value::Int32(9).Hash(), Value::Int64(9).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  EXPECT_NE(Value::Str("abc").Hash(), Value::Str("abd").Hash());
+}
+
+}  // namespace
+}  // namespace cstore

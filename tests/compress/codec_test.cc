@@ -1,0 +1,192 @@
+// Codec round-trip and direct-operation properties, swept over encodings and
+// data shapes with parameterized tests.
+#include <gtest/gtest.h>
+
+#include "column/column_table.h"
+#include "compress/column_writer.h"
+#include "compress/page_format.h"
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+
+namespace cstore::compress {
+namespace {
+
+struct CodecCase {
+  const char* name;
+  Encoding encoding;
+  bool sorted;
+  int64_t min;
+  int64_t max;
+  size_t n;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+std::vector<int64_t> MakeValues(const CodecCase& c) {
+  util::Rng rng(4242);
+  std::vector<int64_t> values(c.n);
+  for (auto& v : values) v = rng.Uniform(c.min, c.max);
+  if (c.sorted) std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST_P(CodecRoundTrip, EncodeDecodeIdentity) {
+  const CodecCase& c = GetParam();
+  const std::vector<int64_t> values = MakeValues(c);
+
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("col");
+  uint8_t bits = 0;
+  int64_t base = 0;
+  if (c.encoding == Encoding::kBitPack) {
+    ColumnStats stats;
+    stats.min = c.min;
+    stats.max = c.max;
+    bits = BitsFor(stats);
+    base = c.min;
+  }
+  ColumnPageWriter writer(&files, file, c.encoding, 0, base, bits);
+  for (int64_t v : values) writer.AppendInt(v);
+  ASSERT_EQ(writer.Finish().ValueOrDie(), values.size());
+
+  // page_starts must be consistent with per-page counts.
+  const auto& starts = writer.page_starts();
+  ASSERT_EQ(starts.size(), files.NumPages(file));
+
+  std::vector<int64_t> decoded;
+  std::vector<char> page(storage::kPageSize);
+  std::vector<int64_t> buf;
+  uint64_t seen = 0;
+  for (storage::PageNumber p = 0; p < files.NumPages(file); ++p) {
+    ASSERT_TRUE(files.ReadPage(storage::PageId{file, p}, page.data()).ok());
+    PageView view(page.data(), c.encoding, 0);
+    EXPECT_EQ(starts[p], seen) << "page " << p;
+    buf.resize(view.num_values());
+    ASSERT_EQ(view.DecodeInt64(buf.data()), view.num_values());
+    decoded.insert(decoded.end(), buf.begin(), buf.end());
+    seen += view.num_values();
+
+    // ValueAt must agree with the bulk decode on sampled offsets.
+    for (uint32_t i = 0; i < view.num_values();
+         i += std::max<uint32_t>(1, view.num_values() / 7)) {
+      EXPECT_EQ(view.ValueAt(i), buf[i]);
+    }
+  }
+  ASSERT_EQ(decoded.size(), values.size());
+  EXPECT_EQ(decoded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodecRoundTrip,
+    ::testing::Values(
+        CodecCase{"plain32_small", Encoding::kPlainInt32, false, -100, 100, 10000},
+        CodecCase{"plain32_page_boundary", Encoding::kPlainInt32, false, 0,
+                  1 << 30, 8190 * 3 + 1},
+        CodecCase{"plain64", Encoding::kPlainInt64, false, INT64_MIN / 2,
+                  INT64_MAX / 2, 20000},
+        CodecCase{"rle_sorted", Encoding::kRle, true, 0, 50, 100000},
+        CodecCase{"rle_all_equal", Encoding::kRle, false, 7, 7, 50000},
+        CodecCase{"rle_no_runs", Encoding::kRle, false, 0, 1 << 30, 30000},
+        CodecCase{"rle_many_pages", Encoding::kRle, false, 0, 3, 300000},
+        CodecCase{"bitpack_1bit", Encoding::kBitPack, false, 0, 1, 100000},
+        CodecCase{"bitpack_7bit", Encoding::kBitPack, false, -64, 63, 100000},
+        CodecCase{"bitpack_33bit", Encoding::kBitPack, false, 0, 1LL << 32,
+                  50000},
+        CodecCase{"bitpack_negative_base", Encoding::kBitPack, false, -5000,
+                  -4000, 40000},
+        CodecCase{"empty_plain", Encoding::kPlainInt32, false, 0, 10, 0},
+        CodecCase{"single_value", Encoding::kRle, false, 9, 9, 1}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(CodecTest, CharRoundTrip) {
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("chars");
+  const size_t width = 9;
+  ColumnPageWriter writer(&files, file, Encoding::kPlainChar, width);
+  std::vector<std::string> values;
+  util::Rng rng(1);
+  for (int i = 0; i < 30000; ++i) {
+    values.push_back(rng.AlphaString(rng.Uniform(0, width)));
+    writer.AppendChar(values.back());
+  }
+  ASSERT_EQ(writer.Finish().ValueOrDie(), values.size());
+
+  std::vector<char> page(storage::kPageSize);
+  size_t idx = 0;
+  for (storage::PageNumber p = 0; p < files.NumPages(file); ++p) {
+    ASSERT_TRUE(files.ReadPage(storage::PageId{file, p}, page.data()).ok());
+    PageView view(page.data(), Encoding::kPlainChar, width);
+    for (uint32_t i = 0; i < view.num_values(); ++i, ++idx) {
+      const char* s = view.CharAt(i);
+      size_t len = width;
+      while (len > 0 && s[len - 1] == '\0') --len;
+      EXPECT_EQ(std::string_view(s, len), values[idx]);
+    }
+  }
+  EXPECT_EQ(idx, values.size());
+}
+
+TEST(CodecTest, LongStringsAreTruncatedToWidth) {
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("chars");
+  ColumnPageWriter writer(&files, file, Encoding::kPlainChar, 4);
+  writer.AppendChar("abcdefgh");
+  ASSERT_TRUE(writer.Finish().ok());
+  std::vector<char> page(storage::kPageSize);
+  ASSERT_TRUE(files.ReadPage(storage::PageId{file, 0}, page.data()).ok());
+  PageView view(page.data(), Encoding::kPlainChar, 4);
+  EXPECT_EQ(std::string_view(view.CharAt(0), 4), "abcd");
+}
+
+TEST(EncodingTest, ChooseIntEncoding) {
+  ColumnStats sorted_runs;
+  sorted_runs.num_values = 1000;
+  sorted_runs.num_runs = 10;
+  sorted_runs.min = 0;
+  sorted_runs.max = 9;
+  EXPECT_EQ(ChooseIntEncoding(sorted_runs), Encoding::kRle);
+
+  ColumnStats narrow;
+  narrow.num_values = 1000;
+  narrow.num_runs = 1000;
+  narrow.min = 0;
+  narrow.max = 1000;
+  EXPECT_EQ(ChooseIntEncoding(narrow), Encoding::kBitPack);
+
+  ColumnStats wide;
+  wide.num_values = 1000;
+  wide.num_runs = 1000;
+  wide.min = 0;
+  wide.max = 1LL << 40;
+  EXPECT_EQ(ChooseIntEncoding(wide), Encoding::kPlainInt64);
+
+  ColumnStats wide32;
+  wide32.num_values = 1000;
+  wide32.num_runs = 1000;
+  wide32.min = INT32_MIN;
+  wide32.max = INT32_MAX;
+  EXPECT_EQ(ChooseIntEncoding(wide32), Encoding::kPlainInt32);
+}
+
+TEST(EncodingTest, BitsFor) {
+  ColumnStats s;
+  s.min = 0;
+  s.max = 0;
+  EXPECT_EQ(BitsFor(s), 1);
+  s.max = 1;
+  EXPECT_EQ(BitsFor(s), 1);
+  s.max = 2;
+  EXPECT_EQ(BitsFor(s), 2);
+  s.max = 255;
+  EXPECT_EQ(BitsFor(s), 8);
+  s.max = 256;
+  EXPECT_EQ(BitsFor(s), 9);
+  s.min = -1;
+  s.max = 0;
+  EXPECT_EQ(BitsFor(s), 1);
+}
+
+}  // namespace
+}  // namespace cstore::compress

@@ -1,0 +1,55 @@
+#include "compress/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace cstore::compress {
+namespace {
+
+TEST(DictionaryTest, BuildSortsAndDeduplicates) {
+  const Dictionary d =
+      Dictionary::Build({"EUROPE", "ASIA", "ASIA", "AFRICA", "EUROPE"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.Decode(0), "AFRICA");
+  EXPECT_EQ(d.Decode(1), "ASIA");
+  EXPECT_EQ(d.Decode(2), "EUROPE");
+}
+
+TEST(DictionaryTest, CodesAreOrderPreserving) {
+  const Dictionary d = Dictionary::Build({"b", "d", "a", "c"});
+  EXPECT_LT(d.CodeOf("a"), d.CodeOf("b"));
+  EXPECT_LT(d.CodeOf("b"), d.CodeOf("c"));
+  EXPECT_LT(d.CodeOf("c"), d.CodeOf("d"));
+}
+
+TEST(DictionaryTest, CodeOfMissing) {
+  const Dictionary d = Dictionary::Build({"x", "y"});
+  EXPECT_EQ(d.CodeOf("z"), -1);
+  EXPECT_EQ(d.CodeOf(""), -1);
+}
+
+TEST(DictionaryTest, BoundsForRangePredicates) {
+  const Dictionary d = Dictionary::Build({"MFGR#2221", "MFGR#2222",
+                                          "MFGR#2228", "MFGR#2230"});
+  // Range [MFGR#2221, MFGR#2228] covers codes [0, 2].
+  EXPECT_EQ(d.LowerBound("MFGR#2221"), 0);
+  EXPECT_EQ(d.UpperBound("MFGR#2228") - 1, 2);
+  // Range endpoints that are absent still bound correctly.
+  EXPECT_EQ(d.LowerBound("MFGR#2224"), 2);
+  EXPECT_EQ(d.UpperBound("MFGR#0") - 1, -1);  // empty range
+  EXPECT_EQ(d.LowerBound("MFGR#9"), static_cast<int32_t>(d.size()));
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  const Dictionary d = Dictionary::Build({});
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.CodeOf("x"), -1);
+  EXPECT_EQ(d.LowerBound("x"), 0);
+}
+
+TEST(DictionaryTest, ByteSizeAccountsEntries) {
+  const Dictionary d = Dictionary::Build({"aa", "bbbb"});
+  EXPECT_EQ(d.ByteSize(), 2u + 4u + 2 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace cstore::compress

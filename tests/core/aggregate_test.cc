@@ -1,0 +1,112 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace cstore::core {
+namespace {
+
+TEST(GroupKeyCodecTest, PackUnpackIntAttrs) {
+  GroupKeyCodec codec;
+  codec.AddIntAttr(1992, 1998);
+  codec.AddIntAttr(-10, 10);
+  const int64_t raw[2] = {1997, -3};
+  const uint64_t key = codec.Pack(raw);
+  const std::vector<Value> values = codec.Unpack(key);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].AsIntegral(), 1997);
+  EXPECT_EQ(values[1].AsIntegral(), -3);
+}
+
+TEST(GroupKeyCodecTest, PackUnpackDictAttr) {
+  auto dict = std::make_shared<compress::Dictionary>(
+      compress::Dictionary::Build({"ASIA", "EUROPE", "AFRICA"}));
+  GroupKeyCodec codec;
+  codec.AddDictAttr(dict);
+  codec.AddIntAttr(0, 1);
+  const int64_t raw[2] = {dict->CodeOf("EUROPE"), 1};
+  const std::vector<Value> values = codec.Unpack(codec.Pack(raw));
+  EXPECT_EQ(values[0].AsString(), "EUROPE");
+  EXPECT_EQ(values[1].AsIntegral(), 1);
+}
+
+TEST(GroupKeyCodecTest, PackUnpackInternAttr) {
+  std::vector<std::string> pool = {"alpha", "beta"};
+  GroupKeyCodec codec;
+  codec.AddInternAttr(&pool);
+  const int64_t raw[1] = {1};
+  EXPECT_EQ(codec.Unpack(codec.Pack(raw))[0].AsString(), "beta");
+}
+
+TEST(GroupKeyCodecTest, DistinctTuplesGetDistinctKeys) {
+  GroupKeyCodec codec;
+  codec.AddIntAttr(0, 100);
+  codec.AddIntAttr(0, 100);
+  std::set<uint64_t> keys;
+  for (int64_t a = 0; a <= 100; a += 7) {
+    for (int64_t b = 0; b <= 100; b += 7) {
+      const int64_t raw[2] = {a, b};
+      EXPECT_TRUE(keys.insert(codec.Pack(raw)).second);
+    }
+  }
+}
+
+TEST(GroupAggregatorTest, SumsMatchStdMapReference) {
+  GroupKeyCodec codec;
+  codec.AddIntAttr(0, 9);
+  codec.AddIntAttr(0, 9);
+  GroupAggregator agg(codec);
+
+  util::Rng rng(88);
+  std::map<std::pair<int64_t, int64_t>, int64_t> ref;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t a = rng.Uniform(0, 9), b = rng.Uniform(0, 9);
+    const int64_t v = rng.Uniform(-100, 100);
+    const int64_t raw[2] = {a, b};
+    agg.Add(codec.Pack(raw), v);
+    ref[{a, b}] += v;
+  }
+  const QueryResult result = agg.Finish();
+  EXPECT_EQ(result.rows.size(), ref.size());
+  for (const ResultRow& row : result.rows) {
+    const auto key = std::make_pair(row.group_values[0].AsIntegral(),
+                                    row.group_values[1].AsIntegral());
+    ASSERT_TRUE(ref.contains(key));
+    EXPECT_EQ(row.sum, ref[key]);
+  }
+}
+
+TEST(QueryResultTest, SortByGroups) {
+  QueryResult r;
+  r.rows = {{{Value::Int64(2), Value::Str("b")}, 10},
+            {{Value::Int64(1), Value::Str("z")}, 20},
+            {{Value::Int64(1), Value::Str("a")}, 30}};
+  r.Sort(OrderBy::kGroups);
+  EXPECT_EQ(r.rows[0].sum, 30);
+  EXPECT_EQ(r.rows[1].sum, 20);
+  EXPECT_EQ(r.rows[2].sum, 10);
+}
+
+TEST(QueryResultTest, SortLastAscSumDesc) {
+  // Flight 3 ordering: last group column ascending, then sum descending.
+  QueryResult r;
+  r.rows = {{{Value::Str("x"), Value::Int64(1997)}, 10},
+            {{Value::Str("y"), Value::Int64(1992)}, 5},
+            {{Value::Str("z"), Value::Int64(1997)}, 99}};
+  r.Sort(OrderBy::kLastAscSumDesc);
+  EXPECT_EQ(r.rows[0].group_values[1].AsIntegral(), 1992);
+  EXPECT_EQ(r.rows[1].sum, 99);
+  EXPECT_EQ(r.rows[2].sum, 10);
+}
+
+TEST(QueryResultTest, ToStringIsCanonical) {
+  QueryResult r;
+  r.rows = {{{Value::Str("ASIA"), Value::Int64(1997)}, 42}};
+  EXPECT_EQ(r.ToString(), "ASIA|1997|42\n");
+}
+
+}  // namespace
+}  // namespace cstore::core

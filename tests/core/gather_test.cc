@@ -1,0 +1,117 @@
+// Gather properties: extraction at a position list equals indexing the
+// original vector, for every encoding.
+#include <gtest/gtest.h>
+
+#include "column/column_table.h"
+#include "core/gather.h"
+#include "util/rng.h"
+
+namespace cstore::core {
+namespace {
+
+struct GatherCase {
+  const char* name;
+  col::CompressionMode mode;
+  bool sorted;
+  int64_t cardinality;
+  double selectivity;
+};
+
+class GatherProperty : public ::testing::TestWithParam<GatherCase> {};
+
+TEST_P(GatherProperty, MatchesDirectIndexing) {
+  const GatherCase& c = GetParam();
+  util::Rng rng(31337);
+  std::vector<int64_t> values(80000);
+  for (auto& v : values) v = rng.Uniform(0, c.cardinality - 1);
+  if (c.sorted) std::sort(values.begin(), values.end());
+
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values, c.mode).ok());
+
+  util::BitVector sel(values.size());
+  std::vector<int64_t> expected;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (rng.Bernoulli(c.selectivity)) {
+      sel.Set(i);
+      expected.push_back(values[i]);
+    }
+  }
+
+  std::vector<int64_t> got;
+  ASSERT_TRUE(GatherInts(table.column("c"), sel, &got).ok());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GatherProperty,
+    ::testing::Values(
+        GatherCase{"plain_dense", col::CompressionMode::kNone, false, 1 << 20,
+                   0.5},
+        GatherCase{"plain_sparse", col::CompressionMode::kNone, false, 1 << 20,
+                   0.001},
+        GatherCase{"rle_dense", col::CompressionMode::kFull, true, 30, 0.5},
+        GatherCase{"rle_sparse", col::CompressionMode::kFull, true, 30, 0.0005},
+        GatherCase{"bitpack_dense", col::CompressionMode::kFull, false, 700,
+                   0.3},
+        GatherCase{"bitpack_sparse", col::CompressionMode::kFull, false, 700,
+                   0.002}),
+    [](const ::testing::TestParamInfo<GatherCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(GatherTest, EmptySelection) {
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, {1, 2, 3},
+                                 col::CompressionMode::kNone).ok());
+  util::BitVector sel(3);
+  std::vector<int64_t> got;
+  ASSERT_TRUE(GatherInts(table.column("c"), sel, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(GatherTest, SparseGatherSkipsPages) {
+  // A one-position gather on a large plain column must touch only a couple
+  // of pages — the late-materialization I/O benefit.
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  std::vector<int64_t> values(200000, 5);
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values,
+                                 col::CompressionMode::kNone).ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  const uint64_t before = files.stats().pages_read;
+  util::BitVector sel(values.size());
+  sel.Set(150000);
+  std::vector<int64_t> got;
+  ASSERT_TRUE(GatherInts(table.column("c"), sel, &got).ok());
+  EXPECT_EQ(got, std::vector<int64_t>{5});
+  EXPECT_LE(files.stats().pages_read - before, 2u);
+}
+
+TEST(GatherTest, InternedCharGather) {
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  std::vector<std::string> values = {"x", "y", "x", "z", "y", "x"};
+  ASSERT_TRUE(table.AddCharColumn("c", 4, values,
+                                  col::CompressionMode::kNone).ok());
+  util::BitVector sel(values.size());
+  for (size_t i = 0; i < values.size(); i += 2) sel.Set(i);  // x, x, y
+  std::vector<int64_t> codes;
+  std::vector<std::string> pool_strings;
+  ASSERT_TRUE(GatherCharsInterned(table.column("c"), sel, &codes,
+                                  &pool_strings).ok());
+  ASSERT_EQ(codes.size(), 3u);
+  EXPECT_EQ(pool_strings[codes[0]], "x");
+  EXPECT_EQ(pool_strings[codes[1]], "x");
+  EXPECT_EQ(pool_strings[codes[2]], "y");
+  EXPECT_EQ(pool_strings.size(), 2u);  // only seen values are interned
+}
+
+}  // namespace
+}  // namespace cstore::core

@@ -1,0 +1,170 @@
+// Scan properties: every (encoding x iteration mode) combination must select
+// exactly the rows a scalar loop selects — direct operation on compressed
+// data is an optimization, never a semantics change.
+#include <gtest/gtest.h>
+
+#include "column/column_table.h"
+#include "core/scan.h"
+#include "util/rng.h"
+
+namespace cstore::core {
+namespace {
+
+struct ScanCase {
+  const char* name;
+  col::CompressionMode mode;
+  bool sorted;
+  int64_t cardinality;
+  bool block_iteration;
+};
+
+class ScanProperty : public ::testing::TestWithParam<ScanCase> {};
+
+TEST_P(ScanProperty, MatchesScalarReference) {
+  const ScanCase& c = GetParam();
+  util::Rng rng(2024);
+  std::vector<int64_t> values(50000);
+  for (auto& v : values) v = rng.Uniform(0, c.cardinality - 1);
+  if (c.sorted) std::sort(values.begin(), values.end());
+
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values, c.mode).ok());
+  const col::StoredColumn& column = table.column("c");
+
+  // Range predicate.
+  {
+    const IntPredicate pred =
+        IntPredicate::Range(c.cardinality / 4, c.cardinality / 2);
+    util::BitVector bits(values.size());
+    const uint64_t matches =
+        ScanInt(column, pred, c.block_iteration, &bits).ValueOrDie();
+    uint64_t expected = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool hit = pred.Matches(values[i]);
+      expected += hit;
+      ASSERT_EQ(bits.Get(i), hit) << i;
+    }
+    EXPECT_EQ(matches, expected);
+  }
+  // Set predicate (the hash-lookup join path).
+  {
+    IntPredicate pred;
+    pred.kind = IntPredicate::Kind::kSet;
+    for (int i = 0; i < 5; ++i) pred.set.Insert(rng.Uniform(0, c.cardinality - 1));
+    util::BitVector bits(values.size());
+    const uint64_t matches =
+        ScanInt(column, pred, c.block_iteration, &bits).ValueOrDie();
+    uint64_t expected = 0;
+    for (size_t i = 0; i < values.size(); ++i) expected += pred.Matches(values[i]);
+    EXPECT_EQ(matches, expected);
+  }
+  // Empty predicate selects nothing.
+  {
+    util::BitVector bits(values.size());
+    EXPECT_EQ(ScanInt(column, IntPredicate::Empty(), c.block_iteration, &bits)
+                  .ValueOrDie(),
+              0u);
+    EXPECT_EQ(bits.Count(), 0u);
+  }
+  // kNone predicate selects everything.
+  {
+    util::BitVector bits(values.size());
+    EXPECT_EQ(ScanInt(column, IntPredicate{}, c.block_iteration, &bits)
+                  .ValueOrDie(),
+              values.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScanProperty,
+    ::testing::Values(
+        ScanCase{"plain_block", col::CompressionMode::kNone, false, 1 << 20, true},
+        ScanCase{"plain_tuple", col::CompressionMode::kNone, false, 1 << 20, false},
+        ScanCase{"rle_block", col::CompressionMode::kFull, true, 40, true},
+        ScanCase{"rle_tuple", col::CompressionMode::kFull, true, 40, false},
+        ScanCase{"bitpack_block", col::CompressionMode::kFull, false, 900, true},
+        ScanCase{"bitpack_tuple", col::CompressionMode::kFull, false, 900,
+                 false}),
+    [](const ::testing::TestParamInfo<ScanCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(ScanCharTest, StringPredicatesOnRawChar) {
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  std::vector<std::string> values;
+  const char* regions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  util::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) values.push_back(regions[rng.Uniform(0, 4)]);
+  ASSERT_TRUE(table.AddCharColumn("r", 12, values,
+                                  col::CompressionMode::kNone).ok());
+
+  for (bool block : {true, false}) {
+    StrPredicate eq;
+    eq.op = PredOp::kEq;
+    eq.values = {"ASIA"};
+    util::BitVector bits(values.size());
+    const uint64_t matches =
+        ScanChar(table.column("r"), eq, block, &bits).ValueOrDie();
+    uint64_t expected = 0;
+    for (const auto& v : values) expected += v == "ASIA";
+    EXPECT_EQ(matches, expected);
+
+    StrPredicate in;
+    in.op = PredOp::kIn;
+    in.values = {"ASIA", "EUROPE"};
+    util::BitVector bits2(values.size());
+    const uint64_t m2 =
+        ScanChar(table.column("r"), in, block, &bits2).ValueOrDie();
+    uint64_t e2 = 0;
+    for (const auto& v : values) e2 += v == "ASIA" || v == "EUROPE";
+    EXPECT_EQ(m2, e2);
+  }
+}
+
+TEST(ScanTest, DictStringPredicateEqualsRawStringPredicate) {
+  // The same predicate through a dictionary column and a raw char column
+  // must pick identical rows (compression never changes semantics).
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  std::vector<std::string> values;
+  util::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back("MFGR#" + std::to_string(rng.Uniform(1, 5)) +
+                     std::to_string(rng.Uniform(1, 5)));
+  }
+  ASSERT_TRUE(table.AddCharColumn("raw", 7, values,
+                                  col::CompressionMode::kNone).ok());
+  ASSERT_TRUE(table.AddCharColumn("dict", 7, values,
+                                  col::CompressionMode::kFull).ok());
+
+  DimPredicate spec = DimPredicate::StrRange("t", "x", "MFGR#22", "MFGR#34");
+  auto raw_pred =
+      CompiledPredicate::Compile(spec, table.column("raw")).ValueOrDie();
+  auto dict_pred =
+      CompiledPredicate::Compile(spec, table.column("dict")).ValueOrDie();
+  util::BitVector raw_bits(values.size()), dict_bits(values.size());
+  ScanColumn(table.column("raw"), raw_pred, true, &raw_bits).ValueOrDie();
+  ScanColumn(table.column("dict"), dict_pred, true, &dict_bits).ValueOrDie();
+  EXPECT_EQ(raw_bits, dict_bits);
+  EXPECT_GT(raw_bits.Count(), 0u);
+}
+
+TEST(PredicateTest, CompileEqMissingStringYieldsEmpty) {
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddCharColumn("c", 8, {"a", "b"},
+                                  col::CompressionMode::kFull).ok());
+  auto pred = CompiledPredicate::Compile(DimPredicate::StrEq("t", "c", "zzz"),
+                                         table.column("c"))
+                  .ValueOrDie();
+  EXPECT_EQ(pred.int_pred().kind, IntPredicate::Kind::kEmpty);
+}
+
+}  // namespace
+}  // namespace cstore::core

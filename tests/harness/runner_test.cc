@@ -1,0 +1,66 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace cstore::harness {
+namespace {
+
+TEST(RunnerTest, TimeCellRunsWarmupPlusReps) {
+  int calls = 0;
+  const CellResult cell = TimeCell([&] { calls++; }, 3, nullptr);
+  EXPECT_EQ(calls, 4);  // 1 warm-up + 3 timed
+  EXPECT_GE(cell.seconds, 0.0);
+}
+
+TEST(RunnerTest, TimeCellCapturesIoDelta) {
+  storage::IoStats stats;
+  const CellResult cell = TimeCell([&] { stats.pages_read += 10; }, 2, &stats);
+  EXPECT_EQ(cell.pages_read, 10u);  // 20 pages over 2 reps (warm-up excluded)
+}
+
+TEST(RunnerTest, SeriesAverage) {
+  SeriesResult s;
+  s.by_query["1.1"] = CellResult{0.1, 0};
+  s.by_query["1.2"] = CellResult{0.3, 0};
+  EXPECT_DOUBLE_EQ(s.AverageSeconds(), 0.2);
+  EXPECT_DOUBLE_EQ(SeriesResult{}.AverageSeconds(), 0.0);
+}
+
+TEST(RunnerTest, ParseArgs) {
+  const char* argv[] = {"bench", "--sf", "0.5", "--reps", "7",
+                        "--pool", "99",  "--disk", "123.5"};
+  const BenchArgs args = BenchArgs::Parse(9, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.scale_factor, 0.5);
+  EXPECT_EQ(args.repetitions, 7);
+  EXPECT_EQ(args.pool_pages, 99u);
+  EXPECT_DOUBLE_EQ(args.disk_mbps, 123.5);
+}
+
+TEST(RunnerTest, ParseArgsDefaults) {
+  const char* argv[] = {"bench"};
+  const BenchArgs args = BenchArgs::Parse(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.scale_factor, 0.1);
+  EXPECT_GT(args.pool_pages, 0u);
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  util::TablePrinter t("title");
+  t.SetHeader({"config", "1.1"});
+  t.AddRow({"CS", "4.0"});
+  t.AddRow({"RS longer", "25.7"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("| CS        |"), std::string::npos);
+  EXPECT_NE(s.find("| RS longer |"), std::string::npos);
+  EXPECT_NE(s.find("25.7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(util::TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::TablePrinter::Num(10, 0), "10");
+}
+
+}  // namespace
+}  // namespace cstore::harness

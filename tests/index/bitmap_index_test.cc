@@ -1,0 +1,54 @@
+#include "index/bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cstore::index {
+namespace {
+
+TEST(BitmapIndexTest, EqSelectsMatchingRows) {
+  auto idx = BitmapIndex::Build({3, 1, 4, 1, 5, 9, 2, 6, 5, 3}).ValueOrDie();
+  EXPECT_EQ(idx.cardinality(), 7u);
+  const util::BitVector ones = idx.Eq(1);
+  EXPECT_EQ(ones.Count(), 2u);
+  EXPECT_TRUE(ones.Get(1));
+  EXPECT_TRUE(ones.Get(3));
+}
+
+TEST(BitmapIndexTest, EqMissingValueIsEmpty) {
+  auto idx = BitmapIndex::Build({1, 2, 3}).ValueOrDie();
+  EXPECT_EQ(idx.Eq(99).Count(), 0u);
+  EXPECT_EQ(idx.Eq(99).size(), 3u);
+}
+
+TEST(BitmapIndexTest, RangeOrsPerValueBitmaps) {
+  util::Rng rng(17);
+  std::vector<int64_t> values(5000);
+  for (auto& v : values) v = rng.Uniform(0, 10);
+  auto idx = BitmapIndex::Build(values).ValueOrDie();
+  const util::BitVector bits = idx.Range(1, 3);
+  size_t expected = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const bool in = values[i] >= 1 && values[i] <= 3;
+    expected += in;
+    EXPECT_EQ(bits.Get(i), in) << i;
+  }
+  EXPECT_EQ(bits.Count(), expected);
+}
+
+TEST(BitmapIndexTest, CardinalityLimit) {
+  std::vector<int64_t> values(100);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = static_cast<int64_t>(i);
+  auto r = BitmapIndex::Build(values, 50);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(BitmapIndexTest, ByteSize) {
+  auto idx = BitmapIndex::Build({0, 1, 0, 1, 0, 1, 0, 1}).ValueOrDie();
+  EXPECT_EQ(idx.ByteSize(), 2u * 1u);  // 2 values x 1 byte of bitmap
+}
+
+}  // namespace
+}  // namespace cstore::index

@@ -1,0 +1,111 @@
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cstore::index {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&files_, 64) {}
+  storage::FileManager files_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree(&files_, &pool_, "idx");
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  size_t count = 0;
+  ASSERT_TRUE(tree.ScanAll([&](int64_t, uint32_t) { count++; }).ok());
+  ASSERT_TRUE(tree.ScanRange(0, 100, [&](int64_t, uint32_t) { count++; }).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(BPlusTreeTest, ScanAllIsKeyOrdered) {
+  BPlusTree tree(&files_, &pool_, "idx");
+  util::Rng rng(3);
+  std::vector<IndexEntry> entries;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    entries.push_back(IndexEntry{rng.Uniform(-1000, 1000), i, 0});
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_GT(tree.height(), 1u);
+
+  int64_t prev = INT64_MIN;
+  size_t count = 0;
+  ASSERT_TRUE(tree.ScanAll([&](int64_t key, uint32_t) {
+                  EXPECT_GE(key, prev);
+                  prev = key;
+                  count++;
+                }).ok());
+  EXPECT_EQ(count, entries.size());
+}
+
+TEST_F(BPlusTreeTest, RangeScanMatchesBruteForce) {
+  BPlusTree tree(&files_, &pool_, "idx");
+  util::Rng rng(5);
+  std::vector<IndexEntry> entries;
+  for (uint32_t i = 0; i < 30000; ++i) {
+    entries.push_back(IndexEntry{rng.Uniform(0, 500), i, 0});
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+
+  for (const auto& [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 500}, {100, 100}, {37, 210}, {499, 600}, {-50, -1}}) {
+    size_t expected = 0;
+    for (const auto& e : entries) expected += e.key >= lo && e.key <= hi;
+    size_t got = 0;
+    ASSERT_TRUE(tree.ScanRange(lo, hi, [&](int64_t key, uint32_t) {
+                    EXPECT_GE(key, lo);
+                    EXPECT_LE(key, hi);
+                    got++;
+                  }).ok());
+    EXPECT_EQ(got, expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(BPlusTreeTest, DuplicateRunsSpanningLeavesAreComplete) {
+  // Few distinct keys, many duplicates: duplicate runs cross leaf pages;
+  // the descent must land early enough to see all of them.
+  BPlusTree tree(&files_, &pool_, "idx");
+  std::vector<IndexEntry> entries;
+  for (uint32_t i = 0; i < 60000; ++i) {
+    entries.push_back(IndexEntry{static_cast<int64_t>(i % 11), i, 0});
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  for (int64_t key = 0; key <= 10; ++key) {
+    size_t got = 0;
+    ASSERT_TRUE(
+        tree.ScanRange(key, key, [&](int64_t, uint32_t) { got++; }).ok());
+    EXPECT_EQ(got, 60000u / 11 + (key < 60000 % 11 ? 1 : 0)) << key;
+  }
+}
+
+TEST_F(BPlusTreeTest, ExtremeBounds) {
+  BPlusTree tree(&files_, &pool_, "idx");
+  std::vector<IndexEntry> entries = {{5, 1, 0}, {10, 2, 0}, {15, 3, 0}};
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  size_t got = 0;
+  ASSERT_TRUE(tree.ScanRange(INT64_MIN, INT64_MAX,
+                             [&](int64_t, uint32_t) { got++; }).ok());
+  EXPECT_EQ(got, 3u);
+}
+
+TEST_F(BPlusTreeTest, SizeAccounting) {
+  BPlusTree tree(&files_, &pool_, "idx");
+  std::vector<IndexEntry> entries(10000);
+  for (uint32_t i = 0; i < entries.size(); ++i) {
+    entries[i] = IndexEntry{static_cast<int64_t>(i), i, 0};
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_EQ(tree.num_entries(), 10000u);
+  // 16 bytes per entry plus node overhead: at least entries * 16 bytes.
+  EXPECT_GE(tree.SizeBytes(), 10000u * sizeof(IndexEntry));
+}
+
+}  // namespace
+}  // namespace cstore::index

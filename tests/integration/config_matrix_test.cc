@@ -1,0 +1,97 @@
+// Property test: every combination of the Figure-7 knobs (block iteration,
+// invisible join, late materialization) x (compressed, uncompressed storage)
+// returns the same answer for every SSBM query. Removing optimizations must
+// never change results — only speed.
+#include <gtest/gtest.h>
+
+#include "core/star_executor.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+
+namespace cstore {
+namespace {
+
+struct MatrixCase {
+  bool compressed;
+  bool block_iteration;
+  bool invisible_join;
+  bool late_materialization;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  core::ExecConfig config{info.param.block_iteration, info.param.invisible_join,
+                          info.param.late_materialization};
+  std::string code = config.Code(info.param.compressed);
+  // Test names must be alphanumeric; encode lowercase letters as '_X'.
+  std::string name;
+  for (char c : code) {
+    if (std::islower(c)) {
+      name += '_';
+      name += static_cast<char>(std::toupper(c));
+    } else {
+      name += c;
+    }
+  }
+  return name;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::GenParams params;
+    params.scale_factor = 0.01;
+    data_ = new ssb::SsbData(ssb::Generate(params));
+    compressed_ =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kFull)
+            .ValueOrDie()
+            .release();
+    uncompressed_ =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kNone)
+            .ValueOrDie()
+            .release();
+  }
+
+  static ssb::SsbData* data_;
+  static ssb::ColumnDatabase* compressed_;
+  static ssb::ColumnDatabase* uncompressed_;
+};
+
+ssb::SsbData* ConfigMatrixTest::data_ = nullptr;
+ssb::ColumnDatabase* ConfigMatrixTest::compressed_ = nullptr;
+ssb::ColumnDatabase* ConfigMatrixTest::uncompressed_ = nullptr;
+
+TEST_P(ConfigMatrixTest, AllQueriesMatchReference) {
+  const MatrixCase& c = GetParam();
+  const ssb::ColumnDatabase* db = c.compressed ? compressed_ : uncompressed_;
+  core::ExecConfig config{c.block_iteration, c.invisible_join,
+                          c.late_materialization};
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+    auto got = core::ExecuteStarQuery(db->Schema(), q, config);
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
+        << "Q" << q.id << " config=" << config.Code(c.compressed);
+  }
+}
+
+std::vector<MatrixCase> AllCases() {
+  std::vector<MatrixCase> cases;
+  for (bool compressed : {true, false}) {
+    for (bool block : {true, false}) {
+      for (bool ij : {true, false}) {
+        for (bool lm : {true, false}) {
+          cases.push_back(MatrixCase{compressed, block, ij, lm});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, ConfigMatrixTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace cstore

@@ -1,0 +1,148 @@
+// Integration: every engine and physical design returns the same answer for
+// every SSBM query, and that answer matches the naive reference executor.
+#include <gtest/gtest.h>
+
+#include "core/star_executor.h"
+#include "core/table_executor.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "ssb/row_db.h"
+#include "ssb/row_exec.h"
+#include "ssb/row_mv_cstore.h"
+
+namespace cstore {
+namespace {
+
+using ssb::AllQueries;
+
+class EnginesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::GenParams params;
+    params.scale_factor = 0.01;
+    data_ = new ssb::SsbData(ssb::Generate(params));
+
+    auto col_full =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kFull);
+    ASSERT_TRUE(col_full.ok()) << col_full.status().ToString();
+    col_full_ = std::move(col_full).ValueOrDie().release();
+
+    auto col_none =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kNone);
+    ASSERT_TRUE(col_none.ok());
+    col_none_ = std::move(col_none).ValueOrDie().release();
+
+    ssb::RowDbOptions options;
+    options.bitmap_indexes = true;
+    options.vertical_partitions = true;
+    options.all_indexes = true;
+    options.materialized_views = true;
+    auto row = ssb::RowDatabase::Build(*data_, options);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    row_ = std::move(row).ValueOrDie().release();
+
+    auto row_mv = ssb::RowMvDatabase::Build(*data_);
+    ASSERT_TRUE(row_mv.ok()) << row_mv.status().ToString();
+    row_mv_ = std::move(row_mv).ValueOrDie().release();
+  }
+
+  static ssb::SsbData* data_;
+  static ssb::ColumnDatabase* col_full_;
+  static ssb::ColumnDatabase* col_none_;
+  static ssb::RowDatabase* row_;
+  static ssb::RowMvDatabase* row_mv_;
+};
+
+ssb::SsbData* EnginesTest::data_ = nullptr;
+ssb::ColumnDatabase* EnginesTest::col_full_ = nullptr;
+ssb::ColumnDatabase* EnginesTest::col_none_ = nullptr;
+ssb::RowDatabase* EnginesTest::row_ = nullptr;
+ssb::RowMvDatabase* EnginesTest::row_mv_ = nullptr;
+
+TEST_F(EnginesTest, ColumnStoreMatchesReference) {
+  for (const core::StarQuery& q : AllQueries()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+    auto got = core::ExecuteStarQuery(col_full_->Schema(), q,
+                                      core::ExecConfig::AllOn());
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << "Q" << q.id;
+  }
+}
+
+TEST_F(EnginesTest, UncompressedColumnStoreMatchesReference) {
+  for (const core::StarQuery& q : AllQueries()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+    auto got = core::ExecuteStarQuery(col_none_->Schema(), q,
+                                      core::ExecConfig::AllOn());
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << "Q" << q.id;
+  }
+}
+
+class RowDesignTest : public EnginesTest,
+                      public ::testing::WithParamInterface<ssb::RowDesign> {};
+
+TEST_P(RowDesignTest, MatchesReference) {
+  for (const core::StarQuery& q : AllQueries()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+    auto got = ssb::ExecuteRowQuery(*row_, q, GetParam());
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
+        << "Q" << q.id << " design=" << ssb::RowDesignName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, RowDesignTest,
+    ::testing::Values(ssb::RowDesign::kTraditional,
+                      ssb::RowDesign::kTraditionalBitmap,
+                      ssb::RowDesign::kMaterializedViews,
+                      ssb::RowDesign::kVerticalPartitioning,
+                      ssb::RowDesign::kIndexOnly),
+    [](const ::testing::TestParamInfo<ssb::RowDesign>& info) {
+      switch (info.param) {
+        case ssb::RowDesign::kTraditional:
+          return std::string("Traditional");
+        case ssb::RowDesign::kTraditionalBitmap:
+          return std::string("TraditionalBitmap");
+        case ssb::RowDesign::kMaterializedViews:
+          return std::string("MaterializedViews");
+        case ssb::RowDesign::kVerticalPartitioning:
+          return std::string("VerticalPartitioning");
+        case ssb::RowDesign::kIndexOnly:
+          return std::string("IndexOnly");
+      }
+      return std::string("Unknown");
+    });
+
+TEST_F(EnginesTest, RowMvInColumnStoreMatchesReference) {
+  for (const core::StarQuery& q : AllQueries()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+    auto got = row_mv_->Execute(q);
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << "Q" << q.id;
+  }
+}
+
+TEST_F(EnginesTest, DenormalizedMatchesReference) {
+  for (const col::CompressionMode mode :
+       {col::CompressionMode::kNone, col::CompressionMode::kDictOnly,
+        col::CompressionMode::kFull}) {
+    auto denorm = ssb::DenormalizedDatabase::Build(*data_, mode);
+    ASSERT_TRUE(denorm.ok()) << denorm.status().ToString();
+    for (const core::StarQuery& q : AllQueries()) {
+      const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+      auto got = core::ExecuteTableQuery(denorm.ValueOrDie()->table(),
+                                         ssb::ToDenormalizedQuery(q),
+                                         core::ExecConfig::AllOn());
+      ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+      EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
+          << "Q" << q.id << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cstore

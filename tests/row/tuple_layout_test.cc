@@ -1,0 +1,57 @@
+#include "row/tuple_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace cstore::row {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field::Int32("a"), Field::Char("s", 6), Field::Int64("b")});
+}
+
+TEST(TupleLayoutTest, SizeIncludesHeaderAndRecordId) {
+  const TupleLayout layout((TestSchema()));
+  // 8 header + 4 rid + 4 + 6 + 8 fields.
+  EXPECT_EQ(layout.tuple_size(), 30u);
+  EXPECT_EQ(layout.field_offset(0), 12u);
+  EXPECT_EQ(layout.field_offset(1), 16u);
+  EXPECT_EQ(layout.field_offset(2), 22u);
+}
+
+TEST(TupleLayoutTest, FieldRoundTrip) {
+  const TupleLayout layout((TestSchema()));
+  std::vector<char> buf(layout.tuple_size(), 0x7f);
+  layout.InitHeader(buf.data());
+  layout.SetRecordId(buf.data(), 12345);
+  layout.SetInt32(buf.data(), 0, -42);
+  layout.SetChar(buf.data(), 1, "hi");
+  layout.SetInt64(buf.data(), 2, 1LL << 50);
+
+  EXPECT_EQ(layout.GetRecordId(buf.data()), 12345u);
+  EXPECT_EQ(layout.GetInt32(buf.data(), 0), -42);
+  EXPECT_EQ(layout.GetChar(buf.data(), 1), std::string_view("hi\0\0\0\0", 6));
+  EXPECT_EQ(layout.GetInt64(buf.data(), 2), 1LL << 50);
+  EXPECT_EQ(layout.GetIntegral(buf.data(), 0), -42);
+  EXPECT_EQ(layout.GetIntegral(buf.data(), 2), 1LL << 50);
+}
+
+TEST(TupleLayoutTest, CharTruncationAndPadding) {
+  const TupleLayout layout((TestSchema()));
+  std::vector<char> buf(layout.tuple_size(), 0);
+  layout.SetChar(buf.data(), 1, "abcdefghij");  // longer than width 6
+  EXPECT_EQ(layout.GetChar(buf.data(), 1), "abcdef");
+  layout.SetChar(buf.data(), 1, "x");
+  EXPECT_EQ(layout.GetChar(buf.data(), 1), std::string_view("x\0\0\0\0\0", 6));
+}
+
+TEST(TupleLayoutTest, HeaderStoresLength) {
+  const TupleLayout layout((TestSchema()));
+  std::vector<char> buf(layout.tuple_size(), 0);
+  layout.InitHeader(buf.data());
+  uint32_t len;
+  std::memcpy(&len, buf.data(), sizeof(len));
+  EXPECT_EQ(len, layout.tuple_size());
+}
+
+}  // namespace
+}  // namespace cstore::row

@@ -1,0 +1,163 @@
+// Generator invariants: cardinalities, hierarchies, value domains, sort
+// orders — everything the engines and the between-predicate rewriting
+// depend on.
+#include <gtest/gtest.h>
+
+#include "ssb/generator.h"
+
+namespace cstore::ssb {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenParams params;
+    params.scale_factor = 0.01;
+    data_ = new SsbData(Generate(params));
+  }
+  static SsbData* data_;
+};
+
+SsbData* GeneratorTest::data_ = nullptr;
+
+TEST_F(GeneratorTest, Cardinalities) {
+  const Cardinalities c = CardinalitiesFor(0.01);
+  EXPECT_EQ(data_->lineorder.size(), c.lineorders);
+  EXPECT_EQ(data_->customer.size(), c.customers);
+  EXPECT_EQ(data_->supplier.size(), c.suppliers);
+  EXPECT_EQ(data_->part.size(), c.parts);
+  EXPECT_EQ(data_->date.size(), 2557u);  // 1992-01-01 .. 1998-12-31
+}
+
+TEST_F(GeneratorTest, CardinalityFormulaAtScaleOne) {
+  const Cardinalities c = CardinalitiesFor(1.0);
+  EXPECT_EQ(c.customers, 30000u);
+  EXPECT_EQ(c.suppliers, 2000u);
+  EXPECT_EQ(c.lineorders, 6000000u);
+  EXPECT_EQ(c.parts, 200000u);
+  EXPECT_EQ(CardinalitiesFor(4.0).parts, 600000u);  // 200k * (1 + log2(4))
+}
+
+TEST_F(GeneratorTest, Deterministic) {
+  GenParams params;
+  params.scale_factor = 0.01;
+  const SsbData again = Generate(params);
+  EXPECT_EQ(again.lineorder.revenue, data_->lineorder.revenue);
+  EXPECT_EQ(again.customer.city, data_->customer.city);
+}
+
+TEST_F(GeneratorTest, DateTableCalendar) {
+  const DateTable& d = data_->date;
+  EXPECT_EQ(d.datekey.front(), 19920101);
+  EXPECT_EQ(d.datekey.back(), 19981231);
+  // Keys strictly ascending (needed for between rewriting on orderdate).
+  for (size_t i = 1; i < d.size(); ++i) ASSERT_LT(d.datekey[i - 1], d.datekey[i]);
+  // Leap days present.
+  EXPECT_NE(std::find(d.datekey.begin(), d.datekey.end(), 19920229),
+            d.datekey.end());
+  EXPECT_NE(std::find(d.datekey.begin(), d.datekey.end(), 19960229),
+            d.datekey.end());
+  // yearmonth format used by Q3.4.
+  EXPECT_NE(std::find(d.yearmonth.begin(), d.yearmonth.end(), "Dec1997"),
+            d.yearmonth.end());
+}
+
+TEST_F(GeneratorTest, CustomerHierarchySorted) {
+  const CustomerTable& c = data_->customer;
+  for (size_t i = 1; i < c.size(); ++i) {
+    // (region, nation, city) non-decreasing lexicographically.
+    const auto prev = std::tie(c.region[i - 1], c.nation[i - 1], c.city[i - 1]);
+    const auto curr = std::tie(c.region[i], c.nation[i], c.city[i]);
+    ASSERT_LE(prev, curr) << "row " << i;
+    ASSERT_EQ(c.custkey[i], static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST_F(GeneratorTest, PartHierarchySorted) {
+  const PartTable& p = data_->part;
+  for (size_t i = 1; i < p.size(); ++i) {
+    const auto prev = std::tie(p.mfgr[i - 1], p.category[i - 1], p.brand1[i - 1]);
+    const auto curr = std::tie(p.mfgr[i], p.category[i], p.brand1[i]);
+    ASSERT_LE(prev, curr) << "row " << i;
+  }
+}
+
+TEST_F(GeneratorTest, CityNamesFollowSsbScheme) {
+  const CustomerTable& c = data_->customer;
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(c.city[i].size(), 10u);
+    // First 9 characters = nation name (padded), last = digit.
+    std::string prefix = c.nation[i];
+    prefix.resize(9, ' ');
+    ASSERT_EQ(c.city[i].substr(0, 9), prefix);
+    ASSERT_TRUE(isdigit(c.city[i][9]));
+  }
+  // The query literals exist in the domain.
+  bool has_uk1 = false;
+  for (const auto& city : data_->supplier.city) has_uk1 |= city == "UNITED KI1";
+  EXPECT_TRUE(has_uk1);
+}
+
+TEST_F(GeneratorTest, LineorderSortOrder) {
+  // Sorted by (orderdate, quantity, discount) — the C-Store sort order.
+  const LineorderTable& lo = data_->lineorder;
+  for (size_t i = 1; i < lo.size(); ++i) {
+    const auto prev =
+        std::tie(lo.orderdate[i - 1], lo.quantity[i - 1], lo.discount[i - 1]);
+    const auto curr = std::tie(lo.orderdate[i], lo.quantity[i], lo.discount[i]);
+    ASSERT_LE(prev, curr) << "row " << i;
+  }
+}
+
+TEST_F(GeneratorTest, LineorderDomains) {
+  const LineorderTable& lo = data_->lineorder;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    ASSERT_GE(lo.quantity[i], 1);
+    ASSERT_LE(lo.quantity[i], 50);
+    ASSERT_GE(lo.discount[i], 0);
+    ASSERT_LE(lo.discount[i], 10);
+    ASSERT_GE(lo.custkey[i], 1);
+    ASSERT_LE(lo.custkey[i], static_cast<int64_t>(data_->customer.size()));
+    ASSERT_GE(lo.partkey[i], 1);
+    ASSERT_LE(lo.partkey[i], static_cast<int64_t>(data_->part.size()));
+    ASSERT_GE(lo.suppkey[i], 1);
+    ASSERT_LE(lo.suppkey[i], static_cast<int64_t>(data_->supplier.size()));
+    ASSERT_EQ(lo.revenue[i], lo.extendedprice[i] * (100 - lo.discount[i]) / 100);
+    ASSERT_GE(lo.commitdate[i], lo.orderdate[i]);
+  }
+}
+
+TEST_F(GeneratorTest, RegionNationMapping) {
+  for (int n = 0; n < 25; ++n) {
+    const int r = RegionOfNation(n);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 5);
+  }
+  // Spot checks.
+  auto nation_index = [](const char* name) {
+    for (int i = 0; i < 25; ++i) {
+      if (std::string_view(kNations[i]) == name) return i;
+    }
+    return -1;
+  };
+  EXPECT_EQ(kRegions[RegionOfNation(nation_index("UNITED STATES"))],
+            std::string_view("AMERICA"));
+  EXPECT_EQ(kRegions[RegionOfNation(nation_index("CHINA"))],
+            std::string_view("ASIA"));
+  EXPECT_EQ(kRegions[RegionOfNation(nation_index("UNITED KINGDOM"))],
+            std::string_view("EUROPE"));
+}
+
+TEST_F(GeneratorTest, FksAreRoughlyUniform) {
+  // Each of the 5 regions should get about 1/5 of the customers.
+  std::map<std::string, size_t> by_region;
+  for (const auto& r : data_->customer.region) by_region[r]++;
+  EXPECT_EQ(by_region.size(), 5u);
+  for (const auto& [region, count] : by_region) {
+    EXPECT_NEAR(static_cast<double>(count) / data_->customer.size(), 0.2, 0.07)
+        << region;
+  }
+}
+
+}  // namespace
+}  // namespace cstore::ssb

@@ -1,0 +1,78 @@
+// §3 selectivity validation: the generator must reproduce the LINEORDER
+// selectivity the paper reports for each query (within sampling noise —
+// these are the numbers that make each figure's workload comparable).
+#include <gtest/gtest.h>
+
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+
+namespace cstore::ssb {
+namespace {
+
+class SelectivityTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    GenParams params;
+    params.scale_factor = 0.05;  // 300k rows: enough for stable estimates
+    data_ = new SsbData(Generate(params));
+  }
+  static SsbData* data_;
+};
+
+SsbData* SelectivityTest::data_ = nullptr;
+
+TEST_P(SelectivityTest, MatchesPaperWithinTolerance) {
+  const core::StarQuery& q = QueryById(GetParam());
+  const double expected = PaperSelectivity(q.id);
+  const uint64_t matches = ReferenceMatchCount(*data_, q);
+  const double got =
+      static_cast<double>(matches) / static_cast<double>(data_->lineorder.size());
+
+  // Tolerance: factor of 2.5 either way when the expected match count is
+  // large enough to be statistically stable. Ultra-selective queries (3.3,
+  // 3.4) expect only a handful of rows at this scale — specific city pairs
+  // may draw zero suppliers when there are few suppliers per city — so for
+  // them we only bound the count from above.
+  const double expected_count =
+      expected * static_cast<double>(data_->lineorder.size());
+  if (expected_count < 50) {
+    EXPECT_LE(static_cast<double>(matches), 6 * expected_count + 10)
+        << "matches=" << matches;
+  } else {
+    EXPECT_GT(got, expected / 2.5) << "matches=" << matches;
+    EXPECT_LT(got, expected * 2.5) << "matches=" << matches;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SelectivityTest,
+                         ::testing::Values("1.1", "1.2", "1.3", "2.1", "2.2",
+                                           "2.3", "3.1", "3.2", "3.3", "3.4",
+                                           "4.1", "4.2", "4.3"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = "Q" + info.param;
+                           name[name.find('.')] = '_';
+                           return name;
+                         });
+
+TEST(SelectivityOrderTest, FlightsAreOrderedBySelectivity) {
+  // Within each flight, later queries are more selective (paper §3).
+  GenParams params;
+  params.scale_factor = 0.05;
+  const SsbData data = Generate(params);
+  auto sel = [&](const char* id) {
+    return ReferenceMatchCount(data, QueryById(id));
+  };
+  EXPECT_GT(sel("1.1"), sel("1.2"));
+  EXPECT_GT(sel("1.2"), sel("1.3"));
+  EXPECT_GT(sel("2.1"), sel("2.2"));
+  EXPECT_GT(sel("2.2"), sel("2.3"));
+  EXPECT_GT(sel("3.1"), sel("3.2"));
+  EXPECT_GT(sel("3.2"), sel("3.3"));
+  EXPECT_GE(sel("3.3"), sel("3.4"));
+  EXPECT_GT(sel("4.1"), sel("4.2"));
+  EXPECT_GT(sel("4.2"), sel("4.3"));
+}
+
+}  // namespace
+}  // namespace cstore::ssb

@@ -1,0 +1,116 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace cstore::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  FileManager files_;
+};
+
+TEST_F(BufferPoolTest, NewPageThenFetchHits) {
+  BufferPool pool(&files_, 4);
+  const FileId f = files_.CreateFile("t");
+  PageNumber pn;
+  {
+    auto guard = pool.NewPage(f, &pn).ValueOrDie();
+    std::strcpy(guard.mutable_data(), "abc");
+  }
+  pool.ResetCounters();
+  auto guard = pool.FetchPage(PageId{f, pn}).ValueOrDie();
+  EXPECT_STREQ(guard.data(), "abc");
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber pages[4];
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool.NewPage(f, &pages[i]).ValueOrDie();
+    guard.mutable_data()[0] = static_cast<char>('a' + i);
+  }  // only 2 frames: pages 0 and 1 were evicted (and written back)
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool.FetchPage(PageId{f, pages[i]}).ValueOrDie();
+    EXPECT_EQ(guard.data()[0], static_cast<char>('a' + i)) << i;
+  }
+}
+
+TEST_F(BufferPoolTest, LruEvictsOldestUnpinned) {
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0, p1, p2;
+  pool.NewPage(f, &p0).ValueOrDie().Release();
+  pool.NewPage(f, &p1).ValueOrDie().Release();
+  // Touch p0 so p1 becomes LRU.
+  pool.FetchPage(PageId{f, p0}).ValueOrDie().Release();
+  pool.NewPage(f, &p2).ValueOrDie().Release();  // evicts p1
+  pool.ResetCounters();
+  pool.FetchPage(PageId{f, p0}).ValueOrDie().Release();
+  EXPECT_EQ(pool.hits(), 1u);
+  pool.FetchPage(PageId{f, p1}).ValueOrDie().Release();
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0, p1, p2;
+  auto g0 = pool.NewPage(f, &p0).ValueOrDie();
+  auto g1 = pool.NewPage(f, &p1).ValueOrDie();
+  // Both frames pinned: allocating a third must fail.
+  auto r = pool.NewPage(f, &p2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+  g0.Release();
+  EXPECT_TRUE(pool.NewPage(f, &p2).ok());
+}
+
+TEST_F(BufferPoolTest, MultiplePinsOnSamePage) {
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0;
+  auto g0 = pool.NewPage(f, &p0).ValueOrDie();
+  auto g1 = pool.FetchPage(PageId{f, p0}).ValueOrDie();
+  EXPECT_EQ(g0.data(), g1.data());
+  g0.Release();
+  // Still pinned via g1: the frame must survive pressure from a new page.
+  PageNumber p1;
+  pool.NewPage(f, &p1).ValueOrDie().Release();
+  EXPECT_STREQ(g1.data(), "");  // still mapped, readable
+}
+
+TEST_F(BufferPoolTest, ClearDropsCacheAndFlushes) {
+  BufferPool pool(&files_, 4);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0;
+  {
+    auto g = pool.NewPage(f, &p0).ValueOrDie();
+    std::strcpy(g.mutable_data(), "persisted");
+  }
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetCounters();
+  auto g = pool.FetchPage(PageId{f, p0}).ValueOrDie();
+  EXPECT_EQ(pool.misses(), 1u);  // cold after Clear
+  EXPECT_STREQ(g.data(), "persisted");
+}
+
+TEST_F(BufferPoolTest, MoveSemanticsOfGuard) {
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0;
+  auto g = pool.NewPage(f, &p0).ValueOrDie();
+  PageGuard moved = std::move(g);
+  EXPECT_FALSE(g.valid());
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+}  // namespace
+}  // namespace cstore::storage

@@ -1,0 +1,89 @@
+#include "storage/file_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace cstore::storage {
+namespace {
+
+TEST(FileManagerTest, CreateAndAllocate) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  EXPECT_EQ(fm.NumPages(f), 0u);
+  const PageNumber p0 = fm.AllocatePage(f);
+  const PageNumber p1 = fm.AllocatePage(f);
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(fm.NumPages(f), 2u);
+  EXPECT_EQ(fm.FileBytes(f), 2 * kPageSize);
+  EXPECT_EQ(fm.FileName(f), "t");
+}
+
+TEST(FileManagerTest, WriteReadRoundTrip) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  fm.AllocatePage(f);
+  std::vector<char> in(kPageSize, 0);
+  std::strcpy(in.data(), "hello page");
+  ASSERT_TRUE(fm.WritePage(PageId{f, 0}, in.data()).ok());
+  std::vector<char> out(kPageSize, 1);
+  ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, out.data()).ok());
+  EXPECT_STREQ(out.data(), "hello page");
+}
+
+TEST(FileManagerTest, NewPagesAreZeroed) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  fm.AllocatePage(f);
+  std::vector<char> out(kPageSize, 1);
+  ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, out.data()).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0) << i;
+}
+
+TEST(FileManagerTest, InvalidPageIsNotFound) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  std::vector<char> buf(kPageSize);
+  EXPECT_TRUE(fm.ReadPage(PageId{f, 0}, buf.data()).IsNotFound());
+  EXPECT_TRUE(fm.ReadPage(PageId{99, 0}, buf.data()).IsNotFound());
+  EXPECT_TRUE(fm.WritePage(PageId{f, 5}, buf.data()).IsNotFound());
+}
+
+TEST(FileManagerTest, IoAccounting) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  fm.AllocatePage(f);  // one write
+  std::vector<char> buf(kPageSize);
+  ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, buf.data()).ok());
+  ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, buf.data()).ok());
+  EXPECT_EQ(fm.stats().pages_read, 2u);
+  EXPECT_EQ(fm.stats().pages_written, 1u);
+  EXPECT_EQ(fm.stats().bytes_read, 2 * kPageSize);
+  const IoStats before = fm.stats();
+  ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, buf.data()).ok());
+  const IoStats delta = fm.stats() - before;
+  EXPECT_EQ(delta.pages_read, 1u);
+}
+
+TEST(FileManagerTest, SimulatedDiskChargesTime) {
+  FileManager fm;
+  const FileId f = fm.CreateFile("t");
+  fm.AllocatePage(f);
+  fm.SetSimulatedDiskBandwidth(32.0);  // 32 MB/s -> ~1 ms per 32 KiB page
+  EXPECT_NEAR(fm.simulated_read_seconds_per_page(), kPageSize / 32e6, 1e-9);
+  std::vector<char> buf(kPageSize);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fm.ReadPage(PageId{f, 0}, buf.data()).ok());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.009);  // at least ~10 x 1 ms
+  fm.SetSimulatedDiskBandwidth(0);  // disable again
+  EXPECT_EQ(fm.simulated_read_seconds_per_page(), 0.0);
+}
+
+}  // namespace
+}  // namespace cstore::storage

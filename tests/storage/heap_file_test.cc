@@ -1,0 +1,80 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace cstore::storage {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : pool_(&files_, 16) {}
+  FileManager files_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, AppendAssignsSequentialIds) {
+  HeapFile hf(&files_, &pool_, "t", 8);
+  char rec[8] = {0};
+  for (int i = 0; i < 5; ++i) {
+    std::memcpy(rec, &i, sizeof(i));
+    EXPECT_EQ(hf.Append(rec).ValueOrDie(), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(hf.num_records(), 5u);
+}
+
+TEST_F(HeapFileTest, ReadBack) {
+  HeapFile hf(&files_, &pool_, "t", 16);
+  char rec[16];
+  for (int i = 0; i < 100; ++i) {
+    std::memset(rec, 0, sizeof(rec));
+    std::snprintf(rec, sizeof(rec), "row-%d", i);
+    ASSERT_TRUE(hf.Append(rec).ok());
+  }
+  char out[16];
+  ASSERT_TRUE(hf.Read(42, out).ok());
+  EXPECT_STREQ(out, "row-42");
+  EXPECT_TRUE(hf.Read(100, out).IsNotFound());
+}
+
+TEST_F(HeapFileTest, ScanVisitsAllInOrder) {
+  const size_t record_size = 4000;  // ~8 records per 32 KB page
+  HeapFile hf(&files_, &pool_, "t", record_size);
+  std::vector<char> rec(record_size, 0);
+  const int n = 50;  // spans several pages
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(rec.data(), &i, sizeof(i));
+    ASSERT_TRUE(hf.Append(rec.data()).ok());
+  }
+  EXPECT_GT(hf.NumPages(), 1u);
+  int expected = 0;
+  ASSERT_TRUE(hf.Scan([&](uint64_t rid, const char* r) {
+                  int v;
+                  std::memcpy(&v, r, sizeof(v));
+                  EXPECT_EQ(v, expected);
+                  EXPECT_EQ(rid, static_cast<uint64_t>(expected));
+                  expected++;
+                }).ok());
+  EXPECT_EQ(expected, n);
+}
+
+TEST_F(HeapFileTest, ScanPagesSubset) {
+  const size_t record_size = 4000;
+  HeapFile hf(&files_, &pool_, "t", record_size);
+  std::vector<char> rec(record_size, 0);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(hf.Append(rec.data()).ok());
+  size_t count = 0;
+  ASSERT_TRUE(hf.ScanPages(1, 2, [&](uint64_t, const char*) { count++; }).ok());
+  EXPECT_EQ(count, hf.records_per_page());
+}
+
+TEST_F(HeapFileTest, EmptyScan) {
+  HeapFile hf(&files_, &pool_, "t", 8);
+  size_t count = 0;
+  ASSERT_TRUE(hf.Scan([&](uint64_t, const char*) { count++; }).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace cstore::storage

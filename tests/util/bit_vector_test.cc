@@ -1,0 +1,101 @@
+#include "util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cstore::util {
+namespace {
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector b(100);
+  EXPECT_FALSE(b.Get(63));
+  b.Set(63);
+  b.Set(64);
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  b.Clear(63);
+  EXPECT_FALSE(b.Get(63));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitVectorTest, SetRangeCrossesWords) {
+  BitVector b(300);
+  b.SetRange(60, 200);
+  EXPECT_EQ(b.Count(), 140u);
+  EXPECT_FALSE(b.Get(59));
+  EXPECT_TRUE(b.Get(60));
+  EXPECT_TRUE(b.Get(199));
+  EXPECT_FALSE(b.Get(200));
+}
+
+TEST(BitVectorTest, SetRangeAlignedAndEmpty) {
+  BitVector b(256);
+  b.SetRange(64, 128);
+  EXPECT_EQ(b.Count(), 64u);
+  b.SetRange(10, 10);  // empty range is a no-op
+  EXPECT_EQ(b.Count(), 64u);
+}
+
+TEST(BitVectorTest, AndOr) {
+  BitVector a(128), b(128);
+  a.SetRange(0, 80);
+  b.SetRange(40, 128);
+  BitVector both = a;
+  both.And(b);
+  EXPECT_EQ(both.Count(), 40u);  // [40,80)
+  BitVector either = a;
+  either.Or(b);
+  EXPECT_EQ(either.Count(), 128u);
+}
+
+TEST(BitVectorTest, NotClearsPaddingBits) {
+  BitVector b(70);
+  b.Not();
+  EXPECT_EQ(b.Count(), 70u);  // padding bits beyond 70 must not count
+  b.Not();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitVectorTest, ForEachSetVisitsInOrder) {
+  BitVector b(200);
+  const std::vector<uint32_t> expected = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (uint32_t p : expected) b.Set(p);
+  std::vector<uint32_t> got;
+  b.ForEachSet([&](uint32_t p) { got.push_back(p); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitVectorTest, AppendSetPositions) {
+  BitVector b(80);
+  b.Set(3);
+  b.Set(77);
+  std::vector<uint32_t> out;
+  b.AppendSetPositions(&out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{3, 77}));
+}
+
+TEST(BitVectorTest, RandomizedAgainstReference) {
+  Rng rng(123);
+  BitVector b(1000);
+  std::vector<bool> ref(1000, false);
+  for (int i = 0; i < 500; ++i) {
+    const size_t pos = static_cast<size_t>(rng.Uniform(0, 999));
+    if (rng.Bernoulli(0.5)) {
+      b.Set(pos);
+      ref[pos] = true;
+    } else {
+      b.Clear(pos);
+      ref[pos] = false;
+    }
+  }
+  size_t expected = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(b.Get(i), ref[i]) << i;
+    expected += ref[i];
+  }
+  EXPECT_EQ(b.Count(), expected);
+}
+
+}  // namespace
+}  // namespace cstore::util

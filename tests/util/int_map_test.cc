@@ -1,0 +1,96 @@
+#include "util/int_map.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace cstore::util {
+namespace {
+
+TEST(IntMapTest, InsertFind) {
+  IntMap m;
+  EXPECT_TRUE(m.Insert(5, 50));
+  EXPECT_FALSE(m.Insert(5, 99));  // duplicate keeps first value
+  ASSERT_NE(m.Find(5), nullptr);
+  EXPECT_EQ(*m.Find(5), 50u);
+  EXPECT_EQ(m.Find(6), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(IntMapTest, NegativeAndZeroKeys) {
+  IntMap m;
+  m.Insert(0, 1);
+  m.Insert(-1, 2);
+  m.Insert(INT64_MIN, 3);
+  EXPECT_EQ(*m.Find(0), 1u);
+  EXPECT_EQ(*m.Find(-1), 2u);
+  EXPECT_EQ(*m.Find(INT64_MIN), 3u);
+}
+
+TEST(IntMapTest, FindOrInsert) {
+  IntMap m;
+  uint32_t* slot = m.FindOrInsert(10, 7);
+  EXPECT_EQ(*slot, 7u);
+  *slot = 8;
+  EXPECT_EQ(*m.FindOrInsert(10, 99), 8u);
+}
+
+TEST(IntMapTest, GrowsThroughRehash) {
+  IntMap m(4);
+  for (int64_t k = 0; k < 10000; ++k) m.Insert(k * 7919, static_cast<uint32_t>(k));
+  EXPECT_EQ(m.size(), 10000u);
+  for (int64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.Find(k * 7919), nullptr) << k;
+    EXPECT_EQ(*m.Find(k * 7919), static_cast<uint32_t>(k));
+  }
+}
+
+TEST(IntMapTest, ForEachVisitsAll) {
+  IntMap m;
+  for (int64_t k = 0; k < 100; ++k) m.Insert(k, static_cast<uint32_t>(k + 1));
+  size_t count = 0;
+  int64_t key_sum = 0;
+  m.ForEach([&](int64_t k, uint32_t v) {
+    count++;
+    key_sum += k;
+    EXPECT_EQ(v, static_cast<uint32_t>(k + 1));
+  });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(key_sum, 99 * 100 / 2);
+}
+
+TEST(IntMapTest, RandomizedAgainstStdMap) {
+  Rng rng(7);
+  IntMap m;
+  std::unordered_map<int64_t, uint32_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t k = rng.Uniform(-1000, 1000);
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(0, 1 << 20));
+    if (ref.emplace(k, v).second) {
+      EXPECT_TRUE(m.Insert(k, v));
+    } else {
+      EXPECT_FALSE(m.Insert(k, v));
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), v);
+  }
+}
+
+TEST(IntSetTest, Basics) {
+  IntSet s;
+  s.Insert(3);
+  s.Insert(3);
+  s.Insert(-9);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(-9));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cstore::util

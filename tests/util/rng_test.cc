@@ -1,0 +1,54 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace cstore::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(10);
+  std::vector<int> seen(11, 0);
+  for (int i = 0; i < 11000; ++i) seen[rng.Uniform(0, 10)]++;
+  for (int c : seen) EXPECT_GT(c, 500);  // roughly uniform
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, AlphaString) {
+  Rng rng(12);
+  const std::string s = rng.AlphaString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_GE(c, 'A');
+    EXPECT_LE(c, 'Z');
+  }
+}
+
+}  // namespace
+}  // namespace cstore::util
