@@ -45,11 +45,23 @@ int main(int argc, char** argv) {
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
-  std::vector<harness::SeriesResult> series(4);
+  // Paper series run single-threaded; the "-pN" series rerun the row-store
+  // scan and the full-optimization column store with N morsel workers.
+  const unsigned threads = args.threads;
+  core::ExecConfig cs_serial = core::ExecConfig::AllOn();
+  cs_serial.num_threads = 1;
+  core::ExecConfig cs_parallel = core::ExecConfig::AllOn();
+  cs_parallel.num_threads = threads;
+
+  std::vector<harness::SeriesResult> series(threads > 1 ? 6 : 4);
   series[0].name = "RS";
   series[1].name = "RS (MV)";
   series[2].name = "CS";
   series[3].name = "CS (Row-MV)";
+  if (threads > 1) {
+    series[4].name = "RS-p" + std::to_string(threads);
+    series[5].name = "CS-p" + std::to_string(threads);
+  }
 
   for (const core::StarQuery& q : ssb::AllQueries()) {
     series[0].by_query[q.id] = harness::TimeCell(
@@ -67,8 +79,7 @@ int main(int argc, char** argv) {
         args.repetitions, &row_db->files().stats());
     series[2].by_query[q.id] = harness::TimeCell(
         [&] {
-          auto r = core::ExecuteStarQuery(col_db->Schema(), q,
-                                          core::ExecConfig::AllOn());
+          auto r = core::ExecuteStarQuery(col_db->Schema(), q, cs_serial);
           CSTORE_CHECK(r.ok());
         },
         args.repetitions, &col_db->files().stats());
@@ -78,10 +89,31 @@ int main(int argc, char** argv) {
           CSTORE_CHECK(r.ok());
         },
         args.repetitions, &row_mv->files().stats());
+    if (threads > 1) {
+      series[4].by_query[q.id] = harness::TimeCell(
+          [&] {
+            auto r = ssb::ExecuteRowQuery(*row_db, q,
+                                          ssb::RowDesign::kTraditional, threads);
+            CSTORE_CHECK(r.ok());
+          },
+          args.repetitions, &row_db->files().stats());
+      series[5].by_query[q.id] = harness::TimeCell(
+          [&] {
+            auto r = core::ExecuteStarQuery(col_db->Schema(), q, cs_parallel);
+            CSTORE_CHECK(r.ok());
+          },
+          args.repetitions, &col_db->files().stats());
+    }
     std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
   }
 
   harness::PrintFigure("Figure 5 — baseline performance (ms)", ids, series);
+  if (threads > 1) {
+    harness::PrintSpeedups("Figure 5 — RS morsel-driven scaling", ids,
+                           series[0], series[4]);
+    harness::PrintSpeedups("Figure 5 — CS morsel-driven scaling", ids,
+                           series[2], series[5]);
+  }
   const double rs = series[0].AverageSeconds();
   const double cs = series[2].AverageSeconds();
   const double rs_mv = series[1].AverageSeconds();

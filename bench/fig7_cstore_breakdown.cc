@@ -12,6 +12,7 @@
 // Paper shape: compression ~2x on average (an order of magnitude on flight
 // 1), late materialization ~3x, block iteration and invisible join ~1.5x.
 #include <cstdio>
+#include <string>
 
 #include "core/star_executor.h"
 #include "harness/runner.h"
@@ -23,8 +24,10 @@ using namespace cstore;
 
 int main(int argc, char** argv) {
   const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
-  std::printf("Figure 7 — C-Store optimization breakdown, SF=%.3g (ms)\n",
-              args.scale_factor);
+  std::printf(
+      "Figure 7 — C-Store optimization breakdown, SF=%.3g (ms), "
+      "parallel series at %u threads\n",
+      args.scale_factor, args.threads);
 
   ssb::GenParams params;
   params.scale_factor = args.scale_factor;
@@ -40,19 +43,25 @@ int main(int argc, char** argv) {
   uncompressed->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
   struct Config {
-    const char* code;
+    std::string code;
     bool compressed;
     core::ExecConfig exec;
   };
-  const Config configs[] = {
-      {"tICL", true, {true, true, true}},
-      {"TICL", true, {false, true, true}},
-      {"tiCL", true, {true, false, true}},
-      {"TiCL", true, {false, false, true}},
-      {"ticL", false, {true, false, true}},
-      {"TicL", false, {false, false, true}},
-      {"Ticl", false, {false, false, false}},
+  // The paper's seven single-core steps (num_threads pinned to 1), plus the
+  // morsel-driven parallel run of the full-optimization configuration.
+  std::vector<Config> configs = {
+      {"tICL", true, {true, true, true, 1}},
+      {"TICL", true, {false, true, true, 1}},
+      {"tiCL", true, {true, false, true, 1}},
+      {"TiCL", true, {false, false, true, 1}},
+      {"ticL", false, {true, false, true, 1}},
+      {"TicL", false, {false, false, true, 1}},
+      {"Ticl", false, {false, false, false, 1}},
   };
+  if (args.threads > 1) {
+    configs.push_back({"tICL-p" + std::to_string(args.threads), true,
+                       {true, true, true, args.threads}});
+  }
 
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
@@ -71,12 +80,16 @@ int main(int argc, char** argv) {
           },
           args.repetitions, &db->files().stats());
     }
-    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code,
+    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code.c_str(),
                  s.AverageSeconds() * 1e3);
     series.push_back(std::move(s));
   }
 
   harness::PrintFigure("Figure 7 — optimization breakdown (ms)", ids, series);
+  if (args.threads > 1) {
+    harness::PrintSpeedups("Figure 7 — morsel-driven scaling", ids, series[0],
+                           series.back());
+  }
 
   auto avg = [&](int i) { return series[i].AverageSeconds(); };
   std::printf("\nFactor attribution (averages):\n");

@@ -54,20 +54,23 @@ int main(int argc, char** argv) {
   series[2].name = "PJ, Int C";
   series[3].name = "PJ, Max C";
 
+  // Single-threaded throughout: this figure reproduces the paper's
+  // single-core comparison of storage layouts, not the parallel scaling.
+  core::ExecConfig serial = core::ExecConfig::AllOn();
+  serial.num_threads = 1;
+
   for (const core::StarQuery& q : ssb::AllQueries()) {
     const core::TableQuery tq = ssb::ToDenormalizedQuery(q);
     series[0].by_query[q.id] = harness::TimeCell(
         [&] {
-          auto r = core::ExecuteStarQuery(base->Schema(), q,
-                                          core::ExecConfig::AllOn());
+          auto r = core::ExecuteStarQuery(base->Schema(), q, serial);
           CSTORE_CHECK(r.ok());
         },
         args.repetitions, nullptr);
     auto run_pj = [&](ssb::DenormalizedDatabase* db) {
       return harness::TimeCell(
           [&] {
-            auto r = core::ExecuteTableQuery(db->table(), tq,
-                                             core::ExecConfig::AllOn());
+            auto r = core::ExecuteTableQuery(db->table(), tq, serial);
             CSTORE_CHECK(r.ok());
           },
           args.repetitions, nullptr);

@@ -4,20 +4,30 @@
 
 namespace cstore::col {
 
-BlockCursor::BlockCursor(const StoredColumn* column) : column_(column) {
+BlockCursor::BlockCursor(const StoredColumn* column)
+    : BlockCursor(column, 0, column->num_pages()) {}
+
+BlockCursor::BlockCursor(const StoredColumn* column,
+                         storage::PageNumber first_page,
+                         storage::PageNumber end_page)
+    : column_(column), first_page_(first_page), end_page_(end_page) {
   CSTORE_CHECK(column_->IsIntegerStored());
+  CSTORE_CHECK(first_page_ <= end_page_ && end_page_ <= column_->num_pages());
   decoded_.reserve(compress::kPagePayloadSize / sizeof(int32_t));
+  Reset();
 }
 
 void BlockCursor::Reset() {
-  next_page_ = 0;
+  next_page_ = first_page_;
   decoded_.clear();
   page_offset_ = 0;
-  position_ = 0;
+  position_ = first_page_ < column_->num_pages()
+                  ? column_->info().page_starts[first_page_]
+                  : column_->num_values();
 }
 
 bool BlockCursor::LoadNextPage() {
-  if (next_page_ >= column_->num_pages()) return false;
+  if (next_page_ >= end_page_) return false;
   storage::PageGuard guard;
   auto view = column_->GetPage(next_page_, &guard);
   CSTORE_CHECK(view.ok());

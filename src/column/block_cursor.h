@@ -20,6 +20,11 @@ class BlockCursor {
  public:
   explicit BlockCursor(const StoredColumn* column);
 
+  /// Cursor over only the pages [first_page, end_page) — one morsel of a
+  /// parallel scan. position() starts at the first row of `first_page`.
+  BlockCursor(const StoredColumn* column, storage::PageNumber first_page,
+              storage::PageNumber end_page);
+
   /// "asArray": returns up to kBlockSize decoded values (widened to int64;
   /// dictionary codes for encoded char columns). Sets *n to 0 at end of
   /// column. The pointer is valid until the next call.
@@ -40,6 +45,8 @@ class BlockCursor {
   bool LoadNextPage();
 
   const StoredColumn* column_;
+  storage::PageNumber first_page_ = 0;
+  storage::PageNumber end_page_ = 0;
   storage::PageNumber next_page_ = 0;
   std::vector<int64_t> decoded_;  // current page, fully decoded
   uint32_t page_offset_ = 0;      // consumed values within decoded_

@@ -1,5 +1,7 @@
 #include "core/aggregate.h"
 
+#include "util/thread_pool.h"
+
 namespace cstore::core {
 
 namespace {
@@ -68,6 +70,43 @@ std::vector<Value> GroupKeyCodec::Unpack(uint64_t key) const {
     }
   }
   return out;
+}
+
+GroupAggregator AggregateRows(const GroupKeyCodec& codec,
+                              const std::vector<std::vector<int64_t>>& codes,
+                              const std::vector<int64_t>& measure,
+                              unsigned num_threads) {
+  const size_t num_attrs = codes.size();
+  if (num_threads <= 1) {
+    GroupAggregator agg(codec);
+    std::vector<int64_t> raw(num_attrs);
+    for (size_t r = 0; r < measure.size(); ++r) {
+      for (size_t g = 0; g < num_attrs; ++g) raw[g] = codes[g][r];
+      agg.Add(codec.Pack(raw.data()), measure[r]);
+    }
+    return agg;
+  }
+  std::vector<std::unique_ptr<GroupAggregator>> partials(num_threads);
+  util::ParallelFor(measure.size(), util::kRowMorsel, num_threads,
+                    [&](unsigned worker, uint64_t begin, uint64_t end) {
+                      if (partials[worker] == nullptr) {
+                        partials[worker] =
+                            std::make_unique<GroupAggregator>(codec);
+                      }
+                      GroupAggregator& agg = *partials[worker];
+                      std::vector<int64_t> raw(num_attrs);
+                      for (uint64_t r = begin; r < end; ++r) {
+                        for (size_t g = 0; g < num_attrs; ++g) {
+                          raw[g] = codes[g][r];
+                        }
+                        agg.Add(codec.Pack(raw.data()), measure[r]);
+                      }
+                    });
+  GroupAggregator agg(codec);
+  for (const auto& partial : partials) {
+    if (partial != nullptr) agg.MergeFrom(*partial);
+  }
+  return agg;
 }
 
 QueryResult GroupAggregator::Finish() const {

@@ -80,6 +80,16 @@ class GroupAggregator {
 
   size_t num_groups() const { return sums_.size(); }
 
+  /// Folds another aggregator's groups into this one (thread-local partial
+  /// states of a parallel aggregation, merged on one thread at the end).
+  /// SUM is commutative, and downstream consumers sort rows by group values,
+  /// so merge order never shows in query output.
+  void MergeFrom(const GroupAggregator& other) {
+    for (size_t i = 0; i < other.keys_.size(); ++i) {
+      Add(other.keys_[i], other.sums_[i]);
+    }
+  }
+
   /// Unpacks every group into result rows (unsorted).
   QueryResult Finish() const;
 
@@ -89,5 +99,16 @@ class GroupAggregator {
   std::vector<uint64_t> keys_;
   std::vector<int64_t> sums_;
 };
+
+/// Grouped SUM over materialized group-code columns and a measure column,
+/// morselized over rows with one partial GroupAggregator per worker; the
+/// partials merge into the returned aggregator in worker order. Group sums
+/// are identical for any thread count (SUM is commutative); result-row
+/// order comes from QueryResult::Sort downstream. num_threads <= 1 runs the
+/// exact serial loop.
+GroupAggregator AggregateRows(const GroupKeyCodec& codec,
+                              const std::vector<std::vector<int64_t>>& codes,
+                              const std::vector<int64_t>& measure,
+                              unsigned num_threads);
 
 }  // namespace cstore::core

@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "util/thread_pool.h"
+
 namespace cstore::core {
 
 /// Runtime execution switches for the column-store executor.
@@ -22,6 +24,16 @@ struct ExecConfig {
   /// "L" when true: late materialization; "l" when false: tuples are
   /// constructed at the start of the plan (early materialization).
   bool late_materialization = true;
+  /// Degree of morsel-driven parallelism for the fact-table phases (scans,
+  /// gathers, aggregation). 0 = one worker per hardware thread; 1 = the
+  /// paper's single-core execution, running today's exact serial code paths.
+  /// Results are byte-identical across thread counts.
+  unsigned num_threads = 0;
+
+  /// num_threads with the 0 default resolved against the hardware.
+  unsigned ResolvedThreads() const {
+    return num_threads == 0 ? util::ThreadPool::HardwareThreads() : num_threads;
+  }
 
   /// Figure 7 code, given whether the database was loaded compressed.
   /// E.g. full optimizations on compressed data = "tICL"; everything off on

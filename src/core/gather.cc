@@ -1,8 +1,10 @@
 #include "core/gather.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "core/predicate.h"
+#include "util/thread_pool.h"
 
 namespace cstore::core {
 
@@ -82,6 +84,49 @@ Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
     const uint32_t i = walker.Seek(pos);
     out->push_back(walker.IntAt(i));
   });
+  return Status::OK();
+}
+
+Status ParallelGatherInts(const col::StoredColumn& column,
+                          const util::BitVector& sel, unsigned num_threads,
+                          std::vector<int64_t>* out) {
+  if (num_threads <= 1) return GatherInts(column, sel, out);
+  CSTORE_CHECK(sel.size() == column.num_values());
+  CSTORE_CHECK(out->empty());
+  if (!column.IsIntegerStored()) {
+    return Status::InvalidArgument("GatherInts on char column " +
+                                   column.info().name);
+  }
+
+  // Word-aligned morsels over the selection bitmap. A serial popcount pass
+  // (cheap: one popcount per 64 rows) gives every morsel its starting slot
+  // in `out`; the parallel pass then fills disjoint ranges.
+  const uint64_t words = sel.num_words();
+  const uint64_t words_per_morsel = util::kRowMorsel / 64;
+  const uint64_t num_morsels =
+      words == 0 ? 0 : (words + words_per_morsel - 1) / words_per_morsel;
+  std::vector<uint64_t> morsel_offset(num_morsels + 1, 0);
+  for (uint64_t m = 0; m < num_morsels; ++m) {
+    const uint64_t wbegin = m * words_per_morsel;
+    const uint64_t wend = std::min(words, wbegin + words_per_morsel);
+    morsel_offset[m + 1] = morsel_offset[m] + sel.CountWords(wbegin, wend);
+  }
+  out->resize(morsel_offset[num_morsels]);
+
+  util::ParallelFor(
+      num_morsels, 1, num_threads,
+      [&](unsigned /*worker*/, uint64_t mbegin, uint64_t mend) {
+        for (uint64_t m = mbegin; m < mend; ++m) {
+          const uint64_t wbegin = m * words_per_morsel;
+          const uint64_t wend = std::min(words, wbegin + words_per_morsel);
+          PageWalker walker(&column);
+          int64_t* slot = out->data() + morsel_offset[m];
+          sel.ForEachSetInWords(wbegin, wend, [&](uint32_t pos) {
+            const uint32_t i = walker.Seek(pos);
+            *slot++ = walker.IntAt(i);
+          });
+        }
+      });
   return Status::OK();
 }
 

@@ -20,6 +20,15 @@ namespace cstore::core {
 Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
                   std::vector<int64_t>* out);
 
+/// Morsel-driven parallel GatherInts. The bitmap is split into word-aligned
+/// morsels; a prefix count per morsel fixes each value's output slot, so
+/// workers write disjoint ranges of `out` (which must be empty on entry) and
+/// the result is byte-identical to the serial gather for any `num_threads`.
+/// num_threads <= 1 runs the serial code path.
+Status ParallelGatherInts(const col::StoredColumn& column,
+                          const util::BitVector& sel, unsigned num_threads,
+                          std::vector<int64_t>* out);
+
 /// Gather for uncompressed char columns: values are interned on the fly
 /// into `pool` (first-seen order) and their intern ids appended to `out`.
 /// This is what a query must do to group by an uncompressed string column —

@@ -1,6 +1,7 @@
 #include "core/scan.h"
 
 #include "column/block_cursor.h"
+#include "util/thread_pool.h"
 
 namespace cstore::core {
 
@@ -18,11 +19,58 @@ __attribute__((noinline)) bool MatchesOneString(const StrPredicate& pred,
   return pred.Matches(v);
 }
 
+/// Runs `scan_pages(first_page, end_page, out)` over page-range morsels on
+/// `num_threads` workers, each filling a private full-size bitmap, then
+/// OR-combines the partials into `out`. OR is commutative and the morsels
+/// cover disjoint row ranges, so the merged bitmap is identical no matter
+/// which worker scanned which morsel.
+template <typename ScanPagesFn>
+Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
+                                  unsigned num_threads, util::BitVector* out,
+                                  const ScanPagesFn& scan_pages) {
+  const storage::PageNumber pages = column.num_pages();
+  struct WorkerState {
+    util::BitVector bits;
+    uint64_t matches = 0;
+    Status status = Status::OK();
+    bool used = false;
+  };
+  std::vector<WorkerState> workers(num_threads);
+  util::ParallelFor(
+      pages, util::kPageMorsel, num_threads,
+      [&](unsigned worker, uint64_t begin, uint64_t end) {
+        WorkerState& state = workers[worker];
+        if (!state.status.ok()) return;  // a prior morsel of this worker failed
+        if (!state.used) {
+          state.bits = util::BitVector(out->size());
+          state.used = true;
+        }
+        auto matches =
+            scan_pages(static_cast<storage::PageNumber>(begin),
+                       static_cast<storage::PageNumber>(end), &state.bits);
+        if (!matches.ok()) {
+          state.status = matches.status();
+          return;
+        }
+        state.matches += matches.ValueOrDie();
+      });
+  uint64_t total = 0;
+  for (WorkerState& state : workers) {
+    CSTORE_RETURN_IF_ERROR(state.status);
+    if (!state.used) continue;
+    out->Or(state.bits);
+    total += state.matches;
+  }
+  return total;
+}
+
 }  // namespace
 
-Result<uint64_t> ScanInt(const col::StoredColumn& column,
-                         const IntPredicate& pred, bool block_iteration,
-                         util::BitVector* out) {
+Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
+                              const IntPredicate& pred, bool block_iteration,
+                              storage::PageNumber first_page,
+                              storage::PageNumber end_page,
+                              util::BitVector* out) {
   CSTORE_CHECK(out->size() == column.num_values());
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
   uint64_t matches = 0;
@@ -32,9 +80,9 @@ Result<uint64_t> ScanInt(const col::StoredColumn& column,
   // operator-level block iteration is disabled; only non-RLE encodings fall
   // back to one getNext() call per value.
   if (!block_iteration && column.info().encoding != compress::Encoding::kRle) {
-    col::BlockCursor cursor(&column);
+    col::BlockCursor cursor(&column, first_page, end_page);
     int64_t v;
-    uint64_t pos = 0;
+    uint64_t pos = cursor.position();
     while (cursor.GetNext(&v)) {
       if (MatchesOneValue(pred, v)) {
         out->Set(pos);
@@ -46,12 +94,13 @@ Result<uint64_t> ScanInt(const col::StoredColumn& column,
   }
 
   // Block iteration: operate on whole page payloads.
-  const storage::PageNumber pages = column.num_pages();
   std::vector<int64_t> scratch;
-  uint64_t pos = 0;
+  uint64_t pos = first_page < column.num_pages()
+                     ? column.info().page_starts[first_page]
+                     : column.num_values();
   const bool is_range = pred.kind == IntPredicate::Kind::kRange;
   const int64_t lo = pred.lo, hi = pred.hi;
-  for (storage::PageNumber p = 0; p < pages; ++p) {
+  for (storage::PageNumber p = first_page; p < end_page; ++p) {
     storage::PageGuard guard;
     CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
     const uint32_t n = view.num_values();
@@ -135,15 +184,25 @@ Result<uint64_t> ScanInt(const col::StoredColumn& column,
   return matches;
 }
 
-Result<uint64_t> ScanChar(const col::StoredColumn& column,
-                          const StrPredicate& pred, bool block_iteration,
-                          util::BitVector* out) {
+Result<uint64_t> ScanInt(const col::StoredColumn& column,
+                         const IntPredicate& pred, bool block_iteration,
+                         util::BitVector* out) {
+  return ScanIntPages(column, pred, block_iteration, 0, column.num_pages(),
+                      out);
+}
+
+Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
+                               const StrPredicate& pred, bool block_iteration,
+                               storage::PageNumber first_page,
+                               storage::PageNumber end_page,
+                               util::BitVector* out) {
   CSTORE_CHECK(out->size() == column.num_values());
   const size_t width = column.info().char_width;
-  const storage::PageNumber pages = column.num_pages();
   uint64_t matches = 0;
-  uint64_t pos = 0;
-  for (storage::PageNumber p = 0; p < pages; ++p) {
+  uint64_t pos = first_page < column.num_pages()
+                     ? column.info().page_starts[first_page]
+                     : column.num_values();
+  for (storage::PageNumber p = first_page; p < end_page; ++p) {
     storage::PageGuard guard;
     CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
     const uint32_t n = view.num_values();
@@ -161,6 +220,13 @@ Result<uint64_t> ScanChar(const col::StoredColumn& column,
   return matches;
 }
 
+Result<uint64_t> ScanChar(const col::StoredColumn& column,
+                          const StrPredicate& pred, bool block_iteration,
+                          util::BitVector* out) {
+  return ScanCharPages(column, pred, block_iteration, 0, column.num_pages(),
+                       out);
+}
+
 Result<uint64_t> ScanColumn(const col::StoredColumn& column,
                             const CompiledPredicate& pred, bool block_iteration,
                             util::BitVector* out) {
@@ -168,6 +234,43 @@ Result<uint64_t> ScanColumn(const col::StoredColumn& column,
     return ScanChar(column, pred.str_pred(), block_iteration, out);
   }
   return ScanInt(column, pred.int_pred(), block_iteration, out);
+}
+
+Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
+                                    const CompiledPredicate& pred,
+                                    bool block_iteration, unsigned num_threads,
+                                    util::BitVector* out) {
+  if (num_threads <= 1) return ScanColumn(column, pred, block_iteration, out);
+  if (pred.is_string()) {
+    return ParallelScanImpl(
+        column, num_threads, out,
+        [&](storage::PageNumber first, storage::PageNumber end,
+            util::BitVector* bits) {
+          return ScanCharPages(column, pred.str_pred(), block_iteration, first,
+                               end, bits);
+        });
+  }
+  return ParallelScanImpl(
+      column, num_threads, out,
+      [&](storage::PageNumber first, storage::PageNumber end,
+          util::BitVector* bits) {
+        return ScanIntPages(column, pred.int_pred(), block_iteration, first,
+                            end, bits);
+      });
+}
+
+Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
+                                 const IntPredicate& pred,
+                                 bool block_iteration, unsigned num_threads,
+                                 util::BitVector* out) {
+  if (num_threads <= 1) return ScanInt(column, pred, block_iteration, out);
+  if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
+  return ParallelScanImpl(
+      column, num_threads, out,
+      [&](storage::PageNumber first, storage::PageNumber end,
+          util::BitVector* bits) {
+        return ScanIntPages(column, pred, block_iteration, first, end, bits);
+      });
 }
 
 }  // namespace cstore::core

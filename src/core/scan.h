@@ -22,14 +22,45 @@ Result<uint64_t> ScanInt(const col::StoredColumn& column,
                          const IntPredicate& pred, bool block_iteration,
                          util::BitVector* out);
 
+/// ScanInt restricted to the pages [first_page, end_page) — one morsel of a
+/// parallel scan. Only bits for rows stored on those pages are touched.
+Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
+                              const IntPredicate& pred, bool block_iteration,
+                              storage::PageNumber first_page,
+                              storage::PageNumber end_page,
+                              util::BitVector* out);
+
 /// Same for a string predicate over an uncompressed char column.
 Result<uint64_t> ScanChar(const col::StoredColumn& column,
                           const StrPredicate& pred, bool block_iteration,
                           util::BitVector* out);
 
+/// ScanChar over the pages [first_page, end_page).
+Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
+                               const StrPredicate& pred, bool block_iteration,
+                               storage::PageNumber first_page,
+                               storage::PageNumber end_page,
+                               util::BitVector* out);
+
 /// Dispatches on the compiled predicate's flavour.
 Result<uint64_t> ScanColumn(const col::StoredColumn& column,
                             const CompiledPredicate& pred, bool block_iteration,
                             util::BitVector* out);
+
+/// Morsel-driven parallel ScanColumn: page-range morsels are scanned into
+/// per-worker partial bitmaps which are OR-combined into `out` (all-zero on
+/// entry) in worker order, so the result is bit-identical to the serial
+/// scan for every `num_threads`. num_threads <= 1 runs the serial code.
+Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
+                                    const CompiledPredicate& pred,
+                                    bool block_iteration, unsigned num_threads,
+                                    util::BitVector* out);
+
+/// ParallelScanColumn for a bare integer predicate (the rewritten fact
+/// predicates of the invisible join).
+Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
+                                 const IntPredicate& pred,
+                                 bool block_iteration, unsigned num_threads,
+                                 util::BitVector* out);
 
 }  // namespace cstore::core

@@ -9,6 +9,7 @@
 #include "core/predicate.h"
 #include "core/scan.h"
 #include "util/int_map.h"
+#include "util/thread_pool.h"
 
 namespace cstore::core {
 
@@ -184,15 +185,18 @@ Status RunPhase1(const StarQuery& query, const ExecConfig& config,
 
 /// Builds the measure vector for rows selected by `sel`.
 Status GatherMeasure(const col::ColumnTable& fact, const Aggregate& agg,
-                     const util::BitVector& sel, std::vector<int64_t>* out) {
+                     const util::BitVector& sel, unsigned num_threads,
+                     std::vector<int64_t>* out) {
   std::vector<int64_t> a;
-  CSTORE_RETURN_IF_ERROR(GatherInts(fact.column(agg.column_a), sel, &a));
+  CSTORE_RETURN_IF_ERROR(
+      ParallelGatherInts(fact.column(agg.column_a), sel, num_threads, &a));
   if (agg.kind == AggKind::kSumColumn) {
     *out = std::move(a);
     return Status::OK();
   }
   std::vector<int64_t> b;
-  CSTORE_RETURN_IF_ERROR(GatherInts(fact.column(agg.column_b), sel, &b));
+  CSTORE_RETURN_IF_ERROR(
+      ParallelGatherInts(fact.column(agg.column_b), sel, num_threads, &b));
   out->resize(a.size());
   if (agg.kind == AggKind::kSumProduct) {
     for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] * b[i];
@@ -206,8 +210,11 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
                                 const ExecConfig& config) {
   const col::ColumnTable& fact = *schema.fact;
   const uint64_t n = fact.num_rows();
+  const unsigned threads = config.ResolvedThreads();
 
   // ---- Phase 1: dimension predicates -> rewritten fact predicates. ----
+  // (Dimension tables are small — phase 1 stays serial; the fact-table
+  // phases below carry the parallelism.)
   std::vector<DimRuntime> dims(schema.dims.size());
   for (size_t d = 0; d < schema.dims.size(); ++d) {
     dims[d].dim = &schema.dims[d];
@@ -229,8 +236,9 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
   auto apply = [&](const col::StoredColumn& column,
                    const IntPredicate& pred) -> Status {
     util::BitVector bits(n);
-    CSTORE_ASSIGN_OR_RETURN(uint64_t m,
-                            ScanInt(column, pred, config.block_iteration, &bits));
+    CSTORE_ASSIGN_OR_RETURN(
+        uint64_t m,
+        ParallelScanInt(column, pred, config.block_iteration, threads, &bits));
     (void)m;
     if (first) {
       selected = std::move(bits);
@@ -255,7 +263,8 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
 
   // ---- Phase 3: extraction and aggregation. ----
   std::vector<int64_t> measure;
-  CSTORE_RETURN_IF_ERROR(GatherMeasure(fact, query.agg, selected, &measure));
+  CSTORE_RETURN_IF_ERROR(
+      GatherMeasure(fact, query.agg, selected, threads, &measure));
 
   if (query.group_by.empty()) {
     int64_t sum = 0;
@@ -294,35 +303,39 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     auto it = fk_cache.find(rt.dim->fact_fk_column);
     if (it == fk_cache.end()) {
       std::vector<int64_t> fks;
-      CSTORE_RETURN_IF_ERROR(
-          GatherInts(fact.column(rt.dim->fact_fk_column), selected, &fks));
+      CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
+          fact.column(rt.dim->fact_fk_column), selected, threads, &fks));
       it = fk_cache.emplace(rt.dim->fact_fk_column, std::move(fks)).first;
     }
     const std::vector<int64_t>& fks = it->second;
 
+    // Translate FK values to attribute codes (positional, so trivially
+    // morselizable).
     std::vector<int64_t> codes(fks.size());
+    const std::vector<int64_t>& attr_codes = attr.codes;
     if (rt.dim->dense_keys) {
       // Direct array extraction: the FK is the dimension position + 1.
-      for (size_t i = 0; i < fks.size(); ++i) {
-        codes[i] = attr.codes[static_cast<size_t>(fks[i] - 1)];
-      }
+      util::ParallelFor(fks.size(), util::kRowMorsel, threads,
+                        [&](unsigned, uint64_t begin, uint64_t end) {
+                          for (uint64_t i = begin; i < end; ++i) {
+                            codes[i] =
+                                attr_codes[static_cast<size_t>(fks[i] - 1)];
+                          }
+                        });
     } else {
-      for (size_t i = 0; i < fks.size(); ++i) {
-        codes[i] = attr.codes[rt.PositionOfKey(fks[i])];
-      }
+      util::ParallelFor(fks.size(), util::kRowMorsel, threads,
+                        [&](unsigned, uint64_t begin, uint64_t end) {
+                          for (uint64_t i = begin; i < end; ++i) {
+                            codes[i] = attr_codes[rt.PositionOfKey(fks[i])];
+                          }
+                        });
     }
     attr.AddToCodec(&codec);
     attrs.push_back(std::move(attr));
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg(codec);
-  const size_t num_attrs = group_codes.size();
-  std::vector<int64_t> raw(num_attrs);
-  for (size_t r = 0; r < measure.size(); ++r) {
-    for (size_t g = 0; g < num_attrs; ++g) raw[g] = group_codes[g][r];
-    agg.Add(codec.Pack(raw.data()), measure[r]);
-  }
+  GroupAggregator agg = AggregateRows(codec, group_codes, measure, threads);
   QueryResult result = agg.Finish();
   result.Sort(query.order_by);
   return result;
@@ -443,10 +456,15 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
                            : col_index(query.agg.column_b);
 
   // ---- Tuple construction at the *beginning* of the plan. ----
+  // Morselized over (column, page-range) pairs: workers decode disjoint page
+  // ranges into disjoint strides of the tuple buffer, so the constructed
+  // tuples are identical for any thread count.
+  const unsigned threads = config.ResolvedThreads();
   const size_t width = cols.size();
   std::vector<int64_t> tuples;
   tuples.resize(n * width);
-  {
+  if (threads <= 1) {
+    // The paper's single-core path: one cursor per column, full-length scan.
     std::vector<col::BlockCursor> cursors;
     cursors.reserve(width);
     for (const FactCol& fc : cols) cursors.emplace_back(fc.column);
@@ -472,51 +490,115 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
         }
       }
     }
+  } else {
+    // Columns compress to different page counts, so enumerate per-column
+    // page-range units explicitly.
+    struct Unit {
+      size_t column;
+      storage::PageNumber first_page;
+      storage::PageNumber end_page;
+    };
+    std::vector<Unit> units;
+    for (size_t c = 0; c < width; ++c) {
+      const storage::PageNumber pages = cols[c].column->num_pages();
+      for (storage::PageNumber p = 0; p < pages;
+           p += static_cast<storage::PageNumber>(util::kPageMorsel)) {
+        units.push_back(Unit{
+            c, p,
+            static_cast<storage::PageNumber>(
+                std::min<uint64_t>(pages, p + util::kPageMorsel))});
+      }
+    }
+    util::ParallelFor(
+        units.size(), 1, threads,
+        [&](unsigned, uint64_t begin, uint64_t end) {
+          for (uint64_t u = begin; u < end; ++u) {
+            const size_t c = units[u].column;
+            col::BlockCursor cursor(cols[c].column, units[u].first_page,
+                                    units[u].end_page);
+            uint64_t row = cursor.position();
+            if (config.block_iteration) {
+              uint32_t got = 0;
+              const int64_t* block;
+              while ((block = cursor.NextBlock(&got)), got > 0) {
+                for (uint32_t i = 0; i < got; ++i) {
+                  tuples[(row + i) * width + c] = block[i];
+                }
+                row += got;
+              }
+            } else {
+              int64_t v;
+              while (cursor.GetNext(&v)) {
+                tuples[row * width + c] = v;
+                row++;
+              }
+            }
+          }
+        });
   }
 
   // ---- Row-at-a-time processing over constructed tuples. ----
-  GroupAggregator agg(codec);
-  std::vector<int64_t> raw(num_group_attrs, 0);
-  int64_t scalar_sum = 0;
-  bool any_groups = num_group_attrs > 0;
-  for (uint64_t r = 0; r < n; ++r) {
-    const int64_t* tuple = &tuples[r * width];
-    bool pass = true;
-    for (const auto& [ci, pred] : local_preds) {
-      if (!pred.Matches(tuple[ci])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    for (const DimJoin& join : joins) {
-      const uint32_t* payload = join.map.Find(tuple[join.fk_col]);
-      if (payload == nullptr) {
-        pass = false;
-        break;
-      }
-      for (size_t a = 0; a < join.group_slots.size(); ++a) {
-        raw[join.group_slots[a]] = join.payload_codes[a][*payload];
-      }
-    }
-    if (!pass) continue;
-    int64_t measure = tuple[agg_a];
-    if (query.agg.kind == AggKind::kSumProduct) {
-      measure *= tuple[agg_b];
-    } else if (query.agg.kind == AggKind::kSumDiff) {
-      measure -= tuple[agg_b];
-    }
-    if (any_groups) {
-      agg.Add(codec.Pack(raw.data()), measure);
-    } else {
-      scalar_sum += measure;
-    }
-  }
+  // Parallel workers keep thread-local aggregation state over row-range
+  // morsels; partial sums/groups merge on the caller afterwards.
+  const bool any_groups = num_group_attrs > 0;
+  struct WorkerState {
+    std::unique_ptr<GroupAggregator> agg;
+    int64_t scalar_sum = 0;
+  };
+  std::vector<WorkerState> workers(std::max(1u, threads));
+  util::ParallelFor(
+      n, util::kRowMorsel, threads,
+      [&](unsigned worker, uint64_t begin, uint64_t end) {
+        WorkerState& state = workers[worker];
+        if (any_groups && state.agg == nullptr) {
+          state.agg = std::make_unique<GroupAggregator>(codec);
+        }
+        std::vector<int64_t> raw(num_group_attrs, 0);
+        for (uint64_t r = begin; r < end; ++r) {
+          const int64_t* tuple = &tuples[r * width];
+          bool pass = true;
+          for (const auto& [ci, pred] : local_preds) {
+            if (!pred.Matches(tuple[ci])) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          for (const DimJoin& join : joins) {
+            const uint32_t* payload = join.map.Find(tuple[join.fk_col]);
+            if (payload == nullptr) {
+              pass = false;
+              break;
+            }
+            for (size_t a = 0; a < join.group_slots.size(); ++a) {
+              raw[join.group_slots[a]] = join.payload_codes[a][*payload];
+            }
+          }
+          if (!pass) continue;
+          int64_t measure = tuple[agg_a];
+          if (query.agg.kind == AggKind::kSumProduct) {
+            measure *= tuple[agg_b];
+          } else if (query.agg.kind == AggKind::kSumDiff) {
+            measure -= tuple[agg_b];
+          }
+          if (any_groups) {
+            state.agg->Add(codec.Pack(raw.data()), measure);
+          } else {
+            state.scalar_sum += measure;
+          }
+        }
+      });
 
   if (!any_groups) {
+    int64_t scalar_sum = 0;
+    for (const WorkerState& state : workers) scalar_sum += state.scalar_sum;
     QueryResult result;
     result.rows.push_back(ResultRow{{}, scalar_sum});
     return result;
+  }
+  GroupAggregator agg(codec);
+  for (const WorkerState& state : workers) {
+    if (state.agg != nullptr) agg.MergeFrom(*state.agg);
   }
   QueryResult result = agg.Finish();
   result.Sort(query.order_by);

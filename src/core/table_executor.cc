@@ -4,6 +4,7 @@
 #include "core/gather.h"
 #include "core/predicate.h"
 #include "core/scan.h"
+#include "util/thread_pool.h"
 
 namespace cstore::core {
 
@@ -27,6 +28,7 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
                                       const TableQuery& query,
                                       const ExecConfig& config) {
   const uint64_t n = table.num_rows();
+  const unsigned threads = config.ResolvedThreads();
 
   // Predicates -> intersected position bitmap.
   util::BitVector selected(n);
@@ -38,7 +40,8 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
         CompiledPredicate::Compile(ToDimPredicate(spec), column));
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
-        uint64_t m, ScanColumn(column, pred, config.block_iteration, &bits));
+        uint64_t m, ParallelScanColumn(column, pred, config.block_iteration,
+                                       threads, &bits));
     (void)m;
     if (first) {
       selected = std::move(bits);
@@ -53,14 +56,14 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
   std::vector<int64_t> measure;
   {
     std::vector<int64_t> a;
-    CSTORE_RETURN_IF_ERROR(GatherInts(table.column(query.agg.column_a),
-                                      selected, &a));
+    CSTORE_RETURN_IF_ERROR(ParallelGatherInts(table.column(query.agg.column_a),
+                                              selected, threads, &a));
     if (query.agg.kind == AggKind::kSumColumn) {
       measure = std::move(a);
     } else {
       std::vector<int64_t> b;
-      CSTORE_RETURN_IF_ERROR(GatherInts(table.column(query.agg.column_b),
-                                        selected, &b));
+      CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
+          table.column(query.agg.column_b), selected, threads, &b));
       measure.resize(a.size());
       if (query.agg.kind == AggKind::kSumProduct) {
         for (size_t i = 0; i < a.size(); ++i) measure[i] = a[i] * b[i];
@@ -87,13 +90,15 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
     const col::ColumnInfo& info = column.info();
     std::vector<int64_t> codes;
     if (info.encoding == compress::Encoding::kPlainChar) {
-      // Uncompressed strings: intern on the fly (the "PJ, No C" cost).
+      // Uncompressed strings: intern on the fly (the "PJ, No C" cost). Stays
+      // serial — the pool's first-seen order is part of the cost model.
       pools.push_back(std::make_unique<std::vector<std::string>>());
       CSTORE_RETURN_IF_ERROR(
           GatherCharsInterned(column, selected, &codes, pools.back().get()));
       codec.AddInternAttr(pools.back().get());
     } else {
-      CSTORE_RETURN_IF_ERROR(GatherInts(column, selected, &codes));
+      CSTORE_RETURN_IF_ERROR(
+          ParallelGatherInts(column, selected, threads, &codes));
       if (info.dict != nullptr) {
         codec.AddDictAttr(info.dict);
       } else {
@@ -103,13 +108,7 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg(codec);
-  const size_t num_attrs = group_codes.size();
-  std::vector<int64_t> raw(num_attrs);
-  for (size_t r = 0; r < measure.size(); ++r) {
-    for (size_t g = 0; g < num_attrs; ++g) raw[g] = group_codes[g][r];
-    agg.Add(codec.Pack(raw.data()), measure[r]);
-  }
+  GroupAggregator agg = AggregateRows(codec, group_codes, measure, threads);
   QueryResult result = agg.Finish();
   result.Sort(query.order_by);
   return result;

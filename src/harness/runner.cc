@@ -5,6 +5,7 @@
 
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace cstore::harness {
 
@@ -72,8 +73,39 @@ void PrintFigure(const std::string& title,
   }
 }
 
+void PrintSpeedups(const std::string& title,
+                   const std::vector<std::string>& query_ids,
+                   const SeriesResult& base, const SeriesResult& parallel) {
+  util::TablePrinter printer(title);
+  std::vector<std::string> header = {"speedup"};
+  for (const auto& id : query_ids) header.push_back(id);
+  header.push_back("AVG");
+  printer.SetHeader(header);
+  std::vector<std::string> row = {base.name + "/" + parallel.name};
+  for (const auto& id : query_ids) {
+    auto b = base.by_query.find(id);
+    auto p = parallel.by_query.find(id);
+    if (b == base.by_query.end() || p == parallel.by_query.end() ||
+        p->second.seconds <= 0) {
+      row.push_back("-");
+      continue;
+    }
+    row.push_back(
+        util::TablePrinter::Num(b->second.seconds / p->second.seconds, 2) +
+        "x");
+  }
+  const double base_avg = base.AverageSeconds();
+  const double par_avg = parallel.AverageSeconds();
+  row.push_back(par_avg > 0 ? util::TablePrinter::Num(base_avg / par_avg, 2) +
+                                  "x"
+                            : "-");
+  printer.AddRow(row);
+  printer.Print();
+}
+
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
   BenchArgs args;
+  args.threads = util::ThreadPool::HardwareThreads();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
       args.scale_factor = std::atof(argv[++i]);
@@ -83,6 +115,9 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.pool_pages = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--disk") == 0 && i + 1 < argc) {
       args.disk_mbps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (args.threads == 0) args.threads = util::ThreadPool::HardwareThreads();
     }
   }
   return args;

@@ -40,11 +40,20 @@ void PrintFigure(const std::string& title,
                  const std::vector<std::string>& query_ids,
                  const std::vector<SeriesResult>& series, bool show_io = false);
 
+/// Prints per-query speedups of `parallel` over `base` (base.seconds /
+/// parallel.seconds), plus the average-of-averages ratio. Used by the
+/// figure benches to report how their morsel-driven series scale.
+void PrintSpeedups(const std::string& title,
+                   const std::vector<std::string>& query_ids,
+                   const SeriesResult& base, const SeriesResult& parallel);
+
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
-/// "--disk <MB/s>" flags (very small helper).
+/// "--disk <MB/s>", "--threads <n>" flags (very small helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
+  /// Worker count for the parallel ("-pN") series; 0 = hardware threads.
+  unsigned threads = 0;
   /// Buffer-pool pages per database. Deliberately smaller than a query's
   /// working set (the paper: "the amount of data read by each query exceeds
   /// the size of the buffer pool"), so warm runs still pay device reads.

@@ -1,5 +1,6 @@
 #include "row/row_table.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cstore::row {
@@ -53,6 +54,38 @@ Status RowTable::ScanPartitions(
         parts_[p]->Scan([&fn](uint64_t, const char* rec) { fn(rec); }));
   }
   return Status::OK();
+}
+
+std::vector<RowTable::ScanMorsel> RowTable::MakeScanMorsels(
+    const std::vector<uint32_t>& partitions, uint64_t pages_per_morsel) const {
+  CSTORE_CHECK(pages_per_morsel > 0);
+  std::vector<uint32_t> parts = partitions;
+  if (parts.empty()) {
+    parts.resize(parts_.size());
+    for (uint32_t p = 0; p < parts_.size(); ++p) parts[p] = p;
+  }
+  std::vector<ScanMorsel> morsels;
+  for (uint32_t part : parts) {
+    CSTORE_CHECK(part < parts_.size());
+    const storage::PageNumber pages = parts_[part]->NumPages();
+    for (storage::PageNumber p = 0; p < pages;
+         p += static_cast<storage::PageNumber>(pages_per_morsel)) {
+      morsels.push_back(ScanMorsel{
+          part, p,
+          static_cast<storage::PageNumber>(std::min<uint64_t>(
+              pages, p + pages_per_morsel))});
+    }
+  }
+  return morsels;
+}
+
+Status RowTable::ScanMorselRecords(
+    const ScanMorsel& morsel,
+    const std::function<void(const char*)>& fn) const {
+  CSTORE_CHECK(morsel.partition < parts_.size());
+  return parts_[morsel.partition]->ScanPages(
+      morsel.first_page, morsel.end_page,
+      [&fn](uint64_t, const char* rec) { fn(rec); });
 }
 
 Status RowTable::Locate(uint32_t rid, uint32_t* part, uint64_t* local) const {

@@ -55,6 +55,25 @@ class RowTable {
   Status ScanPartitions(const std::vector<uint32_t>& partitions,
                         const std::function<void(const char*)>& fn) const;
 
+  /// One unit of a morsel-driven parallel scan: a page range of one
+  /// partition's heap file.
+  struct ScanMorsel {
+    uint32_t partition = 0;
+    storage::PageNumber first_page = 0;
+    storage::PageNumber end_page = 0;
+  };
+
+  /// Splits the listed partitions ({} = all) into page-range morsels of at
+  /// most `pages_per_morsel` pages, in partition-then-page order.
+  std::vector<ScanMorsel> MakeScanMorsels(
+      const std::vector<uint32_t>& partitions,
+      uint64_t pages_per_morsel) const;
+
+  /// Scans every record of one morsel: fn(record bytes). Safe to call from
+  /// multiple threads on distinct morsels.
+  Status ScanMorselRecords(const ScanMorsel& morsel,
+                           const std::function<void(const char*)>& fn) const;
+
   /// Reads one record by record-id into `out` (layout().tuple_size() bytes).
   Status ReadRecord(uint32_t rid, char* out) const;
 

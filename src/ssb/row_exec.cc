@@ -8,6 +8,7 @@
 #include "core/predicate.h"
 #include "util/bit_vector.h"
 #include "util/int_map.h"
+#include "util/thread_pool.h"
 
 namespace cstore::ssb {
 
@@ -311,6 +312,12 @@ class Sink {
     return r;
   }
 
+  /// Folds a thread-local partial sink into this one (parallel scans).
+  void MergeFrom(const Sink& other) {
+    agg_.MergeFrom(other.agg_);
+    scalar_ += other.scalar_;
+  }
+
   /// Pack hook: set by callers that fill raw() before Add().
   void SetPacker(const GroupKeyCodec* codec) {
     codec_pack_ = [this, codec] { return codec->Pack(raw_.data()); };
@@ -342,16 +349,13 @@ int64_t ComputeMeasure(const FactFields& ff, const TupleLayout& layout,
 Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
                                            const StarQuery& q,
                                            const RowTable& fact,
-                                           const RowContext& ctx) {
+                                           const RowContext& ctx,
+                                           unsigned num_threads) {
   const TupleLayout& layout = fact.layout();
   CSTORE_ASSIGN_OR_RETURN(FactFields ff,
                           ResolveFactFields(ctx, q, layout.schema()));
-  Sink sink(ctx, q);
-  sink.SetPacker(&ctx.codec);
 
-  auto cursor = fact.OpenCursor(ctx.partitions);
-  const char* tuple;
-  while ((tuple = cursor->Next()) != nullptr) {
+  auto process = [&](const char* tuple, Sink& sink) {
     bool pass = true;
     for (const auto& [field, pred] : ff.local_preds) {
       if (!pred.Matches(layout.GetIntegral(tuple, field))) {
@@ -359,7 +363,7 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
         break;
       }
     }
-    if (!pass) continue;
+    if (!pass) return;
     for (const auto& [side, field] : ff.probes) {
       const uint32_t* payload = side->map.Find(layout.GetIntegral(tuple, field));
       if (payload == nullptr) {
@@ -370,11 +374,49 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
         sink.raw()[side->group_slots[a]] = side->payload[a][*payload];
       }
     }
-    if (!pass) continue;
+    if (!pass) return;
     sink.Add(ComputeMeasure(ff, layout, tuple));
+  };
+
+  if (num_threads <= 1) {
+    Sink sink(ctx, q);
+    sink.SetPacker(&ctx.codec);
+    auto cursor = fact.OpenCursor(ctx.partitions);
+    const char* tuple;
+    while ((tuple = cursor->Next()) != nullptr) process(tuple, sink);
+    return sink.Finish(ctx, q);
   }
-  RowContext& mutable_ctx = const_cast<RowContext&>(ctx);
-  (void)mutable_ctx;
+
+  // Morsel-driven parallel scan: page-range morsels of the (pruned)
+  // partitions, one thread-local Sink per worker, merged in worker order.
+  // The dimension hash tables are read-only during the probe phase.
+  const std::vector<RowTable::ScanMorsel> morsels =
+      fact.MakeScanMorsels(ctx.partitions, util::kPageMorsel);
+  struct WorkerState {
+    std::unique_ptr<Sink> sink;
+    Status status = Status::OK();
+  };
+  std::vector<WorkerState> workers(num_threads);
+  util::ParallelFor(
+      morsels.size(), 1, num_threads,
+      [&](unsigned worker, uint64_t begin, uint64_t end) {
+        WorkerState& state = workers[worker];
+        if (state.sink == nullptr) {
+          state.sink = std::make_unique<Sink>(ctx, q);
+          state.sink->SetPacker(&ctx.codec);
+        }
+        for (uint64_t m = begin; m < end && state.status.ok(); ++m) {
+          state.status = fact.ScanMorselRecords(
+              morsels[m],
+              [&](const char* tuple) { process(tuple, *state.sink); });
+        }
+      });
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  for (WorkerState& state : workers) {
+    CSTORE_RETURN_IF_ERROR(state.status);
+    if (state.sink != nullptr) sink.MergeFrom(*state.sink);
+  }
   return sink.Finish(ctx, q);
 }
 
@@ -785,15 +827,16 @@ std::string_view RowDesignName(RowDesign design) {
 
 Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,
-                                          RowDesign design) {
+                                          RowDesign design,
+                                          unsigned num_threads) {
   CSTORE_ASSIGN_OR_RETURN(RowContext ctx, BuildContext(db, query));
   switch (design) {
     case RowDesign::kTraditional:
-      return ExecutePipelined(db, query, db.lineorder(), ctx);
+      return ExecutePipelined(db, query, db.lineorder(), ctx, num_threads);
     case RowDesign::kTraditionalBitmap:
       return ExecuteBitmap(db, query, ctx);
     case RowDesign::kMaterializedViews:
-      return ExecutePipelined(db, query, db.mv(query.id), ctx);
+      return ExecutePipelined(db, query, db.mv(query.id), ctx, num_threads);
     case RowDesign::kVerticalPartitioning:
       return ExecuteVerticalPartitioning(db, query, ctx);
     case RowDesign::kIndexOnly:

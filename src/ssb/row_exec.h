@@ -37,8 +37,16 @@ std::string_view RowDesignName(RowDesign design);
 
 /// Executes `query` against `db` using the given physical design. The
 /// database must have been built with the options the design requires.
+///
+/// `num_threads` > 1 runs the fact-table scan of the pipelined designs
+/// (kTraditional, kMaterializedViews) over page-range morsels with
+/// thread-local aggregation state, merged deterministically; results are
+/// byte-identical to the serial plan. The other designs (bitmap, VP,
+/// index-only — the paper's deliberately inferior plans) always run serial.
+/// Default 1 = the paper's single-core System X behavior.
 Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,
-                                          RowDesign design);
+                                          RowDesign design,
+                                          unsigned num_threads = 1);
 
 }  // namespace cstore::ssb

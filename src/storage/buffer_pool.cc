@@ -41,29 +41,37 @@ BufferPool::BufferPool(FileManager* files, size_t capacity_pages) : files_(files
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    hits_++;
-    Frame& f = frames_[it->second];
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      hits_++;
+      Frame& f = frames_[it->second];
+      if (f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.pin_count++;
+      return PageGuard(this, it->second, f.data.get());
     }
-    f.pin_count++;
-    return PageGuard(this, it->second, f.data.get());
-  }
 
-  misses_++;
-  CSTORE_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  Frame& f = frames_[frame];
-  CSTORE_RETURN_IF_ERROR(files_->ReadPage(id, f.data.get()));
-  f.page_id = id;
-  f.used = true;
-  f.dirty = false;
-  f.pin_count = 1;
-  f.in_lru = false;
-  page_table_[id] = frame;
-  return PageGuard(this, frame, f.data.get());
+    misses_++;
+    CSTORE_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+    Frame& f = frames_[frame];
+    CSTORE_RETURN_IF_ERROR(files_->ReadPageNoDelay(id, f.data.get()));
+    f.page_id = id;
+    f.used = true;
+    f.dirty = false;
+    f.pin_count = 1;
+    f.in_lru = false;
+    page_table_[id] = frame;
+    // Fall through to pay the simulated transfer outside the latch: the pin
+    // already protects the frame, and concurrent misses should overlap their
+    // stalls rather than queue on the pool.
+    lock.unlock();
+    files_->SimulateReadDelay();
+    return PageGuard(this, frame, f.data.get());
+  }
 }
 
 Result<PageGuard> BufferPool::NewPage(FileId file, PageNumber* page_number) {
@@ -73,6 +81,7 @@ Result<PageGuard> BufferPool::NewPage(FileId file, PageNumber* page_number) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.used && f.dirty) {
       CSTORE_RETURN_IF_ERROR(files_->WritePage(f.page_id, f.data.get()));
@@ -84,6 +93,7 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::Clear() {
   CSTORE_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.pin_count != 0) {
@@ -101,6 +111,7 @@ Status BufferPool::Clear() {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
   CSTORE_CHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
@@ -109,7 +120,10 @@ void BufferPool::Unpin(size_t frame) {
   }
 }
 
-void BufferPool::MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+void BufferPool::MarkDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
+}
 
 Result<size_t> BufferPool::GetVictimFrame() {
   if (!free_frames_.empty()) {

@@ -7,6 +7,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -44,7 +45,11 @@ class PageGuard {
   char* data_ = nullptr;
 };
 
-/// Page cache over a FileManager.
+/// Page cache over a FileManager. Thread-safe: a single latch protects the
+/// page table, LRU list, and pin counts, so morsel-driven parallel scans may
+/// fetch pages concurrently. The latch covers the (RAM-backed) device copy
+/// but not the simulated-disk stall, which each missing fetch pays after
+/// release — concurrent misses overlap their transfers as on a real array.
 class BufferPool {
  public:
   /// `capacity_pages` frames are allocated eagerly.
@@ -65,9 +70,18 @@ class BufferPool {
   Status Clear();
 
   size_t capacity() const { return frames_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetCounters() { hits_ = misses_ = 0; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = misses_ = 0;
+  }
 
  private:
   friend class PageGuard;
@@ -89,6 +103,8 @@ class BufferPool {
   Status EvictFrame(size_t frame);
 
   FileManager* files_;
+  /// Latch over page_table_, lru_, free_frames_, frame metadata, counters.
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
   /// Unpinned resident frames, least-recently-used first.

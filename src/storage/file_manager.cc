@@ -36,14 +36,23 @@ PageNumber FileManager::AllocatePage(FileId file) {
 }
 
 Status FileManager::ReadPage(PageId id, char* out) const {
+  CSTORE_RETURN_IF_ERROR(ReadPageNoDelay(id, out));
+  SimulateReadDelay();
+  return Status::OK();
+}
+
+Status FileManager::ReadPageNoDelay(PageId id, char* out) const {
   if (!ValidPage(id)) {
     return Status::NotFound("page does not exist");
   }
   std::memcpy(out, files_[id.file_id].pages[id.page_number].get(), kPageSize);
   stats_.pages_read += 1;
   stats_.bytes_read += kPageSize;
-  if (read_seconds_per_page_ > 0) SpinFor(read_seconds_per_page_);
   return Status::OK();
+}
+
+void FileManager::SimulateReadDelay() const {
+  if (read_seconds_per_page_ > 0) SpinFor(read_seconds_per_page_);
 }
 
 Status FileManager::WritePage(PageId id, const char* data) {

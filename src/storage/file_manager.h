@@ -45,6 +45,16 @@ class FileManager {
   /// Copies page contents into `out` (kPageSize bytes). Charged as one read.
   Status ReadPage(PageId id, char* out) const;
 
+  /// ReadPage without the simulated-disk stall. The buffer pool uses this
+  /// under its latch and calls SimulateReadDelay() after releasing it, so
+  /// that concurrent scans overlap their simulated transfers (the paper's
+  /// multi-disk array serves readers in parallel) instead of serializing on
+  /// the pool latch.
+  Status ReadPageNoDelay(PageId id, char* out) const;
+
+  /// Busy-waits for one simulated page transfer (no-op when disabled).
+  void SimulateReadDelay() const;
+
   /// Overwrites page contents from `data` (kPageSize bytes). Charged as one
   /// write.
   Status WritePage(PageId id, const char* data);

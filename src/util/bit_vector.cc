@@ -17,6 +17,15 @@ size_t BitVector::Count() const {
   return n;
 }
 
+size_t BitVector::CountWords(size_t word_begin, size_t word_end) const {
+  CSTORE_DCHECK(word_begin <= word_end && word_end <= words_.size());
+  size_t n = 0;
+  for (size_t w = word_begin; w < word_end; ++w) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[w]));
+  }
+  return n;
+}
+
 void BitVector::And(const BitVector& other) {
   CSTORE_CHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -53,7 +54,15 @@ class BitVector {
   /// Calls fn(position) for every set bit, in increasing order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
+    ForEachSetInWords(0, words_.size(), std::forward<Fn>(fn));
+  }
+
+  /// ForEachSet restricted to the 64-bit words [word_begin, word_end) —
+  /// i.e. bit positions [word_begin*64, word_end*64). Parallel gathers
+  /// split a bitmap into word-aligned morsels with this.
+  template <typename Fn>
+  void ForEachSetInWords(size_t word_begin, size_t word_end, Fn&& fn) const {
+    for (size_t w = word_begin; w < word_end; ++w) {
       uint64_t word = words_[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
@@ -62,6 +71,12 @@ class BitVector {
       }
     }
   }
+
+  /// Number of 64-bit words backing the vector.
+  size_t num_words() const { return words_.size(); }
+
+  /// Number of set bits within the words [word_begin, word_end).
+  size_t CountWords(size_t word_begin, size_t word_end) const;
 
   bool operator==(const BitVector& other) const = default;
 

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cstore::util {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+unsigned ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ParallelFor(uint64_t total, uint64_t morsel_size, unsigned workers,
+                 const std::function<void(unsigned worker, uint64_t begin,
+                                          uint64_t end)>& body) {
+  if (total == 0) return;
+  morsel_size = std::max<uint64_t>(morsel_size, 1);
+  const uint64_t num_morsels = (total + morsel_size - 1) / morsel_size;
+  const uint64_t capped =
+      std::min<uint64_t>(workers == 0 ? 1 : workers, num_morsels);
+
+  auto morsel_range = [&](uint64_t m, uint64_t* begin, uint64_t* end) {
+    *begin = m * morsel_size;
+    *end = std::min(total, *begin + morsel_size);
+  };
+
+  // Nested calls from inside a pool worker run inline: waiting on the queue
+  // from a queue consumer can deadlock when every worker does it.
+  if (capped <= 1 || ThreadPool::OnWorkerThread()) {
+    for (uint64_t m = 0; m < num_morsels; ++m) {
+      uint64_t begin, end;
+      morsel_range(m, &begin, &end);
+      body(0, begin, end);
+    }
+    return;
+  }
+
+  struct Shared {
+    std::atomic<uint64_t> next_morsel{0};
+    std::atomic<unsigned> finished{0};
+    std::mutex mu;
+    std::condition_variable done;
+  } shared;
+
+  const unsigned helpers = static_cast<unsigned>(capped) - 1;
+  auto drain = [&, num_morsels](unsigned slot) {
+    for (;;) {
+      const uint64_t m = shared.next_morsel.fetch_add(1);
+      if (m >= num_morsels) break;
+      uint64_t begin, end;
+      morsel_range(m, &begin, &end);
+      body(slot, begin, end);
+    }
+  };
+
+  for (unsigned h = 0; h < helpers; ++h) {
+    ThreadPool::Global().Submit([&shared, &drain, h, helpers] {
+      drain(h + 1);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (++shared.finished == helpers) shared.done.notify_one();
+    });
+  }
+  drain(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done.wait(lock, [&] { return shared.finished == helpers; });
+}
+
+}  // namespace cstore::util

@@ -1,0 +1,80 @@
+// ThreadPool + ParallelFor: the morsel-driven parallel execution layer.
+//
+// Queries split their work into fixed-size morsels (ranges of pages or rows,
+// after Leis et al., "Morsel-Driven Parallelism"); workers pull the next
+// morsel from a shared atomic counter, so load balances without work
+// stealing. Each worker owns a slot id in [0, workers) for thread-local
+// partial state (bitmaps, aggregation hash tables) that the caller merges
+// deterministically after the loop. The pool itself is a process-wide,
+// lazily started set of threads; queries choose their degree of parallelism
+// per ParallelFor call (ExecConfig::num_threads), not per pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cstore::util {
+
+/// Fixed set of worker threads consuming a FIFO queue of tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  unsigned num_threads() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, sized to the hardware (started on first use).
+  static ThreadPool& Global();
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned HardwareThreads();
+
+  /// True when the calling thread is a worker of some ThreadPool. Used to
+  /// run nested ParallelFor calls inline instead of deadlocking on a full
+  /// queue.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Number of values processed per morsel when iterating rows.
+inline constexpr uint64_t kRowMorsel = 64 * 1024;
+/// Pages per morsel when iterating a column's (32 KB) pages.
+inline constexpr uint64_t kPageMorsel = 4;
+
+/// Morsel-driven parallel loop over [0, total): calls
+/// `body(worker, begin, end)` for every morsel-sized subrange, spreading
+/// morsels over `workers` workers (the calling thread acts as worker 0; the
+/// rest run on the global pool). Blocks until every morsel is done.
+///
+/// `worker` is a dense slot id in [0, effective_workers); a worker processes
+/// whole morsels one at a time, in the shared-counter order. With
+/// workers <= 1 (or on a pool worker thread already inside a ParallelFor)
+/// the morsels run inline on the caller, in ascending order.
+///
+/// Callers needing deterministic output must make per-worker partial states
+/// order-insensitive to merge (bitmap OR, integer sums, hash-table unions
+/// whose downstream consumers impose a total order).
+void ParallelFor(uint64_t total, uint64_t morsel_size, unsigned workers,
+                 const std::function<void(unsigned worker, uint64_t begin,
+                                          uint64_t end)>& body);
+
+}  // namespace cstore::util

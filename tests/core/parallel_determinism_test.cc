@@ -1,0 +1,121 @@
+// Morsel-driven parallelism must never show in query answers: for every SSBM
+// query and every Figure-7 configuration, ExecuteStarQuery's output is
+// byte-identical for num_threads in {1, 2, 8} (1 runs the serial code
+// paths). Likewise for the denormalized single-table executor and the
+// pipelined row-store designs.
+#include <gtest/gtest.h>
+
+#include "core/star_executor.h"
+#include "core/table_executor.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/row_db.h"
+#include "ssb/row_exec.h"
+
+namespace cstore {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::GenParams params;
+    params.scale_factor = 0.01;
+    data_ = new ssb::SsbData(ssb::Generate(params));
+    compressed_ =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kFull)
+            .ValueOrDie()
+            .release();
+    uncompressed_ =
+        ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kNone)
+            .ValueOrDie()
+            .release();
+  }
+
+  static ssb::SsbData* data_;
+  static ssb::ColumnDatabase* compressed_;
+  static ssb::ColumnDatabase* uncompressed_;
+};
+
+ssb::SsbData* ParallelDeterminismTest::data_ = nullptr;
+ssb::ColumnDatabase* ParallelDeterminismTest::compressed_ = nullptr;
+ssb::ColumnDatabase* ParallelDeterminismTest::uncompressed_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, StarQueriesIdenticalAcrossThreadCounts) {
+  // The seven Figure-7 configurations.
+  struct Config {
+    const char* code;
+    bool compressed;
+    core::ExecConfig exec;
+  };
+  const Config configs[] = {
+      {"tICL", true, {true, true, true}},   {"TICL", true, {false, true, true}},
+      {"tiCL", true, {true, false, true}},  {"TiCL", true, {false, false, true}},
+      {"ticL", false, {true, false, true}}, {"TicL", false, {false, false, true}},
+      {"Ticl", false, {false, false, false}},
+  };
+  for (const Config& config : configs) {
+    const ssb::ColumnDatabase* db =
+        config.compressed ? compressed_ : uncompressed_;
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      core::ExecConfig exec = config.exec;
+      exec.num_threads = 1;
+      auto serial = core::ExecuteStarQuery(db->Schema(), q, exec);
+      ASSERT_TRUE(serial.ok()) << q.id;
+      const std::string expected = serial.ValueOrDie().ToString();
+      for (unsigned threads : {2u, 8u}) {
+        exec.num_threads = threads;
+        auto parallel = core::ExecuteStarQuery(db->Schema(), q, exec);
+        ASSERT_TRUE(parallel.ok()) << q.id;
+        EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
+            << "Q" << q.id << " config=" << config.code << " threads="
+            << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, DenormalizedQueriesIdenticalAcrossThreadCounts) {
+  auto denorm =
+      ssb::DenormalizedDatabase::Build(*data_, col::CompressionMode::kDictOnly)
+          .ValueOrDie();
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    const core::TableQuery tq = ssb::ToDenormalizedQuery(q);
+    core::ExecConfig exec;
+    exec.num_threads = 1;
+    auto serial = core::ExecuteTableQuery(denorm->table(), tq, exec);
+    ASSERT_TRUE(serial.ok()) << q.id;
+    const std::string expected = serial.ValueOrDie().ToString();
+    for (unsigned threads : {2u, 8u}) {
+      exec.num_threads = threads;
+      auto parallel = core::ExecuteTableQuery(denorm->table(), tq, exec);
+      ASSERT_TRUE(parallel.ok()) << q.id;
+      EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
+          << "Q" << q.id << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RowDesignsIdenticalAcrossThreadCounts) {
+  ssb::RowDbOptions options;
+  options.materialized_views = true;
+  auto row_db = ssb::RowDatabase::Build(*data_, options).ValueOrDie();
+  for (const ssb::RowDesign design :
+       {ssb::RowDesign::kTraditional, ssb::RowDesign::kMaterializedViews}) {
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      auto serial = ssb::ExecuteRowQuery(*row_db, q, design, 1);
+      ASSERT_TRUE(serial.ok()) << q.id;
+      const std::string expected = serial.ValueOrDie().ToString();
+      for (unsigned threads : {2u, 8u}) {
+        auto parallel = ssb::ExecuteRowQuery(*row_db, q, design, threads);
+        ASSERT_TRUE(parallel.ok()) << q.id;
+        EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
+            << "Q" << q.id << " design=" << ssb::RowDesignName(design)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cstore

@@ -26,11 +26,15 @@ class IoBehaviorTest : public ::testing::Test {
 ssb::SsbData* IoBehaviorTest::data_ = nullptr;
 
 uint64_t PagesReadForQuery(ssb::ColumnDatabase* db, const std::string& id) {
-  // Cold pool, then count device reads for one execution.
+  // Cold pool, then count device reads for one execution. Single-threaded:
+  // these are the paper's serial I/O-volume arguments, and with the tiny
+  // pools below, parallel morsel interleaving would make the LRU miss
+  // pattern (and thus pages_read) scheduling-dependent.
+  core::ExecConfig config = core::ExecConfig::AllOn();
+  config.num_threads = 1;
   CSTORE_CHECK(db->pool().Clear().ok());
   const uint64_t before = db->files().stats().pages_read;
-  auto r = core::ExecuteStarQuery(db->Schema(), ssb::QueryById(id),
-                                  core::ExecConfig::AllOn());
+  auto r = core::ExecuteStarQuery(db->Schema(), ssb::QueryById(id), config);
   CSTORE_CHECK(r.ok());
   return db->files().stats().pages_read - before;
 }

@@ -1,0 +1,135 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace cstore::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++count == 100) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return count == 100; });
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> seen(1000);
+    ParallelFor(1000, 64, workers, [&](unsigned, uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "position " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelForTest, MorselBoundariesAreFixedSize) {
+  std::mutex mu;
+  std::set<std::pair<uint64_t, uint64_t>> ranges;
+  ParallelFor(250, 100, 4, [&](unsigned, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace(begin, end);
+  });
+  const std::set<std::pair<uint64_t, uint64_t>> expected = {
+      {0, 100}, {100, 200}, {200, 250}};
+  EXPECT_EQ(ranges, expected);
+}
+
+TEST(ParallelForTest, WorkerSlotsAreDense) {
+  const unsigned workers = 4;
+  std::mutex mu;
+  std::set<unsigned> slots;
+  ParallelFor(10000, 1, workers, [&](unsigned worker, uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    slots.insert(worker);
+  });
+  // Any worker may drain the whole shared counter (e.g. on a loaded
+  // machine), so only the slot-id range is guaranteed.
+  ASSERT_FALSE(slots.empty());
+  for (unsigned s : slots) EXPECT_LT(s, workers);
+}
+
+TEST(ParallelForTest, MoreWorkersThanMorselsIsFine) {
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(3, 10, 16, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 0u + 1 + 2);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  bool called = false;
+  ParallelFor(0, 64, 8, [&](unsigned, uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInAscendingOrder) {
+  std::vector<uint64_t> begins;
+  ParallelFor(300, 64, 1, [&](unsigned worker, uint64_t begin, uint64_t) {
+    EXPECT_EQ(worker, 0u);
+    begins.push_back(begin);
+  });
+  std::vector<uint64_t> sorted = begins;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(begins, sorted);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  std::atomic<uint64_t> total{0};
+  ParallelFor(16, 1, 8, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      // Nested loops run inline on pool workers; either way every unit of
+      // inner work must complete.
+      ParallelFor(10, 2, 4, [&](unsigned, uint64_t b, uint64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16u * 10u);
+}
+
+TEST(ParallelForTest, PartialSumsMatchSerial) {
+  // The merge pattern every parallel operator uses: per-worker partials
+  // combined after the loop equal the serial result.
+  std::vector<int64_t> values(100000);
+  std::iota(values.begin(), values.end(), -50000);
+  const int64_t expected = std::accumulate(values.begin(), values.end(),
+                                           int64_t{0});
+  for (unsigned workers : {1u, 2u, 8u}) {
+    std::vector<int64_t> partial(workers, 0);
+    ParallelFor(values.size(), kRowMorsel / 64, workers,
+                [&](unsigned worker, uint64_t begin, uint64_t end) {
+                  for (uint64_t i = begin; i < end; ++i) {
+                    partial[worker] += values[i];
+                  }
+                });
+    int64_t total = 0;
+    for (int64_t p : partial) total += p;
+    EXPECT_EQ(total, expected) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace cstore::util
