@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Soft benchmark-regression check.
+
+Diffs a fresh bench_results.json (written by a figure bench via --json)
+against a committed baseline and warns when a (series, query) cell got
+slower than --threshold x. Timings are machine-relative, so this is a
+*soft* gate: it always exits 0 on a successful comparison and is meant to
+make regressions visible in CI logs and artifacts, not to fail the build.
+Exit 1 only means the inputs themselves were unusable.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline/fig7_sf0.005.json \
+      --current bench_results.json [--threshold 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def by_name(doc):
+    return {s["name"]: s.get("queries", {}) for s in doc.get("series", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="warn when current_ms > threshold * baseline_ms")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    for key in ("scale_factor", "threads", "disk_mbps"):
+        if base.get(key) != curr.get(key):
+            print(f"note: {key} differs (baseline {base.get(key)}, "
+                  f"current {curr.get(key)}) — ratios may not be comparable")
+
+    base_series = by_name(base)
+    curr_series = by_name(curr)
+    regressions = []
+    compared = 0
+    print(f"{'series':<10} {'query':<6} {'base ms':>9} {'curr ms':>9} {'ratio':>7}")
+    for name, queries in sorted(curr_series.items()):
+        if name not in base_series:
+            print(f"note: series {name!r} not in baseline, skipped")
+            continue
+        for q, cell in sorted(queries.items()):
+            b = base_series[name].get(q)
+            if b is None or b.get("ms", 0) <= 0:
+                continue
+            ratio = cell["ms"] / b["ms"]
+            compared += 1
+            flag = "  <-- SLOWER" if ratio > args.threshold else ""
+            print(f"{name:<10} {q:<6} {b['ms']:>9.3f} {cell['ms']:>9.3f} "
+                  f"{ratio:>6.2f}x{flag}")
+            if ratio > args.threshold:
+                regressions.append((name, q, ratio))
+
+    if not compared:
+        print("check_bench_regression: nothing to compare", file=sys.stderr)
+        sys.exit(1)
+    if regressions:
+        print(f"\nWARNING: {len(regressions)} cell(s) slower than "
+              f"{args.threshold}x baseline (soft threshold — not failing):")
+        for name, q, ratio in regressions:
+            print(f"  {name} {q}: {ratio:.2f}x")
+    else:
+        print(f"\nOK: all {compared} cells within {args.threshold}x of baseline")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,11 +14,13 @@
 #include <cstdio>
 #include <string>
 
+#include "column/column_reader.h"
 #include "core/star_executor.h"
 #include "harness/runner.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
 #include "ssb/queries.h"
+#include "util/table_printer.h"
 
 using namespace cstore;
 
@@ -73,12 +75,21 @@ int main(int argc, char** argv) {
     harness::SeriesResult s;
     s.name = config.code;
     for (const core::StarQuery& q : ssb::AllQueries()) {
-      s.by_query[q.id] = harness::TimeCell(
+      // Zone-map telemetry around the cell (warm-up + reps), normalized to
+      // one execution — proves page skipping fires, query by query.
+      const col::ScanCounters before = col::ReadScanCounters();
+      harness::CellResult cell = harness::TimeCell(
           [&] {
             auto r = core::ExecuteStarQuery(db->Schema(), q, config.exec);
             CSTORE_CHECK(r.ok());
           },
           args.repetitions, &db->files().stats());
+      const col::ScanCounters delta = col::ReadScanCounters() - before;
+      const uint64_t runs = static_cast<uint64_t>(args.repetitions) + 1;
+      cell.pages_skipped = delta.pages_skipped / runs;
+      cell.pages_all_match = delta.pages_all_match / runs;
+      cell.pages_scanned = delta.pages_scanned / runs;
+      s.by_query[q.id] = cell;
     }
     std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code.c_str(),
                  s.AverageSeconds() * 1e3);
@@ -86,6 +97,33 @@ int main(int argc, char** argv) {
   }
 
   harness::PrintFigure("Figure 7 — optimization breakdown (ms)", ids, series);
+
+  // Zone-map effectiveness of the first (full-optimization) configuration:
+  // pages a scan skipped outright, accepted whole from stats, or decoded.
+  {
+    util::TablePrinter zm(series[0].name +
+                          " zone maps — pages skipped / all-match / scanned");
+    std::vector<std::string> header = {"counter"};
+    for (const auto& id : ids) header.push_back(id);
+    zm.SetHeader(header);
+    const char* row_names[] = {"skipped", "all-match", "scanned"};
+    for (int r = 0; r < 3; ++r) {
+      std::vector<std::string> row = {row_names[r]};
+      for (const auto& id : ids) {
+        const harness::CellResult& cell = series[0].by_query[id];
+        const uint64_t v = r == 0   ? cell.pages_skipped
+                           : r == 1 ? cell.pages_all_match
+                                    : cell.pages_scanned;
+        row.push_back(std::to_string(v));
+      }
+      zm.AddRow(row);
+    }
+    zm.Print();
+  }
+
+  if (!args.json_path.empty()) {
+    harness::WriteResultsJson(args.json_path, "fig7", args, ids, series);
+  }
   if (args.threads > 1) {
     harness::PrintSpeedups("Figure 7 — morsel-driven scaling", ids, series[0],
                            series.back());

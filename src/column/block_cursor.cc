@@ -10,29 +10,23 @@ BlockCursor::BlockCursor(const StoredColumn* column)
 BlockCursor::BlockCursor(const StoredColumn* column,
                          storage::PageNumber first_page,
                          storage::PageNumber end_page)
-    : column_(column), first_page_(first_page), end_page_(end_page) {
-  CSTORE_CHECK(column_->IsIntegerStored());
-  CSTORE_CHECK(first_page_ <= end_page_ && end_page_ <= column_->num_pages());
+    : reader_(column, first_page, end_page) {
+  CSTORE_CHECK(column->IsIntegerStored());
   decoded_.reserve(compress::kPagePayloadSize / sizeof(int32_t));
   Reset();
 }
 
 void BlockCursor::Reset() {
-  next_page_ = first_page_;
+  next_page_ = reader_.first_page();
   decoded_.clear();
   page_offset_ = 0;
-  position_ = first_page_ < column_->num_pages()
-                  ? column_->info().page_starts[first_page_]
-                  : column_->num_values();
+  position_ = reader_.RowStart();
 }
 
 bool BlockCursor::LoadNextPage() {
-  if (next_page_ >= end_page_) return false;
-  storage::PageGuard guard;
-  auto view = column_->GetPage(next_page_, &guard);
-  CSTORE_CHECK(view.ok());
-  decoded_.resize(view.ValueOrDie().num_values());
-  view.ValueOrDie().DecodeInt64(decoded_.data());
+  if (next_page_ >= reader_.end_page()) return false;
+  auto n = reader_.DecodePage(next_page_, &decoded_);
+  CSTORE_CHECK(n.ok());
   page_offset_ = 0;
   next_page_++;
   return true;

@@ -1,0 +1,67 @@
+#include "column/column_reader.h"
+
+namespace cstore::col {
+
+namespace {
+
+// Relaxed ordering: the counters are statistics, not synchronization.
+std::atomic<uint64_t> g_pages_skipped{0};
+std::atomic<uint64_t> g_pages_all_match{0};
+std::atomic<uint64_t> g_pages_scanned{0};
+
+}  // namespace
+
+ScanCounters ReadScanCounters() {
+  return ScanCounters{g_pages_skipped.load(std::memory_order_relaxed),
+                      g_pages_all_match.load(std::memory_order_relaxed),
+                      g_pages_scanned.load(std::memory_order_relaxed)};
+}
+
+void ResetScanCounters() {
+  g_pages_skipped.store(0, std::memory_order_relaxed);
+  g_pages_all_match.store(0, std::memory_order_relaxed);
+  g_pages_scanned.store(0, std::memory_order_relaxed);
+}
+
+namespace internal {
+void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned) {
+  if (skipped != 0) g_pages_skipped.fetch_add(skipped, std::memory_order_relaxed);
+  if (all_match != 0) {
+    g_pages_all_match.fetch_add(all_match, std::memory_order_relaxed);
+  }
+  if (scanned != 0) g_pages_scanned.fetch_add(scanned, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+void ColumnReader::LoadPage(storage::PageNumber p) {
+  auto res = column_->GetPage(p, &guard_);
+  CSTORE_CHECK(res.ok());
+  view_.emplace(std::move(res).ValueOrDie());
+  page_start_ = index().row_start(p);
+  page_end_ = page_start_ + view_->num_values();
+  loaded_ = true;
+  scratch_.clear();
+  if (view_->encoding() == compress::Encoding::kRle) {
+    // ValueAt is O(runs) on RLE pages; decode once so repeated in-page
+    // accesses stay O(1).
+    scratch_.resize(view_->num_values());
+    view_->DecodeInt64(scratch_.data());
+  }
+}
+
+uint32_t ColumnReader::SeekToRow(uint64_t row) {
+  if (!loaded_ || row < page_start_ || row >= page_end_) {
+    LoadPage(index().PageForRow(row));
+  }
+  return static_cast<uint32_t>(row - page_start_);
+}
+
+Result<uint32_t> ColumnReader::DecodePage(storage::PageNumber p,
+                                          std::vector<int64_t>* out) {
+  storage::PageGuard guard;
+  CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column_->GetPage(p, &guard));
+  out->resize(view.num_values());
+  return view.DecodeInt64(out->data());
+}
+
+}  // namespace cstore::col

@@ -1,0 +1,154 @@
+// ColumnReader: zone-map-aware page access for one stored column.
+//
+// This is the layer between raw pages and the operators in src/core. It
+// owns three access patterns:
+//
+//  * VisitPages — a predicate scan's page loop. For every page in the
+//    reader's range the caller's `decide` callback inspects the persisted
+//    PageStats and returns kSkip (no value can match: the page is never
+//    fetched), kAllMatch (every value matches: the caller sets a whole bit
+//    range without fetching or decoding), or kVisit (the page is pinned and
+//    handed to the caller's per-encoding scanner). Skip/all-match/scan
+//    counts feed the process-wide scan telemetry.
+//  * SeekToRow — a gather's position jump. The page index maps a row
+//    position straight to its page (binary search over row ranges), so late
+//    materialization never cursors from page 0 to reach a position list.
+//  * DecodePage — sequential whole-page decode, the primitive BlockCursor's
+//    NextBlock/GetNext surface is a thin shim over.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "column/stored_column.h"
+
+namespace cstore::col {
+
+/// What a zone-map consultation concluded about one page.
+enum class PageDecision {
+  kSkip,      ///< no value on the page can match — don't even fetch it
+  kAllMatch,  ///< every value matches — set the row range, skip the decode
+  kVisit,     ///< undecidable from stats — fetch and scan the page
+};
+
+/// Process-wide scan telemetry: how many pages zone-map consultation
+/// skipped, accepted wholesale, or actually scanned. Monotonic; read a
+/// snapshot before and after a query to attribute counts.
+struct ScanCounters {
+  uint64_t pages_skipped = 0;
+  uint64_t pages_all_match = 0;
+  uint64_t pages_scanned = 0;
+
+  ScanCounters operator-(const ScanCounters& other) const {
+    return ScanCounters{pages_skipped - other.pages_skipped,
+                        pages_all_match - other.pages_all_match,
+                        pages_scanned - other.pages_scanned};
+  }
+};
+
+ScanCounters ReadScanCounters();
+void ResetScanCounters();
+
+namespace internal {
+void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned);
+}  // namespace internal
+
+/// Cursor-free reader over one column (or a page-range morsel of it).
+/// Cheap to construct — parallel workers build one per morsel.
+class ColumnReader {
+ public:
+  explicit ColumnReader(const StoredColumn* column)
+      : ColumnReader(column, 0, column->num_pages()) {}
+
+  /// Reader restricted to the pages [first_page, end_page).
+  ColumnReader(const StoredColumn* column, storage::PageNumber first_page,
+               storage::PageNumber end_page)
+      : column_(column), first_page_(first_page), end_page_(end_page) {
+    CSTORE_CHECK(first_page_ <= end_page_ &&
+                 end_page_ <= column_->num_pages());
+  }
+
+  const StoredColumn& column() const { return *column_; }
+  const compress::PageIndex& index() const { return column_->page_index(); }
+  storage::PageNumber first_page() const { return first_page_; }
+  storage::PageNumber end_page() const { return end_page_; }
+
+  /// Position of the first value in the reader's page range.
+  uint64_t RowStart() const {
+    return first_page_ < column_->num_pages() ? index().row_start(first_page_)
+                                              : column_->num_values();
+  }
+
+  /// Zone-map-driven page loop over the reader's range. Per page:
+  /// `decide(stats)` -> PageDecision; kAllMatch calls `all_match(stats)`
+  /// without touching storage; kVisit pins the page and calls
+  /// `visit(view, stats)`. Counts land in the scan telemetry.
+  template <typename Decide, typename AllMatch, typename Visit>
+  Status VisitPages(Decide&& decide, AllMatch&& all_match, Visit&& visit) {
+    const compress::PageIndex& pages = index();
+    uint64_t skipped = 0, matched = 0, scanned = 0;
+    Status status = Status::OK();
+    for (storage::PageNumber p = first_page_; p < end_page_; ++p) {
+      const compress::PageStats& stats = pages.page(p);
+      switch (decide(stats)) {
+        case PageDecision::kSkip:
+          skipped++;
+          break;
+        case PageDecision::kAllMatch:
+          all_match(stats);
+          matched++;
+          break;
+        case PageDecision::kVisit: {
+          storage::PageGuard guard;
+          auto view = column_->GetPage(p, &guard);
+          if (!view.ok()) {
+            status = view.status();
+            break;
+          }
+          visit(view.ValueOrDie(), stats);
+          scanned++;
+          break;
+        }
+      }
+      if (!status.ok()) break;
+    }
+    internal::AddScanCounters(skipped, matched, scanned);
+    return status;
+  }
+
+  /// Ensures the page containing position `row` is loaded (jumping via the
+  /// page index — forward or backward) and returns the in-page value index.
+  uint32_t SeekToRow(uint64_t row);
+
+  /// Value at in-page index `i` of the current page, widened to int64
+  /// (integer encodings; RLE pages are decoded once per page).
+  int64_t IntAt(uint32_t i) const {
+    if (!scratch_.empty()) return scratch_[i];
+    return view_->ValueAt(i);
+  }
+
+  /// View of the page SeekToRow landed on (for char access).
+  const compress::PageView& view() const { return *view_; }
+
+  /// Decodes data page `p` into `out` (widened to int64). Returns the
+  /// number of values. Sequential consumers (BlockCursor) use this.
+  Result<uint32_t> DecodePage(storage::PageNumber p, std::vector<int64_t>* out);
+
+ private:
+  void LoadPage(storage::PageNumber p);
+
+  const StoredColumn* column_;
+  storage::PageNumber first_page_ = 0;
+  storage::PageNumber end_page_ = 0;
+
+  // Seek state: the currently pinned page, if any.
+  storage::PageGuard guard_;
+  std::optional<compress::PageView> view_;
+  std::vector<int64_t> scratch_;  // RLE pages, decoded once
+  uint64_t page_start_ = 0;
+  uint64_t page_end_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace cstore::col

@@ -66,7 +66,11 @@ Status ColumnTable::AddIntColumn(const std::string& name, DataType type,
   for (int64_t v : values) writer.AppendInt(v);
   CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
   CSTORE_CHECK(written == values.size());
-  info.page_starts = writer.page_starts();
+  // Load the zone maps back through the persisted footer (not the writer's
+  // in-memory copy), so a bad round-trip fails at load time, not scan time.
+  CSTORE_ASSIGN_OR_RETURN(info.page_index,
+                          compress::LoadPageIndex(*files_, info.file));
+  CSTORE_CHECK(info.page_index.num_rows() == values.size());
 
   columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
   return Status::OK();
@@ -95,7 +99,9 @@ Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
     for (const std::string& s : values) writer.AppendChar(s);
     CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
     CSTORE_CHECK(written == values.size());
-    info.page_starts = writer.page_starts();
+    CSTORE_ASSIGN_OR_RETURN(info.page_index,
+                            compress::LoadPageIndex(*files_, info.file));
+    CSTORE_CHECK(info.page_index.num_rows() == values.size());
     columns_.push_back(
         std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
     return Status::OK();
@@ -130,7 +136,9 @@ Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
   for (int64_t c : codes) writer.AppendInt(c);
   CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
   CSTORE_CHECK(written == values.size());
-  info.page_starts = writer.page_starts();
+  CSTORE_ASSIGN_OR_RETURN(info.page_index,
+                          compress::LoadPageIndex(*files_, info.file));
+  CSTORE_CHECK(info.page_index.num_rows() == values.size());
   columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
   return Status::OK();
 }

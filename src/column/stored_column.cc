@@ -4,6 +4,7 @@ namespace cstore::col {
 
 Result<compress::PageView> StoredColumn::GetPage(storage::PageNumber p,
                                                  storage::PageGuard* guard) const {
+  CSTORE_DCHECK(p < num_pages());  // footer pages are not data
   CSTORE_ASSIGN_OR_RETURN(*guard,
                           pool_->FetchPage(storage::PageId{info_.file, p}));
   return compress::PageView(guard->data(), info_.encoding, info_.char_width);

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "compress/dictionary.h"
 #include "compress/page_format.h"
+#include "compress/page_index.h"
 #include "storage/buffer_pool.h"
 
 namespace cstore::col {
@@ -47,8 +48,9 @@ struct ColumnInfo {
   bool sorted = false;  ///< stored values (or codes) are non-decreasing
   int64_t min = 0;
   int64_t max = 0;
-  /// First value position of each page (for position -> page mapping).
-  std::vector<uint64_t> page_starts;
+  /// Per-page zone maps loaded from the column footer: row ranges for
+  /// position -> page seeks plus min/max/run stats for page skipping.
+  compress::PageIndex page_index;
 };
 
 /// Handle to one column's pages plus its metadata.
@@ -60,7 +62,12 @@ class StoredColumn {
 
   const ColumnInfo& info() const { return info_; }
   uint64_t num_values() const { return info_.num_values; }
-  storage::PageNumber num_pages() const { return files_->NumPages(info_.file); }
+  /// Data pages only — the page-index footer at the tail of the file is not
+  /// part of the scannable page range.
+  storage::PageNumber num_pages() const {
+    return static_cast<storage::PageNumber>(info_.page_index.num_pages());
+  }
+  const compress::PageIndex& page_index() const { return info_.page_index; }
 
   /// True when the column holds integer data or dictionary codes (i.e.
   /// integer page views apply).

@@ -1,5 +1,6 @@
 #include "compress/column_writer.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cstore::compress {
@@ -33,6 +34,20 @@ bool ColumnPageWriter::PageFull() const {
   return page_values_ >= max_values_per_page_;
 }
 
+void ColumnPageWriter::NotePageValue(int64_t v) {
+  if (page_values_ == 0) {
+    page_min_ = page_max_ = page_last_ = v;
+    page_runs_ = 1;
+    page_sorted_ = true;
+    return;
+  }
+  page_min_ = std::min(page_min_, v);
+  page_max_ = std::max(page_max_, v);
+  if (v != page_last_) page_runs_++;
+  if (v < page_last_) page_sorted_ = false;
+  page_last_ = v;
+}
+
 void ColumnPageWriter::AppendInt(int64_t v) {
   CSTORE_DCHECK(!finished_);
   num_values_++;
@@ -40,6 +55,7 @@ void ColumnPageWriter::AppendInt(int64_t v) {
   switch (encoding_) {
     case Encoding::kPlainInt32: {
       if (PageFull()) FlushPage();
+      NotePageValue(v);
       const int32_t narrow = static_cast<int32_t>(v);
       std::memcpy(payload + sizeof(PageHeader) * 0 +
                       static_cast<size_t>(page_values_) * sizeof(int32_t),
@@ -49,6 +65,7 @@ void ColumnPageWriter::AppendInt(int64_t v) {
     }
     case Encoding::kPlainInt64: {
       if (PageFull()) FlushPage();
+      NotePageValue(v);
       std::memcpy(page_buf_.data() + sizeof(PageHeader) +
                       static_cast<size_t>(page_values_) * sizeof(int64_t),
                   &v, sizeof(v));
@@ -57,6 +74,7 @@ void ColumnPageWriter::AppendInt(int64_t v) {
     }
     case Encoding::kBitPack: {
       if (PageFull()) FlushPage();
+      NotePageValue(v);
       const uint64_t offset = static_cast<uint64_t>(v - bitpack_base_);
       CSTORE_DCHECK(bitpack_bits_ == 64 || (offset >> bitpack_bits_) == 0);
       auto* words = reinterpret_cast<uint64_t*>(page_buf_.data() +
@@ -108,6 +126,10 @@ void ColumnPageWriter::AppendChar(std::string_view s) {
 }
 
 void ColumnPageWriter::FlushPage() {
+  PageStats stats;
+  stats.row_start = values_flushed_;
+  stats.num_values = page_values_;
+
   if (encoding_ == Encoding::kRle) {
     // The open run belongs to the page being flushed only if it was counted
     // in page_values_; AppendInt flushes *before* starting a new run, so the
@@ -120,6 +142,16 @@ void ColumnPageWriter::FlushPage() {
     std::memcpy(page_buf_.data(), &header, sizeof(header));
     std::memcpy(page_buf_.data() + sizeof(PageHeader), runs_.data(),
                 runs_.size() * sizeof(RleRun));
+    // RLE zone map straight from the run list: one comparison per run.
+    stats.num_runs = static_cast<uint32_t>(runs_.size());
+    stats.flags = PageStats::kHasIntStats;
+    bool sorted = true;
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      stats.min = r == 0 ? runs_[r].value : std::min(stats.min, runs_[r].value);
+      stats.max = r == 0 ? runs_[r].value : std::max(stats.max, runs_[r].value);
+      if (r > 0 && runs_[r].value < runs_[r - 1].value) sorted = false;
+    }
+    if (sorted) stats.flags |= PageStats::kSorted;
   } else {
     PageHeader header{page_values_, 0};
     if (encoding_ == Encoding::kBitPack) header.aux = bitpack_bits_;
@@ -128,14 +160,25 @@ void ColumnPageWriter::FlushPage() {
                   sizeof(bitpack_base_));
     }
     std::memcpy(page_buf_.data(), &header, sizeof(header));
+    if (encoding_ != Encoding::kPlainChar) {
+      stats.num_runs = page_runs_;
+      stats.min = page_min_;
+      stats.max = page_max_;
+      stats.flags = PageStats::kHasIntStats;
+      if (page_sorted_) stats.flags |= PageStats::kSorted;
+    }
   }
+  // Distinct values can't exceed the number of runs (integer pages) or the
+  // row count (char pages).
+  stats.distinct_hint = stats.has_int_stats() ? stats.num_runs : page_values_;
+  if (stats.has_int_stats() && stats.min == stats.max) stats.distinct_hint = 1;
 
   const storage::PageNumber pn = files_->AllocatePage(file_);
   const Status st =
       files_->WritePage(storage::PageId{file_, pn}, page_buf_.data());
   CSTORE_CHECK(st.ok());
 
-  page_starts_.push_back(values_flushed_);
+  page_stats_.push_back(stats);
   values_flushed_ += page_values_;
   std::memset(page_buf_.data(), 0, page_buf_.size());
   page_values_ = 0;
@@ -148,6 +191,7 @@ Result<uint64_t> ColumnPageWriter::Finish() {
     // FlushPage closes the open run.
   }
   if (page_values_ > 0 || has_run_) FlushPage();
+  CSTORE_RETURN_IF_ERROR(AppendPageIndexFooter(files_, file_, page_stats_));
   finished_ = true;
   return num_values_;
 }

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "compress/page_format.h"
+#include "compress/page_index.h"
 #include "storage/file_manager.h"
 
 namespace cstore::compress {
@@ -14,6 +15,12 @@ namespace cstore::compress {
 /// Streams values of one column into `file` under a fixed encoding.
 /// Integer encodings take AppendInt (dictionary codes included); kPlainChar
 /// takes AppendChar. Call Finish() once to flush the trailing page.
+///
+/// While writing, the writer computes a PageStats zone map for every page
+/// (row range; min/max, run count, and a distinct hint for integer
+/// encodings) and Finish() persists them as a page-index footer at the tail
+/// of the file (see page_index.h), so every stored column is born with a
+/// loadable zone map.
 class ColumnPageWriter {
  public:
   /// `bitpack_base`/`bitpack_bits` are required for kBitPack (the loader
@@ -26,19 +33,21 @@ class ColumnPageWriter {
   void AppendInt(int64_t v);
   void AppendChar(std::string_view s);
 
-  /// Flushes the final partial page. Returns total values written.
+  /// Flushes the final partial page and appends the page-index footer.
+  /// Returns total values written.
   Result<uint64_t> Finish();
 
   uint64_t num_values() const { return num_values_; }
 
-  /// After Finish(): position of the first value of each page (ascending).
-  /// Lets readers map a row position to its page with a binary search even
-  /// for variable-density encodings like RLE.
-  const std::vector<uint64_t>& page_starts() const { return page_starts_; }
+  /// After Finish(): the zone map of every data page, in page order. This is
+  /// the in-memory twin of the persisted footer; readers normally get it via
+  /// LoadPageIndex instead.
+  const std::vector<PageStats>& page_stats() const { return page_stats_; }
 
  private:
   void FlushPage();
   bool PageFull() const;
+  void NotePageValue(int64_t v);
 
   storage::FileManager* files_;
   storage::FileId file_;
@@ -57,7 +66,14 @@ class ColumnPageWriter {
   uint32_t run_length_ = 0;
   uint64_t num_values_ = 0;
   uint64_t values_flushed_ = 0;
-  std::vector<uint64_t> page_starts_;
+  // Zone-map trackers for the open page (plain/bitpack encodings; RLE pages
+  // derive their stats from runs_ at flush time).
+  int64_t page_min_ = 0;
+  int64_t page_max_ = 0;
+  uint32_t page_runs_ = 0;
+  int64_t page_last_ = 0;
+  bool page_sorted_ = true;
+  std::vector<PageStats> page_stats_;
   bool finished_ = false;
 };
 

@@ -1,0 +1,162 @@
+#include "compress/page_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cstore::compress {
+
+namespace {
+
+/// Fixed magic identifying a page-index trailer (and its layout version).
+constexpr uint64_t kTrailerMagic = 0x31454E4F5A4C4F43ULL;  // "COLZONE1"
+
+/// Trailer record at the start of the last page's payload.
+struct FooterTrailer {
+  uint64_t magic = kTrailerMagic;
+  uint64_t num_data_pages = 0;
+  uint64_t num_entries = 0;  // == num_data_pages
+  uint64_t num_footer_pages = 0;  // overflow pages preceding the trailer
+};
+static_assert(sizeof(FooterTrailer) == 32);
+
+/// PageStats records per full footer page.
+constexpr size_t kEntriesPerFooterPage = kPagePayloadSize / sizeof(PageStats);
+/// Records that fit in the trailer page after the trailer struct.
+constexpr size_t kEntriesPerTrailerPage =
+    (kPagePayloadSize - sizeof(FooterTrailer)) / sizeof(PageStats);
+
+/// aux value marking footer/trailer pages so they can never be confused
+/// with data pages of any encoding.
+constexpr uint32_t kFooterPageAux = 0x5A4D5047;  // "ZMPG"
+
+void WriteOnePage(storage::FileManager* files, storage::FileId file,
+                  const char* page) {
+  const storage::PageNumber pn = files->AllocatePage(file);
+  const Status st = files->WritePage(storage::PageId{file, pn}, page);
+  CSTORE_CHECK(st.ok());
+}
+
+}  // namespace
+
+storage::PageNumber PageIndex::PageForRow(uint64_t row) const {
+  CSTORE_CHECK(row < num_rows());
+  size_t lo = 0, hi = pages_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (pages_[mid].row_start <= row) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return static_cast<storage::PageNumber>(lo);
+}
+
+Status AppendPageIndexFooter(storage::FileManager* files, storage::FileId file,
+                             const std::vector<PageStats>& pages) {
+  const size_t n = pages.size();
+  const size_t in_trailer = n <= kEntriesPerTrailerPage
+                                ? n
+                                : kEntriesPerTrailerPage;
+  const size_t overflow = n - in_trailer;  // first `overflow` entries
+  const size_t num_footer_pages =
+      (overflow + kEntriesPerFooterPage - 1) / kEntriesPerFooterPage;
+
+  std::vector<char> buf(storage::kPageSize, 0);
+
+  // Overflow footer pages carry the leading entries in order.
+  size_t next = 0;
+  for (size_t fp = 0; fp < num_footer_pages; ++fp) {
+    const size_t count = std::min(kEntriesPerFooterPage, overflow - next);
+    std::memset(buf.data(), 0, buf.size());
+    const PageHeader header{static_cast<uint32_t>(count), kFooterPageAux};
+    std::memcpy(buf.data(), &header, sizeof(header));
+    std::memcpy(buf.data() + sizeof(PageHeader), pages.data() + next,
+                count * sizeof(PageStats));
+    WriteOnePage(files, file, buf.data());
+    next += count;
+  }
+
+  // Trailer page: trailer struct, then the tail entries.
+  std::memset(buf.data(), 0, buf.size());
+  const PageHeader header{static_cast<uint32_t>(in_trailer), kFooterPageAux};
+  std::memcpy(buf.data(), &header, sizeof(header));
+  FooterTrailer trailer;
+  trailer.num_data_pages = n;
+  trailer.num_entries = n;
+  trailer.num_footer_pages = num_footer_pages;
+  std::memcpy(buf.data() + sizeof(PageHeader), &trailer, sizeof(trailer));
+  std::memcpy(buf.data() + sizeof(PageHeader) + sizeof(FooterTrailer),
+              pages.data() + next, in_trailer * sizeof(PageStats));
+  WriteOnePage(files, file, buf.data());
+  return Status::OK();
+}
+
+Result<PageIndex> LoadPageIndex(const storage::FileManager& files,
+                                storage::FileId file) {
+  const storage::PageNumber total = files.NumPages(file);
+  if (total == 0) {
+    return Status::InvalidArgument("column file has no page-index trailer");
+  }
+  std::vector<char> buf(storage::kPageSize);
+  CSTORE_RETURN_IF_ERROR(
+      files.ReadPage(storage::PageId{file, total - 1}, buf.data()));
+  PageHeader header;
+  std::memcpy(&header, buf.data(), sizeof(header));
+  FooterTrailer trailer;
+  std::memcpy(&trailer, buf.data() + sizeof(PageHeader), sizeof(trailer));
+  if (header.aux != kFooterPageAux || trailer.magic != kTrailerMagic ||
+      trailer.num_entries != trailer.num_data_pages ||
+      header.num_values > kEntriesPerTrailerPage) {
+    return Status::InvalidArgument("corrupt page-index trailer");
+  }
+  const size_t n = trailer.num_entries;
+  const size_t in_trailer = header.num_values;
+  // Every count is bounded by the file's own page total before any is used
+  // as a copy size or allocation, so a corrupt footer fails with a Status
+  // instead of reading past buffers.
+  if (in_trailer > n || trailer.num_data_pages >= total ||
+      trailer.num_footer_pages >= total ||
+      trailer.num_data_pages + trailer.num_footer_pages + 1 != total) {
+    return Status::InvalidArgument("page-index trailer inconsistent with file");
+  }
+  const size_t overflow = n - in_trailer;
+
+  std::vector<PageStats> pages(n);
+  // Tail entries from the trailer page itself.
+  std::memcpy(pages.data() + overflow,
+              buf.data() + sizeof(PageHeader) + sizeof(FooterTrailer),
+              in_trailer * sizeof(PageStats));
+  // Leading entries from the overflow footer pages.
+  size_t next = 0;
+  for (size_t fp = 0; fp < trailer.num_footer_pages; ++fp) {
+    const storage::PageNumber pn =
+        static_cast<storage::PageNumber>(trailer.num_data_pages + fp);
+    CSTORE_RETURN_IF_ERROR(files.ReadPage(storage::PageId{file, pn}, buf.data()));
+    PageHeader fp_header;
+    std::memcpy(&fp_header, buf.data(), sizeof(fp_header));
+    if (fp_header.aux != kFooterPageAux || fp_header.num_values == 0 ||
+        fp_header.num_values > kEntriesPerFooterPage ||
+        next + fp_header.num_values > overflow) {
+      return Status::InvalidArgument("corrupt page-index footer page");
+    }
+    std::memcpy(pages.data() + next, buf.data() + sizeof(PageHeader),
+                fp_header.num_values * sizeof(PageStats));
+    next += fp_header.num_values;
+  }
+  if (next != overflow) {
+    return Status::InvalidArgument("page-index footer entry count mismatch");
+  }
+
+  // The loaded row ranges must tile [0, num_rows) in order.
+  uint64_t row = 0;
+  for (const PageStats& s : pages) {
+    if (s.row_start != row) {
+      return Status::InvalidArgument("page-index rows are not contiguous");
+    }
+    row += s.num_values;
+  }
+  return PageIndex(std::move(pages));
+}
+
+}  // namespace cstore::compress

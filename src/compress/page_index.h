@@ -1,0 +1,97 @@
+// Per-page zone maps (the column footer's page index).
+//
+// Every stored column carries one PageStats record per data page: the page's
+// row range plus light-weight value statistics (min/max, run count, a
+// distinct-count upper bound). Scans consult these to skip pages a predicate
+// cannot match — or to accept whole pages without decoding them — and
+// gathers use the row ranges to jump straight to the page holding a
+// position. The records are persisted as a footer at the tail of the
+// column's page file (footer pages + one trailer page, all in the normal
+// page_format layout) so the index survives exactly like the data it
+// describes.
+#pragma once
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "compress/page_format.h"
+#include "storage/file_manager.h"
+
+namespace cstore::compress {
+
+/// Zone-map statistics for one encoded data page. POD, serialized verbatim
+/// into the column footer (little-endian, like everything on-page).
+struct PageStats {
+  /// Position of the page's first value within the column.
+  uint64_t row_start = 0;
+  /// Values stored on the page.
+  uint32_t num_values = 0;
+  /// Maximal equal-value runs on the page (integer encodings). Also an
+  /// upper bound on the page's distinct-value count.
+  uint32_t num_runs = 0;
+  /// Min/max value on the page (integer encodings: raw values or dictionary
+  /// codes). Only meaningful when has_int_stats().
+  int64_t min = 0;
+  int64_t max = 0;
+  /// Upper bound on distinct values on the page (== num_runs for integer
+  /// pages, num_values for char pages). A hint, never exact.
+  uint32_t distinct_hint = 0;
+  uint32_t flags = 0;
+
+  static constexpr uint32_t kHasIntStats = 1u << 0;  ///< min/max/runs valid
+  static constexpr uint32_t kSorted = 1u << 1;       ///< page is non-decreasing
+
+  bool has_int_stats() const { return (flags & kHasIntStats) != 0; }
+  bool sorted() const { return (flags & kSorted) != 0; }
+
+  /// One past the position of the page's last value.
+  uint64_t row_end() const { return row_start + num_values; }
+};
+static_assert(sizeof(PageStats) == 40);
+static_assert(std::is_trivially_copyable_v<PageStats>);
+
+/// In-memory page index of one column: the loaded zone maps, ordered by
+/// page number, plus the row -> page mapping gathers seek with.
+class PageIndex {
+ public:
+  PageIndex() = default;
+  explicit PageIndex(std::vector<PageStats> pages) : pages_(std::move(pages)) {}
+
+  size_t num_pages() const { return pages_.size(); }
+  bool empty() const { return pages_.empty(); }
+  const std::vector<PageStats>& pages() const { return pages_; }
+
+  const PageStats& page(size_t p) const {
+    CSTORE_DCHECK(p < pages_.size());
+    return pages_[p];
+  }
+  uint64_t row_start(size_t p) const { return page(p).row_start; }
+
+  /// Total rows covered by the index (0 for an empty column).
+  uint64_t num_rows() const {
+    return pages_.empty() ? 0 : pages_.back().row_end();
+  }
+
+  /// Data page whose row range contains `row` (binary search; `row` must be
+  /// < num_rows()).
+  storage::PageNumber PageForRow(uint64_t row) const;
+
+ private:
+  std::vector<PageStats> pages_;
+};
+
+/// Appends the serialized index to the tail of `file`: zero or more footer
+/// pages of PageStats records followed by one trailer page. Small indexes
+/// (hundreds of pages of data) fit entirely in the trailer page, so the
+/// usual footer cost is a single page per column.
+Status AppendPageIndexFooter(storage::FileManager* files, storage::FileId file,
+                             const std::vector<PageStats>& pages);
+
+/// Loads the footer written by AppendPageIndexFooter from the tail of
+/// `file`. Fails with InvalidArgument when the trailer is missing or
+/// corrupt.
+Result<PageIndex> LoadPageIndex(const storage::FileManager& files,
+                                storage::FileId file);
+
+}  // namespace cstore::compress

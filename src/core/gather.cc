@@ -3,74 +3,16 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "column/column_reader.h"
 #include "core/predicate.h"
 #include "util/thread_pool.h"
 
 namespace cstore::core {
 
-namespace {
-
-/// Shared page-walking state for gathers: advances through pages as
-/// ascending positions are visited, decoding each touched page at most once.
-class PageWalker {
- public:
-  explicit PageWalker(const col::StoredColumn* column) : column_(column) {
-    const auto& starts = column->info().page_starts;
-    CSTORE_CHECK(!starts.empty() || column->num_values() == 0);
-  }
-
-  /// Ensures the page containing `pos` is loaded; returns the in-page index.
-  uint32_t Seek(uint64_t pos) {
-    if (!loaded_ || pos >= page_end_) {
-      Advance(pos);
-    }
-    return static_cast<uint32_t>(pos - page_start_);
-  }
-
-  const compress::PageView& view() const { return *view_; }
-
-  /// Integer value at in-page index (uses the decoded scratch for RLE).
-  int64_t IntAt(uint32_t i) const {
-    if (!scratch_.empty()) return scratch_[i];
-    return view_->ValueAt(i);
-  }
-
- private:
-  void Advance(uint64_t pos) {
-    const auto& starts = column_->info().page_starts;
-    // Binary search the page whose range contains pos.
-    size_t lo = 0, hi = starts.size() - 1;
-    while (lo < hi) {
-      const size_t mid = (lo + hi + 1) / 2;
-      if (starts[mid] <= pos) {
-        lo = mid;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    auto res = column_->GetPage(static_cast<storage::PageNumber>(lo), &guard_);
-    CSTORE_CHECK(res.ok());
-    view_.emplace(std::move(res).ValueOrDie());
-    page_start_ = starts[lo];
-    page_end_ = page_start_ + view_->num_values();
-    loaded_ = true;
-    scratch_.clear();
-    if (view_->encoding() == compress::Encoding::kRle) {
-      scratch_.resize(view_->num_values());
-      view_->DecodeInt64(scratch_.data());
-    }
-  }
-
-  const col::StoredColumn* column_;
-  storage::PageGuard guard_;
-  std::optional<compress::PageView> view_;
-  std::vector<int64_t> scratch_;
-  uint64_t page_start_ = 0;
-  uint64_t page_end_ = 0;
-  bool loaded_ = false;
-};
-
-}  // namespace
+// Gathers ride on col::ColumnReader::SeekToRow: the persisted page index
+// maps each selected position straight to its page, so a gather touches
+// exactly the pages holding selected rows (and decodes each at most once),
+// wherever in the column the position list starts.
 
 Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
                   std::vector<int64_t>* out) {
@@ -79,10 +21,10 @@ Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
     return Status::InvalidArgument("GatherInts on char column " +
                                    column.info().name);
   }
-  PageWalker walker(&column);
+  col::ColumnReader reader(&column);
   sel.ForEachSet([&](uint32_t pos) {
-    const uint32_t i = walker.Seek(pos);
-    out->push_back(walker.IntAt(i));
+    const uint32_t i = reader.SeekToRow(pos);
+    out->push_back(reader.IntAt(i));
   });
   return Status::OK();
 }
@@ -119,11 +61,13 @@ Status ParallelGatherInts(const col::StoredColumn& column,
         for (uint64_t m = mbegin; m < mend; ++m) {
           const uint64_t wbegin = m * words_per_morsel;
           const uint64_t wend = std::min(words, wbegin + words_per_morsel);
-          PageWalker walker(&column);
+          // SeekToRow jumps straight to the morsel's first touched page —
+          // no cursoring through the column prefix.
+          col::ColumnReader reader(&column);
           int64_t* slot = out->data() + morsel_offset[m];
           sel.ForEachSetInWords(wbegin, wend, [&](uint32_t pos) {
-            const uint32_t i = walker.Seek(pos);
-            *slot++ = walker.IntAt(i);
+            const uint32_t i = reader.SeekToRow(pos);
+            *slot++ = reader.IntAt(i);
           });
         }
       });
@@ -139,12 +83,12 @@ Status GatherCharsInterned(const col::StoredColumn& column,
     return Status::InvalidArgument("GatherCharsInterned needs a plain char column");
   }
   const size_t width = column.info().char_width;
-  PageWalker walker(&column);
+  col::ColumnReader reader(&column);
   std::unordered_map<std::string, int64_t> intern;
   for (size_t i = 0; i < pool->size(); ++i) intern[(*pool)[i]] = i;
   sel.ForEachSet([&](uint32_t pos) {
-    const uint32_t i = walker.Seek(pos);
-    const std::string_view v = TrimPadding(walker.view().CharAt(i), width);
+    const uint32_t i = reader.SeekToRow(pos);
+    const std::string_view v = TrimPadding(reader.view().CharAt(i), width);
     auto it = intern.find(std::string(v));
     if (it == intern.end()) {
       it = intern.emplace(std::string(v), pool->size()).first;

@@ -37,7 +37,7 @@ Result<CompiledPredicate> CompiledPredicate::Compile(
         break;
       case PredOp::kIn: {
         out.int_pred_.kind = IntPredicate::Kind::kSet;
-        for (int64_t v : spec.ints) out.int_pred_.set.Insert(v);
+        for (int64_t v : spec.ints) out.int_pred_.AddToSet(v);
         break;
       }
     }
@@ -67,7 +67,7 @@ Result<CompiledPredicate> CompiledPredicate::Compile(
         for (const std::string& s : spec.strs) {
           const int32_t code = dict.CodeOf(s);
           if (code >= 0) {
-            out.int_pred_.set.Insert(code);
+            out.int_pred_.AddToSet(code);
             any = true;
           }
         }

@@ -6,6 +6,7 @@
 // cost difference Figure 8 measures between "PJ, No C" and "PJ, Int C".
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -17,11 +18,28 @@
 namespace cstore::core {
 
 /// Predicate over integer values (or dictionary codes).
+///
+/// `lo`/`hi` double as the zone-map pruning bounds: the predicate range for
+/// kRange, and a conservative bound on the elements for kSet (maintained by
+/// AddToSet; the INT64_MIN/MAX defaults mean "unbounded", which disables
+/// pruning but never changes results).
 struct IntPredicate {
   enum class Kind { kNone, kRange, kSet, kEmpty } kind = Kind::kNone;
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
   util::IntSet set;
+
+  /// Inserts `v` into `set` and tightens [lo, hi] around the inserted
+  /// elements so kSet predicates stay zone-map prunable.
+  void AddToSet(int64_t v) {
+    if (set.size() == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    set.Insert(v);
+  }
 
   bool Matches(int64_t v) const {
     switch (kind) {

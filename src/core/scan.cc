@@ -1,6 +1,8 @@
 #include "core/scan.h"
 
-#include "column/block_cursor.h"
+#include <algorithm>
+
+#include "column/column_reader.h"
 #include "util/thread_pool.h"
 
 namespace cstore::core {
@@ -19,19 +21,175 @@ __attribute__((noinline)) bool MatchesOneString(const StrPredicate& pred,
   return pred.Matches(v);
 }
 
+/// Out-of-line value fetch mirroring BlockCursor::GetNext: in
+/// tuple-at-a-time mode each value costs a fetch call plus a match call,
+/// exactly like the old cursor-based path.
+__attribute__((noinline)) int64_t GetOneValue(const int64_t* vals, uint32_t i) {
+  return vals[i];
+}
+
+/// Zone-map consultation for one page under an integer predicate. kRange
+/// uses the predicate range; kSet uses the conservative element bounds
+/// IntPredicate::AddToSet maintains (unbounded defaults prune nothing).
+col::PageDecision DecideInt(const IntPredicate& pred,
+                            const compress::PageStats& stats) {
+  if (!stats.has_int_stats()) return col::PageDecision::kVisit;
+  switch (pred.kind) {
+    case IntPredicate::Kind::kNone:
+      return col::PageDecision::kAllMatch;
+    case IntPredicate::Kind::kEmpty:
+      return col::PageDecision::kSkip;
+    case IntPredicate::Kind::kRange:
+      if (stats.max < pred.lo || stats.min > pred.hi) {
+        return col::PageDecision::kSkip;
+      }
+      if (stats.min >= pred.lo && stats.max <= pred.hi) {
+        return col::PageDecision::kAllMatch;
+      }
+      return col::PageDecision::kVisit;
+    case IntPredicate::Kind::kSet:
+      if (stats.max < pred.lo || stats.min > pred.hi) {
+        return col::PageDecision::kSkip;
+      }
+      if (stats.min == stats.max) {
+        // Constant page (e.g. one long RLE run): one membership probe
+        // decides the whole page.
+        return pred.set.Contains(stats.min) ? col::PageDecision::kAllMatch
+                                            : col::PageDecision::kSkip;
+      }
+      return col::PageDecision::kVisit;
+  }
+  return col::PageDecision::kVisit;
+}
+
+/// Scans one pinned page, setting matching bits at positions
+/// [pos, pos + n). Returns the number of matches.
+uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
+                     bool block_iteration, uint64_t pos, util::BitVector* out,
+                     std::vector<int64_t>* scratch) {
+  const uint32_t n = view.num_values();
+  uint64_t matches = 0;
+
+  // Direct operation on compressed data survives even when operator-level
+  // block iteration is disabled (the paper's DataSource evaluates RLE runs
+  // either way); only non-RLE encodings pay one fetch+match call per value.
+  if (view.encoding() == compress::Encoding::kRle) {
+    // One comparison per run, regardless of iteration mode.
+    const compress::RleRun* runs = view.runs();
+    uint64_t run_pos = pos;
+    for (uint32_t r = 0; r < view.num_runs(); ++r) {
+      if (pred.Matches(runs[r].value)) {
+        out->SetRange(run_pos, run_pos + runs[r].length);
+        matches += runs[r].length;
+      }
+      run_pos += runs[r].length;
+    }
+    return matches;
+  }
+
+  if (!block_iteration) {
+    // Tuple-at-a-time: the page is decoded (as any cursor must), then every
+    // value costs two real function calls.
+    scratch->resize(n);
+    view.DecodeInt64(scratch->data());
+    for (uint32_t i = 0; i < n; ++i) {
+      const int64_t v = GetOneValue(scratch->data(), i);
+      if (MatchesOneValue(pred, v)) {
+        out->Set(pos + i);
+        matches++;
+      }
+    }
+    return matches;
+  }
+
+  // Block iteration: tight array loops over the page payload.
+  const bool is_range = pred.kind == IntPredicate::Kind::kRange;
+  const int64_t lo = pred.lo, hi = pred.hi;
+  switch (view.encoding()) {
+    case compress::Encoding::kPlainInt32: {
+      const int32_t* vals = view.AsInt32();
+      if (is_range) {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (vals[i] >= lo && vals[i] <= hi) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (pred.Matches(vals[i])) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      }
+      break;
+    }
+    case compress::Encoding::kPlainInt64: {
+      const int64_t* vals = view.AsInt64();
+      if (is_range) {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (vals[i] >= lo && vals[i] <= hi) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (pred.Matches(vals[i])) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      }
+      break;
+    }
+    case compress::Encoding::kBitPack: {
+      scratch->resize(n);
+      view.DecodeInt64(scratch->data());
+      const int64_t* vals = scratch->data();
+      if (is_range) {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (vals[i] >= lo && vals[i] <= hi) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (pred.Matches(vals[i])) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      }
+      break;
+    }
+    case compress::Encoding::kRle:
+    case compress::Encoding::kPlainChar:
+      CSTORE_CHECK(false);  // handled above / rejected before the page loop
+  }
+  return matches;
+}
+
 /// Runs `scan_pages(first_page, end_page, out)` over page-range morsels on
 /// `num_threads` workers, each filling a private full-size bitmap, then
 /// OR-combines the partials into `out`. OR is commutative and the morsels
 /// cover disjoint row ranges, so the merged bitmap is identical no matter
-/// which worker scanned which morsel.
+/// which worker scanned which morsel. Each worker remembers the window of
+/// 64-bit words its morsels could have touched and only that window is
+/// merged back — merge traffic scales with work done, not column size.
 template <typename ScanPagesFn>
 Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
                                   unsigned num_threads, util::BitVector* out,
                                   const ScanPagesFn& scan_pages) {
   const storage::PageNumber pages = column.num_pages();
+  const compress::PageIndex& index = column.page_index();
   struct WorkerState {
     util::BitVector bits;
     uint64_t matches = 0;
+    size_t first_word = SIZE_MAX;  // touched-word window [first_word, end_word)
+    size_t end_word = 0;
     Status status = Status::OK();
     bool used = false;
   };
@@ -45,6 +203,14 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
           state.bits = util::BitVector(out->size());
           state.used = true;
         }
+        // Rows this page-range morsel covers; pages need not align to word
+        // boundaries, so a boundary word may be shared by two workers — OR
+        // merging makes that benign.
+        const uint64_t row_begin = index.row_start(begin);
+        const uint64_t row_end =
+            end < pages ? index.row_start(end) : column.num_values();
+        state.first_word = std::min(state.first_word, row_begin / 64);
+        state.end_word = std::max(state.end_word, (row_end + 63) / 64);
         auto matches =
             scan_pages(static_cast<storage::PageNumber>(begin),
                        static_cast<storage::PageNumber>(end), &state.bits);
@@ -58,7 +224,8 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
   for (WorkerState& state : workers) {
     CSTORE_RETURN_IF_ERROR(state.status);
     if (!state.used) continue;
-    out->Or(state.bits);
+    out->OrWords(state.bits, state.first_word,
+                 std::min(state.end_word, out->num_words()));
     total += state.matches;
   }
   return total;
@@ -72,115 +239,26 @@ Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
                               storage::PageNumber end_page,
                               util::BitVector* out) {
   CSTORE_CHECK(out->size() == column.num_values());
+  if (!column.IsIntegerStored()) {
+    return Status::InvalidArgument("integer scan over char column");
+  }
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
+
+  col::ColumnReader reader(&column, first_page, end_page);
   uint64_t matches = 0;
-
-  // Direct operation on compressed data happens inside the scanner (the
-  // paper's DataSource), so RLE run-at-a-time evaluation survives even when
-  // operator-level block iteration is disabled; only non-RLE encodings fall
-  // back to one getNext() call per value.
-  if (!block_iteration && column.info().encoding != compress::Encoding::kRle) {
-    col::BlockCursor cursor(&column, first_page, end_page);
-    int64_t v;
-    uint64_t pos = cursor.position();
-    while (cursor.GetNext(&v)) {
-      if (MatchesOneValue(pred, v)) {
-        out->Set(pos);
-        matches++;
-      }
-      pos++;
-    }
-    return matches;
-  }
-
-  // Block iteration: operate on whole page payloads.
   std::vector<int64_t> scratch;
-  uint64_t pos = first_page < column.num_pages()
-                     ? column.info().page_starts[first_page]
-                     : column.num_values();
-  const bool is_range = pred.kind == IntPredicate::Kind::kRange;
-  const int64_t lo = pred.lo, hi = pred.hi;
-  for (storage::PageNumber p = first_page; p < end_page; ++p) {
-    storage::PageGuard guard;
-    CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
-    const uint32_t n = view.num_values();
-    switch (view.encoding()) {
-      case compress::Encoding::kRle: {
-        // Direct operation on compressed data: one comparison per run.
-        const compress::RleRun* runs = view.runs();
-        uint64_t run_pos = pos;
-        for (uint32_t r = 0; r < view.num_runs(); ++r) {
-          if (pred.Matches(runs[r].value)) {
-            out->SetRange(run_pos, run_pos + runs[r].length);
-            matches += runs[r].length;
-          }
-          run_pos += runs[r].length;
-        }
-        break;
-      }
-      case compress::Encoding::kPlainInt32: {
-        const int32_t* vals = view.AsInt32();
-        if (is_range) {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (vals[i] >= lo && vals[i] <= hi) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        } else {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (pred.Matches(vals[i])) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        }
-        break;
-      }
-      case compress::Encoding::kPlainInt64: {
-        const int64_t* vals = view.AsInt64();
-        if (is_range) {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (vals[i] >= lo && vals[i] <= hi) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        } else {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (pred.Matches(vals[i])) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        }
-        break;
-      }
-      case compress::Encoding::kBitPack: {
-        scratch.resize(n);
-        view.DecodeInt64(scratch.data());
-        if (is_range) {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (scratch[i] >= lo && scratch[i] <= hi) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        } else {
-          for (uint32_t i = 0; i < n; ++i) {
-            if (pred.Matches(scratch[i])) {
-              out->Set(pos + i);
-              matches++;
-            }
-          }
-        }
-        break;
-      }
-      case compress::Encoding::kPlainChar:
-        return Status::InvalidArgument("integer scan over char column");
-    }
-    pos += n;
-  }
+  CSTORE_RETURN_IF_ERROR(reader.VisitPages(
+      [&](const compress::PageStats& stats) { return DecideInt(pred, stats); },
+      [&](const compress::PageStats& stats) {
+        // Whole page matches: set the row range straight from the zone map —
+        // no fetch, no decode.
+        out->SetRange(stats.row_start, stats.row_end());
+        matches += stats.num_values;
+      },
+      [&](const compress::PageView& view, const compress::PageStats& stats) {
+        matches += ScanIntPage(view, pred, block_iteration, stats.row_start,
+                               out, &scratch);
+      }));
   return matches;
 }
 
@@ -197,26 +275,29 @@ Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
                                storage::PageNumber end_page,
                                util::BitVector* out) {
   CSTORE_CHECK(out->size() == column.num_values());
-  const size_t width = column.info().char_width;
-  uint64_t matches = 0;
-  uint64_t pos = first_page < column.num_pages()
-                     ? column.info().page_starts[first_page]
-                     : column.num_values();
-  for (storage::PageNumber p = first_page; p < end_page; ++p) {
-    storage::PageGuard guard;
-    CSTORE_ASSIGN_OR_RETURN(compress::PageView view, column.GetPage(p, &guard));
-    const uint32_t n = view.num_values();
-    for (uint32_t i = 0; i < n; ++i) {
-      const std::string_view v = TrimPadding(view.CharAt(i), width);
-      const bool hit =
-          block_iteration ? pred.Matches(v) : MatchesOneString(pred, v);
-      if (hit) {
-        out->Set(pos + i);
-        matches++;
-      }
-    }
-    pos += n;
+  if (column.info().encoding != compress::Encoding::kPlainChar) {
+    return Status::InvalidArgument("string scan over non-char column");
   }
+  const size_t width = column.info().char_width;
+  col::ColumnReader reader(&column, first_page, end_page);
+  uint64_t matches = 0;
+  CSTORE_RETURN_IF_ERROR(reader.VisitPages(
+      // Char pages carry no value stats — every page must be inspected.
+      [](const compress::PageStats&) { return col::PageDecision::kVisit; },
+      [](const compress::PageStats&) {},
+      [&](const compress::PageView& view, const compress::PageStats& stats) {
+        const uint64_t pos = stats.row_start;
+        const uint32_t n = view.num_values();
+        for (uint32_t i = 0; i < n; ++i) {
+          const std::string_view v = TrimPadding(view.CharAt(i), width);
+          const bool hit =
+              block_iteration ? pred.Matches(v) : MatchesOneString(pred, v);
+          if (hit) {
+            out->Set(pos + i);
+            matches++;
+          }
+        }
+      }));
   return matches;
 }
 

@@ -6,6 +6,12 @@
 //  * block iteration — array loops over page payloads vs one getNext() call
 //    per value;
 //  * position lists as bit-strings, combined downstream with bitwise AND.
+//
+// Since the ColumnReader refactor every scan first consults the per-page
+// zone maps (col::ColumnReader::VisitPages): pages whose min/max cannot
+// satisfy the predicate are skipped without being fetched, and pages that
+// match entirely are answered with one SetRange — both in every iteration
+// mode, so the Figure-7 knobs keep measuring iteration cost, not I/O.
 #pragma once
 
 #include "column/stored_column.h"

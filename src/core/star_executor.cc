@@ -175,11 +175,41 @@ Status RunPhase1(const StarQuery& query, const ExecConfig& config,
     rt->fk_pred = IntPredicate::Range(rt->key_lo, rt->key_hi);
   } else {
     // Hash-lookup predicate (simulates a late-materialized hash join).
+    // AddToSet keeps the key bounds alongside the set, so the fact scan can
+    // still zone-map-prune pages whose FK range misses every matching key.
     rt->fk_mode = DimRuntime::FkMode::kHash;
     rt->fk_pred.kind = IntPredicate::Kind::kSet;
     rt->matching.ForEachSet(
-        [&](uint32_t pos) { rt->fk_pred.set.Insert(rt->keys[pos]); });
+        [&](uint32_t pos) { rt->fk_pred.AddToSet(rt->keys[pos]); });
   }
+  return Status::OK();
+}
+
+/// Runs phase 1 for the dimensions listed in `which`. Dimensions are
+/// independent tables, so with 2+ of them and threads to spare their
+/// predicate evaluation runs concurrently on the shared pool; each
+/// RunPhase1 writes only its own DimRuntime, so the outcome is identical
+/// to the serial order.
+Status RunPhase1ForDims(const StarQuery& query, const ExecConfig& config,
+                        const std::vector<size_t>& which,
+                        std::vector<DimRuntime>* dims) {
+  const unsigned workers = std::min<unsigned>(config.ResolvedThreads(),
+                                              static_cast<unsigned>(which.size()));
+  if (which.size() < 2 || workers <= 1) {
+    for (size_t d : which) {
+      CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &(*dims)[d]));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(which.size(), Status::OK());
+  util::ParallelFor(which.size(), 1, workers,
+                    [&](unsigned, uint64_t begin, uint64_t end) {
+                      for (uint64_t i = begin; i < end; ++i) {
+                        statuses[i] =
+                            RunPhase1(query, config, &(*dims)[which[i]]);
+                      }
+                    });
+  for (const Status& st : statuses) CSTORE_RETURN_IF_ERROR(st);
   return Status::OK();
 }
 
@@ -213,9 +243,10 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
   const unsigned threads = config.ResolvedThreads();
 
   // ---- Phase 1: dimension predicates -> rewritten fact predicates. ----
-  // (Dimension tables are small — phase 1 stays serial; the fact-table
-  // phases below carry the parallelism.)
+  // Independent dimension tables, evaluated concurrently when the query
+  // touches 2+ of them (each one's scans stay serial — dims are small).
   std::vector<DimRuntime> dims(schema.dims.size());
+  std::vector<size_t> phase1_dims;
   for (size_t d = 0; d < schema.dims.size(); ++d) {
     dims[d].dim = &schema.dims[d];
     for (const DimPredicate& p : query.dim_predicates) {
@@ -225,10 +256,9 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
       if (g.dim == schema.dims[d].name) dims[d].needed = true;
     }
     if (dims[d].has_predicate) dims[d].needed = true;
-    if (dims[d].needed) {
-      CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &dims[d]));
-    }
+    if (dims[d].needed) phase1_dims.push_back(d);
   }
+  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, config, phase1_dims, &dims));
 
   // ---- Phase 2: fact predicates -> intersected position list. ----
   util::BitVector selected(n);
@@ -387,20 +417,27 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
   GroupKeyCodec codec;
   size_t num_group_attrs = 0;
 
+  // Phase 1 for every needed dimension, concurrently when there are 2+
+  // (mirrors the late-materialized plan); the join build below stays serial
+  // so attribute/pool pointer registration keeps its deterministic order.
+  std::vector<size_t> phase1_dims;
   for (size_t d = 0; d < schema.dims.size(); ++d) {
     DimRuntime& rt = dims[d];
     rt.dim = &schema.dims[d];
     for (const DimPredicate& p : query.dim_predicates) {
       if (p.dim == rt.dim->name) rt.has_predicate = true;
     }
-    bool grouped = false;
     for (const GroupByColumn& g : query.group_by) {
-      if (g.dim == rt.dim->name) grouped = true;
+      if (g.dim == rt.dim->name) rt.needed = true;
     }
-    if (!rt.has_predicate && !grouped) continue;
+    if (rt.has_predicate) rt.needed = true;
+    if (rt.needed) phase1_dims.push_back(d);
+  }
+  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, config, phase1_dims, &dims));
 
-    // Evaluate the dimension predicates (block scans — dims are small).
-    CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &rt));
+  for (size_t d = 0; d < schema.dims.size(); ++d) {
+    DimRuntime& rt = dims[d];
+    if (!rt.needed) continue;
     if (rt.keys.empty()) {
       CSTORE_RETURN_IF_ERROR(
           rt.dim->table->column(rt.dim->key_column).DecodeAllInts(&rt.keys));

@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -118,9 +119,56 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
       if (args.threads == 0) args.threads = util::ThreadPool::HardwareThreads();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
     }
   }
   return args;
+}
+
+void WriteResultsJson(const std::string& path, const std::string& benchmark,
+                      const BenchArgs& args,
+                      const std::vector<std::string>& query_ids,
+                      const std::vector<SeriesResult>& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteResultsJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"%s\",\n", benchmark.c_str());
+  std::fprintf(f, "  \"scale_factor\": %g,\n", args.scale_factor);
+  std::fprintf(f, "  \"repetitions\": %d,\n", args.repetitions);
+  std::fprintf(f, "  \"threads\": %u,\n", args.threads);
+  std::fprintf(f, "  \"disk_mbps\": %g,\n", args.disk_mbps);
+  std::fprintf(f, "  \"pool_pages\": %zu,\n", args.pool_pages);
+  std::fprintf(f, "  \"series\": [\n");
+  for (size_t s = 0; s < series.size(); ++s) {
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", series[s].name.c_str());
+    std::fprintf(f, "      \"avg_ms\": %.4f,\n",
+                 series[s].AverageSeconds() * 1e3);
+    std::fprintf(f, "      \"queries\": {\n");
+    bool first = true;
+    for (const auto& id : query_ids) {
+      auto it = series[s].by_query.find(id);
+      if (it == series[s].by_query.end()) continue;
+      const CellResult& cell = it->second;
+      std::fprintf(f,
+                   "%s        \"%s\": {\"ms\": %.4f, \"pages_read\": %llu, "
+                   "\"pages_skipped\": %llu, \"pages_all_match\": %llu, "
+                   "\"pages_scanned\": %llu}",
+                   first ? "" : ",\n", id.c_str(), cell.seconds * 1e3,
+                   static_cast<unsigned long long>(cell.pages_read),
+                   static_cast<unsigned long long>(cell.pages_skipped),
+                   static_cast<unsigned long long>(cell.pages_all_match),
+                   static_cast<unsigned long long>(cell.pages_scanned));
+      first = false;
+    }
+    std::fprintf(f, "\n      }\n    }%s\n", s + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 }  // namespace cstore::harness

@@ -19,6 +19,11 @@ namespace cstore::harness {
 struct CellResult {
   double seconds = 0;
   uint64_t pages_read = 0;
+  /// Zone-map telemetry (filled by column-store benches that track
+  /// col::ReadScanCounters around the cell; zero elsewhere).
+  uint64_t pages_skipped = 0;
+  uint64_t pages_all_match = 0;
+  uint64_t pages_scanned = 0;
 };
 
 /// One experiment row: a named configuration measured over the 13 queries.
@@ -48,7 +53,8 @@ void PrintSpeedups(const std::string& title,
                    const SeriesResult& base, const SeriesResult& parallel);
 
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
-/// "--disk <MB/s>", "--threads <n>" flags (very small helper).
+/// "--disk <MB/s>", "--threads <n>", "--json <path>" flags (very small
+/// helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
@@ -64,7 +70,17 @@ struct BenchArgs {
   /// Simulated disk bandwidth in MB/s (the paper's array: 160-200 MB/s).
   /// 0 disables the disk model.
   double disk_mbps = 200.0;
+  /// When non-empty, the bench writes its per-query results here as JSON.
+  std::string json_path;
   static BenchArgs Parse(int argc, char** argv);
 };
+
+/// Writes one benchmark's per-query timings (and the zone-map/I/O counters)
+/// as JSON, for CI artifact upload and regression diffing against a
+/// committed baseline (bench/check_bench_regression.py).
+void WriteResultsJson(const std::string& path, const std::string& benchmark,
+                      const BenchArgs& args,
+                      const std::vector<std::string>& query_ids,
+                      const std::vector<SeriesResult>& series);
 
 }  // namespace cstore::harness

@@ -36,6 +36,13 @@ void BitVector::Or(const BitVector& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
+void BitVector::OrWords(const BitVector& other, size_t word_begin,
+                        size_t word_end) {
+  CSTORE_CHECK(num_bits_ == other.num_bits_);
+  CSTORE_DCHECK(word_begin <= word_end && word_end <= words_.size());
+  for (size_t i = word_begin; i < word_end; ++i) words_[i] |= other.words_[i];
+}
+
 void BitVector::Not() {
   for (auto& w : words_) w = ~w;
   // Clear the padding bits beyond num_bits_ so Count() stays correct.

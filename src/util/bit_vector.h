@@ -45,6 +45,11 @@ class BitVector {
   void And(const BitVector& other);
   /// this |= other (sizes must match).
   void Or(const BitVector& other);
+  /// Or restricted to the words [word_begin, word_end): merges only a
+  /// touched-word window of `other` instead of the whole vector. Parallel
+  /// scans use this so merge traffic scales with the morsels a worker
+  /// actually scanned, not with column size.
+  void OrWords(const BitVector& other, size_t word_begin, size_t word_end);
   /// Flips every bit.
   void Not();
 

@@ -1,0 +1,178 @@
+// ColumnReader properties: SeekToRow lands on the right value at page
+// boundaries (and going backwards), and VisitPages' zone-map decisions
+// skip or wholesale-accept pages without changing scan results.
+#include "column/column_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "column/column_table.h"
+#include "util/rng.h"
+
+namespace cstore::col {
+namespace {
+
+struct ReaderCase {
+  const char* name;
+  CompressionMode mode;
+  bool sorted;
+  int64_t cardinality;
+};
+
+class ColumnReaderSeek : public ::testing::TestWithParam<ReaderCase> {};
+
+TEST_P(ColumnReaderSeek, SeekToRowLandsOnTheRightValue) {
+  const ReaderCase& c = GetParam();
+  util::Rng rng(31337);
+  std::vector<int64_t> values(123457);
+  for (auto& v : values) v = rng.Uniform(0, c.cardinality - 1);
+  if (c.sorted) std::sort(values.begin(), values.end());
+
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values, c.mode).ok());
+  const StoredColumn& column = table.column("c");
+  ASSERT_GT(column.num_pages(), 1u) << "case must span multiple pages";
+
+  ColumnReader reader(&column);
+  const compress::PageIndex& index = column.page_index();
+
+  // Every page boundary: first row, last row, and one row past the start.
+  for (size_t p = 0; p < index.num_pages(); ++p) {
+    const compress::PageStats& stats = index.page(p);
+    for (uint64_t row : {stats.row_start, stats.row_end() - 1,
+                         std::min(stats.row_start + 1, stats.row_end() - 1)}) {
+      const uint32_t i = reader.SeekToRow(row);
+      EXPECT_EQ(reader.IntAt(i), values[row]) << "row " << row;
+    }
+  }
+  // Random jumps, forwards and backwards (gathers of arbitrary position
+  // lists must never depend on ascending access).
+  for (int t = 0; t < 1000; ++t) {
+    const uint64_t row = rng.Uniform(0, values.size() - 1);
+    const uint32_t i = reader.SeekToRow(row);
+    EXPECT_EQ(reader.IntAt(i), values[row]) << "row " << row;
+  }
+  // Explicit backward cross-page seek.
+  const uint32_t last = reader.SeekToRow(values.size() - 1);
+  EXPECT_EQ(reader.IntAt(last), values.back());
+  const uint32_t first = reader.SeekToRow(0);
+  EXPECT_EQ(reader.IntAt(first), values.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Encodings, ColumnReaderSeek,
+    // rle: sorted with ~5000 distinct values -> ~5000 runs, several RLE pages.
+    ::testing::Values(ReaderCase{"plain", CompressionMode::kNone, false, 1 << 20},
+                      ReaderCase{"rle", CompressionMode::kFull, true, 5000},
+                      ReaderCase{"bitpack", CompressionMode::kFull, false, 800}),
+    [](const ::testing::TestParamInfo<ReaderCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(ColumnReaderTest, VisitPagesSkipsAndAcceptsFromStats) {
+  // Sorted data: a narrow value slice decides most pages from stats alone.
+  std::vector<int64_t> values(200000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i / 100);  // 0..1999, sorted
+  }
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values,
+                                 CompressionMode::kNone).ok());
+  const StoredColumn& column = table.column("c");
+  ASSERT_GT(column.num_pages(), 10u);
+
+  const int64_t lo = 900, hi = 999;
+  ResetScanCounters();
+  ColumnReader reader(&column);
+  uint64_t all_match_rows = 0, visited_rows = 0;
+  ASSERT_TRUE(reader
+                  .VisitPages(
+                      [&](const compress::PageStats& s) {
+                        if (s.max < lo || s.min > hi) return PageDecision::kSkip;
+                        if (s.min >= lo && s.max <= hi) {
+                          return PageDecision::kAllMatch;
+                        }
+                        return PageDecision::kVisit;
+                      },
+                      [&](const compress::PageStats& s) {
+                        all_match_rows += s.num_values;
+                      },
+                      [&](const compress::PageView& view,
+                          const compress::PageStats&) {
+                        visited_rows += view.num_values();
+                      })
+                  .ok());
+  const ScanCounters counters = ReadScanCounters();
+  EXPECT_GT(counters.pages_skipped, 0u);
+  EXPECT_GT(counters.pages_all_match, 0u);
+  EXPECT_GT(counters.pages_scanned, 0u);
+  EXPECT_EQ(counters.pages_skipped + counters.pages_all_match +
+                counters.pages_scanned,
+            column.num_pages());
+  // The accepted + visited rows bracket the true match count.
+  const uint64_t expected =
+      static_cast<uint64_t>(std::count_if(values.begin(), values.end(),
+                                          [&](int64_t v) {
+                                            return v >= lo && v <= hi;
+                                          }));
+  EXPECT_GE(all_match_rows + visited_rows, expected);
+  EXPECT_LE(all_match_rows, expected);
+}
+
+TEST(ColumnReaderTest, DecodePageMatchesWholeColumnDecode) {
+  util::Rng rng(5);
+  std::vector<int64_t> values(50000);
+  for (auto& v : values) v = rng.Uniform(-1000, 1000);
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values,
+                                 CompressionMode::kFull).ok());
+  const StoredColumn& column = table.column("c");
+  ColumnReader reader(&column);
+  std::vector<int64_t> got, page;
+  for (storage::PageNumber p = 0; p < column.num_pages(); ++p) {
+    ASSERT_TRUE(reader.DecodePage(p, &page).ok());
+    got.insert(got.end(), page.begin(), page.end());
+  }
+  EXPECT_EQ(got, values);
+}
+
+TEST(ColumnReaderTest, MorselReaderCoversOnlyItsPages) {
+  std::vector<int64_t> values(100000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = static_cast<int64_t>(i);
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values,
+                                 CompressionMode::kNone).ok());
+  const StoredColumn& column = table.column("c");
+  ASSERT_GE(column.num_pages(), 3u);
+
+  ColumnReader reader(&column, 1, 3);
+  EXPECT_EQ(reader.RowStart(), column.page_index().row_start(1));
+  uint64_t rows = 0;
+  ASSERT_TRUE(reader
+                  .VisitPages(
+                      [](const compress::PageStats&) {
+                        return PageDecision::kVisit;
+                      },
+                      [](const compress::PageStats&) {},
+                      [&](const compress::PageView& view,
+                          const compress::PageStats& stats) {
+                        EXPECT_EQ(values[stats.row_start],
+                                  view.AsInt32()[0]);
+                        rows += view.num_values();
+                      })
+                  .ok());
+  EXPECT_EQ(rows, column.page_index().page(1).num_values +
+                      column.page_index().page(2).num_values);
+}
+
+}  // namespace
+}  // namespace cstore::col

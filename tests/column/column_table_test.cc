@@ -127,15 +127,21 @@ TEST_F(ColumnTableTest, CompressionShrinksStorage) {
   EXPECT_LT(t.column("rle").SizeBytes() * 10, t.column("plain").SizeBytes());
 }
 
-TEST_F(ColumnTableTest, PageStartsCoverColumn) {
+TEST_F(ColumnTableTest, PageIndexCoversColumn) {
   ColumnTable t(&files_, &pool_, "t");
   std::vector<int64_t> values(100000, 1);
   ASSERT_TRUE(t.AddIntColumn("c", DataType::kInt32, values,
                              CompressionMode::kNone).ok());
-  const auto& starts = t.column("c").info().page_starts;
-  ASSERT_EQ(starts.size(), t.column("c").num_pages());
-  EXPECT_EQ(starts[0], 0u);
-  for (size_t i = 1; i < starts.size(); ++i) EXPECT_GT(starts[i], starts[i - 1]);
+  const compress::PageIndex& index = t.column("c").page_index();
+  ASSERT_EQ(index.num_pages(), t.column("c").num_pages());
+  EXPECT_EQ(index.num_rows(), values.size());
+  EXPECT_EQ(index.row_start(0), 0u);
+  for (size_t i = 1; i < index.num_pages(); ++i) {
+    EXPECT_EQ(index.row_start(i), index.page(i - 1).row_end());
+  }
+  // The footer lives in the same file, after the data pages.
+  EXPECT_GT(files_.NumPages(t.column("c").info().file),
+            t.column("c").num_pages());
 }
 
 }  // namespace

@@ -49,18 +49,21 @@ TEST_P(CodecRoundTrip, EncodeDecodeIdentity) {
   for (int64_t v : values) writer.AppendInt(v);
   ASSERT_EQ(writer.Finish().ValueOrDie(), values.size());
 
-  // page_starts must be consistent with per-page counts.
-  const auto& starts = writer.page_starts();
-  ASSERT_EQ(starts.size(), files.NumPages(file));
+  // Page stats must be consistent with per-page counts, and the file must
+  // end with the page-index footer (at least the trailer page).
+  const auto& stats = writer.page_stats();
+  const auto data_pages = static_cast<storage::PageNumber>(stats.size());
+  ASSERT_GT(files.NumPages(file), data_pages);
 
   std::vector<int64_t> decoded;
   std::vector<char> page(storage::kPageSize);
   std::vector<int64_t> buf;
   uint64_t seen = 0;
-  for (storage::PageNumber p = 0; p < files.NumPages(file); ++p) {
+  for (storage::PageNumber p = 0; p < data_pages; ++p) {
     ASSERT_TRUE(files.ReadPage(storage::PageId{file, p}, page.data()).ok());
     PageView view(page.data(), c.encoding, 0);
-    EXPECT_EQ(starts[p], seen) << "page " << p;
+    EXPECT_EQ(stats[p].row_start, seen) << "page " << p;
+    EXPECT_EQ(stats[p].num_values, view.num_values()) << "page " << p;
     buf.resize(view.num_values());
     ASSERT_EQ(view.DecodeInt64(buf.data()), view.num_values());
     decoded.insert(decoded.end(), buf.begin(), buf.end());
@@ -115,7 +118,9 @@ TEST(CodecTest, CharRoundTrip) {
 
   std::vector<char> page(storage::kPageSize);
   size_t idx = 0;
-  for (storage::PageNumber p = 0; p < files.NumPages(file); ++p) {
+  const auto data_pages =
+      static_cast<storage::PageNumber>(writer.page_stats().size());
+  for (storage::PageNumber p = 0; p < data_pages; ++p) {
     ASSERT_TRUE(files.ReadPage(storage::PageId{file, p}, page.data()).ok());
     PageView view(page.data(), Encoding::kPlainChar, width);
     for (uint32_t i = 0; i < view.num_values(); ++i, ++idx) {

@@ -1,0 +1,249 @@
+// Zone-map correctness: the footer stats a ColumnPageWriter persists must
+// match the actual page contents for every encoding, and the footer must
+// round-trip exactly through LoadPageIndex.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "column/column_table.h"
+#include "compress/column_writer.h"
+#include "compress/page_index.h"
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+
+namespace cstore::compress {
+namespace {
+
+struct IndexCase {
+  const char* name;
+  Encoding encoding;
+  bool sorted;
+  int64_t min;
+  int64_t max;
+  size_t n;
+};
+
+class PageIndexRoundTrip : public ::testing::TestWithParam<IndexCase> {};
+
+std::vector<int64_t> MakeValues(const IndexCase& c) {
+  util::Rng rng(777);
+  std::vector<int64_t> values(c.n);
+  for (auto& v : values) v = rng.Uniform(c.min, c.max);
+  if (c.sorted) std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST_P(PageIndexRoundTrip, FooterStatsMatchPageContents) {
+  const IndexCase& c = GetParam();
+  const std::vector<int64_t> values = MakeValues(c);
+
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("col");
+  uint8_t bits = 0;
+  int64_t base = 0;
+  if (c.encoding == Encoding::kBitPack) {
+    ColumnStats stats;
+    stats.min = c.min;
+    stats.max = c.max;
+    bits = BitsFor(stats);
+    base = c.min;
+  }
+  ColumnPageWriter writer(&files, file, c.encoding, 0, base, bits);
+  for (int64_t v : values) writer.AppendInt(v);
+  ASSERT_EQ(writer.Finish().ValueOrDie(), values.size());
+
+  // The persisted footer must load back to exactly the writer's stats.
+  auto loaded = LoadPageIndex(files, file);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PageIndex& index = loaded.ValueOrDie();
+  ASSERT_EQ(index.num_pages(), writer.page_stats().size());
+  ASSERT_EQ(index.num_rows(), values.size());
+  for (size_t p = 0; p < index.num_pages(); ++p) {
+    const PageStats& a = index.page(p);
+    const PageStats& b = writer.page_stats()[p];
+    EXPECT_EQ(a.row_start, b.row_start);
+    EXPECT_EQ(a.num_values, b.num_values);
+    EXPECT_EQ(a.num_runs, b.num_runs);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.flags, b.flags);
+    EXPECT_EQ(a.distinct_hint, b.distinct_hint);
+  }
+
+  // Every page's stats must describe the decoded page contents.
+  std::vector<char> page(storage::kPageSize);
+  std::vector<int64_t> buf;
+  uint64_t row = 0;
+  for (size_t p = 0; p < index.num_pages(); ++p) {
+    const PageStats& stats = index.page(p);
+    ASSERT_TRUE(files
+                    .ReadPage(storage::PageId{
+                                  file, static_cast<storage::PageNumber>(p)},
+                              page.data())
+                    .ok());
+    PageView view(page.data(), c.encoding, 0);
+    ASSERT_EQ(stats.num_values, view.num_values()) << "page " << p;
+    ASSERT_EQ(stats.row_start, row) << "page " << p;
+    buf.resize(view.num_values());
+    view.DecodeInt64(buf.data());
+    ASSERT_TRUE(stats.has_int_stats());
+    EXPECT_EQ(stats.min, *std::min_element(buf.begin(), buf.end())) << p;
+    EXPECT_EQ(stats.max, *std::max_element(buf.begin(), buf.end())) << p;
+    uint32_t runs = 1;
+    bool sorted = true;
+    for (size_t i = 1; i < buf.size(); ++i) {
+      if (buf[i] != buf[i - 1]) runs++;
+      if (buf[i] < buf[i - 1]) sorted = false;
+    }
+    EXPECT_EQ(stats.num_runs, runs) << p;
+    EXPECT_EQ(stats.sorted(), sorted) << p;
+    EXPECT_GE(stats.distinct_hint, 1u);
+    EXPECT_LE(stats.distinct_hint, runs);  // hint is an upper distinct bound
+    if (c.encoding == Encoding::kRle) {
+      EXPECT_EQ(stats.num_runs, view.num_runs()) << p;
+    }
+    row += view.num_values();
+  }
+
+  // PageForRow must agree with the row ranges, including boundaries.
+  for (size_t p = 0; p < index.num_pages(); ++p) {
+    const PageStats& stats = index.page(p);
+    EXPECT_EQ(index.PageForRow(stats.row_start), p);
+    EXPECT_EQ(index.PageForRow(stats.row_end() - 1), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Encodings, PageIndexRoundTrip,
+    ::testing::Values(
+        IndexCase{"plain32", Encoding::kPlainInt32, false, -500, 500, 40000},
+        IndexCase{"plain32_sorted", Encoding::kPlainInt32, true, 0, 1 << 20,
+                  40000},
+        IndexCase{"plain64", Encoding::kPlainInt64, false, INT64_MIN / 4,
+                  INT64_MAX / 4, 20000},
+        IndexCase{"rle_sorted", Encoding::kRle, true, 0, 60, 120000},
+        IndexCase{"rle_constant", Encoding::kRle, false, 3, 3, 50000},
+        IndexCase{"bitpack", Encoding::kBitPack, false, -100, 900, 90000},
+        IndexCase{"single_value", Encoding::kPlainInt32, false, 7, 7, 1}),
+    [](const ::testing::TestParamInfo<IndexCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(PageIndexTest, EmptyColumnHasTrailerOnly) {
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("empty");
+  ColumnPageWriter writer(&files, file, Encoding::kPlainInt32);
+  ASSERT_EQ(writer.Finish().ValueOrDie(), 0u);
+  EXPECT_EQ(files.NumPages(file), 1u);  // just the footer trailer
+  auto index = LoadPageIndex(files, file);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.ValueOrDie().num_pages(), 0u);
+  EXPECT_EQ(index.ValueOrDie().num_rows(), 0u);
+}
+
+TEST(PageIndexTest, LoadRejectsFileWithoutFooter) {
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("raw");
+  EXPECT_FALSE(LoadPageIndex(files, file).ok());  // no pages at all
+  std::vector<char> page(storage::kPageSize, 0);
+  files.AllocatePage(file);
+  ASSERT_TRUE(files.WritePage(storage::PageId{file, 0}, page.data()).ok());
+  EXPECT_FALSE(LoadPageIndex(files, file).ok());  // zeroed page, no trailer
+}
+
+TEST(PageIndexTest, LoadRejectsCorruptEntryCounts) {
+  // A trailer claiming more entries than a page can physically hold must be
+  // rejected with a Status, never trusted as a copy size.
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("col");
+  ColumnPageWriter writer(&files, file, Encoding::kPlainInt32);
+  for (int i = 0; i < 50000; ++i) writer.AppendInt(i);
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE(LoadPageIndex(files, file).ok());
+
+  const storage::PageNumber trailer_page = files.NumPages(file) - 1;
+  std::vector<char> page(storage::kPageSize);
+  ASSERT_TRUE(
+      files.ReadPage(storage::PageId{file, trailer_page}, page.data()).ok());
+  PageHeader header;
+  std::memcpy(&header, page.data(), sizeof(header));
+  header.num_values = 60000;  // far beyond any page's entry capacity
+  std::memcpy(page.data(), &header, sizeof(header));
+  ASSERT_TRUE(
+      files.WritePage(storage::PageId{file, trailer_page}, page.data()).ok());
+  EXPECT_FALSE(LoadPageIndex(files, file).ok());
+}
+
+TEST(PageIndexTest, DictionaryCodesCarryStats) {
+  // Dictionary columns store int32 codes; their zone maps are over codes and
+  // must agree with the column-level dictionary bounds.
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  std::vector<std::string> values;
+  util::Rng rng(11);
+  const char* nations[] = {"ALGERIA", "BRAZIL", "CHINA", "EGYPT", "FRANCE"};
+  for (int i = 0; i < 30000; ++i) values.push_back(nations[rng.Uniform(0, 4)]);
+  for (auto mode : {col::CompressionMode::kDictOnly, col::CompressionMode::kFull}) {
+    const std::string name =
+        mode == col::CompressionMode::kDictOnly ? "dict" : "full";
+    ASSERT_TRUE(table.AddCharColumn(name, 12, values, mode).ok());
+    const col::StoredColumn& column = table.column(name);
+    const PageIndex& index = column.page_index();
+    ASSERT_GT(index.num_pages(), 0u);
+    for (size_t p = 0; p < index.num_pages(); ++p) {
+      const PageStats& stats = index.page(p);
+      ASSERT_TRUE(stats.has_int_stats());
+      EXPECT_GE(stats.min, column.info().min);
+      EXPECT_LE(stats.max, column.info().max);
+    }
+  }
+}
+
+TEST(PageIndexTest, CharPagesHaveRowRangesButNoIntStats) {
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("chars");
+  ColumnPageWriter writer(&files, file, Encoding::kPlainChar, 15);
+  for (int i = 0; i < 30000; ++i) writer.AppendChar("hello");
+  ASSERT_EQ(writer.Finish().ValueOrDie(), 30000u);
+  auto index = LoadPageIndex(files, file);
+  ASSERT_TRUE(index.ok());
+  uint64_t row = 0;
+  for (const PageStats& stats : index.ValueOrDie().pages()) {
+    EXPECT_FALSE(stats.has_int_stats());
+    EXPECT_EQ(stats.row_start, row);
+    EXPECT_EQ(stats.distinct_hint, stats.num_values);
+    row += stats.num_values;
+  }
+  EXPECT_EQ(row, 30000u);
+}
+
+TEST(PageIndexTest, LargeIndexSpillsIntoFooterPages) {
+  // More data pages than fit in the trailer page alone: the index must
+  // spill into dedicated footer pages and still round-trip.
+  storage::FileManager files;
+  const storage::FileId file = files.CreateFile("big");
+  ColumnPageWriter writer(&files, file, Encoding::kPlainInt64);
+  util::Rng rng(12);
+  // 4095 int64 values per page; ~900 pages overflows the ~818-entry trailer.
+  const size_t n = 4095 * 900;
+  for (size_t i = 0; i < n; ++i) writer.AppendInt(rng.Uniform(0, 1000));
+  ASSERT_EQ(writer.Finish().ValueOrDie(), n);
+  const size_t data_pages = writer.page_stats().size();
+  ASSERT_GT(data_pages, 818u);
+  EXPECT_GT(files.NumPages(file), data_pages + 1);  // footer page(s) + trailer
+  auto index = LoadPageIndex(files, file);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_EQ(index.ValueOrDie().num_pages(), data_pages);
+  EXPECT_EQ(index.ValueOrDie().num_rows(), n);
+  for (size_t p = 0; p < data_pages; ++p) {
+    const PageStats& a = index.ValueOrDie().page(p);
+    const PageStats& b = writer.page_stats()[p];
+    EXPECT_EQ(a.row_start, b.row_start);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+  }
+}
+
+}  // namespace
+}  // namespace cstore::compress

@@ -1,0 +1,182 @@
+// Zone-map page skipping is an optimization, never a semantics change:
+// scans that skip or wholesale-accept pages must produce bit-identical
+// position lists to a scalar reference, the windowed parallel bitmap merge
+// must equal the serial scan, and on the SSBM the selective flight queries
+// must actually trigger skipping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "column/column_reader.h"
+#include "column/column_table.h"
+#include "core/scan.h"
+#include "core/star_executor.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "util/rng.h"
+
+namespace cstore::core {
+namespace {
+
+/// Builds one clustered (sorted) column so that range predicates decide
+/// most pages from stats alone.
+class ZoneMapScanTest : public ::testing::Test {
+ protected:
+  ZoneMapScanTest() : pool_(&files_, 256), table_(&files_, &pool_, "t") {}
+
+  const col::StoredColumn& MakeColumn(const char* name,
+                                      col::CompressionMode mode, bool sorted,
+                                      int64_t cardinality) {
+    util::Rng rng(99);
+    std::vector<int64_t> values(150000);
+    for (auto& v : values) v = rng.Uniform(0, cardinality - 1);
+    if (sorted) std::sort(values.begin(), values.end());
+    values_ = values;
+    CSTORE_CHECK(table_.AddIntColumn(name, DataType::kInt32, values, mode).ok());
+    return table_.column(name);
+  }
+
+  /// Bit-exact scalar reference bitmap for `pred`.
+  util::BitVector Reference(const IntPredicate& pred) const {
+    util::BitVector bits(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (pred.Matches(values_[i])) bits.Set(i);
+    }
+    return bits;
+  }
+
+  storage::FileManager files_;
+  storage::BufferPool pool_;
+  col::ColumnTable table_;
+  std::vector<int64_t> values_;
+};
+
+TEST_F(ZoneMapScanTest, PartialMatchScanIsBitIdenticalAndSkips) {
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kNone, /*sorted=*/true, 2000);
+  const IntPredicate pred = IntPredicate::Range(500, 600);
+  const util::BitVector expected = Reference(pred);
+  for (bool block : {true, false}) {
+    util::BitVector bits(values_.size());
+    col::ResetScanCounters();
+    const uint64_t matches = ScanInt(column, pred, block, &bits).ValueOrDie();
+    EXPECT_EQ(bits, expected);
+    EXPECT_EQ(matches, expected.Count());
+    const col::ScanCounters c = col::ReadScanCounters();
+    EXPECT_GT(c.pages_skipped, 0u) << "clustered range scan must skip pages";
+    EXPECT_EQ(c.pages_skipped + c.pages_all_match + c.pages_scanned,
+              column.num_pages());
+  }
+}
+
+TEST_F(ZoneMapScanTest, NoneMatchScanTouchesNoPages) {
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kNone, /*sorted=*/true, 2000);
+  const IntPredicate pred = IntPredicate::Range(1 << 20, 1 << 21);
+  util::BitVector bits(values_.size());
+  col::ResetScanCounters();
+  EXPECT_EQ(ScanInt(column, pred, true, &bits).ValueOrDie(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+  const col::ScanCounters c = col::ReadScanCounters();
+  EXPECT_EQ(c.pages_skipped, column.num_pages());
+  EXPECT_EQ(c.pages_scanned, 0u);
+}
+
+TEST_F(ZoneMapScanTest, AllMatchScanDecodesNoPages) {
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kNone, /*sorted=*/true, 2000);
+  const IntPredicate pred = IntPredicate::Range(INT64_MIN, INT64_MAX);
+  const util::BitVector expected = Reference(pred);
+  util::BitVector bits(values_.size());
+  col::ResetScanCounters();
+  EXPECT_EQ(ScanInt(column, pred, true, &bits).ValueOrDie(), values_.size());
+  EXPECT_EQ(bits, expected);
+  const col::ScanCounters c = col::ReadScanCounters();
+  EXPECT_EQ(c.pages_all_match, column.num_pages());
+  EXPECT_EQ(c.pages_scanned, 0u);
+}
+
+TEST_F(ZoneMapScanTest, SetPredicateBoundsPruneButNeverChangeResults) {
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kFull, /*sorted=*/true, 50);
+  // kFull + sorted -> RLE; a sparse set with tight bounds.
+  IntPredicate pred;
+  pred.kind = IntPredicate::Kind::kSet;
+  pred.AddToSet(10);
+  pred.AddToSet(12);
+  EXPECT_EQ(pred.lo, 10);
+  EXPECT_EQ(pred.hi, 12);
+  const util::BitVector expected = Reference(pred);
+  for (bool block : {true, false}) {
+    util::BitVector bits(values_.size());
+    const uint64_t matches = ScanInt(column, pred, block, &bits).ValueOrDie();
+    EXPECT_EQ(bits, expected);
+    EXPECT_EQ(matches, expected.Count());
+  }
+}
+
+TEST_F(ZoneMapScanTest, ParallelWindowedMergeEqualsSerialScan) {
+  // Unsorted bitpacked data (no skipping) plus sorted data (heavy skipping):
+  // the windowed OR merge must be bit-identical to the serial scan.
+  for (bool sorted : {false, true}) {
+    col::ColumnTable table(&files_, &pool_, sorted ? "ps" : "pu");
+    util::Rng rng(7);
+    std::vector<int64_t> values(200000);
+    for (auto& v : values) v = rng.Uniform(0, 999);
+    if (sorted) std::sort(values.begin(), values.end());
+    ASSERT_TRUE(table.AddIntColumn("c", DataType::kInt32, values,
+                                   col::CompressionMode::kNone).ok());
+    const col::StoredColumn& column = table.column("c");
+    const IntPredicate pred = IntPredicate::Range(250, 500);
+    util::BitVector serial(values.size());
+    const uint64_t serial_matches =
+        ScanInt(column, pred, true, &serial).ValueOrDie();
+    for (unsigned threads : {2u, 3u, 8u}) {
+      util::BitVector parallel(values.size());
+      const uint64_t matches =
+          ParallelScanInt(column, pred, true, threads, &parallel).ValueOrDie();
+      EXPECT_EQ(parallel, serial) << "threads=" << threads;
+      EXPECT_EQ(matches, serial_matches) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ZoneMapSsbTest, FlightQueriesSkipPagesAndMatchReference) {
+  ssb::GenParams params;
+  params.scale_factor = 0.01;
+  const ssb::SsbData data = ssb::Generate(params);
+  auto db = ssb::ColumnDatabase::Build(data, col::CompressionMode::kFull)
+                .ValueOrDie();
+  auto uncompressed =
+      ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone)
+          .ValueOrDie();
+
+  // Every query, both storage modes: answers match the naive reference.
+  for (const StarQuery& q : ssb::AllQueries()) {
+    const QueryResult expected = ssb::ReferenceExecute(data, q);
+    for (ssb::ColumnDatabase* d : {db.get(), uncompressed.get()}) {
+      auto got = ExecuteStarQuery(d->Schema(), q, ExecConfig::AllOn());
+      ASSERT_TRUE(got.ok()) << q.id;
+      EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << q.id;
+    }
+  }
+
+  // The selective flight queries (year-ranged, sorted orderdate) must
+  // trigger zone-map skipping in both storage modes.
+  for (const char* id : {"1.1", "1.2", "1.3"}) {
+    for (ssb::ColumnDatabase* d : {db.get(), uncompressed.get()}) {
+      col::ResetScanCounters();
+      auto r = ExecuteStarQuery(d->Schema(), ssb::QueryById(id),
+                                ExecConfig::AllOn());
+      ASSERT_TRUE(r.ok()) << id;
+      const col::ScanCounters c = col::ReadScanCounters();
+      EXPECT_GT(c.pages_skipped, 0u)
+          << "query " << id << " must skip pages via zone maps";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cstore::core
