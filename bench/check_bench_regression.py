@@ -1,20 +1,34 @@
 #!/usr/bin/env python3
-"""Soft benchmark-regression check.
+"""Benchmark regression check: soft on timings, hard on answers.
 
-Diffs a fresh bench_results.json (written by a figure bench via --json)
-against a committed baseline and warns when a (series, query) cell got
-slower than --threshold x. Timings are machine-relative, so this is a
-*soft* gate: it always exits 0 on a successful comparison and is meant to
-make regressions visible in CI logs and artifacts, not to fail the build.
-Exit 1 only means the inputs themselves were unusable.
+Two modes:
+
+1. Baseline diff (default): compares a fresh bench_results.json (written by a
+   figure bench via --json) against a committed baseline.
+     * Timings are machine-relative, so slow cells only WARN (exit 0) when
+       current_ms > --threshold x baseline_ms.
+     * Result hashes are machine-independent: when both sides carry a
+       result_hash for a (series, query) cell and they differ, the answer
+       itself changed — that is a correctness failure and the script exits 2.
+
+2. --diff-hashes A B: compares only the result hashes of two result files —
+   e.g. the fig7 smoke run at 1 thread vs at nproc threads. Every (series,
+   query) cell present in both files must hash identically, and within each
+   file every parallel series "X-pN" must hash-match its serial twin "X".
+   Any mismatch exits 2.
+
+Exit codes: 0 = ok (possibly with soft timing warnings), 1 = unusable
+inputs, 2 = result-hash mismatch (correctness).
 
 Usage:
   check_bench_regression.py --baseline bench/baseline/fig7_sf0.005.json \
       --current bench_results.json [--threshold 1.5]
+  check_bench_regression.py --diff-hashes run_t1.json run_tN.json
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -31,13 +45,79 @@ def by_name(doc):
     return {s["name"]: s.get("queries", {}) for s in doc.get("series", [])}
 
 
+def cell_hash(cell):
+    """Returns the cell's result hash, or None when absent/unrecorded."""
+    h = cell.get("result_hash")
+    if h is None or h == "0" * 16 or h == 0:
+        return None
+    return h
+
+
+def check_parallel_twins(series, label):
+    """Within one file: series 'X-pN' must hash-match series 'X'."""
+    mismatches = []
+    for name, queries in sorted(series.items()):
+        m = re.fullmatch(r"(.+)-p\d+", name)
+        if not m or m.group(1) not in series:
+            continue
+        twin = series[m.group(1)]
+        for q, cell in sorted(queries.items()):
+            h, ht = cell_hash(cell), cell_hash(twin.get(q, {}))
+            if h is not None and ht is not None and h != ht:
+                mismatches.append((label, name, m.group(1), q, h, ht))
+    return mismatches
+
+
+def diff_hashes(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    if a.get("scale_factor") != b.get("scale_factor"):
+        print(f"check_bench_regression: scale_factor differs "
+              f"({a.get('scale_factor')} vs {b.get('scale_factor')}) — "
+              f"hashes are not comparable", file=sys.stderr)
+        sys.exit(1)
+    sa, sb = by_name(a), by_name(b)
+    mismatches = []
+    compared = 0
+    for name in sorted(set(sa) & set(sb)):
+        for q in sorted(set(sa[name]) & set(sb[name])):
+            ha, hb = cell_hash(sa[name][q]), cell_hash(sb[name][q])
+            if ha is None or hb is None:
+                continue
+            compared += 1
+            if ha != hb:
+                mismatches.append(("cross-file", name, name, q, ha, hb))
+    for path, series in ((path_a, sa), (path_b, sb)):
+        mismatches += check_parallel_twins(series, path)
+    if not compared:
+        print("check_bench_regression: no comparable result hashes",
+              file=sys.stderr)
+        sys.exit(1)
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} result-hash mismatch(es) — answers "
+              f"differ between runs/series:")
+        for where, name, other, q, h1, h2 in mismatches:
+            print(f"  [{where}] {name} vs {other} {q}: {h1} != {h2}")
+        sys.exit(2)
+    print(f"OK: {compared} cross-file cells (plus parallel-vs-serial twins) "
+          f"hash-identical between {path_a} and {path_b}")
+    sys.exit(0)
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline")
+    ap.add_argument("--current")
     ap.add_argument("--threshold", type=float, default=1.5,
                     help="warn when current_ms > threshold * baseline_ms")
+    ap.add_argument("--diff-hashes", nargs=2, metavar=("A", "B"),
+                    help="compare only result hashes of two result files")
     args = ap.parse_args()
+
+    if args.diff_hashes:
+        diff_hashes(*args.diff_hashes)
+        return
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or use --diff-hashes)")
 
     base = load(args.baseline)
     curr = load(args.current)
@@ -45,10 +125,18 @@ def main():
         if base.get(key) != curr.get(key):
             print(f"note: {key} differs (baseline {base.get(key)}, "
                   f"current {curr.get(key)}) — ratios may not be comparable")
+    # Result hashes are a function of the data, so they are only comparable
+    # across runs at the same scale factor; a different SF legitimately
+    # computes different answers and must not trip the correctness gate.
+    same_data = base.get("scale_factor") == curr.get("scale_factor")
+    if not same_data:
+        print("note: scale_factor differs — result hashes not compared "
+              "against the baseline (within-file twin checks still apply)")
 
     base_series = by_name(base)
     curr_series = by_name(curr)
     regressions = []
+    hash_mismatches = []
     compared = 0
     print(f"{'series':<10} {'query':<6} {'base ms':>9} {'curr ms':>9} {'ratio':>7}")
     for name, queries in sorted(curr_series.items()):
@@ -61,15 +149,29 @@ def main():
                 continue
             ratio = cell["ms"] / b["ms"]
             compared += 1
-            flag = "  <-- SLOWER" if ratio > args.threshold else ""
+            hb, hc = cell_hash(b), cell_hash(cell)
+            hash_bad = same_data and hb is not None and hc is not None \
+                and hb != hc
+            if hash_bad:
+                hash_mismatches.append((name, q, hb, hc))
+            flag = "  <-- WRONG ANSWER" if hash_bad else (
+                "  <-- SLOWER" if ratio > args.threshold else "")
             print(f"{name:<10} {q:<6} {b['ms']:>9.3f} {cell['ms']:>9.3f} "
                   f"{ratio:>6.2f}x{flag}")
             if ratio > args.threshold:
                 regressions.append((name, q, ratio))
+    hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
+                        in check_parallel_twins(curr_series, args.current)]
 
     if not compared:
         print("check_bench_regression: nothing to compare", file=sys.stderr)
         sys.exit(1)
+    if hash_mismatches:
+        print(f"\nFAIL: {len(hash_mismatches)} result-hash mismatch(es) — "
+              f"the answers changed (hard failure):")
+        for name, q, h1, h2 in hash_mismatches:
+            print(f"  {name} {q}: {h1} != {h2}")
+        sys.exit(2)
     if regressions:
         print(f"\nWARNING: {len(regressions)} cell(s) slower than "
               f"{args.threshold}x baseline (soft threshold — not failing):")

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   core::ExecConfig cs_parallel = core::ExecConfig::AllOn();
   cs_parallel.num_threads = threads;
 
-  std::vector<harness::SeriesResult> series(threads > 1 ? 6 : 4);
+  std::vector<harness::SeriesResult> series(threads > 1 ? 7 : 4);
   series[0].name = "RS";
   series[1].name = "RS (MV)";
   series[2].name = "CS";
@@ -61,48 +61,50 @@ int main(int argc, char** argv) {
   if (threads > 1) {
     series[4].name = "RS-p" + std::to_string(threads);
     series[5].name = "CS-p" + std::to_string(threads);
+    series[6].name = "RS (MV)-p" + std::to_string(threads);
   }
 
+  // Times one cell and records the answer hash alongside (CI hard-fails
+  // when a hash drifts between runs or between serial and parallel series).
+  // Every series funnels through this so no cell can forget its hash.
+  auto time_result = [&](auto run, const storage::IoStats* stats) {
+    uint64_t hash = 0;
+    harness::CellResult cell = harness::TimeCell(
+        [&] {
+          auto r = run();
+          CSTORE_CHECK(r.ok());
+          hash = r.ValueOrDie().Hash();
+        },
+        args.repetitions, stats);
+    cell.result_hash = hash;
+    return cell;
+  };
+  auto time_row = [&](const core::StarQuery& q, ssb::RowDesign design,
+                      unsigned n_threads, ssb::RowDatabase* db) {
+    return time_result(
+        [&] { return ssb::ExecuteRowQuery(*db, q, design, n_threads); },
+        &db->files().stats());
+  };
+  auto time_cs = [&](const core::StarQuery& q, const core::ExecConfig& exec) {
+    return time_result(
+        [&] { return core::ExecuteStarQuery(col_db->Schema(), q, exec); },
+        &col_db->files().stats());
+  };
+
   for (const core::StarQuery& q : ssb::AllQueries()) {
-    series[0].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r = ssb::ExecuteRowQuery(*row_db, q, ssb::RowDesign::kTraditional);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, &row_db->files().stats());
-    series[1].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r = ssb::ExecuteRowQuery(*row_db, q,
-                                        ssb::RowDesign::kMaterializedViews);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, &row_db->files().stats());
-    series[2].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r = core::ExecuteStarQuery(col_db->Schema(), q, cs_serial);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, &col_db->files().stats());
-    series[3].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r = row_mv->Execute(q);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, &row_mv->files().stats());
+    series[0].by_query[q.id] =
+        time_row(q, ssb::RowDesign::kTraditional, 1, row_db.get());
+    series[1].by_query[q.id] =
+        time_row(q, ssb::RowDesign::kMaterializedViews, 1, row_db.get());
+    series[2].by_query[q.id] = time_cs(q, cs_serial);
+    series[3].by_query[q.id] = time_result(
+        [&] { return row_mv->Execute(q); }, &row_mv->files().stats());
     if (threads > 1) {
-      series[4].by_query[q.id] = harness::TimeCell(
-          [&] {
-            auto r = ssb::ExecuteRowQuery(*row_db, q,
-                                          ssb::RowDesign::kTraditional, threads);
-            CSTORE_CHECK(r.ok());
-          },
-          args.repetitions, &row_db->files().stats());
-      series[5].by_query[q.id] = harness::TimeCell(
-          [&] {
-            auto r = core::ExecuteStarQuery(col_db->Schema(), q, cs_parallel);
-            CSTORE_CHECK(r.ok());
-          },
-          args.repetitions, &col_db->files().stats());
+      series[4].by_query[q.id] =
+          time_row(q, ssb::RowDesign::kTraditional, threads, row_db.get());
+      series[5].by_query[q.id] = time_cs(q, cs_parallel);
+      series[6].by_query[q.id] =
+          time_row(q, ssb::RowDesign::kMaterializedViews, threads, row_db.get());
     }
     std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
   }
@@ -113,6 +115,11 @@ int main(int argc, char** argv) {
                            series[0], series[4]);
     harness::PrintSpeedups("Figure 5 — CS morsel-driven scaling", ids,
                            series[2], series[5]);
+    harness::PrintSpeedups("Figure 5 — RS (MV) morsel-driven scaling", ids,
+                           series[1], series[6]);
+  }
+  if (!args.json_path.empty()) {
+    harness::WriteResultsJson(args.json_path, "fig5", args, ids, series);
   }
   const double rs = series[0].AverageSeconds();
   const double cs = series[2].AverageSeconds();

@@ -8,6 +8,8 @@
 //
 // Paper shape (averages): MV < T < T(B) < VP << AI.
 #include <cstdio>
+#include <iterator>
+#include <string>
 
 #include "harness/runner.h"
 #include "ssb/column_db.h"
@@ -47,24 +49,55 @@ int main(int argc, char** argv) {
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
-  std::vector<harness::SeriesResult> series;
-  for (const auto& [name, design] : designs) {
+  // Every design runs serial (the paper's System X) and, when --threads
+  // gives more than one worker, again morsel-parallel — the symmetric
+  // counterpart of the column-store's "-pN" series, so thread sweeps no
+  // longer flatter one layout.
+  auto run_series = [&](const char* name, ssb::RowDesign design,
+                        unsigned threads) {
     harness::SeriesResult s;
     s.name = name;
+    if (threads > 1) s.name += "-p" + std::to_string(threads);
     for (const core::StarQuery& q : ssb::AllQueries()) {
-      s.by_query[q.id] = harness::TimeCell(
-          [&, d = design] {
-            auto r = ssb::ExecuteRowQuery(*db, q, d);
+      uint64_t hash = 0;
+      harness::CellResult cell = harness::TimeCell(
+          [&] {
+            auto r = ssb::ExecuteRowQuery(*db, q, design, threads);
             CSTORE_CHECK(r.ok());
+            hash = r.ValueOrDie().Hash();
           },
           args.repetitions, &db->files().stats());
+      cell.result_hash = hash;
+      s.by_query[q.id] = cell;
     }
-    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", name,
+    std::fprintf(stderr, "  %s done (avg %.1f ms)\n", s.name.c_str(),
                  s.AverageSeconds() * 1e3);
-    series.push_back(std::move(s));
+    return s;
+  };
+
+  std::vector<harness::SeriesResult> series;
+  for (const auto& [name, design] : designs) {
+    series.push_back(run_series(name, design, 1));
+  }
+  if (args.threads > 1) {
+    for (const auto& [name, design] : designs) {
+      series.push_back(run_series(name, design, args.threads));
+    }
   }
 
   harness::PrintFigure("Figure 6 — row-store designs (ms)", ids, series,
                        /*show_io=*/true);
+  if (args.threads > 1) {
+    const size_t n = std::size(designs);
+    for (size_t d = 0; d < n; ++d) {
+      harness::PrintSpeedups(
+          std::string("Figure 6 — ") + designs[d].first +
+              " morsel-driven scaling",
+          ids, series[d], series[n + d]);
+    }
+  }
+  if (!args.json_path.empty()) {
+    harness::WriteResultsJson(args.json_path, "fig6", args, ids, series);
+  }
   return 0;
 }

@@ -78,12 +78,15 @@ int main(int argc, char** argv) {
       // Zone-map telemetry around the cell (warm-up + reps), normalized to
       // one execution — proves page skipping fires, query by query.
       const col::ScanCounters before = col::ReadScanCounters();
+      uint64_t result_hash = 0;
       harness::CellResult cell = harness::TimeCell(
           [&] {
             auto r = core::ExecuteStarQuery(db->Schema(), q, config.exec);
             CSTORE_CHECK(r.ok());
+            result_hash = r.ValueOrDie().Hash();
           },
           args.repetitions, &db->files().stats());
+      cell.result_hash = result_hash;
       const col::ScanCounters delta = col::ReadScanCounters() - before;
       const uint64_t runs = static_cast<uint64_t>(args.repetitions) + 1;
       cell.pages_skipped = delta.pages_skipped / runs;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "compress/column_writer.h"
+#include "util/thread_pool.h"
 
 namespace cstore::col {
 
@@ -23,10 +24,27 @@ compress::ColumnStats ComputeStats(const std::vector<int64_t>& values) {
   return stats;
 }
 
+/// Encodes integer values (or dictionary codes) into `info`'s file and loads
+/// the persisted page index back.
+Status WriteIntValues(storage::FileManager* files, ColumnInfo* info,
+                      const std::vector<int64_t>& values) {
+  compress::ColumnPageWriter writer(files, info->file, info->encoding, 0,
+                                    info->bitpack_base, info->bitpack_bits);
+  for (int64_t v : values) writer.AppendInt(v);
+  CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
+  CSTORE_CHECK(written == values.size());
+  // Load the zone maps back through the persisted footer (not the writer's
+  // in-memory copy), so a bad round-trip fails at load time, not scan time.
+  CSTORE_ASSIGN_OR_RETURN(info->page_index,
+                          compress::LoadPageIndex(*files, info->file));
+  CSTORE_CHECK(info->page_index.num_rows() == values.size());
+  return Status::OK();
+}
+
 }  // namespace
 
 Status ColumnTable::CheckRowCount(uint64_t n) {
-  if (columns_.empty()) {
+  if (columns_.empty() && staged_.empty()) {
     num_rows_ = n;
     return Status::OK();
   }
@@ -36,74 +54,92 @@ Status ColumnTable::CheckRowCount(uint64_t n) {
   return Status::OK();
 }
 
-Status ColumnTable::AddIntColumn(const std::string& name, DataType type,
-                                 const std::vector<int64_t>& values,
-                                 CompressionMode mode) {
-  CSTORE_RETURN_IF_ERROR(CheckRowCount(values.size()));
-  const compress::ColumnStats stats = ComputeStats(values);
+Result<ColumnTable::Staged> ColumnTable::RegisterColumn(const std::string& name,
+                                                        uint64_t rows) {
+  CSTORE_RETURN_IF_ERROR(CheckRowCount(rows));
+  Staged staged;
+  staged.name = name;
+  staged.file = files_->CreateFile(name_ + "." + name);
+  staged.slot = columns_.size();
+  columns_.push_back(nullptr);  // reserved; filled by EncodeStaged
+  return staged;
+}
 
-  ColumnInfo info;
-  info.name = name;
-  info.logical_type = type;
-  info.num_values = values.size();
-  info.sorted = stats.sorted;
-  info.min = stats.min;
-  info.max = stats.max;
-  if (mode == CompressionMode::kFull) {
-    info.encoding = compress::ChooseIntEncoding(stats);
-  } else {
-    info.encoding = type == DataType::kInt64 ? compress::Encoding::kPlainInt64
-                                             : compress::Encoding::kPlainInt32;
-  }
-  if (info.encoding == compress::Encoding::kBitPack) {
-    info.bitpack_base = stats.min;
-    info.bitpack_bits = compress::BitsFor(stats);
-  }
-  info.file = files_->CreateFile(name_ + "." + name);
-
-  compress::ColumnPageWriter writer(files_, info.file, info.encoding, 0,
-                                    info.bitpack_base, info.bitpack_bits);
-  for (int64_t v : values) writer.AppendInt(v);
-  CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
-  CSTORE_CHECK(written == values.size());
-  // Load the zone maps back through the persisted footer (not the writer's
-  // in-memory copy), so a bad round-trip fails at load time, not scan time.
-  CSTORE_ASSIGN_OR_RETURN(info.page_index,
-                          compress::LoadPageIndex(*files_, info.file));
-  CSTORE_CHECK(info.page_index.num_rows() == values.size());
-
-  columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+Status ColumnTable::StageIntColumn(const std::string& name, DataType type,
+                                   const std::vector<int64_t>& values,
+                                   CompressionMode mode) {
+  CSTORE_ASSIGN_OR_RETURN(Staged staged, RegisterColumn(name, values.size()));
+  staged.type = type;
+  staged.mode = mode;
+  staged.ints = &values;
+  staged_.push_back(std::move(staged));
   return Status::OK();
 }
 
-Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
-                                  const std::vector<std::string>& values,
-                                  CompressionMode mode) {
-  CSTORE_RETURN_IF_ERROR(CheckRowCount(values.size()));
+Status ColumnTable::StageCharColumn(const std::string& name, size_t width,
+                                    const std::vector<std::string>& values,
+                                    CompressionMode mode) {
+  CSTORE_ASSIGN_OR_RETURN(Staged staged, RegisterColumn(name, values.size()));
+  staged.type = DataType::kChar;
+  staged.char_width = width;
+  staged.mode = mode;
+  staged.strs = &values;
+  staged_.push_back(std::move(staged));
+  return Status::OK();
+}
 
+Status ColumnTable::EncodeStaged(const Staged& staged) {
   ColumnInfo info;
-  info.name = name;
-  info.logical_type = DataType::kChar;
-  info.char_width = width;
-  info.num_values = values.size();
-  info.file = files_->CreateFile(name_ + "." + name);
+  info.name = staged.name;
+  info.file = staged.file;
 
-  if (mode == CompressionMode::kNone) {
+  if (staged.ints != nullptr) {
+    const std::vector<int64_t>& values = *staged.ints;
+    const compress::ColumnStats stats = ComputeStats(values);
+    info.logical_type = staged.type;
+    info.num_values = values.size();
+    info.sorted = stats.sorted;
+    info.min = stats.min;
+    info.max = stats.max;
+    if (staged.mode == CompressionMode::kFull) {
+      info.encoding = compress::ChooseIntEncoding(stats);
+    } else {
+      info.encoding = staged.type == DataType::kInt64
+                          ? compress::Encoding::kPlainInt64
+                          : compress::Encoding::kPlainInt32;
+    }
+    if (info.encoding == compress::Encoding::kBitPack) {
+      info.bitpack_base = stats.min;
+      info.bitpack_bits = compress::BitsFor(stats);
+    }
+    CSTORE_RETURN_IF_ERROR(WriteIntValues(files_, &info, values));
+    columns_[staged.slot] =
+        std::make_unique<StoredColumn>(files_, pool_, std::move(info));
+    return Status::OK();
+  }
+
+  const std::vector<std::string>& values = *staged.strs;
+  info.logical_type = DataType::kChar;
+  info.char_width = staged.char_width;
+  info.num_values = values.size();
+
+  if (staged.mode == CompressionMode::kNone) {
     info.encoding = compress::Encoding::kPlainChar;
     bool sorted = true;
     for (size_t i = 1; i < values.size() && sorted; ++i) {
       sorted = values[i - 1] <= values[i];
     }
     info.sorted = sorted;
-    compress::ColumnPageWriter writer(files_, info.file, info.encoding, width);
+    compress::ColumnPageWriter writer(files_, info.file, info.encoding,
+                                      staged.char_width);
     for (const std::string& s : values) writer.AppendChar(s);
     CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
     CSTORE_CHECK(written == values.size());
     CSTORE_ASSIGN_OR_RETURN(info.page_index,
                             compress::LoadPageIndex(*files_, info.file));
     CSTORE_CHECK(info.page_index.num_rows() == values.size());
-    columns_.push_back(
-        std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+    columns_[staged.slot] =
+        std::make_unique<StoredColumn>(files_, pool_, std::move(info));
     return Status::OK();
   }
 
@@ -122,7 +158,7 @@ Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
   info.sorted = stats.sorted;
   info.min = stats.min;
   info.max = stats.max;
-  if (mode == CompressionMode::kFull) {
+  if (staged.mode == CompressionMode::kFull) {
     info.encoding = compress::ChooseIntEncoding(stats);
   } else {
     info.encoding = compress::Encoding::kPlainInt32;
@@ -131,20 +167,42 @@ Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
     info.bitpack_base = stats.min;
     info.bitpack_bits = compress::BitsFor(stats);
   }
-  compress::ColumnPageWriter writer(files_, info.file, info.encoding, 0,
-                                    info.bitpack_base, info.bitpack_bits);
-  for (int64_t c : codes) writer.AppendInt(c);
-  CSTORE_ASSIGN_OR_RETURN(uint64_t written, writer.Finish());
-  CSTORE_CHECK(written == values.size());
-  CSTORE_ASSIGN_OR_RETURN(info.page_index,
-                          compress::LoadPageIndex(*files_, info.file));
-  CSTORE_CHECK(info.page_index.num_rows() == values.size());
-  columns_.push_back(std::make_unique<StoredColumn>(files_, pool_, std::move(info)));
+  CSTORE_RETURN_IF_ERROR(WriteIntValues(files_, &info, codes));
+  columns_[staged.slot] =
+      std::make_unique<StoredColumn>(files_, pool_, std::move(info));
   return Status::OK();
+}
+
+Status ColumnTable::LoadStaged(unsigned num_threads) {
+  if (staged_.empty()) return Status::OK();
+  std::vector<Staged> staged = std::move(staged_);
+  staged_.clear();
+  const unsigned workers =
+      num_threads == 0 ? util::ThreadPool::HardwareThreads() : num_threads;
+  // One column per task: each owns its file and its columns_ slot, so the
+  // encodes are independent and the outcome matches the serial order.
+  return util::ParallelForStatus(
+      staged.size(), workers,
+      [&](uint64_t i) { return EncodeStaged(staged[i]); });
+}
+
+Status ColumnTable::AddIntColumn(const std::string& name, DataType type,
+                                 const std::vector<int64_t>& values,
+                                 CompressionMode mode) {
+  CSTORE_RETURN_IF_ERROR(StageIntColumn(name, type, values, mode));
+  return LoadStaged(1);
+}
+
+Status ColumnTable::AddCharColumn(const std::string& name, size_t width,
+                                  const std::vector<std::string>& values,
+                                  CompressionMode mode) {
+  CSTORE_RETURN_IF_ERROR(StageCharColumn(name, width, values, mode));
+  return LoadStaged(1);
 }
 
 const StoredColumn& ColumnTable::column(const std::string& name) const {
   for (const auto& c : columns_) {
+    CSTORE_CHECK(c != nullptr);  // staged but not LoadStaged'ed yet
     if (c->info().name == name) return *c;
   }
   CSTORE_CHECK(false);
@@ -153,6 +211,7 @@ const StoredColumn& ColumnTable::column(const std::string& name) const {
 
 bool ColumnTable::HasColumn(const std::string& name) const {
   for (const auto& c : columns_) {
+    CSTORE_CHECK(c != nullptr);  // staged but not LoadStaged'ed yet
     if (c->info().name == name) return true;
   }
   return false;
@@ -160,7 +219,10 @@ bool ColumnTable::HasColumn(const std::string& name) const {
 
 uint64_t ColumnTable::SizeBytes() const {
   uint64_t total = 0;
-  for (const auto& c : columns_) total += c->SizeBytes();
+  for (const auto& c : columns_) {
+    CSTORE_CHECK(c != nullptr);  // staged but not LoadStaged'ed yet
+    total += c->SizeBytes();
+  }
   return total;
 }
 

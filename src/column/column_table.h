@@ -11,6 +11,16 @@ namespace cstore::col {
 
 /// Builder + container for the columns of one logical table. All columns
 /// must be loaded with the same number of rows (position-aligned).
+///
+/// Columns load one of two ways:
+///  * AddIntColumn / AddCharColumn — encode and persist immediately (serial);
+///  * StageIntColumn / StageCharColumn followed by LoadStaged(num_threads) —
+///    register every column first (file ids and column order are assigned
+///    serially, so they match the serial load exactly), then encode and
+///    write all staged columns concurrently on the shared pool. Each staged
+///    column owns its file, so the parallel load produces files that are
+///    bit-identical to AddXColumn's. Staged value vectors must stay alive
+///    until LoadStaged returns.
 class ColumnTable {
  public:
   ColumnTable(storage::FileManager* files, storage::BufferPool* pool,
@@ -34,6 +44,30 @@ class ColumnTable {
                        const std::vector<std::string>& values,
                        CompressionMode mode);
 
+  /// Queues an integer column for LoadStaged (no work done yet). The
+  /// deleted rvalue overload rejects temporaries at compile time — the
+  /// staged reference must outlive LoadStaged.
+  Status StageIntColumn(const std::string& name, DataType type,
+                        const std::vector<int64_t>& values,
+                        CompressionMode mode);
+  Status StageIntColumn(const std::string& name, DataType type,
+                        std::vector<int64_t>&& values,
+                        CompressionMode mode) = delete;
+
+  /// Queues a char column for LoadStaged (no work done yet).
+  Status StageCharColumn(const std::string& name, size_t width,
+                         const std::vector<std::string>& values,
+                         CompressionMode mode);
+  Status StageCharColumn(const std::string& name, size_t width,
+                         std::vector<std::string>&& values,
+                         CompressionMode mode) = delete;
+
+  /// Encodes and persists every staged column, spreading independent columns
+  /// over up to `num_threads` workers (0 = hardware threads; <= 1 = serial).
+  /// File ids, column order, and file bytes are identical to loading the
+  /// same columns serially via AddXColumn.
+  Status LoadStaged(unsigned num_threads);
+
   /// Column by name (CHECK-fails if missing — schema errors are programmer
   /// errors in this engine).
   const StoredColumn& column(const std::string& name) const;
@@ -44,12 +78,32 @@ class ColumnTable {
   uint64_t SizeBytes() const;
 
  private:
+  /// One column queued by StageXColumn: registration state (file created,
+  /// slot reserved) plus borrowed value vectors.
+  struct Staged {
+    std::string name;
+    DataType type = DataType::kInt32;
+    size_t char_width = 0;
+    CompressionMode mode = CompressionMode::kNone;
+    const std::vector<int64_t>* ints = nullptr;
+    const std::vector<std::string>* strs = nullptr;
+    size_t slot = 0;         // index into columns_
+    storage::FileId file = 0;
+  };
+
   Status CheckRowCount(uint64_t n);
+  /// Registers a column serially: row-count check, file creation, slot
+  /// reservation. The returned Staged is ready for EncodeStaged.
+  Result<Staged> RegisterColumn(const std::string& name, uint64_t rows);
+  /// Encodes + persists one registered column (safe to run concurrently for
+  /// distinct columns — each owns its file and slot).
+  Status EncodeStaged(const Staged& staged);
 
   storage::FileManager* files_;
   storage::BufferPool* pool_;
   std::string name_;
   std::vector<std::unique_ptr<StoredColumn>> columns_;
+  std::vector<Staged> staged_;
   uint64_t num_rows_ = 0;
 };
 

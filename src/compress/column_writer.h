@@ -21,6 +21,11 @@ namespace cstore::compress {
 /// encodings) and Finish() persists them as a page-index footer at the tail
 /// of the file (see page_index.h), so every stored column is born with a
 /// loadable zone map.
+///
+/// Concurrency: a writer owns its file — one writer per file, driven by one
+/// thread. Distinct writers over distinct files may run concurrently (the
+/// FileManager's append path is thread-safe across files); parallel loads
+/// rely on this, one staged column per writer.
 class ColumnPageWriter {
  public:
   /// `bitpack_base`/`bitpack_bits` are required for kBitPack (the loader

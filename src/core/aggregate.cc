@@ -109,6 +109,42 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
   return agg;
 }
 
+int64_t ParallelSumInt64(const std::vector<int64_t>& values,
+                         unsigned num_threads) {
+  if (num_threads <= 1 || values.size() < util::kRowMorsel) {
+    int64_t sum = 0;
+    for (int64_t v : values) sum += v;
+    return sum;
+  }
+  std::vector<int64_t> partial(num_threads, 0);
+  util::ParallelFor(values.size(), util::kRowMorsel, num_threads,
+                    [&](unsigned worker, uint64_t begin, uint64_t end) {
+                      int64_t sum = 0;
+                      for (uint64_t i = begin; i < end; ++i) sum += values[i];
+                      partial[worker] += sum;
+                    });
+  int64_t total = 0;
+  for (int64_t p : partial) total += p;
+  return total;
+}
+
+void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
+                     AggKind kind, unsigned num_threads) {
+  if (kind == AggKind::kSumColumn) return;
+  CSTORE_CHECK(a->size() == b.size());
+  int64_t* va = a->data();
+  const int64_t* vb = b.data();
+  const bool product = kind == AggKind::kSumProduct;
+  util::ParallelFor(a->size(), util::kRowMorsel, num_threads,
+                    [&](unsigned, uint64_t begin, uint64_t end) {
+                      if (product) {
+                        for (uint64_t i = begin; i < end; ++i) va[i] *= vb[i];
+                      } else {
+                        for (uint64_t i = begin; i < end; ++i) va[i] -= vb[i];
+                      }
+                    });
+}
+
 QueryResult GroupAggregator::Finish() const {
   QueryResult result;
   result.rows.reserve(keys_.size());

@@ -111,4 +111,18 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
                               const std::vector<int64_t>& measure,
                               unsigned num_threads);
 
+/// Morsel-parallel scalar SUM over a measure vector: per-worker partial sums
+/// merged in worker order. Integer addition is commutative/associative, so
+/// the total is identical for any thread count. num_threads <= 1 runs the
+/// serial loop.
+int64_t ParallelSumInt64(const std::vector<int64_t>& values,
+                         unsigned num_threads);
+
+/// The phase-3 measure-combine loop, morselized: a[i] = a[i] * b[i]
+/// (kSumProduct) or a[i] - b[i] (kSumDiff) over disjoint row morsels.
+/// Positional writes, so the output is identical for any thread count.
+/// kSumColumn leaves `a` untouched.
+void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
+                     AggKind kind, unsigned num_threads);
+
 }  // namespace cstore::core

@@ -173,12 +173,14 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
 }
 
 /// Runs `scan_pages(first_page, end_page, out)` over page-range morsels on
-/// `num_threads` workers, each filling a private full-size bitmap, then
+/// `num_threads` workers, each filling a private *windowed* bitmap, then
 /// OR-combines the partials into `out`. OR is commutative and the morsels
 /// cover disjoint row ranges, so the merged bitmap is identical no matter
-/// which worker scanned which morsel. Each worker remembers the window of
-/// 64-bit words its morsels could have touched and only that window is
-/// merged back — merge traffic scales with work done, not column size.
+/// which worker scanned which morsel. The page index fixes each morsel's
+/// row range before the scan, so a worker's bitmap is allocated (and
+/// zeroed) at window size on its first morsel and extended rightward as
+/// later morsels arrive (shared-counter morsel indices only increase) —
+/// both allocation and merge traffic scale with work done, not column size.
 template <typename ScanPagesFn>
 Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
                                   unsigned num_threads, util::BitVector* out,
@@ -188,8 +190,6 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
   struct WorkerState {
     util::BitVector bits;
     uint64_t matches = 0;
-    size_t first_word = SIZE_MAX;  // touched-word window [first_word, end_word)
-    size_t end_word = 0;
     Status status = Status::OK();
     bool used = false;
   };
@@ -199,18 +199,20 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
       [&](unsigned worker, uint64_t begin, uint64_t end) {
         WorkerState& state = workers[worker];
         if (!state.status.ok()) return;  // a prior morsel of this worker failed
-        if (!state.used) {
-          state.bits = util::BitVector(out->size());
-          state.used = true;
-        }
         // Rows this page-range morsel covers; pages need not align to word
         // boundaries, so a boundary word may be shared by two workers — OR
         // merging makes that benign.
         const uint64_t row_begin = index.row_start(begin);
         const uint64_t row_end =
             end < pages ? index.row_start(end) : column.num_values();
-        state.first_word = std::min(state.first_word, row_begin / 64);
-        state.end_word = std::max(state.end_word, (row_end + 63) / 64);
+        const size_t first_word = row_begin / 64;
+        const size_t end_word = (row_end + 63) / 64;
+        if (!state.used) {
+          state.bits = util::BitVector(out->size(), first_word, end_word);
+          state.used = true;
+        } else {
+          state.bits.ExtendWindow(end_word);
+        }
         auto matches =
             scan_pages(static_cast<storage::PageNumber>(begin),
                        static_cast<storage::PageNumber>(end), &state.bits);
@@ -224,8 +226,7 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
   for (WorkerState& state : workers) {
     CSTORE_RETURN_IF_ERROR(state.status);
     if (!state.used) continue;
-    out->OrWords(state.bits, state.first_word,
-                 std::min(state.end_word, out->num_words()));
+    out->OrWords(state.bits, state.bits.word_begin(), state.bits.word_end());
     total += state.matches;
   }
   return total;

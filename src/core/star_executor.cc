@@ -193,24 +193,9 @@ Status RunPhase1(const StarQuery& query, const ExecConfig& config,
 Status RunPhase1ForDims(const StarQuery& query, const ExecConfig& config,
                         const std::vector<size_t>& which,
                         std::vector<DimRuntime>* dims) {
-  const unsigned workers = std::min<unsigned>(config.ResolvedThreads(),
-                                              static_cast<unsigned>(which.size()));
-  if (which.size() < 2 || workers <= 1) {
-    for (size_t d : which) {
-      CSTORE_RETURN_IF_ERROR(RunPhase1(query, config, &(*dims)[d]));
-    }
-    return Status::OK();
-  }
-  std::vector<Status> statuses(which.size(), Status::OK());
-  util::ParallelFor(which.size(), 1, workers,
-                    [&](unsigned, uint64_t begin, uint64_t end) {
-                      for (uint64_t i = begin; i < end; ++i) {
-                        statuses[i] =
-                            RunPhase1(query, config, &(*dims)[which[i]]);
-                      }
-                    });
-  for (const Status& st : statuses) CSTORE_RETURN_IF_ERROR(st);
-  return Status::OK();
+  return util::ParallelForStatus(
+      which.size(), config.ResolvedThreads(),
+      [&](uint64_t i) { return RunPhase1(query, config, &(*dims)[which[i]]); });
 }
 
 /// Builds the measure vector for rows selected by `sel`.
@@ -227,12 +212,8 @@ Status GatherMeasure(const col::ColumnTable& fact, const Aggregate& agg,
   std::vector<int64_t> b;
   CSTORE_RETURN_IF_ERROR(
       ParallelGatherInts(fact.column(agg.column_b), sel, num_threads, &b));
-  out->resize(a.size());
-  if (agg.kind == AggKind::kSumProduct) {
-    for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] * b[i];
-  } else {
-    for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] - b[i];
-  }
+  *out = std::move(a);
+  CombineMeasures(out, b, agg.kind, num_threads);
   return Status::OK();
 }
 
@@ -297,10 +278,8 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
       GatherMeasure(fact, query.agg, selected, threads, &measure));
 
   if (query.group_by.empty()) {
-    int64_t sum = 0;
-    for (int64_t v : measure) sum += v;
     QueryResult result;
-    result.rows.push_back(ResultRow{{}, sum});
+    result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
     return result;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "util/hash.h"
 
 namespace cstore::core {
 
@@ -63,6 +64,11 @@ DimPredicate DimPredicate::IntRange(std::string dim, std::string col, int64_t lo
   p.is_string = false;
   p.ints = {lo, hi};
   return p;
+}
+
+uint64_t QueryResult::Hash() const {
+  const std::string s = ToString();
+  return util::HashBytes(s.data(), s.size());
 }
 
 std::string QueryResult::ToString() const {

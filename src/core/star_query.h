@@ -122,6 +122,11 @@ struct QueryResult {
   /// Canonical string for result comparison in tests.
   std::string ToString() const;
 
+  /// Deterministic 64-bit hash of the canonical string. Benchmarks emit it
+  /// next to timings so CI can hard-fail on answer changes (e.g. a parallel
+  /// run diverging from the serial one) while keeping timing diffs soft.
+  uint64_t Hash() const;
+
   /// Sorts rows per `order` (executors call this before returning).
   void Sort(OrderBy order);
 };

@@ -64,20 +64,14 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
       std::vector<int64_t> b;
       CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
           table.column(query.agg.column_b), selected, threads, &b));
-      measure.resize(a.size());
-      if (query.agg.kind == AggKind::kSumProduct) {
-        for (size_t i = 0; i < a.size(); ++i) measure[i] = a[i] * b[i];
-      } else {
-        for (size_t i = 0; i < a.size(); ++i) measure[i] = a[i] - b[i];
-      }
+      measure = std::move(a);
+      CombineMeasures(&measure, b, query.agg.kind, threads);
     }
   }
 
   if (query.group_by.empty()) {
-    int64_t sum = 0;
-    for (int64_t v : measure) sum += v;
     QueryResult result;
-    result.rows.push_back(ResultRow{{}, sum});
+    result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
     return result;
   }
 

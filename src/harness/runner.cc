@@ -156,12 +156,13 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
       std::fprintf(f,
                    "%s        \"%s\": {\"ms\": %.4f, \"pages_read\": %llu, "
                    "\"pages_skipped\": %llu, \"pages_all_match\": %llu, "
-                   "\"pages_scanned\": %llu}",
+                   "\"pages_scanned\": %llu, \"result_hash\": \"%016llx\"}",
                    first ? "" : ",\n", id.c_str(), cell.seconds * 1e3,
                    static_cast<unsigned long long>(cell.pages_read),
                    static_cast<unsigned long long>(cell.pages_skipped),
                    static_cast<unsigned long long>(cell.pages_all_match),
-                   static_cast<unsigned long long>(cell.pages_scanned));
+                   static_cast<unsigned long long>(cell.pages_scanned),
+                   static_cast<unsigned long long>(cell.result_hash));
       first = false;
     }
     std::fprintf(f, "\n      }\n    }%s\n", s + 1 < series.size() ? "," : "");

@@ -19,6 +19,11 @@ namespace cstore::harness {
 struct CellResult {
   double seconds = 0;
   uint64_t pages_read = 0;
+  /// QueryResult::Hash() of the cell's answer (0 = not recorded). Written
+  /// to the results JSON so CI hard-fails on answer drift — e.g. a parallel
+  /// series whose hash differs from its serial twin — while timing diffs
+  /// stay soft.
+  uint64_t result_hash = 0;
   /// Zone-map telemetry (filled by column-store benches that track
   /// col::ReadScanCounters around the cell; zero elsewhere).
   uint64_t pages_skipped = 0;

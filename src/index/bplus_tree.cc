@@ -61,6 +61,8 @@ Status BPlusTree::BulkLoad(std::vector<IndexEntry> entries) {
     if (i >= entries.size()) break;
   }
 
+  num_leaves_ = static_cast<PageNumber>(level.size());
+
   // Build internal levels until a single root remains.
   height_ = 1;
   while (level.size() > 1) {
@@ -131,6 +133,61 @@ Status BPlusTree::ScanRange(
     page = header.next_leaf;
   }
   return Status::OK();
+}
+
+Status BPlusTree::ScanLeaves(
+    PageNumber first, PageNumber end,
+    const std::function<void(int64_t, uint32_t)>& fn) const {
+  CSTORE_CHECK(first <= end && end <= num_leaves_);
+  for (PageNumber ordinal = first; ordinal < end; ++ordinal) {
+    const PageNumber page = first_leaf_ + ordinal;
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->FetchPage(PageId{file_, page}));
+    NodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    CSTORE_CHECK(header.is_leaf);
+    const auto* entries =
+        reinterpret_cast<const IndexEntry*>(guard.data() + sizeof(NodeHeader));
+    for (uint32_t i = 0; i < header.count; ++i) {
+      fn(entries[i].key, entries[i].rid);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::pair<PageNumber, PageNumber>> BPlusTree::LeafRangeFor(
+    int64_t lo, int64_t hi) const {
+  if (root_ == UINT32_MAX || num_entries_ == 0 || lo > hi) {
+    return std::pair<PageNumber, PageNumber>{0, 0};
+  }
+  CSTORE_ASSIGN_OR_RETURN(PageNumber first_page, FindLeaf(lo));
+  // Descend for `hi` picking the last child whose first key is <= hi: any
+  // later leaf starts with a key > hi, so no leaf past it can intersect.
+  PageNumber page = root_;
+  while (true) {
+    CSTORE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->FetchPage(PageId{file_, page}));
+    NodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    if (header.is_leaf) break;
+    const auto* children = reinterpret_cast<const InternalEntry*>(
+        guard.data() + sizeof(NodeHeader));
+    uint32_t pick = 0;
+    uint32_t b = 0, e = header.count;
+    while (b < e) {
+      const uint32_t mid = (b + e) / 2;
+      if (children[mid].key <= hi) {
+        pick = mid;
+        b = mid + 1;
+      } else {
+        e = mid;
+      }
+    }
+    page = children[pick].child_page;
+  }
+  return std::pair<PageNumber, PageNumber>{
+      first_page - first_leaf_,
+      static_cast<PageNumber>(page - first_leaf_ + 1)};
 }
 
 Status BPlusTree::ScanAll(

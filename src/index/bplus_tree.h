@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -41,6 +42,25 @@ class BPlusTree {
 
   /// Full index scan in key order (the "no predicate" index-only path).
   Status ScanAll(const std::function<void(int64_t, uint32_t)>& fn) const;
+
+  /// Number of leaf pages. Bulk load allocates the leaves contiguously as
+  /// the file's first pages, packed full (except the last) in key order, so
+  /// leaf ordinal `i` is page `first_leaf + i` and the concatenation of
+  /// per-leaf scans in ordinal order is exactly ScanAll's output.
+  storage::PageNumber num_leaves() const { return num_leaves_; }
+
+  /// Calls fn(key, rid) for every entry of the leaves with ordinals
+  /// [first, end) — one morsel of a parallel index scan. Safe to call from
+  /// multiple threads on distinct ordinal ranges.
+  Status ScanLeaves(storage::PageNumber first, storage::PageNumber end,
+                    const std::function<void(int64_t, uint32_t)>& fn) const;
+
+  /// Smallest leaf-ordinal range [first, end) whose leaves can contain keys
+  /// in [lo, hi] — the bounds a parallel range scan morselizes over (each
+  /// morsel still filters to the range; boundary leaves hold keys outside
+  /// it).
+  Result<std::pair<storage::PageNumber, storage::PageNumber>> LeafRangeFor(
+      int64_t lo, int64_t hi) const;
 
   uint64_t num_entries() const { return num_entries_; }
   uint64_t SizeBytes() const { return files_->FileBytes(file_); }
@@ -76,6 +96,7 @@ class BPlusTree {
   storage::FileId file_;
   storage::PageNumber root_ = UINT32_MAX;
   storage::PageNumber first_leaf_ = UINT32_MAX;
+  storage::PageNumber num_leaves_ = 0;
   uint64_t num_entries_ = 0;
   uint32_t height_ = 0;
 };

@@ -44,7 +44,11 @@ class RowTable {
   uint32_t num_partitions() const { return static_cast<uint32_t>(parts_.size()); }
 
   /// Appends a fully formed tuple buffer (layout().tuple_size() bytes; header
-  /// and record-id are filled in by this call).
+  /// and record-id are filled in by this call). Appends to one table must
+  /// come from one thread at a time (record-ids and heap-file tails are
+  /// unsynchronized); parallel loads parallelize across *tables*, each
+  /// loaded serially, which also keeps every table's files bit-identical to
+  /// a serial load.
   Status Append(char* tuple);
 
   /// Scans every partition: fn(record bytes). Record-ids are stored in the

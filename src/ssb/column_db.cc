@@ -1,6 +1,7 @@
 #include "ssb/column_db.h"
 
 #include "util/int_map.h"
+#include "util/thread_pool.h"
 
 namespace cstore::ssb {
 
@@ -14,34 +15,34 @@ constexpr size_t kDefaultPoolPages = 8192;
 Status LoadDate(const DateTable& t, CompressionMode mode, ColumnTable* out) {
   using W = CharWidths;
   auto I = DataType::kInt32;
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("datekey", I, t.datekey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("date", W::kDate, t.date, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("datekey", I, t.datekey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("date", W::kDate, t.date, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("dayofweek", W::kDayOfWeek, t.dayofweek, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("month", W::kMonth, t.month, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("year", I, t.year, mode));
+      out->StageCharColumn("dayofweek", W::kDayOfWeek, t.dayofweek, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("month", W::kMonth, t.month, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("year", I, t.year, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("yearmonthnum", I, t.yearmonthnum, mode));
+      out->StageIntColumn("yearmonthnum", I, t.yearmonthnum, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("yearmonth", W::kYearMonth, t.yearmonth, mode));
+      out->StageCharColumn("yearmonth", W::kYearMonth, t.yearmonth, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("daynuminweek", I, t.daynuminweek, mode));
+      out->StageIntColumn("daynuminweek", I, t.daynuminweek, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("daynuminmonth", I, t.daynuminmonth, mode));
+      out->StageIntColumn("daynuminmonth", I, t.daynuminmonth, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("daynuminyear", I, t.daynuminyear, mode));
+      out->StageIntColumn("daynuminyear", I, t.daynuminyear, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("monthnuminyear", I, t.monthnuminyear, mode));
+      out->StageIntColumn("monthnuminyear", I, t.monthnuminyear, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("weeknuminyear", I, t.weeknuminyear, mode));
+      out->StageIntColumn("weeknuminyear", I, t.weeknuminyear, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("sellingseason", W::kSeason, t.sellingseason, mode));
+      out->StageCharColumn("sellingseason", W::kSeason, t.sellingseason, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("lastdayinweekfl", I, t.lastdayinweekfl, mode));
+      out->StageIntColumn("lastdayinweekfl", I, t.lastdayinweekfl, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("lastdayinmonthfl", I, t.lastdayinmonthfl, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("holidayfl", I, t.holidayfl, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("weekdayfl", I, t.weekdayfl, mode));
+      out->StageIntColumn("lastdayinmonthfl", I, t.lastdayinmonthfl, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("holidayfl", I, t.holidayfl, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("weekdayfl", I, t.weekdayfl, mode));
   return Status::OK();
 }
 
@@ -49,16 +50,16 @@ Status LoadCustomer(const CustomerTable& t, CompressionMode mode,
                     ColumnTable* out) {
   using W = CharWidths;
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("custkey", DataType::kInt32, t.custkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("name", W::kName, t.name, mode));
+      out->StageIntColumn("custkey", DataType::kInt32, t.custkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("name", W::kName, t.name, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("address", W::kAddress, t.address, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("city", W::kCity, t.city, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("nation", W::kNation, t.nation, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("region", W::kRegion, t.region, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("phone", W::kPhone, t.phone, mode));
+      out->StageCharColumn("address", W::kAddress, t.address, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("city", W::kCity, t.city, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("nation", W::kNation, t.nation, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("region", W::kRegion, t.region, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("phone", W::kPhone, t.phone, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("mktsegment", W::kMktSegment, t.mktsegment, mode));
+      out->StageCharColumn("mktsegment", W::kMktSegment, t.mktsegment, mode));
   return Status::OK();
 }
 
@@ -66,32 +67,32 @@ Status LoadSupplier(const SupplierTable& t, CompressionMode mode,
                     ColumnTable* out) {
   using W = CharWidths;
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("suppkey", DataType::kInt32, t.suppkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("name", W::kName, t.name, mode));
+      out->StageIntColumn("suppkey", DataType::kInt32, t.suppkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("name", W::kName, t.name, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("address", W::kAddress, t.address, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("city", W::kCity, t.city, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("nation", W::kNation, t.nation, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("region", W::kRegion, t.region, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("phone", W::kPhone, t.phone, mode));
+      out->StageCharColumn("address", W::kAddress, t.address, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("city", W::kCity, t.city, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("nation", W::kNation, t.nation, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("region", W::kRegion, t.region, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("phone", W::kPhone, t.phone, mode));
   return Status::OK();
 }
 
 Status LoadPart(const PartTable& t, CompressionMode mode, ColumnTable* out) {
   using W = CharWidths;
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("partkey", DataType::kInt32, t.partkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("name", W::kPartName, t.name, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("mfgr", W::kMfgr, t.mfgr, mode));
+      out->StageIntColumn("partkey", DataType::kInt32, t.partkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("name", W::kPartName, t.name, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("mfgr", W::kMfgr, t.mfgr, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("category", W::kCategory, t.category, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("brand1", W::kBrand, t.brand1, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("color", W::kColor, t.color, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("type", W::kType, t.type, mode));
+      out->StageCharColumn("category", W::kCategory, t.category, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("brand1", W::kBrand, t.brand1, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("color", W::kColor, t.color, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("type", W::kType, t.type, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("size", DataType::kInt32, t.size_attr, mode));
+      out->StageIntColumn("size", DataType::kInt32, t.size_attr, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("container", W::kContainer, t.container, mode));
+      out->StageCharColumn("container", W::kContainer, t.container, mode));
   return Status::OK();
 }
 
@@ -99,35 +100,36 @@ Status LoadLineorder(const LineorderTable& t, CompressionMode mode,
                      ColumnTable* out) {
   using W = CharWidths;
   auto I = DataType::kInt32;
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("orderkey", I, t.orderkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("linenumber", I, t.linenumber, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("custkey", I, t.custkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("partkey", I, t.partkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("suppkey", I, t.suppkey, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("orderdate", I, t.orderdate, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("orderkey", I, t.orderkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("linenumber", I, t.linenumber, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("custkey", I, t.custkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("partkey", I, t.partkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("suppkey", I, t.suppkey, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("orderdate", I, t.orderdate, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("ordpriority", W::kOrdPriority, t.ordpriority, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddCharColumn("shippriority", W::kShipPriority,
+      out->StageCharColumn("ordpriority", W::kOrdPriority, t.ordpriority, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageCharColumn("shippriority", W::kShipPriority,
                                             t.shippriority, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("quantity", I, t.quantity, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("quantity", I, t.quantity, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("extendedprice", I, t.extendedprice, mode));
+      out->StageIntColumn("extendedprice", I, t.extendedprice, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("ordtotalprice", I, t.ordtotalprice, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("discount", I, t.discount, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("revenue", I, t.revenue, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("supplycost", I, t.supplycost, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("tax", I, t.tax, mode));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("commitdate", I, t.commitdate, mode));
+      out->StageIntColumn("ordtotalprice", I, t.ordtotalprice, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("discount", I, t.discount, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("revenue", I, t.revenue, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("supplycost", I, t.supplycost, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("tax", I, t.tax, mode));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("commitdate", I, t.commitdate, mode));
   CSTORE_RETURN_IF_ERROR(
-      out->AddCharColumn("shipmode", W::kShipMode, t.shipmode, mode));
+      out->StageCharColumn("shipmode", W::kShipMode, t.shipmode, mode));
   return Status::OK();
 }
 
 }  // namespace
 
 Result<std::unique_ptr<ColumnDatabase>> ColumnDatabase::Build(
-    const SsbData& data, col::CompressionMode mode, size_t pool_pages) {
+    const SsbData& data, col::CompressionMode mode, size_t pool_pages,
+    unsigned load_threads) {
   auto db = std::unique_ptr<ColumnDatabase>(new ColumnDatabase());
   db->mode_ = mode;
   db->files_ = std::make_unique<storage::FileManager>();
@@ -141,11 +143,20 @@ Result<std::unique_ptr<ColumnDatabase>> ColumnDatabase::Build(
   db->supplier_ = make("supplier");
   db->part_ = make("part");
   db->lineorder_ = make("lineorder");
+  // Stage every column of every table first — this assigns file ids and
+  // column slots in the exact serial order — then encode each table's
+  // columns concurrently on the shared pool. Each column owns its file, so
+  // the files are bit-identical to a serial (load_threads=1) build.
   CSTORE_RETURN_IF_ERROR(LoadDate(data.date, mode, db->date_.get()));
   CSTORE_RETURN_IF_ERROR(LoadCustomer(data.customer, mode, db->customer_.get()));
   CSTORE_RETURN_IF_ERROR(LoadSupplier(data.supplier, mode, db->supplier_.get()));
   CSTORE_RETURN_IF_ERROR(LoadPart(data.part, mode, db->part_.get()));
   CSTORE_RETURN_IF_ERROR(LoadLineorder(data.lineorder, mode, db->lineorder_.get()));
+  for (ColumnTable* table : {db->date_.get(), db->customer_.get(),
+                             db->supplier_.get(), db->part_.get(),
+                             db->lineorder_.get()}) {
+    CSTORE_RETURN_IF_ERROR(table->LoadStaged(load_threads));
+  }
   return db;
 }
 
@@ -167,7 +178,8 @@ uint64_t ColumnDatabase::SizeBytes() const {
 }
 
 Result<std::unique_ptr<DenormalizedDatabase>> DenormalizedDatabase::Build(
-    const SsbData& data, col::CompressionMode mode, size_t pool_pages) {
+    const SsbData& data, col::CompressionMode mode, size_t pool_pages,
+    unsigned load_threads) {
   auto db = std::unique_ptr<DenormalizedDatabase>(new DenormalizedDatabase());
   db->mode_ = mode;
   db->files_ = std::make_unique<storage::FileManager>();
@@ -178,6 +190,9 @@ Result<std::unique_ptr<DenormalizedDatabase>> DenormalizedDatabase::Build(
   ColumnTable* out = db->table_.get();
   const LineorderTable& lo = data.lineorder;
   const size_t n = lo.size();
+  const unsigned widen_threads = load_threads == 0
+                                     ? util::ThreadPool::HardwareThreads()
+                                     : load_threads;
 
   // datekey -> date-table row.
   util::IntMap date_pos(data.date.size());
@@ -190,13 +205,18 @@ Result<std::unique_ptr<DenormalizedDatabase>> DenormalizedDatabase::Build(
   // the *widened dimension attributes* are represented (§6.3.3).
   auto I = DataType::kInt32;
   const auto kFact = col::CompressionMode::kFull;
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("orderdate", I, lo.orderdate, kFact));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("quantity", I, lo.quantity, kFact));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("discount", I, lo.discount, kFact));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("orderdate", I, lo.orderdate, kFact));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("quantity", I, lo.quantity, kFact));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("discount", I, lo.discount, kFact));
   CSTORE_RETURN_IF_ERROR(
-      out->AddIntColumn("extendedprice", I, lo.extendedprice, kFact));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("revenue", I, lo.revenue, kFact));
-  CSTORE_RETURN_IF_ERROR(out->AddIntColumn("supplycost", I, lo.supplycost, kFact));
+      out->StageIntColumn("extendedprice", I, lo.extendedprice, kFact));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("revenue", I, lo.revenue, kFact));
+  CSTORE_RETURN_IF_ERROR(out->StageIntColumn("supplycost", I, lo.supplycost, kFact));
+  // The six fact columns above reference SsbData directly, so they encode
+  // concurrently; the widened columns below share one scratch buffer per
+  // type (bounding the build's footprint at one extra column), so each is
+  // filled morsel-parallel but encoded serially.
+  CSTORE_RETURN_IF_ERROR(out->LoadStaged(load_threads));
 
   // Widened dimension attributes ("all customer information is contained in
   // each fact table tuple", §6.3.3) — the ones the queries touch.
@@ -205,27 +225,36 @@ Result<std::unique_ptr<DenormalizedDatabase>> DenormalizedDatabase::Build(
 
   auto widen_int = [&](const char* name,
                        const std::vector<int64_t>& dim_col) -> Status {
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t* pos = date_pos.Find(lo.orderdate[i]);
-      CSTORE_CHECK(pos != nullptr);
-      ints[i] = dim_col[*pos];
-    }
+    util::ParallelFor(n, util::kRowMorsel, widen_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          const uint32_t* pos = date_pos.Find(lo.orderdate[i]);
+                          CSTORE_CHECK(pos != nullptr);
+                          ints[i] = dim_col[*pos];
+                        }
+                      });
     return out->AddIntColumn(name, DataType::kInt32, ints, mode);
   };
   auto widen_str = [&](const char* name, size_t width,
                        const std::vector<std::string>& dim_col,
                        const std::vector<int64_t>& fk) -> Status {
-    for (size_t i = 0; i < n; ++i) {
-      strs[i] = dim_col[static_cast<size_t>(fk[i] - 1)];
-    }
+    util::ParallelFor(n, util::kRowMorsel, widen_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          strs[i] = dim_col[static_cast<size_t>(fk[i] - 1)];
+                        }
+                      });
     return out->AddCharColumn(name, width, strs, mode);
   };
   auto widen_str_date = [&](const char* name, size_t width,
                             const std::vector<std::string>& dim_col) -> Status {
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t* pos = date_pos.Find(lo.orderdate[i]);
-      strs[i] = dim_col[*pos];
-    }
+    util::ParallelFor(n, util::kRowMorsel, widen_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          const uint32_t* pos = date_pos.Find(lo.orderdate[i]);
+                          strs[i] = dim_col[*pos];
+                        }
+                      });
     return out->AddCharColumn(name, width, strs, mode);
   };
 

@@ -15,9 +15,13 @@ namespace cstore::ssb {
 class ColumnDatabase {
  public:
   /// Loads all five tables under `mode`. `pool_pages` sizes the buffer pool.
+  /// `load_threads` spreads per-column encoding over the shared pool
+  /// (0 = hardware threads, 1 = fully serial); the produced files are
+  /// bit-identical for every thread count.
   static Result<std::unique_ptr<ColumnDatabase>> Build(const SsbData& data,
                                                        col::CompressionMode mode,
-                                                       size_t pool_pages = 8192);
+                                                       size_t pool_pages = 8192,
+                                                       unsigned load_threads = 0);
 
   /// The star schema over the loaded tables (date has non-dense yyyymmdd
   /// keys; customer/supplier/part keys are 1..N).
@@ -57,7 +61,8 @@ class ColumnDatabase {
 class DenormalizedDatabase {
  public:
   static Result<std::unique_ptr<DenormalizedDatabase>> Build(
-      const SsbData& data, col::CompressionMode mode, size_t pool_pages = 8192);
+      const SsbData& data, col::CompressionMode mode, size_t pool_pages = 8192,
+      unsigned load_threads = 0);
 
   const col::ColumnTable& table() const { return *table_; }
   col::CompressionMode mode() const { return mode_; }

@@ -1,8 +1,11 @@
 #include "ssb/row_db.h"
 
+#include <functional>
+#include <optional>
 #include <set>
 
 #include "ssb/queries.h"
+#include "util/thread_pool.h"
 
 namespace cstore::ssb {
 
@@ -170,6 +173,14 @@ Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
   storage::FileManager* files = db->files_.get();
   storage::BufferPool* pool = db->pool_.get();
 
+  // The build is two-phase: every table, index, and materialized view is
+  // *created* serially (so heap files get the same FileIds as a serial
+  // build), then the per-object load loops — independent of each other, each
+  // appending only to its own files through the shared pool — run
+  // concurrently. Each task is the exact serial loop, so the files it
+  // writes are bit-identical to options.load_threads == 1.
+  std::vector<std::function<Status()>> tasks;
+
   // ---- Base (traditional) tables. ----
   {
     const Schema schema = LineorderSchema();
@@ -180,21 +191,29 @@ Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
     } else {
       db->lineorder_ = std::make_unique<RowTable>(files, pool, "lineorder", schema);
     }
-    std::vector<char> buf(db->lineorder_->layout().tuple_size());
-    for (size_t r = 0; r < data.lineorder.size(); ++r) {
-      FillLineorderTuple(db->lineorder_->layout(), data.lineorder, r, buf.data());
-      CSTORE_RETURN_IF_ERROR(db->lineorder_->Append(buf.data()));
-    }
+    RowTable* lineorder = db->lineorder_.get();
+    tasks.push_back([lineorder, &data]() -> Status {
+      std::vector<char> buf(lineorder->layout().tuple_size());
+      for (size_t r = 0; r < data.lineorder.size(); ++r) {
+        FillLineorderTuple(lineorder->layout(), data.lineorder, r, buf.data());
+        CSTORE_RETURN_IF_ERROR(lineorder->Append(buf.data()));
+      }
+      return Status::OK();
+    });
   }
 
   auto load_dim = [&](std::unique_ptr<RowTable>* slot, const char* name,
                       Schema schema, auto fill, size_t n) -> Status {
     *slot = std::make_unique<RowTable>(files, pool, name, std::move(schema));
-    std::vector<char> buf((*slot)->layout().tuple_size());
-    for (size_t r = 0; r < n; ++r) {
-      fill((*slot)->layout(), r, buf.data());
-      CSTORE_RETURN_IF_ERROR((*slot)->Append(buf.data()));
-    }
+    RowTable* table = slot->get();
+    tasks.push_back([table, fill, n]() -> Status {
+      std::vector<char> buf(table->layout().tuple_size());
+      for (size_t r = 0; r < n; ++r) {
+        fill(table->layout(), r, buf.data());
+        CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
+      }
+      return Status::OK();
+    });
     return Status::OK();
   };
 
@@ -276,51 +295,78 @@ Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
     const Schema lineorder_schema = LineorderSchema();
     for (const Field& field : lineorder_schema.fields()) {
       if (field.type == DataType::kChar) continue;  // queries use ints only
-      auto table = std::make_unique<RowTable>(
+      auto& slot = db->vp_[field.name];
+      slot = std::make_unique<RowTable>(
           files, pool, "vp_" + field.name,
           Schema({Field::Int32("pos"), Field::Int32("value")}));
-      const std::vector<int64_t>& values = FactColumn(data.lineorder, field.name);
-      std::vector<char> buf(table->layout().tuple_size());
-      for (size_t r = 0; r < values.size(); ++r) {
-        table->layout().SetInt32(buf.data(), 0, static_cast<int32_t>(r));
-        table->layout().SetInt32(buf.data(), 1, static_cast<int32_t>(values[r]));
-        CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
-      }
-      db->vp_[field.name] = std::move(table);
+      RowTable* table = slot.get();
+      const std::vector<int64_t>* values =
+          &FactColumn(data.lineorder, field.name);
+      tasks.push_back([table, values]() -> Status {
+        std::vector<char> buf(table->layout().tuple_size());
+        for (size_t r = 0; r < values->size(); ++r) {
+          table->layout().SetInt32(buf.data(), 0, static_cast<int32_t>(r));
+          table->layout().SetInt32(buf.data(), 1,
+                                   static_cast<int32_t>((*values)[r]));
+          CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
+        }
+        return Status::OK();
+      });
     }
   }
 
   // ---- Unclustered B+Trees for index-only plans. ----
   if (options.all_indexes) {
     for (const std::string& name : QueryFactColumns()) {
-      const std::vector<int64_t>& values = FactColumn(data.lineorder, name);
-      std::vector<index::IndexEntry> entries(values.size());
-      for (size_t r = 0; r < values.size(); ++r) {
-        entries[r] = index::IndexEntry{values[r], static_cast<uint32_t>(r), 0};
-      }
-      auto tree =
-          std::make_unique<index::BPlusTree>(files, pool, "idx_" + name);
-      CSTORE_RETURN_IF_ERROR(tree->BulkLoad(std::move(entries)));
-      db->fact_indexes_[name] = std::move(tree);
+      auto& slot = db->fact_indexes_[name];
+      slot = std::make_unique<index::BPlusTree>(files, pool, "idx_" + name);
+      index::BPlusTree* tree = slot.get();
+      const std::vector<int64_t>* values = &FactColumn(data.lineorder, name);
+      tasks.push_back([tree, values]() -> Status {
+        std::vector<index::IndexEntry> entries(values->size());
+        for (size_t r = 0; r < values->size(); ++r) {
+          entries[r] =
+              index::IndexEntry{(*values)[r], static_cast<uint32_t>(r), 0};
+        }
+        return tree->BulkLoad(std::move(entries));
+      });
     }
   }
 
   // ---- Bitmap indexes for the bitmap-biased configuration. ----
+  // Built into per-task slots (no files involved), inserted into the map in
+  // a fixed order after the parallel phase.
+  std::vector<std::pair<std::string, std::optional<index::BitmapIndex>>>
+      bitmap_slots;
   if (options.bitmap_indexes) {
-    auto build = [&](const char* name,
-                     const std::vector<int64_t>& values) -> Status {
-      CSTORE_ASSIGN_OR_RETURN(index::BitmapIndex idx,
-                              index::BitmapIndex::Build(values, 4096));
-      db->bitmaps_.emplace(name, std::move(idx));
+    bitmap_slots.resize(3);
+    bitmap_slots[0].first = "discount";
+    bitmap_slots[1].first = "quantity";
+    bitmap_slots[2].first = "orderyear";
+    tasks.push_back([&data, &bitmap_slots]() -> Status {
+      CSTORE_ASSIGN_OR_RETURN(
+          index::BitmapIndex idx,
+          index::BitmapIndex::Build(data.lineorder.discount, 4096));
+      bitmap_slots[0].second.emplace(std::move(idx));
       return Status::OK();
-    };
-    CSTORE_RETURN_IF_ERROR(build("discount", data.lineorder.discount));
-    CSTORE_RETURN_IF_ERROR(build("quantity", data.lineorder.quantity));
-    std::vector<int64_t> years(data.lineorder.size());
-    for (size_t r = 0; r < years.size(); ++r) {
-      years[r] = data.lineorder.orderdate[r] / 10000;
-    }
-    CSTORE_RETURN_IF_ERROR(build("orderyear", years));
+    });
+    tasks.push_back([&data, &bitmap_slots]() -> Status {
+      CSTORE_ASSIGN_OR_RETURN(
+          index::BitmapIndex idx,
+          index::BitmapIndex::Build(data.lineorder.quantity, 4096));
+      bitmap_slots[1].second.emplace(std::move(idx));
+      return Status::OK();
+    });
+    tasks.push_back([&data, &bitmap_slots]() -> Status {
+      std::vector<int64_t> years(data.lineorder.size());
+      for (size_t r = 0; r < years.size(); ++r) {
+        years[r] = data.lineorder.orderdate[r] / 10000;
+      }
+      CSTORE_ASSIGN_OR_RETURN(index::BitmapIndex idx,
+                              index::BitmapIndex::Build(years, 4096));
+      bitmap_slots[2].second.emplace(std::move(idx));
+      return Status::OK();
+    });
   }
 
   // ---- Per-query materialized views. ----
@@ -333,21 +379,35 @@ Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
         fields.push_back(full.field(full.IndexOf(name).ValueOrDie()));
       }
       Schema schema(std::move(fields));
-      std::unique_ptr<RowTable> table;
+      auto& slot = db->mvs_[q.id];
       auto od = schema.IndexOf("orderdate");
       if (options.partition_lineorder && od.ok()) {
-        table = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema, 7,
-                                           YearPartitionFn(od.ValueOrDie()));
+        slot = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema, 7,
+                                          YearPartitionFn(od.ValueOrDie()));
       } else {
-        table = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema);
+        slot = std::make_unique<RowTable>(files, pool, "mv_" + q.id, schema);
       }
-      std::vector<char> buf(table->layout().tuple_size());
-      for (size_t r = 0; r < data.lineorder.size(); ++r) {
-        FillLineorderTuple(table->layout(), data.lineorder, r, buf.data());
-        CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
-      }
-      db->mvs_[q.id] = std::move(table);
+      RowTable* table = slot.get();
+      tasks.push_back([table, &data]() -> Status {
+        std::vector<char> buf(table->layout().tuple_size());
+        for (size_t r = 0; r < data.lineorder.size(); ++r) {
+          FillLineorderTuple(table->layout(), data.lineorder, r, buf.data());
+          CSTORE_RETURN_IF_ERROR(table->Append(buf.data()));
+        }
+        return Status::OK();
+      });
     }
+  }
+
+  // ---- Parallel load phase. ----
+  const unsigned workers = options.load_threads == 0
+                               ? util::ThreadPool::HardwareThreads()
+                               : options.load_threads;
+  CSTORE_RETURN_IF_ERROR(util::ParallelForStatus(
+      tasks.size(), workers, [&](uint64_t i) { return tasks[i](); }));
+  for (auto& [name, idx] : bitmap_slots) {
+    CSTORE_CHECK(idx.has_value());
+    db->bitmaps_.emplace(name, std::move(*idx));
   }
 
   return db;

@@ -32,6 +32,11 @@ struct RowDbOptions {
   /// Partition lineorder (and MVs) on orderdate year, as the paper's DBA did.
   bool partition_lineorder = true;
   size_t pool_pages = 8192;
+  /// Degree of load parallelism: independent tables, vertical partitions,
+  /// indexes, and materialized views append concurrently on the shared pool
+  /// (0 = hardware threads, 1 = fully serial). Every file's bytes are
+  /// identical for any thread count.
+  unsigned load_threads = 0;
 };
 
 /// Fact columns any SSBM query touches (fks, local predicates, measures).

@@ -343,6 +343,114 @@ int64_t ComputeMeasure(const FactFields& ff, const TupleLayout& layout,
 }
 
 // ---------------------------------------------------------------------------
+// Shared morsel-parallel building blocks. Every row design funnels its fact
+// passes through these, so all designs inherit the same determinism
+// guarantees: per-worker partial state merged in worker order, or per-morsel
+// output chunks concatenated in morsel (= serial scan) order.
+// ---------------------------------------------------------------------------
+
+/// Runs `process(tuple, sink)` over every record of `table`'s listed
+/// partitions and finishes the aggregation. num_threads <= 1 is the exact
+/// serial cursor loop; otherwise page-range morsels feed one thread-local
+/// Sink per worker (dimension hash tables are read-only during the pass),
+/// merged in worker order — group sums are order-insensitive, so the result
+/// is byte-identical across thread counts.
+template <typename ProcessFn>
+Result<core::QueryResult> SinkScan(const RowTable& table,
+                                   const std::vector<uint32_t>& partitions,
+                                   const RowContext& ctx, const StarQuery& q,
+                                   unsigned num_threads,
+                                   const ProcessFn& process) {
+  if (num_threads <= 1) {
+    Sink sink(ctx, q);
+    sink.SetPacker(&ctx.codec);
+    auto cursor = table.OpenCursor(partitions);
+    const char* tuple;
+    while ((tuple = cursor->Next()) != nullptr) process(tuple, sink);
+    return sink.Finish(ctx, q);
+  }
+  const std::vector<RowTable::ScanMorsel> morsels =
+      table.MakeScanMorsels(partitions, util::kPageMorsel);
+  struct WorkerState {
+    std::unique_ptr<Sink> sink;
+    Status status = Status::OK();
+  };
+  std::vector<WorkerState> workers(num_threads);
+  util::ParallelFor(
+      morsels.size(), 1, num_threads,
+      [&](unsigned worker, uint64_t begin, uint64_t end) {
+        WorkerState& state = workers[worker];
+        if (state.sink == nullptr) {
+          state.sink = std::make_unique<Sink>(ctx, q);
+          state.sink->SetPacker(&ctx.codec);
+        }
+        for (uint64_t m = begin; m < end && state.status.ok(); ++m) {
+          state.status = table.ScanMorselRecords(
+              morsels[m],
+              [&](const char* tuple) { process(tuple, *state.sink); });
+        }
+      });
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  for (WorkerState& state : workers) {
+    CSTORE_RETURN_IF_ERROR(state.status);
+    if (state.sink != nullptr) sink.MergeFrom(*state.sink);
+  }
+  return sink.Finish(ctx, q);
+}
+
+/// Row-range counterpart of SinkScan for plans that aggregate a
+/// materialized intermediate: runs `process(i, sink)` for every row index
+/// in [0, n) with one thread-local Sink per worker over row morsels,
+/// merged in worker order (the exact serial loop at num_threads <= 1).
+template <typename ProcessFn>
+Result<core::QueryResult> SinkOverRows(uint64_t n, const RowContext& ctx,
+                                       const StarQuery& q,
+                                       unsigned num_threads,
+                                       const ProcessFn& process) {
+  if (num_threads <= 1) {
+    Sink sink(ctx, q);
+    sink.SetPacker(&ctx.codec);
+    for (uint64_t i = 0; i < n; ++i) process(i, sink);
+    return sink.Finish(ctx, q);
+  }
+  std::vector<std::unique_ptr<Sink>> workers(num_threads);
+  util::ParallelFor(n, util::kRowMorsel, num_threads,
+                    [&](unsigned worker, uint64_t begin, uint64_t end) {
+                      if (workers[worker] == nullptr) {
+                        workers[worker] = std::make_unique<Sink>(ctx, q);
+                        workers[worker]->SetPacker(&ctx.codec);
+                      }
+                      Sink& sink = *workers[worker];
+                      for (uint64_t i = begin; i < end; ++i) process(i, sink);
+                    });
+  Sink sink(ctx, q);
+  sink.SetPacker(&ctx.codec);
+  for (const auto& worker : workers) {
+    if (worker != nullptr) sink.MergeFrom(*worker);
+  }
+  return sink.Finish(ctx, q);
+}
+
+/// Like SinkScan, but each morsel appends to a private Chunk and the chunks
+/// are returned in morsel order — concatenating them reproduces the serial
+/// scan's output order exactly. `fn(tuple, chunk)` must touch only its
+/// chunk.
+template <typename Chunk, typename Fn>
+Result<std::vector<Chunk>> ScanIntoChunks(const RowTable& table,
+                                          unsigned num_threads, const Fn& fn) {
+  const std::vector<RowTable::ScanMorsel> morsels =
+      table.MakeScanMorsels({}, util::kPageMorsel);
+  std::vector<Chunk> chunks(morsels.size());
+  CSTORE_RETURN_IF_ERROR(util::ParallelForStatus(
+      morsels.size(), num_threads, [&](uint64_t m) {
+        return table.ScanMorselRecords(
+            morsels[m], [&](const char* tuple) { fn(tuple, &chunks[m]); });
+      }));
+  return chunks;
+}
+
+// ---------------------------------------------------------------------------
 // Traditional / MV plan: one pipelined pass.
 // ---------------------------------------------------------------------------
 
@@ -378,46 +486,7 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
     sink.Add(ComputeMeasure(ff, layout, tuple));
   };
 
-  if (num_threads <= 1) {
-    Sink sink(ctx, q);
-    sink.SetPacker(&ctx.codec);
-    auto cursor = fact.OpenCursor(ctx.partitions);
-    const char* tuple;
-    while ((tuple = cursor->Next()) != nullptr) process(tuple, sink);
-    return sink.Finish(ctx, q);
-  }
-
-  // Morsel-driven parallel scan: page-range morsels of the (pruned)
-  // partitions, one thread-local Sink per worker, merged in worker order.
-  // The dimension hash tables are read-only during the probe phase.
-  const std::vector<RowTable::ScanMorsel> morsels =
-      fact.MakeScanMorsels(ctx.partitions, util::kPageMorsel);
-  struct WorkerState {
-    std::unique_ptr<Sink> sink;
-    Status status = Status::OK();
-  };
-  std::vector<WorkerState> workers(num_threads);
-  util::ParallelFor(
-      morsels.size(), 1, num_threads,
-      [&](unsigned worker, uint64_t begin, uint64_t end) {
-        WorkerState& state = workers[worker];
-        if (state.sink == nullptr) {
-          state.sink = std::make_unique<Sink>(ctx, q);
-          state.sink->SetPacker(&ctx.codec);
-        }
-        for (uint64_t m = begin; m < end && state.status.ok(); ++m) {
-          state.status = fact.ScanMorselRecords(
-              morsels[m],
-              [&](const char* tuple) { process(tuple, *state.sink); });
-        }
-      });
-  Sink sink(ctx, q);
-  sink.SetPacker(&ctx.codec);
-  for (WorkerState& state : workers) {
-    CSTORE_RETURN_IF_ERROR(state.status);
-    if (state.sink != nullptr) sink.MergeFrom(*state.sink);
-  }
-  return sink.Finish(ctx, q);
+  return SinkScan(fact, ctx.partitions, ctx, q, num_threads, process);
 }
 
 // ---------------------------------------------------------------------------
@@ -427,7 +496,8 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
 
 Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
                                         const StarQuery& q,
-                                        const RowContext& ctx) {
+                                        const RowContext& ctx,
+                                        unsigned num_threads) {
   const RowTable& fact = db.lineorder();
   const TupleLayout& layout = fact.layout();
   CSTORE_ASSIGN_OR_RETURN(FactFields ff,
@@ -452,14 +522,54 @@ Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
 
   // One pass over the (pruned) fact partitions per dimension predicate,
   // probing the filtered dimension and setting bits by stored record-id.
-  for (const auto& [side, field] : ff.probes) {
+  // Parallel: morsel workers set bits in private bitmaps, OR-merged after
+  // the pass — record-ids are unique and OR is commutative, so the merged
+  // bitmap equals the serial pass for any thread count.
+  for (const auto& [side_, field_] : ff.probes) {
+    const DimSide* side = side_;
+    const size_t field = field_;
     if (!side->has_predicate) continue;
     util::BitVector bits(n);
-    auto cursor = fact.OpenCursor(ctx.partitions);
-    const char* tuple;
-    while ((tuple = cursor->Next()) != nullptr) {
-      if (side->map.Contains(layout.GetIntegral(tuple, field))) {
-        bits.Set(layout.GetRecordId(tuple));
+    if (num_threads <= 1) {
+      auto cursor = fact.OpenCursor(ctx.partitions);
+      const char* tuple;
+      while ((tuple = cursor->Next()) != nullptr) {
+        if (side->map.Contains(layout.GetIntegral(tuple, field))) {
+          bits.Set(layout.GetRecordId(tuple));
+        }
+      }
+    } else {
+      const std::vector<RowTable::ScanMorsel> morsels =
+          fact.MakeScanMorsels(ctx.partitions, util::kPageMorsel);
+      struct WorkerState {
+        util::BitVector bits;
+        Status status = Status::OK();
+        bool used = false;
+      };
+      std::vector<WorkerState> workers(num_threads);
+      util::ParallelFor(
+          morsels.size(), 1, num_threads,
+          [&](unsigned worker, uint64_t begin, uint64_t end) {
+            WorkerState& state = workers[worker];
+            if (!state.used) {
+              // Full-size (not windowed): record-ids were assigned in append
+              // order across year partitions, so one partition morsel's rids
+              // interleave over the whole table.
+              state.bits = util::BitVector(n);
+              state.used = true;
+            }
+            for (uint64_t m = begin; m < end && state.status.ok(); ++m) {
+              state.status = fact.ScanMorselRecords(
+                  morsels[m], [&](const char* tuple) {
+                    if (side->map.Contains(layout.GetIntegral(tuple, field))) {
+                      state.bits.Set(layout.GetRecordId(tuple));
+                    }
+                  });
+            }
+          });
+      for (WorkerState& state : workers) {
+        CSTORE_RETURN_IF_ERROR(state.status);
+        if (state.used) bits.Or(state.bits);
       }
     }
     merge(std::move(bits));
@@ -467,12 +577,8 @@ Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
 
   // Fetch pass: re-scan, keep rows whose bit is set, finish joins for group
   // attributes, aggregate.
-  Sink sink(ctx, q);
-  sink.SetPacker(&ctx.codec);
-  auto cursor = fact.OpenCursor(ctx.partitions);
-  const char* tuple;
-  while ((tuple = cursor->Next()) != nullptr) {
-    if (!first && !selected.Get(layout.GetRecordId(tuple))) continue;
+  auto process = [&](const char* tuple, Sink& sink) {
+    if (!first && !selected.Get(layout.GetRecordId(tuple))) return;
     bool pass = true;
     for (const auto& [side, field] : ff.probes) {
       const uint32_t* payload = side->map.Find(layout.GetIntegral(tuple, field));
@@ -484,10 +590,10 @@ Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
         sink.raw()[side->group_slots[a]] = side->payload[a][*payload];
       }
     }
-    if (!pass) continue;
+    if (!pass) return;
     sink.Add(ComputeMeasure(ff, layout, tuple));
-  }
-  return sink.Finish(ctx, q);
+  };
+  return SinkScan(fact, ctx.partitions, ctx, q, num_threads, process);
 }
 
 // ---------------------------------------------------------------------------
@@ -504,7 +610,8 @@ struct VpResult {
 
 Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
                                                       const StarQuery& q,
-                                                      const RowContext& ctx) {
+                                                      const RowContext& ctx,
+                                                      unsigned num_threads) {
   VpResult result;
   result.group_cols.resize(q.group_by.size());
 
@@ -526,101 +633,126 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
               return a.side->map.size() < b.side->map.size();
             });
 
-  auto apply_dim = [&](const Probe& probe) -> Status {
-    const TupleLayout& layout = probe.vp->layout();
-    if (!result.initialized) {
-      // Materialize: scan the fk column, probe the dimension hash table.
-      auto cursor = probe.vp->OpenCursor();
-      const char* tuple;
-      while ((tuple = cursor->Next()) != nullptr) {
-        const uint32_t* payload =
-            probe.side->map.Find(layout.GetInt32(tuple, 1));
-        if (payload == nullptr) continue;
-        result.pos.push_back(
-            static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
-        for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
-          result.group_cols[probe.side->group_slots[a]].push_back(
-              probe.side->payload[a][*payload]);
-        }
-      }
-      result.initialized = true;
-      return Status::OK();
-    }
-    // Hash join on position: build pos -> payload from the fk column scan,
-    // then filter the current result.
-    util::IntMap pos_map(result.pos.size() * 2);
-    std::vector<uint32_t> payloads;
-    {
-      auto cursor = probe.vp->OpenCursor();
-      const char* tuple;
-      while ((tuple = cursor->Next()) != nullptr) {
-        const uint32_t* payload =
-            probe.side->map.Find(layout.GetInt32(tuple, 1));
-        if (payload == nullptr) continue;
-        pos_map.Insert(layout.GetInt32(tuple, 0),
-                       static_cast<uint32_t>(payloads.size()));
-        payloads.push_back(*payload);
-      }
-    }
+  // Filters the running result down to rows whose `keep` flag is set,
+  // optionally appending this probe's group codes (payload indices in
+  // `pidx`). The flags were computed morsel-parallel with disjoint writes;
+  // this compaction is a serial pass in position order, so the surviving
+  // rows match the serial plan exactly.
+  auto compact = [&](const std::vector<uint8_t>& keep,
+                     const std::vector<uint32_t>& pidx, const DimSide* side) {
     VpResult next;
     next.initialized = true;
     next.group_cols.resize(result.group_cols.size());
     for (size_t i = 0; i < result.pos.size(); ++i) {
-      const uint32_t* idx = pos_map.Find(result.pos[i]);
-      if (idx == nullptr) continue;
+      if (!keep[i]) continue;
       next.pos.push_back(result.pos[i]);
       for (size_t g = 0; g < result.group_cols.size(); ++g) {
         if (!result.group_cols[g].empty()) {
           next.group_cols[g].push_back(result.group_cols[g][i]);
         }
       }
-      const uint32_t payload = payloads[*idx];
-      for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
-        next.group_cols[probe.side->group_slots[a]].push_back(
-            probe.side->payload[a][payload]);
+      if (side != nullptr) {
+        for (size_t a = 0; a < side->group_slots.size(); ++a) {
+          next.group_cols[side->group_slots[a]].push_back(
+              side->payload[a][pidx[i]]);
+        }
       }
     }
     result = std::move(next);
+  };
+
+  auto apply_dim = [&](const Probe& probe) -> Status {
+    const TupleLayout& layout = probe.vp->layout();
+    // Scan the fk column probing the dimension hash table, collecting the
+    // matching (pos, payload) pairs — per-morsel chunks concatenated in
+    // morsel order, i.e. position order, as the serial cursor produced.
+    struct Hit {
+      uint32_t pos;
+      uint32_t payload;
+    };
+    CSTORE_ASSIGN_OR_RETURN(
+        std::vector<std::vector<Hit>> chunks,
+        (ScanIntoChunks<std::vector<Hit>>(
+            *probe.vp, num_threads,
+            [&](const char* tuple, std::vector<Hit>* chunk) {
+              const uint32_t* payload =
+                  probe.side->map.Find(layout.GetInt32(tuple, 1));
+              if (payload == nullptr) return;
+              chunk->push_back(
+                  Hit{static_cast<uint32_t>(layout.GetInt32(tuple, 0)),
+                      *payload});
+            })));
+    if (!result.initialized) {
+      // Materialize the position list directly from the chunks.
+      for (const auto& chunk : chunks) {
+        for (const Hit& h : chunk) {
+          result.pos.push_back(h.pos);
+          for (size_t a = 0; a < probe.side->group_slots.size(); ++a) {
+            result.group_cols[probe.side->group_slots[a]].push_back(
+                probe.side->payload[a][h.payload]);
+          }
+        }
+      }
+      result.initialized = true;
+      return Status::OK();
+    }
+    // Hash join on position: build pos -> payload from the scanned pairs,
+    // then filter the current result (probes morsel-parallel, disjoint
+    // per-row flag writes).
+    util::IntMap pos_map(result.pos.size() * 2);
+    std::vector<uint32_t> payloads;
+    for (const auto& chunk : chunks) {
+      for (const Hit& h : chunk) {
+        pos_map.Insert(h.pos, static_cast<uint32_t>(payloads.size()));
+        payloads.push_back(h.payload);
+      }
+    }
+    std::vector<uint8_t> keep(result.pos.size(), 0);
+    std::vector<uint32_t> pidx(result.pos.size(), 0);
+    util::ParallelFor(result.pos.size(), util::kRowMorsel, num_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          const uint32_t* idx = pos_map.Find(result.pos[i]);
+                          if (idx == nullptr) continue;
+                          keep[i] = 1;
+                          pidx[i] = payloads[*idx];
+                        }
+                      });
+    compact(keep, pidx, probe.side);
     return Status::OK();
   };
 
   auto apply_local = [&](const core::FactPredicate& fp) -> Status {
     const RowTable& vp = db.vp(fp.column);
     const TupleLayout& layout = vp.layout();
+    CSTORE_ASSIGN_OR_RETURN(
+        std::vector<std::vector<uint32_t>> chunks,
+        (ScanIntoChunks<std::vector<uint32_t>>(
+            vp, num_threads,
+            [&](const char* tuple, std::vector<uint32_t>* chunk) {
+              const int64_t v = layout.GetInt32(tuple, 1);
+              if (v < fp.lo || v > fp.hi) return;
+              chunk->push_back(static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
+            })));
     if (!result.initialized) {
-      auto cursor = vp.OpenCursor();
-      const char* tuple;
-      while ((tuple = cursor->Next()) != nullptr) {
-        const int64_t v = layout.GetInt32(tuple, 1);
-        if (v < fp.lo || v > fp.hi) continue;
-        result.pos.push_back(static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
+      for (const auto& chunk : chunks) {
+        result.pos.insert(result.pos.end(), chunk.begin(), chunk.end());
       }
       result.initialized = true;
       return Status::OK();
     }
     util::IntSet pos_set(result.pos.size() * 2);
-    {
-      auto cursor = vp.OpenCursor();
-      const char* tuple;
-      while ((tuple = cursor->Next()) != nullptr) {
-        const int64_t v = layout.GetInt32(tuple, 1);
-        if (v < fp.lo || v > fp.hi) continue;
-        pos_set.Insert(layout.GetInt32(tuple, 0));
-      }
+    for (const auto& chunk : chunks) {
+      for (uint32_t pos : chunk) pos_set.Insert(pos);
     }
-    VpResult next;
-    next.initialized = true;
-    next.group_cols.resize(result.group_cols.size());
-    for (size_t i = 0; i < result.pos.size(); ++i) {
-      if (!pos_set.Contains(result.pos[i])) continue;
-      next.pos.push_back(result.pos[i]);
-      for (size_t g = 0; g < result.group_cols.size(); ++g) {
-        if (!result.group_cols[g].empty()) {
-          next.group_cols[g].push_back(result.group_cols[g][i]);
-        }
-      }
-    }
-    result = std::move(next);
+    std::vector<uint8_t> keep(result.pos.size(), 0);
+    util::ParallelFor(result.pos.size(), util::kRowMorsel, num_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          keep[i] = pos_set.Contains(result.pos[i]) ? 1 : 0;
+                        }
+                      });
+    compact(keep, {}, nullptr);
     return Status::OK();
   };
 
@@ -632,27 +764,45 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
   }
 
   // Measure columns: "an additional hash join to pick up lo.revenue" —
-  // build pos -> value maps by scanning the measure column tables.
+  // build pos -> value maps by scanning the measure column tables, then
+  // gather at the surviving positions (morsel-parallel: each output slot is
+  // written by exactly one row, so the gather is positionally
+  // deterministic).
   auto fetch_measure = [&](const std::string& name,
                            std::vector<int64_t>* out) -> Status {
     const RowTable& vp = db.vp(name);
     const TupleLayout& layout = vp.layout();
+    struct PosValue {
+      uint32_t pos;
+      int32_t value;
+    };
+    CSTORE_ASSIGN_OR_RETURN(
+        std::vector<std::vector<PosValue>> chunks,
+        (ScanIntoChunks<std::vector<PosValue>>(
+            vp, num_threads,
+            [&](const char* tuple, std::vector<PosValue>* chunk) {
+              chunk->push_back(
+                  PosValue{static_cast<uint32_t>(layout.GetInt32(tuple, 0)),
+                           layout.GetInt32(tuple, 1)});
+            })));
     util::IntMap pos_map(vp.num_rows());
     std::vector<int64_t> values;
     values.reserve(vp.num_rows());
-    auto cursor = vp.OpenCursor();
-    const char* tuple;
-    while ((tuple = cursor->Next()) != nullptr) {
-      pos_map.Insert(layout.GetInt32(tuple, 0),
-                     static_cast<uint32_t>(values.size()));
-      values.push_back(layout.GetInt32(tuple, 1));
+    for (const auto& chunk : chunks) {
+      for (const PosValue& pv : chunk) {
+        pos_map.Insert(pv.pos, static_cast<uint32_t>(values.size()));
+        values.push_back(pv.value);
+      }
     }
-    out->reserve(result.pos.size());
-    for (uint32_t pos : result.pos) {
-      const uint32_t* idx = pos_map.Find(pos);
-      CSTORE_CHECK(idx != nullptr);
-      out->push_back(values[*idx]);
-    }
+    out->resize(result.pos.size());
+    util::ParallelFor(result.pos.size(), util::kRowMorsel, num_threads,
+                      [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          const uint32_t* idx = pos_map.Find(result.pos[i]);
+                          CSTORE_CHECK(idx != nullptr);
+                          (*out)[i] = values[*idx];
+                        }
+                      });
     return Status::OK();
   };
 
@@ -661,21 +811,17 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
   if (q.agg.kind != AggKind::kSumColumn) {
     std::vector<int64_t> b;
     CSTORE_RETURN_IF_ERROR(fetch_measure(q.agg.column_b, &b));
-    for (size_t i = 0; i < measure.size(); ++i) {
-      measure[i] = q.agg.kind == AggKind::kSumProduct ? measure[i] * b[i]
-                                                      : measure[i] - b[i];
-    }
+    core::CombineMeasures(&measure, b, q.agg.kind, num_threads);
   }
 
-  Sink sink(ctx, q);
-  sink.SetPacker(&ctx.codec);
-  for (size_t i = 0; i < measure.size(); ++i) {
-    for (size_t g = 0; g < q.group_by.size(); ++g) {
-      sink.raw()[g] = result.group_cols[g][i];
-    }
-    sink.Add(measure[i]);
-  }
-  return sink.Finish(ctx, q);
+  // Final aggregation over the assembled (group codes, measure) rows.
+  return SinkOverRows(measure.size(), ctx, q, num_threads,
+                      [&](uint64_t i, Sink& sink) {
+                        for (size_t g = 0; g < q.group_by.size(); ++g) {
+                          sink.raw()[g] = result.group_cols[g][i];
+                        }
+                        sink.Add(measure[i]);
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -684,7 +830,97 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
 
 Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
                                            const StarQuery& q,
-                                           const RowContext& ctx) {
+                                           const RowContext& ctx,
+                                           unsigned num_threads) {
+  // Leaf-ordinal bounds a tree pass must visit (the whole leaf level, or
+  // the LeafRangeFor window under a range predicate).
+  auto leaf_bounds = [](const index::BPlusTree& tree,
+                        const core::FactPredicate* pred)
+      -> Result<std::pair<storage::PageNumber, storage::PageNumber>> {
+    if (pred == nullptr) {
+      return std::pair<storage::PageNumber, storage::PageNumber>{
+          0, tree.num_leaves()};
+    }
+    return tree.LeafRangeFor(pred->lo, pred->hi);
+  };
+
+  // Morsel-parallel pass over those leaves: `fn(morsel, key, rid)` runs
+  // concurrently across leaf morsels, already filtered to the predicate.
+  // Bulk-loaded leaves are contiguous and in key order, so callers that
+  // fill per-morsel chunks and concatenate them in morsel order reproduce
+  // the serial ScanAll/ScanRange output exactly; callers that write
+  // disjoint rid-keyed slots need no ordering at all.
+  auto for_leaf_morsels = [&](const index::BPlusTree& tree,
+                              const core::FactPredicate* pred,
+                              storage::PageNumber first,
+                              storage::PageNumber end,
+                              const std::function<void(uint64_t, int64_t,
+                                                       uint32_t)>& fn)
+      -> Status {
+    const uint64_t num_morsels =
+        (end - first + util::kPageMorsel - 1) / util::kPageMorsel;
+    return util::ParallelForStatus(num_morsels, num_threads, [&](uint64_t m) {
+      const storage::PageNumber lo_leaf =
+          first + static_cast<storage::PageNumber>(m * util::kPageMorsel);
+      const storage::PageNumber hi_leaf = static_cast<storage::PageNumber>(
+          std::min<uint64_t>(end, lo_leaf + util::kPageMorsel));
+      return tree.ScanLeaves(lo_leaf, hi_leaf, [&](int64_t key, uint32_t rid) {
+        if (pred != nullptr && (key < pred->lo || key > pred->hi)) return;
+        fn(m, key, rid);
+      });
+    });
+  };
+
+  // Full (or range) index scan into (keys, rids), in key order.
+  auto index_scan = [&](const index::BPlusTree& tree,
+                        const core::FactPredicate* pred,
+                        std::vector<int64_t>* keys_out,
+                        std::vector<uint32_t>* rids_out) -> Status {
+    if (num_threads <= 1) {
+      auto collect = [&](int64_t key, uint32_t rid) {
+        keys_out->push_back(key);
+        rids_out->push_back(rid);
+      };
+      if (pred != nullptr) return tree.ScanRange(pred->lo, pred->hi, collect);
+      return tree.ScanAll(collect);
+    }
+    CSTORE_ASSIGN_OR_RETURN(auto bounds, leaf_bounds(tree, pred));
+    struct Chunk {
+      std::vector<int64_t> keys;
+      std::vector<uint32_t> rids;
+    };
+    std::vector<Chunk> chunks(
+        (bounds.second - bounds.first + util::kPageMorsel - 1) /
+        util::kPageMorsel);
+    CSTORE_RETURN_IF_ERROR(for_leaf_morsels(
+        tree, pred, bounds.first, bounds.second,
+        [&](uint64_t m, int64_t key, uint32_t rid) {
+          chunks[m].keys.push_back(key);
+          chunks[m].rids.push_back(rid);
+        }));
+    for (Chunk& c : chunks) {
+      keys_out->insert(keys_out->end(), c.keys.begin(), c.keys.end());
+      rids_out->insert(rids_out->end(), c.rids.begin(), c.rids.end());
+    }
+    return Status::OK();
+  };
+
+  // Index scan driving a concurrent per-entry callback whose writes land in
+  // disjoint slots (each rid appears at most once per tree).
+  auto index_probe = [&](const index::BPlusTree& tree,
+                         const core::FactPredicate* pred,
+                         const std::function<void(int64_t, uint32_t)>& fn)
+      -> Status {
+    if (num_threads <= 1) {
+      if (pred != nullptr) return tree.ScanRange(pred->lo, pred->hi, fn);
+      return tree.ScanAll(fn);
+    }
+    CSTORE_ASSIGN_OR_RETURN(auto bounds, leaf_bounds(tree, pred));
+    return for_leaf_morsels(
+        tree, pred, bounds.first, bounds.second,
+        [&](uint64_t, int64_t key, uint32_t rid) { fn(key, rid); });
+  };
+
   // Columns the plan must assemble, in schema order (fks + local preds +
   // measures). Each is read by a full (or range) index scan, then glued to
   // the running result with a record-id hash join.
@@ -718,49 +954,80 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
       // First column: materialize the (rid, value) list from the index scan
       // (output is in value order — i.e. rid-unsorted, as the paper notes).
       std::vector<int64_t> values;
-      auto collect = [&](int64_t key, uint32_t rid) {
-        rids.push_back(rid);
-        values.push_back(key);
-      };
-      if (preds[c] != nullptr) {
-        CSTORE_RETURN_IF_ERROR(
-            tree.ScanRange(preds[c]->lo, preds[c]->hi, collect));
-      } else {
-        CSTORE_RETURN_IF_ERROR(tree.ScanAll(collect));
-      }
+      CSTORE_RETURN_IF_ERROR(index_scan(tree, preds[c], &values, &rids));
       columns.push_back(std::move(values));
       initialized = true;
       continue;
     }
     // Record-id hash join between the running result and this index scan.
+    // The probe runs morsel-parallel: rids are unique per tree, so each
+    // (joined, hit) slot is written by at most one entry.
     util::IntMap rid_map(rids.size() * 2);
     for (size_t i = 0; i < rids.size(); ++i) {
       rid_map.Insert(rids[i], static_cast<uint32_t>(i));
     }
     std::vector<int64_t> joined(rids.size(), INT64_MIN);
     std::vector<uint8_t> hit(rids.size(), 0);
-    auto probe = [&](int64_t key, uint32_t rid) {
-      const uint32_t* idx = rid_map.Find(rid);
-      if (idx != nullptr) {
-        joined[*idx] = key;
-        hit[*idx] = 1;
-      }
-    };
-    if (preds[c] != nullptr) {
-      CSTORE_RETURN_IF_ERROR(tree.ScanRange(preds[c]->lo, preds[c]->hi, probe));
-    } else {
-      CSTORE_RETURN_IF_ERROR(tree.ScanAll(probe));
-    }
-    // Compact rows that found a partner.
+    CSTORE_RETURN_IF_ERROR(
+        index_probe(tree, preds[c], [&](int64_t key, uint32_t rid) {
+          const uint32_t* idx = rid_map.Find(rid);
+          if (idx != nullptr) {
+            joined[*idx] = key;
+            hit[*idx] = 1;
+          }
+        }));
+    // Compact rows that found a partner. Parallel: per-morsel hit counts fix
+    // every surviving row's output slot, so workers write disjoint ranges
+    // and the compacted order matches the serial pass.
+    const size_t rows = rids.size();
     std::vector<uint32_t> new_rids;
     std::vector<std::vector<int64_t>> new_columns(columns.size() + 1);
-    for (size_t i = 0; i < rids.size(); ++i) {
-      if (!hit[i]) continue;
-      new_rids.push_back(rids[i]);
-      for (size_t k = 0; k < columns.size(); ++k) {
-        new_columns[k].push_back(columns[k][i]);
+    if (num_threads <= 1) {
+      for (size_t i = 0; i < rows; ++i) {
+        if (!hit[i]) continue;
+        new_rids.push_back(rids[i]);
+        for (size_t k = 0; k < columns.size(); ++k) {
+          new_columns[k].push_back(columns[k][i]);
+        }
+        new_columns[columns.size()].push_back(joined[i]);
       }
-      new_columns[columns.size()].push_back(joined[i]);
+    } else {
+      const uint64_t num_morsels =
+          (rows + util::kRowMorsel - 1) / util::kRowMorsel;
+      std::vector<uint64_t> offsets(num_morsels + 1, 0);
+      util::ParallelFor(num_morsels, 1, num_threads,
+                        [&](unsigned, uint64_t begin_m, uint64_t end_m) {
+                          for (uint64_t m = begin_m; m < end_m; ++m) {
+                            const uint64_t lo = m * util::kRowMorsel;
+                            const uint64_t hi =
+                                std::min<uint64_t>(rows, lo + util::kRowMorsel);
+                            uint64_t count = 0;
+                            for (uint64_t i = lo; i < hi; ++i) count += hit[i];
+                            offsets[m + 1] = count;
+                          }
+                        });
+      for (uint64_t m = 0; m < num_morsels; ++m) offsets[m + 1] += offsets[m];
+      new_rids.resize(offsets[num_morsels]);
+      for (auto& col : new_columns) col.resize(offsets[num_morsels]);
+      util::ParallelFor(
+          num_morsels, 1, num_threads,
+          [&](unsigned, uint64_t begin_m, uint64_t end_m) {
+            for (uint64_t m = begin_m; m < end_m; ++m) {
+              const uint64_t lo = m * util::kRowMorsel;
+              const uint64_t hi =
+                  std::min<uint64_t>(rows, lo + util::kRowMorsel);
+              uint64_t at = offsets[m];
+              for (uint64_t i = lo; i < hi; ++i) {
+                if (!hit[i]) continue;
+                new_rids[at] = rids[i];
+                for (size_t k = 0; k < columns.size(); ++k) {
+                  new_columns[k][at] = columns[k][i];
+                }
+                new_columns[columns.size()][at] = joined[i];
+                ++at;
+              }
+            }
+          });
     }
     rids = std::move(new_rids);
     columns = std::move(new_columns);
@@ -774,9 +1041,8 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
     return columns[0];
   };
 
-  // Dimension filtering + aggregation over the assembled rows.
-  Sink sink(ctx, q);
-  sink.SetPacker(&ctx.codec);
+  // Dimension filtering + aggregation over the assembled rows:
+  // thread-local sinks over row morsels, merged in worker order.
   std::vector<const std::vector<int64_t>*> probe_cols;
   std::vector<const DimSide*> order = ProbeOrder(ctx);
   for (const DimSide* side : order) {
@@ -786,7 +1052,7 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
   const std::vector<int64_t>* b =
       q.agg.kind == AggKind::kSumColumn ? nullptr : &column_of(q.agg.column_b);
 
-  for (size_t i = 0; i < rids.size(); ++i) {
+  auto process_row = [&](uint64_t i, Sink& sink) {
     bool pass = true;
     for (size_t s = 0; s < order.size(); ++s) {
       const uint32_t* payload = order[s]->map.Find((*probe_cols[s])[i]);
@@ -798,13 +1064,14 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
         sink.raw()[order[s]->group_slots[x]] = order[s]->payload[x][*payload];
       }
     }
-    if (!pass) continue;
+    if (!pass) return;
     int64_t measure = a[i];
     if (q.agg.kind == AggKind::kSumProduct) measure *= (*b)[i];
     if (q.agg.kind == AggKind::kSumDiff) measure -= (*b)[i];
     sink.Add(measure);
-  }
-  return sink.Finish(ctx, q);
+  };
+
+  return SinkOverRows(rids.size(), ctx, q, num_threads, process_row);
 }
 
 }  // namespace
@@ -834,13 +1101,13 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
     case RowDesign::kTraditional:
       return ExecutePipelined(db, query, db.lineorder(), ctx, num_threads);
     case RowDesign::kTraditionalBitmap:
-      return ExecuteBitmap(db, query, ctx);
+      return ExecuteBitmap(db, query, ctx, num_threads);
     case RowDesign::kMaterializedViews:
       return ExecutePipelined(db, query, db.mv(query.id), ctx, num_threads);
     case RowDesign::kVerticalPartitioning:
-      return ExecuteVerticalPartitioning(db, query, ctx);
+      return ExecuteVerticalPartitioning(db, query, ctx, num_threads);
     case RowDesign::kIndexOnly:
-      return ExecuteIndexOnly(db, query, ctx);
+      return ExecuteIndexOnly(db, query, ctx, num_threads);
   }
   return Status::InvalidArgument("unknown row design");
 }

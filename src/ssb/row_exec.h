@@ -38,11 +38,13 @@ std::string_view RowDesignName(RowDesign design);
 /// Executes `query` against `db` using the given physical design. The
 /// database must have been built with the options the design requires.
 ///
-/// `num_threads` > 1 runs the fact-table scan of the pipelined designs
-/// (kTraditional, kMaterializedViews) over page-range morsels with
-/// thread-local aggregation state, merged deterministically; results are
-/// byte-identical to the serial plan. The other designs (bitmap, VP,
-/// index-only — the paper's deliberately inferior plans) always run serial.
+/// `num_threads` > 1 morselizes every design's fact-table passes: the
+/// pipelined scans (kTraditional, kMaterializedViews), the bitmap plan's
+/// join and fetch passes, the VP plan's column-table scans, probes, and
+/// measure gathers, and the index-only plan's leaf scans, rid-join probes,
+/// and compactions. Thread-local partial state merges in worker order (or
+/// per-morsel chunks concatenate in morsel order), so every design's
+/// results are byte-identical to its serial plan at any thread count.
 /// Default 1 = the paper's single-core System X behavior.
 Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,

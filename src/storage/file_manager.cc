@@ -21,18 +21,34 @@ void SpinFor(double seconds) {
 }  // namespace
 
 FileId FileManager::CreateFile(std::string name) {
-  files_.push_back(File{std::move(name), {}});
-  return static_cast<FileId>(files_.size() - 1);
+  std::lock_guard<std::mutex> lock(files_mu_);
+  files_.emplace_back(std::move(name));
+  const auto id = static_cast<FileId>(files_.size() - 1);
+  num_files_.store(files_.size(), std::memory_order_release);
+  return id;
 }
 
-PageNumber FileManager::AllocatePage(FileId file) {
-  CSTORE_CHECK(file < files_.size());
+PageNumber FileManager::AllocatePage(FileId file_id) {
+  File& f = file(file_id);
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
-  files_[file].pages.push_back(std::move(page));
+  PageNumber pn;
+  {
+    std::lock_guard<std::mutex> lock(f.mu);
+    f.pages.push_back(std::move(page));
+    pn = static_cast<PageNumber>(f.pages.size() - 1);
+  }
   stats_.pages_written += 1;
   stats_.bytes_written += kPageSize;
-  return static_cast<PageNumber>(files_[file].pages.size() - 1);
+  return pn;
+}
+
+char* FileManager::PageData(PageId id) const {
+  if (id.file_id >= num_files()) return nullptr;
+  const File& f = files_[id.file_id];
+  std::lock_guard<std::mutex> lock(f.mu);
+  if (id.page_number >= f.pages.size()) return nullptr;
+  return f.pages[id.page_number].get();
 }
 
 Status FileManager::ReadPage(PageId id, char* out) const {
@@ -42,10 +58,11 @@ Status FileManager::ReadPage(PageId id, char* out) const {
 }
 
 Status FileManager::ReadPageNoDelay(PageId id, char* out) const {
-  if (!ValidPage(id)) {
+  const char* data = PageData(id);
+  if (data == nullptr) {
     return Status::NotFound("page does not exist");
   }
-  std::memcpy(out, files_[id.file_id].pages[id.page_number].get(), kPageSize);
+  std::memcpy(out, data, kPageSize);
   stats_.pages_read += 1;
   stats_.bytes_read += kPageSize;
   return Status::OK();
@@ -56,27 +73,28 @@ void FileManager::SimulateReadDelay() const {
 }
 
 Status FileManager::WritePage(PageId id, const char* data) {
-  if (!ValidPage(id)) {
+  char* dest = PageData(id);
+  if (dest == nullptr) {
     return Status::NotFound("page does not exist");
   }
-  std::memcpy(files_[id.file_id].pages[id.page_number].get(), data, kPageSize);
+  std::memcpy(dest, data, kPageSize);
   stats_.pages_written += 1;
   stats_.bytes_written += kPageSize;
   return Status::OK();
 }
 
-PageNumber FileManager::NumPages(FileId file) const {
-  CSTORE_CHECK(file < files_.size());
-  return static_cast<PageNumber>(files_[file].pages.size());
+PageNumber FileManager::NumPages(FileId file_id) const {
+  const File& f = file(file_id);
+  std::lock_guard<std::mutex> lock(f.mu);
+  return static_cast<PageNumber>(f.pages.size());
 }
 
 uint64_t FileManager::FileBytes(FileId file) const {
   return static_cast<uint64_t>(NumPages(file)) * kPageSize;
 }
 
-const std::string& FileManager::FileName(FileId file) const {
-  CSTORE_CHECK(file < files_.size());
-  return files_[file].name;
+const std::string& FileManager::FileName(FileId file_id) const {
+  return file(file_id).name;
 }
 
 }  // namespace cstore::storage

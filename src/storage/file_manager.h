@@ -3,9 +3,22 @@
 // Files are RAM-backed (DESIGN.md §5): a read or write here models a disk
 // transfer and is charged to IoStats. Cached access lives one layer up, in
 // the BufferPool, exactly as in a conventional DBMS storage manager.
+//
+// Concurrency contract: page reads, writes, and appends are thread-safe
+// across files and between readers of one file — a short per-file latch
+// orders page-directory growth (AllocatePage) against concurrent page
+// access, so a parallel load may append to many files at once while the
+// buffer pool writes back or reads pages of any of them. A single page has
+// at most one writer at a time (the buffer pool's latch or a load task's
+// exclusive ownership of its file provides this). CreateFile must not run
+// concurrently with page operations: parallel loads register every file up
+// front, then fan the encoding/append work out.
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,23 +79,42 @@ class FileManager {
   uint64_t FileBytes(FileId file) const;
 
   const std::string& FileName(FileId file) const;
-  size_t num_files() const { return files_.size(); }
+  size_t num_files() const {
+    return num_files_.load(std::memory_order_acquire);
+  }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
  private:
   struct File {
+    explicit File(std::string n) : name(std::move(n)) {}
     std::string name;
+    /// Latch over the page directory (`pages` growth vs indexing); the page
+    /// buffers themselves are stable once allocated, so bulk copies happen
+    /// outside it.
+    mutable std::mutex mu;
     std::vector<std::unique_ptr<char[]>> pages;
   };
 
-  bool ValidPage(PageId id) const {
-    return id.file_id < files_.size() &&
-           id.page_number < files_[id.file_id].pages.size();
+  const File& file(FileId id) const {
+    CSTORE_CHECK(id < num_files());
+    return files_[id];
+  }
+  File& file(FileId id) {
+    CSTORE_CHECK(id < num_files());
+    return files_[id];
   }
 
-  std::vector<File> files_;
+  /// Resolves a page to its (stable) buffer, or nullptr when out of range.
+  char* PageData(PageId id) const;
+
+  /// Guards files_ growth (CreateFile).
+  mutable std::mutex files_mu_;
+  /// Deque: growth never moves existing File objects, so readers holding a
+  /// FileId stay valid while new files are created.
+  std::deque<File> files_;
+  std::atomic<size_t> num_files_{0};
   mutable IoStats stats_;
   double read_seconds_per_page_ = 0.0;
 };

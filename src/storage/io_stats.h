@@ -7,25 +7,45 @@
 // arguments (e.g. VP reads ~4x the bytes per column) remain checkable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace cstore::storage {
 
-/// Monotonic counters of simulated device traffic.
+/// Monotonic counters of simulated device traffic. The counters are relaxed
+/// atomics so concurrent morsel workers and parallel loads can charge I/O
+/// without a lock; copies (snapshots for before/after diffing) are plain
+/// values taken field by field.
 struct IoStats {
-  uint64_t pages_read = 0;
-  uint64_t pages_written = 0;
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
 
-  uint64_t bytes_read = 0;
-  uint64_t bytes_written = 0;
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  IoStats() = default;
+  IoStats(const IoStats& other)
+      : pages_read(other.pages_read.load(std::memory_order_relaxed)),
+        pages_written(other.pages_written.load(std::memory_order_relaxed)),
+        bytes_read(other.bytes_read.load(std::memory_order_relaxed)),
+        bytes_written(other.bytes_written.load(std::memory_order_relaxed)) {}
+  IoStats& operator=(const IoStats& other) {
+    pages_read = other.pages_read.load(std::memory_order_relaxed);
+    pages_written = other.pages_written.load(std::memory_order_relaxed);
+    bytes_read = other.bytes_read.load(std::memory_order_relaxed);
+    bytes_written = other.bytes_written.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = IoStats{}; }
 
   IoStats operator-(const IoStats& other) const {
-    return IoStats{pages_read - other.pages_read,
-                   pages_written - other.pages_written,
-                   bytes_read - other.bytes_read,
-                   bytes_written - other.bytes_written};
+    IoStats d;
+    d.pages_read = pages_read - other.pages_read;
+    d.pages_written = pages_written - other.pages_written;
+    d.bytes_read = bytes_read - other.bytes_read;
+    d.bytes_written = bytes_written - other.bytes_written;
+    return d;
   }
 };
 

@@ -7,7 +7,7 @@ void BitVector::SetRange(size_t begin, size_t end) {
   for (size_t i = begin; i < end && (i & 63) != 0; ++i) Set(i);
   size_t i = (begin + 63) & ~size_t{63};
   if (i < begin) i = begin;  // begin already word-aligned
-  for (; i + 64 <= end; i += 64) words_[i >> 6] = ~0ULL;
+  for (; i + 64 <= end; i += 64) words_[(i >> 6) - word_offset_] = ~0ULL;
   for (; i < end; ++i) Set(i);
 }
 
@@ -18,32 +18,43 @@ size_t BitVector::Count() const {
 }
 
 size_t BitVector::CountWords(size_t word_begin, size_t word_end) const {
-  CSTORE_DCHECK(word_begin <= word_end && word_end <= words_.size());
+  CSTORE_DCHECK(word_begin >= word_offset_ && word_begin <= word_end &&
+                word_end <= this->word_end());
   size_t n = 0;
   for (size_t w = word_begin; w < word_end; ++w) {
-    n += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    n += static_cast<size_t>(__builtin_popcountll(words_[w - word_offset_]));
   }
   return n;
 }
 
 void BitVector::And(const BitVector& other) {
-  CSTORE_CHECK(num_bits_ == other.num_bits_);
+  CSTORE_CHECK(num_bits_ == other.num_bits_ &&
+               word_offset_ == other.word_offset_ &&
+               words_.size() == other.words_.size());
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 
 void BitVector::Or(const BitVector& other) {
-  CSTORE_CHECK(num_bits_ == other.num_bits_);
+  CSTORE_CHECK(num_bits_ == other.num_bits_ &&
+               word_offset_ == other.word_offset_ &&
+               words_.size() == other.words_.size());
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
 void BitVector::OrWords(const BitVector& other, size_t word_begin,
                         size_t word_end) {
   CSTORE_CHECK(num_bits_ == other.num_bits_);
-  CSTORE_DCHECK(word_begin <= word_end && word_end <= words_.size());
-  for (size_t i = word_begin; i < word_end; ++i) words_[i] |= other.words_[i];
+  CSTORE_DCHECK(word_begin <= word_end);
+  CSTORE_DCHECK(word_begin >= word_offset_ && word_end <= this->word_end());
+  CSTORE_DCHECK(word_begin >= other.word_offset_ &&
+                word_end <= other.word_end());
+  for (size_t i = word_begin; i < word_end; ++i) {
+    words_[i - word_offset_] |= other.words_[i - other.word_offset_];
+  }
 }
 
 void BitVector::Not() {
+  CSTORE_CHECK(word_offset_ == 0 && words_.size() == num_words());
   for (auto& w : words_) w = ~w;
   // Clear the padding bits beyond num_bits_ so Count() stays correct.
   const size_t tail = num_bits_ & 63;

@@ -3,6 +3,13 @@
 // Position lists in the paper are "a simple array, a bit string ... or a set
 // of ranges" (§5.2); this is the bit-string representation, with the bulk
 // bitwise AND/OR the paper uses to intersect predicate results.
+//
+// A BitVector may be *windowed*: logically `size()` bits wide but physically
+// backed only for the word range [word_begin(), word_end()). Morsel workers
+// of a parallel scan know which rows their page range covers before
+// scanning, so they allocate (and zero) just that window instead of a
+// full-size bitmap, and the merge ORs only backed words. All bit positions
+// stay absolute; unbacked bits are zero by definition and must not be Set.
 #pragma once
 
 #include <cstdint>
@@ -17,40 +24,63 @@ namespace cstore::util {
 class BitVector {
  public:
   BitVector() = default;
-  /// All-zero vector of `n` bits.
-  explicit BitVector(size_t n) : num_bits_(n), words_((n + 63) / 64, 0) {}
+  /// All-zero vector of `n` bits, fully backed.
+  explicit BitVector(size_t n)
+      : num_bits_(n), words_((n + 63) / 64, 0) {}
+  /// All-zero vector of `n` bits backed only for the 64-bit words
+  /// [word_begin, word_end) — an offset-windowed allocation.
+  BitVector(size_t n, size_t word_begin, size_t word_end)
+      : num_bits_(n), word_offset_(word_begin), words_(word_end - word_begin, 0) {
+    CSTORE_DCHECK(word_begin <= word_end && word_end <= (n + 63) / 64);
+  }
 
   size_t size() const { return num_bits_; }
 
   void Set(size_t i) {
     CSTORE_DCHECK(i < num_bits_);
-    words_[i >> 6] |= (1ULL << (i & 63));
+    CSTORE_DCHECK((i >> 6) >= word_offset_ &&
+                  (i >> 6) - word_offset_ < words_.size());
+    words_[(i >> 6) - word_offset_] |= (1ULL << (i & 63));
   }
   void Clear(size_t i) {
     CSTORE_DCHECK(i < num_bits_);
-    words_[i >> 6] &= ~(1ULL << (i & 63));
+    words_[(i >> 6) - word_offset_] &= ~(1ULL << (i & 63));
   }
   bool Get(size_t i) const {
     CSTORE_DCHECK(i < num_bits_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    const size_t w = i >> 6;
+    if (w < word_offset_ || w - word_offset_ >= words_.size()) return false;
+    return (words_[w - word_offset_] >> (i & 63)) & 1;
   }
 
-  /// Sets all bits in [begin, end).
+  /// Sets all bits in [begin, end) (must lie within the backed window).
   void SetRange(size_t begin, size_t end);
+
+  /// Extends the backed window rightward to cover words up to `word_end`.
+  /// New words are zero. Morsel workers call this when a later morsel's
+  /// window exceeds the one they allocated for (morsel indices from the
+  /// shared counter only increase, so windows only ever grow right).
+  void ExtendWindow(size_t word_end) {
+    CSTORE_DCHECK(word_end <= (num_bits_ + 63) / 64);
+    if (word_end > word_offset_ + words_.size()) {
+      words_.resize(word_end - word_offset_, 0);
+    }
+  }
 
   /// Number of set bits.
   size_t Count() const;
 
-  /// this &= other (sizes must match) — bitmap intersection.
+  /// this &= other (sizes and windows must match) — bitmap intersection.
   void And(const BitVector& other);
-  /// this |= other (sizes must match).
+  /// this |= other (sizes and windows must match).
   void Or(const BitVector& other);
-  /// Or restricted to the words [word_begin, word_end): merges only a
-  /// touched-word window of `other` instead of the whole vector. Parallel
+  /// Or restricted to the (absolute) words [word_begin, word_end): merges
+  /// only a touched-word window of `other` instead of the whole vector.
+  /// `other` may be windowed; this vector must back the range. Parallel
   /// scans use this so merge traffic scales with the morsels a worker
   /// actually scanned, not with column size.
   void OrWords(const BitVector& other, size_t word_begin, size_t word_end);
-  /// Flips every bit.
+  /// Flips every bit (fully backed vectors only).
   void Not();
 
   /// Appends the positions of all set bits to `out`.
@@ -59,16 +89,18 @@ class BitVector {
   /// Calls fn(position) for every set bit, in increasing order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {
-    ForEachSetInWords(0, words_.size(), std::forward<Fn>(fn));
+    ForEachSetInWords(word_offset_, word_offset_ + words_.size(),
+                      std::forward<Fn>(fn));
   }
 
-  /// ForEachSet restricted to the 64-bit words [word_begin, word_end) —
-  /// i.e. bit positions [word_begin*64, word_end*64). Parallel gathers
-  /// split a bitmap into word-aligned morsels with this.
+  /// ForEachSet restricted to the (absolute) 64-bit words
+  /// [word_begin, word_end) — i.e. bit positions
+  /// [word_begin*64, word_end*64). Parallel gathers split a bitmap into
+  /// word-aligned morsels with this.
   template <typename Fn>
   void ForEachSetInWords(size_t word_begin, size_t word_end, Fn&& fn) const {
     for (size_t w = word_begin; w < word_end; ++w) {
-      uint64_t word = words_[w];
+      uint64_t word = words_[w - word_offset_];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(static_cast<uint32_t>((w << 6) + bit));
@@ -77,16 +109,25 @@ class BitVector {
     }
   }
 
-  /// Number of 64-bit words backing the vector.
-  size_t num_words() const { return words_.size(); }
+  /// Total number of 64-bit words a fully backed vector of this size spans.
+  size_t num_words() const { return (num_bits_ + 63) / 64; }
+  /// First backed word (0 for fully backed vectors).
+  size_t word_begin() const { return word_offset_; }
+  /// One past the last backed word.
+  size_t word_end() const { return word_offset_ + words_.size(); }
 
-  /// Number of set bits within the words [word_begin, word_end).
+  /// Number of set bits within the (absolute) words [word_begin, word_end).
   size_t CountWords(size_t word_begin, size_t word_end) const;
 
+  /// Representation equality: window offsets and backing words must match,
+  /// so a windowed worker bitmap never compares equal to a full-size vector
+  /// even when their logical bit contents agree. Compare full-size vectors
+  /// (or Count()/Get() probes) when logical equality is meant.
   bool operator==(const BitVector& other) const = default;
 
  private:
   size_t num_bits_ = 0;
+  size_t word_offset_ = 0;
   std::vector<uint64_t> words_;
 };
 

@@ -117,4 +117,22 @@ void ParallelFor(uint64_t total, uint64_t morsel_size, unsigned workers,
   shared.done.wait(lock, [&] { return shared.finished == helpers; });
 }
 
+Status ParallelForStatus(uint64_t total, unsigned workers,
+                         const std::function<Status(uint64_t)>& task) {
+  if (workers <= 1 || total < 2 || ThreadPool::OnWorkerThread()) {
+    for (uint64_t i = 0; i < total; ++i) {
+      CSTORE_RETURN_IF_ERROR(task(i));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(total, Status::OK());
+  ParallelFor(total, 1, workers, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) statuses[i] = task(i);
+  });
+  for (const Status& st : statuses) {
+    CSTORE_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
 }  // namespace cstore::util

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace cstore::util {
 
@@ -76,5 +77,15 @@ inline constexpr uint64_t kPageMorsel = 4;
 void ParallelFor(uint64_t total, uint64_t morsel_size, unsigned workers,
                  const std::function<void(unsigned worker, uint64_t begin,
                                           uint64_t end)>& body);
+
+/// ParallelFor over independent Status-returning tasks, one task per morsel:
+/// runs `task(i)` for every i in [0, total) on up to `workers` workers and
+/// returns the first non-OK status in task order (OK when all succeed).
+/// With workers <= 1 the tasks run inline in order, stopping at the first
+/// error — the exact serial loop. Parallel loaders, per-morsel chunk scans,
+/// and per-dimension phases all funnel through this so error propagation
+/// lives in one place.
+Status ParallelForStatus(uint64_t total, unsigned workers,
+                         const std::function<Status(uint64_t)>& task);
 
 }  // namespace cstore::util

@@ -97,11 +97,20 @@ TEST_F(ParallelDeterminismTest, DenormalizedQueriesIdenticalAcrossThreadCounts) 
 }
 
 TEST_F(ParallelDeterminismTest, RowDesignsIdenticalAcrossThreadCounts) {
+  // Every §4 physical design — including the paper's deliberately inferior
+  // bitmap, vertical-partitioning, and index-only plans — must answer
+  // byte-identically at any thread count, or thread sweeps would compare
+  // different answers across layouts.
   ssb::RowDbOptions options;
   options.materialized_views = true;
+  options.bitmap_indexes = true;
+  options.vertical_partitions = true;
+  options.all_indexes = true;
   auto row_db = ssb::RowDatabase::Build(*data_, options).ValueOrDie();
   for (const ssb::RowDesign design :
-       {ssb::RowDesign::kTraditional, ssb::RowDesign::kMaterializedViews}) {
+       {ssb::RowDesign::kTraditional, ssb::RowDesign::kMaterializedViews,
+        ssb::RowDesign::kTraditionalBitmap,
+        ssb::RowDesign::kVerticalPartitioning, ssb::RowDesign::kIndexOnly}) {
     for (const core::StarQuery& q : ssb::AllQueries()) {
       auto serial = ssb::ExecuteRowQuery(*row_db, q, design, 1);
       ASSERT_TRUE(serial.ok()) << q.id;
