@@ -17,6 +17,12 @@ Two modes:
    file every parallel series "X-pN" must hash-match its serial twin "X".
    Any mismatch exits 2.
 
+In both modes, per-client throughput series ("<mode>-cM-clientK", written by
+fig_throughput) are hard-checked against that file's single-client "serial"
+reference series: a concurrent client computing a different answer than the
+serial run is a correctness failure (exit 2), while queries/sec and timing
+diffs stay soft.
+
 Exit codes: 0 = ok (possibly with soft timing warnings), 1 = unusable
 inputs, 2 = result-hash mismatch (correctness).
 
@@ -68,6 +74,24 @@ def check_parallel_twins(series, label):
     return mismatches
 
 
+def check_client_twins(series, label):
+    """Within one file: every per-client throughput series
+    ('<mode>-cM-clientK') must hash-match the single-client 'serial'
+    reference series — concurrency must never change an answer."""
+    mismatches = []
+    serial = series.get("serial")
+    if serial is None:
+        return mismatches
+    for name, queries in sorted(series.items()):
+        if not re.fullmatch(r".+-c\d+-client\d+", name):
+            continue
+        for q, cell in sorted(queries.items()):
+            h, ht = cell_hash(cell), cell_hash(serial.get(q, {}))
+            if h is not None and ht is not None and h != ht:
+                mismatches.append((label, name, "serial", q, h, ht))
+    return mismatches
+
+
 def diff_hashes(path_a, path_b):
     a, b = load(path_a), load(path_b)
     if a.get("scale_factor") != b.get("scale_factor"):
@@ -88,6 +112,7 @@ def diff_hashes(path_a, path_b):
                 mismatches.append(("cross-file", name, name, q, ha, hb))
     for path, series in ((path_a, sa), (path_b, sb)):
         mismatches += check_parallel_twins(series, path)
+        mismatches += check_client_twins(series, path)
     if not compared:
         print("check_bench_regression: no comparable result hashes",
               file=sys.stderr)
@@ -98,8 +123,9 @@ def diff_hashes(path_a, path_b):
         for where, name, other, q, h1, h2 in mismatches:
             print(f"  [{where}] {name} vs {other} {q}: {h1} != {h2}")
         sys.exit(2)
-    print(f"OK: {compared} cross-file cells (plus parallel-vs-serial twins) "
-          f"hash-identical between {path_a} and {path_b}")
+    print(f"OK: {compared} cross-file cells (plus parallel-vs-serial and "
+          f"client-vs-serial twins) hash-identical between {path_a} and "
+          f"{path_b}")
     sys.exit(0)
 
 
@@ -162,6 +188,8 @@ def main():
                 regressions.append((name, q, ratio))
     hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
                         in check_parallel_twins(curr_series, args.current)]
+    hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
+                        in check_client_twins(curr_series, args.current)]
 
     if not compared:
         print("check_bench_regression: nothing to compare", file=sys.stderr)

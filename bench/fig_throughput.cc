@@ -1,0 +1,179 @@
+// Throughput under concurrent clients: private scans vs cooperative shared
+// scans (ExecConfig::shared_scans).
+//
+// The paper times one query at a time; this bench measures the regime the
+// ROADMAP's "millions of users" goal cares about: M client threads firing
+// the 13-query SSBM mix at one database, with a buffer pool deliberately
+// smaller than the working set (the paper's pool:data ratio) and the
+// simulated disk charging every miss. Private scans multiply pool pressure
+// by M — every client drags its own miss stream from page 0. With shared
+// scans each query attaches to the in-flight scan of its column, trails the
+// hot pages, and wraps around, so concurrent clients share fetches.
+//
+// The database is uncompressed (kNone): fact scans there actually walk
+// their pages (compressed flight-1 scans are mostly zone-map skips), which
+// is the I/O-bound case shared scans exist for.
+//
+// Determinism is enforced, not hoped for: every client's per-query result
+// hash is CHECKed against the serial single-client answer in-process, and
+// --json emits per-client series (<mode>-c<M>-client<k>) so
+// bench/check_bench_regression.py hard-fails CI on any divergence.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/shared_scan.h"
+#include "core/star_executor.h"
+#include "harness/runner.h"
+#include "harness/throughput.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+using namespace cstore;
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "Throughput — %u concurrent clients over the SSBM mix, SF=%.3g, "
+      "pool=%zu pages, disk=%g MB/s, %d round(s)/client\n",
+      args.clients, args.scale_factor, args.pool_pages, args.disk_mbps,
+      args.repetitions);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  auto db = ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone,
+                                       args.pool_pages)
+                .ValueOrDie();
+  db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
+  const core::StarSchema schema = db->Schema();
+
+  std::vector<std::string> ids;
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+
+  // ---- Serial reference: one client, private scans. Its hashes are the
+  // ground truth every concurrent client must reproduce exactly. ----
+  core::ExecConfig serial_cfg = core::ExecConfig::AllOn();
+  serial_cfg.num_threads = 1;
+  harness::SeriesResult serial;
+  serial.name = "serial";
+  CSTORE_CHECK(db->pool().Clear().ok());
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    uint64_t result_hash = 0;
+    harness::CellResult cell = harness::TimeCell(
+        [&] {
+          auto r = core::ExecuteStarQuery(schema, q, serial_cfg);
+          CSTORE_CHECK(r.ok());
+          result_hash = r.ValueOrDie().Hash();
+        },
+        args.repetitions, &db->files().stats());
+    cell.result_hash = result_hash;
+    serial.by_query[q.id] = cell;
+  }
+  std::fprintf(stderr, "  serial reference done (avg %.1f ms)\n",
+               serial.AverageSeconds() * 1e3);
+
+  // ---- The two volleys: same clients, same mix, scans private vs shared.
+  auto run_volley = [&](const std::string& mode,
+                        core::SharedScanManager* manager) {
+    CSTORE_CHECK(db->pool().Clear().ok());  // both modes start cold
+    core::ExecConfig cfg = core::ExecConfig::AllOn();
+    cfg.num_threads = 1;  // one core per client: throughput via concurrency
+    cfg.shared_scans = manager;
+    harness::ThroughputOptions options;
+    options.clients = args.clients;
+    options.rounds = args.repetitions;
+    harness::ThroughputResult result = harness::RunThroughput(
+        options, ids,
+        [&](unsigned, const std::string& id) {
+          auto r = core::ExecuteStarQuery(schema, ssb::QueryById(id), cfg);
+          CSTORE_CHECK(r.ok());
+          return r.ValueOrDie().Hash();
+        },
+        &db->files().stats());
+    // Hard determinism gate, in-process: every client, every query, the
+    // serial answer.
+    for (const harness::ClientResult& client : result.clients) {
+      for (const auto& [id, hash] : client.result_hashes) {
+        if (hash != serial.by_query[id].result_hash) {
+          std::fprintf(stderr,
+                       "FATAL: %s client %u query %s hash %016llx != serial "
+                       "%016llx\n",
+                       mode.c_str(), client.client, id.c_str(),
+                       static_cast<unsigned long long>(hash),
+                       static_cast<unsigned long long>(
+                           serial.by_query[id].result_hash));
+          std::abort();
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "  %s done: %.1f q/s, %llu pages read (%.1f pages/query)\n",
+                 mode.c_str(), result.queries_per_sec,
+                 static_cast<unsigned long long>(result.pages_read),
+                 result.pages_per_query);
+    return result;
+  };
+
+  const harness::ThroughputResult private_run = run_volley("private", nullptr);
+  core::SharedScanManager manager;
+  const harness::ThroughputResult shared_run = run_volley("shared", &manager);
+
+  // ---- Report. ----
+  const core::SharedScanManager::Stats mstats = manager.stats();
+  std::printf("\n%-10s %12s %14s %14s\n", "mode", "queries/s", "pages read",
+              "pages/query");
+  std::printf("%-10s %12.1f %14llu %14.1f\n", "private",
+              private_run.queries_per_sec,
+              static_cast<unsigned long long>(private_run.pages_read),
+              private_run.pages_per_query);
+  std::printf("%-10s %12.1f %14llu %14.1f\n", "shared",
+              shared_run.queries_per_sec,
+              static_cast<unsigned long long>(shared_run.pages_read),
+              shared_run.pages_per_query);
+  if (private_run.pages_read > 0) {
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(shared_run.pages_read) /
+                           static_cast<double>(private_run.pages_read));
+    std::printf(
+        "\nshared scans: %.1f%% fewer device pages, %.2fx queries/sec; "
+        "%llu attaches, %llu joined an in-flight scan\n",
+        saved, shared_run.queries_per_sec / private_run.queries_per_sec,
+        static_cast<unsigned long long>(mstats.attaches),
+        static_cast<unsigned long long>(mstats.attaches_in_flight));
+    // Only meaningful when the volley actually pressured the pool; a smoke
+    // run whose whole working set fits in frames has nothing to share.
+    if (args.clients > 1 && private_run.pages_per_query >= 1.0 &&
+        shared_run.pages_read >= private_run.pages_read) {
+      std::printf(
+          "WARNING: shared scans did not reduce pages read — no concurrent "
+          "overlap on this run?\n");
+    }
+  }
+
+  if (!args.json_path.empty()) {
+    std::vector<harness::SeriesResult> series = {serial};
+    auto add_clients = [&](const std::string& mode,
+                           const harness::ThroughputResult& run) {
+      for (const harness::ClientResult& client : run.clients) {
+        harness::SeriesResult s;
+        s.name = mode + "-c" + std::to_string(args.clients) + "-client" +
+                 std::to_string(client.client);
+        for (const std::string& id : ids) {
+          harness::CellResult cell;
+          cell.seconds = client.query_seconds.at(id);
+          cell.result_hash = client.result_hashes.at(id);
+          s.by_query[id] = cell;
+        }
+        series.push_back(std::move(s));
+      }
+    };
+    add_clients("private", private_run);
+    add_clients("shared", shared_run);
+    harness::WriteResultsJson(args.json_path, "fig_throughput", args, ids,
+                              series);
+  }
+  return 0;
+}

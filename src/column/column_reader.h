@@ -86,10 +86,59 @@ class ColumnReader {
   /// `visit(view, stats)`. Counts land in the scan telemetry.
   template <typename Decide, typename AllMatch, typename Visit>
   Status VisitPages(Decide&& decide, AllMatch&& all_match, Visit&& visit) {
+    return VisitRange(first_page_, end_page_, [](storage::PageNumber) {},
+                      decide, all_match, visit);
+  }
+
+  /// VisitPages in wrap-around order: pages [start, end) first, then
+  /// [first, start). This is the cooperative-scan visit order — a query
+  /// attaching to an in-flight scan of the same column consumes pages from
+  /// the shared cursor forward, then circles back for its missed prefix.
+  /// `advance(p)` runs before each page so the attachment can publish its
+  /// progress to later joiners. Sinks are position-addressed (bitmaps,
+  /// SetRange), so the result is identical to the in-order visit.
+  template <typename Advance, typename Decide, typename AllMatch,
+            typename Visit>
+  Status VisitPagesCircular(storage::PageNumber start, Advance&& advance,
+                            Decide&& decide, AllMatch&& all_match,
+                            Visit&& visit) {
+    if (start < first_page_ || start >= end_page_) start = first_page_;
+    CSTORE_RETURN_IF_ERROR(
+        VisitRange(start, end_page_, advance, decide, all_match, visit));
+    return VisitRange(first_page_, start, advance, decide, all_match, visit);
+  }
+
+  /// Ensures the page containing position `row` is loaded (jumping via the
+  /// page index — forward or backward) and returns the in-page value index.
+  uint32_t SeekToRow(uint64_t row);
+
+  /// Value at in-page index `i` of the current page, widened to int64
+  /// (integer encodings; RLE pages are decoded once per page).
+  int64_t IntAt(uint32_t i) const {
+    if (!scratch_.empty()) return scratch_[i];
+    return view_->ValueAt(i);
+  }
+
+  /// View of the page SeekToRow landed on (for char access).
+  const compress::PageView& view() const { return *view_; }
+
+  /// Decodes data page `p` into `out` (widened to int64). Returns the
+  /// number of values. Sequential consumers (BlockCursor) use this.
+  Result<uint32_t> DecodePage(storage::PageNumber p, std::vector<int64_t>* out);
+
+ private:
+  /// The page loop shared by VisitPages and VisitPagesCircular: visits
+  /// [from, to) in ascending order, calling `advance(p)` before each page.
+  template <typename Advance, typename Decide, typename AllMatch,
+            typename Visit>
+  Status VisitRange(storage::PageNumber from, storage::PageNumber to,
+                    Advance&& advance, Decide&& decide, AllMatch&& all_match,
+                    Visit&& visit) {
     const compress::PageIndex& pages = index();
     uint64_t skipped = 0, matched = 0, scanned = 0;
     Status status = Status::OK();
-    for (storage::PageNumber p = first_page_; p < end_page_; ++p) {
+    for (storage::PageNumber p = from; p < to; ++p) {
+      advance(p);
       const compress::PageStats& stats = pages.page(p);
       switch (decide(stats)) {
         case PageDecision::kSkip:
@@ -117,25 +166,6 @@ class ColumnReader {
     return status;
   }
 
-  /// Ensures the page containing position `row` is loaded (jumping via the
-  /// page index — forward or backward) and returns the in-page value index.
-  uint32_t SeekToRow(uint64_t row);
-
-  /// Value at in-page index `i` of the current page, widened to int64
-  /// (integer encodings; RLE pages are decoded once per page).
-  int64_t IntAt(uint32_t i) const {
-    if (!scratch_.empty()) return scratch_[i];
-    return view_->ValueAt(i);
-  }
-
-  /// View of the page SeekToRow landed on (for char access).
-  const compress::PageView& view() const { return *view_; }
-
-  /// Decodes data page `p` into `out` (widened to int64). Returns the
-  /// number of values. Sequential consumers (BlockCursor) use this.
-  Result<uint32_t> DecodePage(storage::PageNumber p, std::vector<int64_t>* out);
-
- private:
   void LoadPage(storage::PageNumber p);
 
   const StoredColumn* column_;

@@ -13,6 +13,8 @@
 
 namespace cstore::core {
 
+class SharedScanManager;
+
 /// Runtime execution switches for the column-store executor.
 struct ExecConfig {
   /// "t" when true: operators iterate over blocks/arrays; "T" when false:
@@ -29,6 +31,16 @@ struct ExecConfig {
   /// paper's single-core execution, running today's exact serial code paths.
   /// Results are byte-identical across thread counts.
   unsigned num_threads = 0;
+  /// Cooperative shared scans for concurrent clients: when non-null,
+  /// full-column fact-table scans attach to this manager's per-column scan
+  /// groups (core/shared_scan.h) — a query joining while another scans the
+  /// same column starts at the in-flight cursor and wraps around, sharing
+  /// page fetches through the buffer pool while keeping its own predicate,
+  /// zone-map decisions, and bitmap. Each attached scan runs serially
+  /// within its query (set num_threads = 1 per client); throughput under
+  /// many clients comes from the shared fetches. Answers are bit-identical
+  /// to private scans. Null (default) = every query scans privately.
+  SharedScanManager* shared_scans = nullptr;
 
   /// num_threads with the 0 default resolved against the hardware.
   unsigned ResolvedThreads() const {

@@ -232,23 +232,23 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
   return total;
 }
 
-}  // namespace
-
-Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
-                              const IntPredicate& pred, bool block_iteration,
-                              storage::PageNumber first_page,
-                              storage::PageNumber end_page,
-                              util::BitVector* out) {
+/// The predicate/sink logic of every integer scan, independent of visit
+/// order: `drive(decide, all_match, visit)` runs the page loop (in-order
+/// private range, or shared wrap-around). One body serves both, so the
+/// private and cooperative paths cannot drift apart.
+template <typename Driver>
+Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
+                             const IntPredicate& pred, bool block_iteration,
+                             util::BitVector* out, Driver&& drive) {
   CSTORE_CHECK(out->size() == column.num_values());
   if (!column.IsIntegerStored()) {
     return Status::InvalidArgument("integer scan over char column");
   }
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
 
-  col::ColumnReader reader(&column, first_page, end_page);
   uint64_t matches = 0;
   std::vector<int64_t> scratch;
-  CSTORE_RETURN_IF_ERROR(reader.VisitPages(
+  CSTORE_RETURN_IF_ERROR(drive(
       [&](const compress::PageStats& stats) { return DecideInt(pred, stats); },
       [&](const compress::PageStats& stats) {
         // Whole page matches: set the row range straight from the zone map —
@@ -263,27 +263,19 @@ Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
   return matches;
 }
 
-Result<uint64_t> ScanInt(const col::StoredColumn& column,
-                         const IntPredicate& pred, bool block_iteration,
-                         util::BitVector* out) {
-  return ScanIntPages(column, pred, block_iteration, 0, column.num_pages(),
-                      out);
-}
-
-Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
-                               const StrPredicate& pred, bool block_iteration,
-                               storage::PageNumber first_page,
-                               storage::PageNumber end_page,
-                               util::BitVector* out) {
+/// Same factoring for string scans over plain-char pages (always kVisit —
+/// char pages carry no value stats).
+template <typename Driver>
+Result<uint64_t> ScanCharWith(const col::StoredColumn& column,
+                              const StrPredicate& pred, bool block_iteration,
+                              util::BitVector* out, Driver&& drive) {
   CSTORE_CHECK(out->size() == column.num_values());
   if (column.info().encoding != compress::Encoding::kPlainChar) {
     return Status::InvalidArgument("string scan over non-char column");
   }
   const size_t width = column.info().char_width;
-  col::ColumnReader reader(&column, first_page, end_page);
   uint64_t matches = 0;
-  CSTORE_RETURN_IF_ERROR(reader.VisitPages(
-      // Char pages carry no value stats — every page must be inspected.
+  CSTORE_RETURN_IF_ERROR(drive(
       [](const compress::PageStats&) { return col::PageDecision::kVisit; },
       [](const compress::PageStats&) {},
       [&](const compress::PageView& view, const compress::PageStats& stats) {
@@ -302,6 +294,41 @@ Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
   return matches;
 }
 
+}  // namespace
+
+Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
+                              const IntPredicate& pred, bool block_iteration,
+                              storage::PageNumber first_page,
+                              storage::PageNumber end_page,
+                              util::BitVector* out) {
+  return ScanIntWith(
+      column, pred, block_iteration, out,
+      [&](auto&& decide, auto&& all_match, auto&& visit) {
+        col::ColumnReader reader(&column, first_page, end_page);
+        return reader.VisitPages(decide, all_match, visit);
+      });
+}
+
+Result<uint64_t> ScanInt(const col::StoredColumn& column,
+                         const IntPredicate& pred, bool block_iteration,
+                         util::BitVector* out) {
+  return ScanIntPages(column, pred, block_iteration, 0, column.num_pages(),
+                      out);
+}
+
+Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
+                               const StrPredicate& pred, bool block_iteration,
+                               storage::PageNumber first_page,
+                               storage::PageNumber end_page,
+                               util::BitVector* out) {
+  return ScanCharWith(
+      column, pred, block_iteration, out,
+      [&](auto&& decide, auto&& all_match, auto&& visit) {
+        col::ColumnReader reader(&column, first_page, end_page);
+        return reader.VisitPages(decide, all_match, visit);
+      });
+}
+
 Result<uint64_t> ScanChar(const col::StoredColumn& column,
                           const StrPredicate& pred, bool block_iteration,
                           util::BitVector* out) {
@@ -316,6 +343,52 @@ Result<uint64_t> ScanColumn(const col::StoredColumn& column,
     return ScanChar(column, pred.str_pred(), block_iteration, out);
   }
   return ScanInt(column, pred.int_pred(), block_iteration, out);
+}
+
+Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
+                               const IntPredicate& pred, bool block_iteration,
+                               SharedScanManager* shared,
+                               util::BitVector* out) {
+  // Same predicate/sink body as the private scan; only the driver differs —
+  // attach to the column's scan group and walk wrap-around from its cursor.
+  return ScanIntWith(
+      column, pred, block_iteration, out,
+      [&](auto&& decide, auto&& all_match, auto&& visit) {
+        SharedScanManager::Attachment attachment = shared->Attach(column);
+        col::ColumnReader reader(&column);
+        return reader.VisitPagesCircular(
+            attachment.start_page(),
+            [&](storage::PageNumber p) { attachment.Advance(p); }, decide,
+            all_match, visit);
+      });
+}
+
+Result<uint64_t> SharedScanChar(const col::StoredColumn& column,
+                                const StrPredicate& pred, bool block_iteration,
+                                SharedScanManager* shared,
+                                util::BitVector* out) {
+  return ScanCharWith(
+      column, pred, block_iteration, out,
+      [&](auto&& decide, auto&& all_match, auto&& visit) {
+        SharedScanManager::Attachment attachment = shared->Attach(column);
+        col::ColumnReader reader(&column);
+        return reader.VisitPagesCircular(
+            attachment.start_page(),
+            [&](storage::PageNumber p) { attachment.Advance(p); }, decide,
+            all_match, visit);
+      });
+}
+
+Result<uint64_t> SharedScanColumn(const col::StoredColumn& column,
+                                  const CompiledPredicate& pred,
+                                  bool block_iteration,
+                                  SharedScanManager* shared,
+                                  util::BitVector* out) {
+  if (pred.is_string()) {
+    return SharedScanChar(column, pred.str_pred(), block_iteration, shared,
+                          out);
+  }
+  return SharedScanInt(column, pred.int_pred(), block_iteration, shared, out);
 }
 
 Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
@@ -341,6 +414,17 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
       });
 }
 
+Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
+                                    const CompiledPredicate& pred,
+                                    bool block_iteration, unsigned num_threads,
+                                    SharedScanManager* shared,
+                                    util::BitVector* out) {
+  if (shared != nullptr) {
+    return SharedScanColumn(column, pred, block_iteration, shared, out);
+  }
+  return ParallelScanColumn(column, pred, block_iteration, num_threads, out);
+}
+
 Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
@@ -353,6 +437,17 @@ Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
           util::BitVector* bits) {
         return ScanIntPages(column, pred, block_iteration, first, end, bits);
       });
+}
+
+Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
+                                 const IntPredicate& pred,
+                                 bool block_iteration, unsigned num_threads,
+                                 SharedScanManager* shared,
+                                 util::BitVector* out) {
+  if (shared != nullptr) {
+    return SharedScanInt(column, pred, block_iteration, shared, out);
+  }
+  return ParallelScanInt(column, pred, block_iteration, num_threads, out);
 }
 
 }  // namespace cstore::core

@@ -16,6 +16,7 @@
 
 #include "column/stored_column.h"
 #include "core/predicate.h"
+#include "core/shared_scan.h"
 #include "util/bit_vector.h"
 
 namespace cstore::core {
@@ -53,6 +54,29 @@ Result<uint64_t> ScanColumn(const col::StoredColumn& column,
                             const CompiledPredicate& pred, bool block_iteration,
                             util::BitVector* out);
 
+/// ScanInt as a cooperative shared scan: attaches to `shared`'s group for
+/// this column and visits every page in wrap-around order from the group
+/// cursor (late joiners trail the in-flight scan's hot pages, then circle
+/// back for their missed prefix). The predicate, zone-map decisions, and
+/// bitmap are private to this call; only the visit order and page fetches
+/// are shared, so the bits are identical to ScanInt's.
+Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
+                               const IntPredicate& pred, bool block_iteration,
+                               SharedScanManager* shared, util::BitVector* out);
+
+/// SharedScanInt for a string predicate over an uncompressed char column.
+Result<uint64_t> SharedScanChar(const col::StoredColumn& column,
+                                const StrPredicate& pred, bool block_iteration,
+                                SharedScanManager* shared,
+                                util::BitVector* out);
+
+/// Shared-scan dispatch on the compiled predicate's flavour.
+Result<uint64_t> SharedScanColumn(const col::StoredColumn& column,
+                                  const CompiledPredicate& pred,
+                                  bool block_iteration,
+                                  SharedScanManager* shared,
+                                  util::BitVector* out);
+
 /// Morsel-driven parallel ScanColumn: page-range morsels are scanned into
 /// per-worker partial bitmaps which are OR-combined into `out` (all-zero on
 /// entry) in worker order, so the result is bit-identical to the serial
@@ -62,11 +86,31 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
                                     bool block_iteration, unsigned num_threads,
                                     util::BitVector* out);
 
+/// ParallelScanColumn behind the ExecConfig::shared_scans knob: with a
+/// manager the scan runs as one cooperative shared scan (serial within the
+/// query — under concurrent clients throughput comes from shared fetches
+/// across queries, not intra-query morsels); without one it is the plain
+/// morsel-parallel scan. Either way the bits are identical to the serial
+/// scan.
+Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
+                                    const CompiledPredicate& pred,
+                                    bool block_iteration, unsigned num_threads,
+                                    SharedScanManager* shared,
+                                    util::BitVector* out);
+
 /// ParallelScanColumn for a bare integer predicate (the rewritten fact
 /// predicates of the invisible join).
 Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
+                                 util::BitVector* out);
+
+/// ParallelScanInt behind the ExecConfig::shared_scans knob (see the
+/// ParallelScanColumn overload above).
+Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
+                                 const IntPredicate& pred,
+                                 bool block_iteration, unsigned num_threads,
+                                 SharedScanManager* shared,
                                  util::BitVector* out);
 
 }  // namespace cstore::core

@@ -1,0 +1,55 @@
+#include "core/shared_scan.h"
+
+namespace cstore::core {
+
+SharedScanManager::Attachment SharedScanManager::Attach(
+    const col::StoredColumn& column) {
+  const GroupKey key{column.pool(), column.info().file};
+  const storage::PageNumber num_pages = column.num_pages();
+  std::lock_guard<std::mutex> lock(mu_);
+  Attachment::Group& group = groups_[key];
+  attaches_++;
+  const bool in_flight = group.active > 0;
+  if (in_flight) attaches_in_flight_++;
+  group.active++;
+  if (num_pages == 0) {
+    // Degenerate empty column: nothing to scan, nothing to share.
+    return Attachment(this, &group, 1, 0, in_flight);
+  }
+  // Attach at the group cursor whether or not a scan is in flight: the
+  // cursor is where the most recent fetch activity happened, so all scans
+  // of a column cluster around one moving locus of the ring — which is
+  // exactly the band LRU keeps resident. (Restarting idle groups at page 0
+  // was measured worse: it abandons the resident band and, with several
+  // clients timesharing, scatters the attach positions.)
+  return Attachment(this, &group, num_pages,
+                    group.clock.load(std::memory_order_relaxed), in_flight);
+}
+
+SharedScanManager::Stats SharedScanManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{attaches_, attaches_in_flight_};
+}
+
+SharedScanManager::Attachment::~Attachment() {
+  std::lock_guard<std::mutex> lock(manager_->mu_);
+  group_->active--;
+}
+
+void SharedScanManager::Attachment::Advance(storage::PageNumber p) {
+  // Tick of page p on *this* attachment's circuit: its offset from the
+  // attach position, wrap-around.
+  const uint64_t offset =
+      (static_cast<uint64_t>(p) + num_pages_ - start_page_) % num_pages_;
+  const uint64_t tick = start_tick_ + offset;
+  // Atomic max: the clock tracks the most advanced fetch stream (a scan
+  // deep in its wrapped segment outranks an older scan's front, having
+  // started at that front and kept going); attachments behind it leave it
+  // alone, so joiners always land on live activity.
+  uint64_t cur = group_->clock.load(std::memory_order_relaxed);
+  while (cur < tick && !group_->clock.compare_exchange_weak(
+                           cur, tick, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace cstore::core

@@ -1,0 +1,129 @@
+// SharedScanManager: cooperative (shared) scans for concurrent clients.
+//
+// N concurrent queries that each scan the fact table privately multiply
+// buffer-pool pressure by N: every client starts at page 0, the clients
+// drift apart, and with a pool smaller than the working set each one drags
+// its own miss stream across the device. The cooperative-scan answer
+// (MonetDB/X100 style) is to let a query *attach* to an in-flight scan of
+// the same column: the late joiner starts at the scan group's current
+// cursor — right behind the front-runner, where the pages are still hot —
+// consumes pages forward from there, and wraps around at the end of the
+// column to cover the prefix it missed.
+//
+// The manager shares only the *visit order and page fetches* (via
+// buffer-pool hits); every attachment keeps its own predicate, zone-map
+// decisions (kSkip/kAllMatch are consulted per attachment), and bitmap
+// sink, so each query computes its exact private answer. Bitmap sinks are
+// position-addressed, which is what makes the wrap-around order safe: the
+// resulting bits are identical to an in-order private scan, bit for bit.
+//
+// Protocol: each column (keyed by its buffer pool + file id) has a scan
+// group with a monotonic clock of page ticks; page for tick t is
+// t % num_pages. An attachment starts at the group clock and owns ticks
+// [start, start + num_pages); as it advances it pushes the clock forward
+// (atomic max), so a joiner attaches wherever the most advanced scan
+// currently is — including inside a wrapped segment, where that scan is
+// re-walking early pages. Detaching never rewinds the clock: a scan that
+// starts after all others finished continues the circular sweep, like a
+// disk head that keeps rotating — every scan of a column clusters around
+// one moving ring locus, which is exactly the band LRU keeps resident.
+// (The alternative — restarting idle groups at page 0 — measured worse
+// under a concurrent mix: it abandons the resident band and scatters the
+// attach positions.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "column/stored_column.h"
+#include "common/macros.h"
+
+namespace cstore::core {
+
+class SharedScanManager {
+ public:
+  SharedScanManager() = default;
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(SharedScanManager);
+
+  /// Attachment of one query's scan to a column's scan group. RAII: detach
+  /// on destruction. Not movable — scans construct it in place and finish
+  /// within the enclosing scope.
+  class Attachment {
+   public:
+    ~Attachment();
+    CSTORE_DISALLOW_COPY_AND_ASSIGN(Attachment);
+
+    /// Page the attached scan must start at (the group cursor at attach
+    /// time; 0 on a fresh group). The scan covers all pages from here in
+    /// wrap-around order.
+    storage::PageNumber start_page() const { return start_page_; }
+
+    /// True when the attachment joined while another scan of the column was
+    /// in flight (the cooperative case).
+    bool joined_in_flight() const { return joined_in_flight_; }
+
+    /// Publishes that the scan is now processing page `p`, pushing the
+    /// group clock forward so late joiners attach here. Called once per
+    /// page, before the zone-map decision (skipped pages advance the clock
+    /// too — joiners would skip them as well or decide otherwise on their
+    /// own predicate).
+    void Advance(storage::PageNumber p);
+
+   private:
+    friend class SharedScanManager;
+    struct Group;
+    Attachment(SharedScanManager* manager, Group* group,
+               storage::PageNumber num_pages, uint64_t start_tick,
+               bool joined_in_flight)
+        : manager_(manager),
+          group_(group),
+          num_pages_(num_pages),
+          start_tick_(start_tick),
+          start_page_(
+              static_cast<storage::PageNumber>(start_tick % num_pages)),
+          joined_in_flight_(joined_in_flight) {}
+
+    SharedScanManager* manager_;
+    Group* group_;
+    storage::PageNumber num_pages_;
+    uint64_t start_tick_;
+    storage::PageNumber start_page_;
+    bool joined_in_flight_;
+  };
+
+  /// Attaches a scan of `column` to its group (created on first use).
+  /// Columns with no pages get a degenerate attachment starting at 0.
+  Attachment Attach(const col::StoredColumn& column);
+
+  /// Telemetry, monotonic over the manager's lifetime.
+  struct Stats {
+    uint64_t attaches = 0;           ///< total scans attached
+    uint64_t attaches_in_flight = 0; ///< of those, joined an active scan
+  };
+  Stats stats() const;
+
+ private:
+  /// Key: the buffer pool distinguishes databases, the file id the column.
+  using GroupKey = std::pair<const storage::BufferPool*, storage::FileId>;
+
+  /// Groups live for the manager's lifetime; pointers handed to attachments
+  /// stay valid (std::map nodes are stable).
+  mutable std::mutex mu_;
+  std::map<GroupKey, Attachment::Group> groups_;
+  uint64_t attaches_ = 0;
+  uint64_t attaches_in_flight_ = 0;
+};
+
+/// The per-column scan group. clock is advanced lock-free (atomic max) on
+/// the per-page hot path; attach/detach take the manager mutex.
+struct SharedScanManager::Attachment::Group {
+  /// Next tick the front-most attachment will consume; page = clock % pages.
+  std::atomic<uint64_t> clock{0};
+  /// Attachments currently scanning this column.
+  int active = 0;
+};
+
+}  // namespace cstore::core

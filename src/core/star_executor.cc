@@ -248,8 +248,8 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
                    const IntPredicate& pred) -> Status {
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
-        uint64_t m,
-        ParallelScanInt(column, pred, config.block_iteration, threads, &bits));
+        uint64_t m, ParallelScanInt(column, pred, config.block_iteration,
+                                    threads, config.shared_scans, &bits));
     (void)m;
     if (first) {
       selected = std::move(bits);

@@ -41,7 +41,7 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
         uint64_t m, ParallelScanColumn(column, pred, config.block_iteration,
-                                       threads, &bits));
+                                       threads, config.shared_scans, &bits));
     (void)m;
     if (first) {
       selected = std::move(bits);

@@ -119,6 +119,9 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
       if (args.threads == 0) args.threads = util::ThreadPool::HardwareThreads();
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      args.clients = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (args.clients == 0) args.clients = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
     }

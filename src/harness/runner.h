@@ -58,13 +58,15 @@ void PrintSpeedups(const std::string& title,
                    const SeriesResult& base, const SeriesResult& parallel);
 
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
-/// "--disk <MB/s>", "--threads <n>", "--json <path>" flags (very small
-/// helper).
+/// "--disk <MB/s>", "--threads <n>", "--clients <m>", "--json <path>" flags
+/// (very small helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
   /// Worker count for the parallel ("-pN") series; 0 = hardware threads.
   unsigned threads = 0;
+  /// Concurrent client threads for the throughput bench.
+  unsigned clients = 8;
   /// Buffer-pool pages per database. Deliberately smaller than a query's
   /// working set (the paper: "the amount of data read by each query exceeds
   /// the size of the buffer pool"), so warm runs still pay device reads.

@@ -1,0 +1,71 @@
+#include "harness/throughput.h"
+
+#include <thread>
+
+#include "common/macros.h"
+#include "util/stopwatch.h"
+
+namespace cstore::harness {
+
+ThroughputResult RunThroughput(
+    const ThroughputOptions& options,
+    const std::vector<std::string>& query_ids,
+    const std::function<uint64_t(unsigned client, const std::string& id)>&
+        run_query,
+    const storage::IoStats* stats) {
+  CSTORE_CHECK(options.clients > 0 && options.rounds > 0 &&
+               !query_ids.empty());
+  ThroughputResult result;
+  result.clients.resize(options.clients);
+
+  const storage::IoStats before =
+      stats != nullptr ? *stats : storage::IoStats{};
+  util::Stopwatch volley;
+
+  // Clients are plain OS threads, not pool workers: they model independent
+  // users, and each may itself use the pool via its query's ExecConfig.
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (unsigned c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& mine = result.clients[c];
+      mine.client = c;
+      util::Stopwatch client_watch;
+      const size_t n = query_ids.size();
+      const size_t offset = options.rotate_mix ? c % n : 0;
+      for (int round = 0; round < options.rounds; ++round) {
+        for (size_t i = 0; i < n; ++i) {
+          const std::string& id = query_ids[(offset + i) % n];
+          util::Stopwatch query_watch;
+          const uint64_t hash = run_query(c, id);
+          mine.query_seconds[id] += query_watch.ElapsedSeconds();
+          auto [it, inserted] = mine.result_hashes.emplace(id, hash);
+          // A client must get the same answer every round, concurrency or
+          // not — fail loudly right where it diverges.
+          CSTORE_CHECK(inserted || it->second == hash);
+        }
+      }
+      for (auto& [id, secs] : mine.query_seconds) {
+        secs /= options.rounds;
+      }
+      mine.seconds = client_watch.ElapsedSeconds();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds = volley.ElapsedSeconds();
+  result.queries_run = static_cast<uint64_t>(options.clients) *
+                       static_cast<uint64_t>(options.rounds) * query_ids.size();
+  result.queries_per_sec =
+      result.wall_seconds > 0 ? result.queries_run / result.wall_seconds : 0;
+  if (stats != nullptr) {
+    result.pages_read = (*stats - before).pages_read;
+  }
+  result.pages_per_query =
+      result.queries_run > 0
+          ? static_cast<double>(result.pages_read) / result.queries_run
+          : 0;
+  return result;
+}
+
+}  // namespace cstore::harness

@@ -1,0 +1,68 @@
+// ThroughputRunner: M concurrent clients firing a query mix at one database.
+//
+// The figure benches time one query at a time (the paper's protocol); this
+// runner measures the serving-many-users regime the ROADMAP targets instead:
+// every client is an OS thread looping over the query mix, and the headline
+// numbers are queries/sec and pages-read-per-query. Each client records a
+// result hash per query id, so callers (and CI) can enforce that concurrency
+// never changes an answer — determinism is checked, not hoped for.
+//
+// The runner is engine-agnostic: it drives a `run_query(client, id)`
+// callback and diffs IoStats/clock around the whole volley. The shared-scan
+// bench points the callback at ExecuteStarQuery with a per-mode
+// ExecConfig::shared_scans manager.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+
+namespace cstore::harness {
+
+struct ThroughputOptions {
+  /// Concurrent client threads.
+  unsigned clients = 8;
+  /// Times each client runs the whole mix.
+  int rounds = 1;
+  /// Client k starts the mix at offset k (and wraps), so different queries
+  /// are in flight at once — the adversarial case for shared infrastructure.
+  /// Every client still runs every query `rounds` times.
+  bool rotate_mix = true;
+};
+
+/// One client's outcome.
+struct ClientResult {
+  unsigned client = 0;
+  double seconds = 0;  ///< this client's wall time for all its queries
+  /// Query id -> QueryResult::Hash() (all rounds must agree; the runner
+  /// records the first and CHECK-fails if a later round diverges).
+  std::map<std::string, uint64_t> result_hashes;
+  /// Query id -> mean seconds per execution of that query on this client.
+  std::map<std::string, double> query_seconds;
+};
+
+struct ThroughputResult {
+  double wall_seconds = 0;
+  uint64_t queries_run = 0;
+  double queries_per_sec = 0;
+  uint64_t pages_read = 0;  ///< device pages read during the volley
+  double pages_per_query = 0;
+  std::vector<ClientResult> clients;
+};
+
+/// Runs the volley: `options.clients` threads, each executing the mix
+/// `options.rounds` times via `run_query(client, id)` (which returns the
+/// query's result hash). `stats` (optional) is diffed around the volley for
+/// the pages-read numbers. Blocks until every client finishes.
+ThroughputResult RunThroughput(
+    const ThroughputOptions& options,
+    const std::vector<std::string>& query_ids,
+    const std::function<uint64_t(unsigned client, const std::string& id)>&
+        run_query,
+    const storage::IoStats* stats);
+
+}  // namespace cstore::harness

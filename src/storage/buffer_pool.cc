@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <cstring>
+
 namespace cstore::storage {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -58,7 +60,13 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     misses_++;
     CSTORE_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
     Frame& f = frames_[frame];
-    CSTORE_RETURN_IF_ERROR(files_->ReadPageNoDelay(id, f.data.get()));
+    if (Status read = files_->ReadPageNoDelay(id, f.data.get()); !read.ok()) {
+      // The victim was already evicted (or came off the free list); without
+      // this the frame would leak and every failed read would permanently
+      // shrink the pool.
+      free_frames_.push_back(frame);
+      return read;
+    }
     f.page_id = id;
     f.used = true;
     f.dirty = false;
@@ -77,7 +85,22 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 Result<PageGuard> BufferPool::NewPage(FileId file, PageNumber* page_number) {
   const PageNumber pn = files_->AllocatePage(file);
   if (page_number != nullptr) *page_number = pn;
-  return FetchPage(PageId{file, pn});
+  // A freshly allocated page is zero-filled by contract, so zero a frame
+  // instead of fetching the device copy: no miss is counted, no device read
+  // is charged, and no simulated transfer is paid. Build phases allocate
+  // every data page this way, so their IoStats now show only genuine reads.
+  const PageId id{file, pn};
+  std::lock_guard<std::mutex> lock(mu_);
+  CSTORE_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.used = true;
+  f.dirty = false;
+  f.pin_count = 1;
+  f.in_lru = false;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, f.data.get());
 }
 
 Status BufferPool::FlushAll() {
@@ -137,7 +160,14 @@ Result<size_t> BufferPool::GetVictimFrame() {
   const size_t victim = lru_.front();
   lru_.pop_front();
   frames_[victim].in_lru = false;
-  CSTORE_RETURN_IF_ERROR(EvictFrame(victim));
+  if (Status evicted = EvictFrame(victim); !evicted.ok()) {
+    // Write-back failed: the frame still holds a valid cached page, so put
+    // it back where it was (front = still the eviction candidate) instead
+    // of leaking it.
+    frames_[victim].lru_pos = lru_.insert(lru_.begin(), victim);
+    frames_[victim].in_lru = true;
+    return evicted;
+  }
   return victim;
 }
 

@@ -59,7 +59,9 @@ class BufferPool {
   /// Pins the page, reading it from the FileManager on a miss.
   Result<PageGuard> FetchPage(PageId id);
 
-  /// Allocates a fresh page in `file` and pins it.
+  /// Allocates a fresh page in `file` and pins it. The frame is zero-filled
+  /// in place (a new page is zeroed by contract), so no device read, miss,
+  /// or simulated transfer is charged — allocation is not I/O.
   Result<PageGuard> NewPage(FileId file, PageNumber* page_number);
 
   /// Writes back every dirty page (used before size accounting).

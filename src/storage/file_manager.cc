@@ -2,19 +2,27 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace cstore::storage {
 
 namespace {
 
-/// Busy-waits for `seconds` (short, sub-millisecond waits; sleeping would
-/// overshoot by scheduler quanta).
+/// Waits out one simulated transfer. The waits are sub-millisecond, so
+/// sleeping would overshoot by scheduler quanta — but a thread stalled on a
+/// real disk read is *blocked*, not burning its core. Yielding inside the
+/// wait loop keeps the duration spin-accurate on an idle machine while
+/// surrendering the core whenever runnable peers exist, so concurrent
+/// clients overlap their stalls even with more clients than cores (before
+/// this, a pure busy-wait serialized "concurrent" transfers on small
+/// machines, starving the trailing clients of a shared scan).
 void SpinFor(double seconds) {
   using Clock = std::chrono::steady_clock;
   const auto until =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(seconds));
   while (Clock::now() < until) {
+    std::this_thread::yield();
   }
 }
 

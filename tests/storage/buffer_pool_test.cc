@@ -100,6 +100,76 @@ TEST_F(BufferPoolTest, ClearDropsCacheAndFlushes) {
   EXPECT_STREQ(g.data(), "persisted");
 }
 
+TEST_F(BufferPoolTest, FailedReadDoesNotLeakFrame) {
+  // Regression: FetchPage used to pop a victim frame and lose it when the
+  // device read failed, so `capacity` failed reads exhausted the pool.
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  const PageId missing{f, 99};  // never allocated -> ReadPage fails
+  for (int i = 0; i < 8; ++i) {  // 4x capacity
+    auto r = pool.FetchPage(missing);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+  }
+  // The pool must still have both frames: pin two real pages at once.
+  PageNumber p0, p1;
+  auto g0 = pool.NewPage(f, &p0);
+  ASSERT_TRUE(g0.ok());
+  auto g1 = pool.NewPage(f, &p1);
+  ASSERT_TRUE(g1.ok()) << "frame leaked on failed read: "
+                       << g1.status().ToString();
+}
+
+TEST_F(BufferPoolTest, FailedReadAfterEvictionDoesNotLeakFrame) {
+  // Same leak, but with the victim coming from the LRU list (occupied pool)
+  // rather than the free list.
+  BufferPool pool(&files_, 2);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0, p1;
+  pool.NewPage(f, &p0).ValueOrDie().Release();
+  pool.NewPage(f, &p1).ValueOrDie().Release();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_FALSE(pool.FetchPage(PageId{f, 99}).ok());
+  }
+  auto g0 = pool.FetchPage(PageId{f, p0});
+  ASSERT_TRUE(g0.ok());
+  auto g1 = pool.FetchPage(PageId{f, p1});
+  ASSERT_TRUE(g1.ok()) << "frame leaked on failed read: "
+                       << g1.status().ToString();
+}
+
+TEST_F(BufferPoolTest, NewPageIsNotCountedOrChargedAsIo) {
+  // Regression: NewPage used to route through the miss path — counting a
+  // miss, device-reading the just-zeroed page, and paying the simulated
+  // transfer — inflating build-phase pages_read and wall time.
+  BufferPool pool(&files_, 4);
+  const FileId f = files_.CreateFile("t");
+  const uint64_t reads_before = files_.stats().pages_read;
+  PageNumber pn;
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool.NewPage(f, &pn).ValueOrDie();
+    EXPECT_EQ(guard.data()[0], 0);  // zero-filled frame
+  }
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(files_.stats().pages_read, reads_before);
+}
+
+TEST_F(BufferPoolTest, NewPageFrameIsZeroedEvenAfterReuse) {
+  // A recycled frame previously held another page's bytes; NewPage must not
+  // expose them.
+  BufferPool pool(&files_, 1);
+  const FileId f = files_.CreateFile("t");
+  PageNumber p0;
+  {
+    auto g = pool.NewPage(f, &p0).ValueOrDie();
+    std::strcpy(g.mutable_data(), "dirty-old-bytes");
+  }
+  PageNumber p1;
+  auto g = pool.NewPage(f, &p1).ValueOrDie();  // reuses the single frame
+  EXPECT_STREQ(g.data(), "");
+}
+
 TEST_F(BufferPoolTest, MoveSemanticsOfGuard) {
   BufferPool pool(&files_, 2);
   const FileId f = files_.CreateFile("t");

@@ -38,6 +38,23 @@ TEST_F(HeapFileTest, ReadBack) {
   EXPECT_TRUE(hf.Read(100, out).IsNotFound());
 }
 
+TEST_F(HeapFileTest, BuildPhaseChargesNoDeviceReads) {
+  // Regression for the BufferPool::NewPage read-through: appending used to
+  // charge one device read (plus the simulated transfer) per allocated
+  // page, inflating every build phase's pages_read. A pure append workload
+  // must read nothing — the tail page stays cached between appends and new
+  // pages are zero-filled in place.
+  const size_t record_size = 4000;  // ~8 records per page
+  HeapFile hf(&files_, &pool_, "t", record_size);
+  std::vector<char> rec(record_size, 7);
+  for (int i = 0; i < 200; ++i) {  // ~25 pages, well past the 16-frame pool
+    ASSERT_TRUE(hf.Append(rec.data()).ok());
+  }
+  EXPECT_GT(hf.NumPages(), 16u);
+  EXPECT_EQ(files_.stats().pages_read, 0u);
+  EXPECT_EQ(pool_.misses(), 0u);
+}
+
 TEST_F(HeapFileTest, ScanVisitsAllInOrder) {
   const size_t record_size = 4000;  // ~8 records per 32 KB page
   HeapFile hf(&files_, &pool_, "t", record_size);
