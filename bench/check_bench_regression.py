@@ -17,11 +17,13 @@ Two modes:
    file every parallel series "X-pN" must hash-match its serial twin "X".
    Any mismatch exits 2.
 
-In both modes, per-client throughput series ("<mode>-cM-clientK", written by
-fig_throughput) are hard-checked against that file's single-client "serial"
-reference series: a concurrent client computing a different answer than the
-serial run is a correctness failure (exit 2), while queries/sec and timing
-diffs stay soft.
+In both modes, per-client throughput series ("<mode>-cM-clientK", or
+"<mode>-cM-aN-clientK" when the run was admission-capped via
+fig_throughput --admit N) are hard-checked against that file's
+single-client "serial" reference series: a concurrent client computing a
+different answer than the serial run — admission-capped or not — is a
+correctness failure (exit 2), while queries/sec and timing diffs stay
+soft.
 
 Exit codes: 0 = ok (possibly with soft timing warnings), 1 = unusable
 inputs, 2 = result-hash mismatch (correctness).
@@ -76,14 +78,15 @@ def check_parallel_twins(series, label):
 
 def check_client_twins(series, label):
     """Within one file: every per-client throughput series
-    ('<mode>-cM-clientK') must hash-match the single-client 'serial'
-    reference series — concurrency must never change an answer."""
+    ('<mode>-cM-clientK', or '<mode>-cM-aN-clientK' for admission-capped
+    volleys) must hash-match the single-client 'serial' reference series —
+    concurrency and admission gating must never change an answer."""
     mismatches = []
     serial = series.get("serial")
     if serial is None:
         return mismatches
     for name, queries in sorted(series.items()):
-        if not re.fullmatch(r".+-c\d+-client\d+", name):
+        if not re.fullmatch(r".+-c\d+(-a\d+)?-client\d+", name):
             continue
         for q, cell in sorted(queries.items()):
             h, ht = cell_hash(cell), cell_hash(serial.get(q, {}))

@@ -8,9 +8,15 @@
 // Paper shape: CS < RS(MV) < RS < CS(Row-MV); CS beats RS by ~6x and RS(MV)
 // by ~3x; CS(Row-MV) is the slowest, showing that tuple reconstruction, not
 // I/O, dominates.
+//
+// All four systems are engine::Designs behind one engine; every cell is a
+// Session::Run whose QueryStats carry the timing-adjacent telemetry — no
+// global counters are diffed.
 #include <cstdio>
+#include <memory>
 
-#include "core/star_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
@@ -42,69 +48,76 @@ int main(int argc, char** argv) {
   col_db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
   row_mv->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
+  // One engine, four physical designs, one front door.
+  core::ExecConfig serial_cfg = core::ExecConfig::AllOn();
+  serial_cfg.num_threads = 1;
+  engine::EngineOptions engine_options;
+  engine_options.default_config = serial_cfg;
+  engine::Engine engine(engine_options);
+  engine.Register("RS", engine::MakeRowStoreDesign(
+                            row_db.get(), ssb::RowDesign::kTraditional));
+  engine.Register("RS (MV)",
+                  engine::MakeRowStoreDesign(
+                      row_db.get(), ssb::RowDesign::kMaterializedViews));
+  engine.Register("CS", engine::MakeColumnStoreDesign(col_db->Schema()));
+  engine.Register("CS (Row-MV)",
+                  engine::MakeFunctionDesign(
+                      [&](const core::StarQuery& q, core::ExecContext&) {
+                        return row_mv->Execute(q);
+                      }));
+
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
   // Paper series run single-threaded; the "-pN" series rerun the row-store
-  // scan and the full-optimization column store with N morsel workers.
+  // scans and the full-optimization column store with N morsel workers
+  // (same designs, sessions with a bigger thread budget).
   const unsigned threads = args.threads;
-  core::ExecConfig cs_serial = core::ExecConfig::AllOn();
-  cs_serial.num_threads = 1;
-  core::ExecConfig cs_parallel = core::ExecConfig::AllOn();
-  cs_parallel.num_threads = threads;
 
-  std::vector<harness::SeriesResult> series(threads > 1 ? 7 : 4);
-  series[0].name = "RS";
-  series[1].name = "RS (MV)";
-  series[2].name = "CS";
-  series[3].name = "CS (Row-MV)";
-  if (threads > 1) {
-    series[4].name = "RS-p" + std::to_string(threads);
-    series[5].name = "CS-p" + std::to_string(threads);
-    series[6].name = "RS (MV)-p" + std::to_string(threads);
-  }
-
-  // Times one cell and records the answer hash alongside (CI hard-fails
-  // when a hash drifts between runs or between serial and parallel series).
-  // Every series funnels through this so no cell can forget its hash.
-  auto time_result = [&](auto run, const storage::IoStats* stats) {
+  // Times one cell through a session and records the answer hash alongside
+  // (CI hard-fails when a hash drifts between runs or between serial and
+  // parallel series). Every series funnels through this so no cell can
+  // forget its hash.
+  auto time_cell = [&](engine::Session& session, const core::StarQuery& q) {
     uint64_t hash = 0;
     harness::CellResult cell = harness::TimeCell(
         [&] {
-          auto r = run();
-          CSTORE_CHECK(r.ok());
-          hash = r.ValueOrDie().Hash();
+          auto outcome = session.Run(q);
+          CSTORE_CHECK(outcome.ok());
+          hash = outcome.ValueOrDie().result.Hash();
+          return outcome.ValueOrDie().stats;
         },
-        args.repetitions, stats);
+        args.repetitions);
     cell.result_hash = hash;
     return cell;
   };
-  auto time_row = [&](const core::StarQuery& q, ssb::RowDesign design,
-                      unsigned n_threads, ssb::RowDatabase* db) {
-    return time_result(
-        [&] { return ssb::ExecuteRowQuery(*db, q, design, n_threads); },
-        &db->files().stats());
-  };
-  auto time_cs = [&](const core::StarQuery& q, const core::ExecConfig& exec) {
-    return time_result(
-        [&] { return core::ExecuteStarQuery(col_db->Schema(), q, exec); },
-        &col_db->files().stats());
-  };
 
+  struct SeriesSpec {
+    std::string label;
+    std::unique_ptr<engine::Session> session;
+  };
+  std::vector<SeriesSpec> specs;
+  auto add_spec = [&](const std::string& label, const std::string& design,
+                      unsigned n_threads) {
+    SeriesSpec spec{label, engine.OpenSession(design)};
+    spec.session->config().num_threads = n_threads;
+    specs.push_back(std::move(spec));
+  };
+  add_spec("RS", "RS", 1);
+  add_spec("RS (MV)", "RS (MV)", 1);
+  add_spec("CS", "CS", 1);
+  add_spec("CS (Row-MV)", "CS (Row-MV)", 1);
+  if (threads > 1) {
+    add_spec("RS-p" + std::to_string(threads), "RS", threads);
+    add_spec("CS-p" + std::to_string(threads), "CS", threads);
+    add_spec("RS (MV)-p" + std::to_string(threads), "RS (MV)", threads);
+  }
+
+  std::vector<harness::SeriesResult> series(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) series[s].name = specs[s].label;
   for (const core::StarQuery& q : ssb::AllQueries()) {
-    series[0].by_query[q.id] =
-        time_row(q, ssb::RowDesign::kTraditional, 1, row_db.get());
-    series[1].by_query[q.id] =
-        time_row(q, ssb::RowDesign::kMaterializedViews, 1, row_db.get());
-    series[2].by_query[q.id] = time_cs(q, cs_serial);
-    series[3].by_query[q.id] = time_result(
-        [&] { return row_mv->Execute(q); }, &row_mv->files().stats());
-    if (threads > 1) {
-      series[4].by_query[q.id] =
-          time_row(q, ssb::RowDesign::kTraditional, threads, row_db.get());
-      series[5].by_query[q.id] = time_cs(q, cs_parallel);
-      series[6].by_query[q.id] =
-          time_row(q, ssb::RowDesign::kMaterializedViews, threads, row_db.get());
+    for (size_t s = 0; s < specs.size(); ++s) {
+      series[s].by_query[q.id] = time_cell(*specs[s].session, q);
     }
     std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
   }

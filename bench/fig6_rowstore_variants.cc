@@ -7,10 +7,17 @@
 //   AI    index-only plans ("all indexes")
 //
 // Paper shape (averages): MV < T < T(B) < VP << AI.
+//
+// All five designs register with one engine::Engine; each series is a
+// Session whose per-query QueryStats provide the I/O numbers (attributed
+// per query, not diffed from the FileManager's global counters).
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <string>
 
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
@@ -46,6 +53,15 @@ int main(int argc, char** argv) {
       {"AI", ssb::RowDesign::kIndexOnly},
   };
 
+  core::ExecConfig serial_cfg = core::ExecConfig::AllOn();
+  serial_cfg.num_threads = 1;
+  engine::EngineOptions engine_options;
+  engine_options.default_config = serial_cfg;
+  engine::Engine engine(engine_options);
+  for (const auto& [name, design] : designs) {
+    engine.Register(name, engine::MakeRowStoreDesign(db.get(), design));
+  }
+
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
@@ -53,20 +69,22 @@ int main(int argc, char** argv) {
   // gives more than one worker, again morsel-parallel — the symmetric
   // counterpart of the column-store's "-pN" series, so thread sweeps no
   // longer flatter one layout.
-  auto run_series = [&](const char* name, ssb::RowDesign design,
-                        unsigned threads) {
+  auto run_series = [&](const char* name, unsigned threads) {
     harness::SeriesResult s;
     s.name = name;
     if (threads > 1) s.name += "-p" + std::to_string(threads);
+    auto session = engine.OpenSession(name);
+    session->config().num_threads = threads;
     for (const core::StarQuery& q : ssb::AllQueries()) {
       uint64_t hash = 0;
       harness::CellResult cell = harness::TimeCell(
           [&] {
-            auto r = ssb::ExecuteRowQuery(*db, q, design, threads);
-            CSTORE_CHECK(r.ok());
-            hash = r.ValueOrDie().Hash();
+            auto outcome = session->Run(q);
+            CSTORE_CHECK(outcome.ok());
+            hash = outcome.ValueOrDie().result.Hash();
+            return outcome.ValueOrDie().stats;
           },
-          args.repetitions, &db->files().stats());
+          args.repetitions);
       cell.result_hash = hash;
       s.by_query[q.id] = cell;
     }
@@ -77,11 +95,11 @@ int main(int argc, char** argv) {
 
   std::vector<harness::SeriesResult> series;
   for (const auto& [name, design] : designs) {
-    series.push_back(run_series(name, design, 1));
+    series.push_back(run_series(name, 1));
   }
   if (args.threads > 1) {
     for (const auto& [name, design] : designs) {
-      series.push_back(run_series(name, design, args.threads));
+      series.push_back(run_series(name, args.threads));
     }
   }
 

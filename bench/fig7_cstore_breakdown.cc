@@ -11,11 +11,17 @@
 //
 // Paper shape: compression ~2x on average (an order of magnitude on flight
 // 1), late materialization ~3x, block iteration and invisible join ~1.5x.
+//
+// Both storage modes register as engine designs; each configuration is a
+// session whose ExecConfig carries the knobs. Zone-map telemetry comes from
+// each query's own QueryStats — the old pattern of diffing the process-wide
+// ScanCounters around a cell is gone.
 #include <cstdio>
+#include <memory>
 #include <string>
 
-#include "column/column_reader.h"
-#include "core/star_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
@@ -44,6 +50,11 @@ int main(int argc, char** argv) {
   compressed->files().SetSimulatedDiskBandwidth(args.disk_mbps);
   uncompressed->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
+  engine::Engine engine;
+  engine.Register("CS/C", engine::MakeColumnStoreDesign(compressed->Schema()));
+  engine.Register("CS/c",
+                  engine::MakeColumnStoreDesign(uncompressed->Schema()));
+
   struct Config {
     std::string code;
     bool compressed;
@@ -70,28 +81,21 @@ int main(int argc, char** argv) {
 
   std::vector<harness::SeriesResult> series;
   for (const Config& config : configs) {
-    ssb::ColumnDatabase* db =
-        config.compressed ? compressed.get() : uncompressed.get();
+    auto session = engine.OpenSession(config.compressed ? "CS/C" : "CS/c");
+    session->config() = config.exec;
     harness::SeriesResult s;
     s.name = config.code;
     for (const core::StarQuery& q : ssb::AllQueries()) {
-      // Zone-map telemetry around the cell (warm-up + reps), normalized to
-      // one execution — proves page skipping fires, query by query.
-      const col::ScanCounters before = col::ReadScanCounters();
       uint64_t result_hash = 0;
       harness::CellResult cell = harness::TimeCell(
           [&] {
-            auto r = core::ExecuteStarQuery(db->Schema(), q, config.exec);
-            CSTORE_CHECK(r.ok());
-            result_hash = r.ValueOrDie().Hash();
+            auto outcome = session->Run(q);
+            CSTORE_CHECK(outcome.ok());
+            result_hash = outcome.ValueOrDie().result.Hash();
+            return outcome.ValueOrDie().stats;
           },
-          args.repetitions, &db->files().stats());
+          args.repetitions);
       cell.result_hash = result_hash;
-      const col::ScanCounters delta = col::ReadScanCounters() - before;
-      const uint64_t runs = static_cast<uint64_t>(args.repetitions) + 1;
-      cell.pages_skipped = delta.pages_skipped / runs;
-      cell.pages_all_match = delta.pages_all_match / runs;
-      cell.pages_scanned = delta.pages_scanned / runs;
       s.by_query[q.id] = cell;
     }
     std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code.c_str(),

@@ -9,9 +9,10 @@
 // Paper shape: "PJ, No C" ~5x worse than Base (string predicates); "Int C"
 // close to Base but usually still behind; "Max C" can beat Base.
 #include <cstdio>
+#include <memory>
 
-#include "core/star_executor.h"
-#include "core/table_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
@@ -48,36 +49,42 @@ int main(int argc, char** argv) {
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
-  std::vector<harness::SeriesResult> series(4);
-  series[0].name = "Base";
-  series[1].name = "PJ, No C";
-  series[2].name = "PJ, Int C";
-  series[3].name = "PJ, Max C";
-
   // Single-threaded throughout: this figure reproduces the paper's
   // single-core comparison of storage layouts, not the parallel scaling.
   core::ExecConfig serial = core::ExecConfig::AllOn();
   serial.num_threads = 1;
 
+  // The pre-joined variants are engine designs like everything else: star
+  // queries go in, the design rewrites them onto its denormalized table.
+  engine::EngineOptions engine_options;
+  engine_options.default_config = serial;
+  engine::Engine engine(engine_options);
+  engine.Register("Base", engine::MakeColumnStoreDesign(base->Schema()));
+  engine.Register("PJ, No C",
+                  engine::MakeDenormalizedDesign(&pj_none->table()));
+  engine.Register("PJ, Int C",
+                  engine::MakeDenormalizedDesign(&pj_int->table()));
+  engine.Register("PJ, Max C",
+                  engine::MakeDenormalizedDesign(&pj_max->table()));
+
+  const char* names[] = {"Base", "PJ, No C", "PJ, Int C", "PJ, Max C"};
+  std::vector<harness::SeriesResult> series(4);
+  std::vector<std::unique_ptr<engine::Session>> sessions;
+  for (int i = 0; i < 4; ++i) {
+    series[i].name = names[i];
+    sessions.push_back(engine.OpenSession(names[i]));
+  }
+
   for (const core::StarQuery& q : ssb::AllQueries()) {
-    const core::TableQuery tq = ssb::ToDenormalizedQuery(q);
-    series[0].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r = core::ExecuteStarQuery(base->Schema(), q, serial);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, nullptr);
-    auto run_pj = [&](ssb::DenormalizedDatabase* db) {
-      return harness::TimeCell(
+    for (int i = 0; i < 4; ++i) {
+      series[i].by_query[q.id] = harness::TimeCell(
           [&] {
-            auto r = core::ExecuteTableQuery(db->table(), tq, serial);
-            CSTORE_CHECK(r.ok());
+            auto outcome = sessions[i]->Run(q);
+            CSTORE_CHECK(outcome.ok());
+            return outcome.ValueOrDie().stats;
           },
-          args.repetitions, nullptr);
-    };
-    series[1].by_query[q.id] = run_pj(pj_none.get());
-    series[2].by_query[q.id] = run_pj(pj_int.get());
-    series[3].by_query[q.id] = run_pj(pj_max.get());
+          args.repetitions);
+    }
     std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
   }
 

@@ -1,14 +1,18 @@
 // Throughput under concurrent clients: private scans vs cooperative shared
-// scans (ExecConfig::shared_scans).
+// scans, with optional per-query admission control (--admit N).
 //
 // The paper times one query at a time; this bench measures the regime the
-// ROADMAP's "millions of users" goal cares about: M client threads firing
-// the 13-query SSBM mix at one database, with a buffer pool deliberately
-// smaller than the working set (the paper's pool:data ratio) and the
-// simulated disk charging every miss. Private scans multiply pool pressure
-// by M — every client drags its own miss stream from page 0. With shared
-// scans each query attaches to the in-flight scan of its column, trails the
-// hot pages, and wraps around, so concurrent clients share fetches.
+// ROADMAP's "millions of users" goal cares about: M clients (one
+// engine::Session each) firing the 13-query SSBM mix at one database, with
+// a buffer pool deliberately smaller than the working set (the paper's
+// pool:data ratio) and the simulated disk charging every miss. Private
+// scans multiply pool pressure by M — every client drags its own miss
+// stream from page 0. With shared scans each query attaches to the
+// in-flight scan of its column, trails the hot pages, and wraps around, so
+// concurrent clients share fetches. --admit N additionally caps in-flight
+// queries at N via the engine's admission gate: arrivals stagger into the
+// scan groups instead of thundering in at once, and every query's
+// admission wait is reported in its QueryStats.
 //
 // The database is uncompressed (kNone): fact scans there actually walk
 // their pages (compressed flight-1 scans are mostly zone-map skips), which
@@ -16,14 +20,16 @@
 //
 // Determinism is enforced, not hoped for: every client's per-query result
 // hash is CHECKed against the serial single-client answer in-process, and
-// --json emits per-client series (<mode>-c<M>-client<k>) so
-// bench/check_bench_regression.py hard-fails CI on any divergence.
+// --json emits per-client series (<mode>-c<M>[-a<N>]-client<k>) so
+// bench/check_bench_regression.py hard-fails CI on any divergence —
+// including for admission-capped runs.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/shared_scan.h"
-#include "core/star_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "harness/throughput.h"
 #include "ssb/column_db.h"
@@ -36,9 +42,10 @@ int main(int argc, char** argv) {
   const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
   std::printf(
       "Throughput — %u concurrent clients over the SSBM mix, SF=%.3g, "
-      "pool=%zu pages, disk=%g MB/s, %d round(s)/client\n",
+      "pool=%zu pages, disk=%g MB/s, %d round(s)/client, admit=%s\n",
       args.clients, args.scale_factor, args.pool_pages, args.disk_mbps,
-      args.repetitions);
+      args.repetitions,
+      args.admit == 0 ? "unlimited" : std::to_string(args.admit).c_str());
 
   ssb::GenParams params;
   params.scale_factor = args.scale_factor;
@@ -48,15 +55,20 @@ int main(int argc, char** argv) {
                                        args.pool_pages)
                 .ValueOrDie();
   db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
-  const core::StarSchema schema = db->Schema();
 
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
 
-  // ---- Serial reference: one client, private scans. Its hashes are the
-  // ground truth every concurrent client must reproduce exactly. ----
-  core::ExecConfig serial_cfg = core::ExecConfig::AllOn();
-  serial_cfg.num_threads = 1;
+  core::ExecConfig client_cfg = core::ExecConfig::AllOn();
+  client_cfg.num_threads = 1;  // one core per client: throughput via concurrency
+
+  // ---- Serial reference: one session on an unconstrained engine. Its
+  // hashes are the ground truth every concurrent client must reproduce. ----
+  engine::EngineOptions serial_options;
+  serial_options.default_config = client_cfg;
+  engine::Engine serial_engine(serial_options);
+  serial_engine.Register("CS", engine::MakeColumnStoreDesign(db->Schema()));
+  auto serial_session = serial_engine.OpenSession("CS");
   harness::SeriesResult serial;
   serial.name = "serial";
   CSTORE_CHECK(db->pool().Clear().ok());
@@ -64,37 +76,45 @@ int main(int argc, char** argv) {
     uint64_t result_hash = 0;
     harness::CellResult cell = harness::TimeCell(
         [&] {
-          auto r = core::ExecuteStarQuery(schema, q, serial_cfg);
-          CSTORE_CHECK(r.ok());
-          result_hash = r.ValueOrDie().Hash();
+          auto outcome = serial_session->Run(q);
+          CSTORE_CHECK(outcome.ok());
+          result_hash = outcome.ValueOrDie().result.Hash();
+          return outcome.ValueOrDie().stats;
         },
-        args.repetitions, &db->files().stats());
+        args.repetitions);
     cell.result_hash = result_hash;
     serial.by_query[q.id] = cell;
   }
   std::fprintf(stderr, "  serial reference done (avg %.1f ms)\n",
                serial.AverageSeconds() * 1e3);
 
-  // ---- The two volleys: same clients, same mix, scans private vs shared.
-  auto run_volley = [&](const std::string& mode,
-                        core::SharedScanManager* manager) {
+  // ---- The two volleys: same clients, same mix, scans private vs shared,
+  // both behind the same admission cap. ----
+  auto run_volley = [&](const std::string& mode, bool shared_scans) {
     CSTORE_CHECK(db->pool().Clear().ok());  // both modes start cold
-    core::ExecConfig cfg = core::ExecConfig::AllOn();
-    cfg.num_threads = 1;  // one core per client: throughput via concurrency
-    cfg.shared_scans = manager;
-    harness::ThroughputOptions options;
-    options.clients = args.clients;
-    options.rounds = args.repetitions;
+    engine::EngineOptions options;
+    options.max_inflight_queries = args.admit;
+    options.shared_scans = shared_scans;
+    options.default_config = client_cfg;
+    engine::Engine engine(options);
+    engine.Register("CS", engine::MakeColumnStoreDesign(db->Schema()));
+    std::vector<std::unique_ptr<engine::Session>> sessions;
+    for (unsigned c = 0; c < args.clients; ++c) {
+      sessions.push_back(engine.OpenSession("CS"));
+    }
+
+    harness::ThroughputOptions volley;
+    volley.clients = args.clients;
+    volley.rounds = args.repetitions;
     harness::ThroughputResult result = harness::RunThroughput(
-        options, ids,
-        [&](unsigned, const std::string& id) {
-          auto r = core::ExecuteStarQuery(schema, ssb::QueryById(id), cfg);
-          CSTORE_CHECK(r.ok());
-          return r.ValueOrDie().Hash();
-        },
-        &db->files().stats());
+        volley, ids, [&](unsigned client, const std::string& id) {
+          auto outcome = sessions[client]->Run(ssb::QueryById(id));
+          CSTORE_CHECK(outcome.ok());
+          return harness::QueryRun{outcome.ValueOrDie().result.Hash(),
+                                   outcome.ValueOrDie().stats};
+        });
     // Hard determinism gate, in-process: every client, every query, the
-    // serial answer.
+    // serial answer — admission-capped or not.
     for (const harness::ClientResult& client : result.clients) {
       for (const auto& [id, hash] : client.result_hashes) {
         if (hash != serial.by_query[id].result_hash) {
@@ -109,40 +129,43 @@ int main(int argc, char** argv) {
         }
       }
     }
+    const engine::Engine::Stats estats = engine.stats();
     std::fprintf(stderr,
-                 "  %s done: %.1f q/s, %llu pages read (%.1f pages/query)\n",
+                 "  %s done: %.1f q/s, %llu pages read (%.1f pages/query), "
+                 "%llu/%llu queries waited at the gate (%.1f ms total)\n",
                  mode.c_str(), result.queries_per_sec,
                  static_cast<unsigned long long>(result.pages_read),
-                 result.pages_per_query);
+                 result.pages_per_query,
+                 static_cast<unsigned long long>(estats.queries_waited),
+                 static_cast<unsigned long long>(estats.queries_run),
+                 estats.admission_wait_seconds * 1e3);
     return result;
   };
 
-  const harness::ThroughputResult private_run = run_volley("private", nullptr);
-  core::SharedScanManager manager;
-  const harness::ThroughputResult shared_run = run_volley("shared", &manager);
+  const harness::ThroughputResult private_run =
+      run_volley("private", /*shared_scans=*/false);
+  const harness::ThroughputResult shared_run =
+      run_volley("shared", /*shared_scans=*/true);
 
   // ---- Report. ----
-  const core::SharedScanManager::Stats mstats = manager.stats();
-  std::printf("\n%-10s %12s %14s %14s\n", "mode", "queries/s", "pages read",
-              "pages/query");
-  std::printf("%-10s %12.1f %14llu %14.1f\n", "private",
+  std::printf("\n%-10s %12s %14s %14s %14s\n", "mode", "queries/s",
+              "pages read", "pages/query", "admit-wait ms");
+  std::printf("%-10s %12.1f %14llu %14.1f %14.1f\n", "private",
               private_run.queries_per_sec,
               static_cast<unsigned long long>(private_run.pages_read),
-              private_run.pages_per_query);
-  std::printf("%-10s %12.1f %14llu %14.1f\n", "shared",
+              private_run.pages_per_query,
+              private_run.admission_wait_seconds * 1e3);
+  std::printf("%-10s %12.1f %14llu %14.1f %14.1f\n", "shared",
               shared_run.queries_per_sec,
               static_cast<unsigned long long>(shared_run.pages_read),
-              shared_run.pages_per_query);
+              shared_run.pages_per_query,
+              shared_run.admission_wait_seconds * 1e3);
   if (private_run.pages_read > 0) {
     const double saved =
         100.0 * (1.0 - static_cast<double>(shared_run.pages_read) /
                            static_cast<double>(private_run.pages_read));
-    std::printf(
-        "\nshared scans: %.1f%% fewer device pages, %.2fx queries/sec; "
-        "%llu attaches, %llu joined an in-flight scan\n",
-        saved, shared_run.queries_per_sec / private_run.queries_per_sec,
-        static_cast<unsigned long long>(mstats.attaches),
-        static_cast<unsigned long long>(mstats.attaches_in_flight));
+    std::printf("\nshared scans: %.1f%% fewer device pages, %.2fx queries/sec\n",
+                saved, shared_run.queries_per_sec / private_run.queries_per_sec);
     // Only meaningful when the volley actually pressured the pool; a smoke
     // run whose whole working set fits in frames has nothing to share.
     if (args.clients > 1 && private_run.pages_per_query >= 1.0 &&
@@ -155,15 +178,24 @@ int main(int argc, char** argv) {
 
   if (!args.json_path.empty()) {
     std::vector<harness::SeriesResult> series = {serial};
+    const std::string suffix =
+        "-c" + std::to_string(args.clients) +
+        (args.admit > 0 ? "-a" + std::to_string(args.admit) : "") + "-client";
     auto add_clients = [&](const std::string& mode,
                            const harness::ThroughputResult& run) {
       for (const harness::ClientResult& client : run.clients) {
         harness::SeriesResult s;
-        s.name = mode + "-c" + std::to_string(args.clients) + "-client" +
-                 std::to_string(client.client);
+        s.name = mode + suffix + std::to_string(client.client);
         for (const std::string& id : ids) {
+          const core::QueryStats& stats = client.query_stats.at(id);
           harness::CellResult cell;
-          cell.seconds = client.query_seconds.at(id);
+          cell.seconds = stats.seconds;
+          cell.pages_read = stats.pages_read;
+          cell.pages_skipped = stats.pages_skipped;
+          cell.pages_all_match = stats.pages_all_match;
+          cell.pages_scanned = stats.pages_scanned;
+          cell.values_scanned = stats.values_scanned;
+          cell.admission_wait_seconds = stats.admission_wait_seconds;
           cell.result_hash = client.result_hashes.at(id);
           s.by_query[id] = cell;
         }

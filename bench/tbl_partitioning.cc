@@ -38,20 +38,20 @@ int main(int argc, char** argv) {
   series[0].name = "T (partitioned)";
   series[1].name = "T (unpartitioned)";
   for (const core::StarQuery& q : ssb::AllQueries()) {
-    series[0].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r =
-              ssb::ExecuteRowQuery(*db_part, q, ssb::RowDesign::kTraditional);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, nullptr);
-    series[1].by_query[q.id] = harness::TimeCell(
-        [&] {
-          auto r =
-              ssb::ExecuteRowQuery(*db_flat, q, ssb::RowDesign::kTraditional);
-          CSTORE_CHECK(r.ok());
-        },
-        args.repetitions, nullptr);
+    auto time_row = [&](ssb::RowDatabase& db) {
+      return harness::TimeCell(
+          [&] {
+            core::ExecContext ctx(core::ExecConfig{});
+            ctx.config.num_threads = 1;
+            auto r = ssb::ExecuteRowQuery(db, q, ssb::RowDesign::kTraditional,
+                                          &ctx);
+            CSTORE_CHECK(r.ok());
+            return ctx.Stats();
+          },
+          args.repetitions);
+    };
+    series[0].by_query[q.id] = time_row(*db_part);
+    series[1].by_query[q.id] = time_row(*db_flat);
   }
   harness::PrintFigure("orderdate-year partitioning (ms)", ids, series);
   std::printf("\nAverage speedup from partitioning: %.2fx (paper: ~2x)\n",

@@ -36,6 +36,9 @@ void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned) {
 void ColumnReader::LoadPage(storage::PageNumber p) {
   auto res = column_->GetPage(p, &guard_);
   CSTORE_CHECK(res.ok());
+  if (telemetry_ != nullptr) {
+    telemetry_->pages_gathered.fetch_add(1, std::memory_order_relaxed);
+  }
   view_.emplace(std::move(res).ValueOrDie());
   page_start_ = index().row_start(p);
   page_end_ = page_start_ + view_->num_values();

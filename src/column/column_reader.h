@@ -32,9 +32,31 @@ enum class PageDecision {
   kVisit,     ///< undecidable from stats — fetch and scan the page
 };
 
+/// Per-context scan telemetry: one query's zone-map and value-touch counts.
+/// The counters are relaxed atomics so morsel workers of one query can
+/// charge a shared sink without a lock. Readers construct with a pointer to
+/// the driving query's sink (core::ExecContext::telemetry); a null sink
+/// leaves only the deprecated process-wide aggregate below.
+struct ScanTelemetry {
+  std::atomic<uint64_t> pages_skipped{0};    ///< zone map: no value can match
+  std::atomic<uint64_t> pages_all_match{0};  ///< zone map: whole page matches
+  std::atomic<uint64_t> pages_scanned{0};    ///< fetched and scanned
+  /// Values a scan actually evaluated a predicate against. Full-page scans
+  /// charge every value (RLE pages: every run); in-page binary search on
+  /// sorted pages charges only the probed values, so this counter proves
+  /// the search touches less data.
+  std::atomic<uint64_t> values_scanned{0};
+  /// Pages pinned by position-jump gathers (SeekToRow page loads).
+  std::atomic<uint64_t> pages_gathered{0};
+};
+
 /// Process-wide scan telemetry: how many pages zone-map consultation
 /// skipped, accepted wholesale, or actually scanned. Monotonic; read a
 /// snapshot before and after a query to attribute counts.
+///
+/// DEPRECATED as a per-query attribution device: concurrent queries pollute
+/// each other's diffs. Kept as an aggregate view (and for single-threaded
+/// tests) until every caller reads per-query ScanTelemetry instead.
 struct ScanCounters {
   uint64_t pages_skipped = 0;
   uint64_t pages_all_match = 0;
@@ -58,13 +80,20 @@ void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned);
 /// Cheap to construct — parallel workers build one per morsel.
 class ColumnReader {
  public:
-  explicit ColumnReader(const StoredColumn* column)
-      : ColumnReader(column, 0, column->num_pages()) {}
+  /// `telemetry` (optional) is the driving query's scan-telemetry sink;
+  /// page decisions and seek loads are charged to it in addition to the
+  /// deprecated process-wide counters.
+  explicit ColumnReader(const StoredColumn* column,
+                        ScanTelemetry* telemetry = nullptr)
+      : ColumnReader(column, 0, column->num_pages(), telemetry) {}
 
   /// Reader restricted to the pages [first_page, end_page).
   ColumnReader(const StoredColumn* column, storage::PageNumber first_page,
-               storage::PageNumber end_page)
-      : column_(column), first_page_(first_page), end_page_(end_page) {
+               storage::PageNumber end_page, ScanTelemetry* telemetry = nullptr)
+      : column_(column),
+        first_page_(first_page),
+        end_page_(end_page),
+        telemetry_(telemetry) {
     CSTORE_CHECK(first_page_ <= end_page_ &&
                  end_page_ <= column_->num_pages());
   }
@@ -163,6 +192,11 @@ class ColumnReader {
       if (!status.ok()) break;
     }
     internal::AddScanCounters(skipped, matched, scanned);
+    if (telemetry_ != nullptr) {
+      telemetry_->pages_skipped.fetch_add(skipped, std::memory_order_relaxed);
+      telemetry_->pages_all_match.fetch_add(matched, std::memory_order_relaxed);
+      telemetry_->pages_scanned.fetch_add(scanned, std::memory_order_relaxed);
+    }
     return status;
   }
 
@@ -171,6 +205,7 @@ class ColumnReader {
   const StoredColumn* column_;
   storage::PageNumber first_page_ = 0;
   storage::PageNumber end_page_ = 0;
+  ScanTelemetry* telemetry_ = nullptr;
 
   // Seek state: the currently pinned page, if any.
   storage::PageGuard guard_;

@@ -1,0 +1,105 @@
+// ExecContext: one query's execution state — knobs plus telemetry sinks.
+//
+// Before the engine refactor, telemetry was process-global: zone-map counts
+// came from col::ReadScanCounters and device traffic from diffing a
+// FileManager's IoStats around a query. Both patterns misattribute the
+// moment two queries overlap. An ExecContext is threaded through the
+// executors, scans, and gathers instead: every page decision, value touch,
+// and device transfer performed on behalf of one query — on the client
+// thread or on pool workers it fans out to — accumulates into this
+// context's sinks. The process-wide counters remain as a deprecated
+// aggregate view; on a serial run the per-context sums match them exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "column/column_reader.h"
+#include "core/exec_config.h"
+#include "storage/io_stats.h"
+
+namespace cstore::core {
+
+/// Per-query execution statistics, as returned to engine::Session clients.
+/// A plain-value snapshot of one ExecContext (plus the wall/admission times
+/// the session measures around the execution).
+struct QueryStats {
+  /// Wall time of the whole Session::Run call, admission wait included.
+  double seconds = 0;
+  /// Of `seconds`: time spent blocked at the engine's admission gate.
+  double admission_wait_seconds = 0;
+
+  /// Device pages read on behalf of this query (buffer-pool misses across
+  /// every storage structure the plan touched).
+  uint64_t pages_read = 0;
+  /// Device pages written on behalf of this query (eviction write-backs).
+  uint64_t pages_written = 0;
+
+  // Zone-map telemetry of the query's predicate scans.
+  uint64_t pages_skipped = 0;
+  uint64_t pages_all_match = 0;
+  uint64_t pages_scanned = 0;
+  /// Values the query's scans evaluated predicates against (binary search
+  /// on sorted pages touches fewer than the page holds).
+  uint64_t values_scanned = 0;
+  /// Pages pinned by position-jump gathers (late materialization).
+  uint64_t pages_gathered = 0;
+
+  QueryStats& operator+=(const QueryStats& other) {
+    seconds += other.seconds;
+    admission_wait_seconds += other.admission_wait_seconds;
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    pages_skipped += other.pages_skipped;
+    pages_all_match += other.pages_all_match;
+    pages_scanned += other.pages_scanned;
+    values_scanned += other.values_scanned;
+    pages_gathered += other.pages_gathered;
+    return *this;
+  }
+};
+
+/// The per-query context threaded through the executors: the run-time knobs
+/// (thread budget, iteration/join/materialization switches, shared-scan
+/// handle) plus the telemetry sinks work is charged to. Sinks are atomics —
+/// morsel workers of one query share them without locks — but one context
+/// belongs to exactly one query execution at a time.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(const ExecConfig& config) : config(config) {}
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ExecContext);
+
+  ExecConfig config;
+
+  /// Zone-map / value-touch counters (charged by col::ColumnReader and the
+  /// scan kernels).
+  col::ScanTelemetry telemetry;
+
+  /// Device traffic (charged by FileManager through the thread-local sink
+  /// the executors install; ParallelFor propagates it to pool workers).
+  storage::IoStats io;
+
+  /// Plain-value snapshot of the sinks. `seconds` and
+  /// `admission_wait_seconds` are zero — the session measures those around
+  /// the execution and fills them in.
+  QueryStats Stats() const {
+    QueryStats s;
+    s.pages_read = io.pages_read.load(std::memory_order_relaxed);
+    s.pages_written = io.pages_written.load(std::memory_order_relaxed);
+    s.pages_skipped = telemetry.pages_skipped.load(std::memory_order_relaxed);
+    s.pages_all_match =
+        telemetry.pages_all_match.load(std::memory_order_relaxed);
+    s.pages_scanned = telemetry.pages_scanned.load(std::memory_order_relaxed);
+    s.values_scanned = telemetry.values_scanned.load(std::memory_order_relaxed);
+    s.pages_gathered = telemetry.pages_gathered.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// The telemetry sink to hand a ColumnReader, or null for a null context
+  /// pointer (legacy call sites).
+  static col::ScanTelemetry* TelemetryOf(ExecContext* ctx) {
+    return ctx == nullptr ? nullptr : &ctx->telemetry;
+  }
+};
+
+}  // namespace cstore::core

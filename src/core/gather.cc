@@ -15,13 +15,13 @@ namespace cstore::core {
 // wherever in the column the position list starts.
 
 Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
-                  std::vector<int64_t>* out) {
+                  std::vector<int64_t>* out, ExecContext* ctx) {
   CSTORE_CHECK(sel.size() == column.num_values());
   if (!column.IsIntegerStored()) {
     return Status::InvalidArgument("GatherInts on char column " +
                                    column.info().name);
   }
-  col::ColumnReader reader(&column);
+  col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
   sel.ForEachSet([&](uint32_t pos) {
     const uint32_t i = reader.SeekToRow(pos);
     out->push_back(reader.IntAt(i));
@@ -31,8 +31,8 @@ Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
 
 Status ParallelGatherInts(const col::StoredColumn& column,
                           const util::BitVector& sel, unsigned num_threads,
-                          std::vector<int64_t>* out) {
-  if (num_threads <= 1) return GatherInts(column, sel, out);
+                          std::vector<int64_t>* out, ExecContext* ctx) {
+  if (num_threads <= 1) return GatherInts(column, sel, out, ctx);
   CSTORE_CHECK(sel.size() == column.num_values());
   CSTORE_CHECK(out->empty());
   if (!column.IsIntegerStored()) {
@@ -63,7 +63,7 @@ Status ParallelGatherInts(const col::StoredColumn& column,
           const uint64_t wend = std::min(words, wbegin + words_per_morsel);
           // SeekToRow jumps straight to the morsel's first touched page —
           // no cursoring through the column prefix.
-          col::ColumnReader reader(&column);
+          col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
           int64_t* slot = out->data() + morsel_offset[m];
           sel.ForEachSetInWords(wbegin, wend, [&](uint32_t pos) {
             const uint32_t i = reader.SeekToRow(pos);
@@ -77,13 +77,13 @@ Status ParallelGatherInts(const col::StoredColumn& column,
 Status GatherCharsInterned(const col::StoredColumn& column,
                            const util::BitVector& sel,
                            std::vector<int64_t>* out,
-                           std::vector<std::string>* pool) {
+                           std::vector<std::string>* pool, ExecContext* ctx) {
   CSTORE_CHECK(sel.size() == column.num_values());
   if (column.info().encoding != compress::Encoding::kPlainChar) {
     return Status::InvalidArgument("GatherCharsInterned needs a plain char column");
   }
   const size_t width = column.info().char_width;
-  col::ColumnReader reader(&column);
+  col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
   std::unordered_map<std::string, int64_t> intern;
   for (size_t i = 0; i < pool->size(); ++i) intern[(*pool)[i]] = i;
   sel.ForEachSet([&](uint32_t pos) {

@@ -11,14 +11,17 @@
 
 #include "column/stored_column.h"
 #include "common/result.h"
+#include "core/exec_context.h"
 #include "util/bit_vector.h"
 
 namespace cstore::core {
 
 /// Appends the value at every set position of `sel` (ascending) to `out`.
 /// Integer-stored columns only (dictionary codes for encoded char columns).
+/// `ctx` (optional) receives the gather's page telemetry
+/// (QueryStats::pages_gathered) alongside the I/O its page loads charge.
 Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
-                  std::vector<int64_t>* out);
+                  std::vector<int64_t>* out, ExecContext* ctx = nullptr);
 
 /// Morsel-driven parallel GatherInts. The bitmap is split into word-aligned
 /// morsels; a prefix count per morsel fixes each value's output slot, so
@@ -27,7 +30,7 @@ Status GatherInts(const col::StoredColumn& column, const util::BitVector& sel,
 /// num_threads <= 1 runs the serial code path.
 Status ParallelGatherInts(const col::StoredColumn& column,
                           const util::BitVector& sel, unsigned num_threads,
-                          std::vector<int64_t>* out);
+                          std::vector<int64_t>* out, ExecContext* ctx = nullptr);
 
 /// Gather for uncompressed char columns: values are interned on the fly
 /// into `pool` (first-seen order) and their intern ids appended to `out`.
@@ -36,6 +39,7 @@ Status ParallelGatherInts(const col::StoredColumn& column,
 Status GatherCharsInterned(const col::StoredColumn& column,
                            const util::BitVector& sel,
                            std::vector<int64_t>* out,
-                           std::vector<std::string>* pool);
+                           std::vector<std::string>* pool,
+                           ExecContext* ctx = nullptr);
 
 }  // namespace cstore::core

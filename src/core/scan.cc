@@ -62,28 +62,114 @@ col::PageDecision DecideInt(const IntPredicate& pred,
   return col::PageDecision::kVisit;
 }
 
+/// Counting binary searches: like std::lower/upper_bound over a sorted
+/// array-like (raw pointer or indexable adaptor), but every probed element
+/// is tallied into `touched` so the scan telemetry can prove the search
+/// examines fewer values than a full pass.
+template <typename Array>
+uint32_t LowerBoundTouching(Array vals, uint32_t n, int64_t target,
+                            uint64_t* touched) {
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    ++*touched;
+    if (static_cast<int64_t>(vals[mid]) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename Array>
+uint32_t UpperBoundTouching(Array vals, uint32_t n, int64_t target,
+                            uint64_t* touched) {
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    ++*touched;
+    if (static_cast<int64_t>(vals[mid]) <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Binary search of a sorted page's value array under a range predicate:
+/// the matching positions are one contiguous run, found with O(log n)
+/// probes and set with a single SetRange. Bit-identical to the linear loop.
+template <typename T>
+uint64_t ScanSortedRange(const T* vals, uint32_t n, int64_t lo, int64_t hi,
+                         uint64_t pos, util::BitVector* out,
+                         uint64_t* touched) {
+  const uint32_t first = LowerBoundTouching(vals, n, lo, touched);
+  const uint32_t last = UpperBoundTouching(vals, n, hi, touched);
+  if (first >= last) return 0;
+  out->SetRange(pos + first, pos + last);
+  return last - first;
+}
+
 /// Scans one pinned page, setting matching bits at positions
-/// [pos, pos + n). Returns the number of matches.
+/// [pos, pos + n) where pos = stats.row_start. Returns the number of
+/// matches; `touched` accumulates how many values the predicate was
+/// actually evaluated against (sorted pages under a range predicate are
+/// binary-searched, touching O(log n) values instead of all of them).
 uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
-                     bool block_iteration, uint64_t pos, util::BitVector* out,
-                     std::vector<int64_t>* scratch) {
+                     bool block_iteration, const compress::PageStats& stats,
+                     util::BitVector* out, std::vector<int64_t>* scratch,
+                     uint64_t* touched) {
   const uint32_t n = view.num_values();
+  const uint64_t pos = stats.row_start;
   uint64_t matches = 0;
+  const bool is_range = pred.kind == IntPredicate::Kind::kRange;
+  // In-page binary search applies when the stored values are known sorted
+  // and the predicate selects one contiguous value interval. Only the
+  // block-iteration mode uses it: tuple-at-a-time deliberately pays one
+  // call pair per value (the Figure-7 "T" cost being measured).
+  const bool sorted_range = is_range && stats.sorted();
 
   // Direct operation on compressed data survives even when operator-level
   // block iteration is disabled (the paper's DataSource evaluates RLE runs
   // either way); only non-RLE encodings pay one fetch+match call per value.
   if (view.encoding() == compress::Encoding::kRle) {
-    // One comparison per run, regardless of iteration mode.
     const compress::RleRun* runs = view.runs();
+    const uint32_t num_runs = view.num_runs();
+    if (sorted_range && block_iteration) {
+      // Runs of a sorted page are sorted by value: binary-search the run
+      // boundaries, then turn the matching run interval into one SetRange
+      // (walking only run *lengths*, never evaluating more values).
+      struct RunValues {
+        const compress::RleRun* runs;
+        int64_t operator[](uint32_t i) const { return runs[i].value; }
+      };
+      const RunValues run_values{runs};
+      const uint32_t first =
+          LowerBoundTouching(run_values, num_runs, pred.lo, touched);
+      const uint32_t last =
+          UpperBoundTouching(run_values, num_runs, pred.hi, touched);
+      if (first < last) {
+        uint64_t start = pos;
+        for (uint32_t r = 0; r < first; ++r) start += runs[r].length;
+        uint64_t len = 0;
+        for (uint32_t r = first; r < last; ++r) len += runs[r].length;
+        out->SetRange(start, start + len);
+        matches = len;
+      }
+      return matches;
+    }
+    // One comparison per run, regardless of iteration mode.
     uint64_t run_pos = pos;
-    for (uint32_t r = 0; r < view.num_runs(); ++r) {
+    for (uint32_t r = 0; r < num_runs; ++r) {
       if (pred.Matches(runs[r].value)) {
         out->SetRange(run_pos, run_pos + runs[r].length);
         matches += runs[r].length;
       }
       run_pos += runs[r].length;
     }
+    *touched += num_runs;
     return matches;
   }
 
@@ -99,15 +185,17 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
         matches++;
       }
     }
+    *touched += n;
     return matches;
   }
 
-  // Block iteration: tight array loops over the page payload.
-  const bool is_range = pred.kind == IntPredicate::Kind::kRange;
+  // Block iteration: tight array loops over the page payload (sorted pages
+  // under a range predicate short-circuit into the binary search above).
   const int64_t lo = pred.lo, hi = pred.hi;
   switch (view.encoding()) {
     case compress::Encoding::kPlainInt32: {
       const int32_t* vals = view.AsInt32();
+      if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
       if (is_range) {
         for (uint32_t i = 0; i < n; ++i) {
           if (vals[i] >= lo && vals[i] <= hi) {
@@ -127,6 +215,7 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
     }
     case compress::Encoding::kPlainInt64: {
       const int64_t* vals = view.AsInt64();
+      if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
       if (is_range) {
         for (uint32_t i = 0; i < n; ++i) {
           if (vals[i] >= lo && vals[i] <= hi) {
@@ -148,6 +237,7 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
       scratch->resize(n);
       view.DecodeInt64(scratch->data());
       const int64_t* vals = scratch->data();
+      if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
       if (is_range) {
         for (uint32_t i = 0; i < n; ++i) {
           if (vals[i] >= lo && vals[i] <= hi) {
@@ -169,6 +259,7 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
     case compress::Encoding::kPlainChar:
       CSTORE_CHECK(false);  // handled above / rejected before the page loop
   }
+  *touched += n;
   return matches;
 }
 
@@ -239,7 +330,8 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
 template <typename Driver>
 Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
                              const IntPredicate& pred, bool block_iteration,
-                             util::BitVector* out, Driver&& drive) {
+                             util::BitVector* out, ExecContext* ctx,
+                             Driver&& drive) {
   CSTORE_CHECK(out->size() == column.num_values());
   if (!column.IsIntegerStored()) {
     return Status::InvalidArgument("integer scan over char column");
@@ -247,8 +339,9 @@ Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
 
   uint64_t matches = 0;
+  uint64_t touched = 0;
   std::vector<int64_t> scratch;
-  CSTORE_RETURN_IF_ERROR(drive(
+  Status status = drive(
       [&](const compress::PageStats& stats) { return DecideInt(pred, stats); },
       [&](const compress::PageStats& stats) {
         // Whole page matches: set the row range straight from the zone map —
@@ -257,9 +350,14 @@ Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
         matches += stats.num_values;
       },
       [&](const compress::PageView& view, const compress::PageStats& stats) {
-        matches += ScanIntPage(view, pred, block_iteration, stats.row_start,
-                               out, &scratch);
-      }));
+        matches +=
+            ScanIntPage(view, pred, block_iteration, stats, out, &scratch,
+                        &touched);
+      });
+  if (ctx != nullptr && touched != 0) {
+    ctx->telemetry.values_scanned.fetch_add(touched, std::memory_order_relaxed);
+  }
+  CSTORE_RETURN_IF_ERROR(status);
   return matches;
 }
 
@@ -268,14 +366,16 @@ Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
 template <typename Driver>
 Result<uint64_t> ScanCharWith(const col::StoredColumn& column,
                               const StrPredicate& pred, bool block_iteration,
-                              util::BitVector* out, Driver&& drive) {
+                              util::BitVector* out, ExecContext* ctx,
+                              Driver&& drive) {
   CSTORE_CHECK(out->size() == column.num_values());
   if (column.info().encoding != compress::Encoding::kPlainChar) {
     return Status::InvalidArgument("string scan over non-char column");
   }
   const size_t width = column.info().char_width;
   uint64_t matches = 0;
-  CSTORE_RETURN_IF_ERROR(drive(
+  uint64_t touched = 0;
+  Status status = drive(
       [](const compress::PageStats&) { return col::PageDecision::kVisit; },
       [](const compress::PageStats&) {},
       [&](const compress::PageView& view, const compress::PageStats& stats) {
@@ -290,7 +390,12 @@ Result<uint64_t> ScanCharWith(const col::StoredColumn& column,
             matches++;
           }
         }
-      }));
+        touched += n;
+      });
+  if (ctx != nullptr && touched != 0) {
+    ctx->telemetry.values_scanned.fetch_add(touched, std::memory_order_relaxed);
+  }
+  CSTORE_RETURN_IF_ERROR(status);
   return matches;
 }
 
@@ -300,62 +405,64 @@ Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
                               const IntPredicate& pred, bool block_iteration,
                               storage::PageNumber first_page,
                               storage::PageNumber end_page,
-                              util::BitVector* out) {
+                              util::BitVector* out, ExecContext* ctx) {
   return ScanIntWith(
-      column, pred, block_iteration, out,
+      column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
-        col::ColumnReader reader(&column, first_page, end_page);
+        col::ColumnReader reader(&column, first_page, end_page,
+                                 ExecContext::TelemetryOf(ctx));
         return reader.VisitPages(decide, all_match, visit);
       });
 }
 
 Result<uint64_t> ScanInt(const col::StoredColumn& column,
                          const IntPredicate& pred, bool block_iteration,
-                         util::BitVector* out) {
+                         util::BitVector* out, ExecContext* ctx) {
   return ScanIntPages(column, pred, block_iteration, 0, column.num_pages(),
-                      out);
+                      out, ctx);
 }
 
 Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
                                const StrPredicate& pred, bool block_iteration,
                                storage::PageNumber first_page,
                                storage::PageNumber end_page,
-                               util::BitVector* out) {
+                               util::BitVector* out, ExecContext* ctx) {
   return ScanCharWith(
-      column, pred, block_iteration, out,
+      column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
-        col::ColumnReader reader(&column, first_page, end_page);
+        col::ColumnReader reader(&column, first_page, end_page,
+                                 ExecContext::TelemetryOf(ctx));
         return reader.VisitPages(decide, all_match, visit);
       });
 }
 
 Result<uint64_t> ScanChar(const col::StoredColumn& column,
                           const StrPredicate& pred, bool block_iteration,
-                          util::BitVector* out) {
+                          util::BitVector* out, ExecContext* ctx) {
   return ScanCharPages(column, pred, block_iteration, 0, column.num_pages(),
-                       out);
+                       out, ctx);
 }
 
 Result<uint64_t> ScanColumn(const col::StoredColumn& column,
                             const CompiledPredicate& pred, bool block_iteration,
-                            util::BitVector* out) {
+                            util::BitVector* out, ExecContext* ctx) {
   if (pred.is_string()) {
-    return ScanChar(column, pred.str_pred(), block_iteration, out);
+    return ScanChar(column, pred.str_pred(), block_iteration, out, ctx);
   }
-  return ScanInt(column, pred.int_pred(), block_iteration, out);
+  return ScanInt(column, pred.int_pred(), block_iteration, out, ctx);
 }
 
 Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
                                const IntPredicate& pred, bool block_iteration,
-                               SharedScanManager* shared,
-                               util::BitVector* out) {
+                               SharedScanManager* shared, util::BitVector* out,
+                               ExecContext* ctx) {
   // Same predicate/sink body as the private scan; only the driver differs —
   // attach to the column's scan group and walk wrap-around from its cursor.
   return ScanIntWith(
-      column, pred, block_iteration, out,
+      column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
         SharedScanManager::Attachment attachment = shared->Attach(column);
-        col::ColumnReader reader(&column);
+        col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
         return reader.VisitPagesCircular(
             attachment.start_page(),
             [&](storage::PageNumber p) { attachment.Advance(p); }, decide,
@@ -366,12 +473,12 @@ Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
 Result<uint64_t> SharedScanChar(const col::StoredColumn& column,
                                 const StrPredicate& pred, bool block_iteration,
                                 SharedScanManager* shared,
-                                util::BitVector* out) {
+                                util::BitVector* out, ExecContext* ctx) {
   return ScanCharWith(
-      column, pred, block_iteration, out,
+      column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
         SharedScanManager::Attachment attachment = shared->Attach(column);
-        col::ColumnReader reader(&column);
+        col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
         return reader.VisitPagesCircular(
             attachment.start_page(),
             [&](storage::PageNumber p) { attachment.Advance(p); }, decide,
@@ -383,26 +490,29 @@ Result<uint64_t> SharedScanColumn(const col::StoredColumn& column,
                                   const CompiledPredicate& pred,
                                   bool block_iteration,
                                   SharedScanManager* shared,
-                                  util::BitVector* out) {
+                                  util::BitVector* out, ExecContext* ctx) {
   if (pred.is_string()) {
     return SharedScanChar(column, pred.str_pred(), block_iteration, shared,
-                          out);
+                          out, ctx);
   }
-  return SharedScanInt(column, pred.int_pred(), block_iteration, shared, out);
+  return SharedScanInt(column, pred.int_pred(), block_iteration, shared, out,
+                       ctx);
 }
 
 Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
                                     const CompiledPredicate& pred,
                                     bool block_iteration, unsigned num_threads,
-                                    util::BitVector* out) {
-  if (num_threads <= 1) return ScanColumn(column, pred, block_iteration, out);
+                                    util::BitVector* out, ExecContext* ctx) {
+  if (num_threads <= 1) {
+    return ScanColumn(column, pred, block_iteration, out, ctx);
+  }
   if (pred.is_string()) {
     return ParallelScanImpl(
         column, num_threads, out,
         [&](storage::PageNumber first, storage::PageNumber end,
             util::BitVector* bits) {
           return ScanCharPages(column, pred.str_pred(), block_iteration, first,
-                               end, bits);
+                               end, bits, ctx);
         });
   }
   return ParallelScanImpl(
@@ -410,7 +520,7 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
       [&](storage::PageNumber first, storage::PageNumber end,
           util::BitVector* bits) {
         return ScanIntPages(column, pred.int_pred(), block_iteration, first,
-                            end, bits);
+                            end, bits, ctx);
       });
 }
 
@@ -418,24 +528,28 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
                                     const CompiledPredicate& pred,
                                     bool block_iteration, unsigned num_threads,
                                     SharedScanManager* shared,
-                                    util::BitVector* out) {
+                                    util::BitVector* out, ExecContext* ctx) {
   if (shared != nullptr) {
-    return SharedScanColumn(column, pred, block_iteration, shared, out);
+    return SharedScanColumn(column, pred, block_iteration, shared, out, ctx);
   }
-  return ParallelScanColumn(column, pred, block_iteration, num_threads, out);
+  return ParallelScanColumn(column, pred, block_iteration, num_threads, out,
+                            ctx);
 }
 
 Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
-                                 util::BitVector* out) {
-  if (num_threads <= 1) return ScanInt(column, pred, block_iteration, out);
+                                 util::BitVector* out, ExecContext* ctx) {
+  if (num_threads <= 1) {
+    return ScanInt(column, pred, block_iteration, out, ctx);
+  }
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
   return ParallelScanImpl(
       column, num_threads, out,
       [&](storage::PageNumber first, storage::PageNumber end,
           util::BitVector* bits) {
-        return ScanIntPages(column, pred, block_iteration, first, end, bits);
+        return ScanIntPages(column, pred, block_iteration, first, end, bits,
+                            ctx);
       });
 }
 
@@ -443,11 +557,11 @@ Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
                                  SharedScanManager* shared,
-                                 util::BitVector* out) {
+                                 util::BitVector* out, ExecContext* ctx) {
   if (shared != nullptr) {
-    return SharedScanInt(column, pred, block_iteration, shared, out);
+    return SharedScanInt(column, pred, block_iteration, shared, out, ctx);
   }
-  return ParallelScanInt(column, pred, block_iteration, num_threads, out);
+  return ParallelScanInt(column, pred, block_iteration, num_threads, out, ctx);
 }
 
 }  // namespace cstore::core

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "column/stored_column.h"
+#include "core/exec_context.h"
 #include "core/predicate.h"
 #include "core/shared_scan.h"
 #include "util/bit_vector.h"
@@ -27,7 +28,7 @@ namespace cstore::core {
 /// getNext() calls. Returns the number of matches.
 Result<uint64_t> ScanInt(const col::StoredColumn& column,
                          const IntPredicate& pred, bool block_iteration,
-                         util::BitVector* out);
+                         util::BitVector* out, ExecContext* ctx = nullptr);
 
 /// ScanInt restricted to the pages [first_page, end_page) — one morsel of a
 /// parallel scan. Only bits for rows stored on those pages are touched.
@@ -35,24 +36,25 @@ Result<uint64_t> ScanIntPages(const col::StoredColumn& column,
                               const IntPredicate& pred, bool block_iteration,
                               storage::PageNumber first_page,
                               storage::PageNumber end_page,
-                              util::BitVector* out);
+                              util::BitVector* out, ExecContext* ctx = nullptr);
 
 /// Same for a string predicate over an uncompressed char column.
 Result<uint64_t> ScanChar(const col::StoredColumn& column,
                           const StrPredicate& pred, bool block_iteration,
-                          util::BitVector* out);
+                          util::BitVector* out, ExecContext* ctx = nullptr);
 
 /// ScanChar over the pages [first_page, end_page).
 Result<uint64_t> ScanCharPages(const col::StoredColumn& column,
                                const StrPredicate& pred, bool block_iteration,
                                storage::PageNumber first_page,
                                storage::PageNumber end_page,
-                               util::BitVector* out);
+                               util::BitVector* out,
+                               ExecContext* ctx = nullptr);
 
 /// Dispatches on the compiled predicate's flavour.
 Result<uint64_t> ScanColumn(const col::StoredColumn& column,
                             const CompiledPredicate& pred, bool block_iteration,
-                            util::BitVector* out);
+                            util::BitVector* out, ExecContext* ctx = nullptr);
 
 /// ScanInt as a cooperative shared scan: attaches to `shared`'s group for
 /// this column and visits every page in wrap-around order from the group
@@ -62,20 +64,23 @@ Result<uint64_t> ScanColumn(const col::StoredColumn& column,
 /// are shared, so the bits are identical to ScanInt's.
 Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
                                const IntPredicate& pred, bool block_iteration,
-                               SharedScanManager* shared, util::BitVector* out);
+                               SharedScanManager* shared, util::BitVector* out,
+                               ExecContext* ctx = nullptr);
 
 /// SharedScanInt for a string predicate over an uncompressed char column.
 Result<uint64_t> SharedScanChar(const col::StoredColumn& column,
                                 const StrPredicate& pred, bool block_iteration,
                                 SharedScanManager* shared,
-                                util::BitVector* out);
+                                util::BitVector* out,
+                                ExecContext* ctx = nullptr);
 
 /// Shared-scan dispatch on the compiled predicate's flavour.
 Result<uint64_t> SharedScanColumn(const col::StoredColumn& column,
                                   const CompiledPredicate& pred,
                                   bool block_iteration,
                                   SharedScanManager* shared,
-                                  util::BitVector* out);
+                                  util::BitVector* out,
+                                  ExecContext* ctx = nullptr);
 
 /// Morsel-driven parallel ScanColumn: page-range morsels are scanned into
 /// per-worker partial bitmaps which are OR-combined into `out` (all-zero on
@@ -84,7 +89,8 @@ Result<uint64_t> SharedScanColumn(const col::StoredColumn& column,
 Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
                                     const CompiledPredicate& pred,
                                     bool block_iteration, unsigned num_threads,
-                                    util::BitVector* out);
+                                    util::BitVector* out,
+                                    ExecContext* ctx = nullptr);
 
 /// ParallelScanColumn behind the ExecConfig::shared_scans knob: with a
 /// manager the scan runs as one cooperative shared scan (serial within the
@@ -96,14 +102,16 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
                                     const CompiledPredicate& pred,
                                     bool block_iteration, unsigned num_threads,
                                     SharedScanManager* shared,
-                                    util::BitVector* out);
+                                    util::BitVector* out,
+                                    ExecContext* ctx = nullptr);
 
 /// ParallelScanColumn for a bare integer predicate (the rewritten fact
 /// predicates of the invisible join).
 Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
-                                 util::BitVector* out);
+                                 util::BitVector* out,
+                                 ExecContext* ctx = nullptr);
 
 /// ParallelScanInt behind the ExecConfig::shared_scans knob (see the
 /// ParallelScanColumn overload above).
@@ -111,6 +119,7 @@ Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
                                  const IntPredicate& pred,
                                  bool block_iteration, unsigned num_threads,
                                  SharedScanManager* shared,
-                                 util::BitVector* out);
+                                 util::BitVector* out,
+                                 ExecContext* ctx = nullptr);
 
 }  // namespace cstore::core

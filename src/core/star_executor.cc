@@ -110,8 +110,8 @@ struct DimRuntime {
 
 /// Phase 1: evaluate all of a dimension's predicates, then derive the
 /// rewritten fact predicate.
-Status RunPhase1(const StarQuery& query, const ExecConfig& config,
-                 DimRuntime* rt) {
+Status RunPhase1(const StarQuery& query, ExecContext& ctx, DimRuntime* rt) {
+  const ExecConfig& config = ctx.config;
   const col::ColumnTable& table = *rt->dim->table;
   const uint64_t n = table.num_rows();
   rt->matching = util::BitVector(n);
@@ -124,7 +124,8 @@ Status RunPhase1(const StarQuery& query, const ExecConfig& config,
                             CompiledPredicate::Compile(spec, column));
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
-        uint64_t matches, ScanColumn(column, pred, config.block_iteration, &bits));
+        uint64_t matches,
+        ScanColumn(column, pred, config.block_iteration, &bits, &ctx));
     (void)matches;
     if (first) {
       rt->matching = std::move(bits);
@@ -190,35 +191,37 @@ Status RunPhase1(const StarQuery& query, const ExecConfig& config,
 /// predicate evaluation runs concurrently on the shared pool; each
 /// RunPhase1 writes only its own DimRuntime, so the outcome is identical
 /// to the serial order.
-Status RunPhase1ForDims(const StarQuery& query, const ExecConfig& config,
+Status RunPhase1ForDims(const StarQuery& query, ExecContext& ctx,
                         const std::vector<size_t>& which,
                         std::vector<DimRuntime>* dims) {
   return util::ParallelForStatus(
-      which.size(), config.ResolvedThreads(),
-      [&](uint64_t i) { return RunPhase1(query, config, &(*dims)[which[i]]); });
+      which.size(), ctx.config.ResolvedThreads(),
+      [&](uint64_t i) { return RunPhase1(query, ctx, &(*dims)[which[i]]); });
 }
 
 /// Builds the measure vector for rows selected by `sel`.
 Status GatherMeasure(const col::ColumnTable& fact, const Aggregate& agg,
-                     const util::BitVector& sel, unsigned num_threads,
+                     const util::BitVector& sel, ExecContext& ctx,
                      std::vector<int64_t>* out) {
+  const unsigned num_threads = ctx.config.ResolvedThreads();
   std::vector<int64_t> a;
   CSTORE_RETURN_IF_ERROR(
-      ParallelGatherInts(fact.column(agg.column_a), sel, num_threads, &a));
+      ParallelGatherInts(fact.column(agg.column_a), sel, num_threads, &a, &ctx));
   if (agg.kind == AggKind::kSumColumn) {
     *out = std::move(a);
     return Status::OK();
   }
   std::vector<int64_t> b;
   CSTORE_RETURN_IF_ERROR(
-      ParallelGatherInts(fact.column(agg.column_b), sel, num_threads, &b));
+      ParallelGatherInts(fact.column(agg.column_b), sel, num_threads, &b, &ctx));
   *out = std::move(a);
   CombineMeasures(out, b, agg.kind, num_threads);
   return Status::OK();
 }
 
 Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query,
-                                const ExecConfig& config) {
+                                ExecContext& ctx) {
+  const ExecConfig& config = ctx.config;
   const col::ColumnTable& fact = *schema.fact;
   const uint64_t n = fact.num_rows();
   const unsigned threads = config.ResolvedThreads();
@@ -239,7 +242,7 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     if (dims[d].has_predicate) dims[d].needed = true;
     if (dims[d].needed) phase1_dims.push_back(d);
   }
-  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, config, phase1_dims, &dims));
+  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, ctx, phase1_dims, &dims));
 
   // ---- Phase 2: fact predicates -> intersected position list. ----
   util::BitVector selected(n);
@@ -249,7 +252,7 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
         uint64_t m, ParallelScanInt(column, pred, config.block_iteration,
-                                    threads, config.shared_scans, &bits));
+                                    threads, config.shared_scans, &bits, &ctx));
     (void)m;
     if (first) {
       selected = std::move(bits);
@@ -275,7 +278,7 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
   // ---- Phase 3: extraction and aggregation. ----
   std::vector<int64_t> measure;
   CSTORE_RETURN_IF_ERROR(
-      GatherMeasure(fact, query.agg, selected, threads, &measure));
+      GatherMeasure(fact, query.agg, selected, ctx, &measure));
 
   if (query.group_by.empty()) {
     QueryResult result;
@@ -313,7 +316,7 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     if (it == fk_cache.end()) {
       std::vector<int64_t> fks;
       CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
-          fact.column(rt.dim->fact_fk_column), selected, threads, &fks));
+          fact.column(rt.dim->fact_fk_column), selected, threads, &fks, &ctx));
       it = fk_cache.emplace(rt.dim->fact_fk_column, std::move(fks)).first;
     }
     const std::vector<int64_t>& fks = it->second;
@@ -354,8 +357,8 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
 /// then process row at a time (the "l" configurations and the naive
 /// column-store of §5.2).
 Result<QueryResult> ExecuteEarly(const StarSchema& schema,
-                                 const StarQuery& query,
-                                 const ExecConfig& config) {
+                                 const StarQuery& query, ExecContext& ctx) {
+  const ExecConfig& config = ctx.config;
   const col::ColumnTable& fact = *schema.fact;
   const uint64_t n = fact.num_rows();
 
@@ -412,7 +415,7 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
     if (rt.has_predicate) rt.needed = true;
     if (rt.needed) phase1_dims.push_back(d);
   }
-  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, config, phase1_dims, &dims));
+  CSTORE_RETURN_IF_ERROR(RunPhase1ForDims(query, ctx, phase1_dims, &dims));
 
   for (size_t d = 0; d < schema.dims.size(); ++d) {
     DimRuntime& rt = dims[d];
@@ -624,12 +627,28 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
 }  // namespace
 
 Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
+                                     const StarQuery& query, ExecContext* ctx) {
+  CSTORE_CHECK(ctx != nullptr);
+  // Every device page the plan touches — on this thread or fanned out to
+  // pool workers — is charged to the context for the span of the query.
+  storage::ScopedIoSink io_sink(&ctx->io);
+  if (ctx->config.late_materialization) {
+    return ExecuteLate(schema, query, *ctx);
+  }
+  return ExecuteEarly(schema, query, *ctx);
+}
+
+Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
                                      const StarQuery& query,
                                      const ExecConfig& config) {
-  if (config.late_materialization) {
-    return ExecuteLate(schema, query, config);
+  // No sink is installed for the throwaway context: a legacy call made
+  // inside an engine-run design keeps billing the enclosing query's sink
+  // instead of stealing its I/O into a discarded context.
+  ExecContext ctx(config);
+  if (ctx.config.late_materialization) {
+    return ExecuteLate(schema, query, ctx);
   }
-  return ExecuteEarly(schema, query, config);
+  return ExecuteEarly(schema, query, ctx);
 }
 
 }  // namespace cstore::core

@@ -17,12 +17,20 @@
 #pragma once
 
 #include "core/exec_config.h"
+#include "core/exec_context.h"
 #include "core/star_query.h"
 
 namespace cstore::core {
 
-/// Executes `query` against `schema` under `config`. Results are sorted per
-/// the query's ORDER BY.
+/// Executes `query` against `schema` under `ctx->config`, charging the
+/// query's zone-map counters and device I/O to the context's sinks (the
+/// canonical entry point — engine::Session::Run lands here). Results are
+/// sorted per the query's ORDER BY.
+Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
+                                     const StarQuery& query, ExecContext* ctx);
+
+/// Legacy entry point: executes under `config` with a throw-away context
+/// (telemetry is still charged to the deprecated process-wide counters).
 Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
                                      const StarQuery& query,
                                      const ExecConfig& config);

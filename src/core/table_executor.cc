@@ -24,9 +24,15 @@ DimPredicate ToDimPredicate(const TablePredicate& p) {
 
 }  // namespace
 
-Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
-                                      const TableQuery& query,
-                                      const ExecConfig& config) {
+namespace {
+
+/// The plan body, context-threaded; sink installation stays with the
+/// public entry points so a legacy (config-only) call cannot displace an
+/// enclosing query's I/O attribution.
+Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
+                                          const TableQuery& query,
+                                          ExecContext* ctx) {
+  const ExecConfig& config = ctx->config;
   const uint64_t n = table.num_rows();
   const unsigned threads = config.ResolvedThreads();
 
@@ -41,7 +47,8 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
         uint64_t m, ParallelScanColumn(column, pred, config.block_iteration,
-                                       threads, config.shared_scans, &bits));
+                                       threads, config.shared_scans, &bits,
+                                       ctx));
     (void)m;
     if (first) {
       selected = std::move(bits);
@@ -57,13 +64,13 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
   {
     std::vector<int64_t> a;
     CSTORE_RETURN_IF_ERROR(ParallelGatherInts(table.column(query.agg.column_a),
-                                              selected, threads, &a));
+                                              selected, threads, &a, ctx));
     if (query.agg.kind == AggKind::kSumColumn) {
       measure = std::move(a);
     } else {
       std::vector<int64_t> b;
       CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
-          table.column(query.agg.column_b), selected, threads, &b));
+          table.column(query.agg.column_b), selected, threads, &b, ctx));
       measure = std::move(a);
       CombineMeasures(&measure, b, query.agg.kind, threads);
     }
@@ -87,12 +94,12 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
       // Uncompressed strings: intern on the fly (the "PJ, No C" cost). Stays
       // serial — the pool's first-seen order is part of the cost model.
       pools.push_back(std::make_unique<std::vector<std::string>>());
-      CSTORE_RETURN_IF_ERROR(
-          GatherCharsInterned(column, selected, &codes, pools.back().get()));
+      CSTORE_RETURN_IF_ERROR(GatherCharsInterned(column, selected, &codes,
+                                                 pools.back().get(), ctx));
       codec.AddInternAttr(pools.back().get());
     } else {
       CSTORE_RETURN_IF_ERROR(
-          ParallelGatherInts(column, selected, threads, &codes));
+          ParallelGatherInts(column, selected, threads, &codes, ctx));
       if (info.dict != nullptr) {
         codec.AddDictAttr(info.dict);
       } else {
@@ -106,6 +113,24 @@ Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
   QueryResult result = agg.Finish();
   result.Sort(query.order_by);
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
+                                      const TableQuery& query,
+                                      ExecContext* ctx) {
+  CSTORE_CHECK(ctx != nullptr);
+  storage::ScopedIoSink io_sink(&ctx->io);
+  return ExecuteTableQueryImpl(table, query, ctx);
+}
+
+Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
+                                      const TableQuery& query,
+                                      const ExecConfig& config) {
+  // Throwaway context, no sink: see ExecuteStarQuery's legacy overload.
+  ExecContext ctx(config);
+  return ExecuteTableQueryImpl(table, query, &ctx);
 }
 
 }  // namespace cstore::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/exec_config.h"
+#include "core/exec_context.h"
 #include "core/star_query.h"
 
 namespace cstore::core {
@@ -29,7 +30,14 @@ struct TableQuery {
   OrderBy order_by = OrderBy::kGroups;
 };
 
-/// Executes `query` against `table` (late-materialized plan).
+/// Executes `query` against `table` (late-materialized plan), charging
+/// telemetry and device I/O to the context's sinks (the canonical entry
+/// point — the engine's denormalized design lands here).
+Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
+                                      const TableQuery& query,
+                                      ExecContext* ctx);
+
+/// Legacy entry point: executes under `config` with a throw-away context.
 Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
                                       const TableQuery& query,
                                       const ExecConfig& config);

@@ -1,0 +1,95 @@
+#include "engine/designs.h"
+
+#include <utility>
+
+#include "core/star_executor.h"
+#include "core/table_executor.h"
+
+namespace cstore::engine {
+
+namespace {
+
+class ColumnStoreDesign : public Design {
+ public:
+  explicit ColumnStoreDesign(core::StarSchema schema)
+      : schema_(std::move(schema)) {}
+
+  Result<core::QueryResult> Execute(const core::StarQuery& query,
+                                    core::ExecContext& ctx) const override {
+    return core::ExecuteStarQuery(schema_, query, &ctx);
+  }
+
+ private:
+  const core::StarSchema schema_;
+};
+
+class RowStoreDesign : public Design {
+ public:
+  RowStoreDesign(const ssb::RowDatabase* db, ssb::RowDesign design)
+      : db_(db), design_(design) {}
+
+  Result<core::QueryResult> Execute(const core::StarQuery& query,
+                                    core::ExecContext& ctx) const override {
+    return ssb::ExecuteRowQuery(*db_, query, design_, &ctx);
+  }
+
+ private:
+  const ssb::RowDatabase* db_;
+  const ssb::RowDesign design_;
+};
+
+class DenormalizedDesign : public Design {
+ public:
+  explicit DenormalizedDesign(const col::ColumnTable* table) : table_(table) {}
+
+  Result<core::QueryResult> Execute(const core::StarQuery& query,
+                                    core::ExecContext& ctx) const override {
+    return core::ExecuteTableQuery(*table_, ssb::ToDenormalizedQuery(query),
+                                   &ctx);
+  }
+
+ private:
+  const col::ColumnTable* table_;
+};
+
+class FunctionDesign : public Design {
+ public:
+  using Fn = std::function<Result<core::QueryResult>(const core::StarQuery&,
+                                                     core::ExecContext&)>;
+  explicit FunctionDesign(Fn fn) : fn_(std::move(fn)) {}
+
+  Result<core::QueryResult> Execute(const core::StarQuery& query,
+                                    core::ExecContext& ctx) const override {
+    // Wrapped callables may predate ExecContext; install the I/O sink here
+    // so their device traffic is still billed to the query.
+    storage::ScopedIoSink io_sink(&ctx.io);
+    return fn_(query, ctx);
+  }
+
+ private:
+  const Fn fn_;
+};
+
+}  // namespace
+
+std::unique_ptr<Design> MakeColumnStoreDesign(core::StarSchema schema) {
+  return std::make_unique<ColumnStoreDesign>(std::move(schema));
+}
+
+std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
+                                           ssb::RowDesign design) {
+  CSTORE_CHECK(db != nullptr);
+  return std::make_unique<RowStoreDesign>(db, design);
+}
+
+std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table) {
+  CSTORE_CHECK(table != nullptr);
+  return std::make_unique<DenormalizedDesign>(table);
+}
+
+std::unique_ptr<Design> MakeFunctionDesign(FunctionDesign::Fn fn) {
+  CSTORE_CHECK(fn != nullptr);
+  return std::make_unique<FunctionDesign>(std::move(fn));
+}
+
+}  // namespace cstore::engine

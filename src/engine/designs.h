@@ -1,0 +1,50 @@
+// The standard engine::Design adapters: every physical design the paper
+// measures, registered behind the one Session::Run front door.
+//
+// Each factory wraps an already-loaded database. Adapters hold pointers
+// only — the database must outlive the engine — and are stateless, so
+// concurrent sessions may share one design instance.
+//
+// Migration map (old free function -> design):
+//   core::ExecuteStarQuery(db.Schema(), q, cfg)   -> MakeColumnStoreDesign
+//   ssb::ExecuteRowQuery(db, q, kTraditional)     -> MakeRowStoreDesign
+//   ssb::ExecuteRowQuery(db, q, k...Bitmap/VP/AI) -> MakeRowStoreDesign
+//   core::ExecuteTableQuery(t, ToDenormalizedQuery(q), cfg)
+//                                                 -> MakeDenormalizedDesign
+//   any other Result<QueryResult>(query) callable -> MakeFunctionDesign
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "engine/engine.h"
+#include "ssb/column_db.h"
+#include "ssb/row_exec.h"
+
+namespace cstore::engine {
+
+/// The column store: late/early-materialized star plans over a
+/// ssb::ColumnDatabase's schema (all Figure-7 knobs honored, shared scans
+/// supported).
+std::unique_ptr<Design> MakeColumnStoreDesign(core::StarSchema schema);
+
+/// One of the §4 row-store designs over a ssb::RowDatabase (the database
+/// must have been built with the options the design needs). Honors the
+/// context's thread budget; the iteration/join knobs don't apply.
+std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
+                                           ssb::RowDesign design);
+
+/// The pre-joined ("PJ") single-table design of §6.3.3: star queries are
+/// rewritten onto the denormalized fact table and run join-free.
+std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table);
+
+/// Escape hatch for bespoke executors (e.g. the Row-MV-in-column-store
+/// hybrid): wraps any callable. The engine still installs the context's
+/// I/O sink around the call, so device pages are attributed per query even
+/// when the callable predates ExecContext.
+std::unique_ptr<Design> MakeFunctionDesign(
+    std::function<Result<core::QueryResult>(const core::StarQuery&,
+                                            core::ExecContext&)>
+        fn);
+
+}  // namespace cstore::engine

@@ -1,0 +1,86 @@
+#include "engine/engine.h"
+
+#include "util/stopwatch.h"
+
+namespace cstore::engine {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::~Engine() = default;
+
+Design* Engine::Register(std::string name, std::unique_ptr<Design> design) {
+  CSTORE_CHECK(design != nullptr);
+  Design* raw = design.get();
+  designs_[std::move(name)] = std::move(design);
+  return raw;
+}
+
+std::unique_ptr<Session> Engine::OpenSession(const std::string& design) {
+  auto it = designs_.find(design);
+  CSTORE_CHECK(it != designs_.end());
+  // Session's constructor is private; unique_ptr via bare new.
+  return std::unique_ptr<Session>(
+      new Session(this, it->first, it->second.get()));
+}
+
+std::vector<std::string> Engine::DesignNames() const {
+  std::vector<std::string> names;
+  names.reserve(designs_.size());
+  for (const auto& [name, design] : designs_) names.push_back(name);
+  return names;
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double Engine::Admit() {
+  const size_t cap = options_.max_inflight_queries;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cap == 0 || inflight_ < cap) {
+    ++inflight_;
+    ++stats_.queries_run;
+    return 0;
+  }
+  util::Stopwatch wait;
+  slot_freed_.wait(lock, [&] { return inflight_ < cap; });
+  const double waited = wait.ElapsedSeconds();
+  ++inflight_;
+  ++stats_.queries_run;
+  ++stats_.queries_waited;
+  stats_.admission_wait_seconds += waited;
+  return waited;
+}
+
+void Engine::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CSTORE_CHECK(inflight_ > 0);
+    --inflight_;
+  }
+  slot_freed_.notify_one();
+}
+
+Result<QueryOutcome> Session::Run(const core::StarQuery& query) {
+  util::Stopwatch wall;
+  const double waited = engine_->Admit();
+
+  core::ExecContext ctx(config_);
+  if (engine_->options().shared_scans && ctx.config.shared_scans == nullptr) {
+    ctx.config.shared_scans = &engine_->shared_scans_;
+  }
+  Result<core::QueryResult> result = design_->Execute(query, ctx);
+  engine_->Release();
+  CSTORE_RETURN_IF_ERROR(result.status());
+
+  QueryOutcome outcome;
+  outcome.result = std::move(result).ValueOrDie();
+  outcome.stats = ctx.Stats();
+  outcome.stats.admission_wait_seconds = waited;
+  outcome.stats.seconds = wall.ElapsedSeconds();
+  totals_ += outcome.stats;
+  return outcome;
+}
+
+}  // namespace cstore::engine

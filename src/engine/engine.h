@@ -1,0 +1,175 @@
+// engine::Engine / engine::Session: one front door for every physical design.
+//
+// The paper's experiments compare five physical designs — the column store
+// and the four row-store layouts of §4 (traditional, bitmap-biased,
+// vertically partitioned, index-only) plus materialized views — which the
+// lower layers expose as unrelated free functions (core::ExecuteStarQuery,
+// core::ExecuteTableQuery, ssb::ExecuteRowQuery, ...). A serving system
+// cannot hand clients five entry points with five telemetry conventions:
+// this module is the single API the harness, the benches, and (eventually)
+// a network front end all talk to. The design varies; the interface does
+// not (Bruno, "Teaching an Old Elephant New Tricks").
+//
+//   Engine   owns what queries share: the worker pool the morsel layer
+//            draws from, the SharedScanManager cooperative scans attach to,
+//            and the admission gate bounding in-flight queries
+//            (EngineOptions::max_inflight_queries). Designs register behind
+//            the common engine::Design interface, keyed by name.
+//   Session  is one client's handle (one session per client thread).
+//            Run(query) admits the query through the gate, executes it on
+//            the session's design with a fresh core::ExecContext, and
+//            returns the QueryResult together with per-query QueryStats —
+//            wall time, admission wait, device pages read, zone-map
+//            skip/all-match/scan counts — attributed to exactly this query
+//            no matter how many clients run concurrently.
+//
+// Admission ("Processing a Trillion Cells per Mouse Click" serves thousands
+// of users this way): with max_inflight_queries = N, at most N queries
+// execute at once; later arrivals block in Run() and their wait is reported
+// in QueryStats::admission_wait_seconds. Besides bounding memory and pool
+// pressure, the gate staggers arrivals into the shared-scan groups —
+// attachments trickle in behind the in-flight cursor instead of thundering
+// in at page 0.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "core/shared_scan.h"
+#include "core/star_query.h"
+#include "util/thread_pool.h"
+
+namespace cstore::engine {
+
+/// A physical design registered with the engine: anything that can answer a
+/// StarQuery under an ExecContext. Implementations are stateless adapters
+/// over a loaded database (engine/designs.h has the five standard ones) and
+/// must be safe to Execute from concurrent sessions.
+class Design {
+ public:
+  virtual ~Design() = default;
+
+  /// Executes `query`, honoring ctx.config (thread budget, iteration /
+  /// join / materialization knobs, shared-scan handle where the design
+  /// supports it) and charging telemetry + device I/O to ctx's sinks.
+  virtual Result<core::QueryResult> Execute(const core::StarQuery& query,
+                                            core::ExecContext& ctx) const = 0;
+};
+
+struct EngineOptions {
+  /// Maximum queries executing at once across all sessions; later arrivals
+  /// block at the admission gate. 0 = unlimited.
+  size_t max_inflight_queries = 0;
+  /// When true, sessions' fact scans attach to the engine's shared
+  /// SharedScanManager (cooperative scans across concurrent clients).
+  bool shared_scans = false;
+  /// Starting ExecConfig for every session (thread budget per query, the
+  /// Figure-7 knobs). Sessions may adjust their own copy via config().
+  core::ExecConfig default_config;
+};
+
+/// One query's answer plus its bill.
+struct QueryOutcome {
+  core::QueryResult result;
+  core::QueryStats stats;
+};
+
+class Session;
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  /// Registers `design` under `name` (replacing any previous registration
+  /// with that name). Returns the registered design.
+  Design* Register(std::string name, std::unique_ptr<Design> design);
+
+  /// Opens a client session bound to the named design (CHECK-fails on an
+  /// unknown name). The session starts from options().default_config; it is
+  /// not thread-safe — one session per client thread.
+  std::unique_ptr<Session> OpenSession(const std::string& design);
+
+  std::vector<std::string> DesignNames() const;
+  const EngineOptions& options() const { return options_; }
+
+  /// The manager sessions' scans attach to when options().shared_scans.
+  core::SharedScanManager& shared_scan_manager() { return shared_scans_; }
+
+  /// The worker pool queries' morsel-parallel phases draw from; per-query
+  /// parallelism is budgeted by ExecConfig::num_threads, not per pool.
+  util::ThreadPool& pool() const { return util::ThreadPool::Global(); }
+
+  /// Engine-lifetime telemetry.
+  struct Stats {
+    uint64_t queries_run = 0;     ///< queries admitted through the gate
+    uint64_t queries_waited = 0;  ///< of those, blocked before admission
+    double admission_wait_seconds = 0;  ///< total time spent blocked
+  };
+  Stats stats() const;
+
+ private:
+  friend class Session;
+
+  /// Blocks until an in-flight slot frees (no-op when unlimited); returns
+  /// the seconds spent waiting.
+  double Admit();
+  void Release();
+
+  const EngineOptions options_;
+  core::SharedScanManager shared_scans_;
+
+  /// Registered designs. Registration happens at setup time; sessions hold
+  /// raw Design pointers, so entries must not be replaced while queries run.
+  std::map<std::string, std::unique_ptr<Design>> designs_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable slot_freed_;
+  size_t inflight_ = 0;
+  Stats stats_;
+};
+
+/// A client's handle on the engine: a design binding plus per-session
+/// ExecConfig. Run() is the one query entry point for every design.
+class Session {
+ public:
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(Session);
+
+  /// Admits, executes, and bills one query. On success the outcome carries
+  /// the result and this query's own stats; the session's running totals()
+  /// are updated as well.
+  Result<QueryOutcome> Run(const core::StarQuery& query);
+
+  /// This session's execution knobs (seeded from the engine's
+  /// default_config). Adjust between Run() calls, not during one.
+  core::ExecConfig& config() { return config_; }
+  const core::ExecConfig& config() const { return config_; }
+
+  const std::string& design_name() const { return design_name_; }
+
+  /// Cumulative stats over every successful Run() on this session.
+  const core::QueryStats& totals() const { return totals_; }
+
+ private:
+  friend class Engine;
+  Session(Engine* engine, std::string design_name, const Design* design)
+      : engine_(engine),
+        design_name_(std::move(design_name)),
+        design_(design),
+        config_(engine->options().default_config) {}
+
+  Engine* engine_;
+  std::string design_name_;
+  const Design* design_;
+  core::ExecConfig config_;
+  core::QueryStats totals_;
+};
+
+}  // namespace cstore::engine

@@ -17,18 +17,21 @@ double SeriesResult::AverageSeconds() const {
   return total / static_cast<double>(by_query.size());
 }
 
-CellResult TimeCell(const std::function<void()>& fn, int repetitions,
-                    const storage::IoStats* stats) {
+CellResult TimeCell(const std::function<core::QueryStats()>& fn,
+                    int repetitions) {
   fn();  // warm-up (warm buffer pool, as in the paper's protocol)
   CellResult cell;
-  const storage::IoStats before = stats != nullptr ? *stats : storage::IoStats{};
+  core::QueryStats total;
   util::Stopwatch watch;
-  for (int r = 0; r < repetitions; ++r) fn();
+  for (int r = 0; r < repetitions; ++r) total += fn();
   cell.seconds = watch.ElapsedSeconds() / repetitions;
-  if (stats != nullptr) {
-    const storage::IoStats delta = *stats - before;
-    cell.pages_read = delta.pages_read / repetitions;
-  }
+  const auto reps = static_cast<uint64_t>(repetitions);
+  cell.pages_read = total.pages_read / reps;
+  cell.pages_skipped = total.pages_skipped / reps;
+  cell.pages_all_match = total.pages_all_match / reps;
+  cell.pages_scanned = total.pages_scanned / reps;
+  cell.values_scanned = total.values_scanned / reps;
+  cell.admission_wait_seconds = total.admission_wait_seconds / repetitions;
   return cell;
 }
 
@@ -122,6 +125,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       args.clients = static_cast<unsigned>(std::atoi(argv[++i]));
       if (args.clients == 0) args.clients = 1;
+    } else if (std::strcmp(argv[i], "--admit") == 0 && i + 1 < argc) {
+      args.admit = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
     }
@@ -145,6 +150,7 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
   std::fprintf(f, "  \"threads\": %u,\n", args.threads);
   std::fprintf(f, "  \"disk_mbps\": %g,\n", args.disk_mbps);
   std::fprintf(f, "  \"pool_pages\": %zu,\n", args.pool_pages);
+  std::fprintf(f, "  \"max_inflight\": %u,\n", args.admit);
   std::fprintf(f, "  \"series\": [\n");
   for (size_t s = 0; s < series.size(); ++s) {
     std::fprintf(f, "    {\n      \"name\": \"%s\",\n", series[s].name.c_str());
@@ -159,12 +165,16 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
       std::fprintf(f,
                    "%s        \"%s\": {\"ms\": %.4f, \"pages_read\": %llu, "
                    "\"pages_skipped\": %llu, \"pages_all_match\": %llu, "
-                   "\"pages_scanned\": %llu, \"result_hash\": \"%016llx\"}",
+                   "\"pages_scanned\": %llu, \"values_scanned\": %llu, "
+                   "\"admission_wait_ms\": %.4f, "
+                   "\"result_hash\": \"%016llx\"}",
                    first ? "" : ",\n", id.c_str(), cell.seconds * 1e3,
                    static_cast<unsigned long long>(cell.pages_read),
                    static_cast<unsigned long long>(cell.pages_skipped),
                    static_cast<unsigned long long>(cell.pages_all_match),
                    static_cast<unsigned long long>(cell.pages_scanned),
+                   static_cast<unsigned long long>(cell.values_scanned),
+                   cell.admission_wait_seconds * 1e3,
                    static_cast<unsigned long long>(cell.result_hash));
       first = false;
     }

@@ -2,8 +2,11 @@
 // paper-style tables (one row per system, one column per query, AVG last).
 //
 // Measurement protocol follows §6: a warm-up run (warm buffer pool), then
-// the average of `repetitions` timed runs. Simulated I/O (pages read through
-// the storage manager) is captured alongside wall time.
+// the average of `repetitions` timed runs. Telemetry comes from the
+// per-query QueryStats each run returns (engine::Session::Run, or a direct
+// executor call with an ExecContext) — the old pattern of diffing
+// process-global counters around a cell is gone; it misattributed work the
+// moment runs overlapped.
 #pragma once
 
 #include <functional>
@@ -11,11 +14,11 @@
 #include <string>
 #include <vector>
 
-#include "storage/io_stats.h"
+#include "core/exec_context.h"
 
 namespace cstore::harness {
 
-/// Timing + I/O for one cell.
+/// Timing + telemetry for one cell (averaged over the timed repetitions).
 struct CellResult {
   double seconds = 0;
   uint64_t pages_read = 0;
@@ -24,11 +27,16 @@ struct CellResult {
   /// series whose hash differs from its serial twin — while timing diffs
   /// stay soft.
   uint64_t result_hash = 0;
-  /// Zone-map telemetry (filled by column-store benches that track
-  /// col::ReadScanCounters around the cell; zero elsewhere).
+  /// Zone-map telemetry (from the per-query stats; zero for designs whose
+  /// plans consult no zone maps).
   uint64_t pages_skipped = 0;
   uint64_t pages_all_match = 0;
   uint64_t pages_scanned = 0;
+  /// Values the scans evaluated predicates against (sorted-page binary
+  /// search makes this smaller than the data scanned).
+  uint64_t values_scanned = 0;
+  /// Time this cell's runs spent blocked at an engine admission gate.
+  double admission_wait_seconds = 0;
 };
 
 /// One experiment row: a named configuration measured over the 13 queries.
@@ -39,10 +47,13 @@ struct SeriesResult {
   double AverageSeconds() const;
 };
 
-/// Runs `fn` once for warm-up and `repetitions` times for timing; returns
-/// the mean. `stats` (optional) is diffed around the timed runs.
-CellResult TimeCell(const std::function<void()>& fn, int repetitions,
-                    const storage::IoStats* stats);
+/// Runs `fn` once for warm-up and `repetitions` times for timing. `fn`
+/// returns the per-query stats of one execution (engine::QueryOutcome's
+/// stats, or ExecContext::Stats() from a direct run; return {} when there
+/// is nothing to report); the cell averages them. Wall time is measured
+/// here, around the timed runs.
+CellResult TimeCell(const std::function<core::QueryStats()>& fn,
+                    int repetitions);
 
 /// Prints a figure-style table: one row per series, columns = query ids +
 /// AVG. `unit_scale` converts seconds (e.g. 1000 for ms).
@@ -58,8 +69,8 @@ void PrintSpeedups(const std::string& title,
                    const SeriesResult& base, const SeriesResult& parallel);
 
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
-/// "--disk <MB/s>", "--threads <n>", "--clients <m>", "--json <path>" flags
-/// (very small helper).
+/// "--disk <MB/s>", "--threads <n>", "--clients <m>", "--admit <n>",
+/// "--json <path>" flags (very small helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
@@ -67,6 +78,9 @@ struct BenchArgs {
   unsigned threads = 0;
   /// Concurrent client threads for the throughput bench.
   unsigned clients = 8;
+  /// Admission cap for the throughput bench (engine
+  /// max_inflight_queries); 0 = unlimited.
+  unsigned admit = 0;
   /// Buffer-pool pages per database. Deliberately smaller than a query's
   /// working set (the paper: "the amount of data read by each query exceeds
   /// the size of the buffer pool"), so warm runs still pay device reads.

@@ -8,18 +8,14 @@
 namespace cstore::harness {
 
 ThroughputResult RunThroughput(
-    const ThroughputOptions& options,
-    const std::vector<std::string>& query_ids,
-    const std::function<uint64_t(unsigned client, const std::string& id)>&
-        run_query,
-    const storage::IoStats* stats) {
+    const ThroughputOptions& options, const std::vector<std::string>& query_ids,
+    const std::function<QueryRun(unsigned client, const std::string& id)>&
+        run_query) {
   CSTORE_CHECK(options.clients > 0 && options.rounds > 0 &&
                !query_ids.empty());
   ThroughputResult result;
   result.clients.resize(options.clients);
 
-  const storage::IoStats before =
-      stats != nullptr ? *stats : storage::IoStats{};
   util::Stopwatch volley;
 
   // Clients are plain OS threads, not pool workers: they model independent
@@ -36,17 +32,13 @@ ThroughputResult RunThroughput(
       for (int round = 0; round < options.rounds; ++round) {
         for (size_t i = 0; i < n; ++i) {
           const std::string& id = query_ids[(offset + i) % n];
-          util::Stopwatch query_watch;
-          const uint64_t hash = run_query(c, id);
-          mine.query_seconds[id] += query_watch.ElapsedSeconds();
-          auto [it, inserted] = mine.result_hashes.emplace(id, hash);
+          const QueryRun run = run_query(c, id);
+          mine.query_stats[id] += run.stats;
+          auto [it, inserted] = mine.result_hashes.emplace(id, run.result_hash);
           // A client must get the same answer every round, concurrency or
           // not — fail loudly right where it diverges.
-          CSTORE_CHECK(inserted || it->second == hash);
+          CSTORE_CHECK(inserted || it->second == run.result_hash);
         }
-      }
-      for (auto& [id, secs] : mine.query_seconds) {
-        secs /= options.rounds;
       }
       mine.seconds = client_watch.ElapsedSeconds();
     });
@@ -58,8 +50,25 @@ ThroughputResult RunThroughput(
                        static_cast<uint64_t>(options.rounds) * query_ids.size();
   result.queries_per_sec =
       result.wall_seconds > 0 ? result.queries_run / result.wall_seconds : 0;
-  if (stats != nullptr) {
-    result.pages_read = (*stats - before).pages_read;
+  // Volley aggregates are sums of per-query stats (attributed, not diffed
+  // from globals); per-query maps then normalize to means per execution.
+  for (ClientResult& client : result.clients) {
+    for (auto& [id, stats] : client.query_stats) {
+      result.pages_read += stats.pages_read;
+      result.admission_wait_seconds += stats.admission_wait_seconds;
+      if (options.rounds > 1) {
+        const auto rounds = static_cast<uint64_t>(options.rounds);
+        stats.seconds /= options.rounds;
+        stats.admission_wait_seconds /= options.rounds;
+        stats.pages_read /= rounds;
+        stats.pages_written /= rounds;
+        stats.pages_skipped /= rounds;
+        stats.pages_all_match /= rounds;
+        stats.pages_scanned /= rounds;
+        stats.values_scanned /= rounds;
+        stats.pages_gathered /= rounds;
+      }
+    }
   }
   result.pages_per_query =
       result.queries_run > 0

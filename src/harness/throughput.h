@@ -8,9 +8,11 @@
 // never changes an answer — determinism is checked, not hoped for.
 //
 // The runner is engine-agnostic: it drives a `run_query(client, id)`
-// callback and diffs IoStats/clock around the whole volley. The shared-scan
-// bench points the callback at ExecuteStarQuery with a per-mode
-// ExecConfig::shared_scans manager.
+// callback that returns the query's hash and per-query QueryStats (an
+// engine::Session::Run outcome, typically). Aggregates — pages read,
+// admission wait — are summed from those per-query stats, so every number
+// is attributed to the query that caused it; nothing is diffed from
+// process-global counters around the volley.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "storage/io_stats.h"
+#include "core/exec_context.h"
 
 namespace cstore::harness {
 
@@ -34,6 +36,12 @@ struct ThroughputOptions {
   bool rotate_mix = true;
 };
 
+/// What one execution of one query reports back to the runner.
+struct QueryRun {
+  uint64_t result_hash = 0;
+  core::QueryStats stats;
+};
+
 /// One client's outcome.
 struct ClientResult {
   unsigned client = 0;
@@ -41,28 +49,29 @@ struct ClientResult {
   /// Query id -> QueryResult::Hash() (all rounds must agree; the runner
   /// records the first and CHECK-fails if a later round diverges).
   std::map<std::string, uint64_t> result_hashes;
-  /// Query id -> mean seconds per execution of that query on this client.
-  std::map<std::string, double> query_seconds;
+  /// Query id -> mean per-execution stats of that query on this client.
+  std::map<std::string, core::QueryStats> query_stats;
 };
 
 struct ThroughputResult {
   double wall_seconds = 0;
   uint64_t queries_run = 0;
   double queries_per_sec = 0;
-  uint64_t pages_read = 0;  ///< device pages read during the volley
+  /// Device pages read during the volley — the sum of every query's own
+  /// pages_read, so concurrent clients never pollute each other's numbers.
+  uint64_t pages_read = 0;
   double pages_per_query = 0;
+  /// Total seconds clients spent blocked at the admission gate.
+  double admission_wait_seconds = 0;
   std::vector<ClientResult> clients;
 };
 
 /// Runs the volley: `options.clients` threads, each executing the mix
-/// `options.rounds` times via `run_query(client, id)` (which returns the
-/// query's result hash). `stats` (optional) is diffed around the volley for
-/// the pages-read numbers. Blocks until every client finishes.
+/// `options.rounds` times via `run_query(client, id)`. Blocks until every
+/// client finishes.
 ThroughputResult RunThroughput(
-    const ThroughputOptions& options,
-    const std::vector<std::string>& query_ids,
-    const std::function<uint64_t(unsigned client, const std::string& id)>&
-        run_query,
-    const storage::IoStats* stats);
+    const ThroughputOptions& options, const std::vector<std::string>& query_ids,
+    const std::function<QueryRun(unsigned client, const std::string& id)>&
+        run_query);
 
 }  // namespace cstore::harness

@@ -1112,4 +1112,14 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
   return Status::InvalidArgument("unknown row design");
 }
 
+Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
+                                          const core::StarQuery& query,
+                                          RowDesign design,
+                                          core::ExecContext* exec_ctx) {
+  CSTORE_CHECK(exec_ctx != nullptr);
+  storage::ScopedIoSink io_sink(&exec_ctx->io);
+  return ExecuteRowQuery(db, query, design,
+                         exec_ctx->config.ResolvedThreads());
+}
+
 }  // namespace cstore::ssb

@@ -20,6 +20,7 @@
 //                          joins").
 #pragma once
 
+#include "core/exec_context.h"
 #include "core/star_query.h"
 #include "ssb/row_db.h"
 
@@ -50,5 +51,16 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,
                                           RowDesign design,
                                           unsigned num_threads = 1);
+
+/// Context-threading entry point (the canonical one behind
+/// engine::Session::Run): executes with `ctx->config`'s thread budget and
+/// charges every device page the plan reads — heap scans, B+Tree walks,
+/// bitmap loads, on this thread or pool workers — to the context's I/O
+/// sink. Row plans consult no zone maps, so the scan counters stay zero,
+/// exactly as the process-wide counters always did for these designs.
+Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
+                                          const core::StarQuery& query,
+                                          RowDesign design,
+                                          core::ExecContext* ctx);
 
 }  // namespace cstore::ssb

@@ -73,6 +73,10 @@ Status FileManager::ReadPageNoDelay(PageId id, char* out) const {
   std::memcpy(out, data, kPageSize);
   stats_.pages_read += 1;
   stats_.bytes_read += kPageSize;
+  if (IoStats* sink = ThreadIoSink()) {
+    sink->pages_read += 1;
+    sink->bytes_read += kPageSize;
+  }
   return Status::OK();
 }
 
@@ -88,6 +92,10 @@ Status FileManager::WritePage(PageId id, const char* data) {
   std::memcpy(dest, data, kPageSize);
   stats_.pages_written += 1;
   stats_.bytes_written += kPageSize;
+  if (IoStats* sink = ThreadIoSink()) {
+    sink->pages_written += 1;
+    sink->bytes_written += kPageSize;
+  }
   return Status::OK();
 }
 

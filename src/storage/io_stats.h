@@ -10,6 +10,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/macros.h"
+#include "util/thread_pool.h"
+
 namespace cstore::storage {
 
 /// Monotonic counters of simulated device traffic. The counters are relaxed
@@ -47,6 +50,32 @@ struct IoStats {
     d.bytes_written = bytes_written - other.bytes_written;
     return d;
   }
+};
+
+/// The per-query I/O sink installed on the calling thread, or null outside a
+/// query scope. FileManager charges every device transfer to this sink *in
+/// addition to* its process-wide stats, so one query's device traffic is
+/// attributable even when many queries run concurrently (the process-global
+/// diff-around-the-query pattern misattributes under concurrency).
+/// ParallelFor propagates the sink to pool workers, so morsel-parallel work
+/// is attributed to the query that fanned it out.
+inline IoStats* ThreadIoSink() {
+  return static_cast<IoStats*>(util::GetThreadQueryContext());
+}
+
+/// RAII installation of a per-query IoStats sink on the calling thread
+/// (executors install their ExecContext's sink for the span of a query).
+/// Nests: the previous sink is restored on destruction.
+class ScopedIoSink {
+ public:
+  explicit ScopedIoSink(IoStats* sink) : previous_(util::GetThreadQueryContext()) {
+    util::SetThreadQueryContext(sink);
+  }
+  ~ScopedIoSink() { util::SetThreadQueryContext(previous_); }
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ScopedIoSink);
+
+ private:
+  void* previous_;
 };
 
 }  // namespace cstore::storage

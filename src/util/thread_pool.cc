@@ -8,8 +8,12 @@ namespace cstore::util {
 namespace {
 
 thread_local bool t_on_worker_thread = false;
+thread_local void* t_query_context = nullptr;
 
 }  // namespace
+
+void* GetThreadQueryContext() { return t_query_context; }
+void SetThreadQueryContext(void* context) { t_query_context = context; }
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   threads_.reserve(num_threads);
@@ -105,9 +109,16 @@ void ParallelFor(uint64_t total, uint64_t morsel_size, unsigned workers,
     }
   };
 
+  // Helpers inherit the caller's query context (per-query I/O attribution)
+  // for the span of their draining; pool threads are shared across queries,
+  // so the context is restored before the worker returns to the queue.
+  void* query_context = GetThreadQueryContext();
   for (unsigned h = 0; h < helpers; ++h) {
-    ThreadPool::Global().Submit([&shared, &drain, h, helpers] {
+    ThreadPool::Global().Submit([&shared, &drain, query_context, h, helpers] {
+      void* previous = GetThreadQueryContext();
+      SetThreadQueryContext(query_context);
       drain(h + 1);
+      SetThreadQueryContext(previous);
       std::lock_guard<std::mutex> lock(shared.mu);
       if (++shared.finished == helpers) shared.done.notify_one();
     });

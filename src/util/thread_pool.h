@@ -56,6 +56,14 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// The calling thread's query context: an opaque per-thread pointer that
+/// ParallelFor copies into its helper workers for the duration of a loop, so
+/// work fanned out on the shared pool stays attributable to the query that
+/// drove it. The storage layer installs the per-query IoStats sink here
+/// (storage::ScopedIoSink); null outside any query scope.
+void* GetThreadQueryContext();
+void SetThreadQueryContext(void* context);
+
 /// Number of values processed per morsel when iterating rows.
 inline constexpr uint64_t kRowMorsel = 64 * 1024;
 /// Pages per morsel when iterating a column's (32 KB) pages.

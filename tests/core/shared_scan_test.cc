@@ -443,13 +443,11 @@ class SharedScanConcurrencyTest : public ::testing::Test {
       options.clients = clients;
       options.rounds = 2;  // round 2 re-attaches at wherever round 1 left off
       const harness::ThroughputResult result = harness::RunThroughput(
-          options, ids,
-          [&](unsigned, const std::string& id) {
+          options, ids, [&](unsigned, const std::string& id) {
             auto r = ExecuteStarQuery(schema, ssb::QueryById(id), cfg);
             CSTORE_CHECK(r.ok());
-            return r.ValueOrDie().Hash();
-          },
-          nullptr);
+            return harness::QueryRun{r.ValueOrDie().Hash(), {}};
+          });
       ASSERT_EQ(result.clients.size(), clients);
       for (const harness::ClientResult& client : result.clients) {
         ASSERT_EQ(client.result_hashes.size(), ids.size());

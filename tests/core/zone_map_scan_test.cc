@@ -117,6 +117,58 @@ TEST_F(ZoneMapScanTest, SetPredicateBoundsPruneButNeverChangeResults) {
   }
 }
 
+TEST_F(ZoneMapScanTest, SortedPageBinarySearchTouchesFewerValues) {
+  // Partially-matching *sorted* plain pages are binary-searched in block
+  // mode: the bits are identical to the per-value loop (tuple mode still
+  // touches everything, the Figure-7 "T" cost), but the telemetry proves
+  // far fewer values were evaluated.
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kNone, /*sorted=*/true, 2000);
+  const IntPredicate pred = IntPredicate::Range(500, 600);
+  const util::BitVector expected = Reference(pred);
+
+  ExecContext block_ctx, tuple_ctx;
+  util::BitVector block_bits(values_.size()), tuple_bits(values_.size());
+  ASSERT_TRUE(ScanInt(column, pred, true, &block_bits, &block_ctx).ok());
+  ASSERT_TRUE(ScanInt(column, pred, false, &tuple_bits, &tuple_ctx).ok());
+  EXPECT_EQ(block_bits, expected);
+  EXPECT_EQ(tuple_bits, expected);
+
+  const core::QueryStats block = block_ctx.Stats();
+  const core::QueryStats tuple = tuple_ctx.Stats();
+  ASSERT_GT(block.pages_scanned, 0u);  // boundary pages are partial matches
+  // Tuple mode evaluates every value of every scanned page; binary search
+  // probes O(log n) per scanned page — a couple dozen for 8K-value pages.
+  EXPECT_LT(block.values_scanned, tuple.values_scanned);
+  EXPECT_LE(block.values_scanned, block.pages_scanned * 64);
+  EXPECT_GT(block.values_scanned, 0u);
+}
+
+TEST_F(ZoneMapScanTest, SortedRlePageBinarySearchesRunArray) {
+  // kFull + sorted -> RLE; runs of a sorted page are value-ordered, so a
+  // range predicate binary-searches the run array instead of testing every
+  // run. Bits stay identical to the scalar reference.
+  const col::StoredColumn& column =
+      MakeColumn("c", col::CompressionMode::kFull, /*sorted=*/true, 5000);
+  const IntPredicate pred = IntPredicate::Range(1200, 1300);
+  const util::BitVector expected = Reference(pred);
+
+  ExecContext ctx;
+  util::BitVector bits(values_.size());
+  const uint64_t matches =
+      ScanInt(column, pred, true, &bits, &ctx).ValueOrDie();
+  EXPECT_EQ(bits, expected);
+  EXPECT_EQ(matches, expected.Count());
+
+  const core::QueryStats stats = ctx.Stats();
+  if (stats.pages_scanned > 0) {
+    // log2 of the densest possible run array (~2K runs/page) is ~11; two
+    // boundary searches stay well under one probe per run.
+    EXPECT_LE(stats.values_scanned, stats.pages_scanned * 64);
+    EXPECT_GT(stats.values_scanned, 0u);
+  }
+}
+
 TEST_F(ZoneMapScanTest, ParallelWindowedMergeEqualsSerialScan) {
   // Unsorted bitpacked data (no skipping) plus sorted data (heavy skipping):
   // the windowed OR merge must be bit-identical to the serial scan.

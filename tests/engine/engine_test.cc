@@ -1,0 +1,277 @@
+// engine::Engine / Session: the one front door for every physical design.
+//
+//  * All five paper designs (CS, T, T(B), VP, AI — plus MV) answer through
+//    Session::Run with identical results, matching the naive reference.
+//  * Per-query QueryStats are exact on a serial run: their sums equal the
+//    diffs of the deprecated process-wide counters (zone maps and device
+//    pages), so nothing is lost by retiring the global-diff pattern.
+//  * Determinism under concurrency and admission: per-client result hashes
+//    are identical to serial for max_inflight_queries in {1, 4, unlimited},
+//    with private and with shared scans.
+//  * The admission gate works: with max_inflight_queries = 1 and concurrent
+//    clients, queries block and the wait shows up in QueryStats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "column/column_reader.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
+#include "harness/throughput.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "ssb/row_db.h"
+
+namespace cstore::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::GenParams params;
+    params.scale_factor = 0.01;
+    data_ = new ssb::SsbData(ssb::Generate(params));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static core::ExecConfig SerialConfig() {
+    core::ExecConfig cfg = core::ExecConfig::AllOn();
+    cfg.num_threads = 1;
+    return cfg;
+  }
+
+  static ssb::SsbData* data_;
+};
+
+ssb::SsbData* EngineTest::data_ = nullptr;
+
+TEST_F(EngineTest, AllFiveDesignsAnswerThroughOneSessionRun) {
+  auto col_db =
+      ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kFull)
+          .ValueOrDie();
+  ssb::RowDbOptions row_options;
+  row_options.bitmap_indexes = true;
+  row_options.vertical_partitions = true;
+  row_options.all_indexes = true;
+  row_options.materialized_views = true;
+  auto row_db = ssb::RowDatabase::Build(*data_, row_options).ValueOrDie();
+
+  EngineOptions engine_options;
+  engine_options.default_config = SerialConfig();
+  Engine engine(engine_options);
+  engine.Register("CS", MakeColumnStoreDesign(col_db->Schema()));
+  engine.Register("T", MakeRowStoreDesign(row_db.get(),
+                                          ssb::RowDesign::kTraditional));
+  engine.Register("T(B)", MakeRowStoreDesign(
+                              row_db.get(), ssb::RowDesign::kTraditionalBitmap));
+  engine.Register("MV", MakeRowStoreDesign(
+                            row_db.get(), ssb::RowDesign::kMaterializedViews));
+  engine.Register("VP", MakeRowStoreDesign(
+                            row_db.get(),
+                            ssb::RowDesign::kVerticalPartitioning));
+  engine.Register("AI",
+                  MakeRowStoreDesign(row_db.get(), ssb::RowDesign::kIndexOnly));
+  ASSERT_EQ(engine.DesignNames().size(), 6u);
+
+  for (const std::string& name : engine.DesignNames()) {
+    auto session = engine.OpenSession(name);
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      auto outcome = session->Run(q);
+      ASSERT_TRUE(outcome.ok()) << name << " " << q.id;
+      const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
+      EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
+          << name << " " << q.id;
+      // Every design's bill reports the wall time and device pages of this
+      // query alone.
+      EXPECT_GT(outcome.ValueOrDie().stats.seconds, 0.0) << name << " " << q.id;
+    }
+    // The column store's plans consult zone maps; the bill must show it.
+    if (name == "CS") {
+      EXPECT_GT(session->totals().pages_skipped + session->totals().pages_scanned +
+                    session->totals().pages_all_match,
+                0u);
+      EXPECT_GT(session->totals().values_scanned, 0u);
+    }
+  }
+}
+
+TEST_F(EngineTest, SerialQueryStatsSumsMatchDeprecatedGlobalCounters) {
+  auto db = ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kFull, 128)
+                .ValueOrDie();
+  EngineOptions engine_options;
+  engine_options.default_config = SerialConfig();
+  Engine engine(engine_options);
+  engine.Register("CS", MakeColumnStoreDesign(db->Schema()));
+  auto session = engine.OpenSession("CS");
+
+  ASSERT_TRUE(db->pool().Clear().ok());
+  const col::ScanCounters zone_before = col::ReadScanCounters();
+  const storage::IoStats io_before = db->files().stats();
+
+  core::QueryStats sums;
+  for (const core::StarQuery& q : ssb::AllQueries()) {
+    auto outcome = session->Run(q);
+    ASSERT_TRUE(outcome.ok()) << q.id;
+    sums += outcome.ValueOrDie().stats;
+  }
+
+  const col::ScanCounters zone = col::ReadScanCounters() - zone_before;
+  const storage::IoStats io = db->files().stats() - io_before;
+  // On a serial run the per-query accumulation loses nothing relative to
+  // the old diff-the-globals pattern: the sums are equal, counter by
+  // counter.
+  EXPECT_EQ(sums.pages_skipped, zone.pages_skipped);
+  EXPECT_EQ(sums.pages_all_match, zone.pages_all_match);
+  EXPECT_EQ(sums.pages_scanned, zone.pages_scanned);
+  EXPECT_EQ(sums.pages_read, io.pages_read.load());
+  EXPECT_GT(sums.pages_read, 0u);  // the cleared pool guarantees misses
+}
+
+TEST_F(EngineTest, ClientHashesIdenticalAcrossAdmissionCapsAndScanModes) {
+  // Pool far below the working set so concurrent clients genuinely fight
+  // over frames; uncompressed storage so fact scans actually walk pages.
+  auto db = ssb::ColumnDatabase::Build(*data_, col::CompressionMode::kNone, 96)
+                .ValueOrDie();
+
+  std::vector<std::string> ids;
+  std::map<std::string, uint64_t> serial_hashes;
+  {
+    EngineOptions serial_options;
+    serial_options.default_config = SerialConfig();
+    Engine engine(serial_options);
+    engine.Register("CS", MakeColumnStoreDesign(db->Schema()));
+    auto session = engine.OpenSession("CS");
+    for (const core::StarQuery& q : ssb::AllQueries()) {
+      auto outcome = session->Run(q);
+      ASSERT_TRUE(outcome.ok());
+      serial_hashes[q.id] = outcome.ValueOrDie().result.Hash();
+      ids.push_back(q.id);
+    }
+  }
+
+  for (const size_t max_inflight : {size_t{1}, size_t{4}, size_t{0}}) {
+    for (const bool shared : {false, true}) {
+      ASSERT_TRUE(db->pool().Clear().ok());  // every volley starts cold
+      EngineOptions options;
+      options.max_inflight_queries = max_inflight;
+      options.shared_scans = shared;
+      options.default_config = SerialConfig();
+      Engine engine(options);
+      engine.Register("CS", MakeColumnStoreDesign(db->Schema()));
+      constexpr unsigned kClients = 6;
+      std::vector<std::unique_ptr<Session>> sessions;
+      for (unsigned c = 0; c < kClients; ++c) {
+        sessions.push_back(engine.OpenSession("CS"));
+      }
+
+      harness::ThroughputOptions volley;
+      volley.clients = kClients;
+      volley.rounds = 2;  // round 2 re-attaches wherever round 1 left off
+      const harness::ThroughputResult result = harness::RunThroughput(
+          volley, ids, [&](unsigned client, const std::string& id) {
+            auto outcome = sessions[client]->Run(ssb::QueryById(id));
+            CSTORE_CHECK(outcome.ok());
+            return harness::QueryRun{outcome.ValueOrDie().result.Hash(),
+                                     outcome.ValueOrDie().stats};
+          });
+
+      for (const harness::ClientResult& client : result.clients) {
+        ASSERT_EQ(client.result_hashes.size(), ids.size());
+        for (const auto& [id, hash] : client.result_hashes) {
+          EXPECT_EQ(hash, serial_hashes[id])
+              << "max_inflight=" << max_inflight << " shared=" << shared
+              << " client=" << client.client << " query=" << id;
+        }
+      }
+      // The volley's page total is the sum of per-query bills, so it is
+      // attributable even though six clients interleaved on one pool.
+      EXPECT_GT(result.pages_read, 0u);
+      if (max_inflight == 1) {
+        // A hard cap of one with six clients must have made someone wait.
+        EXPECT_GT(engine.stats().queries_waited, 0u);
+      }
+    }
+  }
+}
+
+/// A design that holds its admission slot for a fixed wall time — makes
+/// gate contention deterministic without depending on query speed.
+class SleepyDesign : public Design {
+ public:
+  Result<core::QueryResult> Execute(const core::StarQuery&,
+                                    core::ExecContext&) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    core::QueryResult result;
+    result.rows.push_back(core::ResultRow{{}, 42});
+    return result;
+  }
+};
+
+TEST_F(EngineTest, AdmissionWaitShowsUpInQueryStatsWhenGateContended) {
+  EngineOptions options;
+  options.max_inflight_queries = 1;
+  Engine engine(options);
+  engine.Register("sleepy", std::make_unique<SleepyDesign>());
+  const core::StarQuery& query = ssb::AllQueries().front();
+
+  constexpr unsigned kClients = 3;
+  std::atomic<unsigned> ready{0};
+  std::vector<core::QueryStats> stats(kClients);
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto session = engine.OpenSession("sleepy");
+      // Rendezvous so all clients hit the gate together; only one holds
+      // the single slot at a time.
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      auto outcome = session->Run(query);
+      CSTORE_CHECK(outcome.ok());
+      stats[c] = outcome.ValueOrDie().stats;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  double total_wait = 0;
+  for (const core::QueryStats& s : stats) {
+    total_wait += s.admission_wait_seconds;
+    // The wait is part of the measured wall time, never more than it.
+    EXPECT_LE(s.admission_wait_seconds, s.seconds + 1e-9);
+  }
+  EXPECT_GT(total_wait, 0.0);
+  const Engine::Stats estats = engine.stats();
+  EXPECT_EQ(estats.queries_run, kClients);
+  EXPECT_GE(estats.queries_waited, 1u);
+  EXPECT_GT(estats.admission_wait_seconds, 0.0);
+}
+
+TEST_F(EngineTest, UnlimitedEngineNeverBlocks) {
+  Engine engine;  // max_inflight_queries = 0
+  engine.Register("sleepy", std::make_unique<SleepyDesign>());
+  const core::StarQuery& query = ssb::AllQueries().front();
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      auto session = engine.OpenSession("sleepy");
+      auto outcome = session->Run(query);
+      CSTORE_CHECK(outcome.ok());
+      CSTORE_CHECK(outcome.ValueOrDie().stats.admission_wait_seconds == 0.0);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(engine.stats().queries_waited, 0u);
+  EXPECT_EQ(engine.stats().queries_run, 4u);
+}
+
+}  // namespace
+}  // namespace cstore::engine

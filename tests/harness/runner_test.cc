@@ -9,15 +9,33 @@ namespace {
 
 TEST(RunnerTest, TimeCellRunsWarmupPlusReps) {
   int calls = 0;
-  const CellResult cell = TimeCell([&] { calls++; }, 3, nullptr);
+  const CellResult cell = TimeCell(
+      [&] {
+        calls++;
+        return core::QueryStats{};
+      },
+      3);
   EXPECT_EQ(calls, 4);  // 1 warm-up + 3 timed
   EXPECT_GE(cell.seconds, 0.0);
 }
 
-TEST(RunnerTest, TimeCellCapturesIoDelta) {
-  storage::IoStats stats;
-  const CellResult cell = TimeCell([&] { stats.pages_read += 10; }, 2, &stats);
-  EXPECT_EQ(cell.pages_read, 10u);  // 20 pages over 2 reps (warm-up excluded)
+TEST(RunnerTest, TimeCellAveragesPerQueryStats) {
+  // Telemetry comes from the per-run QueryStats, not from diffing global
+  // counters around the cell — and the warm-up run's stats are excluded.
+  const CellResult cell = TimeCell(
+      [] {
+        core::QueryStats stats;
+        stats.pages_read = 10;
+        stats.pages_skipped = 4;
+        stats.values_scanned = 100;
+        stats.admission_wait_seconds = 0.5;
+        return stats;
+      },
+      2);
+  EXPECT_EQ(cell.pages_read, 10u);
+  EXPECT_EQ(cell.pages_skipped, 4u);
+  EXPECT_EQ(cell.values_scanned, 100u);
+  EXPECT_DOUBLE_EQ(cell.admission_wait_seconds, 0.5);
 }
 
 TEST(RunnerTest, SeriesAverage) {
@@ -30,12 +48,13 @@ TEST(RunnerTest, SeriesAverage) {
 
 TEST(RunnerTest, ParseArgs) {
   const char* argv[] = {"bench", "--sf", "0.5", "--reps", "7",
-                        "--pool", "99",  "--disk", "123.5"};
-  const BenchArgs args = BenchArgs::Parse(9, const_cast<char**>(argv));
+                        "--pool", "99",  "--disk", "123.5", "--admit", "2"};
+  const BenchArgs args = BenchArgs::Parse(11, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(args.scale_factor, 0.5);
   EXPECT_EQ(args.repetitions, 7);
   EXPECT_EQ(args.pool_pages, 99u);
   EXPECT_DOUBLE_EQ(args.disk_mbps, 123.5);
+  EXPECT_EQ(args.admit, 2u);
 }
 
 TEST(RunnerTest, ParseArgsDefaults) {
