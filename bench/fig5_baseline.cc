@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                       }));
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   // Paper series run single-threaded; the "-pN" series rerun the row-store
   // scans and the full-optimization column store with N morsel workers
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   // (CI hard-fails when a hash drifts between runs or between serial and
   // parallel series). Every series funnels through this so no cell can
   // forget its hash.
-  auto time_cell = [&](engine::Session& session, const core::StarQuery& q) {
+  auto time_cell = [&](engine::Session& session, const plan::Plan& q) {
     uint64_t hash = 0;
     harness::CellResult cell = harness::TimeCell(
         [&] {
@@ -115,11 +115,11 @@ int main(int argc, char** argv) {
 
   std::vector<harness::SeriesResult> series(specs.size());
   for (size_t s = 0; s < specs.size(); ++s) series[s].name = specs[s].label;
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const plan::Plan& q : ssb::AllQueries()) {
     for (size_t s = 0; s < specs.size(); ++s) {
-      series[s].by_query[q.id] = time_cell(*specs[s].session, q);
+      series[s].by_query[q.id()] = time_cell(*specs[s].session, q);
     }
-    std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
+    std::fprintf(stderr, "  Q%s done\n", q.id().c_str());
   }
 
   harness::PrintFigure("Figure 5 — baseline performance (ms)", ids, series);

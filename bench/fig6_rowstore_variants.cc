@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   // Every design runs serial (the paper's System X) and, when --threads
   // gives more than one worker, again morsel-parallel — the symmetric
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     if (threads > 1) s.name += "-p" + std::to_string(threads);
     auto session = engine.OpenSession(name);
     session->config().num_threads = threads;
-    for (const core::StarQuery& q : ssb::AllQueries()) {
+    for (const plan::Plan& q : ssb::AllQueries()) {
       uint64_t hash = 0;
       harness::CellResult cell = harness::TimeCell(
           [&] {
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
           },
           args.repetitions);
       cell.result_hash = hash;
-      s.by_query[q.id] = cell;
+      s.by_query[q.id()] = cell;
     }
     std::fprintf(stderr, "  %s done (avg %.1f ms)\n", s.name.c_str(),
                  s.AverageSeconds() * 1e3);

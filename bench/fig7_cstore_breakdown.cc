@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   std::vector<harness::SeriesResult> series;
   for (const Config& config : configs) {
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     session->config() = config.exec;
     harness::SeriesResult s;
     s.name = config.code;
-    for (const core::StarQuery& q : ssb::AllQueries()) {
+    for (const plan::Plan& q : ssb::AllQueries()) {
       uint64_t result_hash = 0;
       harness::CellResult cell = harness::TimeCell(
           [&] {
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
           },
           args.repetitions);
       cell.result_hash = result_hash;
-      s.by_query[q.id] = cell;
+      s.by_query[q.id()] = cell;
     }
     std::fprintf(stderr, "  %s done (avg %.1f ms)\n", config.code.c_str(),
                  s.AverageSeconds() * 1e3);

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   pj_max->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   // Single-threaded throughout: this figure reproduces the paper's
   // single-core comparison of storage layouts, not the parallel scaling.
@@ -75,9 +75,9 @@ int main(int argc, char** argv) {
     sessions.push_back(engine.OpenSession(names[i]));
   }
 
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const plan::Plan& q : ssb::AllQueries()) {
     for (int i = 0; i < 4; ++i) {
-      series[i].by_query[q.id] = harness::TimeCell(
+      series[i].by_query[q.id()] = harness::TimeCell(
           [&] {
             auto outcome = sessions[i]->Run(q);
             CSTORE_CHECK(outcome.ok());
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
           },
           args.repetitions);
     }
-    std::fprintf(stderr, "  Q%s done\n", q.id.c_str());
+    std::fprintf(stderr, "  Q%s done\n", q.id().c_str());
   }
 
   harness::PrintFigure("Figure 8 — denormalization (ms)", ids, series);

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   core::ExecConfig client_cfg = core::ExecConfig::AllOn();
   client_cfg.num_threads = 1;  // one core per client: throughput via concurrency
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   harness::SeriesResult serial;
   serial.name = "serial";
   CSTORE_CHECK(db->pool().Clear().ok());
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const plan::Plan& q : ssb::AllQueries()) {
     uint64_t result_hash = 0;
     harness::CellResult cell = harness::TimeCell(
         [&] {
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
         },
         args.repetitions);
     cell.result_hash = result_hash;
-    serial.by_query[q.id] = cell;
+    serial.by_query[q.id()] = cell;
   }
   std::fprintf(stderr, "  serial reference done (avg %.1f ms)\n",
                serial.AverageSeconds() * 1e3);

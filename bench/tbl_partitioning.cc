@@ -3,6 +3,8 @@
 // with orderdate predicates (flight 1 and 3.4, 4.2, 4.3).
 #include <cstdio>
 
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "harness/runner.h"
 #include "ssb/generator.h"
 #include "ssb/queries.h"
@@ -32,26 +34,37 @@ int main(int argc, char** argv) {
   db_flat->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
   std::vector<std::string> ids;
-  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id);
+  for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
+
+  // Both layouts are the traditional design behind one engine front door;
+  // only the registered database differs.
+  core::ExecConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  engine::EngineOptions engine_options;
+  engine_options.default_config = serial_cfg;
+  engine::Engine engine(engine_options);
+  engine.Register("part", engine::MakeRowStoreDesign(
+                              db_part.get(), ssb::RowDesign::kTraditional));
+  engine.Register("flat", engine::MakeRowStoreDesign(
+                              db_flat.get(), ssb::RowDesign::kTraditional));
+  auto session_part = engine.OpenSession("part");
+  auto session_flat = engine.OpenSession("flat");
 
   std::vector<harness::SeriesResult> series(2);
   series[0].name = "T (partitioned)";
   series[1].name = "T (unpartitioned)";
-  for (const core::StarQuery& q : ssb::AllQueries()) {
-    auto time_row = [&](ssb::RowDatabase& db) {
+  for (const plan::Plan& q : ssb::AllQueries()) {
+    auto time_row = [&](engine::Session& session) {
       return harness::TimeCell(
           [&] {
-            core::ExecContext ctx(core::ExecConfig{});
-            ctx.config.num_threads = 1;
-            auto r = ssb::ExecuteRowQuery(db, q, ssb::RowDesign::kTraditional,
-                                          &ctx);
-            CSTORE_CHECK(r.ok());
-            return ctx.Stats();
+            auto outcome = session.Run(q);
+            CSTORE_CHECK(outcome.ok());
+            return outcome.ValueOrDie().stats;
           },
           args.repetitions);
     };
-    series[0].by_query[q.id] = time_row(*db_part);
-    series[1].by_query[q.id] = time_row(*db_flat);
+    series[0].by_query[q.id()] = time_row(*session_part);
+    series[1].by_query[q.id()] = time_row(*session_flat);
   }
   harness::PrintFigure("orderdate-year partitioning (ms)", ids, series);
   std::printf("\nAverage speedup from partitioning: %.2fx (paper: ~2x)\n",

@@ -19,6 +19,8 @@
 #include "core/predicate.h"
 #include "core/scan.h"
 #include "core/star_executor.h"
+#include "plan/lower.h"
+#include "plan/plan.h"
 #include "storage/buffer_pool.h"
 
 using namespace cstore;
@@ -159,19 +161,29 @@ int main() {
       {"supplier", &supplier, "suppkey", "suppkey", true},
       {"date", &date, "dateid", "orderdate", false},
   };
-  core::StarQuery query;
-  query.id = "3.1-sample";
-  query.dim_predicates = {
-      core::DimPredicate::StrEq("customer", "region", "Asia"),
-      core::DimPredicate::StrEq("supplier", "region", "Asia"),
-      core::DimPredicate::IntRange("date", "year", 1992, 1997)};
-  query.group_by = {core::GroupByColumn{"customer", "nation"},
-                    core::GroupByColumn{"supplier", "nation"},
-                    core::GroupByColumn{"date", "year"}};
-  query.agg = core::Aggregate{core::AggKind::kSumColumn, "revenue", ""};
-  query.order_by = core::OrderBy::kLastAscSumDesc;
+  //
+  // The query is written once as a logical plan and lowered onto the flat
+  // star form the executor consumes — the same path every design takes.
+  const plan::Plan logical =
+      plan::PlanBuilder("3.1-sample")
+          .Scan("fact")
+          .Join("customer", "custkey", "custkey")
+          .Join("supplier", "suppkey", "suppkey")
+          .Join("date", "orderdate", "dateid")
+          .Where(plan::Predicate::StrEq("customer", "region", "Asia"))
+          .Where(plan::Predicate::StrEq("supplier", "region", "Asia"))
+          .Where(plan::Predicate::IntRange("date", "year", 1992, 1997))
+          .GroupBy("customer", "nation")
+          .GroupBy("supplier", "nation")
+          .GroupBy("date", "year")
+          .Sum("fact", "revenue")
+          .OrderBy(2)                  // date.year ascending
+          .OrderByMeasure(false)       // revenue descending
+          .Build();
+  const core::StarQuery query = plan::LowerToStarQueryOrDie(logical);
 
-  auto result = core::ExecuteStarQuery(schema, query, core::ExecConfig::AllOn());
+  core::ExecContext ctx{core::ExecConfig::AllOn()};
+  auto result = core::ExecuteStarQuery(schema, query, &ctx);
   CSTORE_CHECK(result.ok());
   for (const core::ResultRow& row : result.ValueOrDie().rows) {
     std::printf("  %s | %s | %s | revenue=%lld\n",

@@ -9,8 +9,9 @@
 #include <cstdio>
 
 #include "column/column_table.h"
-#include "core/exec_config.h"
-#include "core/star_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
+#include "plan/plan.h"
 #include "storage/buffer_pool.h"
 
 using namespace cstore;
@@ -60,23 +61,37 @@ int main() {
   schema.dims = {{"store", &store, "storekey", "storekey",
                   /*dense_keys=*/true}};
 
-  core::StarQuery query;
-  query.id = "quickstart";
-  query.dim_predicates = {
-      core::DimPredicate::StrIn("store", "region", {"EAST", "WEST"})};
-  query.group_by = {core::GroupByColumn{"store", "region"}};
-  query.agg = core::Aggregate{core::AggKind::kSumColumn, "revenue", ""};
+  //    The query itself is data: a logical plan assembled with the fluent
+  //    PlanBuilder. Nothing here names an executor or an access path.
+  const plan::Plan query =
+      plan::PlanBuilder("quickstart")
+          .Scan("sales")
+          .Join("store", "storekey", "storekey")
+          .Where(plan::Predicate::StrIn("store", "region", {"EAST", "WEST"}))
+          .GroupBy("store", "region")
+          .Sum("sales", "revenue")
+          .Build();
 
-  // 5. Execute with all optimizations on (the paper's "tICL").
-  auto result =
-      core::ExecuteStarQuery(schema, query, core::ExecConfig::AllOn());
-  CSTORE_CHECK(result.ok());
+  // 5. Register the schema as a design behind the engine's one front door
+  //    and run the plan with all optimizations on (the paper's "tICL").
+  engine::EngineOptions options;
+  options.default_config = core::ExecConfig::AllOn();
+  engine::Engine engine(options);
+  engine.Register("CS", engine::MakeColumnStoreDesign(schema));
+  auto session = engine.OpenSession("CS");
+  auto outcome = session->Run(query);
+  CSTORE_CHECK(outcome.ok());
 
   std::printf("revenue by region (stores in EAST or WEST):\n");
-  for (const core::ResultRow& row : result.ValueOrDie().rows) {
+  for (const core::ResultRow& row : outcome.ValueOrDie().result.rows) {
     std::printf("  %-6s %lld\n", row.group_values[0].ToString().c_str(),
                 static_cast<long long>(row.sum));
   }
+  std::printf("\nthis query aggregated %llu row(s) into %llu group(s)\n",
+              static_cast<unsigned long long>(
+                  outcome.ValueOrDie().stats.rows_aggregated),
+              static_cast<unsigned long long>(
+                  outcome.ValueOrDie().stats.groups_emitted));
   std::printf("\npages read so far: %llu (every access went through the "
               "buffer pool)\n",
               static_cast<unsigned long long>(files.stats().pages_read));

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstring>
 
-#include "core/star_executor.h"
+#include "engine/designs.h"
+#include "engine/engine.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
 #include "ssb/queries.h"
@@ -34,13 +35,18 @@ int main(int argc, char** argv) {
   std::printf("Loaded column store: %.1f MB on device\n\n",
               db->SizeBytes() / 1e6);
 
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  engine::EngineOptions options;
+  options.default_config = core::ExecConfig::AllOn();
+  engine::Engine engine(options);
+  engine.Register("CS", engine::MakeColumnStoreDesign(db->Schema()));
+  auto session = engine.OpenSession("CS");
+
+  for (const plan::Plan& q : ssb::AllQueries()) {
     util::Stopwatch watch;
-    auto result =
-        core::ExecuteStarQuery(db->Schema(), q, core::ExecConfig::AllOn());
-    CSTORE_CHECK(result.ok());
-    const auto& rows = result.ValueOrDie().rows;
-    std::printf("Q%-4s %6.1f ms, %zu group(s)", q.id.c_str(),
+    auto outcome = session->Run(q);
+    CSTORE_CHECK(outcome.ok());
+    const auto& rows = outcome.ValueOrDie().result.rows;
+    std::printf("Q%-4s %6.1f ms, %zu group(s)", q.id().c_str(),
                 watch.ElapsedMillis(), rows.size());
     if (rows.size() == 1 && rows[0].group_values.empty()) {
       std::printf(", sum = %lld", static_cast<long long>(rows[0].sum));

@@ -75,7 +75,7 @@ std::vector<Value> GroupKeyCodec::Unpack(uint64_t key) const {
 GroupAggregator AggregateRows(const GroupKeyCodec& codec,
                               const std::vector<std::vector<int64_t>>& codes,
                               const std::vector<int64_t>& measure,
-                              unsigned num_threads) {
+                              unsigned num_threads, ExecContext* ctx) {
   const size_t num_attrs = codes.size();
   if (num_threads <= 1) {
     GroupAggregator agg(codec);
@@ -84,6 +84,7 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
       for (size_t g = 0; g < num_attrs; ++g) raw[g] = codes[g][r];
       agg.Add(codec.Pack(raw.data()), measure[r]);
     }
+    ChargeAggregation(ctx, measure.size(), agg.num_groups());
     return agg;
   }
   std::vector<std::unique_ptr<GroupAggregator>> partials(num_threads);
@@ -106,6 +107,7 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
   for (const auto& partial : partials) {
     if (partial != nullptr) agg.MergeFrom(*partial);
   }
+  ChargeAggregation(ctx, measure.size(), agg.num_groups());
   return agg;
 }
 
@@ -145,8 +147,46 @@ void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
                     });
 }
 
+GroupAggregator::GroupAggregator(GroupKeyCodec codec)
+    : codec_(std::move(codec)), map_(256) {
+  if (codec_.total_bits() <= kDenseArrayBits) {
+    const size_t slots = size_t{1} << codec_.total_bits();
+    dense_sums_.assign(slots, 0);
+    dense_touched_.assign(slots, 0);
+  }
+}
+
+void GroupAggregator::MergeFrom(const GroupAggregator& other) {
+  CSTORE_CHECK(dense() == other.dense());
+  if (dense()) {
+    for (size_t k = 0; k < other.dense_sums_.size(); ++k) {
+      if (!other.dense_touched_[k]) continue;
+      if (!dense_touched_[k]) {
+        dense_touched_[k] = 1;
+        ++dense_groups_;
+      }
+      dense_sums_[k] += other.dense_sums_[k];
+    }
+    return;
+  }
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    Add(other.keys_[i], other.sums_[i]);
+  }
+}
+
 QueryResult GroupAggregator::Finish() const {
   QueryResult result;
+  if (dense()) {
+    result.rows.reserve(dense_groups_);
+    for (size_t k = 0; k < dense_sums_.size(); ++k) {
+      if (!dense_touched_[k]) continue;
+      ResultRow row;
+      row.group_values = codec_.Unpack(static_cast<uint64_t>(k));
+      row.sum = dense_sums_[k];
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
   result.rows.reserve(keys_.size());
   for (size_t i = 0; i < keys_.size(); ++i) {
     ResultRow row;

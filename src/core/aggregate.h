@@ -1,8 +1,11 @@
 // Grouped SUM aggregation over packed integer group keys.
 //
-// SSBM group-by cardinalities are tiny (at most a few thousand groups), so
-// every executor — row and column alike — aggregates by packing the group
-// attributes into one 64-bit key and accumulating in a flat hash map.
+// Every executor — row and column alike — aggregates by packing the group
+// attributes into one 64-bit key. Narrow key domains (≤ 2^16 slots, which
+// covers the SSBM group-bys on compressed data) accumulate into a flat
+// array indexed directly by the packed key; wider domains fall back to a
+// hash map on the packed key. The mode is a pure function of the codec, so
+// parallel partial aggregators always agree and merge deterministically.
 #pragma once
 
 #include <memory>
@@ -11,6 +14,7 @@
 #include "common/macros.h"
 #include "common/value.h"
 #include "compress/dictionary.h"
+#include "core/exec_context.h"
 #include "core/star_query.h"
 #include "util/int_map.h"
 
@@ -29,6 +33,9 @@ class GroupKeyCodec {
   void AddInternAttr(const std::vector<std::string>* pool, uint32_t bits = 20);
 
   size_t num_attrs() const { return attrs_.size(); }
+
+  /// Total width of the packed key in bits (decides hash vs array mode).
+  uint32_t total_bits() const { return used_bits_; }
 
   /// Packs raw attribute values (dict codes / ints / intern ids), in the
   /// order the attributes were added.
@@ -61,13 +68,32 @@ class GroupKeyCodec {
   uint32_t used_bits_ = 0;
 };
 
-/// SUM accumulator keyed by packed group keys.
+/// SUM accumulator keyed by packed group keys. Two physical modes, chosen
+/// from the codec width alone (so every thread-local partial of one query
+/// picks the same mode):
+///   - array: key domain fits 2^kDenseArrayBits slots → accumulate into a
+///     flat array indexed by the packed key, no hashing or probing.
+///   - hash: wider domains probe an open-addressing map on the packed key.
 class GroupAggregator {
  public:
-  explicit GroupAggregator(GroupKeyCodec codec)
-      : codec_(std::move(codec)), map_(256) {}
+  /// Widest key domain the array mode handles: 2^16 slots = 512 KiB of
+  /// sums per aggregator, cheap enough to zero per query yet wide enough
+  /// for every SSBM group-by over dictionary-compressed attributes.
+  static constexpr uint32_t kDenseArrayBits = 16;
+
+  explicit GroupAggregator(GroupKeyCodec codec);
+
+  bool dense() const { return !dense_sums_.empty(); }
 
   void Add(uint64_t packed_key, int64_t value) {
+    if (dense()) {
+      if (!dense_touched_[packed_key]) {
+        dense_touched_[packed_key] = 1;
+        ++dense_groups_;
+      }
+      dense_sums_[packed_key] += value;
+      return;
+    }
     uint32_t* slot =
         map_.FindOrInsert(static_cast<int64_t>(packed_key),
                           static_cast<uint32_t>(sums_.size()));
@@ -78,38 +104,56 @@ class GroupAggregator {
     sums_[*slot] += value;
   }
 
-  size_t num_groups() const { return sums_.size(); }
+  size_t num_groups() const {
+    return dense() ? dense_groups_ : sums_.size();
+  }
 
   /// Folds another aggregator's groups into this one (thread-local partial
   /// states of a parallel aggregation, merged on one thread at the end).
   /// SUM is commutative, and downstream consumers sort rows by group values,
-  /// so merge order never shows in query output.
-  void MergeFrom(const GroupAggregator& other) {
-    for (size_t i = 0; i < other.keys_.size(); ++i) {
-      Add(other.keys_[i], other.sums_[i]);
-    }
-  }
+  /// so merge order never shows in query output. Both aggregators come from
+  /// the same codec, hence the same mode.
+  void MergeFrom(const GroupAggregator& other);
 
-  /// Unpacks every group into result rows (unsorted).
+  /// Unpacks every group into result rows (unsorted: insertion order in
+  /// hash mode, key order in array mode — callers canonicalize via
+  /// QueryResult::Sort).
   QueryResult Finish() const;
 
  private:
   GroupKeyCodec codec_;
+
+  // Hash mode.
   util::IntMap map_;
   std::vector<uint64_t> keys_;
   std::vector<int64_t> sums_;
+
+  // Array mode (non-empty vectors mean the mode is active).
+  std::vector<int64_t> dense_sums_;
+  std::vector<uint8_t> dense_touched_;
+  size_t dense_groups_ = 0;
 };
+
+/// Bills aggregation work to a query context (null-safe): `rows` measure
+/// rows consumed by the aggregation operator, `groups` groups emitted.
+inline void ChargeAggregation(ExecContext* ctx, uint64_t rows,
+                              uint64_t groups) {
+  if (ctx == nullptr) return;
+  ctx->rows_aggregated.fetch_add(rows, std::memory_order_relaxed);
+  ctx->groups_emitted.fetch_add(groups, std::memory_order_relaxed);
+}
 
 /// Grouped SUM over materialized group-code columns and a measure column,
 /// morselized over rows with one partial GroupAggregator per worker; the
 /// partials merge into the returned aggregator in worker order. Group sums
 /// are identical for any thread count (SUM is commutative); result-row
 /// order comes from QueryResult::Sort downstream. num_threads <= 1 runs the
-/// exact serial loop.
+/// exact serial loop. Bills `measure.size()` aggregated rows and the final
+/// group count to `ctx` (null skips billing).
 GroupAggregator AggregateRows(const GroupKeyCodec& codec,
                               const std::vector<std::vector<int64_t>>& codes,
                               const std::vector<int64_t>& measure,
-                              unsigned num_threads);
+                              unsigned num_threads, ExecContext* ctx = nullptr);
 
 /// Morsel-parallel scalar SUM over a measure vector: per-worker partial sums
 /// merged in worker order. Integer addition is commutative/associative, so

@@ -11,6 +11,7 @@
 // aggregate view; on a serial run the per-context sums match them exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "column/column_reader.h"
@@ -44,6 +45,13 @@ struct QueryStats {
   /// Pages pinned by position-jump gathers (late materialization).
   uint64_t pages_gathered = 0;
 
+  // Group-by/aggregation telemetry: the aggregation operator is billed like
+  // every other operator, not inferred from scan counts.
+  /// Rows fed into the query's aggregation (grouped or scalar).
+  uint64_t rows_aggregated = 0;
+  /// Distinct groups the aggregation emitted (0 for scalar aggregates).
+  uint64_t groups_emitted = 0;
+
   QueryStats& operator+=(const QueryStats& other) {
     seconds += other.seconds;
     admission_wait_seconds += other.admission_wait_seconds;
@@ -54,6 +62,8 @@ struct QueryStats {
     pages_scanned += other.pages_scanned;
     values_scanned += other.values_scanned;
     pages_gathered += other.pages_gathered;
+    rows_aggregated += other.rows_aggregated;
+    groups_emitted += other.groups_emitted;
     return *this;
   }
 };
@@ -79,6 +89,11 @@ class ExecContext {
   /// the executors install; ParallelFor propagates it to pool workers).
   storage::IoStats io;
 
+  /// Aggregation billing (charged by the group-by/sum operators; atomics
+  /// because parallel aggregation workers charge their own morsels).
+  std::atomic<uint64_t> rows_aggregated{0};
+  std::atomic<uint64_t> groups_emitted{0};
+
   /// Plain-value snapshot of the sinks. `seconds` and
   /// `admission_wait_seconds` are zero — the session measures those around
   /// the execution and fills them in.
@@ -92,6 +107,8 @@ class ExecContext {
     s.pages_scanned = telemetry.pages_scanned.load(std::memory_order_relaxed);
     s.values_scanned = telemetry.values_scanned.load(std::memory_order_relaxed);
     s.pages_gathered = telemetry.pages_gathered.load(std::memory_order_relaxed);
+    s.rows_aggregated = rows_aggregated.load(std::memory_order_relaxed);
+    s.groups_emitted = groups_emitted.load(std::memory_order_relaxed);
     return s;
   }
 

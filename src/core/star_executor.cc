@@ -283,6 +283,7 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
   if (query.group_by.empty()) {
     QueryResult result;
     result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
+    ChargeAggregation(&ctx, measure.size(), 0);
     return result;
   }
 
@@ -347,9 +348,10 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg = AggregateRows(codec, group_codes, measure, threads);
+  GroupAggregator agg =
+      AggregateRows(codec, group_codes, measure, threads, &ctx);
   QueryResult result = agg.Finish();
-  result.Sort(query.order_by);
+  result.Sort(query.sort);
   return result;
 }
 
@@ -563,6 +565,7 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
   struct WorkerState {
     std::unique_ptr<GroupAggregator> agg;
     int64_t scalar_sum = 0;
+    uint64_t rows_aggregated = 0;
   };
   std::vector<WorkerState> workers(std::max(1u, threads));
   util::ParallelFor(
@@ -605,22 +608,29 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
           } else {
             state.scalar_sum += measure;
           }
+          ++state.rows_aggregated;
         }
       });
 
+  uint64_t rows_aggregated = 0;
+  for (const WorkerState& state : workers) {
+    rows_aggregated += state.rows_aggregated;
+  }
   if (!any_groups) {
     int64_t scalar_sum = 0;
     for (const WorkerState& state : workers) scalar_sum += state.scalar_sum;
     QueryResult result;
     result.rows.push_back(ResultRow{{}, scalar_sum});
+    ChargeAggregation(&ctx, rows_aggregated, 0);
     return result;
   }
   GroupAggregator agg(codec);
   for (const WorkerState& state : workers) {
     if (state.agg != nullptr) agg.MergeFrom(*state.agg);
   }
+  ChargeAggregation(&ctx, rows_aggregated, agg.num_groups());
   QueryResult result = agg.Finish();
-  result.Sort(query.order_by);
+  result.Sort(query.sort);
   return result;
 }
 
@@ -636,19 +646,6 @@ Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
     return ExecuteLate(schema, query, *ctx);
   }
   return ExecuteEarly(schema, query, *ctx);
-}
-
-Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
-                                     const StarQuery& query,
-                                     const ExecConfig& config) {
-  // No sink is installed for the throwaway context: a legacy call made
-  // inside an engine-run design keeps billing the enclosing query's sink
-  // instead of stealing its I/O into a discarded context.
-  ExecContext ctx(config);
-  if (ctx.config.late_materialization) {
-    return ExecuteLate(schema, query, ctx);
-  }
-  return ExecuteEarly(schema, query, ctx);
 }
 
 }  // namespace cstore::core

@@ -22,17 +22,12 @@
 
 namespace cstore::core {
 
-/// Executes `query` against `schema` under `ctx->config`, charging the
-/// query's zone-map counters and device I/O to the context's sinks (the
-/// canonical entry point — engine::Session::Run lands here). Results are
-/// sorted per the query's ORDER BY.
+/// Executes the lowered star query against `schema` under `ctx->config`,
+/// charging the query's zone-map counters, device I/O, and aggregation
+/// work to the context's sinks. Private to the engine's design adapters —
+/// clients submit plans via engine::Session::Run, which lowers them here.
+/// Results are sorted per the query's sort spec.
 Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
                                      const StarQuery& query, ExecContext* ctx);
-
-/// Legacy entry point: executes under `config` with a throw-away context
-/// (telemetry is still charged to the deprecated process-wide counters).
-Result<QueryResult> ExecuteStarQuery(const StarSchema& schema,
-                                     const StarQuery& query,
-                                     const ExecConfig& config);
 
 }  // namespace cstore::core

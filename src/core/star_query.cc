@@ -84,7 +84,7 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
-void QueryResult::Sort(OrderBy order) {
+void QueryResult::Sort(const SortSpec& spec) {
   auto group_less = [](const ResultRow& a, const ResultRow& b) {
     for (size_t i = 0; i < a.group_values.size(); ++i) {
       if (a.group_values[i] < b.group_values[i]) return true;
@@ -92,18 +92,20 @@ void QueryResult::Sort(OrderBy order) {
     }
     return false;
   };
-  if (order == OrderBy::kGroups) {
-    std::sort(rows.begin(), rows.end(), group_less);
-    return;
-  }
   std::sort(rows.begin(), rows.end(),
             [&](const ResultRow& a, const ResultRow& b) {
-              if (!a.group_values.empty()) {
-                const size_t last = a.group_values.size() - 1;
-                if (a.group_values[last] < b.group_values[last]) return true;
-                if (b.group_values[last] < a.group_values[last]) return false;
+              for (const SortKey& key : spec) {
+                if (key.column == SortKey::kMeasure) {
+                  if (a.sum != b.sum) {
+                    return key.ascending ? a.sum < b.sum : a.sum > b.sum;
+                  }
+                  continue;
+                }
+                const Value& va = a.group_values[key.column];
+                const Value& vb = b.group_values[key.column];
+                if (va < vb) return key.ascending;
+                if (vb < va) return !key.ascending;
               }
-              if (a.sum != b.sum) return a.sum > b.sum;
               return group_less(a, b);
             });
 }

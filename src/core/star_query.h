@@ -1,12 +1,17 @@
-// StarQuery: a declarative star-schema query, the shape of every SSBM query.
+// StarQuery: the *lowered* star form every physical design executes.
 //
 //   SELECT <group-by dims>, AGG(<measure expression>)
 //   FROM fact JOIN dims ON fk = key
 //   WHERE <dim predicates> AND <fact predicates>
-//   GROUP BY <dims> ORDER BY ...
+//   GROUP BY <dims> ORDER BY <sort spec>
 //
-// Both engines (row and column) execute the same StarQuery values, so every
-// figure compares identical logical work.
+// Queries enter the system as logical plans (plan/ir.h, built with
+// plan::PlanBuilder); the planner lowers a validated plan into this flat
+// star form, which the executors consume. Clients never construct a
+// StarQuery directly — engine::Session::Run takes a plan::Plan, and each
+// engine::Design lowers it onto its own access paths. Both engines (row and
+// column) execute the same lowered values, so every figure compares
+// identical logical work.
 #pragma once
 
 #include <cstdint>
@@ -91,21 +96,31 @@ struct Aggregate {
   std::string column_b;  ///< second operand for product/diff
 };
 
-/// Result ordering (the two shapes the SSBM uses).
-enum class OrderBy {
-  kGroups,          ///< by group-by columns, ascending
-  kLastAscSumDesc,  ///< by last group column asc, then sum desc (flight 3's
-                    ///< "ORDER BY d.year asc, revenue desc")
+/// One result-ordering key: an output column plus a direction. `column`
+/// indexes the group-by columns of the output row; `kMeasure` sorts on the
+/// aggregated value (flight 3's "revenue desc").
+struct SortKey {
+  static constexpr int kMeasure = -1;
+  int column = 0;
+  bool ascending = true;
 };
 
-/// A complete star query.
+/// Result ordering: keys applied in order, ties always broken by the group
+/// columns ascending so every ordering is total and deterministic. An empty
+/// spec means "group columns ascending" (canonical GROUP BY output order).
+/// The SSBM's "ORDER BY d.year asc, revenue desc" is the two-key instance
+/// {{last_group_column, asc}, {SortKey::kMeasure, desc}} — one spec among
+/// many, not a special case.
+using SortSpec = std::vector<SortKey>;
+
+/// A complete lowered star query.
 struct StarQuery {
   std::string id;  ///< e.g. "3.1"
   std::vector<DimPredicate> dim_predicates;
   std::vector<FactPredicate> fact_predicates;
   std::vector<GroupByColumn> group_by;
   Aggregate agg;
-  OrderBy order_by = OrderBy::kGroups;
+  SortSpec sort;
 };
 
 /// One output row: group values in group_by order plus the sum.
@@ -127,8 +142,8 @@ struct QueryResult {
   /// run diverging from the serial one) while keeping timing diffs soft.
   uint64_t Hash() const;
 
-  /// Sorts rows per `order` (executors call this before returning).
-  void Sort(OrderBy order);
+  /// Sorts rows per `spec` (executors call this before returning).
+  void Sort(const SortSpec& spec);
 };
 
 }  // namespace cstore::core

@@ -10,40 +10,48 @@ namespace cstore::core {
 
 namespace {
 
-/// Adapts a TablePredicate to the DimPredicate shape CompiledPredicate
-/// understands (the compilation rules are identical).
-DimPredicate ToDimPredicate(const TablePredicate& p) {
-  DimPredicate d;
-  d.column = p.column;
-  d.op = p.op;
-  d.is_string = p.is_string;
-  d.strs = p.strs;
-  d.ints = p.ints;
+/// Rewrites a dimension predicate onto the denormalized table's column
+/// name; the compilation rules are identical to the dimension case.
+DimPredicate RemapPredicate(const DimPredicate& p, const ColumnNameMap& names) {
+  DimPredicate d = p;
+  d.dim.clear();
+  d.column = names(p.dim, p.column);
   return d;
 }
 
-}  // namespace
+/// A fact-range predicate in DimPredicate shape (fact columns keep their
+/// names in the denormalized table).
+DimPredicate FactRange(const FactPredicate& p) {
+  DimPredicate d;
+  d.column = p.column;
+  d.op = PredOp::kRange;
+  d.is_string = false;
+  d.ints = {p.lo, p.hi};
+  return d;
+}
 
-namespace {
-
-/// The plan body, context-threaded; sink installation stays with the
-/// public entry points so a legacy (config-only) call cannot displace an
-/// enclosing query's I/O attribution.
 Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
-                                          const TableQuery& query,
+                                          const StarQuery& query,
+                                          const ColumnNameMap& names,
                                           ExecContext* ctx) {
   const ExecConfig& config = ctx->config;
   const uint64_t n = table.num_rows();
   const unsigned threads = config.ResolvedThreads();
 
   // Predicates -> intersected position bitmap.
+  std::vector<DimPredicate> predicates;
+  for (const DimPredicate& p : query.dim_predicates) {
+    predicates.push_back(RemapPredicate(p, names));
+  }
+  for (const FactPredicate& p : query.fact_predicates) {
+    predicates.push_back(FactRange(p));
+  }
   util::BitVector selected(n);
   bool first = true;
-  for (const TablePredicate& spec : query.predicates) {
+  for (const DimPredicate& spec : predicates) {
     const col::StoredColumn& column = table.column(spec.column);
-    CSTORE_ASSIGN_OR_RETURN(
-        CompiledPredicate pred,
-        CompiledPredicate::Compile(ToDimPredicate(spec), column));
+    CSTORE_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                            CompiledPredicate::Compile(spec, column));
     util::BitVector bits(n);
     CSTORE_ASSIGN_OR_RETURN(
         uint64_t m, ParallelScanColumn(column, pred, config.block_iteration,
@@ -79,6 +87,7 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
   if (query.group_by.empty()) {
     QueryResult result;
     result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
+    ChargeAggregation(ctx, measure.size(), 0);
     return result;
   }
 
@@ -86,8 +95,8 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
   GroupKeyCodec codec;
   std::vector<std::vector<int64_t>> group_codes;
   std::vector<std::unique_ptr<std::vector<std::string>>> pools;
-  for (const std::string& name : query.group_by) {
-    const col::StoredColumn& column = table.column(name);
+  for (const GroupByColumn& g : query.group_by) {
+    const col::StoredColumn& column = table.column(names(g.dim, g.column));
     const col::ColumnInfo& info = column.info();
     std::vector<int64_t> codes;
     if (info.encoding == compress::Encoding::kPlainChar) {
@@ -109,28 +118,22 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg = AggregateRows(codec, group_codes, measure, threads);
+  GroupAggregator agg =
+      AggregateRows(codec, group_codes, measure, threads, ctx);
   QueryResult result = agg.Finish();
-  result.Sort(query.order_by);
+  result.Sort(query.sort);
   return result;
 }
 
 }  // namespace
 
 Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
-                                      const TableQuery& query,
+                                      const StarQuery& query,
+                                      const ColumnNameMap& names,
                                       ExecContext* ctx) {
   CSTORE_CHECK(ctx != nullptr);
   storage::ScopedIoSink io_sink(&ctx->io);
-  return ExecuteTableQueryImpl(table, query, ctx);
-}
-
-Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
-                                      const TableQuery& query,
-                                      const ExecConfig& config) {
-  // Throwaway context, no sink: see ExecuteStarQuery's legacy overload.
-  ExecContext ctx(config);
-  return ExecuteTableQueryImpl(table, query, &ctx);
+  return ExecuteTableQueryImpl(table, query, names, ctx);
 }
 
 }  // namespace cstore::core

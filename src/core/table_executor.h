@@ -4,7 +4,16 @@
 // of §6.3.3 / Figure 8: dimension attributes are ordinary fact columns, so
 // predicates and group-bys apply to them directly — on raw strings for the
 // uncompressed variant ("PJ, No C"), on dictionary codes otherwise.
+//
+// The executor consumes the same lowered star form as everyone else
+// (core::StarQuery); a ColumnNameMap rewrites each dimension attribute
+// reference onto the widened table's column name (date.year -> d_year).
+// There is no separate single-table query struct — the denormalized design
+// lowers from the same plan IR as the joined designs.
 #pragma once
+
+#include <functional>
+#include <string>
 
 #include "core/exec_config.h"
 #include "core/exec_context.h"
@@ -12,34 +21,19 @@
 
 namespace cstore::core {
 
-/// A predicate on any column of the table (string or integer).
-struct TablePredicate {
-  std::string column;
-  PredOp op = PredOp::kEq;
-  bool is_string = true;
-  std::vector<std::string> strs;
-  std::vector<int64_t> ints;
-};
+/// Maps a dimension attribute reference (dimension name, column name) onto
+/// the single table's column name. Fact columns are not mapped — they keep
+/// their names in the denormalized table.
+using ColumnNameMap =
+    std::function<std::string(const std::string& dim, const std::string& column)>;
 
-/// Query over a single (typically denormalized) table.
-struct TableQuery {
-  std::string id;
-  std::vector<TablePredicate> predicates;
-  std::vector<std::string> group_by;
-  Aggregate agg;
-  OrderBy order_by = OrderBy::kGroups;
-};
-
-/// Executes `query` against `table` (late-materialized plan), charging
-/// telemetry and device I/O to the context's sinks (the canonical entry
-/// point — the engine's denormalized design lands here).
+/// Executes the lowered star query `query` against the single pre-joined
+/// `table` (late-materialized plan, join-free), charging telemetry, device
+/// I/O, and aggregation work to the context's sinks. Private to the
+/// engine's design adapters — clients submit plans via engine::Session.
 Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
-                                      const TableQuery& query,
+                                      const StarQuery& query,
+                                      const ColumnNameMap& names,
                                       ExecContext* ctx);
-
-/// Legacy entry point: executes under `config` with a throw-away context.
-Result<QueryResult> ExecuteTableQuery(const col::ColumnTable& table,
-                                      const TableQuery& query,
-                                      const ExecConfig& config);
 
 }  // namespace cstore::core

@@ -4,6 +4,8 @@
 
 #include "core/star_executor.h"
 #include "core/table_executor.h"
+#include "engine/planner.h"
+#include "ssb/column_db.h"
 
 namespace cstore::engine {
 
@@ -12,15 +14,18 @@ namespace {
 class ColumnStoreDesign : public Design {
  public:
   explicit ColumnStoreDesign(core::StarSchema schema)
-      : schema_(std::move(schema)) {}
+      : schema_(std::move(schema)), catalog_(CatalogFor(schema_)) {}
 
-  Result<core::QueryResult> Execute(const core::StarQuery& query,
+  Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
+    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query,
+                            PlanToStarForSchema(p, &catalog_, schema_));
     return core::ExecuteStarQuery(schema_, query, &ctx);
   }
 
  private:
   const core::StarSchema schema_;
+  const plan::Catalog catalog_;
 };
 
 class RowStoreDesign : public Design {
@@ -28,8 +33,11 @@ class RowStoreDesign : public Design {
   RowStoreDesign(const ssb::RowDatabase* db, ssb::RowDesign design)
       : db_(db), design_(design) {}
 
-  Result<core::QueryResult> Execute(const core::StarQuery& query,
+  Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
+    // The row database has no column-store catalog to validate against;
+    // lowering is structural, and the row executor rejects unknown names.
+    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
     return ssb::ExecuteRowQuery(*db_, query, design_, &ctx);
   }
 
@@ -42,10 +50,26 @@ class DenormalizedDesign : public Design {
  public:
   explicit DenormalizedDesign(const col::ColumnTable* table) : table_(table) {}
 
-  Result<core::QueryResult> Execute(const core::StarQuery& query,
+  Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
-    return core::ExecuteTableQuery(*table_, ssb::ToDenormalizedQuery(query),
-                                   &ctx);
+    // Plans keep the star vocabulary; the name map rewrites dimension
+    // attributes onto the widened fact columns at execution time.
+    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
+    for (const core::DimPredicate& pred : query.dim_predicates) {
+      if (!table_->HasColumn(
+              ssb::DenormalizedColumnName(pred.dim, pred.column))) {
+        return Status::NotSupported("denormalized table has no column for " +
+                                    pred.dim + "." + pred.column);
+      }
+    }
+    for (const core::GroupByColumn& g : query.group_by) {
+      if (!table_->HasColumn(ssb::DenormalizedColumnName(g.dim, g.column))) {
+        return Status::NotSupported("denormalized table has no column for " +
+                                    g.dim + "." + g.column);
+      }
+    }
+    return core::ExecuteTableQuery(*table_, query,
+                                   ssb::DenormalizedColumnName, &ctx);
   }
 
  private:
@@ -58,8 +82,9 @@ class FunctionDesign : public Design {
                                                      core::ExecContext&)>;
   explicit FunctionDesign(Fn fn) : fn_(std::move(fn)) {}
 
-  Result<core::QueryResult> Execute(const core::StarQuery& query,
+  Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
+    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
     // Wrapped callables may predate ExecContext; install the I/O sink here
     // so their device traffic is still billed to the query.
     storage::ScopedIoSink io_sink(&ctx.io);

@@ -3,15 +3,11 @@
 //
 // Each factory wraps an already-loaded database. Adapters hold pointers
 // only — the database must outlive the engine — and are stateless, so
-// concurrent sessions may share one design instance.
-//
-// Migration map (old free function -> design):
-//   core::ExecuteStarQuery(db.Schema(), q, cfg)   -> MakeColumnStoreDesign
-//   ssb::ExecuteRowQuery(db, q, kTraditional)     -> MakeRowStoreDesign
-//   ssb::ExecuteRowQuery(db, q, k...Bitmap/VP/AI) -> MakeRowStoreDesign
-//   core::ExecuteTableQuery(t, ToDenormalizedQuery(q), cfg)
-//                                                 -> MakeDenormalizedDesign
-//   any other Result<QueryResult>(query) callable -> MakeFunctionDesign
+// concurrent sessions may share one design instance. Every adapter lowers
+// the incoming plan::Plan through engine/planner.h before dispatching to
+// its executor; the executors' free functions (core::ExecuteStarQuery,
+// core::ExecuteTableQuery, ssb::ExecuteRowQuery) are private to this
+// translation unit's adapters — clients go through engine::Session::Run.
 #pragma once
 
 #include <functional>

@@ -62,7 +62,7 @@ void Engine::Release() {
   slot_freed_.notify_one();
 }
 
-Result<QueryOutcome> Session::Run(const core::StarQuery& query) {
+Result<QueryOutcome> Session::Run(const plan::Plan& p) {
   util::Stopwatch wall;
   const double waited = engine_->Admit();
 
@@ -70,7 +70,7 @@ Result<QueryOutcome> Session::Run(const core::StarQuery& query) {
   if (engine_->options().shared_scans && ctx.config.shared_scans == nullptr) {
     ctx.config.shared_scans = &engine_->shared_scans_;
   }
-  Result<core::QueryResult> result = design_->Execute(query, ctx);
+  Result<core::QueryResult> result = design_->Execute(p, ctx);
   engine_->Release();
   CSTORE_RETURN_IF_ERROR(result.status());
 

@@ -2,13 +2,15 @@
 //
 // The paper's experiments compare five physical designs — the column store
 // and the four row-store layouts of §4 (traditional, bitmap-biased,
-// vertically partitioned, index-only) plus materialized views — which the
-// lower layers expose as unrelated free functions (core::ExecuteStarQuery,
-// core::ExecuteTableQuery, ssb::ExecuteRowQuery, ...). A serving system
-// cannot hand clients five entry points with five telemetry conventions:
-// this module is the single API the harness, the benches, and (eventually)
-// a network front end all talk to. The design varies; the interface does
-// not (Bruno, "Teaching an Old Elephant New Tricks").
+// vertically partitioned, index-only) plus materialized views — each with
+// its own executor in the lower layers. A serving system cannot hand
+// clients five entry points with five telemetry conventions: this module
+// is the single API the harness, the benches, and (eventually) a network
+// front end all talk to. Queries arrive as data — logical plans built with
+// plan::PlanBuilder — and each design lowers the plan onto its own access
+// paths (engine/planner.h); the executors' free functions are private
+// implementation details of the design adapters. The design varies; the
+// interface does not (Bruno, "Teaching an Old Elephant New Tricks").
 //
 //   Engine   owns what queries share: the worker pool the morsel layer
 //            draws from, the SharedScanManager cooperative scans attach to,
@@ -16,12 +18,13 @@
 //            (EngineOptions::max_inflight_queries). Designs register behind
 //            the common engine::Design interface, keyed by name.
 //   Session  is one client's handle (one session per client thread).
-//            Run(query) admits the query through the gate, executes it on
+//            Run(plan) admits the query through the gate, executes it on
 //            the session's design with a fresh core::ExecContext, and
 //            returns the QueryResult together with per-query QueryStats —
 //            wall time, admission wait, device pages read, zone-map
-//            skip/all-match/scan counts — attributed to exactly this query
-//            no matter how many clients run concurrently.
+//            skip/all-match/scan counts, aggregation work — attributed to
+//            exactly this query no matter how many clients run
+//            concurrently.
 //
 // Admission ("Processing a Trillion Cells per Mouse Click" serves thousands
 // of users this way): with max_inflight_queries = N, at most N queries
@@ -43,22 +46,26 @@
 #include "core/exec_context.h"
 #include "core/shared_scan.h"
 #include "core/star_query.h"
+#include "plan/plan.h"
 #include "util/thread_pool.h"
 
 namespace cstore::engine {
 
 /// A physical design registered with the engine: anything that can answer a
-/// StarQuery under an ExecContext. Implementations are stateless adapters
-/// over a loaded database (engine/designs.h has the five standard ones) and
-/// must be safe to Execute from concurrent sessions.
+/// logical plan under an ExecContext. Implementations are stateless
+/// adapters over a loaded database (engine/designs.h has the five standard
+/// ones); each lowers the plan onto its own access paths (engine/planner.h)
+/// and must be safe to Execute from concurrent sessions.
 class Design {
  public:
   virtual ~Design() = default;
 
-  /// Executes `query`, honoring ctx.config (thread budget, iteration /
-  /// join / materialization knobs, shared-scan handle where the design
-  /// supports it) and charging telemetry + device I/O to ctx's sinks.
-  virtual Result<core::QueryResult> Execute(const core::StarQuery& query,
+  /// Lowers and executes `p`, honoring ctx.config (thread budget,
+  /// iteration / join / materialization knobs, shared-scan handle where the
+  /// design supports it) and charging telemetry + device I/O to ctx's
+  /// sinks. A plan that does not validate against the design's catalog or
+  /// does not lower returns a Status, never a wrong answer.
+  virtual Result<core::QueryResult> Execute(const plan::Plan& p,
                                             core::ExecContext& ctx) const = 0;
 };
 
@@ -142,10 +149,11 @@ class Session {
  public:
   CSTORE_DISALLOW_COPY_AND_ASSIGN(Session);
 
-  /// Admits, executes, and bills one query. On success the outcome carries
-  /// the result and this query's own stats; the session's running totals()
-  /// are updated as well.
-  Result<QueryOutcome> Run(const core::StarQuery& query);
+  /// Admits, executes, and bills one query, given as a logical plan
+  /// (plan::PlanBuilder). On success the outcome carries the result and
+  /// this query's own stats; the session's running totals() are updated as
+  /// well.
+  Result<QueryOutcome> Run(const plan::Plan& p);
 
   /// This session's execution knobs (seeded from the engine's
   /// default_config). Adjust between Run() calls, not during one.

@@ -1,0 +1,78 @@
+#include "engine/planner.h"
+
+#include <utility>
+
+namespace cstore::engine {
+
+namespace {
+
+std::vector<plan::Catalog::Column> ColumnsOf(const col::ColumnTable& table) {
+  std::vector<plan::Catalog::Column> cols;
+  cols.reserve(table.num_columns());
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const col::ColumnInfo& info = table.column(i).info();
+    cols.push_back({info.name, info.logical_type == DataType::kChar});
+  }
+  return cols;
+}
+
+}  // namespace
+
+plan::Catalog CatalogFor(const core::StarSchema& schema) {
+  plan::Catalog catalog;
+  CSTORE_CHECK(schema.fact != nullptr);
+  catalog.AddTable(schema.fact->name(), ColumnsOf(*schema.fact));
+  for (const core::StarSchema::Dim& dim : schema.dims) {
+    CSTORE_CHECK(dim.table != nullptr);
+    catalog.AddTable(dim.name, ColumnsOf(*dim.table));
+  }
+  return catalog;
+}
+
+Result<core::StarQuery> PlanToStar(const plan::Plan& p,
+                                   const plan::Catalog* catalog) {
+  if (catalog != nullptr) {
+    CSTORE_RETURN_IF_ERROR(plan::Validate(p, *catalog));
+  }
+  Result<plan::LoweredStar> lowered = plan::LowerToStar(p);
+  CSTORE_RETURN_IF_ERROR(lowered.status());
+  return std::move(lowered).ValueOrDie().query;
+}
+
+Result<core::StarQuery> PlanToStarForSchema(const plan::Plan& p,
+                                            const plan::Catalog* catalog,
+                                            const core::StarSchema& schema) {
+  if (catalog != nullptr) {
+    CSTORE_RETURN_IF_ERROR(plan::Validate(p, *catalog));
+  }
+  Result<plan::LoweredStar> result = plan::LowerToStar(p);
+  CSTORE_RETURN_IF_ERROR(result.status());
+  plan::LoweredStar lowered = std::move(result).ValueOrDie();
+
+  CSTORE_CHECK(schema.fact != nullptr);
+  if (lowered.fact_table != schema.fact->name()) {
+    return Status::InvalidArgument("plan scans fact table '" +
+                                   lowered.fact_table + "' but the design's is '" +
+                                   schema.fact->name() + "'");
+  }
+  for (const plan::LoweredStar::JoinEdge& edge : lowered.joins) {
+    const core::StarSchema::Dim* dim = nullptr;
+    for (const core::StarSchema::Dim& d : schema.dims) {
+      if (d.name == edge.dim) dim = &d;
+    }
+    if (dim == nullptr) {
+      return Status::InvalidArgument("plan joins unknown dimension '" +
+                                     edge.dim + "'");
+    }
+    if (edge.fact_fk != dim->fact_fk_column || edge.dim_key != dim->key_column) {
+      return Status::InvalidArgument(
+          "plan joins " + lowered.fact_table + "." + edge.fact_fk + " = " +
+          edge.dim + "." + edge.dim_key + " but the schema declares " +
+          lowered.fact_table + "." + dim->fact_fk_column + " = " + edge.dim +
+          "." + dim->key_column);
+    }
+  }
+  return std::move(lowered.query);
+}
+
+}  // namespace cstore::engine

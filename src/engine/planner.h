@@ -1,0 +1,40 @@
+// The engine's planner: validated lowering of logical plans onto designs.
+//
+// plan::LowerToStar is purely structural — it will happily lower a plan
+// referencing tables no design has loaded. The planner closes that gap:
+// CatalogFor derives a plan::Catalog from a design's loaded StarSchema
+// (real column names and types, not a hard-coded list), and PlanToStar
+// runs plan::Validate against it before lowering, then cross-checks the
+// plan's asserted join edges (fact table, fk/key pairs) against the
+// schema's. Every engine::Design adapter funnels through PlanToStar, so a
+// malformed plan is rejected with a Status at the front door instead of
+// CHECK-failing deep inside an executor.
+#pragma once
+
+#include "common/result.h"
+#include "core/star_query.h"
+#include "plan/lower.h"
+#include "plan/validate.h"
+
+namespace cstore::engine {
+
+/// Catalog of the tables a StarSchema exposes to plans: the fact table
+/// under its ColumnTable name plus each dimension under its schema name.
+/// Column names and string/integer types come from the loaded columns.
+plan::Catalog CatalogFor(const core::StarSchema& schema);
+
+/// Validates `p` against `catalog` (skipped when null — designs without a
+/// loaded column schema validate structurally only) and lowers it to the
+/// flat star form the executors consume.
+Result<core::StarQuery> PlanToStar(const plan::Plan& p,
+                                   const plan::Catalog* catalog);
+
+/// PlanToStar plus schema cross-checks: the plan's fact table and join
+/// edges (fact fk = dim key) must match what `schema` declares, so a plan
+/// joining "date" on the wrong key is an InvalidArgument, not a wrong
+/// answer.
+Result<core::StarQuery> PlanToStarForSchema(const plan::Plan& p,
+                                            const plan::Catalog* catalog,
+                                            const core::StarSchema& schema);
+
+}  // namespace cstore::engine

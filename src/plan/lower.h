@@ -1,0 +1,51 @@
+// Lowering: logical plan → the flat star form the executors consume.
+//
+// Every physical design in this engine executes the same lowered shape — a
+// core::StarQuery (dimension predicates, fact predicates, group-by
+// columns, one aggregate, a sort spec). LowerToStar pattern-matches a
+// validated plan against that shape:
+//
+//   [Sort] → Aggregate → [GroupBy] → Join* → [Filter] → Scan(fact)
+//                                      └ [Filter] → Scan(dim)
+//
+// and rejects anything else with NotSupported — the plan IR can express
+// graphs the executors cannot run (yet), and lowering is where that line
+// is drawn, not deep inside an executor. Lowering is structural: it needs
+// no catalog, so the ssb layer can lower plans (e.g. to build
+// materialized views from them) without depending on the engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/star_query.h"
+#include "plan/plan.h"
+
+namespace cstore::plan {
+
+/// A lowered star query plus the schema facts the plan asserted — the
+/// engine's planner cross-checks these against the design's StarSchema
+/// (fact table name, fk/key pairs) before executing.
+struct LoweredStar {
+  core::StarQuery query;
+  std::string fact_table;
+  struct JoinEdge {
+    std::string dim;       ///< dimension table name
+    std::string fact_fk;   ///< fact column joined on
+    std::string dim_key;   ///< dimension key column joined on
+  };
+  /// In the builder's call order (probe order of the canned queries).
+  std::vector<JoinEdge> joins;
+};
+
+/// Lowers `plan` to the star form, or NotSupported/InvalidArgument when
+/// the plan is not star-shaped. Does not validate column references — run
+/// plan::Validate first when the plan comes from outside.
+Result<LoweredStar> LowerToStar(const Plan& plan);
+
+/// Convenience: just the query. CHECK-fails on non-star plans, so reserve
+/// it for plans the caller built itself (canned queries, MV definitions).
+core::StarQuery LowerToStarQueryOrDie(const Plan& plan);
+
+}  // namespace cstore::plan

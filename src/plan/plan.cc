@@ -1,0 +1,318 @@
+#include "plan/plan.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace cstore::plan {
+
+namespace {
+
+Predicate MakeStr(std::string table, std::string col, core::PredOp op,
+                  std::vector<std::string> strs) {
+  Predicate p;
+  p.column = {std::move(table), std::move(col)};
+  p.op = op;
+  p.is_string = true;
+  p.strs = std::move(strs);
+  return p;
+}
+
+Predicate MakeInt(std::string table, std::string col, core::PredOp op,
+                  std::vector<int64_t> ints) {
+  Predicate p;
+  p.column = {std::move(table), std::move(col)};
+  p.op = op;
+  p.is_string = false;
+  p.ints = std::move(ints);
+  return p;
+}
+
+}  // namespace
+
+Predicate Predicate::StrEq(std::string table, std::string col, std::string v) {
+  return MakeStr(std::move(table), std::move(col), core::PredOp::kEq,
+                 {std::move(v)});
+}
+
+Predicate Predicate::StrRange(std::string table, std::string col,
+                              std::string lo, std::string hi) {
+  return MakeStr(std::move(table), std::move(col), core::PredOp::kRange,
+                 {std::move(lo), std::move(hi)});
+}
+
+Predicate Predicate::StrIn(std::string table, std::string col,
+                           std::vector<std::string> vs) {
+  return MakeStr(std::move(table), std::move(col), core::PredOp::kIn,
+                 std::move(vs));
+}
+
+Predicate Predicate::IntEq(std::string table, std::string col, int64_t v) {
+  return MakeInt(std::move(table), std::move(col), core::PredOp::kEq, {v});
+}
+
+Predicate Predicate::IntRange(std::string table, std::string col, int64_t lo,
+                              int64_t hi) {
+  return MakeInt(std::move(table), std::move(col), core::PredOp::kRange,
+                 {lo, hi});
+}
+
+Predicate Predicate::IntIn(std::string table, std::string col,
+                           std::vector<int64_t> vs) {
+  return MakeInt(std::move(table), std::move(col), core::PredOp::kIn,
+                 std::move(vs));
+}
+
+std::string Predicate::ToString() const {
+  std::string out = column.ToString();
+  auto operand = [&](size_t i) {
+    return is_string ? "'" + strs[i] + "'" : std::to_string(ints[i]);
+  };
+  const size_t n = is_string ? strs.size() : ints.size();
+  switch (op) {
+    case core::PredOp::kEq:
+      out += " = " + operand(0);
+      break;
+    case core::PredOp::kRange:
+      out += " between " + operand(0) + " and " + operand(1);
+      break;
+    case core::PredOp::kIn:
+      out += " in (";
+      for (size_t i = 0; i < n; ++i) {
+        if (i != 0) out += ", ";
+        out += operand(i);
+      }
+      out += ")";
+      break;
+  }
+  return out;
+}
+
+std::string AggExpr::ToString() const {
+  switch (kind) {
+    case core::AggKind::kSumColumn:
+      return "SUM(" + a.ToString() + ")";
+    case core::AggKind::kSumProduct:
+      return "SUM(" + a.ToString() + " * " + b.ToString() + ")";
+    case core::AggKind::kSumDiff:
+      return "SUM(" + a.ToString() + " - " + b.ToString() + ")";
+  }
+  return "SUM(?)";
+}
+
+std::string_view NodeKindName(Node::Kind kind) {
+  switch (kind) {
+    case Node::Kind::kScan:
+      return "Scan";
+    case Node::Kind::kFilter:
+      return "Filter";
+    case Node::Kind::kJoin:
+      return "Join";
+    case Node::Kind::kGroupBy:
+      return "GroupBy";
+    case Node::Kind::kAggregate:
+      return "Aggregate";
+    case Node::Kind::kSort:
+      return "Sort";
+  }
+  return "?";
+}
+
+namespace {
+
+void DumpNode(const Plan& plan, int id, int depth, std::string* out) {
+  const Node& n = plan.node(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += NodeKindName(n.kind);
+  switch (n.kind) {
+    case Node::Kind::kScan:
+      *out += " " + n.table;
+      break;
+    case Node::Kind::kFilter:
+      *out += " [";
+      for (size_t i = 0; i < n.predicates.size(); ++i) {
+        if (i != 0) *out += " AND ";
+        *out += n.predicates[i].ToString();
+      }
+      *out += "]";
+      break;
+    case Node::Kind::kJoin:
+      *out += " " + n.left_key.ToString() + " = " + n.right_key.ToString();
+      break;
+    case Node::Kind::kGroupBy:
+      *out += " [";
+      for (size_t i = 0; i < n.group_keys.size(); ++i) {
+        if (i != 0) *out += ", ";
+        *out += n.group_keys[i].ToString();
+      }
+      *out += "]";
+      break;
+    case Node::Kind::kAggregate:
+      *out += " " + n.agg.ToString();
+      break;
+    case Node::Kind::kSort:
+      *out += " [";
+      for (size_t i = 0; i < n.sort.size(); ++i) {
+        if (i != 0) *out += ", ";
+        const core::SortKey& k = n.sort[i];
+        *out += k.column == core::SortKey::kMeasure
+                    ? "measure"
+                    : std::to_string(k.column);
+        *out += k.ascending ? " asc" : " desc";
+      }
+      *out += "]";
+      break;
+  }
+  *out += "\n";
+  for (int input : n.inputs) DumpNode(plan, input, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::string out = "Plan " + id_ + "\n";
+  if (root_ >= 0) DumpNode(*this, root_, 1, &out);
+  return out;
+}
+
+PlanBuilder& PlanBuilder::Scan(std::string fact_table) {
+  fact_ = std::move(fact_table);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Join(std::string dim_table, std::string fact_fk,
+                               std::string dim_key) {
+  DimJoin j;
+  j.table = std::move(dim_table);
+  j.fact_fk = std::move(fact_fk);
+  j.dim_key = std::move(dim_key);
+  joins_.push_back(std::move(j));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Where(Predicate pred) {
+  // Route by referenced table: dimension predicates sit below the join that
+  // consumes the dimension, everything else filters the fact scan. A
+  // predicate naming an unknown table lands on the fact filter, where the
+  // validator rejects it with an unknown-table diagnostic.
+  for (DimJoin& j : joins_) {
+    if (j.table == pred.column.table) {
+      j.predicates.push_back(std::move(pred));
+      return *this;
+    }
+  }
+  fact_predicates_.push_back(std::move(pred));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupBy(std::string table, std::string column) {
+  group_keys_.push_back({std::move(table), std::move(column)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Sum(std::string table, std::string column) {
+  agg_.kind = core::AggKind::kSumColumn;
+  agg_.a = {std::move(table), std::move(column)};
+  agg_.b = {};
+  have_agg_ = true;
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::SumProduct(std::string table, std::string col_a,
+                                     std::string col_b) {
+  agg_.kind = core::AggKind::kSumProduct;
+  agg_.a = {table, std::move(col_a)};
+  agg_.b = {std::move(table), std::move(col_b)};
+  have_agg_ = true;
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::SumDiff(std::string table, std::string col_a,
+                                  std::string col_b) {
+  agg_.kind = core::AggKind::kSumDiff;
+  agg_.a = {table, std::move(col_a)};
+  agg_.b = {std::move(table), std::move(col_b)};
+  have_agg_ = true;
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::OrderBy(int column, bool ascending) {
+  sort_.push_back({column, ascending});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::OrderByMeasure(bool ascending) {
+  sort_.push_back({core::SortKey::kMeasure, ascending});
+  return *this;
+}
+
+Plan PlanBuilder::Build() const {
+  CSTORE_CHECK(!fact_.empty());
+  CSTORE_CHECK(have_agg_);
+  Plan plan;
+  plan.id_ = id_;
+  auto add = [&](Node n) {
+    plan.nodes_.push_back(std::move(n));
+    return static_cast<int>(plan.nodes_.size()) - 1;
+  };
+
+  Node fact_scan;
+  fact_scan.kind = Node::Kind::kScan;
+  fact_scan.table = fact_;
+  int cur = add(std::move(fact_scan));
+
+  if (!fact_predicates_.empty()) {
+    Node filter;
+    filter.kind = Node::Kind::kFilter;
+    filter.inputs = {cur};
+    filter.predicates = fact_predicates_;
+    cur = add(std::move(filter));
+  }
+
+  for (const DimJoin& j : joins_) {
+    Node dim_scan;
+    dim_scan.kind = Node::Kind::kScan;
+    dim_scan.table = j.table;
+    int dim_top = add(std::move(dim_scan));
+    if (!j.predicates.empty()) {
+      Node filter;
+      filter.kind = Node::Kind::kFilter;
+      filter.inputs = {dim_top};
+      filter.predicates = j.predicates;
+      dim_top = add(std::move(filter));
+    }
+    Node join;
+    join.kind = Node::Kind::kJoin;
+    join.inputs = {cur, dim_top};
+    join.left_key = {fact_, j.fact_fk};
+    join.right_key = {j.table, j.dim_key};
+    cur = add(std::move(join));
+  }
+
+  if (!group_keys_.empty()) {
+    Node group;
+    group.kind = Node::Kind::kGroupBy;
+    group.inputs = {cur};
+    group.group_keys = group_keys_;
+    cur = add(std::move(group));
+  }
+
+  Node agg;
+  agg.kind = Node::Kind::kAggregate;
+  agg.inputs = {cur};
+  agg.agg = agg_;
+  cur = add(std::move(agg));
+
+  if (!sort_.empty()) {
+    Node sort;
+    sort.kind = Node::Kind::kSort;
+    sort.inputs = {cur};
+    sort.sort = sort_;
+    cur = add(std::move(sort));
+  }
+
+  plan.root_ = cur;
+  return plan;
+}
+
+}  // namespace cstore::plan

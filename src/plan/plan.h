@@ -1,0 +1,190 @@
+// Logical plan IR: queries as data.
+//
+// A query enters the engine as a plan::Plan — a DAG of relational nodes
+// (Scan → Filter → Join → GroupBy → Aggregate → Sort) assembled with the
+// fluent PlanBuilder. The engine never pattern-matches canned query
+// structs: engine::Session::Run takes a Plan, validates it against the
+// catalog (validate.h), and each engine::Design lowers the validated plan
+// onto its own access paths (lower.h produces the flat star form in
+// core/star_query.h that the physical executors consume).
+//
+// The IR deliberately reuses the executors' value vocabulary — PredOp,
+// AggKind, SortKey — so lowering is a structural walk, not a translation
+// layer, and a plan that validates cleanly lowers without loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/star_query.h"
+
+namespace cstore::plan {
+
+/// A column reference, `table.column`, both by name. `table` names the
+/// Scan node that produces the column ("lineorder", "date", ...).
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+/// A single-column predicate, value-typed. The executors support
+/// conjunctions of per-column predicates (the star-schema WHERE shape), so
+/// the IR does not need a general expression tree — a Filter node carries a
+/// vector of these, implicitly ANDed.
+struct Predicate {
+  ColumnRef column;
+  core::PredOp op = core::PredOp::kEq;
+  bool is_string = true;
+  std::vector<std::string> strs;  ///< kEq: {v}; kRange: {lo, hi}; kIn: set
+  std::vector<int64_t> ints;      ///< same, for integer columns
+
+  static Predicate StrEq(std::string table, std::string col, std::string v);
+  static Predicate StrRange(std::string table, std::string col, std::string lo,
+                            std::string hi);
+  static Predicate StrIn(std::string table, std::string col,
+                         std::vector<std::string> vs);
+  static Predicate IntEq(std::string table, std::string col, int64_t v);
+  static Predicate IntRange(std::string table, std::string col, int64_t lo,
+                            int64_t hi);
+  static Predicate IntIn(std::string table, std::string col,
+                         std::vector<int64_t> vs);
+
+  std::string ToString() const;
+};
+
+/// The aggregate measure: SUM over a one- or two-column expression.
+struct AggExpr {
+  core::AggKind kind = core::AggKind::kSumColumn;
+  ColumnRef a;
+  ColumnRef b;  ///< second operand for kSumProduct/kSumDiff
+
+  std::string ToString() const;
+};
+
+/// One plan node. A tagged struct, not a class hierarchy: plans are data
+/// the planner pattern-matches, and the payload fields meaningful for each
+/// kind are documented inline.
+struct Node {
+  enum class Kind { kScan, kFilter, kJoin, kGroupBy, kAggregate, kSort };
+
+  Kind kind = Kind::kScan;
+  /// Ids (indices into Plan::nodes()) of the input nodes. Scans have none;
+  /// Joins have exactly two (left = probe side, right = build side); the
+  /// rest have exactly one.
+  std::vector<int> inputs;
+
+  std::string table;                  ///< kScan: table name
+  std::vector<Predicate> predicates;  ///< kFilter: conjunction
+  ColumnRef left_key;                 ///< kJoin: equi-join key, left input
+  ColumnRef right_key;                ///< kJoin: equi-join key, right input
+  std::vector<ColumnRef> group_keys;  ///< kGroupBy: output key columns
+  AggExpr agg;                        ///< kAggregate
+  core::SortSpec sort;                ///< kSort: result ordering
+};
+
+/// Printable node-kind name, e.g. "Join".
+std::string_view NodeKindName(Node::Kind kind);
+
+/// A logical query plan: nodes in a flat arena, edges by id, one root.
+/// Immutable once built (PlanBuilder is the only writer); cheap to copy.
+class Plan {
+ public:
+  Plan() = default;
+
+  const std::string& id() const { return id_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root() const { return root_; }
+  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  /// Indented operator-tree dump (root first), for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  friend class PlanBuilder;
+
+  std::string id_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Fluent builder for star-shaped plans — the one query shape the physical
+/// designs execute. Call order:
+///
+///   plan::Plan p = plan::PlanBuilder("2.1")
+///       .Scan("lineorder")
+///       .Join("part", "partkey", "partkey")
+///       .Join("supplier", "suppkey", "suppkey")
+///       .Join("date", "orderdate", "datekey")
+///       .Where(plan::Predicate::StrEq("part", "category", "MFGR#12"))
+///       .Where(plan::Predicate::StrEq("supplier", "region", "AMERICA"))
+///       .GroupBy("date", "year").GroupBy("part", "brand1")
+///       .Sum("lineorder", "revenue")
+///       .Build();
+///
+/// Where() routes each predicate to the scan of the table it references
+/// (fact predicates filter above the fact scan, dimension predicates below
+/// the join that consumes the dimension), so selection pushdown is a
+/// property of the built plan, not a planner rewrite. Build() materializes
+/// the node DAG; it does not validate — pass the plan through
+/// plan::Validate before executing it.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string query_id) : id_(std::move(query_id)) {}
+
+  /// The fact table (exactly one Scan per plan).
+  PlanBuilder& Scan(std::string fact_table);
+
+  /// Joins a dimension: fact.`fact_fk` = dim.`dim_key`. Join order in the
+  /// plan follows call order.
+  PlanBuilder& Join(std::string dim_table, std::string fact_fk,
+                    std::string dim_key);
+
+  /// Adds a conjunct, routed by the table it references.
+  PlanBuilder& Where(Predicate pred);
+
+  /// Appends a group-by key column.
+  PlanBuilder& GroupBy(std::string table, std::string column);
+
+  /// SUM(a) / SUM(a * b) / SUM(a - b). Exactly one aggregate per plan.
+  PlanBuilder& Sum(std::string table, std::string column);
+  PlanBuilder& SumProduct(std::string table, std::string col_a,
+                          std::string col_b);
+  PlanBuilder& SumDiff(std::string table, std::string col_a,
+                       std::string col_b);
+
+  /// Appends a result-ordering key on group-by output column `column`
+  /// (index into the GroupBy keys, in call order). Omitting OrderBy
+  /// entirely yields the canonical order: group columns ascending.
+  PlanBuilder& OrderBy(int column, bool ascending = true);
+  /// Appends a result-ordering key on the aggregated measure.
+  PlanBuilder& OrderByMeasure(bool ascending = true);
+
+  /// Materializes the node DAG. The builder stays usable (Build is const).
+  Plan Build() const;
+
+ private:
+  struct DimJoin {
+    std::string table;
+    std::string fact_fk;
+    std::string dim_key;
+    std::vector<Predicate> predicates;
+  };
+
+  std::string id_;
+  std::string fact_;
+  std::vector<Predicate> fact_predicates_;
+  std::vector<DimJoin> joins_;
+  std::vector<ColumnRef> group_keys_;
+  AggExpr agg_;
+  bool have_agg_ = false;
+  core::SortSpec sort_;
+};
+
+}  // namespace cstore::plan

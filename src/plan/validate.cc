@@ -1,0 +1,267 @@
+#include "plan/validate.h"
+
+#include <cstddef>
+
+namespace cstore::plan {
+
+const Catalog::Table* Catalog::FindTable(const std::string& name) const {
+  for (const Table& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const Catalog::Column* Catalog::FindColumn(const std::string& table,
+                                           const std::string& column) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return nullptr;
+  for (const Column& c : t->columns) {
+    if (c.name == column) return &c;
+  }
+  return nullptr;
+}
+
+Catalog& Catalog::AddTable(std::string name, std::vector<Column> columns) {
+  tables.push_back({std::move(name), std::move(columns)});
+  return *this;
+}
+
+namespace {
+
+/// What a subtree exposes to the nodes above it.
+struct Scope {
+  /// Names of the tables scanned in the subtree (column references above
+  /// resolve against these).
+  std::vector<std::string> tables;
+  /// Number of group-by key columns, or -1 below the GroupBy node.
+  int num_group_keys = -1;
+  bool has_aggregate = false;
+};
+
+class Validator {
+ public:
+  Validator(const Plan& plan, const Catalog& catalog)
+      : plan_(plan), catalog_(catalog), state_(plan.nodes().size(), 0) {}
+
+  Status Run() {
+    const int n = static_cast<int>(plan_.nodes().size());
+    if (plan_.root() < 0 || plan_.root() >= n) {
+      return Status::InvalidArgument("plan has no root node");
+    }
+    Scope scope;
+    Status s = Walk(plan_.root(), &scope);
+    if (!s.ok()) return s;
+    if (!scope.has_aggregate) {
+      return Status::InvalidArgument("plan has no Aggregate node");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status ResolveInt(const ColumnRef& ref, const Scope& scope,
+                    const char* what) {
+    const Catalog::Column* c = Resolve(ref, scope);
+    if (c == nullptr) {
+      return Status::InvalidArgument(std::string(what) + " references " +
+                                     ref.ToString() +
+                                     ", which is not in scope");
+    }
+    if (c->is_string) {
+      return Status::InvalidArgument(std::string(what) + " on " +
+                                     ref.ToString() +
+                                     " requires an integer column");
+    }
+    return Status::OK();
+  }
+
+  /// Resolves `ref` against the tables visible in `scope`, or null.
+  const Catalog::Column* Resolve(const ColumnRef& ref, const Scope& scope) {
+    for (const std::string& t : scope.tables) {
+      if (t == ref.table) return catalog_.FindColumn(ref.table, ref.column);
+    }
+    return nullptr;
+  }
+
+  Status Walk(int id, Scope* out) {
+    if (id < 0 || id >= static_cast<int>(plan_.nodes().size())) {
+      return Status::InvalidArgument("node input id out of range");
+    }
+    if (state_[static_cast<size_t>(id)] == 1) {
+      return Status::InvalidArgument("plan graph contains a cycle");
+    }
+    state_[static_cast<size_t>(id)] = 1;
+    Status s = WalkNode(id, out);
+    state_[static_cast<size_t>(id)] = 2;
+    return s;
+  }
+
+  Status WalkNode(int id, Scope* out) {
+    const Node& n = plan_.node(id);
+    const std::string where =
+        std::string(NodeKindName(n.kind)) + " node " + std::to_string(id);
+
+    auto expect_inputs = [&](size_t count) {
+      return n.inputs.size() == count
+                 ? Status::OK()
+                 : Status::InvalidArgument(
+                       where + " expects " + std::to_string(count) +
+                       " input(s), has " + std::to_string(n.inputs.size()));
+    };
+
+    switch (n.kind) {
+      case Node::Kind::kScan: {
+        Status s = expect_inputs(0);
+        if (!s.ok()) return s;
+        if (catalog_.FindTable(n.table) == nullptr) {
+          return Status::InvalidArgument(where + ": unknown table '" +
+                                         n.table + "'");
+        }
+        out->tables = {n.table};
+        return Status::OK();
+      }
+
+      case Node::Kind::kFilter: {
+        Status s = expect_inputs(1);
+        if (!s.ok()) return s;
+        s = Walk(n.inputs[0], out);
+        if (!s.ok()) return s;
+        if (n.predicates.empty()) {
+          return Status::InvalidArgument(where + " has no predicates");
+        }
+        for (const Predicate& p : n.predicates) {
+          const Catalog::Column* c = Resolve(p.column, *out);
+          if (c == nullptr) {
+            return Status::InvalidArgument(
+                where + ": predicate references " + p.column.ToString() +
+                ", which is not in scope");
+          }
+          if (c->is_string != p.is_string) {
+            return Status::InvalidArgument(
+                where + ": predicate on " + p.column.ToString() + " is " +
+                (p.is_string ? "string" : "integer") + "-typed but the column is " +
+                (c->is_string ? "string" : "integer"));
+          }
+          const size_t operands = p.is_string ? p.strs.size() : p.ints.size();
+          const size_t want = p.op == core::PredOp::kEq     ? 1
+                              : p.op == core::PredOp::kRange ? 2
+                                                             : operands;
+          if (operands != want || operands == 0) {
+            return Status::InvalidArgument(where + ": predicate on " +
+                                           p.column.ToString() +
+                                           " has the wrong operand count");
+          }
+        }
+        return Status::OK();
+      }
+
+      case Node::Kind::kJoin: {
+        Status s = expect_inputs(2);
+        if (!s.ok()) return s;
+        Scope left, right;
+        s = Walk(n.inputs[0], &left);
+        if (!s.ok()) return s;
+        s = Walk(n.inputs[1], &right);
+        if (!s.ok()) return s;
+        s = ResolveIn(n.left_key, left, where + " left key");
+        if (!s.ok()) return s;
+        s = ResolveIn(n.right_key, right, where + " right key");
+        if (!s.ok()) return s;
+        out->tables = left.tables;
+        for (const std::string& t : right.tables) {
+          for (const std::string& seen : out->tables) {
+            if (seen == t) {
+              return Status::InvalidArgument(
+                  where + ": table '" + t + "' scanned more than once");
+            }
+          }
+          out->tables.push_back(t);
+        }
+        return Status::OK();
+      }
+
+      case Node::Kind::kGroupBy: {
+        Status s = expect_inputs(1);
+        if (!s.ok()) return s;
+        s = Walk(n.inputs[0], out);
+        if (!s.ok()) return s;
+        if (n.group_keys.empty()) {
+          return Status::InvalidArgument(where + " has no key columns");
+        }
+        for (const ColumnRef& key : n.group_keys) {
+          if (Resolve(key, *out) == nullptr) {
+            return Status::InvalidArgument(where + ": key " + key.ToString() +
+                                           " is not in scope");
+          }
+        }
+        out->num_group_keys = static_cast<int>(n.group_keys.size());
+        return Status::OK();
+      }
+
+      case Node::Kind::kAggregate: {
+        Status s = expect_inputs(1);
+        if (!s.ok()) return s;
+        s = Walk(n.inputs[0], out);
+        if (!s.ok()) return s;
+        if (out->has_aggregate) {
+          return Status::InvalidArgument(where +
+                                         ": plan has multiple Aggregate nodes");
+        }
+        s = ResolveInt(n.agg.a, *out, "aggregate");
+        if (!s.ok()) return s;
+        if (n.agg.kind != core::AggKind::kSumColumn) {
+          s = ResolveInt(n.agg.b, *out, "aggregate");
+          if (!s.ok()) return s;
+        }
+        out->has_aggregate = true;
+        return Status::OK();
+      }
+
+      case Node::Kind::kSort: {
+        Status s = expect_inputs(1);
+        if (!s.ok()) return s;
+        s = Walk(n.inputs[0], out);
+        if (!s.ok()) return s;
+        if (!out->has_aggregate) {
+          return Status::InvalidArgument(where +
+                                         " must sit above the Aggregate node");
+        }
+        const int keys = out->num_group_keys < 0 ? 0 : out->num_group_keys;
+        for (const core::SortKey& k : n.sort) {
+          if (k.column == core::SortKey::kMeasure) continue;
+          if (k.column < 0 || k.column >= keys) {
+            return Status::InvalidArgument(
+                where + ": sort key column " + std::to_string(k.column) +
+                " out of range (plan has " + std::to_string(keys) +
+                " group-by columns)");
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument(where + ": unknown node kind");
+  }
+
+  Status ResolveIn(const ColumnRef& ref, const Scope& scope,
+                   const std::string& what) {
+    if (Resolve(ref, scope) == nullptr) {
+      return Status::InvalidArgument(what + " references " + ref.ToString() +
+                                     ", which is not in scope");
+    }
+    return Status::OK();
+  }
+
+  const Plan& plan_;
+  const Catalog& catalog_;
+  /// DFS colors: 0 unvisited, 1 on stack, 2 done. Revisiting a node on the
+  /// stack means a cycle; the builder never produces one, but plans are
+  /// data and hand-built graphs get a diagnostic, not a stack overflow.
+  std::vector<uint8_t> state_;
+};
+
+}  // namespace
+
+Status Validate(const Plan& plan, const Catalog& catalog) {
+  return Validator(plan, catalog).Run();
+}
+
+}  // namespace cstore::plan

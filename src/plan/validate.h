@@ -1,0 +1,51 @@
+// Plan validation: resolve every column reference against a catalog.
+//
+// Validate is the gate between "plan as data" and "plan the engine will
+// execute": it walks the DAG once, checking structure (arity, acyclicity,
+// single use of each table) and semantics (every table exists, every
+// column reference resolves against a table scanned below the referencing
+// node, predicate/aggregate operand types match the column types, sort
+// keys index real group-by outputs). A plan that validates cleanly lowers
+// through plan::LowerToStar without surprises; a plan that does not never
+// reaches an executor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace cstore::plan {
+
+/// Name-and-type view of the tables a plan may reference. Engines build one
+/// from their loaded schema (engine::CatalogFor); tests can assemble one by
+/// hand.
+struct Catalog {
+  struct Column {
+    std::string name;
+    bool is_string = false;
+  };
+  struct Table {
+    std::string name;
+    std::vector<Column> columns;
+  };
+
+  std::vector<Table> tables;
+
+  /// Table by name, or null.
+  const Table* FindTable(const std::string& name) const;
+  /// Column by table and name, or null (also null for unknown table).
+  const Column* FindColumn(const std::string& table,
+                           const std::string& column) const;
+
+  Catalog& AddTable(std::string name,
+                    std::vector<Column> columns);
+};
+
+/// Checks `plan` against `catalog`; OK means every reference resolved and
+/// every node is structurally sound. Errors are InvalidArgument with the
+/// offending node/reference named in the message.
+Status Validate(const Plan& plan, const Catalog& catalog);
+
+}  // namespace cstore::plan

@@ -285,38 +285,12 @@ Result<std::unique_ptr<DenormalizedDatabase>> DenormalizedDatabase::Build(
   return db;
 }
 
-core::TableQuery ToDenormalizedQuery(const core::StarQuery& query) {
-  auto map_name = [](const std::string& dim, const std::string& column) {
-    if (dim == "date") return "d_" + column;
-    if (dim == "customer") return "c_" + column;
-    if (dim == "supplier") return "s_" + column;
-    return "p_" + column;
-  };
-  core::TableQuery out;
-  out.id = query.id;
-  out.agg = query.agg;
-  out.order_by = query.order_by;
-  for (const core::DimPredicate& p : query.dim_predicates) {
-    core::TablePredicate tp;
-    tp.column = map_name(p.dim, p.column);
-    tp.op = p.op;
-    tp.is_string = p.is_string;
-    tp.strs = p.strs;
-    tp.ints = p.ints;
-    out.predicates.push_back(std::move(tp));
-  }
-  for (const core::FactPredicate& p : query.fact_predicates) {
-    core::TablePredicate tp;
-    tp.column = p.column;
-    tp.op = core::PredOp::kRange;
-    tp.is_string = false;
-    tp.ints = {p.lo, p.hi};
-    out.predicates.push_back(std::move(tp));
-  }
-  for (const core::GroupByColumn& g : query.group_by) {
-    out.group_by.push_back(map_name(g.dim, g.column));
-  }
-  return out;
+std::string DenormalizedColumnName(const std::string& dim,
+                                   const std::string& column) {
+  if (dim == "date") return "d_" + column;
+  if (dim == "customer") return "c_" + column;
+  if (dim == "supplier") return "s_" + column;
+  return "p_" + column;
 }
 
 }  // namespace cstore::ssb

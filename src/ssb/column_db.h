@@ -78,8 +78,10 @@ class DenormalizedDatabase {
   col::CompressionMode mode_ = col::CompressionMode::kNone;
 };
 
-/// Rewrites a star query into the equivalent single-table query over the
-/// denormalized fact table ("customer"."nation" -> "c_nation" etc.).
-core::TableQuery ToDenormalizedQuery(const core::StarQuery& query);
+/// The denormalized fact table's name for a widened dimension attribute
+/// ("customer"."nation" -> "c_nation" etc.) — the core::ColumnNameMap the
+/// engine's pre-joined design executes star queries through.
+std::string DenormalizedColumnName(const std::string& dim,
+                                   const std::string& column);
 
 }  // namespace cstore::ssb

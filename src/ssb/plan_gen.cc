@@ -1,0 +1,238 @@
+#include "ssb/plan_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ssb/generator.h"
+#include "util/rng.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+using plan::Predicate;
+
+/// One dimension attribute the generator may filter or group on. The set is
+/// exactly the columns the denormalized design widens into the fact table,
+/// so every generated plan runs on all five designs.
+struct DimAttr {
+  const char* column;
+  bool is_string;
+};
+
+struct DimSpec {
+  const char* table;
+  const char* fact_fk;
+  const char* dim_key;
+  std::vector<DimAttr> attrs;
+};
+
+const std::vector<DimSpec>& DimSpecs() {
+  static const std::vector<DimSpec> specs = {
+      {"date",
+       "orderdate",
+       "datekey",
+       {{"year", false},
+        {"yearmonthnum", false},
+        {"weeknuminyear", false},
+        {"yearmonth", true}}},
+      {"customer",
+       "custkey",
+       "custkey",
+       {{"region", true}, {"nation", true}, {"city", true}}},
+      {"supplier",
+       "suppkey",
+       "suppkey",
+       {{"region", true}, {"nation", true}, {"city", true}}},
+      {"part",
+       "partkey",
+       "partkey",
+       {{"mfgr", true}, {"category", true}, {"brand1", true}}},
+  };
+  return specs;
+}
+
+const char* const kMonthAbbrev[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::string RandomYearMonth(util::Rng& rng) {
+  return std::string(kMonthAbbrev[rng.Uniform(0, 11)]) +
+         std::to_string(rng.Uniform(1992, 1998));
+}
+
+std::string RandomNation(util::Rng& rng) {
+  return kNations[rng.Uniform(0, 24)];
+}
+
+std::string RandomCity(util::Rng& rng) {
+  // SSB city: first 9 characters of the nation (space-padded) + one digit.
+  std::string c(kNations[rng.Uniform(0, 24)]);
+  c.resize(9, ' ');
+  c.push_back(static_cast<char>('0' + rng.Uniform(0, 9)));
+  return c;
+}
+
+std::string RandomBrand(util::Rng& rng) {
+  return "MFGR#" + std::to_string(rng.Uniform(1, 5)) +
+         std::to_string(rng.Uniform(1, 5)) + std::to_string(rng.Uniform(1, 40));
+}
+
+/// Random predicate on one dimension attribute, with value domains matching
+/// the generator so selectivities are non-trivial (predicates may still
+/// select zero rows — designs must agree on empty results too).
+Predicate RandomDimPredicate(util::Rng& rng, const std::string& table,
+                             const DimAttr& attr) {
+  const std::string col = attr.column;
+  if (!attr.is_string) {
+    if (col == "year") {
+      if (rng.Bernoulli(0.5)) {
+        return Predicate::IntEq(table, col, rng.Uniform(1992, 1998));
+      }
+      const int64_t lo = rng.Uniform(1992, 1998);
+      return Predicate::IntRange(table, col, lo,
+                                 rng.Uniform(lo, 1998));
+    }
+    if (col == "yearmonthnum") {
+      const int64_t ym = rng.Uniform(1992, 1998) * 100 + rng.Uniform(1, 12);
+      return Predicate::IntEq(table, col, ym);
+    }
+    // weeknuminyear
+    return Predicate::IntEq(table, col, rng.Uniform(1, 53));
+  }
+  if (col == "yearmonth") {
+    return Predicate::StrEq(table, col, RandomYearMonth(rng));
+  }
+  if (col == "region") {
+    if (rng.Bernoulli(0.7)) {
+      return Predicate::StrEq(table, col, kRegions[rng.Uniform(0, 4)]);
+    }
+    return Predicate::StrIn(
+        table, col, {kRegions[rng.Uniform(0, 4)], kRegions[rng.Uniform(0, 4)]});
+  }
+  if (col == "nation") {
+    if (rng.Bernoulli(0.7)) {
+      return Predicate::StrEq(table, col, RandomNation(rng));
+    }
+    return Predicate::StrIn(table, col,
+                            {RandomNation(rng), RandomNation(rng)});
+  }
+  if (col == "city") {
+    if (rng.Bernoulli(0.6)) {
+      return Predicate::StrEq(table, col, RandomCity(rng));
+    }
+    return Predicate::StrIn(table, col, {RandomCity(rng), RandomCity(rng)});
+  }
+  if (col == "mfgr") {
+    return Predicate::StrEq(table, col,
+                            "MFGR#" + std::to_string(rng.Uniform(1, 5)));
+  }
+  if (col == "category") {
+    return Predicate::StrEq(table, col,
+                            "MFGR#" + std::to_string(rng.Uniform(1, 5)) +
+                                std::to_string(rng.Uniform(1, 5)));
+  }
+  // brand1: point or lexicographic range, like queries 2.1-2.3.
+  if (rng.Bernoulli(0.6)) {
+    return Predicate::StrEq(table, col, RandomBrand(rng));
+  }
+  std::string a = RandomBrand(rng);
+  std::string b = RandomBrand(rng);
+  if (b < a) std::swap(a, b);
+  return Predicate::StrRange(table, col, a, b);
+}
+
+Predicate RandomFactPredicate(util::Rng& rng) {
+  if (rng.Bernoulli(0.5)) {
+    const int64_t lo = rng.Uniform(0, 10);
+    return Predicate::IntRange("lineorder", "discount", lo,
+                               std::min<int64_t>(10, lo + rng.Uniform(0, 3)));
+  }
+  const int64_t lo = rng.Uniform(1, 50);
+  return Predicate::IntRange("lineorder", "quantity", lo,
+                             std::min<int64_t>(50, lo + rng.Uniform(0, 25)));
+}
+
+}  // namespace
+
+plan::Plan RandomPlan(uint64_t seed) {
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  plan::PlanBuilder b("fuzz-" + std::to_string(seed));
+  b.Scan("lineorder");
+
+  // Join a random subset of dimensions (possibly none: a pure fact-table
+  // scalar aggregate is a valid plan too).
+  const auto& specs = DimSpecs();
+  std::vector<const DimSpec*> joined;
+  for (const DimSpec& spec : specs) {
+    if (!rng.Bernoulli(0.55)) continue;
+    b.Join(spec.table, spec.fact_fk, spec.dim_key);
+    joined.push_back(&spec);
+  }
+
+  // Predicates: per joined dimension, 0-2 conjuncts; 0-2 fact conjuncts.
+  for (const DimSpec* spec : joined) {
+    const int n = static_cast<int>(rng.Uniform(0, 2));
+    for (int i = 0; i < n; ++i) {
+      const DimAttr& attr =
+          spec->attrs[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(spec->attrs.size()) - 1))];
+      b.Where(RandomDimPredicate(rng, spec->table, attr));
+    }
+  }
+  const int fact_preds = static_cast<int>(rng.Uniform(0, 2));
+  for (int i = 0; i < fact_preds; ++i) b.Where(RandomFactPredicate(rng));
+
+  // Group-by: up to 3 distinct attributes from joined dimensions. Small key
+  // sets (year, region) land in the dense-array aggregator; city and brand1
+  // combinations overflow into the hash path.
+  int group_keys = 0;
+  if (!joined.empty() && rng.Bernoulli(0.75)) {
+    const int want = static_cast<int>(rng.Uniform(1, 3));
+    std::vector<std::pair<std::string, std::string>> used;
+    for (int i = 0; i < want; ++i) {
+      const DimSpec* spec =
+          joined[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(joined.size()) - 1))];
+      const DimAttr& attr =
+          spec->attrs[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(spec->attrs.size()) - 1))];
+      const std::pair<std::string, std::string> key{spec->table, attr.column};
+      if (std::find(used.begin(), used.end(), key) != used.end()) continue;
+      used.push_back(key);
+      b.GroupBy(spec->table, attr.column);
+      ++group_keys;
+    }
+  }
+
+  // Aggregate: the three measure shapes the executors support.
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      b.SumProduct("lineorder", "extendedprice", "discount");
+      break;
+    case 1:
+      b.SumDiff("lineorder", "revenue", "supplycost");
+      break;
+    default: {
+      static const char* const kMeasures[] = {"revenue", "extendedprice",
+                                              "quantity", "supplycost"};
+      b.Sum("lineorder", kMeasures[rng.Uniform(0, 3)]);
+      break;
+    }
+  }
+
+  // Ordering: default canonical order, or an explicit per-column spec
+  // (random directions, optionally ending on the measure).
+  if (group_keys > 0 && rng.Bernoulli(0.4)) {
+    const int n = static_cast<int>(rng.Uniform(1, group_keys));
+    for (int i = 0; i < n; ++i) {
+      b.OrderBy(static_cast<int>(rng.Uniform(0, group_keys - 1)),
+                rng.Bernoulli(0.5));
+    }
+    if (rng.Bernoulli(0.5)) b.OrderByMeasure(rng.Bernoulli(0.5));
+  }
+
+  return b.Build();
+}
+
+}  // namespace cstore::ssb

@@ -1,0 +1,28 @@
+// Seeded random star-plan generator over the SSB schema, for the
+// cross-design fuzz tests: every design must produce bit-identical results
+// for any generated plan, at any thread count, against the brute-force
+// reference executor.
+//
+// Generated plans stay inside the vocabulary all five designs support:
+// dimension attributes are drawn only from the columns the denormalized
+// design widens into the fact table (d_year, c_region, p_brand1, ...), fact
+// predicates only from the int columns every design scans (quantity,
+// discount), and group-by keys from joined dimensions only. Key
+// cardinalities are chosen so both group-by modes get exercised — small key
+// sets pack under the dense-array threshold, brand1/city combinations spill
+// into the hash path.
+#pragma once
+
+#include <cstdint>
+
+#include "plan/plan.h"
+
+namespace cstore::ssb {
+
+/// Builds a random, always-valid star plan. Deterministic in `seed`: the
+/// same seed yields the same plan on every platform (no std:: distribution
+/// types, whose sequences are implementation-defined). Plan ids are
+/// "fuzz-<seed>".
+plan::Plan RandomPlan(uint64_t seed);
+
+}  // namespace cstore::ssb

@@ -3,206 +3,188 @@
 #include <map>
 
 #include "common/macros.h"
+#include "plan/lower.h"
 
 namespace cstore::ssb {
 
-using core::Aggregate;
-using core::AggKind;
-using core::DimPredicate;
-using core::FactPredicate;
-using core::GroupByColumn;
-using core::OrderBy;
-using core::StarQuery;
+using plan::Plan;
+using plan::PlanBuilder;
+using plan::Predicate;
 
 namespace {
 
-Aggregate RevenueSum() { return Aggregate{AggKind::kSumColumn, "revenue", ""}; }
-Aggregate DiscountedPrice() {
-  return Aggregate{AggKind::kSumProduct, "extendedprice", "discount"};
-}
-Aggregate Profit() {
-  return Aggregate{AggKind::kSumDiff, "revenue", "supplycost"};
+/// A builder with the fact scan in place; joins are added per flight.
+PlanBuilder Lineorder(const char* id) {
+  PlanBuilder b(id);
+  b.Scan("lineorder");
+  return b;
 }
 
-std::vector<StarQuery> BuildQueries() {
-  std::vector<StarQuery> qs;
+std::vector<Plan> BuildQueries() {
+  std::vector<Plan> qs;
 
   // ---- Flight 1: restrictions on date + discount + quantity. ----
-  {
-    StarQuery q;
-    q.id = "1.1";
-    q.dim_predicates = {DimPredicate::IntEq("date", "year", 1993)};
-    q.fact_predicates = {FactPredicate{"discount", 1, 3},
-                         FactPredicate{"quantity", INT64_MIN, 24}};
-    q.agg = DiscountedPrice();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "1.2";
-    q.dim_predicates = {DimPredicate::IntEq("date", "yearmonthnum", 199401)};
-    q.fact_predicates = {FactPredicate{"discount", 4, 6},
-                         FactPredicate{"quantity", 26, 35}};
-    q.agg = DiscountedPrice();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "1.3";
-    q.dim_predicates = {DimPredicate::IntEq("date", "weeknuminyear", 6),
-                        DimPredicate::IntEq("date", "year", 1994)};
-    q.fact_predicates = {FactPredicate{"discount", 5, 7},
-                         FactPredicate{"quantity", 26, 35}};
-    q.agg = DiscountedPrice();
-    qs.push_back(q);
-  }
+  qs.push_back(Lineorder("1.1")
+                   .Join("date", "orderdate", "datekey")
+                   .Where(Predicate::IntEq("date", "year", 1993))
+                   .Where(Predicate::IntRange("lineorder", "discount", 1, 3))
+                   .Where(Predicate::IntRange("lineorder", "quantity",
+                                              INT64_MIN, 24))
+                   .SumProduct("lineorder", "extendedprice", "discount")
+                   .Build());
+  qs.push_back(Lineorder("1.2")
+                   .Join("date", "orderdate", "datekey")
+                   .Where(Predicate::IntEq("date", "yearmonthnum", 199401))
+                   .Where(Predicate::IntRange("lineorder", "discount", 4, 6))
+                   .Where(Predicate::IntRange("lineorder", "quantity", 26, 35))
+                   .SumProduct("lineorder", "extendedprice", "discount")
+                   .Build());
+  qs.push_back(Lineorder("1.3")
+                   .Join("date", "orderdate", "datekey")
+                   .Where(Predicate::IntEq("date", "weeknuminyear", 6))
+                   .Where(Predicate::IntEq("date", "year", 1994))
+                   .Where(Predicate::IntRange("lineorder", "discount", 5, 7))
+                   .Where(Predicate::IntRange("lineorder", "quantity", 26, 35))
+                   .SumProduct("lineorder", "extendedprice", "discount")
+                   .Build());
 
   // ---- Flight 2: part x supplier, grouped by (year, brand1). ----
-  {
-    StarQuery q;
-    q.id = "2.1";
-    q.dim_predicates = {DimPredicate::StrEq("part", "category", "MFGR#12"),
-                        DimPredicate::StrEq("supplier", "region", "AMERICA")};
-    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
-    q.agg = RevenueSum();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "2.2";
-    q.dim_predicates = {
-        DimPredicate::StrRange("part", "brand1", "MFGR#2221", "MFGR#2228"),
-        DimPredicate::StrEq("supplier", "region", "ASIA")};
-    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
-    q.agg = RevenueSum();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "2.3";
-    q.dim_predicates = {DimPredicate::StrEq("part", "brand1", "MFGR#2239"),
-                        DimPredicate::StrEq("supplier", "region", "EUROPE")};
-    q.group_by = {GroupByColumn{"date", "year"}, GroupByColumn{"part", "brand1"}};
-    q.agg = RevenueSum();
-    qs.push_back(q);
-  }
+  auto flight2 = [](const char* id, Predicate part_pred) {
+    return Lineorder(id)
+        .Join("part", "partkey", "partkey")
+        .Join("supplier", "suppkey", "suppkey")
+        .Join("date", "orderdate", "datekey")
+        .Where(std::move(part_pred))
+        .GroupBy("date", "year")
+        .GroupBy("part", "brand1")
+        .Sum("lineorder", "revenue");
+  };
+  qs.push_back(flight2("2.1", Predicate::StrEq("part", "category", "MFGR#12"))
+                   .Where(Predicate::StrEq("supplier", "region", "AMERICA"))
+                   .Build());
+  qs.push_back(flight2("2.2", Predicate::StrRange("part", "brand1",
+                                                  "MFGR#2221", "MFGR#2228"))
+                   .Where(Predicate::StrEq("supplier", "region", "ASIA"))
+                   .Build());
+  qs.push_back(flight2("2.3", Predicate::StrEq("part", "brand1", "MFGR#2239"))
+                   .Where(Predicate::StrEq("supplier", "region", "EUROPE"))
+                   .Build());
 
   // ---- Flight 3: customer x supplier x date, revenue by nation/city/year.
-  {
-    StarQuery q;
-    q.id = "3.1";
-    q.dim_predicates = {DimPredicate::StrEq("customer", "region", "ASIA"),
-                        DimPredicate::StrEq("supplier", "region", "ASIA"),
-                        DimPredicate::IntRange("date", "year", 1992, 1997)};
-    q.group_by = {GroupByColumn{"customer", "nation"},
-                  GroupByColumn{"supplier", "nation"},
-                  GroupByColumn{"date", "year"}};
-    q.agg = RevenueSum();
-    q.order_by = OrderBy::kLastAscSumDesc;
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "3.2";
-    q.dim_predicates = {
-        DimPredicate::StrEq("customer", "nation", "UNITED STATES"),
-        DimPredicate::StrEq("supplier", "nation", "UNITED STATES"),
-        DimPredicate::IntRange("date", "year", 1992, 1997)};
-    q.group_by = {GroupByColumn{"customer", "city"},
-                  GroupByColumn{"supplier", "city"},
-                  GroupByColumn{"date", "year"}};
-    q.agg = RevenueSum();
-    q.order_by = OrderBy::kLastAscSumDesc;
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "3.3";
-    q.dim_predicates = {
-        DimPredicate::StrIn("customer", "city", {"UNITED KI1", "UNITED KI5"}),
-        DimPredicate::StrIn("supplier", "city", {"UNITED KI1", "UNITED KI5"}),
-        DimPredicate::IntRange("date", "year", 1992, 1997)};
-    q.group_by = {GroupByColumn{"customer", "city"},
-                  GroupByColumn{"supplier", "city"},
-                  GroupByColumn{"date", "year"}};
-    q.agg = RevenueSum();
-    q.order_by = OrderBy::kLastAscSumDesc;
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "3.4";
-    q.dim_predicates = {
-        DimPredicate::StrIn("customer", "city", {"UNITED KI1", "UNITED KI5"}),
-        DimPredicate::StrIn("supplier", "city", {"UNITED KI1", "UNITED KI5"}),
-        DimPredicate::StrEq("date", "yearmonth", "Dec1997")};
-    q.group_by = {GroupByColumn{"customer", "city"},
-                  GroupByColumn{"supplier", "city"},
-                  GroupByColumn{"date", "year"}};
-    q.agg = RevenueSum();
-    q.order_by = OrderBy::kLastAscSumDesc;
-    qs.push_back(q);
-  }
+  // ORDER BY year asc, revenue desc: year is group column 2, revenue the
+  // measure.
+  auto flight3 = [](const char* id, const char* group_col) {
+    return Lineorder(id)
+        .Join("customer", "custkey", "custkey")
+        .Join("supplier", "suppkey", "suppkey")
+        .Join("date", "orderdate", "datekey")
+        .GroupBy("customer", group_col)
+        .GroupBy("supplier", group_col)
+        .GroupBy("date", "year")
+        .Sum("lineorder", "revenue")
+        .OrderBy(2, /*ascending=*/true)
+        .OrderByMeasure(/*ascending=*/false);
+  };
+  qs.push_back(flight3("3.1", "nation")
+                   .Where(Predicate::StrEq("customer", "region", "ASIA"))
+                   .Where(Predicate::StrEq("supplier", "region", "ASIA"))
+                   .Where(Predicate::IntRange("date", "year", 1992, 1997))
+                   .Build());
+  qs.push_back(
+      flight3("3.2", "city")
+          .Where(Predicate::StrEq("customer", "nation", "UNITED STATES"))
+          .Where(Predicate::StrEq("supplier", "nation", "UNITED STATES"))
+          .Where(Predicate::IntRange("date", "year", 1992, 1997))
+          .Build());
+  qs.push_back(flight3("3.3", "city")
+                   .Where(Predicate::StrIn("customer", "city",
+                                           {"UNITED KI1", "UNITED KI5"}))
+                   .Where(Predicate::StrIn("supplier", "city",
+                                           {"UNITED KI1", "UNITED KI5"}))
+                   .Where(Predicate::IntRange("date", "year", 1992, 1997))
+                   .Build());
+  qs.push_back(flight3("3.4", "city")
+                   .Where(Predicate::StrIn("customer", "city",
+                                           {"UNITED KI1", "UNITED KI5"}))
+                   .Where(Predicate::StrIn("supplier", "city",
+                                           {"UNITED KI1", "UNITED KI5"}))
+                   .Where(Predicate::StrEq("date", "yearmonth", "Dec1997"))
+                   .Build());
 
   // ---- Flight 4: profit queries. ----
-  {
-    StarQuery q;
-    q.id = "4.1";
-    q.dim_predicates = {
-        DimPredicate::StrEq("customer", "region", "AMERICA"),
-        DimPredicate::StrEq("supplier", "region", "AMERICA"),
-        DimPredicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"})};
-    q.group_by = {GroupByColumn{"date", "year"},
-                  GroupByColumn{"customer", "nation"}};
-    q.agg = Profit();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "4.2";
-    q.dim_predicates = {
-        DimPredicate::StrEq("customer", "region", "AMERICA"),
-        DimPredicate::StrEq("supplier", "region", "AMERICA"),
-        DimPredicate::IntRange("date", "year", 1997, 1998),
-        DimPredicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"})};
-    q.group_by = {GroupByColumn{"date", "year"},
-                  GroupByColumn{"supplier", "nation"},
-                  GroupByColumn{"part", "category"}};
-    q.agg = Profit();
-    qs.push_back(q);
-  }
-  {
-    StarQuery q;
-    q.id = "4.3";
-    q.dim_predicates = {
-        DimPredicate::StrEq("customer", "region", "AMERICA"),
-        DimPredicate::StrEq("supplier", "nation", "UNITED STATES"),
-        DimPredicate::IntRange("date", "year", 1997, 1998),
-        DimPredicate::StrEq("part", "category", "MFGR#14")};
-    q.group_by = {GroupByColumn{"date", "year"},
-                  GroupByColumn{"supplier", "city"},
-                  GroupByColumn{"part", "brand1"}};
-    q.agg = Profit();
-    qs.push_back(q);
-  }
+  auto flight4 = [](const char* id) {
+    return Lineorder(id)
+        .Join("customer", "custkey", "custkey")
+        .Join("supplier", "suppkey", "suppkey")
+        .Join("date", "orderdate", "datekey")
+        .Join("part", "partkey", "partkey")
+        .SumDiff("lineorder", "revenue", "supplycost");
+  };
+  qs.push_back(
+      flight4("4.1")
+          .Where(Predicate::StrEq("customer", "region", "AMERICA"))
+          .Where(Predicate::StrEq("supplier", "region", "AMERICA"))
+          .Where(Predicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"}))
+          .GroupBy("date", "year")
+          .GroupBy("customer", "nation")
+          .Build());
+  qs.push_back(
+      flight4("4.2")
+          .Where(Predicate::StrEq("customer", "region", "AMERICA"))
+          .Where(Predicate::StrEq("supplier", "region", "AMERICA"))
+          .Where(Predicate::IntRange("date", "year", 1997, 1998))
+          .Where(Predicate::StrIn("part", "mfgr", {"MFGR#1", "MFGR#2"}))
+          .GroupBy("date", "year")
+          .GroupBy("supplier", "nation")
+          .GroupBy("part", "category")
+          .Build());
+  qs.push_back(
+      flight4("4.3")
+          .Where(Predicate::StrEq("customer", "region", "AMERICA"))
+          .Where(Predicate::StrEq("supplier", "nation", "UNITED STATES"))
+          .Where(Predicate::IntRange("date", "year", 1997, 1998))
+          .Where(Predicate::StrEq("part", "category", "MFGR#14"))
+          .GroupBy("date", "year")
+          .GroupBy("supplier", "city")
+          .GroupBy("part", "brand1")
+          .Build());
 
   return qs;
 }
 
 }  // namespace
 
-const std::vector<core::StarQuery>& AllQueries() {
-  static const std::vector<StarQuery>* queries =
-      new std::vector<StarQuery>(BuildQueries());
+const std::vector<Plan>& AllQueries() {
+  static const std::vector<Plan>* queries =
+      new std::vector<Plan>(BuildQueries());
   return *queries;
 }
 
-const core::StarQuery& QueryById(const std::string& id) {
-  for (const StarQuery& q : AllQueries()) {
-    if (q.id == id) return q;
+const Plan& QueryById(const std::string& id) {
+  for (const Plan& q : AllQueries()) {
+    if (q.id() == id) return q;
   }
   CSTORE_CHECK(false);
   return AllQueries()[0];
+}
+
+const std::vector<core::StarQuery>& AllLoweredQueries() {
+  static const std::vector<core::StarQuery>* lowered = [] {
+    auto* qs = new std::vector<core::StarQuery>();
+    for (const Plan& p : AllQueries()) {
+      qs->push_back(plan::LowerToStarQueryOrDie(p));
+    }
+    return qs;
+  }();
+  return *lowered;
+}
+
+const core::StarQuery& LoweredQueryById(const std::string& id) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
+    if (q.id == id) return q;
+  }
+  CSTORE_CHECK(false);
+  return AllLoweredQueries()[0];
 }
 
 double PaperSelectivity(const std::string& id) {

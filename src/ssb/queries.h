@@ -1,4 +1,4 @@
-// The thirteen SSBM queries (§3 of the paper) as StarQuery specs.
+// The thirteen SSBM queries (§3 of the paper) as logical plans.
 //
 // Flight 1: one dimension restriction (date) + fact-local predicates on
 //           discount and quantity; SUM(extendedprice * discount).
@@ -8,19 +8,34 @@
 // Flight 4: customer + supplier + part restrictions;
 //           SUM(revenue - supplycost) ("profit") by year and nation/category
 //           /brand.
+//
+// Each query is a plan::PlanBuilder program — the same data clients would
+// submit through engine::Session::Run. Nothing here is canned beyond the
+// SQL itself: the builders exercise the ordinary plan IR, and the engine
+// lowers them like any ad-hoc plan.
 #pragma once
 
 #include <vector>
 
 #include "core/star_query.h"
+#include "plan/plan.h"
 
 namespace cstore::ssb {
 
 /// All queries in flight order: 1.1, 1.2, 1.3, 2.1, ..., 4.3.
-const std::vector<core::StarQuery>& AllQueries();
+const std::vector<plan::Plan>& AllQueries();
 
 /// Query by id, e.g. "3.2" (CHECK-fails on unknown id).
-const core::StarQuery& QueryById(const std::string& id);
+const plan::Plan& QueryById(const std::string& id);
+
+/// The queries lowered to the executors' flat star form, in the same
+/// order. For internal machinery that consumes the lowered shape directly —
+/// materialized-view builds, the reference executor — not a client entry
+/// point.
+const std::vector<core::StarQuery>& AllLoweredQueries();
+
+/// Lowered query by id (CHECK-fails on unknown id).
+const core::StarQuery& LoweredQueryById(const std::string& id);
 
 /// The paper's published LINEORDER selectivity for a query id (§3), used by
 /// tests to validate the generator.

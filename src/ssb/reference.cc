@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "plan/lower.h"
 
 namespace cstore::ssb {
 
@@ -263,7 +264,7 @@ core::QueryResult ReferenceExecute(const SsbData& data,
   for (const auto& [key, sum] : groups) {
     result.rows.push_back(core::ResultRow{key, sum});
   }
-  result.Sort(q.order_by);
+  result.Sort(q.sort);
   return result;
 }
 
@@ -287,6 +288,14 @@ uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& q) {
     if (ok) count++;
   }
   return count;
+}
+
+core::QueryResult ReferenceExecute(const SsbData& data, const plan::Plan& p) {
+  return ReferenceExecute(data, plan::LowerToStarQueryOrDie(p));
+}
+
+uint64_t ReferenceMatchCount(const SsbData& data, const plan::Plan& p) {
+  return ReferenceMatchCount(data, plan::LowerToStarQueryOrDie(p));
 }
 
 }  // namespace cstore::ssb

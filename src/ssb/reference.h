@@ -1,9 +1,11 @@
 // Reference executor: a deliberately naive, obviously-correct evaluation of
-// a StarQuery straight over the generated in-memory data. Every engine's
-// answers are cross-checked against this in the integration tests.
+// a lowered star query straight over the generated in-memory data. Every
+// engine's answers are cross-checked against this in the integration tests
+// (including the cross-design plan fuzzer).
 #pragma once
 
 #include "core/star_query.h"
+#include "plan/plan.h"
 #include "ssb/data.h"
 
 namespace cstore::ssb {
@@ -12,7 +14,14 @@ namespace cstore::ssb {
 core::QueryResult ReferenceExecute(const SsbData& data,
                                    const core::StarQuery& query);
 
+/// Plan front end: lowers `p` (CHECK-fails on non-star plans) and executes
+/// it by brute force.
+core::QueryResult ReferenceExecute(const SsbData& data, const plan::Plan& p);
+
 /// Number of LINEORDER rows passing all predicates (for selectivity tests).
 uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& query);
+
+/// Plan front end for ReferenceMatchCount.
+uint64_t ReferenceMatchCount(const SsbData& data, const plan::Plan& p);
 
 }  // namespace cstore::ssb

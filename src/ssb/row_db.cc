@@ -155,7 +155,7 @@ std::vector<std::string> QueryFactColumnsFor(const core::StarQuery& q) {
 const std::vector<std::string>& QueryFactColumns() {
   static const std::vector<std::string>* cols = [] {
     std::set<std::string> all;
-    for (const core::StarQuery& q : AllQueries()) {
+    for (const core::StarQuery& q : AllLoweredQueries()) {
       for (const std::string& c : QueryFactColumnsFor(q)) all.insert(c);
     }
     return new std::vector<std::string>(all.begin(), all.end());
@@ -371,7 +371,7 @@ Result<std::unique_ptr<RowDatabase>> RowDatabase::Build(
 
   // ---- Per-query materialized views. ----
   if (options.materialized_views) {
-    for (const core::StarQuery& q : AllQueries()) {
+    for (const core::StarQuery& q : AllLoweredQueries()) {
       const std::vector<std::string> cols = QueryFactColumnsFor(q);
       std::vector<Field> fields;
       for (const std::string& name : cols) {

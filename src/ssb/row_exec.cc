@@ -89,6 +89,8 @@ struct RowContext {
   GroupKeyCodec codec;
   std::vector<std::unique_ptr<std::vector<std::string>>> pools;
   std::vector<uint32_t> partitions;  // pruned fact partitions ({} = all)
+  /// Billing sink for the aggregation operator (may be null).
+  core::ExecContext* exec = nullptr;
 };
 
 /// Scans the dimension tables, building hash tables of passing keys plus
@@ -296,6 +298,7 @@ class Sink {
     } else {
       scalar_ += measure;
     }
+    ++rows_;
   }
 
   int64_t* raw() { return raw_.data(); }
@@ -303,12 +306,14 @@ class Sink {
 
   core::QueryResult Finish(const RowContext& ctx, const StarQuery& q) {
     if (!grouped_) {
+      core::ChargeAggregation(ctx.exec, rows_, 0);
       core::QueryResult r;
       r.rows.push_back(core::ResultRow{{}, scalar_});
       return r;
     }
+    core::ChargeAggregation(ctx.exec, rows_, agg_.num_groups());
     core::QueryResult r = agg_.Finish();
-    r.Sort(q.order_by);
+    r.Sort(q.sort);
     return r;
   }
 
@@ -316,6 +321,7 @@ class Sink {
   void MergeFrom(const Sink& other) {
     agg_.MergeFrom(other.agg_);
     scalar_ += other.scalar_;
+    rows_ += other.rows_;
   }
 
   /// Pack hook: set by callers that fill raw() before Add().
@@ -328,6 +334,7 @@ class Sink {
   core::GroupAggregator agg_;
   std::vector<int64_t> raw_;
   int64_t scalar_ = 0;
+  uint64_t rows_ = 0;
   std::function<uint64_t()> codec_pack_;
 };
 
@@ -763,6 +770,26 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
     CSTORE_RETURN_IF_ERROR(apply_dim(probe));
   }
 
+  if (!result.initialized) {
+    // No fact predicates and no active dimension sides (any joins are
+    // unconstrained, so FK integrity makes them no-ops): every row
+    // survives. Materialize the full position list from the measure table.
+    const RowTable& vp = db.vp(q.agg.column_a);
+    const TupleLayout& layout = vp.layout();
+    CSTORE_ASSIGN_OR_RETURN(
+        std::vector<std::vector<uint32_t>> chunks,
+        (ScanIntoChunks<std::vector<uint32_t>>(
+            vp, num_threads,
+            [&](const char* tuple, std::vector<uint32_t>* chunk) {
+              chunk->push_back(
+                  static_cast<uint32_t>(layout.GetInt32(tuple, 0)));
+            })));
+    for (const auto& chunk : chunks) {
+      result.pos.insert(result.pos.end(), chunk.begin(), chunk.end());
+    }
+    result.initialized = true;
+  }
+
   // Measure columns: "an additional hash join to pick up lo.revenue" —
   // build pos -> value maps by scanning the measure column tables, then
   // gather at the surviving positions (morsel-parallel: each output slot is
@@ -925,6 +952,7 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
   // measures). Each is read by a full (or range) index scan, then glued to
   // the running result with a record-id hash join.
   std::vector<std::string> names;
+  std::vector<core::FactPredicate> merged;  // per-column predicate storage
   std::vector<const core::FactPredicate*> preds;
   {
     std::set<std::string> need;
@@ -934,12 +962,20 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
     add(q.agg.column_a);
     if (q.agg.kind != AggKind::kSumColumn) add(q.agg.column_b);
     names.assign(need.begin(), need.end());
-    for (const std::string& n : names) {
-      const core::FactPredicate* found = nullptr;
+    // Several predicates may name the same column; their conjunction is the
+    // intersected range (possibly empty — the tree scans return nothing for
+    // lo > hi).
+    merged.resize(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+      bool found = false;
+      merged[i].column = names[i];
       for (const auto& fp : q.fact_predicates) {
-        if (fp.column == n) found = &fp;
+        if (fp.column != names[i]) continue;
+        merged[i].lo = std::max(merged[i].lo, fp.lo);
+        merged[i].hi = std::min(merged[i].hi, fp.hi);
+        found = true;
       }
-      preds.push_back(found);
+      preds.push_back(found ? &merged[i] : nullptr);
     }
   }
 
@@ -1092,11 +1128,15 @@ std::string_view RowDesignName(RowDesign design) {
   return "?";
 }
 
-Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
-                                          const core::StarQuery& query,
-                                          RowDesign design,
-                                          unsigned num_threads) {
+namespace {
+
+Result<core::QueryResult> ExecuteRowQueryImpl(const RowDatabase& db,
+                                              const core::StarQuery& query,
+                                              RowDesign design,
+                                              unsigned num_threads,
+                                              core::ExecContext* exec) {
   CSTORE_ASSIGN_OR_RETURN(RowContext ctx, BuildContext(db, query));
+  ctx.exec = exec;
   switch (design) {
     case RowDesign::kTraditional:
       return ExecutePipelined(db, query, db.lineorder(), ctx, num_threads);
@@ -1112,14 +1152,16 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
   return Status::InvalidArgument("unknown row design");
 }
 
+}  // namespace
+
 Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,
                                           RowDesign design,
                                           core::ExecContext* exec_ctx) {
   CSTORE_CHECK(exec_ctx != nullptr);
   storage::ScopedIoSink io_sink(&exec_ctx->io);
-  return ExecuteRowQuery(db, query, design,
-                         exec_ctx->config.ResolvedThreads());
+  return ExecuteRowQueryImpl(db, query, design,
+                             exec_ctx->config.ResolvedThreads(), exec_ctx);
 }
 
 }  // namespace cstore::ssb

@@ -36,28 +36,25 @@ enum class RowDesign {
 
 std::string_view RowDesignName(RowDesign design);
 
-/// Executes `query` against `db` using the given physical design. The
-/// database must have been built with the options the design requires.
+/// Executes the lowered star query against `db` using the given physical
+/// design. The database must have been built with the options the design
+/// requires. Private to the engine's design adapters — clients submit
+/// plans via engine::Session::Run.
 ///
-/// `num_threads` > 1 morselizes every design's fact-table passes: the
-/// pipelined scans (kTraditional, kMaterializedViews), the bitmap plan's
-/// join and fetch passes, the VP plan's column-table scans, probes, and
-/// measure gathers, and the index-only plan's leaf scans, rid-join probes,
-/// and compactions. Thread-local partial state merges in worker order (or
-/// per-morsel chunks concatenate in morsel order), so every design's
-/// results are byte-identical to its serial plan at any thread count.
-/// Default 1 = the paper's single-core System X behavior.
-Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
-                                          const core::StarQuery& query,
-                                          RowDesign design,
-                                          unsigned num_threads = 1);
-
-/// Context-threading entry point (the canonical one behind
-/// engine::Session::Run): executes with `ctx->config`'s thread budget and
-/// charges every device page the plan reads — heap scans, B+Tree walks,
+/// Runs with `ctx->config`'s thread budget; a budget > 1 morselizes every
+/// design's fact-table passes: the pipelined scans (kTraditional,
+/// kMaterializedViews), the bitmap plan's join and fetch passes, the VP
+/// plan's column-table scans, probes, and measure gathers, and the
+/// index-only plan's leaf scans, rid-join probes, and compactions.
+/// Thread-local partial state merges in worker order (or per-morsel chunks
+/// concatenate in morsel order), so every design's results are
+/// byte-identical to its serial plan at any thread count.
+///
+/// Charges every device page the plan reads — heap scans, B+Tree walks,
 /// bitmap loads, on this thread or pool workers — to the context's I/O
-/// sink. Row plans consult no zone maps, so the scan counters stay zero,
-/// exactly as the process-wide counters always did for these designs.
+/// sink, and the aggregation to its group-by counters. Row plans consult
+/// no zone maps, so the scan counters stay zero, exactly as the
+/// process-wide counters always did for these designs.
 Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           const core::StarQuery& query,
                                           RowDesign design,

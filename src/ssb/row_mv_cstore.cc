@@ -160,7 +160,7 @@ Result<std::unique_ptr<RowMvDatabase>> RowMvDatabase::Build(
   db->pool_ =
       std::make_unique<storage::BufferPool>(db->files_.get(), pool_pages);
 
-  for (const core::StarQuery& q : AllQueries()) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
     CSTORE_ASSIGN_OR_RETURN(
         BlobTable blob,
         PackFact(data, q, db->files_.get(), db->pool_.get()));
@@ -479,7 +479,7 @@ Result<core::QueryResult> RowMvDatabase::Execute(
     return r;
   }
   core::QueryResult r = agg.Finish();
-  r.Sort(q.order_by);
+  r.Sort(q.sort);
   return r;
 }
 

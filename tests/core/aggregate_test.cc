@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 
 #include "util/rng.h"
 
@@ -54,11 +55,13 @@ TEST(GroupKeyCodecTest, DistinctTuplesGetDistinctKeys) {
   }
 }
 
-TEST(GroupAggregatorTest, SumsMatchStdMapReference) {
+TEST(GroupAggregatorTest, DenseModeSumsMatchStdMapReference) {
+  // 2 x 4 bits of key space: well under the dense-array threshold.
   GroupKeyCodec codec;
   codec.AddIntAttr(0, 9);
   codec.AddIntAttr(0, 9);
   GroupAggregator agg(codec);
+  EXPECT_TRUE(agg.dense());
 
   util::Rng rng(88);
   std::map<std::pair<int64_t, int64_t>, int64_t> ref;
@@ -69,6 +72,7 @@ TEST(GroupAggregatorTest, SumsMatchStdMapReference) {
     agg.Add(codec.Pack(raw), v);
     ref[{a, b}] += v;
   }
+  EXPECT_EQ(agg.num_groups(), ref.size());
   const QueryResult result = agg.Finish();
   EXPECT_EQ(result.rows.size(), ref.size());
   for (const ResultRow& row : result.rows) {
@@ -79,27 +83,99 @@ TEST(GroupAggregatorTest, SumsMatchStdMapReference) {
   }
 }
 
-TEST(QueryResultTest, SortByGroups) {
+TEST(GroupAggregatorTest, HashModeSumsMatchStdMapReference) {
+  // 3 x 10 bits of key space: over the 16-bit dense threshold, so the
+  // aggregator must fall back to the hash table — answers are identical.
+  GroupKeyCodec codec;
+  codec.AddIntAttr(0, 1000);
+  codec.AddIntAttr(0, 1000);
+  codec.AddIntAttr(0, 1000);
+  GroupAggregator agg(codec);
+  EXPECT_FALSE(agg.dense());
+
+  util::Rng rng(99);
+  std::map<std::tuple<int64_t, int64_t, int64_t>, int64_t> ref;
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t a = rng.Uniform(0, 1000), b = rng.Uniform(0, 1000);
+    const int64_t c = rng.Uniform(0, 3);
+    const int64_t v = rng.Uniform(-100, 100);
+    const int64_t raw[3] = {a, b, c};
+    agg.Add(codec.Pack(raw), v);
+    ref[{a, b, c}] += v;
+  }
+  EXPECT_EQ(agg.num_groups(), ref.size());
+  const QueryResult result = agg.Finish();
+  ASSERT_EQ(result.rows.size(), ref.size());
+  for (const ResultRow& row : result.rows) {
+    const auto key = std::make_tuple(row.group_values[0].AsIntegral(),
+                                     row.group_values[1].AsIntegral(),
+                                     row.group_values[2].AsIntegral());
+    ASSERT_TRUE(ref.contains(key));
+    EXPECT_EQ(row.sum, ref[key]);
+  }
+}
+
+TEST(GroupAggregatorTest, MergePartialsBothModes) {
+  for (const bool dense : {true, false}) {
+    GroupKeyCodec codec;
+    codec.AddIntAttr(0, dense ? 100 : 100000);
+    GroupAggregator a(codec), b(codec);
+    EXPECT_EQ(a.dense(), dense);
+    for (int64_t k = 0; k <= 100; k += 2) {
+      const int64_t raw[1] = {k};
+      a.Add(codec.Pack(raw), 1);
+    }
+    for (int64_t k = 0; k <= 100; k += 3) {
+      const int64_t raw[1] = {k};
+      b.Add(codec.Pack(raw), 10);
+    }
+    a.MergeFrom(b);
+    const QueryResult result = a.Finish();
+    std::map<int64_t, int64_t> ref;
+    for (int64_t k = 0; k <= 100; k += 2) ref[k] += 1;
+    for (int64_t k = 0; k <= 100; k += 3) ref[k] += 10;
+    ASSERT_EQ(result.rows.size(), ref.size());
+    for (const ResultRow& row : result.rows) {
+      EXPECT_EQ(row.sum, ref[row.group_values[0].AsIntegral()]);
+    }
+  }
+}
+
+TEST(QueryResultTest, EmptySpecSortsByGroupsAscending) {
   QueryResult r;
   r.rows = {{{Value::Int64(2), Value::Str("b")}, 10},
             {{Value::Int64(1), Value::Str("z")}, 20},
             {{Value::Int64(1), Value::Str("a")}, 30}};
-  r.Sort(OrderBy::kGroups);
+  r.Sort(SortSpec{});
   EXPECT_EQ(r.rows[0].sum, 30);
   EXPECT_EQ(r.rows[1].sum, 20);
   EXPECT_EQ(r.rows[2].sum, 10);
 }
 
 TEST(QueryResultTest, SortLastAscSumDesc) {
-  // Flight 3 ordering: last group column ascending, then sum descending.
+  // Flight 3 ordering: last group column ascending, then sum descending —
+  // the two-key spec {column 1 asc, measure desc}.
   QueryResult r;
   r.rows = {{{Value::Str("x"), Value::Int64(1997)}, 10},
             {{Value::Str("y"), Value::Int64(1992)}, 5},
             {{Value::Str("z"), Value::Int64(1997)}, 99}};
-  r.Sort(OrderBy::kLastAscSumDesc);
+  r.Sort(SortSpec{{1, true}, {SortKey::kMeasure, false}});
   EXPECT_EQ(r.rows[0].group_values[1].AsIntegral(), 1992);
   EXPECT_EQ(r.rows[1].sum, 99);
   EXPECT_EQ(r.rows[2].sum, 10);
+}
+
+TEST(QueryResultTest, DescendingColumnWithGroupTieBreak) {
+  // A descending first column; ties broken by the remaining group columns
+  // ascending, keeping every ordering total.
+  QueryResult r;
+  r.rows = {{{Value::Int64(1), Value::Str("b")}, 1},
+            {{Value::Int64(2), Value::Str("a")}, 2},
+            {{Value::Int64(1), Value::Str("a")}, 3}};
+  r.Sort(SortSpec{{0, false}});
+  EXPECT_EQ(r.rows[0].sum, 2);
+  EXPECT_EQ(r.rows[1].sum, 3);
+  EXPECT_EQ(r.rows[2].sum, 1);
 }
 
 TEST(QueryResultTest, ToStringIsCanonical) {

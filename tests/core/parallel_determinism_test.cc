@@ -57,15 +57,17 @@ TEST_F(ParallelDeterminismTest, StarQueriesIdenticalAcrossThreadCounts) {
   for (const Config& config : configs) {
     const ssb::ColumnDatabase* db =
         config.compressed ? compressed_ : uncompressed_;
-    for (const core::StarQuery& q : ssb::AllQueries()) {
+    for (const core::StarQuery& q : ssb::AllLoweredQueries()) {
       core::ExecConfig exec = config.exec;
       exec.num_threads = 1;
-      auto serial = core::ExecuteStarQuery(db->Schema(), q, exec);
+      core::ExecContext serial_ctx{exec};
+      auto serial = core::ExecuteStarQuery(db->Schema(), q, &serial_ctx);
       ASSERT_TRUE(serial.ok()) << q.id;
       const std::string expected = serial.ValueOrDie().ToString();
       for (unsigned threads : {2u, 8u}) {
         exec.num_threads = threads;
-        auto parallel = core::ExecuteStarQuery(db->Schema(), q, exec);
+        core::ExecContext ctx{exec};
+        auto parallel = core::ExecuteStarQuery(db->Schema(), q, &ctx);
         ASSERT_TRUE(parallel.ok()) << q.id;
         EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
             << "Q" << q.id << " config=" << config.code << " threads="
@@ -79,16 +81,19 @@ TEST_F(ParallelDeterminismTest, DenormalizedQueriesIdenticalAcrossThreadCounts) 
   auto denorm =
       ssb::DenormalizedDatabase::Build(*data_, col::CompressionMode::kDictOnly)
           .ValueOrDie();
-  for (const core::StarQuery& q : ssb::AllQueries()) {
-    const core::TableQuery tq = ssb::ToDenormalizedQuery(q);
+  for (const core::StarQuery& q : ssb::AllLoweredQueries()) {
     core::ExecConfig exec;
     exec.num_threads = 1;
-    auto serial = core::ExecuteTableQuery(denorm->table(), tq, exec);
+    core::ExecContext serial_ctx{exec};
+    auto serial = core::ExecuteTableQuery(
+        denorm->table(), q, ssb::DenormalizedColumnName, &serial_ctx);
     ASSERT_TRUE(serial.ok()) << q.id;
     const std::string expected = serial.ValueOrDie().ToString();
     for (unsigned threads : {2u, 8u}) {
       exec.num_threads = threads;
-      auto parallel = core::ExecuteTableQuery(denorm->table(), tq, exec);
+      core::ExecContext ctx{exec};
+      auto parallel = core::ExecuteTableQuery(
+          denorm->table(), q, ssb::DenormalizedColumnName, &ctx);
       ASSERT_TRUE(parallel.ok()) << q.id;
       EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
           << "Q" << q.id << " threads=" << threads;
@@ -111,12 +116,17 @@ TEST_F(ParallelDeterminismTest, RowDesignsIdenticalAcrossThreadCounts) {
        {ssb::RowDesign::kTraditional, ssb::RowDesign::kMaterializedViews,
         ssb::RowDesign::kTraditionalBitmap,
         ssb::RowDesign::kVerticalPartitioning, ssb::RowDesign::kIndexOnly}) {
-    for (const core::StarQuery& q : ssb::AllQueries()) {
-      auto serial = ssb::ExecuteRowQuery(*row_db, q, design, 1);
+    for (const core::StarQuery& q : ssb::AllLoweredQueries()) {
+      core::ExecConfig exec;
+      exec.num_threads = 1;
+      core::ExecContext serial_ctx{exec};
+      auto serial = ssb::ExecuteRowQuery(*row_db, q, design, &serial_ctx);
       ASSERT_TRUE(serial.ok()) << q.id;
       const std::string expected = serial.ValueOrDie().ToString();
       for (unsigned threads : {2u, 8u}) {
-        auto parallel = ssb::ExecuteRowQuery(*row_db, q, design, threads);
+        exec.num_threads = threads;
+        core::ExecContext ctx{exec};
+        auto parallel = ssb::ExecuteRowQuery(*row_db, q, design, &ctx);
         ASSERT_TRUE(parallel.ok()) << q.id;
         EXPECT_EQ(parallel.ValueOrDie().ToString(), expected)
             << "Q" << q.id << " design=" << ssb::RowDesignName(design)

@@ -427,8 +427,9 @@ class SharedScanConcurrencyTest : public ::testing::Test {
     serial_cfg.num_threads = 1;
     std::map<std::string, uint64_t> serial_hashes;
     std::vector<std::string> ids;
-    for (const StarQuery& q : ssb::AllQueries()) {
-      auto r = ExecuteStarQuery(schema, q, serial_cfg);
+    for (const StarQuery& q : ssb::AllLoweredQueries()) {
+      ExecContext ctx{serial_cfg};
+      auto r = ExecuteStarQuery(schema, q, &ctx);
       ASSERT_TRUE(r.ok());
       serial_hashes[q.id] = r.ValueOrDie().Hash();
       ids.push_back(q.id);
@@ -444,7 +445,9 @@ class SharedScanConcurrencyTest : public ::testing::Test {
       options.rounds = 2;  // round 2 re-attaches at wherever round 1 left off
       const harness::ThroughputResult result = harness::RunThroughput(
           options, ids, [&](unsigned, const std::string& id) {
-            auto r = ExecuteStarQuery(schema, ssb::QueryById(id), cfg);
+            ExecContext ctx{cfg};
+            auto r =
+                ExecuteStarQuery(schema, ssb::LoweredQueryById(id), &ctx);
             CSTORE_CHECK(r.ok());
             return harness::QueryRun{r.ValueOrDie().Hash(), {}};
           });

@@ -40,7 +40,8 @@ class StarExecutorTest : public ::testing::Test {
   }
 
   QueryResult Run(const StarQuery& q, const ExecConfig& config) {
-    auto r = ExecuteStarQuery(schema_, q, config);
+    ExecContext ctx(config);
+    auto r = ExecuteStarQuery(schema_, q, &ctx);
     CSTORE_CHECK(r.ok());
     return std::move(r).ValueOrDie();
   }
@@ -149,7 +150,8 @@ TEST_F(StarExecutorTest, NonDenseKeysUseKeyPositionJoin) {
   q.group_by = {GroupByColumn{"d", "name"}};
   q.agg = {AggKind::kSumColumn, "val", ""};
   for (const ExecConfig config : {ExecConfig::AllOn(), ExecConfig::AllOff()}) {
-    auto r = ExecuteStarQuery(schema, q, config);
+    ExecContext ctx(config);
+    auto r = ExecuteStarQuery(schema, q, &ctx);
     ASSERT_TRUE(r.ok());
     ASSERT_EQ(r.ValueOrDie().rows.size(), 2u);
     EXPECT_EQ(r.ValueOrDie().rows[0].group_values[0].AsString(), "y");

@@ -1,4 +1,7 @@
-// Single-table (denormalized) executor semantics on hand-built data.
+// Single-table (denormalized) executor semantics on hand-built data. The
+// executor consumes lowered star queries; a name map rewrites dimension
+// attribute references onto the flat table's columns (here the identity —
+// the hand-built table uses the bare attribute names).
 #include <gtest/gtest.h>
 
 #include "core/table_executor.h"
@@ -6,6 +9,11 @@
 
 namespace cstore::core {
 namespace {
+
+std::string BareName(const std::string& dim, const std::string& column) {
+  (void)dim;
+  return column;
+}
 
 class TableExecutorTest : public ::testing::Test {
  protected:
@@ -28,8 +36,9 @@ class TableExecutorTest : public ::testing::Test {
                     .ok());
   }
 
-  QueryResult Run(const TableQuery& q) {
-    auto r = ExecuteTableQuery(*table_, q, ExecConfig::AllOn());
+  QueryResult Run(const StarQuery& q) {
+    ExecContext ctx{ExecConfig::AllOn()};
+    auto r = ExecuteTableQuery(*table_, q, BareName, &ctx);
     CSTORE_CHECK(r.ok());
     return std::move(r).ValueOrDie();
   }
@@ -39,16 +48,11 @@ class TableExecutorTest : public ::testing::Test {
   std::unique_ptr<col::ColumnTable> table_;
 };
 
-TableQuery RevenueByRegion() {
-  TableQuery q;
+StarQuery RevenueByRegion() {
+  StarQuery q;
   q.id = "t";
-  TablePredicate p;
-  p.column = "year";
-  p.op = PredOp::kEq;
-  p.is_string = false;
-  p.ints = {1993};
-  q.predicates = {p};
-  q.group_by = {"region"};
+  q.dim_predicates = {DimPredicate::IntEq("d", "year", 1993)};
+  q.group_by = {GroupByColumn{"d", "region"}};
   q.agg = {AggKind::kSumColumn, "revenue", ""};
   return q;
 }
@@ -75,14 +79,9 @@ TEST_F(TableExecutorTest, SameAnswerOnRawStrings) {
 
 TEST_F(TableExecutorTest, StringPredicate) {
   Load(col::CompressionMode::kDictOnly);
-  TableQuery q;
+  StarQuery q;
   q.id = "t";
-  TablePredicate p;
-  p.column = "region";
-  p.op = PredOp::kEq;
-  p.is_string = true;
-  p.strs = {"EAST"};
-  q.predicates = {p};
+  q.dim_predicates = {DimPredicate::StrEq("d", "region", "EAST")};
   q.agg = {AggKind::kSumColumn, "revenue", ""};
   const QueryResult r = Run(q);
   ASSERT_EQ(r.rows.size(), 1u);
@@ -91,7 +90,7 @@ TEST_F(TableExecutorTest, StringPredicate) {
 
 TEST_F(TableExecutorTest, NoPredicatesSumsEverything) {
   Load(col::CompressionMode::kFull);
-  TableQuery q;
+  StarQuery q;
   q.id = "t";
   q.agg = {AggKind::kSumColumn, "revenue", ""};
   EXPECT_EQ(Run(q).rows[0].sum, 150);
@@ -99,21 +98,23 @@ TEST_F(TableExecutorTest, NoPredicatesSumsEverything) {
 
 TEST_F(TableExecutorTest, ConjunctionOfPredicates) {
   Load(col::CompressionMode::kFull);
-  TableQuery q;
+  StarQuery q;
   q.id = "t";
-  TablePredicate a;
-  a.column = "region";
-  a.op = PredOp::kIn;
-  a.is_string = true;
-  a.strs = {"EAST", "WEST"};
-  TablePredicate b;
-  b.column = "year";
-  b.op = PredOp::kRange;
-  b.is_string = false;
-  b.ints = {1992, 1992};
-  q.predicates = {a, b};
+  q.dim_predicates = {DimPredicate::StrIn("d", "region", {"EAST", "WEST"}),
+                      DimPredicate::IntRange("d", "year", 1992, 1992)};
   q.agg = {AggKind::kSumColumn, "revenue", ""};
   EXPECT_EQ(Run(q).rows[0].sum, 30);
+}
+
+TEST_F(TableExecutorTest, FactPredicateOnMeasureColumn) {
+  // Fact predicates keep their own names through the name map — here a
+  // range on the measure column itself.
+  Load(col::CompressionMode::kFull);
+  StarQuery q;
+  q.id = "t";
+  q.fact_predicates = {FactPredicate{"revenue", 20, 40}};
+  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  EXPECT_EQ(Run(q).rows[0].sum, 20 + 30 + 40);
 }
 
 }  // namespace

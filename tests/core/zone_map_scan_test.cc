@@ -205,11 +205,13 @@ TEST(ZoneMapSsbTest, FlightQueriesSkipPagesAndMatchReference) {
       ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone)
           .ValueOrDie();
 
-  // Every query, both storage modes: answers match the naive reference.
-  for (const StarQuery& q : ssb::AllQueries()) {
+  // Every query (lowered from its plan), both storage modes: answers match
+  // the naive reference.
+  for (const StarQuery& q : ssb::AllLoweredQueries()) {
     const QueryResult expected = ssb::ReferenceExecute(data, q);
     for (ssb::ColumnDatabase* d : {db.get(), uncompressed.get()}) {
-      auto got = ExecuteStarQuery(d->Schema(), q, ExecConfig::AllOn());
+      ExecContext ctx{ExecConfig::AllOn()};
+      auto got = ExecuteStarQuery(d->Schema(), q, &ctx);
       ASSERT_TRUE(got.ok()) << q.id;
       EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << q.id;
     }
@@ -220,8 +222,8 @@ TEST(ZoneMapSsbTest, FlightQueriesSkipPagesAndMatchReference) {
   for (const char* id : {"1.1", "1.2", "1.3"}) {
     for (ssb::ColumnDatabase* d : {db.get(), uncompressed.get()}) {
       col::ResetScanCounters();
-      auto r = ExecuteStarQuery(d->Schema(), ssb::QueryById(id),
-                                ExecConfig::AllOn());
+      ExecContext ctx{ExecConfig::AllOn()};
+      auto r = ExecuteStarQuery(d->Schema(), ssb::LoweredQueryById(id), &ctx);
       ASSERT_TRUE(r.ok()) << id;
       const col::ScanCounters c = col::ReadScanCounters();
       EXPECT_GT(c.pages_skipped, 0u)

@@ -85,15 +85,15 @@ TEST_F(EngineTest, AllFiveDesignsAnswerThroughOneSessionRun) {
 
   for (const std::string& name : engine.DesignNames()) {
     auto session = engine.OpenSession(name);
-    for (const core::StarQuery& q : ssb::AllQueries()) {
+    for (const plan::Plan& q : ssb::AllQueries()) {
       auto outcome = session->Run(q);
-      ASSERT_TRUE(outcome.ok()) << name << " " << q.id;
+      ASSERT_TRUE(outcome.ok()) << name << " " << q.id();
       const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
       EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
-          << name << " " << q.id;
+          << name << " " << q.id();
       // Every design's bill reports the wall time and device pages of this
       // query alone.
-      EXPECT_GT(outcome.ValueOrDie().stats.seconds, 0.0) << name << " " << q.id;
+      EXPECT_GT(outcome.ValueOrDie().stats.seconds, 0.0) << name << " " << q.id();
     }
     // The column store's plans consult zone maps; the bill must show it.
     if (name == "CS") {
@@ -119,9 +119,9 @@ TEST_F(EngineTest, SerialQueryStatsSumsMatchDeprecatedGlobalCounters) {
   const storage::IoStats io_before = db->files().stats();
 
   core::QueryStats sums;
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const plan::Plan& q : ssb::AllQueries()) {
     auto outcome = session->Run(q);
-    ASSERT_TRUE(outcome.ok()) << q.id;
+    ASSERT_TRUE(outcome.ok()) << q.id();
     sums += outcome.ValueOrDie().stats;
   }
 
@@ -151,11 +151,11 @@ TEST_F(EngineTest, ClientHashesIdenticalAcrossAdmissionCapsAndScanModes) {
     Engine engine(serial_options);
     engine.Register("CS", MakeColumnStoreDesign(db->Schema()));
     auto session = engine.OpenSession("CS");
-    for (const core::StarQuery& q : ssb::AllQueries()) {
+    for (const plan::Plan& q : ssb::AllQueries()) {
       auto outcome = session->Run(q);
       ASSERT_TRUE(outcome.ok());
-      serial_hashes[q.id] = outcome.ValueOrDie().result.Hash();
-      ids.push_back(q.id);
+      serial_hashes[q.id()] = outcome.ValueOrDie().result.Hash();
+      ids.push_back(q.id());
     }
   }
 
@@ -208,7 +208,7 @@ TEST_F(EngineTest, ClientHashesIdenticalAcrossAdmissionCapsAndScanModes) {
 /// gate contention deterministic without depending on query speed.
 class SleepyDesign : public Design {
  public:
-  Result<core::QueryResult> Execute(const core::StarQuery&,
+  Result<core::QueryResult> Execute(const plan::Plan&,
                                     core::ExecContext&) const override {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     core::QueryResult result;
@@ -222,7 +222,7 @@ TEST_F(EngineTest, AdmissionWaitShowsUpInQueryStatsWhenGateContended) {
   options.max_inflight_queries = 1;
   Engine engine(options);
   engine.Register("sleepy", std::make_unique<SleepyDesign>());
-  const core::StarQuery& query = ssb::AllQueries().front();
+  const plan::Plan& query = ssb::AllQueries().front();
 
   constexpr unsigned kClients = 3;
   std::atomic<unsigned> ready{0};
@@ -258,7 +258,7 @@ TEST_F(EngineTest, AdmissionWaitShowsUpInQueryStatsWhenGateContended) {
 TEST_F(EngineTest, UnlimitedEngineNeverBlocks) {
   Engine engine;  // max_inflight_queries = 0
   engine.Register("sleepy", std::make_unique<SleepyDesign>());
-  const core::StarQuery& query = ssb::AllQueries().front();
+  const plan::Plan& query = ssb::AllQueries().front();
   std::vector<std::thread> clients;
   for (unsigned c = 0; c < 4; ++c) {
     clients.emplace_back([&] {

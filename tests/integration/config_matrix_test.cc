@@ -67,9 +67,10 @@ TEST_P(ConfigMatrixTest, AllQueriesMatchReference) {
   const ssb::ColumnDatabase* db = c.compressed ? compressed_ : uncompressed_;
   core::ExecConfig config{c.block_iteration, c.invisible_join,
                           c.late_materialization};
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const core::StarQuery& q : ssb::AllLoweredQueries()) {
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
-    auto got = core::ExecuteStarQuery(db->Schema(), q, config);
+    core::ExecContext ctx{config};
+    auto got = core::ExecuteStarQuery(db->Schema(), q, &ctx);
     ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
     EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
         << "Q" << q.id << " config=" << config.Code(c.compressed);

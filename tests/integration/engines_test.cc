@@ -15,7 +15,7 @@
 namespace cstore {
 namespace {
 
-using ssb::AllQueries;
+using ssb::AllLoweredQueries;
 
 class EnginesTest : public ::testing::Test {
  protected:
@@ -62,20 +62,20 @@ ssb::RowDatabase* EnginesTest::row_ = nullptr;
 ssb::RowMvDatabase* EnginesTest::row_mv_ = nullptr;
 
 TEST_F(EnginesTest, ColumnStoreMatchesReference) {
-  for (const core::StarQuery& q : AllQueries()) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
-    auto got = core::ExecuteStarQuery(col_full_->Schema(), q,
-                                      core::ExecConfig::AllOn());
+    core::ExecContext ctx{core::ExecConfig::AllOn()};
+    auto got = core::ExecuteStarQuery(col_full_->Schema(), q, &ctx);
     ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
     EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << "Q" << q.id;
   }
 }
 
 TEST_F(EnginesTest, UncompressedColumnStoreMatchesReference) {
-  for (const core::StarQuery& q : AllQueries()) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
-    auto got = core::ExecuteStarQuery(col_none_->Schema(), q,
-                                      core::ExecConfig::AllOn());
+    core::ExecContext ctx{core::ExecConfig::AllOn()};
+    auto got = core::ExecuteStarQuery(col_none_->Schema(), q, &ctx);
     ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
     EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString()) << "Q" << q.id;
   }
@@ -85,9 +85,10 @@ class RowDesignTest : public EnginesTest,
                       public ::testing::WithParamInterface<ssb::RowDesign> {};
 
 TEST_P(RowDesignTest, MatchesReference) {
-  for (const core::StarQuery& q : AllQueries()) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
-    auto got = ssb::ExecuteRowQuery(*row_, q, GetParam());
+    core::ExecContext ctx;
+    auto got = ssb::ExecuteRowQuery(*row_, q, GetParam(), &ctx);
     ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
     EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
         << "Q" << q.id << " design=" << ssb::RowDesignName(GetParam());
@@ -118,7 +119,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST_F(EnginesTest, RowMvInColumnStoreMatchesReference) {
-  for (const core::StarQuery& q : AllQueries()) {
+  for (const core::StarQuery& q : AllLoweredQueries()) {
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
     auto got = row_mv_->Execute(q);
     ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
@@ -132,11 +133,11 @@ TEST_F(EnginesTest, DenormalizedMatchesReference) {
         col::CompressionMode::kFull}) {
     auto denorm = ssb::DenormalizedDatabase::Build(*data_, mode);
     ASSERT_TRUE(denorm.ok()) << denorm.status().ToString();
-    for (const core::StarQuery& q : AllQueries()) {
+    for (const core::StarQuery& q : AllLoweredQueries()) {
       const core::QueryResult expected = ssb::ReferenceExecute(*data_, q);
-      auto got = core::ExecuteTableQuery(denorm.ValueOrDie()->table(),
-                                         ssb::ToDenormalizedQuery(q),
-                                         core::ExecConfig::AllOn());
+      core::ExecContext ctx{core::ExecConfig::AllOn()};
+      auto got = core::ExecuteTableQuery(denorm.ValueOrDie()->table(), q,
+                                         ssb::DenormalizedColumnName, &ctx);
       ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
       EXPECT_EQ(got.ValueOrDie().ToString(), expected.ToString())
           << "Q" << q.id << " mode=" << static_cast<int>(mode);

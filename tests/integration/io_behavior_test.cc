@@ -34,7 +34,9 @@ uint64_t PagesReadForQuery(ssb::ColumnDatabase* db, const std::string& id) {
   config.num_threads = 1;
   CSTORE_CHECK(db->pool().Clear().ok());
   const uint64_t before = db->files().stats().pages_read;
-  auto r = core::ExecuteStarQuery(db->Schema(), ssb::QueryById(id), config);
+  core::ExecContext ctx{config};
+  auto r =
+      core::ExecuteStarQuery(db->Schema(), ssb::LoweredQueryById(id), &ctx);
   CSTORE_CHECK(r.ok());
   return db->files().stats().pages_read - before;
 }
@@ -88,7 +90,7 @@ TEST_F(IoBehaviorTest, MaterializedViewsSmallerThanBaseTable) {
   ssb::RowDbOptions options;
   options.materialized_views = true;
   auto db = ssb::RowDatabase::Build(*data_, options).ValueOrDie();
-  for (const core::StarQuery& q : ssb::AllQueries()) {
+  for (const core::StarQuery& q : ssb::AllLoweredQueries()) {
     EXPECT_LT(db->mv(q.id).SizeBytes(), db->lineorder().SizeBytes()) << q.id;
   }
 }
@@ -100,8 +102,9 @@ TEST_F(IoBehaviorTest, WarmPoolServesRepeatedQueries) {
                                        4096)
                 .ValueOrDie();
   auto run = [&] {
-    auto r = core::ExecuteStarQuery(db->Schema(), ssb::QueryById("2.1"),
-                                    core::ExecConfig::AllOn());
+    core::ExecContext ctx{core::ExecConfig::AllOn()};
+    auto r = core::ExecuteStarQuery(db->Schema(), ssb::LoweredQueryById("2.1"),
+                                    &ctx);
     CSTORE_CHECK(r.ok());
   };
   run();  // warm

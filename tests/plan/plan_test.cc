@@ -1,0 +1,231 @@
+// Plan IR: builder structure, validation diagnostics, and lowering onto the
+// flat star form — on a hand-built catalog and on the canned SSBM queries.
+#include <gtest/gtest.h>
+
+#include "plan/lower.h"
+#include "plan/plan.h"
+#include "plan/validate.h"
+#include "ssb/queries.h"
+
+namespace cstore::plan {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog catalog;
+  catalog.AddTable("fact", {{"fk", false}, {"val", false}, {"val2", false}});
+  catalog.AddTable("dim", {{"key", false}, {"region", true}, {"city", true}});
+  return catalog;
+}
+
+Plan SimplePlan() {
+  return PlanBuilder("t")
+      .Scan("fact")
+      .Join("dim", "fk", "key")
+      .Where(Predicate::StrEq("dim", "region", "EAST"))
+      .Where(Predicate::IntRange("fact", "val2", 1, 2))
+      .GroupBy("dim", "city")
+      .Sum("fact", "val")
+      .Build();
+}
+
+TEST(PlanBuilderTest, BuildsTheExpectedDag) {
+  const Plan p = SimplePlan();
+  ASSERT_GE(p.root(), 0);
+  // Root-down spine: Aggregate → GroupBy → Join → Filter(fact) → Scan(fact),
+  // with Filter(dim) → Scan(dim) on the join's build side.
+  const Node& agg = p.node(p.root());
+  EXPECT_EQ(agg.kind, Node::Kind::kAggregate);
+  const Node& group = p.node(agg.inputs[0]);
+  EXPECT_EQ(group.kind, Node::Kind::kGroupBy);
+  ASSERT_EQ(group.group_keys.size(), 1u);
+  EXPECT_EQ(group.group_keys[0].ToString(), "dim.city");
+  const Node& join = p.node(group.inputs[0]);
+  EXPECT_EQ(join.kind, Node::Kind::kJoin);
+  EXPECT_EQ(join.left_key.ToString(), "fact.fk");
+  EXPECT_EQ(join.right_key.ToString(), "dim.key");
+  const Node& fact_filter = p.node(join.inputs[0]);
+  EXPECT_EQ(fact_filter.kind, Node::Kind::kFilter);
+  EXPECT_EQ(p.node(fact_filter.inputs[0]).table, "fact");
+  const Node& dim_filter = p.node(join.inputs[1]);
+  EXPECT_EQ(dim_filter.kind, Node::Kind::kFilter);
+  ASSERT_EQ(dim_filter.predicates.size(), 1u);
+  EXPECT_EQ(dim_filter.predicates[0].column.ToString(), "dim.region");
+  EXPECT_EQ(p.node(dim_filter.inputs[0]).table, "dim");
+}
+
+TEST(PlanBuilderTest, ToStringNamesEveryNode) {
+  const std::string s = SimplePlan().ToString();
+  for (const char* token :
+       {"Aggregate", "GroupBy", "Join", "Filter", "Scan", "dim.region",
+        "fact.val"}) {
+    EXPECT_NE(s.find(token), std::string::npos) << token << " missing:\n" << s;
+  }
+}
+
+TEST(ValidateTest, AcceptsAWellFormedPlan) {
+  EXPECT_TRUE(Validate(SimplePlan(), TestCatalog()).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownTable) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("nosuch")
+                     .Sum("nosuch", "val")
+                     .Build();
+  const Status s = Validate(p, TestCatalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nosuch"), std::string::npos) << s.ToString();
+}
+
+TEST(ValidateTest, RejectsUnknownColumn) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("fact")
+                     .Where(Predicate::IntEq("fact", "bogus", 1))
+                     .Sum("fact", "val")
+                     .Build();
+  const Status s = Validate(p, TestCatalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bogus"), std::string::npos) << s.ToString();
+}
+
+TEST(ValidateTest, RejectsTypeMismatch) {
+  // String predicate on an integer column.
+  const Plan p = PlanBuilder("t")
+                     .Scan("fact")
+                     .Where(Predicate::StrEq("fact", "val", "x"))
+                     .Sum("fact", "val")
+                     .Build();
+  EXPECT_FALSE(Validate(p, TestCatalog()).ok());
+}
+
+TEST(ValidateTest, RejectsStringAggregateColumn) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("dim")
+                     .Sum("dim", "region")
+                     .Build();
+  EXPECT_FALSE(Validate(p, TestCatalog()).ok());
+}
+
+TEST(ValidateTest, RejectsPredicateOnUnjoinedTable) {
+  // "dim" is never scanned below the filter: the reference cannot resolve.
+  const Plan p = PlanBuilder("t")
+                     .Scan("fact")
+                     .Where(Predicate::StrEq("dim", "region", "EAST"))
+                     .Sum("fact", "val")
+                     .Build();
+  EXPECT_FALSE(Validate(p, TestCatalog()).ok());
+}
+
+TEST(ValidateTest, RejectsSortKeyOutOfRange) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("fact")
+                     .Join("dim", "fk", "key")
+                     .GroupBy("dim", "city")
+                     .Sum("fact", "val")
+                     .OrderBy(3)
+                     .Build();
+  EXPECT_FALSE(Validate(p, TestCatalog()).ok());
+}
+
+TEST(LowerTest, LowersTheStarShape) {
+  const Plan p = SimplePlan();
+  auto lowered = LowerToStar(p);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  const LoweredStar& star = lowered.ValueOrDie();
+  EXPECT_EQ(star.fact_table, "fact");
+  ASSERT_EQ(star.joins.size(), 1u);
+  EXPECT_EQ(star.joins[0].dim, "dim");
+  EXPECT_EQ(star.joins[0].fact_fk, "fk");
+  EXPECT_EQ(star.joins[0].dim_key, "key");
+
+  const core::StarQuery& q = star.query;
+  EXPECT_EQ(q.id, "t");
+  ASSERT_EQ(q.dim_predicates.size(), 1u);
+  EXPECT_EQ(q.dim_predicates[0].dim, "dim");
+  EXPECT_EQ(q.dim_predicates[0].column, "region");
+  ASSERT_EQ(q.fact_predicates.size(), 1u);
+  EXPECT_EQ(q.fact_predicates[0].column, "val2");
+  EXPECT_EQ(q.fact_predicates[0].lo, 1);
+  EXPECT_EQ(q.fact_predicates[0].hi, 2);
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_EQ(q.group_by[0].dim, "dim");
+  EXPECT_EQ(q.group_by[0].column, "city");
+  EXPECT_EQ(q.agg.kind, core::AggKind::kSumColumn);
+  EXPECT_EQ(q.agg.column_a, "val");
+}
+
+TEST(LowerTest, PreservesJoinCallOrder) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("lineorder")
+                     .Join("part", "partkey", "partkey")
+                     .Join("supplier", "suppkey", "suppkey")
+                     .Join("date", "orderdate", "datekey")
+                     .Sum("lineorder", "revenue")
+                     .Build();
+  const auto star = LowerToStar(p).ValueOrDie();
+  ASSERT_EQ(star.joins.size(), 3u);
+  EXPECT_EQ(star.joins[0].dim, "part");
+  EXPECT_EQ(star.joins[1].dim, "supplier");
+  EXPECT_EQ(star.joins[2].dim, "date");
+}
+
+TEST(LowerTest, RejectsStringFactPredicate) {
+  const Plan p = PlanBuilder("t")
+                     .Scan("fact")
+                     .Where(Predicate::StrEq("fact", "val", "x"))
+                     .Sum("fact", "val")
+                     .Build();
+  EXPECT_FALSE(LowerToStar(p).ok());
+}
+
+TEST(CannedQueriesTest, AllThirteenValidateAndLower) {
+  // The canned queries must validate against the SSB column-store catalog
+  // shape and lower onto the expected fact table and join edges.
+  Catalog catalog;
+  catalog.AddTable("lineorder", {{"orderkey", false},
+                                 {"custkey", false},
+                                 {"partkey", false},
+                                 {"suppkey", false},
+                                 {"orderdate", false},
+                                 {"quantity", false},
+                                 {"extendedprice", false},
+                                 {"discount", false},
+                                 {"revenue", false},
+                                 {"supplycost", false}});
+  catalog.AddTable("date", {{"datekey", false},
+                            {"year", false},
+                            {"yearmonthnum", false},
+                            {"yearmonth", true},
+                            {"weeknuminyear", false}});
+  catalog.AddTable("customer", {{"custkey", false},
+                                {"region", true},
+                                {"nation", true},
+                                {"city", true}});
+  catalog.AddTable("supplier", {{"suppkey", false},
+                                {"region", true},
+                                {"nation", true},
+                                {"city", true}});
+  catalog.AddTable("part", {{"partkey", false},
+                            {"mfgr", true},
+                            {"category", true},
+                            {"brand1", true}});
+
+  ASSERT_EQ(ssb::AllQueries().size(), 13u);
+  for (const Plan& p : ssb::AllQueries()) {
+    EXPECT_TRUE(Validate(p, catalog).ok())
+        << p.id() << ": " << Validate(p, catalog).ToString();
+    auto lowered = LowerToStar(p);
+    ASSERT_TRUE(lowered.ok()) << p.id();
+    EXPECT_EQ(lowered.ValueOrDie().fact_table, "lineorder") << p.id();
+    EXPECT_EQ(lowered.ValueOrDie().query.id, p.id());
+    for (const auto& edge : lowered.ValueOrDie().joins) {
+      const std::string expected_fk = edge.dim == "date"       ? "orderdate"
+                                      : edge.dim == "customer" ? "custkey"
+                                      : edge.dim == "supplier" ? "suppkey"
+                                                               : "partkey";
+      EXPECT_EQ(edge.fact_fk, expected_fk) << p.id();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cstore::plan

@@ -23,8 +23,8 @@ class SelectivityTest : public ::testing::TestWithParam<std::string> {
 SsbData* SelectivityTest::data_ = nullptr;
 
 TEST_P(SelectivityTest, MatchesPaperWithinTolerance) {
-  const core::StarQuery& q = QueryById(GetParam());
-  const double expected = PaperSelectivity(q.id);
+  const plan::Plan& q = QueryById(GetParam());
+  const double expected = PaperSelectivity(q.id());
   const uint64_t matches = ReferenceMatchCount(*data_, q);
   const double got =
       static_cast<double>(matches) / static_cast<double>(data_->lineorder.size());
