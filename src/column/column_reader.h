@@ -48,6 +48,9 @@ struct ScanTelemetry {
   std::atomic<uint64_t> values_scanned{0};
   /// Pages pinned by position-jump gathers (SeekToRow page loads).
   std::atomic<uint64_t> pages_gathered{0};
+  /// Values materialized by position-list gathers (one per selected
+  /// position, regardless of encoding or kernel).
+  std::atomic<uint64_t> values_gathered{0};
 };
 
 /// Process-wide scan telemetry: how many pages zone-map consultation
@@ -150,6 +153,20 @@ class ColumnReader {
 
   /// View of the page SeekToRow landed on (for char access).
   const compress::PageView& view() const { return *view_; }
+
+  // Loaded-page introspection for batched (page-at-a-time) gathers: the
+  // batcher groups positions by page itself, flushing a kernel call per page
+  // instead of paying a SeekToRow bounds check per position.
+  bool has_loaded_page() const { return loaded_; }
+  /// First row position on the loaded page.
+  uint64_t loaded_row_begin() const { return page_start_; }
+  /// One past the last row position on the loaded page.
+  uint64_t loaded_row_end() const { return page_end_; }
+  /// The loaded page pre-decoded to int64 (RLE pages), or nullptr when
+  /// in-page access goes through the raw payload.
+  const int64_t* decoded() const {
+    return scratch_.empty() ? nullptr : scratch_.data();
+  }
 
   /// Decodes data page `p` into `out` (widened to int64). Returns the
   /// number of values. Sequential consumers (BlockCursor) use this.

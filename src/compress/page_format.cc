@@ -1,5 +1,7 @@
 #include "compress/page_format.h"
 
+#include "simd/simd.h"
+
 namespace cstore::compress {
 
 namespace {
@@ -20,11 +22,15 @@ inline uint64_t UnpackBits(const uint64_t* words, uint8_t bits, uint32_t i) {
 
 }  // namespace
 
-uint32_t PageView::DecodeInt64(int64_t* out) const {
+uint32_t PageView::DecodeInt64(int64_t* out, bool use_simd) const {
   const uint32_t n = header_.num_values;
   switch (encoding_) {
     case Encoding::kPlainInt32: {
       const int32_t* in = AsInt32();
+      if (use_simd) {
+        simd::WidenInt32(in, n, out);
+        return n;
+      }
       for (uint32_t i = 0; i < n; ++i) out[i] = in[i];
       return n;
     }
@@ -45,6 +51,12 @@ uint32_t PageView::DecodeInt64(int64_t* out) const {
       const uint64_t* words = bitpack_words();
       const int64_t base = bitpack_base();
       const uint8_t bits = bitpack_bits();
+      if (use_simd) {
+        // The AVX2 unpack reads one word past the last used one; encoded
+        // pages reserve that slack word (MaxValuesPerPage).
+        simd::UnpackBitsInt64(words, bits, n, base, out);
+        return n;
+      }
       for (uint32_t i = 0; i < n; ++i) {
         out[i] = base + static_cast<int64_t>(UnpackBits(words, bits, i));
       }

@@ -89,9 +89,17 @@ class PageView {
     return reinterpret_cast<const uint64_t*>(payload_ + sizeof(int64_t));
   }
 
+  /// One past the readable end of the page payload. Pages live in full
+  /// kPageSize buffer frames, so reads up to here are in-bounds even past
+  /// the last encoded value — the limit vectorized char compares clamp
+  /// their full-lane loads against.
+  const char* payload_end() const { return payload_ + kPagePayloadSize; }
+
   /// Decodes the whole page into `out` (widened to int64). Valid for every
-  /// integer encoding. Returns the number of values written.
-  uint32_t DecodeInt64(int64_t* out) const;
+  /// integer encoding. Returns the number of values written. `use_simd`
+  /// selects the vector unpack/widen kernels (bit-identical output) or the
+  /// scalar reference loops.
+  uint32_t DecodeInt64(int64_t* out, bool use_simd = true) const;
 
   /// Value at in-page index `i`, widened to int64 (integer encodings only).
   /// O(1) for plain/bitpack, O(num_runs) for RLE — use DecodeInt64 or run

@@ -26,6 +26,16 @@ struct ExecConfig {
   /// "L" when true: late materialization; "l" when false: tuples are
   /// constructed at the start of the plan (early materialization).
   bool late_materialization = true;
+  /// When true, block-iteration scans, page decodes, and gathers run the
+  /// vector kernels in src/simd (AVX2/NEON when available, else their scalar
+  /// instantiation); when false they run the original scalar reference
+  /// loops. Results are bit-identical either way — this knob exists so tests
+  /// and benches can time scalar-vs-SIMD twins of the same plan. Not a
+  /// Figure-7 letter: the paper's optimizations change *what* is executed,
+  /// this only changes how many values one instruction touches. The
+  /// CSTORE_SIMD=off environment variable is the process-wide equivalent
+  /// (it pins kernel dispatch itself to scalar).
+  bool use_simd = true;
   /// Degree of morsel-driven parallelism for the fact-table phases (scans,
   /// gathers, aggregation). 0 = one worker per hardware thread; 1 = the
   /// paper's single-core execution, running today's exact serial code paths.

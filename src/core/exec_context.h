@@ -44,6 +44,8 @@ struct QueryStats {
   uint64_t values_scanned = 0;
   /// Pages pinned by position-jump gathers (late materialization).
   uint64_t pages_gathered = 0;
+  /// Values those gathers materialized (one per selected position).
+  uint64_t values_gathered = 0;
 
   // Group-by/aggregation telemetry: the aggregation operator is billed like
   // every other operator, not inferred from scan counts.
@@ -62,6 +64,7 @@ struct QueryStats {
     pages_scanned += other.pages_scanned;
     values_scanned += other.values_scanned;
     pages_gathered += other.pages_gathered;
+    values_gathered += other.values_gathered;
     rows_aggregated += other.rows_aggregated;
     groups_emitted += other.groups_emitted;
     return *this;
@@ -107,6 +110,8 @@ class ExecContext {
     s.pages_scanned = telemetry.pages_scanned.load(std::memory_order_relaxed);
     s.values_scanned = telemetry.values_scanned.load(std::memory_order_relaxed);
     s.pages_gathered = telemetry.pages_gathered.load(std::memory_order_relaxed);
+    s.values_gathered =
+        telemetry.values_gathered.load(std::memory_order_relaxed);
     s.rows_aggregated = rows_aggregated.load(std::memory_order_relaxed);
     s.groups_emitted = groups_emitted.load(std::memory_order_relaxed);
     return s;

@@ -29,6 +29,15 @@ struct IntPredicate {
   int64_t hi = INT64_MAX;
   util::IntSet set;
 
+  /// Capacity of `small_elements` (== simd::kMaxAnyEqTargets): how many
+  /// broadcast-compare registers the vector IN-set kernel burns per value.
+  static constexpr size_t kSmallSetCap = 16;
+  /// The distinct set elements, kept only while the set is small enough for
+  /// the vector any-equal kernel; cleared for good once a 17th distinct
+  /// element arrives (invisible-join FK sets run to thousands of keys —
+  /// those stay on the hash-probe path and must not pay list upkeep).
+  std::vector<int64_t> small_elements;
+
   /// Inserts `v` into `set` and tightens [lo, hi] around the inserted
   /// elements so kSet predicates stay zone-map prunable.
   void AddToSet(int64_t v) {
@@ -38,7 +47,16 @@ struct IntPredicate {
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
-    set.Insert(v);
+    if (set.Insert(v) && set.size() <= kSmallSetCap &&
+        small_elements.size() + 1 == set.size()) {
+      small_elements.push_back(v);
+    }
+    if (set.size() > kSmallSetCap) small_elements.clear();
+  }
+
+  /// True when `small_elements` holds the complete set (vector kernel OK).
+  bool has_small_set() const {
+    return !small_elements.empty() && small_elements.size() == set.size();
   }
 
   bool Matches(int64_t v) const {

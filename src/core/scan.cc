@@ -1,13 +1,18 @@
 #include "core/scan.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "column/column_reader.h"
+#include "simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace cstore::core {
 
 namespace {
+
+static_assert(IntPredicate::kSmallSetCap == simd::kMaxAnyEqTargets,
+              "small-set predicates are sized for the vector IN-set kernel");
 
 /// Per-value predicate check kept out of line so the tuple-at-a-time path
 /// pays a genuine function call per value (the overhead §5.3 describes).
@@ -112,15 +117,62 @@ uint64_t ScanSortedRange(const T* vals, uint32_t n, int64_t lo, int64_t hi,
   return last - first;
 }
 
+/// Unsorted plain/decoded value array under an integer predicate: the
+/// vector kernels (range compare, small-set any-equal) when `use_simd`,
+/// the original scalar reference loops otherwise. Bit-identical results.
+template <typename T>
+uint64_t ScanPlainArray(const T* vals, uint32_t n, const IntPredicate& pred,
+                        bool use_simd, uint64_t pos, util::BitVector* out) {
+  const bool is_range = pred.kind == IntPredicate::Kind::kRange;
+  if (use_simd) {
+    if (is_range) {
+      if constexpr (std::is_same_v<T, int32_t>) {
+        return simd::RangeMatchInt32(vals, n, pred.lo, pred.hi, pos, out);
+      } else {
+        return simd::RangeMatchInt64(vals, n, pred.lo, pred.hi, pos, out);
+      }
+    }
+    if (pred.kind == IntPredicate::Kind::kSet && pred.has_small_set()) {
+      const int64_t* targets = pred.small_elements.data();
+      const uint32_t k = static_cast<uint32_t>(pred.small_elements.size());
+      if constexpr (std::is_same_v<T, int32_t>) {
+        return simd::AnyEqMatchInt32(vals, n, targets, k, pos, out);
+      } else {
+        return simd::AnyEqMatchInt64(vals, n, targets, k, pos, out);
+      }
+    }
+    // kNone and large kSet predicates fall through to the scalar loop (a
+    // hash probe per value has no vector form here).
+  }
+  uint64_t matches = 0;
+  if (is_range) {
+    const int64_t lo = pred.lo, hi = pred.hi;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (vals[i] >= lo && vals[i] <= hi) {
+        out->Set(pos + i);
+        matches++;
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (pred.Matches(vals[i])) {
+        out->Set(pos + i);
+        matches++;
+      }
+    }
+  }
+  return matches;
+}
+
 /// Scans one pinned page, setting matching bits at positions
 /// [pos, pos + n) where pos = stats.row_start. Returns the number of
 /// matches; `touched` accumulates how many values the predicate was
 /// actually evaluated against (sorted pages under a range predicate are
 /// binary-searched, touching O(log n) values instead of all of them).
 uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
-                     bool block_iteration, const compress::PageStats& stats,
-                     util::BitVector* out, std::vector<int64_t>* scratch,
-                     uint64_t* touched) {
+                     bool block_iteration, bool use_simd,
+                     const compress::PageStats& stats, util::BitVector* out,
+                     std::vector<int64_t>* scratch, uint64_t* touched) {
   const uint32_t n = view.num_values();
   const uint64_t pos = stats.row_start;
   uint64_t matches = 0;
@@ -175,9 +227,11 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
 
   if (!block_iteration) {
     // Tuple-at-a-time: the page is decoded (as any cursor must), then every
-    // value costs two real function calls.
+    // value costs two real function calls. The per-value loop stays scalar
+    // by design — its call overhead is the Figure-7 "T" cost being measured
+    // — but the one-shot page decode follows the use_simd knob.
     scratch->resize(n);
-    view.DecodeInt64(scratch->data());
+    view.DecodeInt64(scratch->data(), use_simd);
     for (uint32_t i = 0; i < n; ++i) {
       const int64_t v = GetOneValue(scratch->data(), i);
       if (MatchesOneValue(pred, v)) {
@@ -196,63 +250,21 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
     case compress::Encoding::kPlainInt32: {
       const int32_t* vals = view.AsInt32();
       if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
-      if (is_range) {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (vals[i] >= lo && vals[i] <= hi) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      } else {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (pred.Matches(vals[i])) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      }
+      matches = ScanPlainArray(vals, n, pred, use_simd, pos, out);
       break;
     }
     case compress::Encoding::kPlainInt64: {
       const int64_t* vals = view.AsInt64();
       if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
-      if (is_range) {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (vals[i] >= lo && vals[i] <= hi) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      } else {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (pred.Matches(vals[i])) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      }
+      matches = ScanPlainArray(vals, n, pred, use_simd, pos, out);
       break;
     }
     case compress::Encoding::kBitPack: {
       scratch->resize(n);
-      view.DecodeInt64(scratch->data());
+      view.DecodeInt64(scratch->data(), use_simd);
       const int64_t* vals = scratch->data();
       if (sorted_range) return ScanSortedRange(vals, n, lo, hi, pos, out, touched);
-      if (is_range) {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (vals[i] >= lo && vals[i] <= hi) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      } else {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (pred.Matches(vals[i])) {
-            out->Set(pos + i);
-            matches++;
-          }
-        }
-      }
+      matches = ScanPlainArray(vals, n, pred, use_simd, pos, out);
       break;
     }
     case compress::Encoding::kRle:
@@ -338,6 +350,7 @@ Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
   }
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
 
+  const bool use_simd = ctx == nullptr || ctx->config.use_simd;
   uint64_t matches = 0;
   uint64_t touched = 0;
   std::vector<int64_t> scratch;
@@ -350,15 +363,55 @@ Result<uint64_t> ScanIntWith(const col::StoredColumn& column,
         matches += stats.num_values;
       },
       [&](const compress::PageView& view, const compress::PageStats& stats) {
-        matches +=
-            ScanIntPage(view, pred, block_iteration, stats, out, &scratch,
-                        &touched);
+        matches += ScanIntPage(view, pred, block_iteration, use_simd, stats,
+                               out, &scratch, &touched);
       });
   if (ctx != nullptr && touched != 0) {
     ctx->telemetry.values_scanned.fetch_add(touched, std::memory_order_relaxed);
   }
   CSTORE_RETURN_IF_ERROR(status);
   return matches;
+}
+
+/// The per-scan plan for running a string predicate through the vector char
+/// kernel: the candidate values NUL-padded to the column width and
+/// concatenated (plus the full-lane load slack StrEqAnyMatch requires).
+struct CharKernelPlan {
+  bool eligible = false;
+  uint32_t k = 0;
+  std::vector<char> patterns;
+};
+
+/// Equality-style predicates (kEq/kIn) compare padded bytes identically to
+/// TrimPadding + string compare, as long as no candidate carries an
+/// embedded NUL (trimming would make those ambiguous — they stay scalar).
+/// Candidates longer than the column width can never match and are dropped;
+/// kRange needs lexicographic order and has no vector form here.
+CharKernelPlan PlanCharKernel(const StrPredicate& pred, size_t width,
+                              bool enabled) {
+  CharKernelPlan plan;
+  if (!enabled || (pred.op != PredOp::kEq && pred.op != PredOp::kIn)) {
+    return plan;
+  }
+  // kEq consults only values[0] (StrPredicate::Matches); kIn all of them.
+  const size_t num_candidates =
+      pred.op == PredOp::kEq ? std::min<size_t>(1, pred.values.size())
+                             : pred.values.size();
+  std::vector<const std::string*> keep;
+  for (size_t c = 0; c < num_candidates; ++c) {
+    const std::string& v = pred.values[c];
+    if (v.find('\0') != std::string::npos) return plan;
+    if (v.size() <= width) keep.push_back(&v);
+  }
+  if (keep.empty() || keep.size() > simd::kMaxAnyEqTargets) return plan;
+  plan.k = static_cast<uint32_t>(keep.size());
+  plan.patterns.assign(plan.k * width + 32, '\0');
+  for (uint32_t t = 0; t < plan.k; ++t) {
+    std::memcpy(plan.patterns.data() + t * width, keep[t]->data(),
+                keep[t]->size());
+  }
+  plan.eligible = true;
+  return plan;
 }
 
 /// Same factoring for string scans over plain-char pages (always kVisit —
@@ -373,6 +426,9 @@ Result<uint64_t> ScanCharWith(const col::StoredColumn& column,
     return Status::InvalidArgument("string scan over non-char column");
   }
   const size_t width = column.info().char_width;
+  const bool use_simd = ctx == nullptr || ctx->config.use_simd;
+  const CharKernelPlan plan =
+      PlanCharKernel(pred, width, block_iteration && use_simd);
   uint64_t matches = 0;
   uint64_t touched = 0;
   Status status = drive(
@@ -381,6 +437,14 @@ Result<uint64_t> ScanCharWith(const col::StoredColumn& column,
       [&](const compress::PageView& view, const compress::PageStats& stats) {
         const uint64_t pos = stats.row_start;
         const uint32_t n = view.num_values();
+        if (plan.eligible) {
+          matches += simd::StrEqAnyMatch(view.CharAt(0), n, width,
+                                         view.payload_end(),
+                                         plan.patterns.data(), plan.k, pos,
+                                         out);
+          touched += n;
+          return;
+        }
         for (uint32_t i = 0; i < n; ++i) {
           const std::string_view v = TrimPadding(view.CharAt(i), width);
           const bool hit =

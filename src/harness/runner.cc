@@ -31,6 +31,7 @@ CellResult TimeCell(const std::function<core::QueryStats()>& fn,
   cell.pages_all_match = total.pages_all_match / reps;
   cell.pages_scanned = total.pages_scanned / reps;
   cell.values_scanned = total.values_scanned / reps;
+  cell.values_gathered = total.values_gathered / reps;
   cell.admission_wait_seconds = total.admission_wait_seconds / repetitions;
   return cell;
 }
@@ -166,6 +167,7 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
                    "%s        \"%s\": {\"ms\": %.4f, \"pages_read\": %llu, "
                    "\"pages_skipped\": %llu, \"pages_all_match\": %llu, "
                    "\"pages_scanned\": %llu, \"values_scanned\": %llu, "
+                   "\"values_gathered\": %llu, "
                    "\"admission_wait_ms\": %.4f, "
                    "\"result_hash\": \"%016llx\"}",
                    first ? "" : ",\n", id.c_str(), cell.seconds * 1e3,
@@ -174,6 +176,7 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
                    static_cast<unsigned long long>(cell.pages_all_match),
                    static_cast<unsigned long long>(cell.pages_scanned),
                    static_cast<unsigned long long>(cell.values_scanned),
+                   static_cast<unsigned long long>(cell.values_gathered),
                    cell.admission_wait_seconds * 1e3,
                    static_cast<unsigned long long>(cell.result_hash));
       first = false;

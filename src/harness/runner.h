@@ -35,6 +35,8 @@ struct CellResult {
   /// Values the scans evaluated predicates against (sorted-page binary
   /// search makes this smaller than the data scanned).
   uint64_t values_scanned = 0;
+  /// Values materialized by position-list gathers (late materialization).
+  uint64_t values_gathered = 0;
   /// Time this cell's runs spent blocked at an engine admission gate.
   double admission_wait_seconds = 0;
 };

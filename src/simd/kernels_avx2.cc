@@ -1,0 +1,135 @@
+// AVX2 kernel instantiations. The ONLY translation unit compiled with -mavx2
+// (CMake sets the flag per-source); simd.cc enters it only after
+// __builtin_cpu_supports("avx2"), so no AVX2 instruction can execute on a
+// CPU that lacks it.
+
+#if CSTORE_SIMD_HAVE_AVX2_TU
+
+#include <immintrin.h>
+
+#include "simd/kernels_entry.h"
+#include "simd/kernels_impl.h"
+#include "simd/vec_avx2.h"
+
+namespace cstore::simd {
+namespace {
+
+/// out[i] = base + i-th `bits`-wide group, 4 values per iteration: gather the
+/// word each group starts in plus its successor, variable-shift both into
+/// place, mask. vpsrlvq/vpsllvq yield 0 for shift counts >= 64, so the
+/// straddle OR is unconditional — a group at offset 0 shifts the successor
+/// left by 64 and contributes nothing. The successor gather is why `words`
+/// must stay readable one word past the end (page slack word).
+void Avx2UnpackBitsInt64(const uint64_t* words, uint8_t bits, uint32_t n,
+                         int64_t base, int64_t* out) {
+  if (bits >= 64) {
+    detail::ScalarUnpackBitsInt64(words, bits, n, base, out);
+    return;
+  }
+  const __m256i vmask = _mm256_set1_epi64x((int64_t{1} << bits) - 1);
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  const __m256i v63 = _mm256_set1_epi64x(63);
+  const __m256i v64 = _mm256_set1_epi64x(64);
+  const __m256i lane_step = _mm256_set_epi64x(3 * int64_t{bits},
+                                              2 * int64_t{bits}, bits, 0);
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i pos = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<int64_t>(i) * bits), lane_step);
+    const __m256i widx = _mm256_srli_epi64(pos, 6);
+    const __m256i off = _mm256_and_si256(pos, v63);
+    const __m256i lo = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(words), widx, 8);
+    const __m256i hi = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(words + 1), widx, 8);
+    __m256i v = _mm256_or_si256(
+        _mm256_srlv_epi64(lo, off),
+        _mm256_sllv_epi64(hi, _mm256_sub_epi64(v64, off)));
+    v = _mm256_and_si256(v, vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(v, vbase));
+  }
+  for (; i < n; ++i) {
+    out[i] = base + static_cast<int64_t>(detail::UnpackOne(words, bits, i));
+  }
+}
+
+void Avx2WidenInt32(const int32_t* in, uint32_t n, int64_t* out) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_cvtepi32_epi64(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i))));
+  }
+  for (; i < n; ++i) out[i] = in[i];
+}
+
+void Avx2GatherInt32(const int32_t* vals, const uint32_t* idx, uint32_t k,
+                     int64_t* out) {
+  uint32_t j = 0;
+  while (j < k) {
+    const uint32_t r = detail::RunLength(idx, j, k);
+    if (r >= 4) {
+      Avx2WidenInt32(vals + idx[j], r, out + j);
+      j += r;
+    } else if (j + 4 <= k) {
+      // Scattered positions: hardware-gather four int32s, widen, store.
+      const __m128i vi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+      const __m128i g = _mm_i32gather_epi32(
+          reinterpret_cast<const int*>(vals), vi, 4);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                          _mm256_cvtepi32_epi64(g));
+      j += 4;
+    } else {
+      out[j] = vals[idx[j]];
+      ++j;
+    }
+  }
+}
+
+void Avx2GatherInt64(const int64_t* vals, const uint32_t* idx, uint32_t k,
+                     int64_t* out) {
+  uint32_t j = 0;
+  while (j < k) {
+    const uint32_t r = detail::RunLength(idx, j, k);
+    if (r >= 4) {
+      std::memcpy(out + j, vals + idx[j], static_cast<size_t>(r) * 8);
+      j += r;
+    } else if (j + 4 <= k) {
+      const __m128i vi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + j),
+          _mm256_i32gather_epi64(reinterpret_cast<const long long*>(vals),
+                                 vi, 8));
+      j += 4;
+    } else {
+      out[j] = vals[idx[j]];
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+const EntryTable& Avx2Table() {
+  using K = detail::Kernels<avx2::Vec>;
+  static const EntryTable t = {
+      &K::RangeMatch<int32_t>,
+      &K::RangeMatch<int64_t>,
+      &K::AnyEqMatch<int32_t>,
+      &K::AnyEqMatch<int64_t>,
+      &K::StrEqAnyMatch,
+      &Avx2UnpackBitsInt64,
+      &Avx2WidenInt32,
+      &Avx2GatherInt32,
+      &Avx2GatherInt64,
+  };
+  return t;
+}
+
+}  // namespace cstore::simd
+
+#endif  // CSTORE_SIMD_HAVE_AVX2_TU

@@ -1,0 +1,54 @@
+// Internal per-ISA kernel entry points (function-pointer table).
+//
+// Each ISA translation unit (kernels_generic.cc, kernels_avx2.cc) exports one
+// EntryTable of its kernel instantiations; simd.cc picks a table once at
+// startup and routes the public API through it. Tables rather than extern
+// functions keep the per-ISA symbols out of any shared namespace — the AVX2
+// TU is the only code compiled with -mavx2, and nothing outside it can
+// accidentally inline an AVX2 body into a baseline TU.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bit_vector.h"
+
+namespace cstore::simd {
+
+struct EntryTable {
+  uint64_t (*range_match_i32)(const int32_t* vals, uint32_t n, int32_t lo,
+                              int32_t hi, uint64_t pos, util::BitVector* out);
+  uint64_t (*range_match_i64)(const int64_t* vals, uint32_t n, int64_t lo,
+                              int64_t hi, uint64_t pos, util::BitVector* out);
+  uint64_t (*any_eq_i32)(const int32_t* vals, uint32_t n,
+                         const int32_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out);
+  uint64_t (*any_eq_i64)(const int64_t* vals, uint32_t n,
+                         const int64_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out);
+  uint64_t (*str_eq_any)(const char* data, uint32_t n, size_t width,
+                         const char* limit, const char* patterns, uint32_t k,
+                         uint64_t pos, util::BitVector* out);
+  void (*unpack_bits_i64)(const uint64_t* words, uint8_t bits, uint32_t n,
+                          int64_t base, int64_t* out);
+  void (*widen_i32)(const int32_t* in, uint32_t n, int64_t* out);
+  void (*gather_i32)(const int32_t* vals, const uint32_t* idx, uint32_t k,
+                     int64_t* out);
+  void (*gather_i64)(const int64_t* vals, const uint32_t* idx, uint32_t k,
+                     int64_t* out);
+};
+
+/// Always compiled (kernels_generic.cc).
+const EntryTable& ScalarTable();
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+/// aarch64 builds only (kernels_generic.cc).
+const EntryTable& NeonTable();
+#endif
+
+#if CSTORE_SIMD_HAVE_AVX2_TU
+/// Defined only when kernels_avx2.cc is built with -mavx2; call only after a
+/// runtime __builtin_cpu_supports("avx2") check.
+const EntryTable& Avx2Table();
+#endif
+
+}  // namespace cstore::simd

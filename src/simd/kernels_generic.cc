@@ -1,0 +1,53 @@
+// Baseline kernel instantiations: scalar always, NEON on aarch64.
+//
+// This TU is compiled with the project's default flags — no ISA extensions —
+// so the scalar table is runnable on any target the project builds for. The
+// NEON instantiation rides along on aarch64, where NEON is baseline.
+
+#include "simd/kernels_entry.h"
+#include "simd/kernels_impl.h"
+#include "simd/vec_scalar.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include "simd/vec_neon.h"
+#endif
+
+namespace cstore::simd {
+
+const EntryTable& ScalarTable() {
+  using K = detail::Kernels<scalar::Vec>;
+  static const EntryTable t = {
+      &K::RangeMatch<int32_t>,
+      &K::RangeMatch<int64_t>,
+      &K::AnyEqMatch<int32_t>,
+      &K::AnyEqMatch<int64_t>,
+      &K::StrEqAnyMatch,
+      &detail::ScalarUnpackBitsInt64,
+      &detail::ScalarWidenInt32,
+      &detail::ScalarGatherInt32,
+      &detail::ScalarGatherInt64,
+  };
+  return t;
+}
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+// NEON vectorizes the compare->bitmap kernels; the decode/gather helpers stay
+// on the shared scalar bodies (contiguous runs already move through memcpy).
+const EntryTable& NeonTable() {
+  using K = detail::Kernels<neon::Vec>;
+  static const EntryTable t = {
+      &K::RangeMatch<int32_t>,
+      &K::RangeMatch<int64_t>,
+      &K::AnyEqMatch<int32_t>,
+      &K::AnyEqMatch<int64_t>,
+      &K::StrEqAnyMatch,
+      &detail::ScalarUnpackBitsInt64,
+      &detail::ScalarWidenInt32,
+      &detail::ScalarGatherInt32,
+      &detail::ScalarGatherInt64,
+  };
+  return t;
+}
+#endif
+
+}  // namespace cstore::simd

@@ -1,0 +1,218 @@
+// ISA-generic kernel bodies, written once against the simd::Vec wrapper.
+//
+// Each per-ISA translation unit instantiates Kernels<Vec> with its own Vec
+// specializations (vec_avx2.h / vec_neon.h / vec_scalar.h). The bodies never
+// branch on the ISA: lane width, lane masks, and movemask come from the
+// wrapper, and the scalar tail loops are the reference semantics every
+// instantiation must reproduce bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+#include "util/bit_vector.h"
+
+namespace cstore::simd::detail {
+
+/// Accumulates per-chunk match bits into 64-bit mask words and ORs each
+/// completed word into the bitmap at consecutive positions — two word ORs
+/// per 64 values instead of a read-modify-write per bit.
+struct MaskSink {
+  util::BitVector* out;
+  uint64_t pos;  ///< bit position the next flushed word starts at
+  uint64_t word = 0;
+  uint32_t fill = 0;
+  uint64_t matches = 0;
+
+  /// Appends the low `count` bits of `bits` (count <= 32; higher bits of
+  /// `bits` must be zero).
+  void Push(uint32_t bits, uint32_t count) {
+    matches += static_cast<uint32_t>(__builtin_popcount(bits));
+    word |= static_cast<uint64_t>(bits) << fill;
+    const uint32_t total = fill + count;
+    if (total >= 64) {
+      out->OrMask(pos, word);
+      pos += 64;
+      word = fill == 0 ? 0 : static_cast<uint64_t>(bits) >> (64 - fill);
+      fill = total - 64;
+    } else {
+      fill = total;
+    }
+  }
+
+  void Flush() {
+    if (fill != 0) {
+      out->OrMask(pos, word);
+      pos += fill;
+      word = 0;
+      fill = 0;
+    }
+  }
+};
+
+/// Extracts the i-th `bits`-wide group from packed words (little-endian bit
+/// order within each word). The scalar reference for UnpackBitsInt64.
+inline uint64_t UnpackOne(const uint64_t* words, uint8_t bits, uint32_t i) {
+  const uint64_t bit_pos = static_cast<uint64_t>(i) * bits;
+  const uint64_t word = bit_pos >> 6;
+  const uint32_t offset = static_cast<uint32_t>(bit_pos & 63);
+  uint64_t v = words[word] >> offset;
+  if (offset + bits > 64) {
+    v |= words[word + 1] << (64 - offset);
+  }
+  const uint64_t mask = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+  return v & mask;
+}
+
+inline void ScalarUnpackBitsInt64(const uint64_t* words, uint8_t bits,
+                                  uint32_t n, int64_t base, int64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = base + static_cast<int64_t>(UnpackOne(words, bits, i));
+  }
+}
+
+inline void ScalarWidenInt32(const int32_t* in, uint32_t n, int64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = in[i];
+}
+
+/// Length of the contiguous position run starting at idx[j] (idx strictly
+/// increasing, so idx[j + r] == idx[j] + r detects it in O(1) per probe).
+inline uint32_t RunLength(const uint32_t* idx, uint32_t j, uint32_t k) {
+  uint32_t r = 1;
+  while (j + r < k && idx[j + r] == idx[j] + r) ++r;
+  return r;
+}
+
+inline void ScalarGatherInt32(const int32_t* vals, const uint32_t* idx,
+                              uint32_t k, int64_t* out) {
+  uint32_t j = 0;
+  while (j < k) {
+    const uint32_t r = RunLength(idx, j, k);
+    if (r >= 4) {
+      ScalarWidenInt32(vals + idx[j], r, out + j);
+    } else {
+      for (uint32_t t = 0; t < r; ++t) out[j + t] = vals[idx[j + t]];
+    }
+    j += r;
+  }
+}
+
+inline void ScalarGatherInt64(const int64_t* vals, const uint32_t* idx,
+                              uint32_t k, int64_t* out) {
+  uint32_t j = 0;
+  while (j < k) {
+    const uint32_t r = RunLength(idx, j, k);
+    if (r >= 4) {
+      std::memcpy(out + j, vals + idx[j], static_cast<size_t>(r) * 8);
+    } else {
+      for (uint32_t t = 0; t < r; ++t) out[j + t] = vals[idx[j + t]];
+    }
+    j += r;
+  }
+}
+
+/// The compare -> bitmap kernel family, parameterized on a Vec wrapper.
+template <template <typename> class V>
+struct Kernels {
+  template <typename T>
+  static uint64_t RangeMatch(const T* vals, uint32_t n, T lo, T hi,
+                             uint64_t pos, util::BitVector* out) {
+    using Vt = V<T>;
+    MaskSink sink{out, pos};
+    const Vt vlo = Vt::Broadcast(lo);
+    const Vt vhi = Vt::Broadcast(hi);
+    uint32_t i = 0;
+    for (; i + Vt::kLanes <= n; i += Vt::kLanes) {
+      const Vt v = Vt::LoadU(vals + i);
+      // In range <=> neither lo > v nor v > hi; compare for the misses and
+      // invert the movemask (one cmp pair per vector, no >= emulation).
+      const Vt miss = Or(CmpGt(vlo, v), CmpGt(v, vhi));
+      sink.Push(~Vt::MoveMask(miss) & Vt::kLaneMask, Vt::kLanes);
+    }
+    for (; i < n; ++i) {
+      sink.Push(vals[i] >= lo && vals[i] <= hi ? 1u : 0u, 1);
+    }
+    sink.Flush();
+    return sink.matches;
+  }
+
+  template <typename T>
+  static uint64_t AnyEqMatch(const T* vals, uint32_t n, const T* targets,
+                             uint32_t k, uint64_t pos, util::BitVector* out) {
+    using Vt = V<T>;
+    CSTORE_DCHECK(k >= 1 && k <= 16);
+    Vt vt[16];
+    for (uint32_t t = 0; t < k; ++t) vt[t] = Vt::Broadcast(targets[t]);
+    MaskSink sink{out, pos};
+    uint32_t i = 0;
+    for (; i + Vt::kLanes <= n; i += Vt::kLanes) {
+      const Vt v = Vt::LoadU(vals + i);
+      Vt acc = CmpEq(v, vt[0]);
+      for (uint32_t t = 1; t < k; ++t) acc = Or(acc, CmpEq(v, vt[t]));
+      sink.Push(Vt::MoveMask(acc) & Vt::kLaneMask, Vt::kLanes);
+    }
+    for (; i < n; ++i) {
+      uint32_t hit = 0;
+      for (uint32_t t = 0; t < k; ++t) {
+        if (vals[i] == targets[t]) {
+          hit = 1;
+          break;
+        }
+      }
+      sink.Push(hit, 1);
+    }
+    sink.Flush();
+    return sink.matches;
+  }
+
+  /// Fixed-width char equality-any (see simd.h for the buffer contracts).
+  /// When the value width fits one uint8 vector, each value is compared with
+  /// one vector cmp + movemask; otherwise (and for values too close to
+  /// `limit` for a full-lane load) the comparison falls back to memcmp.
+  static uint64_t StrEqAnyMatch(const char* data, uint32_t n, size_t width,
+                                const char* limit, const char* patterns,
+                                uint32_t k, uint64_t pos,
+                                util::BitVector* out) {
+    using V8 = V<uint8_t>;
+    MaskSink sink{out, pos};
+    const uint32_t wmask = width >= 32 ? 0xffffffffu
+                                       : ((1u << width) - 1) & V8::kLaneMask;
+    const bool vector_width = V8::kLanes > 1 && width <= V8::kLanes;
+    V8 vpat[16];
+    if (vector_width) {
+      for (uint32_t t = 0; t < k; ++t) {
+        // Reads kLanes bytes from a width-byte slot: the pattern buffer
+        // carries trailing slack (simd.h contract), and lanes beyond the
+        // width are masked out of the compare below.
+        vpat[t] = V8::LoadU(
+            reinterpret_cast<const uint8_t*>(patterns + t * width));
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      const char* val = data + static_cast<size_t>(i) * width;
+      uint32_t hit = 0;
+      if (vector_width && val + V8::kLanes <= limit) {
+        const V8 v = V8::LoadU(reinterpret_cast<const uint8_t*>(val));
+        for (uint32_t t = 0; t < k; ++t) {
+          if ((V8::MoveMask(CmpEq(v, vpat[t])) & wmask) == wmask) {
+            hit = 1;
+            break;
+          }
+        }
+      } else {
+        for (uint32_t t = 0; t < k; ++t) {
+          if (std::memcmp(val, patterns + t * width, width) == 0) {
+            hit = 1;
+            break;
+          }
+        }
+      }
+      sink.Push(hit, 1);
+    }
+    sink.Flush();
+    return sink.matches;
+  }
+};
+
+}  // namespace cstore::simd::detail

@@ -1,0 +1,157 @@
+// Kernel dispatch: resolves the active ISA once per process and routes the
+// public API through the chosen EntryTable.
+
+#include "simd/simd.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+#include "simd/kernels_entry.h"
+
+namespace cstore::simd {
+namespace {
+
+enum class Tier { kScalar, kNeon, kAvx2 };
+
+Tier DetectTier() {
+  // Process-wide kill switch: CSTORE_SIMD=off|scalar|0 pins the scalar
+  // instantiation so CI can run the whole suite as the "scalar twin".
+  if (const char* env = std::getenv("CSTORE_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+        std::strcmp(env, "0") == 0) {
+      return Tier::kScalar;
+    }
+  }
+#if CSTORE_SIMD_HAVE_AVX2_TU
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+  return Tier::kNeon;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ActiveTier() {
+  static const Tier tier = DetectTier();
+  return tier;
+}
+
+const EntryTable& Table() {
+  static const EntryTable& table = []() -> const EntryTable& {
+    switch (ActiveTier()) {
+#if CSTORE_SIMD_HAVE_AVX2_TU
+      case Tier::kAvx2:
+        return Avx2Table();
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+      case Tier::kNeon:
+        return NeonTable();
+#endif
+      default:
+        return ScalarTable();
+    }
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string_view ActiveIsa() {
+  switch (ActiveTier()) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool Avx2Compiled() {
+#if CSTORE_SIMD_HAVE_AVX2_TU
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool VectorIsaActive() { return ActiveTier() != Tier::kScalar; }
+
+uint64_t RangeMatchInt32(const int32_t* vals, uint32_t n, int64_t lo,
+                         int64_t hi, uint64_t pos, util::BitVector* out) {
+  // Clamp the int64 predicate bounds into the stored domain so the kernel
+  // compares int32 against int32; an empty clamped range matches nothing.
+  constexpr int64_t kMin = std::numeric_limits<int32_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int32_t>::max();
+  if (lo > kMax || hi < kMin || lo > hi) return 0;
+  return Table().range_match_i32(vals, n, static_cast<int32_t>(std::max(lo, kMin)),
+                                 static_cast<int32_t>(std::min(hi, kMax)), pos,
+                                 out);
+}
+
+uint64_t RangeMatchInt64(const int64_t* vals, uint32_t n, int64_t lo,
+                         int64_t hi, uint64_t pos, util::BitVector* out) {
+  if (lo > hi) return 0;
+  return Table().range_match_i64(vals, n, lo, hi, pos, out);
+}
+
+uint64_t AnyEqMatchInt32(const int32_t* vals, uint32_t n,
+                         const int64_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out) {
+  CSTORE_DCHECK(k <= kMaxAnyEqTargets);
+  // Targets outside the int32 domain cannot match a stored int32.
+  int32_t narrowed[kMaxAnyEqTargets];
+  uint32_t kept = 0;
+  for (uint32_t t = 0; t < k; ++t) {
+    if (targets[t] >= std::numeric_limits<int32_t>::min() &&
+        targets[t] <= std::numeric_limits<int32_t>::max()) {
+      narrowed[kept++] = static_cast<int32_t>(targets[t]);
+    }
+  }
+  if (kept == 0) return 0;
+  return Table().any_eq_i32(vals, n, narrowed, kept, pos, out);
+}
+
+uint64_t AnyEqMatchInt64(const int64_t* vals, uint32_t n,
+                         const int64_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out) {
+  CSTORE_DCHECK(k >= 1 && k <= kMaxAnyEqTargets);
+  return Table().any_eq_i64(vals, n, targets, k, pos, out);
+}
+
+uint64_t StrEqAnyMatch(const char* data, uint32_t n, size_t width,
+                       const char* limit, const char* patterns, uint32_t k,
+                       uint64_t pos, util::BitVector* out) {
+  CSTORE_DCHECK(k >= 1 && k <= kMaxAnyEqTargets && width > 0);
+  return Table().str_eq_any(data, n, width, limit, patterns, k, pos, out);
+}
+
+void UnpackBitsInt64(const uint64_t* words, uint8_t bits, uint32_t n,
+                     int64_t base, int64_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + n, base);
+    return;
+  }
+  Table().unpack_bits_i64(words, bits, n, base, out);
+}
+
+void WidenInt32(const int32_t* in, uint32_t n, int64_t* out) {
+  Table().widen_i32(in, n, out);
+}
+
+void GatherInt32(const int32_t* vals, const uint32_t* idx, uint32_t k,
+                 int64_t* out) {
+  Table().gather_i32(vals, idx, k, out);
+}
+
+void GatherInt64(const int64_t* vals, const uint32_t* idx, uint32_t k,
+                 int64_t* out) {
+  Table().gather_i64(vals, idx, k, out);
+}
+
+}  // namespace cstore::simd

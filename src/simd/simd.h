@@ -1,0 +1,114 @@
+// Portable SIMD scan/gather kernels (public dispatch surface).
+//
+// The hot page kernels — predicate compare → match bitmap, bit-unpacking,
+// fixed-width char equality, selective gather by position list — are written
+// once against the simd::Vec wrapper (vec_*.h) and compiled per ISA: an AVX2
+// translation unit (built when the compiler supports -mavx2, taken when the
+// CPU reports AVX2 at runtime), a NEON instantiation on aarch64, and a
+// scalar instantiation that exists everywhere. Every kernel is a bit-exact
+// replacement of the scalar reference loop it displaces: same match bits,
+// same output values, same counts — "same bits, fewer cycles" is enforced by
+// the scalar-vs-SIMD twin tests and the CI result-hash gates.
+//
+// Kernel choice is layered:
+//  * core::ExecConfig::use_simd (default on) — per-query knob; off runs the
+//    reference scalar loops in core/scan.cc and core/gather.cc so benches
+//    can measure scalar-vs-SIMD twins of identical plans.
+//  * CSTORE_SIMD=off (or "scalar"/"0") in the environment — process-wide
+//    kill switch consulted once; dispatch then resolves to the scalar
+//    instantiation even where AVX2/NEON is available. CI uses this to run
+//    the whole suite and the figure benches at both settings.
+//
+// Match-bitmap kernels write whole 64-bit mask words through
+// util::BitVector::OrMask — never per-bit Set — so a page scan costs two
+// word ORs per 64 values instead of 64 read-modify-writes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bit_vector.h"
+
+namespace cstore::simd {
+
+/// The instruction set the kernel dispatch resolves to on this process:
+/// "avx2", "neon", or "scalar". Cached after the first call (the CSTORE_SIMD
+/// environment override is read once).
+std::string_view ActiveIsa();
+
+/// True when the AVX2 kernel translation unit was compiled in (regardless of
+/// what the CPU supports at runtime).
+bool Avx2Compiled();
+
+/// True when dispatch resolves to a vector ISA (AVX2 or NEON) — i.e. the
+/// "SIMD twin" of a benchmark genuinely ran vector kernels.
+bool VectorIsaActive();
+
+/// Maximum distinct values the any-equal (IN-set) kernels accept; larger
+/// sets stay on the scalar hash-probe path.
+inline constexpr uint32_t kMaxAnyEqTargets = 16;
+
+// ---------------------------------------------------------------------------
+// Predicate compare -> match bitmap. Each sets bit `pos + i` in `out` for
+// every matching vals[i] and returns the number of matches. Bits are ORed in
+// as whole mask words (BitVector::OrMask).
+// ---------------------------------------------------------------------------
+
+/// vals[i] in [lo, hi] (bounds clamped to int32 internally; an empty clamped
+/// range matches nothing).
+uint64_t RangeMatchInt32(const int32_t* vals, uint32_t n, int64_t lo,
+                         int64_t hi, uint64_t pos, util::BitVector* out);
+uint64_t RangeMatchInt64(const int64_t* vals, uint32_t n, int64_t lo,
+                         int64_t hi, uint64_t pos, util::BitVector* out);
+
+/// vals[i] equal to any of targets[0..k), k <= kMaxAnyEqTargets. Targets
+/// outside the int32 domain are ignored by the int32 variant (they cannot
+/// match a stored int32).
+uint64_t AnyEqMatchInt32(const int32_t* vals, uint32_t n,
+                         const int64_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out);
+uint64_t AnyEqMatchInt64(const int64_t* vals, uint32_t n,
+                         const int64_t* targets, uint32_t k, uint64_t pos,
+                         util::BitVector* out);
+
+/// Fixed-width char equality-any: value i occupies the `width` bytes at
+/// data + i*width (NUL padded). `patterns` holds k candidate values, each
+/// padded with NULs to exactly `width` bytes and concatenated; the caller
+/// must leave at least 32 readable bytes after the last pattern (vector
+/// loads read a full lane). `limit` is one past the readable end of the
+/// buffer backing `data` (for page payloads: PageView::payload_end());
+/// values too close to it are compared scalar so vector loads never cross
+/// it. Each value yields at most one match bit, so duplicated patterns are
+/// harmless.
+uint64_t StrEqAnyMatch(const char* data, uint32_t n, size_t width,
+                       const char* limit, const char* patterns, uint32_t k,
+                       uint64_t pos, util::BitVector* out);
+
+// ---------------------------------------------------------------------------
+// Decode kernels.
+// ---------------------------------------------------------------------------
+
+/// out[i] = base + (i-th `bits`-wide group of `words`), little-endian bit
+/// order, groups packed contiguously across word boundaries. The AVX2 path
+/// gathers straddling words unconditionally, so `words` must be readable one
+/// 64-bit word past the last used word — encoded kBitPack pages reserve that
+/// slack (compress::MaxValuesPerPage); raw test buffers must allocate it.
+void UnpackBitsInt64(const uint64_t* words, uint8_t bits, uint32_t n,
+                     int64_t base, int64_t* out);
+
+/// out[i] = in[i], widening int32 -> int64.
+void WidenInt32(const int32_t* in, uint32_t n, int64_t* out);
+
+// ---------------------------------------------------------------------------
+// Selective gather by position list: out[j] = vals[idx[j]] for j in [0, k).
+// idx is strictly increasing (bitmap positions); contiguous runs are
+// detected and copied with vector loads, scattered positions use hardware
+// gathers on AVX2 and a per-position scalar fallback elsewhere.
+// ---------------------------------------------------------------------------
+
+void GatherInt32(const int32_t* vals, const uint32_t* idx, uint32_t k,
+                 int64_t* out);
+void GatherInt64(const int64_t* vals, const uint32_t* idx, uint32_t k,
+                 int64_t* out);
+
+}  // namespace cstore::simd

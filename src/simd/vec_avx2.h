@@ -1,0 +1,94 @@
+// AVX2 instantiation of the simd::Vec wrapper.
+//
+// Only kernels_avx2.cc includes this, and that translation unit is compiled
+// with -mavx2 (CMake adds the flag when the compiler supports it); dispatch
+// (simd.cc) calls into it only after __builtin_cpu_supports("avx2") says the
+// CPU executes the instructions.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace cstore::simd::avx2 {
+
+template <typename T>
+struct Vec;
+
+/// 8 x int32 in a __m256i. Comparison results are all-ones lanes.
+template <>
+struct Vec<int32_t> {
+  static constexpr uint32_t kLanes = 8;
+  static constexpr uint32_t kLaneMask = 0xffu;
+
+  __m256i v;
+
+  static Vec LoadU(const int32_t* p) {
+    return Vec{_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static Vec Broadcast(int32_t x) { return Vec{_mm256_set1_epi32(x)}; }
+
+  friend Vec CmpGt(Vec a, Vec b) {
+    return Vec{_mm256_cmpgt_epi32(a.v, b.v)};
+  }
+  friend Vec CmpEq(Vec a, Vec b) {
+    return Vec{_mm256_cmpeq_epi32(a.v, b.v)};
+  }
+  friend Vec Or(Vec a, Vec b) { return Vec{_mm256_or_si256(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    return static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(m.v)));
+  }
+};
+
+/// 4 x int64 in a __m256i.
+template <>
+struct Vec<int64_t> {
+  static constexpr uint32_t kLanes = 4;
+  static constexpr uint32_t kLaneMask = 0xfu;
+
+  __m256i v;
+
+  static Vec LoadU(const int64_t* p) {
+    return Vec{_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static Vec Broadcast(int64_t x) { return Vec{_mm256_set1_epi64x(x)}; }
+
+  friend Vec CmpGt(Vec a, Vec b) {
+    return Vec{_mm256_cmpgt_epi64(a.v, b.v)};
+  }
+  friend Vec CmpEq(Vec a, Vec b) {
+    return Vec{_mm256_cmpeq_epi64(a.v, b.v)};
+  }
+  friend Vec Or(Vec a, Vec b) { return Vec{_mm256_or_si256(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    return static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(m.v)));
+  }
+};
+
+/// 32 x uint8 in a __m256i (fixed-width char compares).
+template <>
+struct Vec<uint8_t> {
+  static constexpr uint32_t kLanes = 32;
+  static constexpr uint32_t kLaneMask = 0xffffffffu;
+
+  __m256i v;
+
+  static Vec LoadU(const uint8_t* p) {
+    return Vec{_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static Vec Broadcast(uint8_t x) {
+    return Vec{_mm256_set1_epi8(static_cast<char>(x))};
+  }
+
+  friend Vec CmpEq(Vec a, Vec b) {
+    return Vec{_mm256_cmpeq_epi8(a.v, b.v)};
+  }
+  friend Vec Or(Vec a, Vec b) { return Vec{_mm256_or_si256(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    return static_cast<uint32_t>(_mm256_movemask_epi8(m.v));
+  }
+};
+
+}  // namespace cstore::simd::avx2

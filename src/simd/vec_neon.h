@@ -1,0 +1,92 @@
+// NEON (aarch64) instantiation of the simd::Vec wrapper.
+//
+// NEON has no movemask; the standard substitute is an AND with per-lane bit
+// weights followed by a horizontal add (vaddvq), which exists on aarch64.
+// Only kernels_generic.cc includes this, and only under __aarch64__ with
+// __ARM_NEON — NEON is baseline there, so no extra compile flags or runtime
+// checks are needed.
+#pragma once
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+namespace cstore::simd::neon {
+
+template <typename T>
+struct Vec;
+
+/// 4 x int32 in an int32x4_t. Comparison results are all-ones lanes
+/// (reinterpreted back to the signed type so masks and values share a
+/// register type, as on AVX2).
+template <>
+struct Vec<int32_t> {
+  static constexpr uint32_t kLanes = 4;
+  static constexpr uint32_t kLaneMask = 0xfu;
+
+  int32x4_t v;
+
+  static Vec LoadU(const int32_t* p) { return Vec{vld1q_s32(p)}; }
+  static Vec Broadcast(int32_t x) { return Vec{vdupq_n_s32(x)}; }
+
+  friend Vec CmpGt(Vec a, Vec b) {
+    return Vec{vreinterpretq_s32_u32(vcgtq_s32(a.v, b.v))};
+  }
+  friend Vec CmpEq(Vec a, Vec b) {
+    return Vec{vreinterpretq_s32_u32(vceqq_s32(a.v, b.v))};
+  }
+  friend Vec Or(Vec a, Vec b) { return Vec{vorrq_s32(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    const uint32x4_t bits = {1u, 2u, 4u, 8u};
+    return vaddvq_u32(vandq_u32(vreinterpretq_u32_s32(m.v), bits));
+  }
+};
+
+/// 2 x int64 in an int64x2_t.
+template <>
+struct Vec<int64_t> {
+  static constexpr uint32_t kLanes = 2;
+  static constexpr uint32_t kLaneMask = 0x3u;
+
+  int64x2_t v;
+
+  static Vec LoadU(const int64_t* p) { return Vec{vld1q_s64(p)}; }
+  static Vec Broadcast(int64_t x) { return Vec{vdupq_n_s64(x)}; }
+
+  friend Vec CmpGt(Vec a, Vec b) {
+    return Vec{vreinterpretq_s64_u64(vcgtq_s64(a.v, b.v))};
+  }
+  friend Vec CmpEq(Vec a, Vec b) {
+    return Vec{vreinterpretq_s64_u64(vceqq_s64(a.v, b.v))};
+  }
+  friend Vec Or(Vec a, Vec b) { return Vec{vorrq_s64(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    const uint64x2_t bits = {1u, 2u};
+    return static_cast<uint32_t>(
+        vaddvq_u64(vandq_u64(vreinterpretq_u64_s64(m.v), bits)));
+  }
+};
+
+/// 16 x uint8 in a uint8x16_t (fixed-width char compares).
+template <>
+struct Vec<uint8_t> {
+  static constexpr uint32_t kLanes = 16;
+  static constexpr uint32_t kLaneMask = 0xffffu;
+
+  uint8x16_t v;
+
+  static Vec LoadU(const uint8_t* p) { return Vec{vld1q_u8(p)}; }
+  static Vec Broadcast(uint8_t x) { return Vec{vdupq_n_u8(x)}; }
+
+  friend Vec CmpEq(Vec a, Vec b) { return Vec{vceqq_u8(a.v, b.v)}; }
+  friend Vec Or(Vec a, Vec b) { return Vec{vorrq_u8(a.v, b.v)}; }
+  static uint32_t MoveMask(Vec m) {
+    const uint8x16_t bits = {1, 2, 4, 8, 16, 32, 64, 128,
+                             1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x16_t w = vandq_u8(m.v, bits);
+    return static_cast<uint32_t>(vaddv_u8(vget_low_u8(w))) |
+           (static_cast<uint32_t>(vaddv_u8(vget_high_u8(w))) << 8);
+  }
+};
+
+}  // namespace cstore::simd::neon

@@ -1,0 +1,34 @@
+// Scalar instantiation of the simd::Vec wrapper: one lane, plain C++.
+//
+// This is the portability floor — the kernel templates in kernels_impl.h
+// instantiate against it on targets with no vector ISA (and when CSTORE_SIMD
+// is forced off), so every kernel has a always-available twin whose results
+// the vector instantiations must match bit for bit.
+#pragma once
+
+#include <cstdint>
+
+namespace cstore::simd::scalar {
+
+/// One-lane "vector". Comparison results are lane masks (0 or 1) so the
+/// kernel templates can treat mask registers uniformly across ISAs.
+template <typename T>
+struct Vec {
+  static constexpr uint32_t kLanes = 1;
+  static constexpr uint32_t kLaneMask = 0x1u;
+
+  T v;
+
+  static Vec LoadU(const T* p) { return Vec{*p}; }
+  static Vec Broadcast(T x) { return Vec{x}; }
+
+  friend Vec CmpGt(Vec a, Vec b) { return Vec{static_cast<T>(a.v > b.v)}; }
+  friend Vec CmpEq(Vec a, Vec b) { return Vec{static_cast<T>(a.v == b.v)}; }
+  friend Vec Or(Vec a, Vec b) {
+    return Vec{static_cast<T>(a.v | b.v)};
+  }
+  /// Per-lane match bit (lane masks in, bitmask out).
+  static uint32_t MoveMask(Vec m) { return static_cast<uint32_t>(m.v & 1); }
+};
+
+}  // namespace cstore::simd::scalar

@@ -48,6 +48,12 @@ void BitVector::OrWords(const BitVector& other, size_t word_begin,
   CSTORE_DCHECK(word_begin >= word_offset_ && word_end <= this->word_end());
   CSTORE_DCHECK(word_begin >= other.word_offset_ &&
                 word_end <= other.word_end());
+  // Raw word OR: when word_end covers the final partial word, any padding
+  // bits beyond size() in `other` would leak into this vector and corrupt
+  // Count(). All mutators keep padding zero; hold them to it here.
+  CSTORE_DCHECK((num_bits_ & 63) == 0 || word_end < num_words() ||
+                (other.words_[word_end - 1 - other.word_offset_] >>
+                 (num_bits_ & 63)) == 0);
   for (size_t i = word_begin; i < word_end; ++i) {
     words_[i - word_offset_] |= other.words_[i - other.word_offset_];
   }

@@ -100,7 +100,8 @@ class IntSet {
  public:
   explicit IntSet(size_t expected = 16) : map_(expected) {}
 
-  void Insert(int64_t key) { map_.Insert(key, 0); }
+  /// Inserts `key`; returns false if it was already present.
+  bool Insert(int64_t key) { return map_.Insert(key, 0); }
   bool Contains(int64_t key) const { return map_.Contains(key); }
   size_t size() const { return map_.size(); }
 

@@ -118,17 +118,22 @@ TEST_F(PlanFuzzTest, ScanModesAgreeOnFuzzPlans) {
     const uint64_t seed = 0xc0deULL * 1000 + static_cast<uint64_t>(i);
     const plan::Plan p = ssb::RandomPlan(seed);
     const core::QueryResult expected = ssb::ReferenceExecute(*data_, p);
-    for (const core::ExecConfig config :
+    for (core::ExecConfig config :
          {core::ExecConfig::AllOn(), core::ExecConfig::AllOff(),
           core::ExecConfig{true, false, true},
           core::ExecConfig{false, true, true}}) {
-      auto session = engine.OpenSession("CS");
-      session->config() = config;
-      auto outcome = session->Run(p);
-      ASSERT_TRUE(outcome.ok()) << "seed=" << seed;
-      EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
-          << "seed=" << seed << "\n"
-          << p.ToString();
+      // Each knob combination must also agree between the vector kernels and
+      // their scalar reference twins.
+      for (const bool use_simd : {true, false}) {
+        config.use_simd = use_simd;
+        auto session = engine.OpenSession("CS");
+        session->config() = config;
+        auto outcome = session->Run(p);
+        ASSERT_TRUE(outcome.ok()) << "seed=" << seed << " simd=" << use_simd;
+        EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
+            << "seed=" << seed << " simd=" << use_simd << "\n"
+            << p.ToString();
+      }
     }
   }
 }

@@ -1,0 +1,276 @@
+// SIMD kernel bit-identity: whatever ISA dispatch resolves to on this
+// machine, every kernel must produce exactly the bits/values of the plain
+// scalar reference loop — across vector-width boundaries, ragged tails, and
+// bitmap positions that straddle 64-bit words.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simd/simd.h"
+#include "util/bit_vector.h"
+#include "util/rng.h"
+
+namespace cstore::simd {
+namespace {
+
+// Lengths crossing the lane counts of every instantiation (1, 2, 4, 8, 16,
+// 32) and the 64-bit mask-word size, each with a ragged tail.
+const uint32_t kLengths[] = {0,  1,  3,  7,  8,  9,   15,  16,  17, 31,
+                             32, 33, 63, 64, 65, 127, 128, 129, 1000};
+// Bit positions exercising MaskSink's straddle handling: word-aligned,
+// mid-word, and one off either side of a word boundary.
+const uint64_t kPositions[] = {0, 1, 37, 63, 64, 100};
+
+/// Expects `got` (filled by a kernel at [pos, pos+n)) to equal the reference
+/// predicate evaluated per value, and to carry no stray bits elsewhere.
+template <typename Pred>
+void ExpectBitsMatch(const util::BitVector& got, uint64_t pos, uint32_t n,
+                     Pred&& reference_hit, uint64_t returned_matches) {
+  uint64_t expected_matches = 0;
+  for (uint32_t i = 0; i < n; ++i) expected_matches += reference_hit(i);
+  EXPECT_EQ(returned_matches, expected_matches);
+  EXPECT_EQ(got.Count(), expected_matches);  // no bits outside [pos, pos+n)
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got.Get(pos + i), reference_hit(i)) << "i=" << i << " pos=" << pos;
+  }
+}
+
+TEST(SimdDispatchTest, ActiveIsaIsKnown) {
+  const std::string isa(ActiveIsa());
+  EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "scalar") << isa;
+  EXPECT_EQ(VectorIsaActive(), isa != "scalar");
+  if (isa == "avx2") {
+    EXPECT_TRUE(Avx2Compiled());
+  }
+}
+
+TEST(SimdKernelTest, RangeMatchInt32) {
+  util::Rng rng(7001);
+  for (const uint32_t n : kLengths) {
+    for (const uint64_t pos : kPositions) {
+      std::vector<int32_t> vals(n);
+      for (auto& v : vals) v = static_cast<int32_t>(rng.Uniform(-1000, 1000));
+      const int64_t lo = -250, hi = 333;
+      util::BitVector out(pos + n + 70);
+      const uint64_t m = RangeMatchInt32(vals.data(), n, lo, hi, pos, &out);
+      ExpectBitsMatch(
+          out, pos, n, [&](uint32_t i) { return vals[i] >= lo && vals[i] <= hi; },
+          m);
+    }
+  }
+}
+
+TEST(SimdKernelTest, RangeMatchInt32ClampsInt64Bounds) {
+  // Bounds outside the int32 domain must behave like the int64-promoted
+  // scalar compare: INT64 extremes select everything, inverted or fully
+  // out-of-domain ranges select nothing.
+  std::vector<int32_t> vals = {INT32_MIN, -5, 0, 5, INT32_MAX};
+  const uint32_t n = static_cast<uint32_t>(vals.size());
+  struct Case {
+    int64_t lo, hi;
+  } cases[] = {{INT64_MIN, INT64_MAX},
+               {INT64_MIN, -1},
+               {int64_t{INT32_MAX} + 1, INT64_MAX},
+               {INT64_MAX, INT64_MIN},
+               {5, int64_t{INT32_MAX} + 7}};
+  for (const Case& c : cases) {
+    util::BitVector out(n);
+    const uint64_t m = RangeMatchInt32(vals.data(), n, c.lo, c.hi, 0, &out);
+    ExpectBitsMatch(
+        out, 0, n, [&](uint32_t i) { return vals[i] >= c.lo && vals[i] <= c.hi; },
+        m);
+  }
+}
+
+TEST(SimdKernelTest, RangeMatchInt64) {
+  util::Rng rng(7002);
+  for (const uint32_t n : kLengths) {
+    for (const uint64_t pos : kPositions) {
+      std::vector<int64_t> vals(n);
+      for (auto& v : vals) v = rng.Uniform(-1000000, 1000000);
+      const int64_t lo = -400000, hi = 123456;
+      util::BitVector out(pos + n + 70);
+      const uint64_t m = RangeMatchInt64(vals.data(), n, lo, hi, pos, &out);
+      ExpectBitsMatch(
+          out, pos, n, [&](uint32_t i) { return vals[i] >= lo && vals[i] <= hi; },
+          m);
+    }
+  }
+}
+
+TEST(SimdKernelTest, AnyEqMatch) {
+  util::Rng rng(7003);
+  for (const uint32_t k : {1u, 2u, 5u, 16u}) {
+    std::vector<int64_t> targets(k);
+    for (auto& t : targets) t = rng.Uniform(0, 49);
+    targets[0] = targets[k - 1];  // duplicates must not double-count
+    auto hit = [&](int64_t v) {
+      for (int64_t t : targets) {
+        if (v == t) return true;
+      }
+      return false;
+    };
+    for (const uint32_t n : kLengths) {
+      for (const uint64_t pos : {uint64_t{0}, uint64_t{63}}) {
+        std::vector<int64_t> v64(n);
+        std::vector<int32_t> v32(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          v64[i] = rng.Uniform(0, 49);
+          v32[i] = static_cast<int32_t>(v64[i]);
+        }
+        util::BitVector out64(pos + n + 70);
+        const uint64_t m64 =
+            AnyEqMatchInt64(v64.data(), n, targets.data(), k, pos, &out64);
+        ExpectBitsMatch(out64, pos, n, [&](uint32_t i) { return hit(v64[i]); },
+                        m64);
+        util::BitVector out32(pos + n + 70);
+        const uint64_t m32 =
+            AnyEqMatchInt32(v32.data(), n, targets.data(), k, pos, &out32);
+        ExpectBitsMatch(out32, pos, n, [&](uint32_t i) { return hit(v32[i]); },
+                        m32);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, AnyEqMatchInt32IgnoresOutOfDomainTargets) {
+  std::vector<int32_t> vals = {INT32_MIN, -1, 0, 1, INT32_MAX};
+  const uint32_t n = static_cast<uint32_t>(vals.size());
+  // -1 as int32 must NOT match a target of 2^32 - 1 (narrowing would alias).
+  std::vector<int64_t> targets = {int64_t{1} << 32, (int64_t{1} << 32) - 1, 1};
+  util::BitVector out(n);
+  const uint64_t m = AnyEqMatchInt32(vals.data(), n, targets.data(),
+                                     static_cast<uint32_t>(targets.size()), 0,
+                                     &out);
+  EXPECT_EQ(m, 1u);
+  EXPECT_TRUE(out.Get(3));
+  EXPECT_FALSE(out.Get(1));
+}
+
+TEST(SimdKernelTest, StrEqAnyMatch) {
+  util::Rng rng(7004);
+  const char* words[] = {"ASIA", "EUROPE", "AMERICA", "AFRICA", "MIDDLE EAST"};
+  for (const size_t width : {1u, 4u, 12u, 25u, 32u, 40u}) {
+    for (const uint32_t n : kLengths) {
+      for (const uint64_t pos : {uint64_t{0}, uint64_t{37}}) {
+        // NUL-padded fixed-width values, with NO readable slack after the
+        // last one beyond what `limit` declares — the kernel must fall back
+        // to scalar compares near the limit rather than overread.
+        std::vector<char> data(static_cast<size_t>(n) * width, '\0');
+        std::vector<std::string> truth(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          std::string w = words[rng.Uniform(0, 4)];
+          w.resize(std::min(w.size(), width));
+          truth[i] = w;
+          std::memcpy(data.data() + i * width, w.data(), w.size());
+        }
+        const uint32_t k = 2;
+        std::vector<char> patterns(k * width + 32, '\0');
+        std::memcpy(patterns.data(), "ASIA", std::min<size_t>(4, width));
+        std::memcpy(patterns.data() + width, "EUROPE",
+                    std::min<size_t>(6, width));
+        const std::string p0(patterns.data(), width);
+        const std::string p1(patterns.data() + width, width);
+        util::BitVector out(pos + n + 70);
+        const uint64_t m =
+            StrEqAnyMatch(data.data(), n, width, data.data() + data.size(),
+                          patterns.data(), k, pos, &out);
+        ExpectBitsMatch(
+            out, pos, n,
+            [&](uint32_t i) {
+              const std::string padded(data.data() + i * width, width);
+              return padded == p0 || padded == p1;
+            },
+            m);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnpackBitsInt64) {
+  util::Rng rng(7005);
+  for (const uint8_t bits : {1, 2, 3, 5, 7, 8, 12, 13, 16, 24, 31, 32, 33, 48,
+                             57, 63, 64}) {
+    for (const uint32_t n : kLengths) {
+      // Pack n random groups little-endian, plus the one slack word the
+      // vector unpack's straddle gather may read.
+      const size_t used_words =
+          (static_cast<size_t>(n) * bits + 63) / 64;
+      std::vector<uint64_t> words(used_words + 1, 0);
+      std::vector<uint64_t> groups(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t g = (static_cast<uint64_t>(rng.Uniform(0, INT32_MAX)) << 32) ^
+                     static_cast<uint64_t>(rng.Uniform(0, INT32_MAX));
+        if (bits < 64) g &= (uint64_t{1} << bits) - 1;
+        groups[i] = g;
+        const uint64_t bit_pos = static_cast<uint64_t>(i) * bits;
+        const uint32_t off = static_cast<uint32_t>(bit_pos & 63);
+        words[bit_pos >> 6] |= g << off;
+        if (off + bits > 64) words[(bit_pos >> 6) + 1] |= g >> (64 - off);
+      }
+      const int64_t base = -123457;
+      std::vector<int64_t> out(n, 0);
+      UnpackBitsInt64(words.data(), bits, n, base, out.data());
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], base + static_cast<int64_t>(groups[i]))
+            << "bits=" << int(bits) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnpackBitsZeroWidth) {
+  std::vector<int64_t> out(10, -1);
+  UnpackBitsInt64(nullptr, 0, 10, 42, out.data());
+  for (int64_t v : out) EXPECT_EQ(v, 42);
+}
+
+TEST(SimdKernelTest, WidenInt32) {
+  util::Rng rng(7006);
+  for (const uint32_t n : kLengths) {
+    std::vector<int32_t> in(n);
+    for (auto& v : in) v = static_cast<int32_t>(rng.Uniform(INT32_MIN, INT32_MAX));
+    std::vector<int64_t> out(n, 0);
+    WidenInt32(in.data(), n, out.data());
+    for (uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(SimdKernelTest, GatherByPositionList) {
+  util::Rng rng(7007);
+  std::vector<int64_t> v64(4000);
+  std::vector<int32_t> v32(4000);
+  for (size_t i = 0; i < v64.size(); ++i) {
+    v64[i] = rng.Uniform(-1000000, 1000000);
+    v32[i] = static_cast<int32_t>(rng.Uniform(-1000000, 1000000));
+  }
+  for (const double density : {1.0, 0.6, 0.05, 0.001}) {
+    // Strictly increasing positions: dense stretches become contiguous runs,
+    // sparse ones exercise the scattered-gather path.
+    std::vector<uint32_t> idx;
+    for (uint32_t i = 0; i < v64.size(); ++i) {
+      if (rng.Bernoulli(density)) idx.push_back(i);
+    }
+    const uint32_t k = static_cast<uint32_t>(idx.size());
+    std::vector<int64_t> out64(k, 0), out32(k, 0);
+    GatherInt64(v64.data(), idx.data(), k, out64.data());
+    GatherInt32(v32.data(), idx.data(), k, out32.data());
+    for (uint32_t j = 0; j < k; ++j) {
+      ASSERT_EQ(out64[j], v64[idx[j]]) << j;
+      ASSERT_EQ(out32[j], v32[idx[j]]) << j;
+    }
+  }
+  // Fully contiguous and length-below-vector edge cases.
+  for (const uint32_t k : {0u, 1u, 2u, 3u, 4u, 5u, 9u}) {
+    std::vector<uint32_t> idx(k);
+    for (uint32_t j = 0; j < k; ++j) idx[j] = 100 + j;
+    std::vector<int64_t> out(k, 0);
+    GatherInt64(v64.data(), idx.data(), k, out.data());
+    for (uint32_t j = 0; j < k; ++j) ASSERT_EQ(out[j], v64[idx[j]]);
+  }
+}
+
+}  // namespace
+}  // namespace cstore::simd

@@ -1,0 +1,292 @@
+// Scalar-vs-SIMD twins at the column level: for every stored encoding and
+// predicate kind, the same scan/gather run with ExecConfig::use_simd on and
+// off must produce bit-identical bitmaps / value vectors and identical
+// values_scanned telemetry ("same bits, fewer cycles").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "column/column_table.h"
+#include "core/gather.h"
+#include "core/scan.h"
+#include "util/rng.h"
+
+namespace cstore::core {
+namespace {
+
+ExecConfig WithSimd(bool on) {
+  ExecConfig config;
+  config.use_simd = on;
+  return config;
+}
+
+/// Runs one int scan twice (use_simd on / off) and expects identical bits,
+/// match counts, and values_scanned billing.
+void ExpectScanTwinsAgree(const col::StoredColumn& column,
+                          const IntPredicate& pred, bool block_iteration,
+                          const std::string& label) {
+  ExecContext simd_ctx(WithSimd(true));
+  ExecContext scalar_ctx(WithSimd(false));
+  util::BitVector simd_bits(column.num_values());
+  util::BitVector scalar_bits(column.num_values());
+  const uint64_t simd_matches =
+      ScanInt(column, pred, block_iteration, &simd_bits, &simd_ctx)
+          .ValueOrDie();
+  const uint64_t scalar_matches =
+      ScanInt(column, pred, block_iteration, &scalar_bits, &scalar_ctx)
+          .ValueOrDie();
+  EXPECT_EQ(simd_matches, scalar_matches) << label;
+  EXPECT_EQ(simd_bits.Count(), scalar_bits.Count()) << label;
+  for (size_t i = 0; i < column.num_values(); ++i) {
+    ASSERT_EQ(simd_bits.Get(i), scalar_bits.Get(i)) << label << " row " << i;
+  }
+  EXPECT_EQ(simd_ctx.Stats().values_scanned, scalar_ctx.Stats().values_scanned)
+      << label;
+}
+
+struct TwinCase {
+  const char* name;
+  DataType type;
+  col::CompressionMode mode;
+  bool sorted;
+  int64_t cardinality;
+};
+
+class ScanTwin : public ::testing::TestWithParam<TwinCase> {};
+
+TEST_P(ScanTwin, AllPredicateKindsAgree) {
+  const TwinCase& c = GetParam();
+  util::Rng rng(991);
+  // Not a multiple of any vector width or page capacity: ragged tails on
+  // the last page in every encoding.
+  std::vector<int64_t> values(60037);
+  for (auto& v : values) v = rng.Uniform(0, c.cardinality - 1);
+  if (c.sorted) std::sort(values.begin(), values.end());
+
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", c.type, values, c.mode).ok());
+  const col::StoredColumn& column = table.column("c");
+
+  for (const bool block : {true, false}) {
+    const std::string tag =
+        std::string(c.name) + (block ? "/block" : "/tuple");
+    // Range (the SIMD compare kernel's home turf), including a range that
+    // matches everything and one that matches nothing.
+    ExpectScanTwinsAgree(
+        column, IntPredicate::Range(c.cardinality / 4, c.cardinality / 2),
+        block, tag + "/range");
+    ExpectScanTwinsAgree(column, IntPredicate::Range(0, c.cardinality), block,
+                         tag + "/range_all");
+    ExpectScanTwinsAgree(column,
+                         IntPredicate::Range(c.cardinality + 10,
+                                             c.cardinality + 20),
+                         block, tag + "/range_none");
+    // Small set (<= 16 elements: the AnyEq register-broadcast kernel).
+    {
+      IntPredicate pred;
+      pred.kind = IntPredicate::Kind::kSet;
+      for (int i = 0; i < 6; ++i) {
+        pred.AddToSet(rng.Uniform(0, c.cardinality - 1));
+      }
+      ASSERT_TRUE(pred.has_small_set());
+      ExpectScanTwinsAgree(column, pred, block, tag + "/small_set");
+    }
+    // Large set (> 16 distinct: must fall back to hash probes either way).
+    {
+      IntPredicate pred;
+      pred.kind = IntPredicate::Kind::kSet;
+      for (int i = 0; i < 200; ++i) {
+        pred.AddToSet(rng.Uniform(0, c.cardinality - 1));
+      }
+      EXPECT_FALSE(pred.has_small_set());
+      ExpectScanTwinsAgree(column, pred, block, tag + "/large_set");
+    }
+    // Empty and match-all predicates.
+    ExpectScanTwinsAgree(column, IntPredicate::Empty(), block, tag + "/empty");
+    ExpectScanTwinsAgree(column, IntPredicate{}, block, tag + "/none");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScanTwin,
+    ::testing::Values(
+        TwinCase{"plain_i32", DataType::kInt32, col::CompressionMode::kNone,
+                 false, 1 << 20},
+        TwinCase{"plain_i64", DataType::kInt64, col::CompressionMode::kNone,
+                 false, int64_t{1} << 40},
+        TwinCase{"bitpack", DataType::kInt32, col::CompressionMode::kFull,
+                 false, 900},
+        TwinCase{"rle", DataType::kInt32, col::CompressionMode::kFull, true,
+                 40}),
+    [](const ::testing::TestParamInfo<TwinCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(CharScanTwin, EqAndInAgree) {
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  const char* regions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+  util::Rng rng(17);
+  std::vector<std::string> values;
+  for (int i = 0; i < 30011; ++i) values.push_back(regions[rng.Uniform(0, 4)]);
+  ASSERT_TRUE(
+      table.AddCharColumn("r", 12, values, col::CompressionMode::kNone).ok());
+  const col::StoredColumn& column = table.column("r");
+
+  std::vector<StrPredicate> preds;
+  {
+    StrPredicate eq;
+    eq.op = PredOp::kEq;
+    eq.values = {"ASIA"};
+    preds.push_back(eq);
+    StrPredicate in;
+    in.op = PredOp::kIn;
+    in.values = {"ASIA", "EUROPE", "MIDDLE EAST"};
+    preds.push_back(in);
+    StrPredicate miss;
+    miss.op = PredOp::kEq;
+    miss.values = {"ATLANTIS"};
+    preds.push_back(miss);
+    // Longer than the column width: can never match, must not crash.
+    StrPredicate wide;
+    wide.op = PredOp::kIn;
+    wide.values = {"ASIA", "A MUCH TOO LONG REGION NAME"};
+    preds.push_back(wide);
+  }
+  for (size_t p = 0; p < preds.size(); ++p) {
+    for (const bool block : {true, false}) {
+      ExecContext simd_ctx(WithSimd(true));
+      ExecContext scalar_ctx(WithSimd(false));
+      util::BitVector simd_bits(values.size());
+      util::BitVector scalar_bits(values.size());
+      const uint64_t m_simd =
+          ScanChar(column, preds[p], block, &simd_bits, &simd_ctx).ValueOrDie();
+      const uint64_t m_scalar =
+          ScanChar(column, preds[p], block, &scalar_bits, &scalar_ctx)
+              .ValueOrDie();
+      ASSERT_EQ(m_simd, m_scalar) << "pred " << p << " block=" << block;
+      for (size_t i = 0; i < values.size(); ++i) {
+        ASSERT_EQ(simd_bits.Get(i), scalar_bits.Get(i))
+            << "pred " << p << " block=" << block << " row " << i;
+      }
+      EXPECT_EQ(simd_ctx.Stats().values_scanned,
+                scalar_ctx.Stats().values_scanned)
+          << "pred " << p;
+    }
+  }
+}
+
+struct GatherTwinCase {
+  const char* name;
+  DataType type;
+  col::CompressionMode mode;
+  bool sorted;
+  int64_t cardinality;
+  double density;
+};
+
+class GatherTwin : public ::testing::TestWithParam<GatherTwinCase> {};
+
+TEST_P(GatherTwin, SerialAndParallelAgree) {
+  const GatherTwinCase& c = GetParam();
+  util::Rng rng(4242);
+  std::vector<int64_t> values(60037);
+  for (auto& v : values) v = rng.Uniform(0, c.cardinality - 1);
+  if (c.sorted) std::sort(values.begin(), values.end());
+
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table.AddIntColumn("c", c.type, values, c.mode).ok());
+  const col::StoredColumn& column = table.column("c");
+
+  util::BitVector sel(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (rng.Bernoulli(c.density)) sel.Set(i);
+  }
+
+  ExecContext simd_ctx(WithSimd(true));
+  ExecContext scalar_ctx(WithSimd(false));
+  std::vector<int64_t> got_simd, got_scalar;
+  ASSERT_TRUE(GatherInts(column, sel, &got_simd, &simd_ctx).ok());
+  ASSERT_TRUE(GatherInts(column, sel, &got_scalar, &scalar_ctx).ok());
+  ASSERT_EQ(got_simd.size(), got_scalar.size());
+  ASSERT_EQ(got_simd.size(), sel.Count());
+  for (size_t i = 0; i < got_simd.size(); ++i) {
+    ASSERT_EQ(got_simd[i], got_scalar[i]) << i;
+  }
+  // Both twins bill one gathered value per selected position, and touch the
+  // same pages (the batched kernel flushes in page-load order).
+  EXPECT_EQ(simd_ctx.Stats().values_gathered, sel.Count());
+  EXPECT_EQ(scalar_ctx.Stats().values_gathered, sel.Count());
+  EXPECT_EQ(simd_ctx.Stats().pages_gathered, scalar_ctx.Stats().pages_gathered);
+
+  for (const unsigned threads : {2u, 8u}) {
+    ExecContext par_ctx(WithSimd(true));
+    std::vector<int64_t> got_par;
+    ASSERT_TRUE(
+        ParallelGatherInts(column, sel, threads, &got_par, &par_ctx).ok());
+    ASSERT_EQ(got_par.size(), got_simd.size()) << threads;
+    for (size_t i = 0; i < got_par.size(); ++i) {
+      ASSERT_EQ(got_par[i], got_simd[i]) << "threads=" << threads << " " << i;
+    }
+    EXPECT_EQ(par_ctx.Stats().values_gathered, sel.Count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GatherTwin,
+    ::testing::Values(
+        GatherTwinCase{"plain_i32_dense", DataType::kInt32,
+                       col::CompressionMode::kNone, false, 1 << 20, 0.7},
+        GatherTwinCase{"plain_i32_sparse", DataType::kInt32,
+                       col::CompressionMode::kNone, false, 1 << 20, 0.01},
+        GatherTwinCase{"plain_i64_dense", DataType::kInt64,
+                       col::CompressionMode::kNone, false, int64_t{1} << 40,
+                       0.6},
+        GatherTwinCase{"bitpack_mixed", DataType::kInt32,
+                       col::CompressionMode::kFull, false, 900, 0.3},
+        GatherTwinCase{"rle_dense", DataType::kInt32,
+                       col::CompressionMode::kFull, true, 40, 0.9}),
+    [](const ::testing::TestParamInfo<GatherTwinCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(GatherTwinEdge, EmptyAndFullSelections) {
+  util::Rng rng(5);
+  std::vector<int64_t> values(4099);
+  for (auto& v : values) v = rng.Uniform(0, 1000);
+  storage::FileManager files;
+  storage::BufferPool pool(&files, 64);
+  col::ColumnTable table(&files, &pool, "t");
+  ASSERT_TRUE(table
+                  .AddIntColumn("c", DataType::kInt32, values,
+                                col::CompressionMode::kNone)
+                  .ok());
+  const col::StoredColumn& column = table.column("c");
+
+  util::BitVector none(values.size());
+  util::BitVector all(values.size());
+  all.SetRange(0, values.size());
+  for (const bool simd : {true, false}) {
+    ExecContext ctx(WithSimd(simd));
+    std::vector<int64_t> got;
+    ASSERT_TRUE(GatherInts(column, none, &got, &ctx).ok());
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(ctx.Stats().values_gathered, 0u);
+    got.clear();
+    ASSERT_TRUE(GatherInts(column, all, &got, &ctx).ok());
+    ASSERT_EQ(got.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) ASSERT_EQ(got[i], values[i]);
+    EXPECT_EQ(ctx.Stats().values_gathered, values.size());
+  }
+}
+
+}  // namespace
+}  // namespace cstore::core

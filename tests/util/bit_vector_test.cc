@@ -75,6 +75,65 @@ TEST(BitVectorTest, AppendSetPositions) {
   EXPECT_EQ(out, (std::vector<uint32_t>{3, 77}));
 }
 
+TEST(BitVectorTest, OrMaskAlignedAndStraddling) {
+  BitVector b(256);
+  b.OrMask(64, 0x5ULL);  // word-aligned: bits 64, 66
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_FALSE(b.Get(65));
+  EXPECT_TRUE(b.Get(66));
+  b.OrMask(60, 0x3fULL);  // straddles the word 0/1 boundary: bits 60..65
+  for (size_t i = 60; i <= 65; ++i) EXPECT_TRUE(b.Get(i)) << i;
+  EXPECT_FALSE(b.Get(59));
+  b.OrMask(100, 0);  // zero mask is a no-op
+  EXPECT_EQ(b.Count(), 7u);  // {60..66}
+}
+
+TEST(BitVectorTest, OrMaskIsAnOrNotAStore) {
+  BitVector b(128);
+  b.Set(3);
+  b.OrMask(0, 0x10ULL);
+  EXPECT_TRUE(b.Get(3));  // pre-existing bit survives
+  EXPECT_TRUE(b.Get(4));
+}
+
+TEST(BitVectorTest, OrMaskTailWordOfWindow) {
+  // Windowed vector backed for words [1, 2): a mask whose live bits fit the
+  // last backed word must not touch the (unbacked) straddle word.
+  BitVector b(192, 1, 2);
+  b.OrMask(100, 0xffULL);  // bits 100..107, all inside word 1
+  for (size_t i = 100; i <= 107; ++i) EXPECT_TRUE(b.Get(i)) << i;
+  EXPECT_EQ(b.CountWords(1, 2), 8u);
+}
+
+TEST(BitVectorTest, OrMaskMatchesPerBitSets) {
+  Rng rng(77);
+  BitVector mask_built(1000);
+  BitVector bit_built(1000);
+  for (int i = 0; i < 200; ++i) {
+    const size_t pos = static_cast<size_t>(rng.Uniform(0, 1000 - 64));
+    const uint64_t mask = rng.Next();
+    mask_built.OrMask(pos, mask);
+    for (int j = 0; j < 64; ++j) {
+      if ((mask >> j) & 1) bit_built.Set(pos + j);
+    }
+  }
+  EXPECT_EQ(mask_built.Count(), bit_built.Count());
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(mask_built.Get(i), bit_built.Get(i)) << i;
+  }
+}
+
+TEST(BitVectorTest, OrWordsFromWindowedSource) {
+  BitVector full(320);
+  BitVector window(320, 2, 4);  // backs bits [128, 256)
+  window.Set(130);
+  window.Set(255);
+  full.OrWords(window, 2, 4);
+  EXPECT_TRUE(full.Get(130));
+  EXPECT_TRUE(full.Get(255));
+  EXPECT_EQ(full.Count(), 2u);
+}
+
 TEST(BitVectorTest, RandomizedAgainstReference) {
   Rng rng(123);
   BitVector b(1000);
