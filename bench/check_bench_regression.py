@@ -165,6 +165,7 @@ def main():
     base_series = by_name(base)
     curr_series = by_name(curr)
     regressions = []
+    touch_regressions = []
     hash_mismatches = []
     compared = 0
     print(f"{'series':<10} {'query':<6} {'base ms':>9} {'curr ms':>9} {'ratio':>7}")
@@ -189,6 +190,13 @@ def main():
                   f"{ratio:>6.2f}x{flag}")
             if ratio > args.threshold:
                 regressions.append((name, q, ratio))
+            # values_examined is a machine-independent work metric (values
+            # scanned + gathered + aggregated + delta rows); unlike timings
+            # it only moves when the plans genuinely touch more data. Warn
+            # (soft) when it grows past the same threshold.
+            vb, vc = b.get("values_examined"), cell.get("values_examined")
+            if same_data and vb and vc and vc > args.threshold * vb:
+                touch_regressions.append((name, q, vc / vb))
     hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
                         in check_parallel_twins(curr_series, args.current)]
     hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
@@ -208,7 +216,13 @@ def main():
               f"{args.threshold}x baseline (soft threshold — not failing):")
         for name, q, ratio in regressions:
             print(f"  {name} {q}: {ratio:.2f}x")
-    else:
+    if touch_regressions:
+        print(f"\nWARNING: {len(touch_regressions)} cell(s) examine more than "
+              f"{args.threshold}x the baseline's values (data-touched "
+              f"regression — not failing):")
+        for name, q, ratio in touch_regressions:
+            print(f"  {name} {q}: {ratio:.2f}x values_examined")
+    if not regressions and not touch_regressions:
         print(f"\nOK: all {compared} cells within {args.threshold}x of baseline")
     sys.exit(0)
 

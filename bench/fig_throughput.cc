@@ -23,9 +23,25 @@
 // --json emits per-client series (<mode>-c<M>[-a<N>]-client<k>) so
 // bench/check_bench_regression.py hard-fails CI on any divergence —
 // including for admission-capped runs.
+//
+// --writers W > 0 switches to the *mixed* volley instead: the database
+// becomes a writeable engine::Store (with the background merger on), W
+// writer threads apply a deterministic mutation stream through
+// Session::Insert/Delete while the M reader clients fire the mix, and
+// every reader answer is gated against the serial-replay oracle — each
+// outcome's pinned snapshot_epoch is replayed over the recorded ops
+// (ssb::ReplayAt) and re-answered by the naive reference; any divergence
+// aborts. Snapshot stability under concurrent writes and merges is
+// checked, not hoped for. Mixed-mode hashes depend on thread interleaving,
+// so the JSON emits them unrecorded (0) — CI's hash gate covers read-only
+// runs; the replay gate covers this one, in-process.
+#include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/designs.h"
@@ -34,9 +50,167 @@
 #include "harness/throughput.h"
 #include "ssb/column_db.h"
 #include "ssb/generator.h"
+#include "ssb/mutations.h"
 #include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "util/stopwatch.h"
 
 using namespace cstore;
+
+namespace {
+
+/// The mixed read/write volley: readers race writers and a background
+/// merger, then every observed (query, pinned epoch, hash) is re-derived
+/// serially. Returns per-client series for the JSON (hashes unrecorded).
+std::vector<harness::SeriesResult> RunMixedVolley(
+    const harness::BenchArgs& args, const ssb::SsbData& data,
+    const std::vector<std::string>& ids, const core::ExecConfig& client_cfg) {
+  engine::StoreOptions store_options;
+  store_options.compression = col::CompressionMode::kNone;
+  store_options.pool_pages = args.pool_pages;
+  store_options.merge_threshold_rows = 1024;  // merger swaps bases mid-volley
+  auto store = engine::Store::Open(data, store_options).ValueOrDie();
+
+  engine::EngineOptions options;
+  options.max_inflight_queries = args.admit;
+  options.default_config = client_cfg;
+  engine::Engine engine(options);
+  engine.AttachStore(store.get());
+  engine::RegisterStoreDesigns(&engine, store.get());
+
+  struct Observation {
+    std::string id;
+    uint64_t epoch = 0;
+    uint64_t hash = 0;
+  };
+  std::vector<std::vector<Observation>> observed(args.clients);
+  std::vector<harness::SeriesResult> series(args.clients);
+  std::atomic<bool> stop{false};
+
+  // Writers: each applies its own deterministic stream, recording the
+  // commit epoch of every op for the replay oracle. The per-writer op
+  // budget is bounded (it scales with --reps, not with how long the
+  // readers take): an open-ended write loop would let the merged base —
+  // and thus reader latency, and thus the volley, and thus the write
+  // volume — grow without bound.
+  const uint64_t ops_per_writer = 16 * static_cast<uint64_t>(args.repetitions);
+  std::mutex ops_mu;
+  std::vector<ssb::MutationOp> ops;
+  uint64_t rows_written = 0, rows_deleted = 0;
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < args.writers; ++w) {
+    writers.emplace_back([&, w] {
+      auto session = engine.OpenSession("CS");
+      ssb::MutationStream stream(data, /*seed=*/0xbeef + w);
+      for (uint64_t n = 0;
+           n < ops_per_writer && !stop.load(std::memory_order_relaxed); ++n) {
+        ssb::MutationOp op = stream.Next(/*batch_rows=*/256);
+        Result<engine::WriteOutcome> out =
+            op.kind == ssb::MutationOp::Kind::kInsert
+                ? session->Insert("lineorder", op.rows)
+                : session->Delete("lineorder", op.predicate);
+        CSTORE_CHECK(out.ok());
+        op.epoch = out.ValueOrDie().epoch;
+        {
+          std::lock_guard<std::mutex> lock(ops_mu);
+          rows_written += out.ValueOrDie().stats.rows_written;
+          rows_deleted += out.ValueOrDie().stats.rows_deleted;
+          ops.push_back(std::move(op));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  // Readers: the standard mix, `reps` rounds each. Hashes vary with the
+  // pinned epoch, so each run records (id, epoch, hash) instead of
+  // asserting round-to-round equality.
+  util::Stopwatch volley;
+  std::vector<std::thread> readers;
+  for (unsigned c = 0; c < args.clients; ++c) {
+    readers.emplace_back([&, c] {
+      auto session = engine.OpenSession("CS");
+      harness::SeriesResult& s = series[c];
+      s.name = "mixed-c" + std::to_string(args.clients) + "-w" +
+               std::to_string(args.writers) + "-client" + std::to_string(c);
+      for (int round = 0; round < args.repetitions; ++round) {
+        for (size_t i = 0; i < ids.size(); ++i) {
+          // Rotate the mix per client so different queries overlap.
+          const std::string& id = ids[(i + c) % ids.size()];
+          auto outcome = session->Run(ssb::QueryById(id));
+          CSTORE_CHECK(outcome.ok());
+          const engine::QueryOutcome& o = outcome.ValueOrDie();
+          observed[c].push_back(
+              Observation{id, o.snapshot_epoch, o.result.Hash()});
+          harness::CellResult& cell = s.by_query[id];
+          cell.seconds += o.stats.seconds / args.repetitions;
+          cell.pages_read += o.stats.pages_read / args.repetitions;
+          cell.values_examined +=
+              o.stats.values_examined / args.repetitions;
+          cell.admission_wait_seconds +=
+              o.stats.admission_wait_seconds / args.repetitions;
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  const double wall = volley.ElapsedSeconds();
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+
+  const engine::Store::MergeStats merges = store->merge_stats();
+  uint64_t queries = 0;
+  for (const auto& v : observed) queries += v.size();
+  std::fprintf(stderr,
+               "  mixed done: %.1f q/s, %llu ops (%llu rows in, %llu rows "
+               "out), %llu merge(s)\n",
+               static_cast<double>(queries) / wall,
+               static_cast<unsigned long long>(ops.size()),
+               static_cast<unsigned long long>(rows_written),
+               static_cast<unsigned long long>(rows_deleted),
+               static_cast<unsigned long long>(merges.merges));
+
+  // ---- Serial-replay gate: every answer re-derived from its epoch. ----
+  std::map<uint64_t, ssb::SsbData> replayed;  // epoch -> logical table
+  std::map<std::pair<uint64_t, std::string>, uint64_t> oracle;
+  uint64_t checked = 0;
+  for (unsigned c = 0; c < args.clients; ++c) {
+    for (const Observation& ob : observed[c]) {
+      const auto key = std::make_pair(ob.epoch, ob.id);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        auto rep = replayed.find(ob.epoch);
+        if (rep == replayed.end()) {
+          rep = replayed.emplace(ob.epoch, ssb::ReplayAt(data, ops, ob.epoch))
+                    .first;
+        }
+        const core::QueryResult expected =
+            ssb::ReferenceExecute(rep->second, ssb::LoweredQueryById(ob.id));
+        it = oracle.emplace(key, expected.Hash()).first;
+      }
+      if (ob.hash != it->second) {
+        std::fprintf(stderr,
+                     "FATAL: client %u query %s at epoch %llu: hash %016llx "
+                     "!= serial replay %016llx\n",
+                     c, ob.id.c_str(),
+                     static_cast<unsigned long long>(ob.epoch),
+                     static_cast<unsigned long long>(ob.hash),
+                     static_cast<unsigned long long>(it->second));
+        std::abort();
+      }
+      ++checked;
+    }
+  }
+  std::printf(
+      "mixed volley: %llu answers verified against serial replay of %zu "
+      "distinct epochs (%llu ops, %llu merges)\n",
+      static_cast<unsigned long long>(checked), replayed.size(),
+      static_cast<unsigned long long>(ops.size()),
+      static_cast<unsigned long long>(merges.merges));
+  return series;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
@@ -51,16 +225,28 @@ int main(int argc, char** argv) {
   params.scale_factor = args.scale_factor;
   const ssb::SsbData data = ssb::Generate(params);
 
-  auto db = ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone,
-                                       args.pool_pages)
-                .ValueOrDie();
-  db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
-
   std::vector<std::string> ids;
   for (const auto& q : ssb::AllQueries()) ids.push_back(q.id());
 
   core::ExecConfig client_cfg = core::ExecConfig::AllOn();
   client_cfg.num_threads = 1;  // one core per client: throughput via concurrency
+
+  if (args.writers > 0) {
+    std::printf("mixed volley: %u writer(s) racing the readers and the "
+                "background merger\n", args.writers);
+    const std::vector<harness::SeriesResult> series =
+        RunMixedVolley(args, data, ids, client_cfg);
+    if (!args.json_path.empty()) {
+      harness::WriteResultsJson(args.json_path, "fig_throughput", args, ids,
+                                series);
+    }
+    return 0;
+  }
+
+  auto db = ssb::ColumnDatabase::Build(data, col::CompressionMode::kNone,
+                                       args.pool_pages)
+                .ValueOrDie();
+  db->files().SetSimulatedDiskBandwidth(args.disk_mbps);
 
   // ---- Serial reference: one session on an unconstrained engine. Its
   // hashes are the ground truth every concurrent client must reproduce. ----
@@ -195,6 +381,8 @@ int main(int argc, char** argv) {
           cell.pages_all_match = stats.pages_all_match;
           cell.pages_scanned = stats.pages_scanned;
           cell.values_scanned = stats.values_scanned;
+          cell.values_gathered = stats.values_gathered;
+          cell.values_examined = stats.values_examined;
           cell.admission_wait_seconds = stats.admission_wait_seconds;
           cell.result_hash = client.result_hashes.at(id);
           s.by_query[id] = cell;

@@ -2,37 +2,6 @@
 
 namespace cstore::col {
 
-namespace {
-
-// Relaxed ordering: the counters are statistics, not synchronization.
-std::atomic<uint64_t> g_pages_skipped{0};
-std::atomic<uint64_t> g_pages_all_match{0};
-std::atomic<uint64_t> g_pages_scanned{0};
-
-}  // namespace
-
-ScanCounters ReadScanCounters() {
-  return ScanCounters{g_pages_skipped.load(std::memory_order_relaxed),
-                      g_pages_all_match.load(std::memory_order_relaxed),
-                      g_pages_scanned.load(std::memory_order_relaxed)};
-}
-
-void ResetScanCounters() {
-  g_pages_skipped.store(0, std::memory_order_relaxed);
-  g_pages_all_match.store(0, std::memory_order_relaxed);
-  g_pages_scanned.store(0, std::memory_order_relaxed);
-}
-
-namespace internal {
-void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned) {
-  if (skipped != 0) g_pages_skipped.fetch_add(skipped, std::memory_order_relaxed);
-  if (all_match != 0) {
-    g_pages_all_match.fetch_add(all_match, std::memory_order_relaxed);
-  }
-  if (scanned != 0) g_pages_scanned.fetch_add(scanned, std::memory_order_relaxed);
-}
-}  // namespace internal
-
 void ColumnReader::LoadPage(storage::PageNumber p) {
   auto res = column_->GetPage(p, &guard_);
   CSTORE_CHECK(res.ok());

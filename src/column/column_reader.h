@@ -9,7 +9,7 @@
 //    fetched), kAllMatch (every value matches: the caller sets a whole bit
 //    range without fetching or decoding), or kVisit (the page is pinned and
 //    handed to the caller's per-encoding scanner). Skip/all-match/scan
-//    counts feed the process-wide scan telemetry.
+//    counts are charged to the driving query's ScanTelemetry sink.
 //  * SeekToRow — a gather's position jump. The page index maps a row
 //    position straight to its page (binary search over row ranges), so late
 //    materialization never cursors from page 0 to reach a position list.
@@ -35,8 +35,9 @@ enum class PageDecision {
 /// Per-context scan telemetry: one query's zone-map and value-touch counts.
 /// The counters are relaxed atomics so morsel workers of one query can
 /// charge a shared sink without a lock. Readers construct with a pointer to
-/// the driving query's sink (core::ExecContext::telemetry); a null sink
-/// leaves only the deprecated process-wide aggregate below.
+/// the driving query's sink (core::ExecContext::telemetry); this is the
+/// only telemetry channel — a null sink means the caller declined the
+/// counts (there is no process-wide aggregate).
 struct ScanTelemetry {
   std::atomic<uint64_t> pages_skipped{0};    ///< zone map: no value can match
   std::atomic<uint64_t> pages_all_match{0};  ///< zone map: whole page matches
@@ -52,32 +53,6 @@ struct ScanTelemetry {
   /// position, regardless of encoding or kernel).
   std::atomic<uint64_t> values_gathered{0};
 };
-
-/// Process-wide scan telemetry: how many pages zone-map consultation
-/// skipped, accepted wholesale, or actually scanned. Monotonic; read a
-/// snapshot before and after a query to attribute counts.
-///
-/// DEPRECATED as a per-query attribution device: concurrent queries pollute
-/// each other's diffs. Kept as an aggregate view (and for single-threaded
-/// tests) until every caller reads per-query ScanTelemetry instead.
-struct ScanCounters {
-  uint64_t pages_skipped = 0;
-  uint64_t pages_all_match = 0;
-  uint64_t pages_scanned = 0;
-
-  ScanCounters operator-(const ScanCounters& other) const {
-    return ScanCounters{pages_skipped - other.pages_skipped,
-                        pages_all_match - other.pages_all_match,
-                        pages_scanned - other.pages_scanned};
-  }
-};
-
-ScanCounters ReadScanCounters();
-void ResetScanCounters();
-
-namespace internal {
-void AddScanCounters(uint64_t skipped, uint64_t all_match, uint64_t scanned);
-}  // namespace internal
 
 /// Cursor-free reader over one column (or a page-range morsel of it).
 /// Cheap to construct — parallel workers build one per morsel.
@@ -208,7 +183,6 @@ class ColumnReader {
       }
       if (!status.ok()) break;
     }
-    internal::AddScanCounters(skipped, matched, scanned);
     if (telemetry_ != nullptr) {
       telemetry_->pages_skipped.fetch_add(skipped, std::memory_order_relaxed);
       telemetry_->pages_all_match.fetch_add(matched, std::memory_order_relaxed);

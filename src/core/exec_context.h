@@ -7,8 +7,13 @@
 // executors, scans, and gathers instead: every page decision, value touch,
 // and device transfer performed on behalf of one query — on the client
 // thread or on pool workers it fans out to — accumulates into this
-// context's sinks. The process-wide counters remain as a deprecated
-// aggregate view; on a serial run the per-context sums match them exactly.
+// context's sinks. The process-wide counters are gone; this context is the
+// only telemetry channel.
+//
+// The context also carries the query's *snapshot overlay*: when a
+// store-backed design pins a write-store snapshot, the base executors see
+// the pinned tombstone bitmap here and mask deleted fact positions out of
+// every scan, and the delta overlay bills the write-store rows it examined.
 #pragma once
 
 #include <atomic>
@@ -17,6 +22,10 @@
 #include "column/column_reader.h"
 #include "core/exec_config.h"
 #include "storage/io_stats.h"
+
+namespace cstore::util {
+class BitVector;
+}  // namespace cstore::util
 
 namespace cstore::core {
 
@@ -54,6 +63,20 @@ struct QueryStats {
   /// Distinct groups the aggregation emitted (0 for scalar aggregates).
   uint64_t groups_emitted = 0;
 
+  // Write-path billing.
+  /// Write-store (unmerged delta) rows the query's overlay examined —
+  /// delta-side reads, billed separately from the base scan counters above.
+  uint64_t delta_rows_scanned = 0;
+  /// Rows appended by this operation (Session::Insert billing).
+  uint64_t rows_written = 0;
+  /// Rows tombstoned by this operation (Session::Delete billing).
+  uint64_t rows_deleted = 0;
+
+  /// Unified values-examined figure (the trillion-cells accounting unit):
+  /// every value a scan evaluated, a gather materialized, an aggregation
+  /// consumed, or the delta overlay visited, in one number.
+  uint64_t values_examined = 0;
+
   QueryStats& operator+=(const QueryStats& other) {
     seconds += other.seconds;
     admission_wait_seconds += other.admission_wait_seconds;
@@ -67,6 +90,10 @@ struct QueryStats {
     values_gathered += other.values_gathered;
     rows_aggregated += other.rows_aggregated;
     groups_emitted += other.groups_emitted;
+    delta_rows_scanned += other.delta_rows_scanned;
+    rows_written += other.rows_written;
+    rows_deleted += other.rows_deleted;
+    values_examined += other.values_examined;
     return *this;
   }
 };
@@ -97,6 +124,17 @@ class ExecContext {
   std::atomic<uint64_t> rows_aggregated{0};
   std::atomic<uint64_t> groups_emitted{0};
 
+  /// Snapshot overlay, set by a store-backed design before it runs the
+  /// base executor: fact-table positions deleted as of the query's pinned
+  /// epoch (null = none). Executors drop these positions from every scan's
+  /// match set. The bitmap is owned by the pinned snapshot, which the
+  /// design keeps alive for the whole execution.
+  const util::BitVector* fact_tombstones = nullptr;
+  /// The write epoch this query's snapshot pinned (0 = not store-backed).
+  uint64_t snapshot_epoch = 0;
+  /// Delta-overlay billing (write-store rows examined).
+  std::atomic<uint64_t> delta_rows_scanned{0};
+
   /// Plain-value snapshot of the sinks. `seconds` and
   /// `admission_wait_seconds` are zero — the session measures those around
   /// the execution and fills them in.
@@ -114,6 +152,10 @@ class ExecContext {
         telemetry.values_gathered.load(std::memory_order_relaxed);
     s.rows_aggregated = rows_aggregated.load(std::memory_order_relaxed);
     s.groups_emitted = groups_emitted.load(std::memory_order_relaxed);
+    s.delta_rows_scanned =
+        delta_rows_scanned.load(std::memory_order_relaxed);
+    s.values_examined = s.values_scanned + s.values_gathered +
+                        s.rows_aggregated + s.delta_rows_scanned;
     return s;
   }
 

@@ -274,6 +274,9 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     }
   }
   if (first) selected.SetRange(0, n);
+  // Snapshot overlay: fact rows tombstoned as of the pinned epoch drop out
+  // of the position list before any gather sees them.
+  if (ctx.fact_tombstones != nullptr) selected.AndNot(*ctx.fact_tombstones);
 
   // ---- Phase 3: extraction and aggregation. ----
   std::vector<int64_t> measure;
@@ -562,6 +565,7 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
   // Parallel workers keep thread-local aggregation state over row-range
   // morsels; partial sums/groups merge on the caller afterwards.
   const bool any_groups = num_group_attrs > 0;
+  const util::BitVector* tombstones = ctx.fact_tombstones;
   struct WorkerState {
     std::unique_ptr<GroupAggregator> agg;
     int64_t scalar_sum = 0;
@@ -577,6 +581,7 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
         }
         std::vector<int64_t> raw(num_group_attrs, 0);
         for (uint64_t r = begin; r < end; ++r) {
+          if (tombstones != nullptr && tombstones->Get(r)) continue;
           const int64_t* tuple = &tuples[r * width];
           bool pass = true;
           for (const auto& [ci, pred] : local_preds) {

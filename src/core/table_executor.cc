@@ -66,6 +66,8 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
     }
   }
   if (first) selected.SetRange(0, n);
+  // Snapshot overlay: tombstoned rows drop out before the gathers.
+  if (ctx->fact_tombstones != nullptr) selected.AndNot(*ctx->fact_tombstones);
 
   // Measure values at the selected positions.
   std::vector<int64_t> measure;

@@ -1,0 +1,152 @@
+// AppendLog / EpochLog: grow-only storage for the write store, safe for
+// concurrent snapshot readers while one (externally serialized) writer
+// appends.
+//
+// The C-Store WS is exactly this shape: readers never block writers and
+// writers never block readers. The trick is a fixed directory of chunk
+// pointers — appending never moves rows already published, so a reader
+// holding a high-water mark `h` can dereference any index < h without
+// locks. Publication order makes that safe:
+//
+//   writer:  fill slot i  ->  (first slot of a chunk: publish chunk ptr,
+//            release)  ->  publish size i+1 (release)
+//   reader:  load size (acquire)  ->  load chunk ptr (acquire)  ->  read
+//            slot < size
+//
+// The acquire on `size()` (or on the chunk pointer) synchronizes with the
+// writer's release, so every slot below the observed size is fully
+// constructed. Slots are immutable after publication; the one mutable
+// per-row datum (a tombstone's delete epoch) lives in an EpochLog of
+// atomics instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace cstore::delta {
+
+namespace internal {
+constexpr size_t kChunkBits = 12;                   ///< 4096 rows per chunk
+constexpr size_t kChunkRows = size_t{1} << kChunkBits;
+constexpr size_t kMaxChunks = size_t{1} << 14;      ///< 64M-row capacity
+}  // namespace internal
+
+/// Append-only log of immutable values. One writer (externally serialized —
+/// the owning store's write mutex), any number of lock-free readers.
+template <typename T>
+class AppendLog {
+ public:
+  AppendLog() : dir_(new std::atomic<T*>[internal::kMaxChunks]) {
+    for (size_t c = 0; c < internal::kMaxChunks; ++c) {
+      dir_[c].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~AppendLog() {
+    for (size_t c = 0; c < internal::kMaxChunks; ++c) {
+      delete[] dir_[c].load(std::memory_order_relaxed);
+    }
+  }
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(AppendLog);
+
+  /// Published element count. Acquire: every slot below it is readable.
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  const T& operator[](uint64_t i) const {
+    CSTORE_DCHECK(i < size());
+    T* chunk =
+        dir_[i >> internal::kChunkBits].load(std::memory_order_acquire);
+    return chunk[i & (internal::kChunkRows - 1)];
+  }
+
+  /// Appends and publishes one element; returns its index. Writer only.
+  uint64_t Append(T value) {
+    const uint64_t i = size_.load(std::memory_order_relaxed);
+    CSTORE_CHECK((i >> internal::kChunkBits) < internal::kMaxChunks);
+    std::atomic<T*>& slot = dir_[i >> internal::kChunkBits];
+    T* chunk = slot.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[internal::kChunkRows]();
+      slot.store(chunk, std::memory_order_release);
+    }
+    chunk[i & (internal::kChunkRows - 1)] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T*>[]> dir_;
+  std::atomic<uint64_t> size_{0};
+};
+
+/// Parallel log of mutable epoch stamps (a delta row's delete epoch,
+/// 0 = live). Appended in lockstep with an AppendLog; unlike row payloads,
+/// a stamp may change *after* publication (the row gets tombstoned), so
+/// slots are atomics readers may load while the writer stores.
+class EpochLog {
+ public:
+  EpochLog() : dir_(new std::atomic<Slot*>[internal::kMaxChunks]) {
+    for (size_t c = 0; c < internal::kMaxChunks; ++c) {
+      dir_[c].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~EpochLog() {
+    for (size_t c = 0; c < internal::kMaxChunks; ++c) {
+      delete[] dir_[c].load(std::memory_order_relaxed);
+    }
+  }
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(EpochLog);
+
+  /// Appends a slot holding `epoch` (normally 0 = live); returns its index.
+  /// Writer only.
+  uint64_t Append(uint64_t epoch) {
+    const uint64_t i = size_.load(std::memory_order_relaxed);
+    CSTORE_CHECK((i >> internal::kChunkBits) < internal::kMaxChunks);
+    std::atomic<Slot*>& dslot = dir_[i >> internal::kChunkBits];
+    Slot* chunk = dslot.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Slot[internal::kChunkRows]();
+      dslot.store(chunk, std::memory_order_release);
+    }
+    chunk[i & (internal::kChunkRows - 1)].epoch.store(
+        epoch, std::memory_order_relaxed);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+  /// Overwrites slot `i`'s stamp (tombstoning an already-published row).
+  /// Writer only.
+  void Stamp(uint64_t i, uint64_t epoch) {
+    SlotRef(i).store(epoch, std::memory_order_release);
+  }
+
+  /// Slot `i`'s stamp; 0 = live. Safe concurrent with Stamp — a snapshot
+  /// reader compares the stamp against its pinned epoch, and stamps only
+  /// ever move 0 -> E with E greater than any pinned epoch handed out
+  /// before the write, so a racing load is benign either way it resolves.
+  uint64_t at(uint64_t i) const {
+    return SlotRef(i).load(std::memory_order_acquire);
+  }
+
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  std::atomic<uint64_t>& SlotRef(uint64_t i) const {
+    CSTORE_DCHECK(i < size());
+    Slot* chunk =
+        dir_[i >> internal::kChunkBits].load(std::memory_order_acquire);
+    return chunk[i & (internal::kChunkRows - 1)].epoch;
+  }
+
+  std::unique_ptr<std::atomic<Slot*>[]> dir_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace cstore::delta

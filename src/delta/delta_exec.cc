@@ -1,0 +1,138 @@
+#include "delta/delta_exec.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ssb/reference.h"
+
+namespace cstore::delta {
+
+using core::AggKind;
+using core::StarQuery;
+
+core::QueryResult ExecuteDelta(const ssb::SsbData& base,
+                               const WriteStore& store, const Snapshot& snap,
+                               const StarQuery& q, core::ExecContext* ctx) {
+  std::vector<ssb::DimSide> sides = ssb::BuildDimSides(base, q);
+
+  struct GroupCol {
+    ssb::DimView view;
+    const ssb::DimSide* side;
+  };
+  std::vector<GroupCol> group_cols;
+  for (const auto& g : q.group_by) {
+    GroupCol gc;
+    gc.view = ssb::DimColumn(base, g.dim, g.column);
+    const char* fk = g.dim == "date"       ? "orderdate"
+                     : g.dim == "customer" ? "custkey"
+                     : g.dim == "supplier" ? "suppkey"
+                                           : "partkey";
+    gc.side = nullptr;
+    for (const ssb::DimSide& s : sides) {
+      if (s.fk_column == fk) gc.side = &s;
+    }
+    CSTORE_CHECK(gc.side != nullptr);
+    group_cols.push_back(gc);
+  }
+
+  std::map<std::vector<Value>, int64_t> groups;
+  int64_t scalar = 0;
+
+  for (uint64_t i = 0; i < snap.delta_rows; ++i) {
+    if (!store.VisibleTo(i, snap)) continue;
+    const ssb::LineorderRow& row = store.row(i);
+    bool ok = true;
+    for (const auto& fp : q.fact_predicates) {
+      const int64_t v = ssb::LineorderIntField(row, fp.column);
+      if (v < fp.lo || v > fp.hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    std::vector<size_t> dim_rows(sides.size());
+    for (size_t s = 0; s < sides.size() && ok; ++s) {
+      const int64_t fk = ssb::LineorderIntField(row, sides[s].fk_column);
+      auto it = sides[s].pass.find(fk);
+      if (it == sides[s].pass.end()) {
+        ok = false;
+      } else {
+        dim_rows[s] = it->second;
+      }
+    }
+    if (!ok) continue;
+
+    int64_t measure = ssb::LineorderIntField(row, q.agg.column_a);
+    if (q.agg.kind == AggKind::kSumProduct) {
+      measure *= ssb::LineorderIntField(row, q.agg.column_b);
+    }
+    if (q.agg.kind == AggKind::kSumDiff) {
+      measure -= ssb::LineorderIntField(row, q.agg.column_b);
+    }
+
+    if (q.group_by.empty()) {
+      scalar += measure;
+      continue;
+    }
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (const GroupCol& gc : group_cols) {
+      size_t dim_row = 0;
+      for (size_t s = 0; s < sides.size(); ++s) {
+        if (&sides[s] == gc.side) dim_row = dim_rows[s];
+      }
+      if (gc.view.strs != nullptr) {
+        key.push_back(Value::Str((*gc.view.strs)[dim_row]));
+      } else {
+        key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+      }
+    }
+    groups[key] += measure;
+  }
+
+  if (ctx != nullptr) {
+    ctx->delta_rows_scanned.fetch_add(snap.delta_rows,
+                                      std::memory_order_relaxed);
+  }
+
+  core::QueryResult result;
+  if (q.group_by.empty()) {
+    result.rows.push_back(core::ResultRow{{}, scalar});
+    return result;
+  }
+  for (const auto& [key, sum] : groups) {
+    result.rows.push_back(core::ResultRow{key, sum});
+  }
+  return result;
+}
+
+core::QueryResult MergeResults(core::QueryResult base_result,
+                               core::QueryResult delta_partial,
+                               const StarQuery& q) {
+  if (q.group_by.empty()) {
+    // Every executor emits exactly one scalar row, matches or not.
+    CSTORE_CHECK(base_result.rows.size() == 1 &&
+                 delta_partial.rows.size() == 1);
+    base_result.rows[0].sum += delta_partial.rows[0].sum;
+    return base_result;
+  }
+  if (delta_partial.rows.empty()) return base_result;
+
+  std::map<std::vector<Value>, int64_t> groups;
+  for (core::ResultRow& r : base_result.rows) {
+    groups[std::move(r.group_values)] += r.sum;
+  }
+  for (core::ResultRow& r : delta_partial.rows) {
+    groups[std::move(r.group_values)] += r.sum;
+  }
+  core::QueryResult merged;
+  merged.rows.reserve(groups.size());
+  for (auto& [key, sum] : groups) {
+    merged.rows.push_back(core::ResultRow{key, sum});
+  }
+  merged.Sort(q.sort);
+  return merged;
+}
+
+}  // namespace cstore::delta

@@ -1,0 +1,39 @@
+// Delta overlay execution: the write-side half of every query.
+//
+// A store-backed design answers a plan in two parts — the base executor
+// runs over the frozen column/row files with the snapshot's tombstone
+// bitmap masking deleted positions, and this module evaluates the same
+// star query over the snapshot's visible unmerged inserts (row-at-a-time,
+// exactly how a WS is meant to be read: it is small). The two partial
+// results are then merged group-wise. Answers therefore reflect
+// base ⊎ delta − tombstones at one pinned epoch.
+#pragma once
+
+#include "core/exec_context.h"
+#include "core/star_query.h"
+#include "delta/write_store.h"
+#include "ssb/data.h"
+
+namespace cstore::delta {
+
+/// Evaluates `q` over the inserts `snap` sees in `store` (rows
+/// [0, snap.delta_rows) minus tombstones), joining dimension attributes
+/// from `base` — dimensions are read-only, so base dimension rows serve
+/// both halves. Bills the rows examined to ctx->delta_rows_scanned.
+/// The partial mirrors executor result shape: grouped queries emit only
+/// groups present in the delta; ungrouped queries always emit one row.
+core::QueryResult ExecuteDelta(const ssb::SsbData& base,
+                               const WriteStore& store, const Snapshot& snap,
+                               const core::StarQuery& q,
+                               core::ExecContext* ctx);
+
+/// Merges the delta partial into the base result: group sums are added
+/// (new delta-only groups appear, base-only groups persist) and the merged
+/// rows are re-sorted under the query's sort spec. Ungrouped results add
+/// their single scalars. When `delta` contributes nothing the base result
+/// passes through bit-identically.
+core::QueryResult MergeResults(core::QueryResult base_result,
+                               core::QueryResult delta_partial,
+                               const core::StarQuery& q);
+
+}  // namespace cstore::delta

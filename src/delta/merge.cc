@@ -1,0 +1,93 @@
+#include "delta/merge.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cstore::delta {
+
+namespace {
+
+using SortKey = std::tuple<int64_t, int64_t, int64_t>;
+
+SortKey KeyOfBase(const ssb::LineorderTable& lo, size_t r) {
+  return {lo.orderdate[r], lo.quantity[r], lo.discount[r]};
+}
+
+SortKey KeyOfRow(const ssb::LineorderRow& r) {
+  return {r.orderdate, r.quantity, r.discount};
+}
+
+}  // namespace
+
+MergePlan BuildMergePlan(const ssb::SsbData& base, const WriteStore& store,
+                         uint64_t epoch, uint64_t delta_hwm) {
+  const ssb::LineorderTable& lo = base.lineorder;
+  CSTORE_CHECK(lo.size() == store.base_rows() &&
+               delta_hwm <= store.size());
+
+  MergePlan plan;
+  plan.base_to_new.assign(lo.size(), MergePlan::kDropped);
+  plan.delta_to_new.assign(delta_hwm, MergePlan::kDropped);
+
+  // Inserts visible at the snapshot, in canonical order. stable_sort keeps
+  // insertion order among equal keys, so the merge is deterministic.
+  std::vector<uint32_t> ins;
+  ins.reserve(delta_hwm);
+  for (uint64_t i = 0; i < delta_hwm; ++i) {
+    const uint64_t d = store.delta_deleted_at(i);
+    if (d != 0 && d <= epoch) {
+      ++plan.inserts_dropped;
+      continue;
+    }
+    ins.push_back(static_cast<uint32_t>(i));
+  }
+  std::stable_sort(ins.begin(), ins.end(), [&](uint32_t a, uint32_t b) {
+    return KeyOfRow(store.row(a)) < KeyOfRow(store.row(b));
+  });
+
+  plan.data.scale_factor = base.scale_factor;
+  plan.data.date = base.date;
+  plan.data.customer = base.customer;
+  plan.data.supplier = base.supplier;
+  plan.data.part = base.part;
+
+  // Stable two-run merge: kept base rows are already canonically sorted
+  // (the base was itself produced by a Build or a previous merge); ties go
+  // to the base run.
+  size_t bi = 0, di = 0;
+  while (bi < lo.size() || di < ins.size()) {
+    // Skip base rows tombstoned at or before the snapshot.
+    if (bi < lo.size()) {
+      const uint64_t d = store.base_deleted_at(bi);
+      if (d != 0 && d <= epoch) {
+        ++plan.base_dropped;
+        ++bi;
+        continue;
+      }
+    }
+    bool take_base;
+    if (bi >= lo.size()) {
+      take_base = false;
+    } else if (di >= ins.size()) {
+      take_base = true;
+    } else {
+      take_base = KeyOfBase(lo, bi) <= KeyOfRow(store.row(ins[di]));
+    }
+    const uint32_t merged_pos =
+        static_cast<uint32_t>(plan.data.lineorder.size());
+    if (take_base) {
+      ssb::AppendRow(ssb::RowAt(lo, bi), &plan.data.lineorder);
+      plan.base_to_new[bi] = merged_pos;
+      ++plan.base_kept;
+      ++bi;
+    } else {
+      ssb::AppendRow(store.row(ins[di]), &plan.data.lineorder);
+      plan.delta_to_new[ins[di]] = merged_pos;
+      ++plan.inserts_applied;
+      ++di;
+    }
+  }
+  return plan;
+}
+
+}  // namespace cstore::delta

@@ -1,0 +1,58 @@
+// Merge planning: drain the write store into a fresh sorted base.
+//
+// C-Store's tuple mover in miniature. A merge pins an epoch E and an
+// insert high-water mark H, then produces the logical table a from-scratch
+// load would see at that snapshot:
+//
+//   kept base rows (not tombstoned at E)   — already in the canonical
+//                                            (orderdate, quantity, discount)
+//                                            sort order
+//   ⊎ visible inserts [0, H)               — sorted by the same key
+//
+// merged stably (base wins ties) into one SsbData whose lineorder is again
+// canonically sorted. Rebuilding the column/row files from that SsbData
+// goes through the ordinary staged Build, so the post-merge file sets are
+// bit-identical to a from-scratch Build over the same logical rows — the
+// property the bit-identity tests pin down.
+//
+// The plan also records where every old row landed (or that it was
+// dropped), so the store can migrate writes that committed *after* the
+// snapshot onto the new base: post-E base tombstones follow base_to_new,
+// post-E tombstones on merged inserts follow delta_to_new, and inserts
+// >= H are re-appended to the new write store untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delta/write_store.h"
+#include "ssb/data.h"
+
+namespace cstore::delta {
+
+struct MergePlan {
+  static constexpr uint32_t kDropped = UINT32_MAX;
+
+  /// The merged logical database: base dimensions (read-only, carried
+  /// over) plus the canonically re-sorted lineorder.
+  ssb::SsbData data;
+  /// Old base position -> merged position (kDropped when tombstoned <= E).
+  std::vector<uint32_t> base_to_new;
+  /// Insert-log index in [0, H) -> merged position (kDropped when
+  /// tombstoned <= E).
+  std::vector<uint32_t> delta_to_new;
+
+  uint64_t base_kept = 0;
+  uint64_t base_dropped = 0;
+  uint64_t inserts_applied = 0;
+  uint64_t inserts_dropped = 0;
+};
+
+/// Builds the merged table for the snapshot (epoch, delta_hwm) of `store`
+/// over `base`. Caller must hold the store's write lock or otherwise
+/// guarantee no delete with epoch <= `epoch` lands during the call; inserts
+/// beyond `delta_hwm` and later-epoch deletes are safely ignored.
+MergePlan BuildMergePlan(const ssb::SsbData& base, const WriteStore& store,
+                         uint64_t epoch, uint64_t delta_hwm);
+
+}  // namespace cstore::delta

@@ -1,0 +1,116 @@
+#include "delta/write_store.h"
+
+#include "ssb/reference.h"
+
+namespace cstore::delta {
+
+namespace {
+
+bool MatchesAll(const std::vector<core::FactPredicate>& preds, auto&& field) {
+  for (const core::FactPredicate& p : preds) {
+    const int64_t v = field(p.column);
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WriteStore::WriteStore(uint64_t base_rows)
+    : base_rows_(base_rows),
+      base_deleted_(new std::atomic<uint64_t>[base_rows]) {
+  for (uint64_t p = 0; p < base_rows; ++p) {
+    base_deleted_[p].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t WriteStore::Append(ssb::LineorderRow row, uint64_t epoch) {
+  delta_bytes_.fetch_add(ssb::LineorderRowBytes(row),
+                         std::memory_order_relaxed);
+  // The delete-stamp slot must exist before the row is published: readers
+  // bound their loop by rows_.size(), and every index below it has a stamp.
+  const uint64_t i = delta_deleted_.Append(0);
+  InsertSlot slot;
+  slot.row = std::move(row);
+  slot.inserted_at = epoch;
+  const uint64_t j = rows_.Append(std::move(slot));
+  CSTORE_CHECK(i == j);
+  return j;
+}
+
+void WriteStore::TombstoneBase(uint64_t pos, uint64_t epoch) {
+  CSTORE_CHECK(pos < base_rows_ && epoch != 0 &&
+               base_deleted_[pos].load(std::memory_order_relaxed) == 0);
+  base_deleted_[pos].store(epoch, std::memory_order_release);
+  base_delete_log_.emplace_back(static_cast<uint32_t>(pos), epoch);
+  delta_bytes_.fetch_add(sizeof(std::pair<uint32_t, uint64_t>),
+                         std::memory_order_relaxed);
+}
+
+void WriteStore::TombstoneDelta(uint64_t i, uint64_t epoch) {
+  CSTORE_CHECK(i < rows_.size() && delta_deleted_.at(i) == 0 && epoch != 0);
+  delta_deleted_.Stamp(i, epoch);
+}
+
+uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
+                                 const std::vector<core::FactPredicate>& preds,
+                                 uint64_t epoch) {
+  CSTORE_CHECK(base.lineorder.size() == base_rows_);
+  uint64_t affected = 0;
+  // Base side: column-at-a-time over the in-memory logical rows.
+  std::vector<const std::vector<int64_t>*> cols;
+  cols.reserve(preds.size());
+  for (const core::FactPredicate& p : preds) {
+    cols.push_back(&ssb::FactIntColumn(base, p.column));
+  }
+  for (uint64_t pos = 0; pos < base_rows_; ++pos) {
+    if (base_deleted_[pos].load(std::memory_order_relaxed) != 0) continue;
+    bool ok = true;
+    for (size_t k = 0; k < preds.size(); ++k) {
+      const int64_t v = (*cols[k])[pos];
+      if (v < preds[k].lo || v > preds[k].hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    TombstoneBase(pos, epoch);
+    ++affected;
+  }
+  // Unmerged inserts.
+  const uint64_t n = rows_.size();
+  for (uint64_t i = 0; i < n; ++i) {
+    if (delta_deleted_.at(i) != 0) continue;
+    const ssb::LineorderRow& r = rows_[i].row;
+    if (!MatchesAll(preds, [&](const std::string& c) {
+          return ssb::LineorderIntField(r, c);
+        })) {
+      continue;
+    }
+    TombstoneDelta(i, epoch);
+    ++affected;
+  }
+  return affected;
+}
+
+std::shared_ptr<const util::BitVector> WriteStore::TombstonesAt(
+    uint64_t epoch) {
+  // Base deletes commit in epoch order, so "visible at epoch" is a prefix
+  // of the log; two pins between the same deletes share one bitmap.
+  size_t count = 0;
+  while (count < base_delete_log_.size() &&
+         base_delete_log_[count].second <= epoch) {
+    ++count;
+  }
+  if (count == 0) return nullptr;
+  if (cached_tombstones_ != nullptr && cached_delete_count_ == count) {
+    return cached_tombstones_;
+  }
+  auto bits = std::make_shared<util::BitVector>(base_rows_);
+  for (size_t k = 0; k < count; ++k) bits->Set(base_delete_log_[k].first);
+  cached_tombstones_ = std::move(bits);
+  cached_delete_count_ = count;
+  return cached_tombstones_;
+}
+
+}  // namespace cstore::delta

@@ -1,0 +1,145 @@
+// WriteStore: the in-memory row-format write side (C-Store's WS) layered
+// over one read-optimized base (the RS).
+//
+// The base is a frozen, sorted file set of N lineorder rows; the store
+// records everything that happened to the logical table since that base was
+// built:
+//
+//   * inserts  — an append-only log of row-format LineorderRows, each
+//                stamped with the write epoch that committed it;
+//   * deletes  — tombstones. A delete of a *base* row stamps a delete epoch
+//                at its row position; a delete of a not-yet-merged *insert*
+//                stamps the insert-log slot. Rows are never moved or
+//                rewritten.
+//
+// Visibility is purely epoch arithmetic. A snapshot pinned at epoch E with
+// insert high-water mark H sees:
+//
+//   base row p    iff  base_deleted_at(p) == 0  or  > E
+//   insert i      iff  i < H  and  (delta_deleted_at(i) == 0 or > E)
+//
+// All writers are serialized by the owning engine::Store's mutex; readers
+// never take it. The insert log is an AppendLog (publication via
+// acquire/release), delete stamps are EpochLog atomics, and the base
+// tombstone bitmap handed to scans is built once per delete epoch and
+// shared immutably — so pinned readers race with nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/star_query.h"
+#include "delta/append_log.h"
+#include "ssb/data.h"
+#include "util/bit_vector.h"
+
+namespace cstore::delta {
+
+/// One pinned read view of a store: everything visibility needs, resolved
+/// at pin time. Copyable and self-contained — the tombstone bitmap is
+/// shared immutably, so a snapshot stays valid (and stable) no matter how
+/// many writes land after it.
+struct Snapshot {
+  /// Writes stamped with epoch <= this are visible.
+  uint64_t epoch = 0;
+  /// Insert-log high-water mark: inserts [0, delta_rows) are candidates.
+  uint64_t delta_rows = 0;
+  /// Base rows deleted as of `epoch` (null = no base tombstones yet).
+  std::shared_ptr<const util::BitVector> tombstones;
+};
+
+class WriteStore {
+ public:
+  /// A write store over a base of `base_rows` lineorder rows.
+  explicit WriteStore(uint64_t base_rows);
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(WriteStore);
+
+  uint64_t base_rows() const { return base_rows_; }
+  /// Published insert count (any reader; acquire).
+  uint64_t size() const { return rows_.size(); }
+  /// Approximate bytes of unmerged write state (relaxed running total).
+  uint64_t delta_bytes() const {
+    return delta_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- Writer side: all calls below are serialized by the owner's mutex. --
+
+  /// Appends one insert committed at `epoch`; returns its insert-log index.
+  uint64_t Append(ssb::LineorderRow row, uint64_t epoch);
+
+  /// Tombstones base row `pos` at `epoch` (must currently be live).
+  void TombstoneBase(uint64_t pos, uint64_t epoch);
+
+  /// Tombstones insert-log row `i` at `epoch` (must currently be live).
+  void TombstoneDelta(uint64_t i, uint64_t epoch);
+
+  /// Deletes every currently-live row — base and unmerged inserts — that
+  /// satisfies all of `preds` (conjunctive integer ranges over lineorder
+  /// columns), stamping delete epoch `epoch`. `base` must be the logical
+  /// rows the store's base was built from. Returns rows affected.
+  uint64_t DeleteWhere(const ssb::SsbData& base,
+                       const std::vector<core::FactPredicate>& preds,
+                       uint64_t epoch);
+
+  /// The base tombstone bitmap as of `epoch`, or null when no base row was
+  /// deleted at or before it. Cached per delete epoch: consecutive pins
+  /// between deletes share one immutable bitmap.
+  std::shared_ptr<const util::BitVector> TombstonesAt(uint64_t epoch);
+
+  /// Base deletes in commit order as (row position, delete epoch) pairs —
+  /// the merge reads this to migrate post-snapshot tombstones.
+  const std::vector<std::pair<uint32_t, uint64_t>>& base_delete_log() const {
+    return base_delete_log_;
+  }
+
+  // --- Reader side: safe concurrent with the writer. ---
+
+  /// Insert-log row `i` (immutable once published).
+  const ssb::LineorderRow& row(uint64_t i) const { return rows_[i].row; }
+  /// Epoch that committed insert `i`.
+  uint64_t inserted_at(uint64_t i) const { return rows_[i].inserted_at; }
+  /// Insert `i`'s delete epoch (0 = live).
+  uint64_t delta_deleted_at(uint64_t i) const { return delta_deleted_.at(i); }
+  /// Base row `pos`'s delete epoch (0 = live). Safe concurrent with the
+  /// writer: a racing stamp carries an epoch newer than any snapshot (or
+  /// merge high-water mark) taken before it, so either load resolves the
+  /// same visibility question. Scans still use Snapshot::tombstones; this
+  /// serves the merge planner and tests.
+  uint64_t base_deleted_at(uint64_t pos) const {
+    CSTORE_DCHECK(pos < base_rows_);
+    return base_deleted_[pos].load(std::memory_order_acquire);
+  }
+
+  /// Whether insert `i` (already < snap.delta_rows) is visible to `snap`.
+  bool VisibleTo(uint64_t i, const Snapshot& snap) const {
+    CSTORE_DCHECK(i < snap.delta_rows);
+    const uint64_t d = delta_deleted_.at(i);
+    return d == 0 || d > snap.epoch;
+  }
+
+ private:
+  struct InsertSlot {
+    ssb::LineorderRow row;
+    uint64_t inserted_at = 0;
+  };
+
+  const uint64_t base_rows_;
+  AppendLog<InsertSlot> rows_;
+  EpochLog delta_deleted_;
+  std::atomic<uint64_t> delta_bytes_{0};
+
+  /// Per-base-row delete epochs (atomics: the merge planner reads them
+  /// outside the write lock). The log is writer-serialized — Pin and the
+  /// merge's migration both run under the owner's mutex.
+  std::unique_ptr<std::atomic<uint64_t>[]> base_deleted_;
+  std::vector<std::pair<uint32_t, uint64_t>> base_delete_log_;
+
+  /// TombstonesAt cache: the bitmap covering base deletes up to
+  /// `cached_delete_count_` log entries.
+  std::shared_ptr<const util::BitVector> cached_tombstones_;
+  size_t cached_delete_count_ = 0;
+};
+
+}  // namespace cstore::delta

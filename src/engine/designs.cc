@@ -4,6 +4,7 @@
 
 #include "core/star_executor.h"
 #include "core/table_executor.h"
+#include "delta/delta_exec.h"
 #include "engine/planner.h"
 #include "ssb/column_db.h"
 
@@ -76,6 +77,105 @@ class DenormalizedDesign : public Design {
   const col::ColumnTable* table_;
 };
 
+class StoreDesign : public Design {
+ public:
+  StoreDesign(Store* store, StoreDesignKind kind)
+      : store_(store), kind_(kind) {}
+
+  Result<core::QueryResult> Execute(const plan::Plan& p,
+                                    core::ExecContext& ctx) const override {
+    // One mutex acquisition fixes the whole read view: base file-set
+    // version, insert high-water mark, tombstone epoch. Everything below
+    // races with nothing — the version is frozen, the snapshot immutable.
+    Store::Pinned pin = store_->Pin();
+    const StoreVersion& v = *pin.version;
+    ctx.snapshot_epoch = pin.snap.epoch;
+    ctx.fact_tombstones = pin.snap.tombstones.get();
+    Result<core::QueryResult> base = ExecuteBase(v, p, ctx);
+    ctx.fact_tombstones = nullptr;
+    CSTORE_RETURN_IF_ERROR(base.status());
+    if (pin.snap.delta_rows == 0) {
+      // Nothing unmerged: the base answer is the answer (and stays
+      // bit-identical to the read-only design's).
+      return base;
+    }
+    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
+    core::QueryResult delta_partial =
+        delta::ExecuteDelta(v.data, *v.writes, pin.snap, query, &ctx);
+    return delta::MergeResults(std::move(base).ValueOrDie(),
+                               std::move(delta_partial), query);
+  }
+
+ private:
+  Result<core::QueryResult> ExecuteBase(const StoreVersion& v,
+                                        const plan::Plan& p,
+                                        core::ExecContext& ctx) const {
+    switch (kind_) {
+      case StoreDesignKind::kColumnStore: {
+        if (v.column_db == nullptr) {
+          return Status::NotSupported("store was opened without build_column");
+        }
+        CSTORE_ASSIGN_OR_RETURN(
+            core::StarQuery query,
+            PlanToStarForSchema(p, &v.catalog, v.star_schema));
+        return core::ExecuteStarQuery(v.star_schema, query, &ctx);
+      }
+      case StoreDesignKind::kDenormalized: {
+        if (v.denorm_db == nullptr) {
+          return Status::NotSupported(
+              "store was opened without build_denormalized");
+        }
+        CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
+        for (const core::DimPredicate& pred : query.dim_predicates) {
+          if (!v.denorm_db->table().HasColumn(
+                  ssb::DenormalizedColumnName(pred.dim, pred.column))) {
+            return Status::NotSupported(
+                "denormalized table has no column for " + pred.dim + "." +
+                pred.column);
+          }
+        }
+        for (const core::GroupByColumn& g : query.group_by) {
+          if (!v.denorm_db->table().HasColumn(
+                  ssb::DenormalizedColumnName(g.dim, g.column))) {
+            return Status::NotSupported(
+                "denormalized table has no column for " + g.dim + "." +
+                g.column);
+          }
+        }
+        return core::ExecuteTableQuery(v.denorm_db->table(), query,
+                                       ssb::DenormalizedColumnName, &ctx);
+      }
+      default: {
+        if (v.row_db == nullptr) {
+          return Status::NotSupported("store was opened without build_rows");
+        }
+        CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
+        return ssb::ExecuteRowQuery(*v.row_db, query, RowDesignOf(kind_),
+                                    &ctx);
+      }
+    }
+  }
+
+  static ssb::RowDesign RowDesignOf(StoreDesignKind kind) {
+    switch (kind) {
+      case StoreDesignKind::kTraditional:
+        return ssb::RowDesign::kTraditional;
+      case StoreDesignKind::kTraditionalBitmap:
+        return ssb::RowDesign::kTraditionalBitmap;
+      case StoreDesignKind::kMaterializedViews:
+        return ssb::RowDesign::kMaterializedViews;
+      case StoreDesignKind::kVerticalPartitioning:
+        return ssb::RowDesign::kVerticalPartitioning;
+      default:
+        CSTORE_CHECK(kind == StoreDesignKind::kIndexOnly);
+        return ssb::RowDesign::kIndexOnly;
+    }
+  }
+
+  Store* const store_;
+  const StoreDesignKind kind_;
+};
+
 class FunctionDesign : public Design {
  public:
   using Fn = std::function<Result<core::QueryResult>(const core::StarQuery&,
@@ -110,6 +210,33 @@ std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
 std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table) {
   CSTORE_CHECK(table != nullptr);
   return std::make_unique<DenormalizedDesign>(table);
+}
+
+std::unique_ptr<Design> MakeStoreDesign(Store* store, StoreDesignKind kind) {
+  CSTORE_CHECK(store != nullptr);
+  return std::make_unique<StoreDesign>(store, kind);
+}
+
+void RegisterStoreDesigns(Engine* engine, Store* store) {
+  CSTORE_CHECK(engine != nullptr && store != nullptr);
+  const StoreOptions& opt = store->options();
+  if (opt.build_column) {
+    engine->Register("CS", MakeStoreDesign(store, StoreDesignKind::kColumnStore));
+  }
+  if (opt.build_rows) {
+    engine->Register("T", MakeStoreDesign(store, StoreDesignKind::kTraditional));
+    engine->Register("T(B)",
+                     MakeStoreDesign(store, StoreDesignKind::kTraditionalBitmap));
+    engine->Register(
+        "MV", MakeStoreDesign(store, StoreDesignKind::kMaterializedViews));
+    engine->Register(
+        "VP", MakeStoreDesign(store, StoreDesignKind::kVerticalPartitioning));
+    engine->Register("AI", MakeStoreDesign(store, StoreDesignKind::kIndexOnly));
+  }
+  if (opt.build_denormalized) {
+    engine->Register("PJ",
+                     MakeStoreDesign(store, StoreDesignKind::kDenormalized));
+  }
 }
 
 std::unique_ptr<Design> MakeFunctionDesign(FunctionDesign::Fn fn) {

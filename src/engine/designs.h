@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "engine/engine.h"
+#include "engine/store.h"
 #include "ssb/column_db.h"
 #include "ssb/row_exec.h"
 
@@ -33,6 +34,35 @@ std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
 /// The pre-joined ("PJ") single-table design of §6.3.3: star queries are
 /// rewritten onto the denormalized fact table and run join-free.
 std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table);
+
+/// The physical design a store-backed adapter executes the base half of a
+/// query through. Same vocabulary as the read-only factories above: the
+/// column store, the four §4 row layouts plus materialized views, and the
+/// pre-joined table.
+enum class StoreDesignKind {
+  kColumnStore,
+  kTraditional,
+  kTraditionalBitmap,
+  kMaterializedViews,
+  kVerticalPartitioning,
+  kIndexOnly,
+  kDenormalized,
+};
+
+/// A writeable, snapshot-stable design over `store`: every Execute pins
+/// {base version, delta high-water mark, tombstone epoch} in one shot, runs
+/// the kind's executor over the pinned base with the snapshot's tombstone
+/// bitmap masking deleted positions, overlays the visible unmerged inserts
+/// (delta/delta_exec.h), and merges the two partials. The store must
+/// outlive the design and have built the physical database the kind needs
+/// (StoreOptions::build_*) — a missing database is NotSupported at query
+/// time, never a crash.
+std::unique_ptr<Design> MakeStoreDesign(Store* store, StoreDesignKind kind);
+
+/// Registers every store design the store's options can back, under the
+/// benches' usual names: "CS" (build_column), "T", "T(B)", "MV", "VP",
+/// "AI" (build_rows), and "PJ" (build_denormalized).
+void RegisterStoreDesigns(Engine* engine, Store* store);
 
 /// Escape hatch for bespoke executors (e.g. the Row-MV-in-column-store
 /// hybrid): wraps any callable. The engine still installs the context's

@@ -79,8 +79,49 @@ Result<QueryOutcome> Session::Run(const plan::Plan& p) {
   outcome.stats = ctx.Stats();
   outcome.stats.admission_wait_seconds = waited;
   outcome.stats.seconds = wall.ElapsedSeconds();
+  outcome.snapshot_epoch = ctx.snapshot_epoch;
   totals_ += outcome.stats;
   return outcome;
+}
+
+Result<WriteOutcome> Session::Insert(std::string_view table,
+                                     std::vector<ssb::LineorderRow> rows) {
+  if (engine_->store() == nullptr) {
+    return Status::NotSupported("engine has no writeable store attached");
+  }
+  util::Stopwatch wall;
+  const double waited = engine_->Admit();
+  Result<WriteOutcome> result =
+      engine_->store()->Insert(table, std::move(rows));
+  engine_->Release();
+  CSTORE_RETURN_IF_ERROR(result.status());
+
+  WriteOutcome out = std::move(result).ValueOrDie();
+  out.stats.rows_written = out.rows_affected;
+  out.stats.admission_wait_seconds = waited;
+  out.stats.seconds = wall.ElapsedSeconds();
+  totals_ += out.stats;
+  return out;
+}
+
+Result<WriteOutcome> Session::Delete(
+    std::string_view table,
+    const std::vector<core::FactPredicate>& predicate) {
+  if (engine_->store() == nullptr) {
+    return Status::NotSupported("engine has no writeable store attached");
+  }
+  util::Stopwatch wall;
+  const double waited = engine_->Admit();
+  Result<WriteOutcome> result = engine_->store()->Delete(table, predicate);
+  engine_->Release();
+  CSTORE_RETURN_IF_ERROR(result.status());
+
+  WriteOutcome out = std::move(result).ValueOrDie();
+  out.stats.rows_deleted = out.rows_affected;
+  out.stats.admission_wait_seconds = waited;
+  out.stats.seconds = wall.ElapsedSeconds();
+  totals_ += out.stats;
+  return out;
 }
 
 }  // namespace cstore::engine

@@ -46,6 +46,7 @@
 #include "core/exec_context.h"
 #include "core/shared_scan.h"
 #include "core/star_query.h"
+#include "engine/store.h"
 #include "plan/plan.h"
 #include "util/thread_pool.h"
 
@@ -85,6 +86,10 @@ struct EngineOptions {
 struct QueryOutcome {
   core::QueryResult result;
   core::QueryStats stats;
+  /// The write epoch the query's snapshot was pinned at (0 for read-only
+  /// designs with no store attached). Writes committed at epoch <= this
+  /// are reflected in `result`; later ones are not.
+  uint64_t snapshot_epoch = 0;
 };
 
 class Session;
@@ -106,6 +111,14 @@ class Engine {
 
   std::vector<std::string> DesignNames() const;
   const EngineOptions& options() const { return options_; }
+
+  /// Attaches the writeable store sessions' Insert/Delete go through (the
+  /// engine does not own it; it must outlive the engine). Store-backed
+  /// designs (engine/designs.h: MakeStoreDesign) read from the same store,
+  /// so queries see writes at their pinned epoch. One store per engine;
+  /// attach at setup time, before sessions write.
+  void AttachStore(Store* store) { store_ = store; }
+  Store* store() const { return store_; }
 
   /// The manager sessions' scans attach to when options().shared_scans.
   core::SharedScanManager& shared_scan_manager() { return shared_scans_; }
@@ -132,6 +145,7 @@ class Engine {
 
   const EngineOptions options_;
   core::SharedScanManager shared_scans_;
+  Store* store_ = nullptr;
 
   /// Registered designs. Registration happens at setup time; sessions hold
   /// raw Design pointers, so entries must not be replaced while queries run.
@@ -154,6 +168,21 @@ class Session {
   /// this query's own stats; the session's running totals() are updated as
   /// well.
   Result<QueryOutcome> Run(const plan::Plan& p);
+
+  /// Appends `rows` to `table`'s write store (only the fact table,
+  /// "lineorder", is writeable; dimensions return NotSupported). The write
+  /// goes through the same admission gate as queries and is billed the
+  /// same way: the outcome reports rows affected, unmerged delta bytes,
+  /// and the commit epoch, and its stats (rows_written, wall time,
+  /// admission wait) fold into totals(). Requires Engine::AttachStore.
+  Result<WriteOutcome> Insert(std::string_view table,
+                              std::vector<ssb::LineorderRow> rows);
+
+  /// Tombstones every live `table` row matching all of `predicate`
+  /// (conjunctive integer ranges over fact columns). Same admission,
+  /// billing, and scoping rules as Insert.
+  Result<WriteOutcome> Delete(std::string_view table,
+                              const std::vector<core::FactPredicate>& predicate);
 
   /// This session's execution knobs (seeded from the engine's
   /// default_config). Adjust between Run() calls, not during one.

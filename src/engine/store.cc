@@ -1,0 +1,256 @@
+#include "engine/store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "delta/merge.h"
+#include "engine/planner.h"
+
+namespace cstore::engine {
+
+namespace {
+
+/// Integer lineorder columns a delete predicate may range over.
+bool IsFactIntColumn(const std::string& name) {
+  static const char* const kNames[] = {
+      "orderkey",   "linenumber",    "custkey",    "partkey", "suppkey",
+      "orderdate",  "quantity",      "extendedprice", "ordtotalprice",
+      "discount",   "revenue",       "supplycost", "tax",     "commitdate"};
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<StoreVersion>> Store::BuildVersion(
+    uint64_t id, ssb::SsbData data, const StoreOptions& options) {
+  auto v = std::make_shared<StoreVersion>();
+  v->id = id;
+  v->data = std::move(data);
+  if (options.build_column) {
+    CSTORE_ASSIGN_OR_RETURN(
+        v->column_db,
+        ssb::ColumnDatabase::Build(v->data, options.compression,
+                                   options.pool_pages, options.load_threads));
+    v->star_schema = v->column_db->Schema();
+    v->catalog = CatalogFor(v->star_schema);
+  }
+  if (options.build_rows) {
+    CSTORE_ASSIGN_OR_RETURN(v->row_db,
+                            ssb::RowDatabase::Build(v->data,
+                                                    options.row_options));
+  }
+  if (options.build_denormalized) {
+    CSTORE_ASSIGN_OR_RETURN(
+        v->denorm_db,
+        ssb::DenormalizedDatabase::Build(v->data, options.compression,
+                                         options.pool_pages,
+                                         options.load_threads));
+  }
+  v->writes = std::make_unique<delta::WriteStore>(v->data.lineorder.size());
+  return v;
+}
+
+Result<std::unique_ptr<Store>> Store::Open(ssb::SsbData data,
+                                           StoreOptions options) {
+  std::unique_ptr<Store> store(new Store(std::move(options)));
+  CSTORE_ASSIGN_OR_RETURN(store->current_,
+                          BuildVersion(1, std::move(data), store->options_));
+  if (store->options_.merge_threshold_rows > 0) {
+    store->merger_ = std::thread([s = store.get()] { s->MergerLoop(); });
+  }
+  return store;
+}
+
+Store::~Store() {
+  if (merger_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(merge_cv_mu_);
+      stop_ = true;
+    }
+    merge_cv_.notify_all();
+    merger_.join();
+  }
+}
+
+Store::Pinned Store::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Pinned p;
+  p.version = current_;
+  p.snap.epoch = epoch_;
+  p.snap.delta_rows = current_->writes->size();
+  p.snap.tombstones = current_->writes->TombstonesAt(epoch_);
+  return p;
+}
+
+Result<WriteOutcome> Store::Insert(std::string_view table,
+                                   std::vector<ssb::LineorderRow> rows) {
+  if (table != "lineorder") {
+    return Status::NotSupported(
+        "only the fact table (lineorder) is writeable; dimensions are "
+        "read-only join sides");
+  }
+  // Validate FKs against the (immutable) dimensions before taking the
+  // lock: a row whose key no dimension row matches would silently vanish
+  // from joins — reject it at the front door instead.
+  {
+    const ssb::SsbData& dims = current_->data;  // dims identical across versions
+    for (const ssb::LineorderRow& r : rows) {
+      if (r.custkey < 1 ||
+          r.custkey > static_cast<int64_t>(dims.customer.size()) ||
+          r.suppkey < 1 ||
+          r.suppkey > static_cast<int64_t>(dims.supplier.size()) ||
+          r.partkey < 1 ||
+          r.partkey > static_cast<int64_t>(dims.part.size())) {
+        return Status::InvalidArgument("insert row has an unknown dimension key");
+      }
+      if (!std::binary_search(dims.date.datekey.begin(),
+                              dims.date.datekey.end(), r.orderdate)) {
+        return Status::InvalidArgument("insert row has an unknown orderdate");
+      }
+    }
+  }
+  WriteOutcome out;
+  out.rows_affected = rows.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.epoch = ++epoch_;
+    for (ssb::LineorderRow& r : rows) {
+      current_->writes->Append(std::move(r), out.epoch);
+    }
+    out.delta_bytes = current_->writes->delta_bytes();
+  }
+  if (options_.merge_threshold_rows > 0) merge_cv_.notify_one();
+  return out;
+}
+
+Result<WriteOutcome> Store::Delete(
+    std::string_view table, const std::vector<core::FactPredicate>& predicate) {
+  if (table != "lineorder") {
+    return Status::NotSupported(
+        "only the fact table (lineorder) is writeable; dimensions are "
+        "read-only join sides");
+  }
+  for (const core::FactPredicate& p : predicate) {
+    if (!IsFactIntColumn(p.column)) {
+      return Status::InvalidArgument("delete predicate on unknown column " +
+                                     p.column);
+    }
+  }
+  WriteOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.epoch = ++epoch_;
+    out.rows_affected =
+        current_->writes->DeleteWhere(current_->data, predicate, out.epoch);
+    out.delta_bytes = current_->writes->delta_bytes();
+  }
+  if (options_.merge_threshold_rows > 0) merge_cv_.notify_one();
+  return out;
+}
+
+Status Store::MergeOnce() {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+
+  std::shared_ptr<StoreVersion> old;
+  uint64_t epoch = 0;
+  uint64_t hwm = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = current_;
+    epoch = epoch_;
+    hwm = old->writes->size();
+    if (hwm == 0 && old->writes->base_delete_log().empty()) {
+      return Status::OK();  // nothing to merge
+    }
+  }
+
+  // Expensive part, no locks held: plan the merged logical table and
+  // rebuild the physical databases through the ordinary staged Build.
+  // Writers keep appending (beyond hwm / epoch) meanwhile.
+  delta::MergePlan plan = delta::BuildMergePlan(old->data, *old->writes,
+                                                epoch, hwm);
+  CSTORE_ASSIGN_OR_RETURN(
+      std::shared_ptr<StoreVersion> next,
+      BuildVersion(old->id + 1, std::move(plan.data), options_));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Migrate writes that committed after the merge snapshot onto the new
+    // base. Tombstones first, in epoch order — TombstonesAt relies on the
+    // delete log being epoch-sorted.
+    std::vector<std::pair<uint32_t, uint64_t>> moved;
+    for (const auto& [pos, e] : old->writes->base_delete_log()) {
+      if (e <= epoch) continue;  // folded into the merge (row dropped)
+      const uint32_t np = plan.base_to_new[pos];
+      CSTORE_CHECK(np != delta::MergePlan::kDropped);
+      moved.emplace_back(np, e);
+    }
+    for (uint64_t i = 0; i < hwm; ++i) {
+      const uint64_t d = old->writes->delta_deleted_at(i);
+      if (d == 0 || d <= epoch) continue;
+      // This insert became a base row of the new version; its later delete
+      // becomes a base tombstone there.
+      const uint32_t np = plan.delta_to_new[i];
+      CSTORE_CHECK(np != delta::MergePlan::kDropped);
+      moved.emplace_back(np, d);
+    }
+    std::sort(moved.begin(), moved.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    for (const auto& [np, e] : moved) next->writes->TombstoneBase(np, e);
+    // Inserts past the high-water mark re-enter the new write store in
+    // commit order, stamps carried verbatim.
+    const uint64_t tail_end = old->writes->size();
+    for (uint64_t i = hwm; i < tail_end; ++i) {
+      const uint64_t j =
+          next->writes->Append(old->writes->row(i), old->writes->inserted_at(i));
+      const uint64_t d = old->writes->delta_deleted_at(i);
+      if (d != 0) next->writes->TombstoneDelta(j, d);
+    }
+    current_ = std::move(next);
+    merge_stats_.merges++;
+    merge_stats_.rows_out += current_->data.lineorder.size();
+    merge_stats_.base_dropped += plan.base_dropped;
+    merge_stats_.inserts_applied += plan.inserts_applied;
+  }
+  return Status::OK();
+}
+
+uint64_t Store::write_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t Store::version_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->id;
+}
+
+uint64_t Store::unmerged_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->writes->size() + current_->writes->base_delete_log().size();
+}
+
+Store::MergeStats Store::merge_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merge_stats_;
+}
+
+void Store::MergerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(merge_cv_mu_);
+      merge_cv_.wait_for(lock, std::chrono::milliseconds(20));
+      if (stop_) return;
+    }
+    if (unmerged_rows() >= options_.merge_threshold_rows) {
+      const Status s = MergeOnce();
+      CSTORE_CHECK(s.ok());
+    }
+  }
+}
+
+}  // namespace cstore::engine

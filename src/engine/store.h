@@ -1,0 +1,167 @@
+// engine::Store: the versioned, writeable database behind store-backed
+// designs — the epoch registry of the WS/RS split.
+//
+// A Store owns a chain of immutable *versions*. Each StoreVersion is a
+// frozen base (the logical SsbData it was built from, plus whichever
+// physical databases the options requested: column store, row store with
+// its §4 designs, denormalized table) and one delta::WriteStore that
+// accumulates everything written since that base was built.
+//
+//   Pin()      — one mutex acquisition returns {version, Snapshot}: the
+//                base file-set version, the delta high-water mark, and the
+//                tombstone epoch. A query holds the shared_ptr for its
+//                whole execution, so a concurrent merge swapping versions
+//                never pulls files out from under it.
+//   Insert /   — bump the write epoch under the store mutex and stamp the
+//   Delete       current version's write store. Readers are never blocked:
+//                the insert log publishes lock-free and pinned snapshots
+//                do epoch arithmetic.
+//   MergeOnce  — the tuple mover. Snapshots (E, H), builds the merged
+//                logical table (delta/merge.h), rebuilds the physical
+//                databases from it through the ordinary staged Build
+//                (bit-identical to a from-scratch load), then under the
+//                mutex migrates writes that committed after (E, H) onto
+//                the new base and swaps it in atomically.
+//
+// Writes are scoped to the fact table: SSB's refresh streams (like
+// TPC-H's) insert into and delete from LINEORDER only, and every physical
+// design treats dimensions as read-only join sides. Dimension writes
+// return NotSupported at the Session API.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/star_query.h"
+#include "delta/write_store.h"
+#include "plan/validate.h"
+#include "ssb/column_db.h"
+#include "ssb/data.h"
+#include "ssb/row_db.h"
+
+namespace cstore::engine {
+
+struct StoreOptions {
+  /// Which physical databases each version materializes (designs backed by
+  /// an absent database cannot be registered).
+  bool build_column = true;
+  bool build_rows = false;
+  bool build_denormalized = false;
+  col::CompressionMode compression = col::CompressionMode::kFull;
+  ssb::RowDbOptions row_options;  ///< used when build_rows
+  size_t pool_pages = 8192;
+  unsigned load_threads = 0;
+  /// When > 0, a background merger thread drains the write store into a
+  /// new version whenever unmerged writes (inserts + tombstones) reach
+  /// this many rows. 0 = merge only on explicit MergeOnce().
+  uint64_t merge_threshold_rows = 0;
+};
+
+/// One frozen base: the logical rows it was built from, the physical
+/// databases over them, and the write store accumulating changes since.
+/// Immutable after construction except for the write store (which is
+/// internally safe for one writer + concurrent pinned readers).
+struct StoreVersion {
+  uint64_t id = 0;
+  ssb::SsbData data;
+  std::unique_ptr<ssb::ColumnDatabase> column_db;
+  std::unique_ptr<ssb::RowDatabase> row_db;
+  std::unique_ptr<ssb::DenormalizedDatabase> denorm_db;
+  /// Cached lowering inputs for the column-store design.
+  core::StarSchema star_schema;
+  plan::Catalog catalog;
+  std::unique_ptr<delta::WriteStore> writes;
+};
+
+/// One write's receipt (engine::Session::Insert / Delete).
+struct WriteOutcome {
+  uint64_t rows_affected = 0;
+  /// Unmerged write-store bytes after this write.
+  uint64_t delta_bytes = 0;
+  /// The write epoch this operation committed at: snapshots pinned at
+  /// epoch >= this see it.
+  uint64_t epoch = 0;
+  /// Wall/admission billing, symmetric with a query's QueryStats.
+  core::QueryStats stats;
+};
+
+class Store {
+ public:
+  /// Builds version 1 from `data`. Fails if any requested physical
+  /// database fails to build.
+  static Result<std::unique_ptr<Store>> Open(ssb::SsbData data,
+                                             StoreOptions options);
+  ~Store();
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(Store);
+
+  /// A pinned read view: the version (kept alive by the shared_ptr) plus
+  /// the visibility snapshot, taken atomically.
+  struct Pinned {
+    std::shared_ptr<const StoreVersion> version;
+    delta::Snapshot snap;
+  };
+  Pinned Pin();
+
+  /// Appends `rows` to the fact table's write store under a fresh epoch.
+  /// Only "lineorder" is writeable.
+  Result<WriteOutcome> Insert(std::string_view table,
+                              std::vector<ssb::LineorderRow> rows);
+
+  /// Tombstones every live fact row matching all of `predicate`
+  /// (conjunctive integer ranges) under a fresh epoch.
+  Result<WriteOutcome> Delete(
+      std::string_view table,
+      const std::vector<core::FactPredicate>& predicate);
+
+  /// Runs one merge cycle: drains writes visible at the current epoch into
+  /// a freshly built version and swaps it in. Writes landing during the
+  /// rebuild migrate onto the new version's write store. Serialized
+  /// against itself; concurrent reads and writes proceed throughout.
+  /// No-op (OK) when there is nothing to merge.
+  Status MergeOnce();
+
+  uint64_t write_epoch() const;
+  uint64_t version_id() const;
+  /// Unmerged rows (inserts + tombstones) in the current write store.
+  uint64_t unmerged_rows() const;
+
+  struct MergeStats {
+    uint64_t merges = 0;
+    uint64_t rows_out = 0;        ///< rows written into merged bases
+    uint64_t base_dropped = 0;    ///< tombstoned base rows retired
+    uint64_t inserts_applied = 0; ///< inserts folded into merged bases
+  };
+  MergeStats merge_stats() const;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  explicit Store(StoreOptions options) : options_(std::move(options)) {}
+
+  static Result<std::shared_ptr<StoreVersion>> BuildVersion(
+      uint64_t id, ssb::SsbData data, const StoreOptions& options);
+
+  void MergerLoop();
+
+  const StoreOptions options_;
+
+  mutable std::mutex mu_;           ///< guards current_, epoch_, stats_
+  std::shared_ptr<StoreVersion> current_;
+  uint64_t epoch_ = 0;
+  MergeStats merge_stats_;
+
+  std::mutex merge_mu_;             ///< serializes MergeOnce
+  std::thread merger_;
+  std::condition_variable merge_cv_;
+  std::mutex merge_cv_mu_;
+  bool stop_ = false;
+};
+
+}  // namespace cstore::engine

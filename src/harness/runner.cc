@@ -32,6 +32,7 @@ CellResult TimeCell(const std::function<core::QueryStats()>& fn,
   cell.pages_scanned = total.pages_scanned / reps;
   cell.values_scanned = total.values_scanned / reps;
   cell.values_gathered = total.values_gathered / reps;
+  cell.values_examined = total.values_examined / reps;
   cell.admission_wait_seconds = total.admission_wait_seconds / repetitions;
   return cell;
 }
@@ -128,6 +129,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       if (args.clients == 0) args.clients = 1;
     } else if (std::strcmp(argv[i], "--admit") == 0 && i + 1 < argc) {
       args.admit = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--writers") == 0 && i + 1 < argc) {
+      args.writers = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
     }
@@ -168,6 +171,7 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
                    "\"pages_skipped\": %llu, \"pages_all_match\": %llu, "
                    "\"pages_scanned\": %llu, \"values_scanned\": %llu, "
                    "\"values_gathered\": %llu, "
+                   "\"values_examined\": %llu, "
                    "\"admission_wait_ms\": %.4f, "
                    "\"result_hash\": \"%016llx\"}",
                    first ? "" : ",\n", id.c_str(), cell.seconds * 1e3,
@@ -177,6 +181,7 @@ void WriteResultsJson(const std::string& path, const std::string& benchmark,
                    static_cast<unsigned long long>(cell.pages_scanned),
                    static_cast<unsigned long long>(cell.values_scanned),
                    static_cast<unsigned long long>(cell.values_gathered),
+                   static_cast<unsigned long long>(cell.values_examined),
                    cell.admission_wait_seconds * 1e3,
                    static_cast<unsigned long long>(cell.result_hash));
       first = false;

@@ -37,6 +37,9 @@ struct CellResult {
   uint64_t values_scanned = 0;
   /// Values materialized by position-list gathers (late materialization).
   uint64_t values_gathered = 0;
+  /// Unified values-examined figure: scans + gathers + aggregation feeds +
+  /// delta-overlay rows, in one number (QueryStats::values_examined).
+  uint64_t values_examined = 0;
   /// Time this cell's runs spent blocked at an engine admission gate.
   double admission_wait_seconds = 0;
 };
@@ -72,7 +75,7 @@ void PrintSpeedups(const std::string& title,
 
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
 /// "--disk <MB/s>", "--threads <n>", "--clients <m>", "--admit <n>",
-/// "--json <path>" flags (very small helper).
+/// "--writers <n>", "--json <path>" flags (very small helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
@@ -83,6 +86,9 @@ struct BenchArgs {
   /// Admission cap for the throughput bench (engine
   /// max_inflight_queries); 0 = unlimited.
   unsigned admit = 0;
+  /// Concurrent writer threads for the throughput bench's mixed
+  /// read/write volley; 0 = read-only (no writeable store built).
+  unsigned writers = 0;
   /// Buffer-pool pages per database. Deliberately smaller than a query's
   /// working set (the paper: "the amount of data read by each query exceeds
   /// the size of the buffer pool"), so warm runs still pay device reads.

@@ -1,0 +1,74 @@
+#include "ssb/data.h"
+
+#include "common/macros.h"
+
+namespace cstore::ssb {
+
+void AppendRow(const LineorderRow& row, LineorderTable* t) {
+  t->orderkey.push_back(row.orderkey);
+  t->linenumber.push_back(row.linenumber);
+  t->custkey.push_back(row.custkey);
+  t->partkey.push_back(row.partkey);
+  t->suppkey.push_back(row.suppkey);
+  t->orderdate.push_back(row.orderdate);
+  t->ordpriority.push_back(row.ordpriority);
+  t->shippriority.push_back(row.shippriority);
+  t->quantity.push_back(row.quantity);
+  t->extendedprice.push_back(row.extendedprice);
+  t->ordtotalprice.push_back(row.ordtotalprice);
+  t->discount.push_back(row.discount);
+  t->revenue.push_back(row.revenue);
+  t->supplycost.push_back(row.supplycost);
+  t->tax.push_back(row.tax);
+  t->commitdate.push_back(row.commitdate);
+  t->shipmode.push_back(row.shipmode);
+}
+
+LineorderRow RowAt(const LineorderTable& t, size_t r) {
+  CSTORE_DCHECK(r < t.size());
+  LineorderRow row;
+  row.orderkey = t.orderkey[r];
+  row.linenumber = t.linenumber[r];
+  row.custkey = t.custkey[r];
+  row.partkey = t.partkey[r];
+  row.suppkey = t.suppkey[r];
+  row.orderdate = t.orderdate[r];
+  row.ordpriority = t.ordpriority[r];
+  row.shippriority = t.shippriority[r];
+  row.quantity = t.quantity[r];
+  row.extendedprice = t.extendedprice[r];
+  row.ordtotalprice = t.ordtotalprice[r];
+  row.discount = t.discount[r];
+  row.revenue = t.revenue[r];
+  row.supplycost = t.supplycost[r];
+  row.tax = t.tax[r];
+  row.commitdate = t.commitdate[r];
+  row.shipmode = t.shipmode[r];
+  return row;
+}
+
+int64_t LineorderIntField(const LineorderRow& row, const std::string& column) {
+  if (column == "orderkey") return row.orderkey;
+  if (column == "linenumber") return row.linenumber;
+  if (column == "custkey") return row.custkey;
+  if (column == "partkey") return row.partkey;
+  if (column == "suppkey") return row.suppkey;
+  if (column == "orderdate") return row.orderdate;
+  if (column == "quantity") return row.quantity;
+  if (column == "extendedprice") return row.extendedprice;
+  if (column == "ordtotalprice") return row.ordtotalprice;
+  if (column == "discount") return row.discount;
+  if (column == "revenue") return row.revenue;
+  if (column == "supplycost") return row.supplycost;
+  if (column == "tax") return row.tax;
+  if (column == "commitdate") return row.commitdate;
+  CSTORE_CHECK(false);
+  return 0;
+}
+
+size_t LineorderRowBytes(const LineorderRow& row) {
+  return sizeof(LineorderRow) + row.ordpriority.size() +
+         row.shippriority.size() + row.shipmode.size();
+}
+
+}  // namespace cstore::ssb

@@ -104,6 +104,44 @@ struct LineorderTable {
   size_t size() const { return orderkey.size(); }
 };
 
+/// One LINEORDER row in row (write-store) form: the shape inserts take on
+/// the write path before the background merge folds them into the sorted
+/// columnar base. Field order matches LineorderTable's column order.
+struct LineorderRow {
+  int64_t orderkey = 0;
+  int64_t linenumber = 0;
+  int64_t custkey = 0;
+  int64_t partkey = 0;
+  int64_t suppkey = 0;
+  int64_t orderdate = 0;  ///< datekey (yyyymmdd)
+  std::string ordpriority;
+  std::string shippriority;
+  int64_t quantity = 0;
+  int64_t extendedprice = 0;
+  int64_t ordtotalprice = 0;
+  int64_t discount = 0;
+  int64_t revenue = 0;
+  int64_t supplycost = 0;
+  int64_t tax = 0;
+  int64_t commitdate = 0;  ///< datekey
+  std::string shipmode;
+};
+
+/// Appends `row` as the last row of `t` (column-at-a-time pushes).
+void AppendRow(const LineorderRow& row, LineorderTable* t);
+
+/// The row form of `t`'s row `r`.
+LineorderRow RowAt(const LineorderTable& t, size_t r);
+
+/// `row`'s integer field by lineorder column name (CHECK-fails on char
+/// columns and unknown names — mirrors the reference executor's
+/// FactIntColumn contract).
+int64_t LineorderIntField(const LineorderRow& row, const std::string& column);
+
+/// Approximate in-memory footprint of `row` (fixed fields + string bytes) —
+/// the unit WriteOutcome::delta_bytes is reported in.
+size_t LineorderRowBytes(const LineorderRow& row);
+
 /// The whole generated benchmark database.
 struct SsbData {
   double scale_factor = 0.0;

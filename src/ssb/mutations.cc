@@ -1,0 +1,156 @@
+#include "ssb/mutations.h"
+
+#include <algorithm>
+
+#include "ssb/reference.h"
+
+namespace cstore::ssb {
+
+namespace {
+
+// The generator's string pools (src/ssb/generator.cc) — synthesized rows
+// must draw from the same vocabulary or dictionary probes would miss.
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECI", "5-LOW"};
+const char* const kShipModes[7] = {"AIR",  "FOB",  "MAIL", "RAIL",
+                                   "REG AIR", "SHIP", "TRUCK"};
+
+bool Matches(const std::vector<core::FactPredicate>& preds,
+             const LineorderRow& row) {
+  for (const core::FactPredicate& p : preds) {
+    const int64_t v = LineorderIntField(row, p.column);
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MutationStream::MutationStream(const SsbData& base, uint64_t seed)
+    : base_(&base), rng_(seed) {
+  int64_t max_orderkey = 0;
+  for (const int64_t k : base.lineorder.orderkey) {
+    max_orderkey = std::max(max_orderkey, k);
+  }
+  next_orderkey_ = max_orderkey + 1;
+}
+
+MutationOp MutationStream::Next(size_t batch_rows) {
+  MutationOp op;
+  op.epoch = 0;
+  const bool is_delete = (ops_generated_++ % 4) == 3;
+  const DateTable& dates = base_->date;
+  const auto num_days = static_cast<int64_t>(dates.size());
+  if (is_delete) {
+    op.kind = MutationOp::Kind::kDelete;
+    // A ~1-week orderdate window: datekeys are sorted, so consecutive
+    // indices bracket a contiguous key range.
+    const int64_t d = rng_.Uniform(0, num_days - 1);
+    const int64_t d_end = std::min(d + 6, num_days - 1);
+    core::FactPredicate date_pred;
+    date_pred.column = "orderdate";
+    date_pred.lo = dates.datekey[d];
+    date_pred.hi = dates.datekey[d_end];
+    core::FactPredicate qty_pred;
+    qty_pred.column = "quantity";
+    qty_pred.lo = rng_.Uniform(1, 45);
+    qty_pred.hi = qty_pred.lo + 4;
+    op.predicate = {date_pred, qty_pred};
+    return op;
+  }
+  op.kind = MutationOp::Kind::kInsert;
+  op.rows.reserve(batch_rows);
+  for (size_t i = 0; i < batch_rows; ++i) {
+    LineorderRow r;
+    // Same draw recipe as GenerateLineorders, continuing past the base.
+    r.orderkey = next_orderkey_ + static_cast<int64_t>(i / 4);
+    r.linenumber = static_cast<int64_t>(i % 4 + 1);
+    r.custkey = rng_.Uniform(1, static_cast<int64_t>(base_->customer.size()));
+    r.partkey = rng_.Uniform(1, static_cast<int64_t>(base_->part.size()));
+    r.suppkey = rng_.Uniform(1, static_cast<int64_t>(base_->supplier.size()));
+    const int64_t date_index = rng_.Uniform(0, num_days - 1);
+    r.orderdate = dates.datekey[date_index];
+    r.ordpriority = kPriorities[rng_.Uniform(0, 4)];
+    r.shippriority = "0";
+    r.quantity = rng_.Uniform(1, 50);
+    const int64_t price = rng_.Uniform(100, 100000);
+    r.extendedprice = price;
+    r.ordtotalprice = price * 4;
+    r.discount = rng_.Uniform(0, 10);
+    r.revenue = price * (100 - r.discount) / 100;
+    r.supplycost = r.revenue * rng_.Uniform(40, 70) / 100;
+    r.tax = rng_.Uniform(0, 8);
+    const int64_t commit_index =
+        std::min<int64_t>(date_index + rng_.Uniform(30, 90), num_days - 1);
+    r.commitdate = dates.datekey[commit_index];
+    r.shipmode = kShipModes[rng_.Uniform(0, 6)];
+    op.rows.push_back(std::move(r));
+  }
+  next_orderkey_ += static_cast<int64_t>((batch_rows + 3) / 4);
+  return op;
+}
+
+SsbData ReplayAt(const SsbData& base, const std::vector<MutationOp>& ops,
+                 uint64_t epoch) {
+  // Applied ops with epoch <= E, in commit (= epoch) order.
+  std::vector<const MutationOp*> applied;
+  for (const MutationOp& op : ops) {
+    if (op.epoch != 0 && op.epoch <= epoch) applied.push_back(&op);
+  }
+  std::sort(applied.begin(), applied.end(),
+            [](const MutationOp* a, const MutationOp* b) {
+              return a->epoch < b->epoch;
+            });
+
+  const size_t base_rows = base.lineorder.size();
+  std::vector<bool> base_deleted(base_rows, false);
+  struct Insert {
+    LineorderRow row;
+    bool deleted = false;
+  };
+  std::vector<Insert> inserts;
+  for (const MutationOp* op : applied) {
+    if (op->kind == MutationOp::Kind::kInsert) {
+      for (const LineorderRow& r : op->rows) inserts.push_back({r, false});
+      continue;
+    }
+    // Delete: tombstone every row live at this epoch that matches.
+    std::vector<const std::vector<int64_t>*> cols;
+    cols.reserve(op->predicate.size());
+    for (const core::FactPredicate& p : op->predicate) {
+      cols.push_back(&FactIntColumn(base, p.column));
+    }
+    for (size_t pos = 0; pos < base_rows; ++pos) {
+      if (base_deleted[pos]) continue;
+      bool ok = true;
+      for (size_t k = 0; k < op->predicate.size(); ++k) {
+        const int64_t v = (*cols[k])[pos];
+        if (v < op->predicate[k].lo || v > op->predicate[k].hi) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) base_deleted[pos] = true;
+    }
+    for (Insert& ins : inserts) {
+      if (!ins.deleted && Matches(op->predicate, ins.row)) ins.deleted = true;
+    }
+  }
+
+  SsbData out;
+  out.scale_factor = base.scale_factor;
+  out.date = base.date;
+  out.customer = base.customer;
+  out.supplier = base.supplier;
+  out.part = base.part;
+  for (size_t pos = 0; pos < base_rows; ++pos) {
+    if (!base_deleted[pos]) AppendRow(RowAt(base.lineorder, pos),
+                                      &out.lineorder);
+  }
+  for (const Insert& ins : inserts) {
+    if (!ins.deleted) AppendRow(ins.row, &out.lineorder);
+  }
+  return out;
+}
+
+}  // namespace cstore::ssb

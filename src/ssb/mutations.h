@@ -1,0 +1,74 @@
+// Deterministic SSB mutation workload: the refresh-stream half of a mixed
+// read/write benchmark, plus the serial-replay oracle that checks it.
+//
+// SSB inherits TPC-H's refresh model — inserts into and deletes from the
+// fact table only; dimensions never change. A MutationStream synthesizes
+// that workload reproducibly: inserted rows carry valid foreign keys and
+// generator-consistent derived columns (revenue = price*(100-discount)/100
+// and so on), deletes are narrow conjunctive ranges (an orderdate window
+// plus a quantity band), and the op sequence is a pure function of the
+// seed. Writers apply ops through engine::Session::Insert/Delete and record
+// the commit epoch each op got.
+//
+// ReplayAt is the independent oracle: given the base data and the applied
+// ops (with their epochs), it rebuilds the logical table a snapshot pinned
+// at epoch E must see — straight-line row-at-a-time code sharing nothing
+// with the write store's epoch arithmetic, the tombstone bitmaps, or the
+// merge. A reader's answer under any interleaving of writers and mergers
+// must equal ssb::ReferenceExecute over ReplayAt(base, ops, E) for its
+// pinned E; tests and the mixed-throughput bench both gate on that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/star_query.h"
+#include "ssb/data.h"
+#include "util/rng.h"
+
+namespace cstore::ssb {
+
+/// One fact-table mutation: a batch insert or a predicate delete.
+struct MutationOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  /// kInsert: the rows to append.
+  std::vector<LineorderRow> rows;
+  /// kDelete: conjunctive integer ranges over lineorder columns.
+  std::vector<core::FactPredicate> predicate;
+  /// The write epoch the op committed at — filled in by the applier from
+  /// WriteOutcome::epoch (0 = not applied yet). ReplayAt keys on this.
+  uint64_t epoch = 0;
+};
+
+/// Deterministic generator of MutationOps against `base`'s fact table.
+/// Every ~4th op is a delete; the rest are inserts of `batch_rows` rows.
+/// Two streams with the same base and seed produce identical op sequences,
+/// so a workload is reproducible from (seed, ops applied).
+class MutationStream {
+ public:
+  MutationStream(const SsbData& base, uint64_t seed);
+
+  /// The next op in the stream. Insert rows draw foreign keys uniformly
+  /// from the base dimensions (always valid — dimensions are immutable) and
+  /// continue the orderkey sequence past the base maximum. Delete
+  /// predicates combine a ~1-week orderdate window with a quantity band:
+  /// narrow enough to tombstone a sliver, wide enough to usually hit.
+  MutationOp Next(size_t batch_rows);
+
+ private:
+  const SsbData* base_;
+  util::Rng rng_;
+  int64_t next_orderkey_;
+  uint64_t ops_generated_ = 0;
+};
+
+/// The logical fact table a snapshot pinned at `epoch` must see: `base`'s
+/// rows plus every applied op with op.epoch <= epoch, applied in epoch
+/// order (inserts append; deletes tombstone the rows that were live and
+/// matching at their epoch). Dimensions are copied through unchanged.
+/// Independent oracle: shares no code with delta::WriteStore.
+SsbData ReplayAt(const SsbData& base, const std::vector<MutationOp>& ops,
+                 uint64_t epoch);
+
+}  // namespace cstore::ssb

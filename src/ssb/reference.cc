@@ -9,19 +9,10 @@
 
 namespace cstore::ssb {
 
-namespace {
-
 using core::AggKind;
 using core::DimPredicate;
 using core::PredOp;
 using core::StarQuery;
-
-/// Column access for dimension tables by (dim, column) name.
-struct DimView {
-  const std::vector<int64_t>* ints = nullptr;
-  const std::vector<std::string>* strs = nullptr;
-  size_t size = 0;
-};
 
 DimView DimColumn(const SsbData& data, const std::string& dim,
                   const std::string& column) {
@@ -124,13 +115,6 @@ bool MatchInt(const DimPredicate& p, int64_t v) {
   return false;
 }
 
-struct DimSide {
-  std::string fk_column;
-  /// key -> index of the dim row (only rows passing the dim predicates).
-  std::unordered_map<int64_t, size_t> pass;
-};
-
-/// Builds the per-dimension pass sets for the query.
 std::vector<DimSide> BuildDimSides(const SsbData& data, const StarQuery& q) {
   struct Spec {
     const char* name;
@@ -171,8 +155,6 @@ std::vector<DimSide> BuildDimSides(const SsbData& data, const StarQuery& q) {
   }
   return sides;
 }
-
-}  // namespace
 
 core::QueryResult ReferenceExecute(const SsbData& data,
                                    const core::StarQuery& q) {

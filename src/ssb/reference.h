@@ -4,11 +4,47 @@
 // (including the cross-design plan fuzzer).
 #pragma once
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "core/star_query.h"
 #include "plan/plan.h"
 #include "ssb/data.h"
 
 namespace cstore::ssb {
+
+/// Column access for dimension tables by (dim, column) name: exactly one of
+/// `ints`/`strs` is set. CHECK-fails on names no SSBM query touches.
+struct DimView {
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<std::string>* strs = nullptr;
+  size_t size = 0;
+};
+DimView DimColumn(const SsbData& data, const std::string& dim,
+                  const std::string& column);
+
+/// An integer lineorder column by name (CHECK-fails on char columns).
+const std::vector<int64_t>& FactIntColumn(const SsbData& data,
+                                          const std::string& column);
+
+/// Whether `v` satisfies the (string / integer) dimension predicate.
+bool MatchStr(const core::DimPredicate& p, const std::string& v);
+bool MatchInt(const core::DimPredicate& p, int64_t v);
+
+/// One dimension's side of a star join: the fact FK column to probe with
+/// and the key -> dim-row map of rows passing the query's dim predicates.
+struct DimSide {
+  std::string fk_column;
+  std::unordered_map<int64_t, size_t> pass;
+};
+
+/// Builds the per-dimension pass sets for `q` (only dimensions the query's
+/// predicates or group-by touch). Shared by the brute-force reference and
+/// the write-store delta overlay, which evaluates the same star semantics
+/// over unmerged row-format inserts.
+std::vector<DimSide> BuildDimSides(const SsbData& data,
+                                   const core::StarQuery& q);
 
 /// Evaluates `query` over `data` by brute force (hash maps + per-row loops).
 core::QueryResult ReferenceExecute(const SsbData& data,

@@ -470,7 +470,14 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
   CSTORE_ASSIGN_OR_RETURN(FactFields ff,
                           ResolveFactFields(ctx, q, layout.schema()));
 
+  // Snapshot overlay: record-ids are lineorder row positions (MVs append in
+  // lineorder order), so one tombstone bitmap serves every row design.
+  const util::BitVector* tombstones =
+      ctx.exec == nullptr ? nullptr : ctx.exec->fact_tombstones;
   auto process = [&](const char* tuple, Sink& sink) {
+    if (tombstones != nullptr && tombstones->Get(layout.GetRecordId(tuple))) {
+      return;
+    }
     bool pass = true;
     for (const auto& [field, pred] : ff.local_preds) {
       if (!pred.Matches(layout.GetIntegral(tuple, field))) {
@@ -584,8 +591,12 @@ Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
 
   // Fetch pass: re-scan, keep rows whose bit is set, finish joins for group
   // attributes, aggregate.
+  const util::BitVector* tombstones =
+      ctx.exec == nullptr ? nullptr : ctx.exec->fact_tombstones;
   auto process = [&](const char* tuple, Sink& sink) {
-    if (!first && !selected.Get(layout.GetRecordId(tuple))) return;
+    const uint64_t rid = layout.GetRecordId(tuple);
+    if (!first && !selected.Get(rid)) return;
+    if (tombstones != nullptr && tombstones->Get(rid)) return;
     bool pass = true;
     for (const auto& [side, field] : ff.probes) {
       const uint32_t* payload = side->map.Find(layout.GetIntegral(tuple, field));
@@ -842,8 +853,15 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
   }
 
   // Final aggregation over the assembled (group codes, measure) rows.
+  // Snapshot overlay: VP positions are lineorder row positions.
+  const util::BitVector* tombstones =
+      ctx.exec == nullptr ? nullptr : ctx.exec->fact_tombstones;
   return SinkOverRows(measure.size(), ctx, q, num_threads,
                       [&](uint64_t i, Sink& sink) {
+                        if (tombstones != nullptr &&
+                            tombstones->Get(result.pos[i])) {
+                          return;
+                        }
                         for (size_t g = 0; g < q.group_by.size(); ++g) {
                           sink.raw()[g] = result.group_cols[g][i];
                         }
@@ -1088,7 +1106,11 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
   const std::vector<int64_t>* b =
       q.agg.kind == AggKind::kSumColumn ? nullptr : &column_of(q.agg.column_b);
 
+  // Snapshot overlay: B+Tree record-ids are lineorder row positions.
+  const util::BitVector* tombstones =
+      ctx.exec == nullptr ? nullptr : ctx.exec->fact_tombstones;
   auto process_row = [&](uint64_t i, Sink& sink) {
+    if (tombstones != nullptr && tombstones->Get(rids[i])) return;
     bool pass = true;
     for (size_t s = 0; s < order.size(); ++s) {
       const uint32_t* payload = order[s]->map.Find((*probe_cols[s])[i]);

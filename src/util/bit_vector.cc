@@ -34,6 +34,15 @@ void BitVector::And(const BitVector& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 
+void BitVector::AndNot(const BitVector& other) {
+  CSTORE_CHECK(num_bits_ == other.num_bits_ && word_offset_ == 0 &&
+               words_.size() == num_words());
+  for (size_t w = other.word_offset_;
+       w < other.word_offset_ + other.words_.size(); ++w) {
+    words_[w] &= ~other.words_[w - other.word_offset_];
+  }
+}
+
 void BitVector::Or(const BitVector& other) {
   CSTORE_CHECK(num_bits_ == other.num_bits_ &&
                word_offset_ == other.word_offset_ &&

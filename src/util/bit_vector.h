@@ -97,6 +97,10 @@ class BitVector {
 
   /// this &= other (sizes and windows must match) — bitmap intersection.
   void And(const BitVector& other);
+  /// this &= ~other (this must be fully backed; `other` may be any vector of
+  /// the same size) — bitmap subtraction, e.g. masking tombstoned rows out
+  /// of a scan's position list.
+  void AndNot(const BitVector& other);
   /// this |= other (sizes and windows must match).
   void Or(const BitVector& other);
   /// Or restricted to the (absolute) words [word_begin, word_end): merges

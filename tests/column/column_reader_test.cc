@@ -87,8 +87,8 @@ TEST(ColumnReaderTest, VisitPagesSkipsAndAcceptsFromStats) {
   ASSERT_GT(column.num_pages(), 10u);
 
   const int64_t lo = 900, hi = 999;
-  ResetScanCounters();
-  ColumnReader reader(&column);
+  ScanTelemetry telemetry;
+  ColumnReader reader(&column, &telemetry);
   uint64_t all_match_rows = 0, visited_rows = 0;
   ASSERT_TRUE(reader
                   .VisitPages(
@@ -107,13 +107,13 @@ TEST(ColumnReaderTest, VisitPagesSkipsAndAcceptsFromStats) {
                         visited_rows += view.num_values();
                       })
                   .ok());
-  const ScanCounters counters = ReadScanCounters();
-  EXPECT_GT(counters.pages_skipped, 0u);
-  EXPECT_GT(counters.pages_all_match, 0u);
-  EXPECT_GT(counters.pages_scanned, 0u);
-  EXPECT_EQ(counters.pages_skipped + counters.pages_all_match +
-                counters.pages_scanned,
-            column.num_pages());
+  const uint64_t skipped = telemetry.pages_skipped.load();
+  const uint64_t all_match = telemetry.pages_all_match.load();
+  const uint64_t page_scans = telemetry.pages_scanned.load();
+  EXPECT_GT(skipped, 0u);
+  EXPECT_GT(all_match, 0u);
+  EXPECT_GT(page_scans, 0u);
+  EXPECT_EQ(skipped + all_match + page_scans, column.num_pages());
   // The accepted + visited rows bracket the true match count.
   const uint64_t expected =
       static_cast<uint64_t>(std::count_if(values.begin(), values.end(),

@@ -60,11 +60,12 @@ TEST_F(ZoneMapScanTest, PartialMatchScanIsBitIdenticalAndSkips) {
   const util::BitVector expected = Reference(pred);
   for (bool block : {true, false}) {
     util::BitVector bits(values_.size());
-    col::ResetScanCounters();
-    const uint64_t matches = ScanInt(column, pred, block, &bits).ValueOrDie();
+    ExecContext ctx;
+    const uint64_t matches =
+        ScanInt(column, pred, block, &bits, &ctx).ValueOrDie();
     EXPECT_EQ(bits, expected);
     EXPECT_EQ(matches, expected.Count());
-    const col::ScanCounters c = col::ReadScanCounters();
+    const QueryStats c = ctx.Stats();
     EXPECT_GT(c.pages_skipped, 0u) << "clustered range scan must skip pages";
     EXPECT_EQ(c.pages_skipped + c.pages_all_match + c.pages_scanned,
               column.num_pages());
@@ -76,10 +77,10 @@ TEST_F(ZoneMapScanTest, NoneMatchScanTouchesNoPages) {
       MakeColumn("c", col::CompressionMode::kNone, /*sorted=*/true, 2000);
   const IntPredicate pred = IntPredicate::Range(1 << 20, 1 << 21);
   util::BitVector bits(values_.size());
-  col::ResetScanCounters();
-  EXPECT_EQ(ScanInt(column, pred, true, &bits).ValueOrDie(), 0u);
+  ExecContext ctx;
+  EXPECT_EQ(ScanInt(column, pred, true, &bits, &ctx).ValueOrDie(), 0u);
   EXPECT_EQ(bits.Count(), 0u);
-  const col::ScanCounters c = col::ReadScanCounters();
+  const QueryStats c = ctx.Stats();
   EXPECT_EQ(c.pages_skipped, column.num_pages());
   EXPECT_EQ(c.pages_scanned, 0u);
 }
@@ -90,10 +91,11 @@ TEST_F(ZoneMapScanTest, AllMatchScanDecodesNoPages) {
   const IntPredicate pred = IntPredicate::Range(INT64_MIN, INT64_MAX);
   const util::BitVector expected = Reference(pred);
   util::BitVector bits(values_.size());
-  col::ResetScanCounters();
-  EXPECT_EQ(ScanInt(column, pred, true, &bits).ValueOrDie(), values_.size());
+  ExecContext ctx;
+  EXPECT_EQ(ScanInt(column, pred, true, &bits, &ctx).ValueOrDie(),
+            values_.size());
   EXPECT_EQ(bits, expected);
-  const col::ScanCounters c = col::ReadScanCounters();
+  const QueryStats c = ctx.Stats();
   EXPECT_EQ(c.pages_all_match, column.num_pages());
   EXPECT_EQ(c.pages_scanned, 0u);
 }
@@ -221,12 +223,10 @@ TEST(ZoneMapSsbTest, FlightQueriesSkipPagesAndMatchReference) {
   // trigger zone-map skipping in both storage modes.
   for (const char* id : {"1.1", "1.2", "1.3"}) {
     for (ssb::ColumnDatabase* d : {db.get(), uncompressed.get()}) {
-      col::ResetScanCounters();
       ExecContext ctx{ExecConfig::AllOn()};
       auto r = ExecuteStarQuery(d->Schema(), ssb::LoweredQueryById(id), &ctx);
       ASSERT_TRUE(r.ok()) << id;
-      const col::ScanCounters c = col::ReadScanCounters();
-      EXPECT_GT(c.pages_skipped, 0u)
+      EXPECT_GT(ctx.Stats().pages_skipped, 0u)
           << "query " << id << " must skip pages via zone maps";
     }
   }

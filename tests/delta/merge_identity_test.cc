@@ -1,0 +1,235 @@
+// The tuple mover's two headline guarantees, pinned down:
+//
+//   1. Bit-identity: after MergeOnce, the new version's column files are
+//      bit-identical — file by file, page by page — to a from-scratch
+//      ColumnDatabase::Build over the same logical rows, where "the same
+//      logical rows" are derived *independently*: serial replay of the
+//      applied ops (ssb::ReplayAt) re-sorted into the canonical
+//      (orderdate, quantity, discount) order. A merged base is a real
+//      base, not an approximation of one.
+//
+//   2. Design agreement: all store-backed designs ("CS", the §4 row
+//      layouts, "MV", "PJ") answer identically — and match the serial
+//      replay oracle — in all three lifecycle states: base-only,
+//      base + unmerged delta, and post-merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "engine/designs.h"
+#include "engine/engine.h"
+#include "engine/store.h"
+#include "ssb/generator.h"
+#include "ssb/mutations.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "storage/file_manager.h"
+
+namespace cstore {
+namespace {
+
+using DeviceImage = std::map<std::string, std::vector<std::string>>;
+
+DeviceImage Snapshot(const storage::FileManager& files) {
+  DeviceImage image;
+  std::vector<char> buf(storage::kPageSize);
+  for (size_t f = 0; f < files.num_files(); ++f) {
+    const auto id = static_cast<storage::FileId>(f);
+    std::vector<std::string> pages;
+    const storage::PageNumber n = files.NumPages(id);
+    for (storage::PageNumber p = 0; p < n; ++p) {
+      EXPECT_TRUE(files.ReadPage(storage::PageId{id, p}, buf.data()).ok());
+      pages.emplace_back(buf.data(), buf.size());
+    }
+    image.emplace(files.FileName(id), std::move(pages));
+  }
+  return image;
+}
+
+void ExpectIdentical(const DeviceImage& expected, const DeviceImage& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [name, pages] : expected) {
+    auto it = actual.find(name);
+    ASSERT_NE(it, actual.end()) << "file " << name << " missing";
+    ASSERT_EQ(pages.size(), it->second.size()) << "page count of " << name;
+    for (size_t p = 0; p < pages.size(); ++p) {
+      ASSERT_TRUE(pages[p] == it->second[p])
+          << "page " << p << " of " << name << " differs";
+    }
+  }
+}
+
+ssb::SsbData TestData() {
+  ssb::GenParams params;
+  params.scale_factor = 0.01;
+  return ssb::Generate(params);
+}
+
+/// The canonical lineorder sort order every base is stored in.
+void CanonicalSort(ssb::LineorderTable* t) {
+  std::vector<size_t> order(t->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (t->orderdate[a] != t->orderdate[b])
+      return t->orderdate[a] < t->orderdate[b];
+    if (t->quantity[a] != t->quantity[b])
+      return t->quantity[a] < t->quantity[b];
+    return t->discount[a] < t->discount[b];
+  });
+  ssb::LineorderTable sorted;
+  for (size_t r : order) ssb::AppendRow(ssb::RowAt(*t, r), &sorted);
+  *t = std::move(sorted);
+}
+
+TEST(MergeIdentityTest, MergedFilesBitIdenticalToFromScratchBuild) {
+  const ssb::SsbData data = TestData();
+
+  engine::StoreOptions options;
+  options.compression = col::CompressionMode::kFull;
+  options.load_threads = 1;
+  auto store = engine::Store::Open(data, options).ValueOrDie();
+
+  std::vector<ssb::MutationOp> ops;
+  {
+    SCOPED_TRACE("applying ops");
+    ops = [&] {
+      ssb::MutationStream stream(data, /*seed=*/7);
+      std::vector<ssb::MutationOp> applied;
+      for (int i = 0; i < 12; ++i) {
+        ssb::MutationOp op = stream.Next(/*batch_rows=*/96);
+        auto out = op.kind == ssb::MutationOp::Kind::kInsert
+                       ? store->Insert("lineorder", op.rows)
+                       : store->Delete("lineorder", op.predicate);
+        CSTORE_CHECK(out.ok());
+        op.epoch = out.ValueOrDie().epoch;
+        applied.push_back(std::move(op));
+      }
+      return applied;
+    }();
+  }
+  const uint64_t merge_epoch = store->write_epoch();
+  ASSERT_GT(store->unmerged_rows(), 0u);
+
+  ASSERT_TRUE(store->MergeOnce().ok());
+  EXPECT_EQ(store->version_id(), 2u);
+  EXPECT_EQ(store->unmerged_rows(), 0u)
+      << "nothing wrote during the merge, so the new write store is empty";
+  EXPECT_EQ(store->merge_stats().merges, 1u);
+  EXPECT_GT(store->merge_stats().base_dropped, 0u);
+  EXPECT_GT(store->merge_stats().inserts_applied, 0u);
+
+  // Independent expectation: serial replay of the ops at the merge epoch,
+  // re-sorted canonically. ReplayAt lists surviving base rows in base order
+  // (already sorted) and then surviving inserts in epoch order, so a stable
+  // sort reproduces the merge's "base wins ties" two-run order exactly.
+  ssb::SsbData expected = ssb::ReplayAt(data, ops, merge_epoch);
+  CanonicalSort(&expected.lineorder);
+
+  engine::Store::Pinned pinned = store->Pin();
+  ASSERT_EQ(pinned.version->data.lineorder.size(), expected.lineorder.size());
+  EXPECT_EQ(pinned.version->data.lineorder.orderkey, expected.lineorder.orderkey);
+  EXPECT_EQ(pinned.version->data.lineorder.revenue, expected.lineorder.revenue);
+  EXPECT_EQ(pinned.version->data.lineorder.shipmode, expected.lineorder.shipmode);
+
+  auto rebuilt = ssb::ColumnDatabase::Build(expected, options.compression,
+                                            options.pool_pages,
+                                            options.load_threads)
+                     .ValueOrDie();
+  ExpectIdentical(Snapshot(rebuilt->files()),
+                  Snapshot(pinned.version->column_db->files()));
+}
+
+TEST(MergeIdentityTest, AllDesignsAgreeInEveryLifecycleState) {
+  const ssb::SsbData data = TestData();
+
+  engine::StoreOptions options;
+  options.compression = col::CompressionMode::kDictOnly;
+  options.build_rows = true;
+  options.row_options.bitmap_indexes = true;
+  options.row_options.vertical_partitions = true;
+  options.row_options.all_indexes = true;
+  options.row_options.materialized_views = true;
+  options.build_denormalized = true;
+  auto store = engine::Store::Open(data, options).ValueOrDie();
+
+  engine::Engine engine;
+  engine.AttachStore(store.get());
+  engine::RegisterStoreDesigns(&engine, store.get());
+  const std::vector<std::string> designs = engine.DesignNames();
+  ASSERT_GE(designs.size(), 7u) << "every design should have registered";
+
+  const std::vector<std::string> ids = {"1.1", "1.3", "2.1", "3.2", "4.1"};
+
+  // Runs every (design, query) cell and checks: all designs agree, and the
+  // common answer equals the serial-replay oracle at the pinned epoch.
+  auto check_state = [&](const std::string& state,
+                         const std::vector<ssb::MutationOp>& ops,
+                         std::map<std::string, uint64_t>* hashes) {
+    for (const std::string& id : ids) {
+      SCOPED_TRACE(state + " query " + id);
+      uint64_t common = 0;
+      uint64_t epoch = 0;
+      bool first = true;
+      for (const std::string& name : designs) {
+        auto session = engine.OpenSession(name);
+        auto outcome = session->Run(ssb::QueryById(id));
+        ASSERT_TRUE(outcome.ok()) << name << ": "
+                                  << outcome.status().ToString();
+        const uint64_t h = outcome.ValueOrDie().result.Hash();
+        if (first) {
+          common = h;
+          epoch = outcome.ValueOrDie().snapshot_epoch;
+          first = false;
+        } else {
+          EXPECT_EQ(h, common) << name << " disagrees";
+        }
+      }
+      const ssb::SsbData replayed = ssb::ReplayAt(data, ops, epoch);
+      EXPECT_EQ(
+          ssb::ReferenceExecute(replayed, ssb::LoweredQueryById(id)).Hash(),
+          common)
+          << "designs agree with each other but not with serial replay";
+      (*hashes)[id] = common;
+    }
+  };
+
+  std::map<std::string, uint64_t> base_only;
+  check_state("base-only", {}, &base_only);
+
+  std::vector<ssb::MutationOp> ops;
+  {
+    auto session = engine.OpenSession("CS");
+    ssb::MutationStream stream(data, /*seed=*/11);
+    for (int i = 0; i < 8; ++i) {
+      ssb::MutationOp op = stream.Next(/*batch_rows=*/128);
+      auto out = op.kind == ssb::MutationOp::Kind::kInsert
+                     ? session->Insert("lineorder", op.rows)
+                     : session->Delete("lineorder", op.predicate);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      op.epoch = out.ValueOrDie().epoch;
+      ops.push_back(std::move(op));
+    }
+  }
+  ASSERT_GT(store->unmerged_rows(), 0u);
+
+  std::map<std::string, uint64_t> with_delta;
+  check_state("base+delta", ops, &with_delta);
+  EXPECT_NE(with_delta, base_only)
+      << "the delta must actually change at least one answer";
+
+  ASSERT_TRUE(store->MergeOnce().ok());
+  EXPECT_EQ(store->version_id(), 2u);
+  EXPECT_EQ(store->unmerged_rows(), 0u);
+
+  std::map<std::string, uint64_t> post_merge;
+  check_state("post-merge", ops, &post_merge);
+  EXPECT_EQ(post_merge, with_delta)
+      << "merging must be invisible to answers at the same epoch";
+}
+
+}  // namespace
+}  // namespace cstore

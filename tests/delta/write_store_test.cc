@@ -1,0 +1,109 @@
+// delta::WriteStore epoch-visibility semantics: inserts and tombstones are
+// pure epoch arithmetic, snapshots are immutable views, and the cached
+// base-tombstone bitmap is shared across pins between deletes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "delta/write_store.h"
+#include "ssb/generator.h"
+
+namespace cstore {
+namespace {
+
+ssb::LineorderRow RowWithQuantity(int64_t q) {
+  ssb::LineorderRow row;
+  row.orderkey = 1;
+  row.linenumber = 1;
+  row.quantity = q;
+  return row;
+}
+
+TEST(WriteStoreTest, InsertVisibilityFollowsEpochAndHighWaterMark) {
+  delta::WriteStore store(/*base_rows=*/10);
+  EXPECT_EQ(store.size(), 0u);
+
+  const uint64_t i0 = store.Append(RowWithQuantity(5), /*epoch=*/1);
+  const uint64_t i1 = store.Append(RowWithQuantity(7), /*epoch=*/2);
+  ASSERT_EQ(i0, 0u);
+  ASSERT_EQ(i1, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.inserted_at(0), 1u);
+  EXPECT_EQ(store.row(1).quantity, 7);
+
+  // A snapshot's high-water mark bounds which inserts are candidates; its
+  // epoch decides whether a tombstone applies.
+  delta::Snapshot early{/*epoch=*/1, /*delta_rows=*/1, nullptr};
+  delta::Snapshot late{/*epoch=*/2, /*delta_rows=*/2, nullptr};
+  EXPECT_TRUE(store.VisibleTo(0, early));
+  EXPECT_TRUE(store.VisibleTo(0, late));
+  EXPECT_TRUE(store.VisibleTo(1, late));
+
+  store.TombstoneDelta(0, /*epoch=*/3);
+  delta::Snapshot after{/*epoch=*/3, /*delta_rows=*/2, nullptr};
+  EXPECT_TRUE(store.VisibleTo(0, late))
+      << "a delete at epoch 3 must stay invisible to a snapshot pinned at 2";
+  EXPECT_FALSE(store.VisibleTo(0, after));
+  EXPECT_TRUE(store.VisibleTo(1, after));
+}
+
+TEST(WriteStoreTest, BaseTombstoneBitmapIsSnapshotStableAndCached) {
+  delta::WriteStore store(/*base_rows=*/8);
+  EXPECT_EQ(store.TombstonesAt(5), nullptr) << "no deletes yet";
+
+  store.TombstoneBase(3, /*epoch=*/2);
+  store.TombstoneBase(6, /*epoch=*/4);
+  EXPECT_EQ(store.base_deleted_at(3), 2u);
+  EXPECT_EQ(store.base_deleted_at(0), 0u);
+
+  // Pinned before the first delete: nothing is tombstoned.
+  EXPECT_EQ(store.TombstonesAt(1), nullptr);
+  // Pinned between the two deletes: only row 3.
+  auto mid = store.TombstonesAt(3);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_TRUE(mid->Get(3));
+  EXPECT_FALSE(mid->Get(6));
+  // Pinned after both — and consecutive pins at the same delete count share
+  // one immutable bitmap.
+  auto all = store.TombstonesAt(4);
+  ASSERT_NE(all, nullptr);
+  EXPECT_TRUE(all->Get(3));
+  EXPECT_TRUE(all->Get(6));
+  EXPECT_EQ(all.get(), store.TombstonesAt(9).get());
+
+  ASSERT_EQ(store.base_delete_log().size(), 2u);
+  EXPECT_EQ(store.base_delete_log()[0], (std::pair<uint32_t, uint64_t>{3, 2}));
+  EXPECT_EQ(store.base_delete_log()[1], (std::pair<uint32_t, uint64_t>{6, 4}));
+}
+
+TEST(WriteStoreTest, DeleteWhereTombstonesBaseAndDeltaButNeverTwice) {
+  ssb::GenParams params;
+  params.scale_factor = 0.001;
+  const ssb::SsbData data = ssb::Generate(params);
+  delta::WriteStore store(data.lineorder.size());
+
+  // One unmerged insert that matches the predicate, one that does not.
+  ssb::LineorderRow hit = ssb::RowAt(data.lineorder, 0);
+  hit.quantity = 50;
+  ssb::LineorderRow miss = ssb::RowAt(data.lineorder, 0);
+  miss.quantity = 1;
+  store.Append(hit, /*epoch=*/1);
+  store.Append(miss, /*epoch=*/1);
+
+  std::vector<core::FactPredicate> preds = {{"quantity", 45, 50}};
+  uint64_t expected_base = 0;
+  for (size_t r = 0; r < data.lineorder.size(); ++r) {
+    if (data.lineorder.quantity[r] >= 45) ++expected_base;
+  }
+  const uint64_t affected = store.DeleteWhere(data, preds, /*epoch=*/2);
+  EXPECT_EQ(affected, expected_base + 1) << "base hits plus the delta hit";
+  EXPECT_EQ(store.delta_deleted_at(0), 2u);
+  EXPECT_EQ(store.delta_deleted_at(1), 0u);
+
+  // Re-deleting the same range affects nothing: tombstoned rows are dead.
+  EXPECT_EQ(store.DeleteWhere(data, preds, /*epoch=*/3), 0u);
+}
+
+}  // namespace
+}  // namespace cstore
