@@ -52,11 +52,11 @@ void WriteStore::TombstoneDelta(uint64_t i, uint64_t epoch) {
   delta_deleted_.Stamp(i, epoch);
 }
 
-uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
+uint64_t WriteStore::FindMatches(const ssb::SsbData& base,
                                  const std::vector<core::FactPredicate>& preds,
-                                 uint64_t epoch) {
+                                 std::vector<uint32_t>* base_hits,
+                                 std::vector<uint64_t>* delta_hits) const {
   CSTORE_CHECK(base.lineorder.size() == base_rows_);
-  uint64_t affected = 0;
   // Base side: column-at-a-time over the in-memory logical rows.
   std::vector<const std::vector<int64_t>*> cols;
   cols.reserve(preds.size());
@@ -64,7 +64,7 @@ uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
     cols.push_back(&ssb::FactIntColumn(base, p.column));
   }
   for (uint64_t pos = 0; pos < base_rows_; ++pos) {
-    if (base_deleted_[pos].load(std::memory_order_relaxed) != 0) continue;
+    if (base_deleted_[pos].load(std::memory_order_acquire) != 0) continue;
     bool ok = true;
     for (size_t k = 0; k < preds.size(); ++k) {
       const int64_t v = (*cols[k])[pos];
@@ -73,13 +73,44 @@ uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
         break;
       }
     }
-    if (!ok) continue;
+    if (ok) base_hits->push_back(static_cast<uint32_t>(pos));
+  }
+  // Unmerged inserts published so far.
+  const uint64_t hwm = rows_.size();
+  for (uint64_t i = 0; i < hwm; ++i) {
+    if (delta_deleted_.at(i) != 0) continue;
+    const ssb::LineorderRow& r = rows_[i].row;
+    if (MatchesAll(preds, [&](const std::string& c) {
+          return ssb::LineorderIntField(r, c);
+        })) {
+      delta_hits->push_back(i);
+    }
+  }
+  return hwm;
+}
+
+uint64_t WriteStore::ApplyDelete(const std::vector<uint32_t>& base_hits,
+                                 const std::vector<uint64_t>& delta_hits,
+                                 uint64_t scanned,
+                                 const std::vector<core::FactPredicate>& preds,
+                                 uint64_t epoch) {
+  uint64_t affected = 0;
+  // Re-check liveness: another delete may have committed between the
+  // unlocked FindMatches and this (writer-serialized) call.
+  for (const uint32_t pos : base_hits) {
+    if (base_deleted_[pos].load(std::memory_order_relaxed) != 0) continue;
     TombstoneBase(pos, epoch);
     ++affected;
   }
-  // Unmerged inserts.
+  for (const uint64_t i : delta_hits) {
+    if (delta_deleted_.at(i) != 0) continue;
+    TombstoneDelta(i, epoch);
+    ++affected;
+  }
+  // Inserts published after the scan committed at earlier epochs than this
+  // delete, so they are in scope — sweep the (short) tail.
   const uint64_t n = rows_.size();
-  for (uint64_t i = 0; i < n; ++i) {
+  for (uint64_t i = scanned; i < n; ++i) {
     if (delta_deleted_.at(i) != 0) continue;
     const ssb::LineorderRow& r = rows_[i].row;
     if (!MatchesAll(preds, [&](const std::string& c) {
@@ -91,6 +122,15 @@ uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
     ++affected;
   }
   return affected;
+}
+
+uint64_t WriteStore::DeleteWhere(const ssb::SsbData& base,
+                                 const std::vector<core::FactPredicate>& preds,
+                                 uint64_t epoch) {
+  std::vector<uint32_t> base_hits;
+  std::vector<uint64_t> delta_hits;
+  const uint64_t scanned = FindMatches(base, preds, &base_hits, &delta_hits);
+  return ApplyDelete(base_hits, delta_hits, scanned, preds, epoch);
 }
 
 std::shared_ptr<const util::BitVector> WriteStore::TombstonesAt(

@@ -79,7 +79,22 @@ class WriteStore {
   /// satisfies all of `preds` (conjunctive integer ranges over lineorder
   /// columns), stamping delete epoch `epoch`. `base` must be the logical
   /// rows the store's base was built from. Returns rows affected.
+  /// Convenience composition of FindMatches + ApplyDelete for callers that
+  /// hold the write lock for the whole operation (tests, single-threaded
+  /// paths); the engine splits the two so the O(base_rows) scan runs
+  /// outside the lock.
   uint64_t DeleteWhere(const ssb::SsbData& base,
+                       const std::vector<core::FactPredicate>& preds,
+                       uint64_t epoch);
+
+  /// Stamps delete epoch `epoch` on the precomputed candidates, skipping
+  /// rows another delete tombstoned since they were collected, then sweeps
+  /// inserts published at indices >= `scanned` (they committed at earlier
+  /// epochs than this delete, so they are in scope). O(hits + new inserts).
+  /// Writer side: serialized by the owner's mutex. Returns rows affected.
+  uint64_t ApplyDelete(const std::vector<uint32_t>& base_hits,
+                       const std::vector<uint64_t>& delta_hits,
+                       uint64_t scanned,
                        const std::vector<core::FactPredicate>& preds,
                        uint64_t epoch);
 
@@ -95,6 +110,17 @@ class WriteStore {
   }
 
   // --- Reader side: safe concurrent with the writer. ---
+
+  /// Collects every currently-live row matching all of `preds`: base
+  /// positions into `base_hits`, insert-log indices into `delta_hits`.
+  /// Returns the insert-log high-water mark the scan covered. Reader-safe —
+  /// the engine runs this O(base_rows) evaluation against a pinned version
+  /// without holding the write lock, then stamps via ApplyDelete under it
+  /// (which re-checks liveness and sweeps inserts past the returned mark).
+  uint64_t FindMatches(const ssb::SsbData& base,
+                       const std::vector<core::FactPredicate>& preds,
+                       std::vector<uint32_t>* base_hits,
+                       std::vector<uint64_t>* delta_hits) const;
 
   /// Insert-log row `i` (immutable once published).
   const ssb::LineorderRow& row(uint64_t i) const { return rows_[i].row; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "delta/merge.h"
@@ -95,9 +96,16 @@ Result<WriteOutcome> Store::Insert(std::string_view table,
   }
   // Validate FKs against the (immutable) dimensions before taking the
   // lock: a row whose key no dimension row matches would silently vanish
-  // from joins — reject it at the front door instead.
+  // from joins — reject it at the front door instead. Pin the version
+  // first: a concurrent merge swap would otherwise release it (and the
+  // dims we are reading) mid-validation.
   {
-    const ssb::SsbData& dims = current_->data;  // dims identical across versions
+    std::shared_ptr<const StoreVersion> v;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      v = current_;
+    }
+    const ssb::SsbData& dims = v->data;  // dims identical across versions
     for (const ssb::LineorderRow& r : rows) {
       if (r.custkey < 1 ||
           r.custkey > static_cast<int64_t>(dims.customer.size()) ||
@@ -141,12 +149,28 @@ Result<WriteOutcome> Store::Delete(
     }
   }
   WriteOutcome out;
-  {
+  // The O(base_rows) predicate scan runs against a pinned version without
+  // holding mu_, so concurrent readers' Pin() never waits on it; the
+  // critical section is only the O(matches) tombstone stamping (which
+  // re-checks liveness against deletes that raced ahead of us).
+  for (;;) {
+    std::shared_ptr<StoreVersion> v;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      v = current_;
+    }
+    std::vector<uint32_t> base_hits;
+    std::vector<uint64_t> delta_hits;
+    const uint64_t scanned =
+        v->writes->FindMatches(v->data, predicate, &base_hits, &delta_hits);
     std::lock_guard<std::mutex> lock(mu_);
+    if (current_ != v) continue;  // a merge swapped bases mid-scan: the
+                                  // positions are stale, re-evaluate
     out.epoch = ++epoch_;
-    out.rows_affected =
-        current_->writes->DeleteWhere(current_->data, predicate, out.epoch);
+    out.rows_affected = current_->writes->ApplyDelete(
+        base_hits, delta_hits, scanned, predicate, out.epoch);
     out.delta_bytes = current_->writes->delta_bytes();
+    break;
   }
   if (options_.merge_threshold_rows > 0) merge_cv_.notify_one();
   return out;
@@ -240,16 +264,29 @@ Store::MergeStats Store::merge_stats() const {
 }
 
 void Store::MergerLoop() {
+  std::chrono::milliseconds wait(20);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(merge_cv_mu_);
-      merge_cv_.wait_for(lock, std::chrono::milliseconds(20));
+      merge_cv_.wait_for(lock, wait);
       if (stop_) return;
     }
-    if (unmerged_rows() >= options_.merge_threshold_rows) {
-      const Status s = MergeOnce();
-      CSTORE_CHECK(s.ok());
+    if (unmerged_rows() < options_.merge_threshold_rows) continue;
+    const Status s = MergeOnce();
+    if (s.ok()) {
+      wait = std::chrono::milliseconds(20);
+      continue;
     }
+    // A failed merge leaves the current version and its write store
+    // untouched: writes keep accumulating and a later cycle retries, so
+    // back off instead of crashing the process from a background thread.
+    std::fprintf(stderr, "cstore: background merge failed (will retry): %s\n",
+                 s.ToString().c_str());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      merge_stats_.failed_merges++;
+    }
+    wait = std::min(wait * 2, std::chrono::milliseconds(2000));
   }
 }
 

@@ -14,8 +14,10 @@
 //                never pulls files out from under it.
 //   Insert /   — bump the write epoch under the store mutex and stamp the
 //   Delete       current version's write store. Readers are never blocked:
-//                the insert log publishes lock-free and pinned snapshots
-//                do epoch arithmetic.
+//                the insert log publishes lock-free, pinned snapshots do
+//                epoch arithmetic, and Delete's O(base_rows) predicate scan
+//                runs against a pinned version outside the mutex — only the
+//                O(matches) tombstone stamping holds it.
 //   MergeOnce  — the tuple mover. Snapshots (E, H), builds the merged
 //                logical table (delta/merge.h), rebuilds the physical
 //                databases from it through the ordinary staged Build
@@ -137,6 +139,7 @@ class Store {
     uint64_t rows_out = 0;        ///< rows written into merged bases
     uint64_t base_dropped = 0;    ///< tombstoned base rows retired
     uint64_t inserts_applied = 0; ///< inserts folded into merged bases
+    uint64_t failed_merges = 0;   ///< background merge cycles that errored
   };
   MergeStats merge_stats() const;
 
