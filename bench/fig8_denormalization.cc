@@ -60,12 +60,9 @@ int main(int argc, char** argv) {
   engine_options.default_config = serial;
   engine::Engine engine(engine_options);
   engine.Register("Base", engine::MakeColumnStoreDesign(base->Schema()));
-  engine.Register("PJ, No C",
-                  engine::MakeDenormalizedDesign(&pj_none->table()));
-  engine.Register("PJ, Int C",
-                  engine::MakeDenormalizedDesign(&pj_int->table()));
-  engine.Register("PJ, Max C",
-                  engine::MakeDenormalizedDesign(&pj_max->table()));
+  engine.Register("PJ, No C", engine::MakeDenormalizedDesign(pj_none.get()));
+  engine.Register("PJ, Int C", engine::MakeDenormalizedDesign(pj_int.get()));
+  engine.Register("PJ, Max C", engine::MakeDenormalizedDesign(pj_max.get()));
 
   const char* names[] = {"Base", "PJ, No C", "PJ, Int C", "PJ, Max C"};
   std::vector<harness::SeriesResult> series(4);

@@ -1,5 +1,8 @@
 #include "core/aggregate.h"
 
+#include <algorithm>
+#include <climits>
+
 #include "util/thread_pool.h"
 
 namespace cstore::core {
@@ -111,6 +114,104 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
   return agg;
 }
 
+GroupAggregator AggregateSlotRows(
+    const GroupKeyCodec& codec,
+    const std::vector<std::vector<int64_t>>& codes, const SlotInputs& values,
+    const std::vector<SlotKind>& slots, uint64_t num_rows,
+    unsigned num_threads, ExecContext* ctx) {
+  CSTORE_CHECK(values.size() == slots.size());
+  const size_t num_attrs = codes.size();
+  auto fill_row = [&](uint64_t r, int64_t* raw, int64_t* vals) {
+    for (size_t g = 0; g < num_attrs; ++g) raw[g] = codes[g][r];
+    for (size_t s = 0; s < values.size(); ++s) {
+      vals[s] = values[s] == nullptr ? 1 : (*values[s])[r];
+    }
+  };
+  if (num_threads <= 1) {
+    GroupAggregator agg(codec, slots);
+    std::vector<int64_t> raw(num_attrs);
+    std::vector<int64_t> vals(slots.size());
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      fill_row(r, raw.data(), vals.data());
+      agg.AddRow(codec.Pack(raw.data()), vals.data());
+    }
+    ChargeAggregation(ctx, num_rows, agg.num_groups());
+    return agg;
+  }
+  std::vector<std::unique_ptr<GroupAggregator>> partials(num_threads);
+  util::ParallelFor(num_rows, util::kRowMorsel, num_threads,
+                    [&](unsigned worker, uint64_t begin, uint64_t end) {
+                      if (partials[worker] == nullptr) {
+                        partials[worker] =
+                            std::make_unique<GroupAggregator>(codec, slots);
+                      }
+                      GroupAggregator& agg = *partials[worker];
+                      std::vector<int64_t> raw(num_attrs);
+                      std::vector<int64_t> vals(slots.size());
+                      for (uint64_t r = begin; r < end; ++r) {
+                        fill_row(r, raw.data(), vals.data());
+                        agg.AddRow(codec.Pack(raw.data()), vals.data());
+                      }
+                    });
+  GroupAggregator agg(codec, slots);
+  for (const auto& partial : partials) {
+    if (partial != nullptr) agg.MergeFrom(*partial);
+  }
+  ChargeAggregation(ctx, num_rows, agg.num_groups());
+  return agg;
+}
+
+std::vector<int64_t> ReduceSlots(const std::vector<SlotKind>& slots,
+                                 const SlotInputs& values, uint64_t num_rows,
+                                 unsigned num_threads) {
+  CSTORE_CHECK(values.size() == slots.size());
+  std::vector<int64_t> out(slots.size(), 0);
+  if (num_rows == 0) return out;  // pinned: empty input → all zeros
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const std::vector<int64_t>* v = values[s];
+    switch (slots[s]) {
+      case SlotKind::kSum:
+        out[s] = v == nullptr ? static_cast<int64_t>(num_rows)
+                              : ParallelSumInt64(*v, num_threads);
+        break;
+      case SlotKind::kMin:
+      case SlotKind::kMax: {
+        CSTORE_CHECK(v != nullptr && v->size() == num_rows);
+        const bool is_min = slots[s] == SlotKind::kMin;
+        // Neutral sentinels: a worker that never ran leaves its partial at
+        // the identity, which min/max folds away.
+        const int64_t neutral = is_min ? INT64_MAX : INT64_MIN;
+        if (num_threads <= 1 || v->size() < util::kRowMorsel) {
+          int64_t acc = neutral;
+          for (int64_t x : *v) {
+            acc = is_min ? std::min(acc, x) : std::max(acc, x);
+          }
+          out[s] = acc;
+          break;
+        }
+        std::vector<int64_t> partial(num_threads, neutral);
+        util::ParallelFor(v->size(), util::kRowMorsel, num_threads,
+                          [&](unsigned worker, uint64_t begin, uint64_t end) {
+                            int64_t acc = partial[worker];
+                            for (uint64_t i = begin; i < end; ++i) {
+                              const int64_t x = (*v)[i];
+                              acc = is_min ? std::min(acc, x)
+                                           : std::max(acc, x);
+                            }
+                            partial[worker] = acc;
+                          });
+        int64_t acc = neutral;
+        for (int64_t p : partial) {
+          acc = is_min ? std::min(acc, p) : std::max(acc, p);
+        }
+        out[s] = acc;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 int64_t ParallelSumInt64(const std::vector<int64_t>& values,
                          unsigned num_threads) {
   if (num_threads <= 1 || values.size() < util::kRowMorsel) {
@@ -132,7 +233,7 @@ int64_t ParallelSumInt64(const std::vector<int64_t>& values,
 
 void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
                      AggKind kind, unsigned num_threads) {
-  if (kind == AggKind::kSumColumn) return;
+  if (kind != AggKind::kSumProduct && kind != AggKind::kSumDiff) return;
   CSTORE_CHECK(a->size() == b.size());
   int64_t* va = a->data();
   const int64_t* vb = b.data();
@@ -148,51 +249,108 @@ void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
 }
 
 GroupAggregator::GroupAggregator(GroupKeyCodec codec)
-    : codec_(std::move(codec)), map_(256) {
+    : GroupAggregator(std::move(codec), {SlotKind::kSum}) {}
+
+GroupAggregator::GroupAggregator(GroupKeyCodec codec,
+                                 std::vector<SlotKind> slots)
+    : codec_(std::move(codec)), slots_(std::move(slots)), map_(256) {
+  CSTORE_CHECK(!slots_.empty());
+  extra_.resize(slots_.size() - 1);
   if (codec_.total_bits() <= kDenseArrayBits) {
-    const size_t slots = size_t{1} << codec_.total_bits();
-    dense_sums_.assign(slots, 0);
-    dense_touched_.assign(slots, 0);
+    const size_t n = size_t{1} << codec_.total_bits();
+    dense_sums_.assign(n, 0);
+    dense_touched_.assign(n, 0);
+    dense_extra_.assign(slots_.size() - 1, std::vector<int64_t>(n, 0));
   }
+}
+
+void GroupAggregator::AddRow(uint64_t packed_key, const int64_t* values) {
+  if (dense()) {
+    if (!dense_touched_[packed_key]) {
+      dense_touched_[packed_key] = 1;
+      ++dense_groups_;
+      dense_sums_[packed_key] = values[0];
+      for (size_t s = 1; s < slots_.size(); ++s) {
+        dense_extra_[s - 1][packed_key] = values[s];
+      }
+      return;
+    }
+    CombineSlotValue(slots_[0], &dense_sums_[packed_key], values[0]);
+    for (size_t s = 1; s < slots_.size(); ++s) {
+      CombineSlotValue(slots_[s], &dense_extra_[s - 1][packed_key],
+                       values[s]);
+    }
+    return;
+  }
+  uint32_t* slot = map_.FindOrInsert(static_cast<int64_t>(packed_key),
+                                     static_cast<uint32_t>(keys_.size()));
+  if (*slot == keys_.size()) {
+    keys_.push_back(packed_key);
+    sums_.push_back(values[0]);
+    for (size_t s = 1; s < slots_.size(); ++s) {
+      extra_[s - 1].push_back(values[s]);
+    }
+    return;
+  }
+  CombineSlotValue(slots_[0], &sums_[*slot], values[0]);
+  for (size_t s = 1; s < slots_.size(); ++s) {
+    CombineSlotValue(slots_[s], &extra_[s - 1][*slot], values[s]);
+  }
+}
+
+int64_t GroupAggregator::SlotValueAt(size_t group_index, size_t slot) const {
+  if (dense()) {
+    return slot == 0 ? dense_sums_[group_index]
+                     : dense_extra_[slot - 1][group_index];
+  }
+  return slot == 0 ? sums_[group_index] : extra_[slot - 1][group_index];
 }
 
 void GroupAggregator::MergeFrom(const GroupAggregator& other) {
   CSTORE_CHECK(dense() == other.dense());
+  CSTORE_CHECK(slots_.size() == other.slots_.size());
+  std::vector<int64_t> values(slots_.size());
   if (dense()) {
-    for (size_t k = 0; k < other.dense_sums_.size(); ++k) {
+    for (size_t k = 0; k < other.dense_touched_.size(); ++k) {
       if (!other.dense_touched_[k]) continue;
-      if (!dense_touched_[k]) {
-        dense_touched_[k] = 1;
-        ++dense_groups_;
+      for (size_t s = 0; s < slots_.size(); ++s) {
+        values[s] = other.SlotValueAt(k, s);
       }
-      dense_sums_[k] += other.dense_sums_[k];
+      AddRow(static_cast<uint64_t>(k), values.data());
     }
     return;
   }
   for (size_t i = 0; i < other.keys_.size(); ++i) {
-    Add(other.keys_[i], other.sums_[i]);
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      values[s] = other.SlotValueAt(i, s);
+    }
+    AddRow(other.keys_[i], values.data());
   }
 }
 
 QueryResult GroupAggregator::Finish() const {
   QueryResult result;
+  auto emit = [&](uint64_t key, size_t index) {
+    ResultRow row;
+    row.group_values = codec_.Unpack(key);
+    row.sum = SlotValueAt(index, 0);
+    row.extras.reserve(slots_.size() - 1);
+    for (size_t s = 1; s < slots_.size(); ++s) {
+      row.extras.push_back(SlotValueAt(index, s));
+    }
+    result.rows.push_back(std::move(row));
+  };
   if (dense()) {
     result.rows.reserve(dense_groups_);
-    for (size_t k = 0; k < dense_sums_.size(); ++k) {
+    for (size_t k = 0; k < dense_touched_.size(); ++k) {
       if (!dense_touched_[k]) continue;
-      ResultRow row;
-      row.group_values = codec_.Unpack(static_cast<uint64_t>(k));
-      row.sum = dense_sums_[k];
-      result.rows.push_back(std::move(row));
+      emit(static_cast<uint64_t>(k), k);
     }
     return result;
   }
   result.rows.reserve(keys_.size());
   for (size_t i = 0; i < keys_.size(); ++i) {
-    ResultRow row;
-    row.group_values = codec_.Unpack(keys_[i]);
-    row.sum = sums_[i];
-    result.rows.push_back(std::move(row));
+    emit(keys_[i], i);
   }
   return result;
 }

@@ -68,9 +68,11 @@ class GroupKeyCodec {
   uint32_t used_bits_ = 0;
 };
 
-/// SUM accumulator keyed by packed group keys. Two physical modes, chosen
-/// from the codec width alone (so every thread-local partial of one query
-/// picks the same mode):
+/// Grouped accumulator keyed by packed group keys, holding one or more
+/// aggregate *slots* per group (SlotKind: sum / min / max — counts are sum
+/// slots over the constant 1, averages a downstream output ratio). Two
+/// physical modes, chosen from the codec width alone (so every
+/// thread-local partial of one query picks the same mode):
 ///   - array: key domain fits 2^kDenseArrayBits slots → accumulate into a
 ///     flat array indexed by the packed key, no hashing or probing.
 ///   - hash: wider domains probe an open-addressing map on the packed key.
@@ -81,11 +83,19 @@ class GroupAggregator {
   /// for every SSBM group-by over dictionary-compressed attributes.
   static constexpr uint32_t kDenseArrayBits = 16;
 
+  /// The classic single-SUM aggregator (slot layout {kSum}).
   explicit GroupAggregator(GroupKeyCodec codec);
 
-  bool dense() const { return !dense_sums_.empty(); }
+  /// Multi-slot aggregator: one accumulator per entry of `slots` for every
+  /// group. Slot 0 lands in ResultRow::sum, slots 1.. in ::extras.
+  GroupAggregator(GroupKeyCodec codec, std::vector<SlotKind> slots);
 
+  bool dense() const { return !dense_touched_.empty(); }
+  size_t num_slots() const { return slots_.size(); }
+
+  /// Single-slot hot path (valid only for the {kSum} layout).
   void Add(uint64_t packed_key, int64_t value) {
+    CSTORE_DCHECK(slots_.size() == 1 && slots_[0] == SlotKind::kSum);
     if (dense()) {
       if (!dense_touched_[packed_key]) {
         dense_touched_[packed_key] = 1;
@@ -104,32 +114,45 @@ class GroupAggregator {
     sums_[*slot] += value;
   }
 
+  /// Folds one row's per-slot values (`values[s]` for slot s) into the
+  /// group: a group's first row initializes every slot to its value (0 + v
+  /// for sums), later rows combine under each slot's rule.
+  void AddRow(uint64_t packed_key, const int64_t* values);
+
   size_t num_groups() const {
-    return dense() ? dense_groups_ : sums_.size();
+    return dense() ? dense_groups_ : keys_.size();
   }
 
   /// Folds another aggregator's groups into this one (thread-local partial
   /// states of a parallel aggregation, merged on one thread at the end).
-  /// SUM is commutative, and downstream consumers sort rows by group values,
-  /// so merge order never shows in query output. Both aggregators come from
-  /// the same codec, hence the same mode.
+  /// Every slot combine is commutative and associative, and downstream
+  /// consumers sort rows by group values, so merge order never shows in
+  /// query output. Both aggregators come from the same codec, hence the
+  /// same mode.
   void MergeFrom(const GroupAggregator& other);
 
   /// Unpacks every group into result rows (unsorted: insertion order in
   /// hash mode, key order in array mode — callers canonicalize via
-  /// QueryResult::Sort).
+  /// QueryResult::Sort). Slot 0 fills ResultRow::sum, the rest ::extras.
   QueryResult Finish() const;
 
  private:
-  GroupKeyCodec codec_;
+  int64_t SlotValueAt(size_t group_index, size_t slot) const;
 
-  // Hash mode.
+  GroupKeyCodec codec_;
+  std::vector<SlotKind> slots_;
+
+  // Hash mode. `sums_` holds slot 0 (the hot single-aggregate path);
+  // `extra_[s-1]` holds slot s, parallel to `keys_`.
   util::IntMap map_;
   std::vector<uint64_t> keys_;
   std::vector<int64_t> sums_;
+  std::vector<std::vector<int64_t>> extra_;
 
-  // Array mode (non-empty vectors mean the mode is active).
+  // Array mode (non-empty `dense_touched_` means the mode is active).
+  // `dense_sums_` is slot 0, `dense_extra_[s-1]` slot s.
   std::vector<int64_t> dense_sums_;
+  std::vector<std::vector<int64_t>> dense_extra_;
   std::vector<uint8_t> dense_touched_;
   size_t dense_groups_ = 0;
 };
@@ -155,6 +178,29 @@ GroupAggregator AggregateRows(const GroupKeyCodec& codec,
                               const std::vector<int64_t>& measure,
                               unsigned num_threads, ExecContext* ctx = nullptr);
 
+/// A query's gathered measure inputs, one entry per aggregate slot:
+/// `values[s]` points at the slot's per-row measure vector, or is nullptr
+/// for count slots (every row contributes the constant 1).
+using SlotInputs = std::vector<const std::vector<int64_t>*>;
+
+/// Multi-slot companion to AggregateRows: same morsel split, same
+/// worker-order merge, one accumulator per slot. `num_rows` is the row
+/// count (slot vectors, when present, must have exactly that size).
+GroupAggregator AggregateSlotRows(
+    const GroupKeyCodec& codec,
+    const std::vector<std::vector<int64_t>>& codes, const SlotInputs& values,
+    const std::vector<SlotKind>& slots, uint64_t num_rows,
+    unsigned num_threads, ExecContext* ctx = nullptr);
+
+/// Ungrouped per-slot reduction: returns one value per slot (sums via the
+/// morsel-parallel sum, counts = num_rows, min/max via a parallel
+/// reduction — all order-independent, so identical for any thread count).
+/// Zero rows yields all zeros: the pinned "empty input" semantics for
+/// every aggregate, MIN/MAX included.
+std::vector<int64_t> ReduceSlots(const std::vector<SlotKind>& slots,
+                                 const SlotInputs& values, uint64_t num_rows,
+                                 unsigned num_threads);
+
 /// Morsel-parallel scalar SUM over a measure vector: per-worker partial sums
 /// merged in worker order. Integer addition is commutative/associative, so
 /// the total is identical for any thread count. num_threads <= 1 runs the
@@ -165,7 +211,7 @@ int64_t ParallelSumInt64(const std::vector<int64_t>& values,
 /// The phase-3 measure-combine loop, morselized: a[i] = a[i] * b[i]
 /// (kSumProduct) or a[i] - b[i] (kSumDiff) over disjoint row morsels.
 /// Positional writes, so the output is identical for any thread count.
-/// kSumColumn leaves `a` untouched.
+/// Every single-operand kind leaves `a` untouched.
 void CombineMeasures(std::vector<int64_t>* a, const std::vector<int64_t>& b,
                      AggKind kind, unsigned num_threads);
 

@@ -199,24 +199,14 @@ Status RunPhase1ForDims(const StarQuery& query, ExecContext& ctx,
       [&](uint64_t i) { return RunPhase1(query, ctx, &(*dims)[which[i]]); });
 }
 
-/// Builds the measure vector for rows selected by `sel`.
-Status GatherMeasure(const col::ColumnTable& fact, const Aggregate& agg,
-                     const util::BitVector& sel, ExecContext& ctx,
-                     std::vector<int64_t>* out) {
-  const unsigned num_threads = ctx.config.ResolvedThreads();
-  std::vector<int64_t> a;
-  CSTORE_RETURN_IF_ERROR(
-      ParallelGatherInts(fact.column(agg.column_a), sel, num_threads, &a, &ctx));
-  if (agg.kind == AggKind::kSumColumn) {
-    *out = std::move(a);
-    return Status::OK();
+/// Slot kinds for a query's aggregate slots, in slot order.
+std::vector<SlotKind> SlotKindsOf(const StarQuery& query) {
+  std::vector<SlotKind> kinds;
+  kinds.reserve(query.aggs.size());
+  for (const Aggregate& slot : query.aggs) {
+    kinds.push_back(SlotKindOf(slot.kind));
   }
-  std::vector<int64_t> b;
-  CSTORE_RETURN_IF_ERROR(
-      ParallelGatherInts(fact.column(agg.column_b), sel, num_threads, &b, &ctx));
-  *out = std::move(a);
-  CombineMeasures(out, b, agg.kind, num_threads);
-  return Status::OK();
+  return kinds;
 }
 
 Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query,
@@ -279,14 +269,56 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
   if (ctx.fact_tombstones != nullptr) selected.AndNot(*ctx.fact_tombstones);
 
   // ---- Phase 3: extraction and aggregation. ----
-  std::vector<int64_t> measure;
-  CSTORE_RETURN_IF_ERROR(
-      GatherMeasure(fact, query.agg, selected, ctx, &measure));
+  // One measure vector per slot; slots reading the same raw column share
+  // one gather (unordered_map references are stable, so earlier slots keep
+  // valid pointers as later columns land in the cache). Count slots gather
+  // nothing — every selected row contributes the constant 1.
+  const std::vector<SlotKind> slot_kinds = SlotKindsOf(query);
+  std::unordered_map<std::string, std::vector<int64_t>> raw_gathers;
+  auto gather_column = [&](const std::string& name,
+                           const std::vector<int64_t>** out) -> Status {
+    auto it = raw_gathers.find(name);
+    if (it == raw_gathers.end()) {
+      std::vector<int64_t> vals;
+      CSTORE_RETURN_IF_ERROR(
+          ParallelGatherInts(fact.column(name), selected, threads, &vals, &ctx));
+      it = raw_gathers.emplace(name, std::move(vals)).first;
+    }
+    *out = &it->second;
+    return Status::OK();
+  };
+  std::vector<std::vector<int64_t>> combined(query.aggs.size());
+  SlotInputs slot_values(query.aggs.size(), nullptr);
+  uint64_t num_selected = 0;
+  bool sized_by_gather = false;
+  for (size_t s = 0; s < query.aggs.size(); ++s) {
+    const Aggregate& slot = query.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    const std::vector<int64_t>* a = nullptr;
+    CSTORE_RETURN_IF_ERROR(gather_column(slot.column_a, &a));
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      const std::vector<int64_t>* b = nullptr;
+      CSTORE_RETURN_IF_ERROR(gather_column(slot.column_b, &b));
+      combined[s] = *a;
+      CombineMeasures(&combined[s], *b, slot.kind, threads);
+      slot_values[s] = &combined[s];
+    } else {
+      slot_values[s] = a;
+    }
+    num_selected = slot_values[s]->size();
+    sized_by_gather = true;
+  }
+  if (!sized_by_gather) num_selected = selected.Count();
 
   if (query.group_by.empty()) {
+    std::vector<int64_t> totals =
+        ReduceSlots(slot_kinds, slot_values, num_selected, threads);
     QueryResult result;
-    result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
-    ChargeAggregation(&ctx, measure.size(), 0);
+    ResultRow row;
+    row.sum = totals[0];
+    row.extras.assign(totals.begin() + 1, totals.end());
+    result.rows.push_back(std::move(row));
+    ChargeAggregation(&ctx, num_selected, 0);
     return result;
   }
 
@@ -351,8 +383,9 @@ Result<QueryResult> ExecuteLate(const StarSchema& schema, const StarQuery& query
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg =
-      AggregateRows(codec, group_codes, measure, threads, &ctx);
+  GroupAggregator agg = AggregateSlotRows(codec, group_codes, slot_values,
+                                          slot_kinds, num_selected, threads,
+                                          &ctx);
   QueryResult result = agg.Finish();
   result.Sort(query.sort);
   return result;
@@ -473,11 +506,43 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
     }
   }
 
-  // Measure columns.
-  const size_t agg_a = col_index(query.agg.column_a);
-  const size_t agg_b = query.agg.kind == AggKind::kSumColumn
-                           ? agg_a
-                           : col_index(query.agg.column_b);
+  // Measure columns, one (a, b) tuple-offset pair per slot. Count slots
+  // read no operand and never touch the tuple (a pure COUNT(*) plan may
+  // construct zero-width tuples).
+  const std::vector<SlotKind> slot_kinds = SlotKindsOf(query);
+  const size_t num_slots = query.aggs.size();
+  struct SlotCols {
+    size_t a = 0;
+    size_t b = 0;
+  };
+  std::vector<SlotCols> slot_cols(num_slots);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const Aggregate& slot = query.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    slot_cols[s].a = col_index(slot.column_a);
+    slot_cols[s].b = slot.kind == AggKind::kSumProduct ||
+                             slot.kind == AggKind::kSumDiff
+                         ? col_index(slot.column_b)
+                         : slot_cols[s].a;
+  }
+  auto slot_value = [&](size_t s, const int64_t* tuple) -> int64_t {
+    const Aggregate& slot = query.aggs[s];
+    if (slot.kind == AggKind::kCountStar) return 1;
+    return SlotRowValue(slot.kind, tuple[slot_cols[s].a],
+                        tuple[slot_cols[s].b]);
+  };
+  // Per-slot neutral accumulator values: sums start at 0, min/max at the
+  // sentinel the first real row always replaces — so idle workers merge as
+  // no-ops without a row-count guard.
+  auto neutral_slots = [&] {
+    std::vector<int64_t> vals(num_slots, 0);
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (slot_kinds[s] == SlotKind::kMin) vals[s] = INT64_MAX;
+      if (slot_kinds[s] == SlotKind::kMax) vals[s] = INT64_MIN;
+    }
+    return vals;
+  };
+  const bool single_sum = num_slots == 1 && slot_kinds[0] == SlotKind::kSum;
 
   // ---- Tuple construction at the *beginning* of the plan. ----
   // Morselized over (column, page-range) pairs: workers decode disjoint page
@@ -568,21 +633,23 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
   const util::BitVector* tombstones = ctx.fact_tombstones;
   struct WorkerState {
     std::unique_ptr<GroupAggregator> agg;
-    int64_t scalar_sum = 0;
+    std::vector<int64_t> scalar;  // ungrouped per-slot partials
     uint64_t rows_aggregated = 0;
   };
   std::vector<WorkerState> workers(std::max(1u, threads));
+  for (WorkerState& state : workers) state.scalar = neutral_slots();
   util::ParallelFor(
       n, util::kRowMorsel, threads,
       [&](unsigned worker, uint64_t begin, uint64_t end) {
         WorkerState& state = workers[worker];
         if (any_groups && state.agg == nullptr) {
-          state.agg = std::make_unique<GroupAggregator>(codec);
+          state.agg = std::make_unique<GroupAggregator>(codec, slot_kinds);
         }
         std::vector<int64_t> raw(num_group_attrs, 0);
+        std::vector<int64_t> row_vals(num_slots, 0);
         for (uint64_t r = begin; r < end; ++r) {
           if (tombstones != nullptr && tombstones->Get(r)) continue;
-          const int64_t* tuple = &tuples[r * width];
+          const int64_t* tuple = width == 0 ? nullptr : &tuples[r * width];
           bool pass = true;
           for (const auto& [ci, pred] : local_preds) {
             if (!pred.Matches(tuple[ci])) {
@@ -602,16 +669,26 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
             }
           }
           if (!pass) continue;
-          int64_t measure = tuple[agg_a];
-          if (query.agg.kind == AggKind::kSumProduct) {
-            measure *= tuple[agg_b];
-          } else if (query.agg.kind == AggKind::kSumDiff) {
-            measure -= tuple[agg_b];
-          }
-          if (any_groups) {
-            state.agg->Add(codec.Pack(raw.data()), measure);
+          if (single_sum) {
+            // The classic one-aggregate path, unchanged instruction for
+            // instruction.
+            const int64_t measure = slot_value(0, tuple);
+            if (any_groups) {
+              state.agg->Add(codec.Pack(raw.data()), measure);
+            } else {
+              state.scalar[0] += measure;
+            }
           } else {
-            state.scalar_sum += measure;
+            for (size_t s = 0; s < num_slots; ++s) {
+              row_vals[s] = slot_value(s, tuple);
+            }
+            if (any_groups) {
+              state.agg->AddRow(codec.Pack(raw.data()), row_vals.data());
+            } else {
+              for (size_t s = 0; s < num_slots; ++s) {
+                CombineSlotValue(slot_kinds[s], &state.scalar[s], row_vals[s]);
+              }
+            }
           }
           ++state.rows_aggregated;
         }
@@ -622,14 +699,24 @@ Result<QueryResult> ExecuteEarly(const StarSchema& schema,
     rows_aggregated += state.rows_aggregated;
   }
   if (!any_groups) {
-    int64_t scalar_sum = 0;
-    for (const WorkerState& state : workers) scalar_sum += state.scalar_sum;
+    std::vector<int64_t> totals = neutral_slots();
+    for (const WorkerState& state : workers) {
+      for (size_t s = 0; s < num_slots; ++s) {
+        CombineSlotValue(slot_kinds[s], &totals[s], state.scalar[s]);
+      }
+    }
+    // Pinned empty-input semantics: zero rows yields 0 for every slot,
+    // MIN/MAX included — never a sentinel.
+    if (rows_aggregated == 0) std::fill(totals.begin(), totals.end(), 0);
     QueryResult result;
-    result.rows.push_back(ResultRow{{}, scalar_sum});
+    ResultRow row;
+    row.sum = totals[0];
+    row.extras.assign(totals.begin() + 1, totals.end());
+    result.rows.push_back(std::move(row));
     ChargeAggregation(&ctx, rows_aggregated, 0);
     return result;
   }
-  GroupAggregator agg(codec);
+  GroupAggregator agg(codec, slot_kinds);
   for (const WorkerState& state : workers) {
     if (state.agg != nullptr) agg.MergeFrom(*state.agg);
   }

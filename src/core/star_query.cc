@@ -66,6 +66,122 @@ DimPredicate DimPredicate::IntRange(std::string dim, std::string col, int64_t lo
   return p;
 }
 
+std::string Aggregate::ToString() const {
+  switch (kind) {
+    case AggKind::kSumColumn:
+      return "SUM(" + column_a + ")";
+    case AggKind::kSumProduct:
+      return "SUM(" + column_a + " * " + column_b + ")";
+    case AggKind::kSumDiff:
+      return "SUM(" + column_a + " - " + column_b + ")";
+    case AggKind::kCountStar:
+      return "COUNT(*)";
+    case AggKind::kCountColumn:
+      return "COUNT(" + column_a + ")";
+    case AggKind::kMin:
+      return "MIN(" + column_a + ")";
+    case AggKind::kMax:
+      return "MAX(" + column_a + ")";
+    case AggKind::kAvg:
+      return "AVG(" + column_a + ")";
+  }
+  CSTORE_CHECK(false);
+  return "";
+}
+
+SlotKind SlotKindOf(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSumColumn:
+    case AggKind::kSumProduct:
+    case AggKind::kSumDiff:
+    case AggKind::kCountStar:
+      return SlotKind::kSum;
+    case AggKind::kMin:
+      return SlotKind::kMin;
+    case AggKind::kMax:
+      return SlotKind::kMax;
+    case AggKind::kCountColumn:
+    case AggKind::kAvg:
+      // Logical-only kinds: lowering rewrites them before execution.
+      CSTORE_CHECK(false);
+  }
+  CSTORE_CHECK(false);
+  return SlotKind::kSum;
+}
+
+int64_t SlotRowValue(AggKind kind, int64_t a, int64_t b) {
+  switch (kind) {
+    case AggKind::kSumColumn:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return a;
+    case AggKind::kSumProduct:
+      return a * b;
+    case AggKind::kSumDiff:
+      return a - b;
+    case AggKind::kCountStar:
+      return 1;
+    case AggKind::kCountColumn:
+    case AggKind::kAvg:
+      CSTORE_CHECK(false);
+  }
+  CSTORE_CHECK(false);
+  return 0;
+}
+
+void CombineSlotValue(SlotKind kind, int64_t* acc, int64_t v) {
+  switch (kind) {
+    case SlotKind::kSum:
+      *acc += v;
+      return;
+    case SlotKind::kMin:
+      *acc = std::min(*acc, v);
+      return;
+    case SlotKind::kMax:
+      *acc = std::max(*acc, v);
+      return;
+  }
+  CSTORE_CHECK(false);
+}
+
+bool IdentityOutputs(const std::vector<OutputSpec>& outputs,
+                     size_t num_slots) {
+  if (outputs.size() != num_slots) return false;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].kind != OutputSpec::Kind::kSlot) return false;
+    if (outputs[i].slot != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+void ApplyOutputs(const std::vector<OutputSpec>& outputs,
+                  QueryResult* result) {
+  CSTORE_CHECK(!outputs.empty());
+  for (ResultRow& row : result->rows) {
+    auto slot_value = [&](int slot) -> int64_t {
+      return slot == 0 ? row.sum : row.extras[static_cast<size_t>(slot - 1)];
+    };
+    std::vector<int64_t> out(outputs.size());
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      const OutputSpec& spec = outputs[i];
+      switch (spec.kind) {
+        case OutputSpec::Kind::kSlot:
+          out[i] = slot_value(spec.slot);
+          break;
+        case OutputSpec::Kind::kRatio: {
+          // Pinned AVG semantics: truncating int64 division toward zero,
+          // empty groups (count 0) yield 0.
+          const int64_t count = slot_value(spec.count_slot);
+          out[i] = count == 0 ? 0 : slot_value(spec.slot) / count;
+          break;
+        }
+      }
+    }
+    row.sum = out[0];
+    row.extras.assign(out.begin() + 1, out.end());
+  }
+}
+
 uint64_t QueryResult::Hash() const {
   const std::string s = ToString();
   return util::HashBytes(s.data(), s.size());
@@ -79,6 +195,10 @@ std::string QueryResult::ToString() const {
       out += "|";
     }
     out += std::to_string(r.sum);
+    for (int64_t extra : r.extras) {
+      out += "|";
+      out += std::to_string(extra);
+    }
     out += "\n";
   }
   return out;

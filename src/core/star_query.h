@@ -83,22 +83,81 @@ struct GroupByColumn {
   std::string column;
 };
 
-/// The measure being summed.
+/// One aggregate expression. The first three are the SSBM measures; the
+/// rest arrived with the physical-plan layer. Lowering rewrites the logical
+/// kinds into *slot* kinds before any executor sees them: COUNT(col) is
+/// COUNT(*) (SSB data has no NULLs, documented in README), and AVG(a)
+/// splits into a SUM(a) slot plus a COUNT(*) slot divided by an OutputSpec
+/// — so executors only ever accumulate sums, counts, mins and maxes.
 enum class AggKind {
-  kSumColumn,   ///< SUM(a)
-  kSumProduct,  ///< SUM(a * b)
-  kSumDiff,     ///< SUM(a - b)
+  kSumColumn,    ///< SUM(a)
+  kSumProduct,   ///< SUM(a * b)
+  kSumDiff,      ///< SUM(a - b)
+  kCountStar,    ///< COUNT(*)
+  kCountColumn,  ///< COUNT(a) — logical only; lowered to kCountStar
+  kMin,          ///< MIN(a)
+  kMax,          ///< MAX(a)
+  kAvg,          ///< AVG(a) — logical only; lowered to SUM/COUNT + ratio
 };
 
 struct Aggregate {
   AggKind kind = AggKind::kSumColumn;
   std::string column_a;
   std::string column_b;  ///< second operand for product/diff
+
+  /// "SUM(a * b)", "COUNT(*)", "MIN(a)", ... for diagnostics.
+  std::string ToString() const;
 };
+
+/// How an aggregate slot accumulates. Every executable AggKind maps onto
+/// one of three combine rules; there is no "count" or "avg" accumulator —
+/// counts are sums of the constant 1, averages are an output-time ratio.
+enum class SlotKind {
+  kSum,  ///< acc += v (kSumColumn/kSumProduct/kSumDiff/kCountStar)
+  kMin,  ///< acc = min(acc, v)
+  kMax,  ///< acc = max(acc, v)
+};
+
+/// The accumulator a lowered slot uses (CHECK-fails on the logical-only
+/// kinds kCountColumn/kAvg, which never reach an executor).
+SlotKind SlotKindOf(AggKind kind);
+
+/// One row's contribution to a slot: the measure expression evaluated on
+/// the row's column values `a` and `b` (count slots contribute 1 and read
+/// neither operand). Shared by every row-at-a-time executor so the measure
+/// semantics live in exactly one place.
+int64_t SlotRowValue(AggKind kind, int64_t a, int64_t b);
+
+/// Folds `v` into `*acc` under the slot's combine rule.
+void CombineSlotValue(SlotKind kind, int64_t* acc, int64_t v);
+
+/// Maps an executor's slot values onto the query's final output columns.
+/// Identity outputs (output i = slot i) cover every single-aggregate plan;
+/// AVG outputs divide a sum slot by a count slot.
+struct OutputSpec {
+  enum class Kind {
+    kSlot,   ///< output = slot values[slot]
+    kRatio,  ///< output = values[slot] / values[count_slot] (AVG)
+  };
+  Kind kind = Kind::kSlot;
+  int slot = 0;        ///< source slot (kRatio: the sum numerator)
+  int count_slot = 0;  ///< kRatio: the count denominator
+};
+
+/// True when `outputs` is the identity over `num_slots` slots — the
+/// executor's rows are already final and ApplyOutputs would be a no-op.
+bool IdentityOutputs(const std::vector<OutputSpec>& outputs, size_t num_slots);
+
+/// Rewrites every row's slot values (sum + extras) into final output
+/// values per `outputs`, dropping hidden slots no output references.
+/// AVG is **truncating int64 division toward zero** (C++ `/`), and a zero
+/// count yields 0 — pinned semantics, tested in tests/core/aggregate_test.
+struct QueryResult;
+void ApplyOutputs(const std::vector<OutputSpec>& outputs, QueryResult* result);
 
 /// One result-ordering key: an output column plus a direction. `column`
 /// indexes the group-by columns of the output row; `kMeasure` sorts on the
-/// aggregated value (flight 3's "revenue desc").
+/// first aggregate output (ResultRow::sum — flight 3's "revenue desc").
 struct SortKey {
   static constexpr int kMeasure = -1;
   int column = 0;
@@ -113,20 +172,25 @@ struct SortKey {
 /// many, not a special case.
 using SortSpec = std::vector<SortKey>;
 
-/// A complete lowered star query.
+/// A complete lowered star query. `aggs` holds the *slots* the executors
+/// accumulate (executable kinds only — see AggKind); single-aggregate
+/// plans have exactly one slot, so slot 0 is the classic SSBM sum.
 struct StarQuery {
   std::string id;  ///< e.g. "3.1"
   std::vector<DimPredicate> dim_predicates;
   std::vector<FactPredicate> fact_predicates;
   std::vector<GroupByColumn> group_by;
-  Aggregate agg;
+  std::vector<Aggregate> aggs{Aggregate{}};
   SortSpec sort;
 };
 
-/// One output row: group values in group_by order plus the sum.
+/// One output row: group values in group_by order plus the aggregate
+/// values — slot 0 in `sum` (the historical field, so single-aggregate
+/// results and their hashes are unchanged), slots 1.. in `extras`.
 struct ResultRow {
   std::vector<Value> group_values;
   int64_t sum = 0;
+  std::vector<int64_t> extras;
 };
 
 /// Query output. For ungrouped queries there is exactly one row with no

@@ -1,5 +1,7 @@
 #include "core/table_executor.h"
 
+#include <unordered_map>
+
 #include "core/aggregate.h"
 #include "core/gather.h"
 #include "core/predicate.h"
@@ -69,27 +71,60 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
   // Snapshot overlay: tombstoned rows drop out before the gathers.
   if (ctx->fact_tombstones != nullptr) selected.AndNot(*ctx->fact_tombstones);
 
-  // Measure values at the selected positions.
-  std::vector<int64_t> measure;
-  {
-    std::vector<int64_t> a;
-    CSTORE_RETURN_IF_ERROR(ParallelGatherInts(table.column(query.agg.column_a),
-                                              selected, threads, &a, ctx));
-    if (query.agg.kind == AggKind::kSumColumn) {
-      measure = std::move(a);
-    } else {
-      std::vector<int64_t> b;
-      CSTORE_RETURN_IF_ERROR(ParallelGatherInts(
-          table.column(query.agg.column_b), selected, threads, &b, ctx));
-      measure = std::move(a);
-      CombineMeasures(&measure, b, query.agg.kind, threads);
-    }
+  // Per-slot measure values at the selected positions. Slots reading the
+  // same raw column share one gather; count slots gather nothing (measure
+  // columns keep their own names in every table this executor serves, so no
+  // remap applies here).
+  std::vector<SlotKind> slot_kinds;
+  slot_kinds.reserve(query.aggs.size());
+  for (const Aggregate& slot : query.aggs) {
+    slot_kinds.push_back(SlotKindOf(slot.kind));
   }
+  std::unordered_map<std::string, std::vector<int64_t>> raw_gathers;
+  auto gather_column = [&](const std::string& name,
+                           const std::vector<int64_t>** out) -> Status {
+    auto it = raw_gathers.find(name);
+    if (it == raw_gathers.end()) {
+      std::vector<int64_t> vals;
+      CSTORE_RETURN_IF_ERROR(
+          ParallelGatherInts(table.column(name), selected, threads, &vals, ctx));
+      it = raw_gathers.emplace(name, std::move(vals)).first;
+    }
+    *out = &it->second;
+    return Status::OK();
+  };
+  std::vector<std::vector<int64_t>> combined(query.aggs.size());
+  SlotInputs slot_values(query.aggs.size(), nullptr);
+  uint64_t num_selected = 0;
+  bool sized_by_gather = false;
+  for (size_t s = 0; s < query.aggs.size(); ++s) {
+    const Aggregate& slot = query.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    const std::vector<int64_t>* a = nullptr;
+    CSTORE_RETURN_IF_ERROR(gather_column(slot.column_a, &a));
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      const std::vector<int64_t>* b = nullptr;
+      CSTORE_RETURN_IF_ERROR(gather_column(slot.column_b, &b));
+      combined[s] = *a;
+      CombineMeasures(&combined[s], *b, slot.kind, threads);
+      slot_values[s] = &combined[s];
+    } else {
+      slot_values[s] = a;
+    }
+    num_selected = slot_values[s]->size();
+    sized_by_gather = true;
+  }
+  if (!sized_by_gather) num_selected = selected.Count();
 
   if (query.group_by.empty()) {
+    std::vector<int64_t> totals =
+        ReduceSlots(slot_kinds, slot_values, num_selected, threads);
     QueryResult result;
-    result.rows.push_back(ResultRow{{}, ParallelSumInt64(measure, threads)});
-    ChargeAggregation(ctx, measure.size(), 0);
+    ResultRow row;
+    row.sum = totals[0];
+    row.extras.assign(totals.begin() + 1, totals.end());
+    result.rows.push_back(std::move(row));
+    ChargeAggregation(ctx, num_selected, 0);
     return result;
   }
 
@@ -120,8 +155,9 @@ Result<QueryResult> ExecuteTableQueryImpl(const col::ColumnTable& table,
     group_codes.push_back(std::move(codes));
   }
 
-  GroupAggregator agg =
-      AggregateRows(codec, group_codes, measure, threads, ctx);
+  GroupAggregator agg = AggregateSlotRows(codec, group_codes, slot_values,
+                                          slot_kinds, num_selected, threads,
+                                          ctx);
   QueryResult result = agg.Finish();
   result.Sort(query.sort);
   return result;

@@ -9,7 +9,37 @@
 namespace cstore::delta {
 
 using core::AggKind;
+using core::SlotKind;
 using core::StarQuery;
+
+namespace {
+
+/// Slot accumulators at their neutral elements (0 for sums, the sentinels
+/// for min/max, so empty partials merge as no-ops under the count guard).
+std::vector<int64_t> NeutralSlots(const StarQuery& q) {
+  std::vector<int64_t> vals(q.aggs.size(), 0);
+  for (size_t s = 0; s < q.aggs.size(); ++s) {
+    const SlotKind kind = core::SlotKindOf(q.aggs[s].kind);
+    if (kind == SlotKind::kMin) vals[s] = INT64_MAX;
+    if (kind == SlotKind::kMax) vals[s] = INT64_MIN;
+  }
+  return vals;
+}
+
+std::vector<int64_t> SlotsOfRow(const core::ResultRow& row) {
+  std::vector<int64_t> vals;
+  vals.reserve(1 + row.extras.size());
+  vals.push_back(row.sum);
+  vals.insert(vals.end(), row.extras.begin(), row.extras.end());
+  return vals;
+}
+
+void WriteSlotsToRow(const std::vector<int64_t>& vals, core::ResultRow* row) {
+  row->sum = vals[0];
+  row->extras.assign(vals.begin() + 1, vals.end());
+}
+
+}  // namespace
 
 core::QueryResult ExecuteDelta(const ssb::SsbData& base,
                                const WriteStore& store, const Snapshot& snap,
@@ -36,8 +66,20 @@ core::QueryResult ExecuteDelta(const ssb::SsbData& base,
     group_cols.push_back(gc);
   }
 
-  std::map<std::vector<Value>, int64_t> groups;
-  int64_t scalar = 0;
+  const size_t num_slots = q.aggs.size();
+  auto slot_value = [&](const ssb::LineorderRow& row, size_t s) -> int64_t {
+    const core::Aggregate& slot = q.aggs[s];
+    if (slot.kind == AggKind::kCountStar) return 1;
+    const int64_t a = ssb::LineorderIntField(row, slot.column_a);
+    const int64_t b =
+        slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff
+            ? ssb::LineorderIntField(row, slot.column_b)
+            : 0;
+    return core::SlotRowValue(slot.kind, a, b);
+  };
+
+  std::map<std::vector<Value>, std::vector<int64_t>> groups;
+  std::vector<int64_t> scalar = NeutralSlots(q);
 
   for (uint64_t i = 0; i < snap.delta_rows; ++i) {
     if (!store.VisibleTo(i, snap)) continue;
@@ -63,32 +105,33 @@ core::QueryResult ExecuteDelta(const ssb::SsbData& base,
     }
     if (!ok) continue;
 
-    int64_t measure = ssb::LineorderIntField(row, q.agg.column_a);
-    if (q.agg.kind == AggKind::kSumProduct) {
-      measure *= ssb::LineorderIntField(row, q.agg.column_b);
-    }
-    if (q.agg.kind == AggKind::kSumDiff) {
-      measure -= ssb::LineorderIntField(row, q.agg.column_b);
-    }
-
+    std::vector<int64_t>* totals;
     if (q.group_by.empty()) {
-      scalar += measure;
-      continue;
-    }
-    std::vector<Value> key;
-    key.reserve(group_cols.size());
-    for (const GroupCol& gc : group_cols) {
-      size_t dim_row = 0;
-      for (size_t s = 0; s < sides.size(); ++s) {
-        if (&sides[s] == gc.side) dim_row = dim_rows[s];
+      totals = &scalar;
+    } else {
+      std::vector<Value> key;
+      key.reserve(group_cols.size());
+      for (const GroupCol& gc : group_cols) {
+        size_t dim_row = 0;
+        for (size_t s = 0; s < sides.size(); ++s) {
+          if (&sides[s] == gc.side) dim_row = dim_rows[s];
+        }
+        if (gc.view.strs != nullptr) {
+          key.push_back(Value::Str((*gc.view.strs)[dim_row]));
+        } else {
+          key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+        }
       }
-      if (gc.view.strs != nullptr) {
-        key.push_back(Value::Str((*gc.view.strs)[dim_row]));
-      } else {
-        key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(std::move(key), NeutralSlots(q)).first;
       }
+      totals = &it->second;
     }
-    groups[key] += measure;
+    for (size_t s = 0; s < num_slots; ++s) {
+      core::CombineSlotValue(core::SlotKindOf(q.aggs[s].kind), &(*totals)[s],
+                             slot_value(row, s));
+    }
   }
 
   if (ctx != nullptr) {
@@ -98,11 +141,18 @@ core::QueryResult ExecuteDelta(const ssb::SsbData& base,
 
   core::QueryResult result;
   if (q.group_by.empty()) {
-    result.rows.push_back(core::ResultRow{{}, scalar});
+    // The partial carries raw accumulators — sentinels included when no
+    // row passed; MergeResults' count guard keeps them out of the answer.
+    core::ResultRow row;
+    WriteSlotsToRow(scalar, &row);
+    result.rows.push_back(std::move(row));
     return result;
   }
-  for (const auto& [key, sum] : groups) {
-    result.rows.push_back(core::ResultRow{key, sum});
+  for (auto& [key, vals] : groups) {
+    core::ResultRow row;
+    row.group_values = key;
+    WriteSlotsToRow(vals, &row);
+    result.rows.push_back(std::move(row));
   }
   return result;
 }
@@ -110,26 +160,75 @@ core::QueryResult ExecuteDelta(const ssb::SsbData& base,
 core::QueryResult MergeResults(core::QueryResult base_result,
                                core::QueryResult delta_partial,
                                const StarQuery& q) {
+  const size_t num_slots = q.aggs.size();
+  std::vector<SlotKind> kinds;
+  kinds.reserve(num_slots);
+  bool has_minmax = false;
+  int count_slot = -1;
+  for (size_t s = 0; s < num_slots; ++s) {
+    kinds.push_back(core::SlotKindOf(q.aggs[s].kind));
+    if (kinds[s] == SlotKind::kMin || kinds[s] == SlotKind::kMax) {
+      has_minmax = true;
+    }
+    if (count_slot < 0 && q.aggs[s].kind == AggKind::kCountStar) {
+      count_slot = static_cast<int>(s);
+    }
+  }
+
   if (q.group_by.empty()) {
     // Every executor emits exactly one scalar row, matches or not.
     CSTORE_CHECK(base_result.rows.size() == 1 &&
                  delta_partial.rows.size() == 1);
-    base_result.rows[0].sum += delta_partial.rows[0].sum;
+    std::vector<int64_t> base_vals = SlotsOfRow(base_result.rows[0]);
+    const std::vector<int64_t> delta_vals = SlotsOfRow(delta_partial.rows[0]);
+    if (!has_minmax) {
+      // Pure sums add; an empty side contributes zeros.
+      for (size_t s = 0; s < num_slots; ++s) base_vals[s] += delta_vals[s];
+    } else {
+      // Min/max cannot be combined blindly: an empty base is zero-pinned
+      // and an empty delta carries sentinels, and neither is a real
+      // extremum. Lowering plants a count slot in every ungrouped min/max
+      // plan precisely so this merge can tell "no rows" from "rows".
+      CSTORE_CHECK(count_slot >= 0);
+      const bool base_empty = base_vals[count_slot] == 0;
+      const bool delta_empty = delta_vals[count_slot] == 0;
+      if (!delta_empty) {
+        if (base_empty) {
+          base_vals = delta_vals;
+        } else {
+          for (size_t s = 0; s < num_slots; ++s) {
+            core::CombineSlotValue(kinds[s], &base_vals[s], delta_vals[s]);
+          }
+        }
+      }
+    }
+    WriteSlotsToRow(base_vals, &base_result.rows[0]);
     return base_result;
   }
   if (delta_partial.rows.empty()) return base_result;
 
-  std::map<std::vector<Value>, int64_t> groups;
+  // A group exists on a side only if at least one row contributed to it,
+  // so group rows always hold real values and combine directly.
+  std::map<std::vector<Value>, std::vector<int64_t>> groups;
   for (core::ResultRow& r : base_result.rows) {
-    groups[std::move(r.group_values)] += r.sum;
+    groups.emplace(std::move(r.group_values), SlotsOfRow(r));
   }
   for (core::ResultRow& r : delta_partial.rows) {
-    groups[std::move(r.group_values)] += r.sum;
+    const std::vector<int64_t> vals = SlotsOfRow(r);
+    auto [it, inserted] = groups.emplace(std::move(r.group_values), vals);
+    if (!inserted) {
+      for (size_t s = 0; s < num_slots; ++s) {
+        core::CombineSlotValue(kinds[s], &it->second[s], vals[s]);
+      }
+    }
   }
   core::QueryResult merged;
   merged.rows.reserve(groups.size());
-  for (auto& [key, sum] : groups) {
-    merged.rows.push_back(core::ResultRow{key, sum});
+  for (auto& [key, vals] : groups) {
+    core::ResultRow row;
+    row.group_values = key;
+    WriteSlotsToRow(vals, &row);
+    merged.rows.push_back(std::move(row));
   }
   merged.Sort(q.sort);
   return merged;

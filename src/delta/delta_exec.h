@@ -27,11 +27,14 @@ core::QueryResult ExecuteDelta(const ssb::SsbData& base,
                                const core::StarQuery& q,
                                core::ExecContext* ctx);
 
-/// Merges the delta partial into the base result: group sums are added
-/// (new delta-only groups appear, base-only groups persist) and the merged
-/// rows are re-sorted under the query's sort spec. Ungrouped results add
-/// their single scalars. When `delta` contributes nothing the base result
-/// passes through bit-identically.
+/// Merges the delta partial into the base result slot by slot: sum slots
+/// add, min/max slots combine (new delta-only groups appear, base-only
+/// groups persist) and the merged rows are re-sorted under the query's
+/// sort spec. Ungrouped results merge their single rows, with the query's
+/// count slot guarding min/max against empty sides (an empty base is
+/// zero-pinned, an empty delta carries neutral sentinels — neither is a
+/// real extremum). When `delta` contributes nothing the base result passes
+/// through bit-identically.
 core::QueryResult MergeResults(core::QueryResult base_result,
                                core::QueryResult delta_partial,
                                const core::StarQuery& q);

@@ -12,6 +12,60 @@ namespace cstore::engine {
 
 namespace {
 
+using plan::PhysicalPlan;
+
+/// The single-table executors keep dimension-attribute references as
+/// (table, column) pairs whose table IS the scanned table, so the name map
+/// is the identity on the column name.
+std::string IdentityColumnName(const std::string& dim,
+                               const std::string& column) {
+  (void)dim;
+  return column;
+}
+
+const col::ColumnTable* DimTableOf(const core::StarSchema& schema,
+                                   const std::string& name) {
+  for (const core::StarSchema::Dim& d : schema.dims) {
+    if (d.name == name) return d.table;
+  }
+  return nullptr;
+}
+
+bool IsSsbDimension(const std::string& name) {
+  return name == "date" || name == "customer" || name == "supplier" ||
+         name == "part";
+}
+
+/// A star plan on the pre-joined table needs every dimension attribute it
+/// references to have been widened in.
+Status CheckWidened(const col::ColumnTable& table,
+                    const core::StarQuery& query) {
+  for (const core::DimPredicate& pred : query.dim_predicates) {
+    if (!table.HasColumn(ssb::DenormalizedColumnName(pred.dim, pred.column))) {
+      return Status::NotSupported("denormalized table has no column for " +
+                                  pred.dim + "." + pred.column);
+    }
+  }
+  for (const core::GroupByColumn& g : query.group_by) {
+    if (!table.HasColumn(ssb::DenormalizedColumnName(g.dim, g.column))) {
+      return Status::NotSupported("denormalized table has no column for " +
+                                  g.dim + "." + g.column);
+    }
+  }
+  return Status::OK();
+}
+
+/// Applies the physical plan's output mapping and final ordering to an
+/// executor's result. A no-op for identity-output plans, so the classic
+/// single-slot queries pass through bit-identically.
+Result<core::QueryResult> Finalize(const PhysicalPlan& phys,
+                                   Result<core::QueryResult> r) {
+  CSTORE_RETURN_IF_ERROR(r.status());
+  core::QueryResult result = std::move(r).ValueOrDie();
+  plan::FinalizeResult(phys, &result);
+  return result;
+}
+
 class ColumnStoreDesign : public Design {
  public:
   explicit ColumnStoreDesign(core::StarSchema schema)
@@ -19,9 +73,15 @@ class ColumnStoreDesign : public Design {
 
   Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
-    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query,
-                            PlanToStarForSchema(p, &catalog_, schema_));
-    return core::ExecuteStarQuery(schema_, query, &ctx);
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys,
+                            PlanToPhysicalForSchema(p, &catalog_, schema_));
+    if (phys.shape == PhysicalPlan::Shape::kSingleTable) {
+      const col::ColumnTable* dim = DimTableOf(schema_, phys.table);
+      CSTORE_CHECK(dim != nullptr);  // ForSchema validated the name
+      return Finalize(phys, core::ExecuteTableQuery(*dim, phys.query,
+                                                    IdentityColumnName, &ctx));
+    }
+    return Finalize(phys, core::ExecuteStarQuery(schema_, phys.query, &ctx));
   }
 
  private:
@@ -38,8 +98,17 @@ class RowStoreDesign : public Design {
                                     core::ExecContext& ctx) const override {
     // The row database has no column-store catalog to validate against;
     // lowering is structural, and the row executor rejects unknown names.
-    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
-    return ssb::ExecuteRowQuery(*db_, query, design_, &ctx);
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys, PlanToPhysical(p, nullptr));
+    if (phys.shape == PhysicalPlan::Shape::kSingleTable) {
+      if (!IsSsbDimension(phys.table)) {
+        return Status::InvalidArgument("plan scans unknown table '" +
+                                       phys.table + "'");
+      }
+      // Dimension tables have one physical form under every row design.
+      return Finalize(
+          phys, ssb::ExecuteRowTableQuery(*db_, phys.query, phys.table, &ctx));
+    }
+    return Finalize(phys, ssb::ExecuteRowQuery(*db_, phys.query, design_, &ctx));
   }
 
  private:
@@ -49,32 +118,32 @@ class RowStoreDesign : public Design {
 
 class DenormalizedDesign : public Design {
  public:
-  explicit DenormalizedDesign(const col::ColumnTable* table) : table_(table) {}
+  explicit DenormalizedDesign(const ssb::DenormalizedDatabase* db) : db_(db) {}
 
   Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys, PlanToPhysical(p, nullptr));
+    if (phys.shape == PhysicalPlan::Shape::kSingleTable) {
+      if (!IsSsbDimension(phys.table)) {
+        return Status::InvalidArgument("plan scans unknown table '" +
+                                       phys.table + "'");
+      }
+      // The widened fact table repeats each dimension row once per fact
+      // row, so dimension-only plans run on the side-car dimension.
+      return Finalize(phys,
+                      core::ExecuteTableQuery(db_->dim(phys.table), phys.query,
+                                              IdentityColumnName, &ctx));
+    }
     // Plans keep the star vocabulary; the name map rewrites dimension
     // attributes onto the widened fact columns at execution time.
-    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
-    for (const core::DimPredicate& pred : query.dim_predicates) {
-      if (!table_->HasColumn(
-              ssb::DenormalizedColumnName(pred.dim, pred.column))) {
-        return Status::NotSupported("denormalized table has no column for " +
-                                    pred.dim + "." + pred.column);
-      }
-    }
-    for (const core::GroupByColumn& g : query.group_by) {
-      if (!table_->HasColumn(ssb::DenormalizedColumnName(g.dim, g.column))) {
-        return Status::NotSupported("denormalized table has no column for " +
-                                    g.dim + "." + g.column);
-      }
-    }
-    return core::ExecuteTableQuery(*table_, query,
-                                   ssb::DenormalizedColumnName, &ctx);
+    CSTORE_RETURN_IF_ERROR(CheckWidened(db_->table(), phys.query));
+    return Finalize(phys,
+                    core::ExecuteTableQuery(db_->table(), phys.query,
+                                            ssb::DenormalizedColumnName, &ctx));
   }
 
  private:
-  const col::ColumnTable* table_;
+  const ssb::DenormalizedDatabase* db_;
 };
 
 class StoreDesign : public Design {
@@ -89,35 +158,57 @@ class StoreDesign : public Design {
     // races with nothing — the version is frozen, the snapshot immutable.
     Store::Pinned pin = store_->Pin();
     const StoreVersion& v = *pin.version;
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys, Lower(v, p));
     ctx.snapshot_epoch = pin.snap.epoch;
-    ctx.fact_tombstones = pin.snap.tombstones.get();
-    Result<core::QueryResult> base = ExecuteBase(v, p, ctx);
+    const bool star = phys.shape == PhysicalPlan::Shape::kStar;
+    // Writes touch only the fact table; dimension-only plans read tables
+    // no tombstone or delta row can affect, so they skip the overlay and
+    // the mask entirely.
+    if (star) ctx.fact_tombstones = pin.snap.tombstones.get();
+    Result<core::QueryResult> base = ExecuteBase(v, phys, ctx);
     ctx.fact_tombstones = nullptr;
     CSTORE_RETURN_IF_ERROR(base.status());
-    if (pin.snap.delta_rows == 0) {
-      // Nothing unmerged: the base answer is the answer (and stays
-      // bit-identical to the read-only design's).
-      return base;
+    core::QueryResult result = std::move(base).ValueOrDie();
+    if (star && pin.snap.delta_rows != 0) {
+      core::QueryResult delta_partial =
+          delta::ExecuteDelta(v.data, *v.writes, pin.snap, phys.query, &ctx);
+      result = delta::MergeResults(std::move(result), std::move(delta_partial),
+                                   phys.query);
     }
-    CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
-    core::QueryResult delta_partial =
-        delta::ExecuteDelta(v.data, *v.writes, pin.snap, query, &ctx);
-    return delta::MergeResults(std::move(base).ValueOrDie(),
-                               std::move(delta_partial), query);
+    // With nothing unmerged the base answer passes through Finalize the
+    // same way the read-only designs' answers do (a no-op for identity
+    // outputs), so it stays bit-identical to theirs.
+    plan::FinalizeResult(phys, &result);
+    return result;
   }
 
  private:
+  Result<PhysicalPlan> Lower(const StoreVersion& v, const plan::Plan& p) const {
+    if (kind_ == StoreDesignKind::kColumnStore) {
+      if (v.column_db == nullptr) {
+        return Status::NotSupported("store was opened without build_column");
+      }
+      return PlanToPhysicalForSchema(p, &v.catalog, v.star_schema);
+    }
+    return PlanToPhysical(p, nullptr);
+  }
+
   Result<core::QueryResult> ExecuteBase(const StoreVersion& v,
-                                        const plan::Plan& p,
+                                        const PhysicalPlan& phys,
                                         core::ExecContext& ctx) const {
+    const bool single = phys.shape == PhysicalPlan::Shape::kSingleTable;
+    const core::StarQuery& query = phys.query;
     switch (kind_) {
       case StoreDesignKind::kColumnStore: {
         if (v.column_db == nullptr) {
           return Status::NotSupported("store was opened without build_column");
         }
-        CSTORE_ASSIGN_OR_RETURN(
-            core::StarQuery query,
-            PlanToStarForSchema(p, &v.catalog, v.star_schema));
+        if (single) {
+          const col::ColumnTable* dim = DimTableOf(v.star_schema, phys.table);
+          CSTORE_CHECK(dim != nullptr);  // Lower() validated the name
+          return core::ExecuteTableQuery(*dim, query, IdentityColumnName,
+                                         &ctx);
+        }
         return core::ExecuteStarQuery(v.star_schema, query, &ctx);
       }
       case StoreDesignKind::kDenormalized: {
@@ -125,35 +216,38 @@ class StoreDesign : public Design {
           return Status::NotSupported(
               "store was opened without build_denormalized");
         }
-        CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
-        for (const core::DimPredicate& pred : query.dim_predicates) {
-          if (!v.denorm_db->table().HasColumn(
-                  ssb::DenormalizedColumnName(pred.dim, pred.column))) {
-            return Status::NotSupported(
-                "denormalized table has no column for " + pred.dim + "." +
-                pred.column);
+        if (single) {
+          if (!IsSsbDimension(phys.table)) {
+            return Status::InvalidArgument("plan scans unknown table '" +
+                                           phys.table + "'");
           }
+          return core::ExecuteTableQuery(v.denorm_db->dim(phys.table), query,
+                                         IdentityColumnName, &ctx);
         }
-        for (const core::GroupByColumn& g : query.group_by) {
-          if (!v.denorm_db->table().HasColumn(
-                  ssb::DenormalizedColumnName(g.dim, g.column))) {
-            return Status::NotSupported(
-                "denormalized table has no column for " + g.dim + "." +
-                g.column);
-          }
-        }
+        CSTORE_RETURN_IF_ERROR(CheckWidened(v.denorm_db->table(), query));
         return core::ExecuteTableQuery(v.denorm_db->table(), query,
                                        ssb::DenormalizedColumnName, &ctx);
       }
-      default: {
+      case StoreDesignKind::kTraditional:
+      case StoreDesignKind::kTraditionalBitmap:
+      case StoreDesignKind::kMaterializedViews:
+      case StoreDesignKind::kVerticalPartitioning:
+      case StoreDesignKind::kIndexOnly: {
         if (v.row_db == nullptr) {
           return Status::NotSupported("store was opened without build_rows");
         }
-        CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
+        if (single) {
+          if (!IsSsbDimension(phys.table)) {
+            return Status::InvalidArgument("plan scans unknown table '" +
+                                           phys.table + "'");
+          }
+          return ssb::ExecuteRowTableQuery(*v.row_db, query, phys.table, &ctx);
+        }
         return ssb::ExecuteRowQuery(*v.row_db, query, RowDesignOf(kind_),
                                     &ctx);
       }
     }
+    return Status::InvalidArgument("unknown store design kind");
   }
 
   static ssb::RowDesign RowDesignOf(StoreDesignKind kind) {
@@ -184,6 +278,8 @@ class FunctionDesign : public Design {
 
   Result<core::QueryResult> Execute(const plan::Plan& p,
                                     core::ExecContext& ctx) const override {
+    // Wrapped callables predate the physical-plan layer, so they go through
+    // the legacy star funnel: classic single-slot star plans only.
     CSTORE_ASSIGN_OR_RETURN(core::StarQuery query, PlanToStar(p, nullptr));
     // Wrapped callables may predate ExecContext; install the I/O sink here
     // so their device traffic is still billed to the query.
@@ -207,9 +303,10 @@ std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
   return std::make_unique<RowStoreDesign>(db, design);
 }
 
-std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table) {
-  CSTORE_CHECK(table != nullptr);
-  return std::make_unique<DenormalizedDesign>(table);
+std::unique_ptr<Design> MakeDenormalizedDesign(
+    const ssb::DenormalizedDatabase* db) {
+  CSTORE_CHECK(db != nullptr);
+  return std::make_unique<DenormalizedDesign>(db);
 }
 
 std::unique_ptr<Design> MakeStoreDesign(Store* store, StoreDesignKind kind) {

@@ -32,8 +32,10 @@ std::unique_ptr<Design> MakeRowStoreDesign(const ssb::RowDatabase* db,
                                            ssb::RowDesign design);
 
 /// The pre-joined ("PJ") single-table design of §6.3.3: star queries are
-/// rewritten onto the denormalized fact table and run join-free.
-std::unique_ptr<Design> MakeDenormalizedDesign(const col::ColumnTable* table);
+/// rewritten onto the denormalized fact table and run join-free;
+/// dimension-only plans run on the database's dimension side-car.
+std::unique_ptr<Design> MakeDenormalizedDesign(
+    const ssb::DenormalizedDatabase* db);
 
 /// The physical design a store-backed adapter executes the base half of a
 /// query through. Same vocabulary as the read-only factories above: the

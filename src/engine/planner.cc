@@ -29,33 +29,35 @@ plan::Catalog CatalogFor(const core::StarSchema& schema) {
   return catalog;
 }
 
-Result<core::StarQuery> PlanToStar(const plan::Plan& p,
-                                   const plan::Catalog* catalog) {
+Result<plan::PhysicalPlan> PlanToPhysical(const plan::Plan& p,
+                                          const plan::Catalog* catalog) {
   if (catalog != nullptr) {
     CSTORE_RETURN_IF_ERROR(plan::Validate(p, *catalog));
   }
-  Result<plan::LoweredStar> lowered = plan::LowerToStar(p);
-  CSTORE_RETURN_IF_ERROR(lowered.status());
-  return std::move(lowered).ValueOrDie().query;
+  return plan::LowerToPhysical(p);
 }
 
-Result<core::StarQuery> PlanToStarForSchema(const plan::Plan& p,
-                                            const plan::Catalog* catalog,
-                                            const core::StarSchema& schema) {
-  if (catalog != nullptr) {
-    CSTORE_RETURN_IF_ERROR(plan::Validate(p, *catalog));
+Result<plan::PhysicalPlan> PlanToPhysicalForSchema(
+    const plan::Plan& p, const plan::Catalog* catalog,
+    const core::StarSchema& schema) {
+  CSTORE_ASSIGN_OR_RETURN(plan::PhysicalPlan phys, PlanToPhysical(p, catalog));
+
+  if (phys.shape == plan::PhysicalPlan::Shape::kSingleTable) {
+    for (const core::StarSchema::Dim& d : schema.dims) {
+      if (d.name == phys.table) return phys;
+    }
+    return Status::InvalidArgument("plan scans table '" + phys.table +
+                                   "', which is not a dimension of the "
+                                   "design's schema");
   }
-  Result<plan::LoweredStar> result = plan::LowerToStar(p);
-  CSTORE_RETURN_IF_ERROR(result.status());
-  plan::LoweredStar lowered = std::move(result).ValueOrDie();
 
   CSTORE_CHECK(schema.fact != nullptr);
-  if (lowered.fact_table != schema.fact->name()) {
+  if (phys.fact_table != schema.fact->name()) {
     return Status::InvalidArgument("plan scans fact table '" +
-                                   lowered.fact_table + "' but the design's is '" +
+                                   phys.fact_table + "' but the design's is '" +
                                    schema.fact->name() + "'");
   }
-  for (const plan::LoweredStar::JoinEdge& edge : lowered.joins) {
+  for (const plan::JoinEdge& edge : phys.joins) {
     const core::StarSchema::Dim* dim = nullptr;
     for (const core::StarSchema::Dim& d : schema.dims) {
       if (d.name == edge.dim) dim = &d;
@@ -66,13 +68,23 @@ Result<core::StarQuery> PlanToStarForSchema(const plan::Plan& p,
     }
     if (edge.fact_fk != dim->fact_fk_column || edge.dim_key != dim->key_column) {
       return Status::InvalidArgument(
-          "plan joins " + lowered.fact_table + "." + edge.fact_fk + " = " +
+          "plan joins " + phys.fact_table + "." + edge.fact_fk + " = " +
           edge.dim + "." + edge.dim_key + " but the schema declares " +
-          lowered.fact_table + "." + dim->fact_fk_column + " = " + edge.dim +
+          phys.fact_table + "." + dim->fact_fk_column + " = " + edge.dim +
           "." + dim->key_column);
     }
   }
-  return std::move(lowered.query);
+  return phys;
+}
+
+Result<core::StarQuery> PlanToStar(const plan::Plan& p,
+                                   const plan::Catalog* catalog) {
+  if (catalog != nullptr) {
+    CSTORE_RETURN_IF_ERROR(plan::Validate(p, *catalog));
+  }
+  Result<plan::LoweredStar> lowered = plan::LowerToStar(p);
+  CSTORE_RETURN_IF_ERROR(lowered.status());
+  return std::move(lowered).ValueOrDie().query;
 }
 
 }  // namespace cstore::engine

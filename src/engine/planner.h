@@ -1,19 +1,23 @@
 // The engine's planner: validated lowering of logical plans onto designs.
 //
-// plan::LowerToStar is purely structural — it will happily lower a plan
-// referencing tables no design has loaded. The planner closes that gap:
-// CatalogFor derives a plan::Catalog from a design's loaded StarSchema
-// (real column names and types, not a hard-coded list), and PlanToStar
-// runs plan::Validate against it before lowering, then cross-checks the
-// plan's asserted join edges (fact table, fk/key pairs) against the
-// schema's. Every engine::Design adapter funnels through PlanToStar, so a
-// malformed plan is rejected with a Status at the front door instead of
-// CHECK-failing deep inside an executor.
+// plan::LowerToPhysical is purely structural — it will happily lower a
+// plan referencing tables no design has loaded. The planner closes that
+// gap: CatalogFor derives a plan::Catalog from a design's loaded
+// StarSchema (real column names and types, not a hard-coded list), and
+// PlanToPhysical runs plan::Validate against it before lowering; the
+// ForSchema variant additionally cross-checks the plan's asserted join
+// edges (fact table, fk/key pairs) and single-table names against the
+// schema's. Every engine::Design adapter funnels through one of these, so
+// a malformed plan is rejected with a Status at the front door instead of
+// CHECK-failing deep inside an executor. PlanToStar is the legacy
+// single-slot star funnel, kept for the adapters that can only execute
+// that shape (the Row-MV-in-column-store hybrid).
 #pragma once
 
 #include "common/result.h"
 #include "core/star_query.h"
 #include "plan/lower.h"
+#include "plan/physical.h"
 #include "plan/validate.h"
 
 namespace cstore::engine {
@@ -24,17 +28,23 @@ namespace cstore::engine {
 plan::Catalog CatalogFor(const core::StarSchema& schema);
 
 /// Validates `p` against `catalog` (skipped when null — designs without a
-/// loaded column schema validate structurally only) and lowers it to the
-/// flat star form the executors consume.
+/// loaded column schema validate structurally only) and lowers it to a
+/// physical plan (star or single-table, any slot layout).
+Result<plan::PhysicalPlan> PlanToPhysical(const plan::Plan& p,
+                                          const plan::Catalog* catalog);
+
+/// PlanToPhysical plus schema cross-checks. Star plans: the fact table and
+/// every join edge (fact fk = dim key) must match what `schema` declares,
+/// so a plan joining "date" on the wrong key is an InvalidArgument, not a
+/// wrong answer. Single-table plans: the scanned table must be one of the
+/// schema's dimensions.
+Result<plan::PhysicalPlan> PlanToPhysicalForSchema(
+    const plan::Plan& p, const plan::Catalog* catalog,
+    const core::StarSchema& schema);
+
+/// Legacy star funnel: PlanToPhysical restricted to the classic
+/// single-slot star form (see plan::LowerToStar).
 Result<core::StarQuery> PlanToStar(const plan::Plan& p,
                                    const plan::Catalog* catalog);
-
-/// PlanToStar plus schema cross-checks: the plan's fact table and join
-/// edges (fact fk = dim key) must match what `schema` declares, so a plan
-/// joining "date" on the wrong key is an InvalidArgument, not a wrong
-/// answer.
-Result<core::StarQuery> PlanToStarForSchema(const plan::Plan& p,
-                                            const plan::Catalog* catalog,
-                                            const core::StarSchema& schema);
 
 }  // namespace cstore::engine

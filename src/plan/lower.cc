@@ -1,148 +1,31 @@
 #include "plan/lower.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 
 namespace cstore::plan {
 
-namespace {
-
-Status NotStar(const std::string& why) {
-  return Status::NotSupported("plan does not lower to a star query: " + why);
-}
-
-core::DimPredicate LowerDimPredicate(const Predicate& p) {
-  core::DimPredicate d;
-  d.dim = p.column.table;
-  d.column = p.column.column;
-  d.op = p.op;
-  d.is_string = p.is_string;
-  d.strs = p.strs;
-  d.ints = p.ints;
-  return d;
-}
-
-Status LowerFactPredicate(const Predicate& p, core::FactPredicate* out) {
-  if (p.is_string) {
-    return NotStar("string predicate on fact column " + p.column.ToString());
-  }
-  out->column = p.column.column;
-  switch (p.op) {
-    case core::PredOp::kEq:
-      out->lo = p.ints[0];
-      out->hi = p.ints[0];
-      return Status::OK();
-    case core::PredOp::kRange:
-      out->lo = p.ints[0];
-      out->hi = p.ints[1];
-      return Status::OK();
-    case core::PredOp::kIn:
-      return NotStar("IN predicate on fact column " + p.column.ToString());
-  }
-  return NotStar("unknown predicate op");
-}
-
-}  // namespace
-
 Result<LoweredStar> LowerToStar(const Plan& plan) {
-  if (plan.root() < 0) return NotStar("empty plan");
+  Result<PhysicalPlan> phys = LowerToPhysical(plan);
+  if (!phys.ok()) return phys.status();
+  PhysicalPlan p = std::move(phys).ValueOrDie();
+  if (p.shape != PhysicalPlan::Shape::kStar) {
+    return Status::NotSupported(
+        "plan does not lower to a star query: base scan reads '" + p.table +
+        "', not the fact table");
+  }
+  if (p.query.aggs.size() != 1 || !p.identity_outputs) {
+    return Status::NotSupported(
+        "plan does not lower to a star query: it needs " +
+        std::to_string(p.query.aggs.size()) +
+        " aggregate slot(s) and an output mapping; the classic star form "
+        "carries exactly one slot");
+  }
   LoweredStar out;
-  out.query.id = plan.id();
-
-  const Node* cur = &plan.node(plan.root());
-
-  if (cur->kind == Node::Kind::kSort) {
-    out.query.sort = cur->sort;
-    cur = &plan.node(cur->inputs[0]);
-  }
-
-  if (cur->kind != Node::Kind::kAggregate) {
-    return NotStar("root chain is missing the Aggregate node");
-  }
-  const AggExpr& agg = cur->agg;
-  out.query.agg.kind = agg.kind;
-  out.query.agg.column_a = agg.a.column;
-  out.query.agg.column_b = agg.b.column;
-  cur = &plan.node(cur->inputs[0]);
-
-  if (cur->kind == Node::Kind::kGroupBy) {
-    for (const ColumnRef& key : cur->group_keys) {
-      out.query.group_by.push_back({key.table, key.column});
-    }
-    cur = &plan.node(cur->inputs[0]);
-  }
-
-  // The join chain, root-down — i.e. reverse of the builder's call order.
-  while (cur->kind == Node::Kind::kJoin) {
-    const Node* dim = &plan.node(cur->inputs[1]);
-    std::vector<core::DimPredicate> dim_preds;
-    if (dim->kind == Node::Kind::kFilter) {
-      for (const Predicate& p : dim->predicates) {
-        dim_preds.push_back(LowerDimPredicate(p));
-      }
-      dim = &plan.node(dim->inputs[0]);
-    }
-    if (dim->kind != Node::Kind::kScan) {
-      return NotStar("join build side is not Scan or Filter(Scan)");
-    }
-    for (const core::DimPredicate& p : dim_preds) {
-      if (p.dim != dim->table) {
-        return NotStar("dimension filter references " + p.dim + "." +
-                       p.column + " on the " + dim->table + " build side");
-      }
-    }
-    out.joins.push_back(
-        {dim->table, cur->left_key.column, cur->right_key.column});
-    out.query.dim_predicates.insert(out.query.dim_predicates.end(),
-                                    dim_preds.begin(), dim_preds.end());
-    cur = &plan.node(cur->inputs[0]);
-  }
-  // Restore builder call order (probe order).
-  std::reverse(out.joins.begin(), out.joins.end());
-  std::reverse(out.query.dim_predicates.begin(),
-               out.query.dim_predicates.end());
-
-  if (cur->kind == Node::Kind::kFilter) {
-    for (const Predicate& p : cur->predicates) {
-      core::FactPredicate fp;
-      Status s = LowerFactPredicate(p, &fp);
-      if (!s.ok()) return s;
-      out.query.fact_predicates.push_back(std::move(fp));
-    }
-    cur = &plan.node(cur->inputs[0]);
-  }
-
-  if (cur->kind != Node::Kind::kScan) {
-    return NotStar("probe chain does not bottom out at the fact Scan");
-  }
-  out.fact_table = cur->table;
-
-  // Cross-checks that need the fact identified: the measure must come off
-  // the fact, and group-by keys must be joined dimension attributes.
-  if (agg.a.table != out.fact_table ||
-      (agg.kind != core::AggKind::kSumColumn &&
-       agg.b.table != out.fact_table)) {
-    return NotStar("aggregate measure must be fact columns");
-  }
-  for (const core::GroupByColumn& g : out.query.group_by) {
-    if (g.dim == out.fact_table) {
-      return NotStar("group-by on fact column " + g.column);
-    }
-    bool joined = false;
-    for (const LoweredStar::JoinEdge& j : out.joins) {
-      if (j.dim == g.dim) joined = true;
-    }
-    if (!joined) {
-      return NotStar("group-by references unjoined table " + g.dim);
-    }
-  }
-  for (const core::DimPredicate& p : out.query.dim_predicates) {
-    if (p.dim == out.fact_table) {
-      return NotStar("fact predicate routed to a dimension filter");
-    }
-  }
-
+  out.query = std::move(p.query);
+  out.fact_table = std::move(p.fact_table);
+  out.joins = std::move(p.joins);
   return out;
 }
 

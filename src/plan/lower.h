@@ -1,18 +1,12 @@
-// Lowering: logical plan → the flat star form the executors consume.
+// Star-only lowering, kept as a thin compatibility wrapper.
 //
-// Every physical design in this engine executes the same lowered shape — a
-// core::StarQuery (dimension predicates, fact predicates, group-by
-// columns, one aggregate, a sort spec). LowerToStar pattern-matches a
-// validated plan against that shape:
-//
-//   [Sort] → Aggregate → [GroupBy] → Join* → [Filter] → Scan(fact)
-//                                      └ [Filter] → Scan(dim)
-//
-// and rejects anything else with NotSupported — the plan IR can express
-// graphs the executors cannot run (yet), and lowering is where that line
-// is drawn, not deep inside an executor. Lowering is structural: it needs
-// no catalog, so the ssb layer can lower plans (e.g. to build
-// materialized views from them) without depending on the engine.
+// The general path is plan::LowerToPhysical (physical.h), which lowers
+// both star and single-table shapes with multi-aggregate slot/output
+// mapping. A few callers still need the strict classic contract — a star
+// plan with exactly one aggregate slot and identity outputs, i.e. the
+// shape the materialized-view builder and the RS(MV) hybrid execute
+// directly as a core::StarQuery. LowerToStar enforces that contract on
+// top of LowerToPhysical and rejects everything wider with NotSupported.
 #pragma once
 
 #include <string>
@@ -20,6 +14,7 @@
 
 #include "common/result.h"
 #include "core/star_query.h"
+#include "plan/physical.h"
 #include "plan/plan.h"
 
 namespace cstore::plan {
@@ -30,18 +25,17 @@ namespace cstore::plan {
 struct LoweredStar {
   core::StarQuery query;
   std::string fact_table;
-  struct JoinEdge {
-    std::string dim;       ///< dimension table name
-    std::string fact_fk;   ///< fact column joined on
-    std::string dim_key;   ///< dimension key column joined on
-  };
+  /// Shared with the physical layer; kept as a member alias so existing
+  /// `LoweredStar::JoinEdge` spellings keep compiling.
+  using JoinEdge = plan::JoinEdge;
   /// In the builder's call order (probe order of the canned queries).
   std::vector<JoinEdge> joins;
 };
 
-/// Lowers `plan` to the star form, or NotSupported/InvalidArgument when
-/// the plan is not star-shaped. Does not validate column references — run
-/// plan::Validate first when the plan comes from outside.
+/// Lowers `plan` to the classic star form: star shape, one aggregate slot,
+/// identity outputs. NotSupported otherwise — including plans that *do*
+/// lower to a PhysicalPlan but need the slot/output machinery (multi-
+/// aggregate, AVG, dimension-only).
 Result<LoweredStar> LowerToStar(const Plan& plan);
 
 /// Convenience: just the query. CHECK-fails on non-star plans, so reserve

@@ -1,0 +1,495 @@
+#include "plan/physical.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace cstore::plan {
+
+namespace {
+
+/// Every lowering rejection names the offending node kind and quotes the
+/// subtree rooted there, so a failing fuzzer plan or a user's hand-built
+/// DAG is diagnosable from the error message alone.
+Status Reject(const Plan& plan, int id, const std::string& why) {
+  return Status::NotSupported(
+      "plan does not lower to a physical plan: " + why + " at " +
+      std::string(NodeKindName(plan.node(id).kind)) + " node " +
+      std::to_string(id) + ":\n" + plan.SubtreeToString(id));
+}
+
+core::DimPredicate LowerDimPredicate(const Predicate& p) {
+  core::DimPredicate d;
+  d.dim = p.column.table;
+  d.column = p.column.column;
+  d.op = p.op;
+  d.is_string = p.is_string;
+  d.strs = p.strs;
+  d.ints = p.ints;
+  return d;
+}
+
+Status LowerFactPredicate(const Plan& plan, int filter_id, const Predicate& p,
+                          core::FactPredicate* out) {
+  if (p.is_string) {
+    return Reject(plan, filter_id,
+                  "string predicate on fact column " + p.column.ToString());
+  }
+  out->column = p.column.column;
+  switch (p.op) {
+    case core::PredOp::kEq:
+      out->lo = p.ints[0];
+      out->hi = p.ints[0];
+      return Status::OK();
+    case core::PredOp::kRange:
+      out->lo = p.ints[0];
+      out->hi = p.ints[1];
+      return Status::OK();
+    case core::PredOp::kIn:
+      return Reject(plan, filter_id,
+                    "IN predicate on fact column " + p.column.ToString());
+  }
+  return Reject(plan, filter_id, "unknown predicate op");
+}
+
+/// Accumulates the slot list with exact-expression dedup: two outputs over
+/// the same (kind, a, b) share one accumulator (e.g. SUM(x) and AVG(x)
+/// share the sum slot; any number of COUNT outputs share one count slot).
+struct SlotBuilder {
+  std::vector<core::Aggregate> slots;
+  std::vector<core::OutputSpec> outputs;
+
+  int FindOrAdd(core::AggKind kind, const std::string& a,
+                const std::string& b) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].kind == kind && slots[i].column_a == a &&
+          slots[i].column_b == b) {
+        return static_cast<int>(i);
+      }
+    }
+    core::Aggregate slot;
+    slot.kind = kind;
+    slot.column_a = a;
+    slot.column_b = b;
+    slots.push_back(std::move(slot));
+    return static_cast<int>(slots.size()) - 1;
+  }
+
+  bool HasCountSlot() const {
+    for (const core::Aggregate& s : slots) {
+      if (s.kind == core::AggKind::kCountStar) return true;
+    }
+    return false;
+  }
+
+  /// Lowers one logical aggregate expression to slots + one output. The
+  /// logical-only kinds are rewritten here: COUNT(col) counts rows (SSB
+  /// columns are never NULL), AVG becomes a sum/count ratio.
+  void Add(const AggExpr& agg) {
+    core::OutputSpec spec;
+    switch (agg.kind) {
+      case core::AggKind::kSumColumn:
+      case core::AggKind::kMin:
+      case core::AggKind::kMax:
+        spec.slot = FindOrAdd(agg.kind, agg.a.column, "");
+        break;
+      case core::AggKind::kSumProduct:
+      case core::AggKind::kSumDiff:
+        spec.slot = FindOrAdd(agg.kind, agg.a.column, agg.b.column);
+        break;
+      case core::AggKind::kCountStar:
+      case core::AggKind::kCountColumn:
+        spec.slot = FindOrAdd(core::AggKind::kCountStar, "", "");
+        break;
+      case core::AggKind::kAvg:
+        spec.kind = core::OutputSpec::Kind::kRatio;
+        spec.slot = FindOrAdd(core::AggKind::kSumColumn, agg.a.column, "");
+        spec.count_slot = FindOrAdd(core::AggKind::kCountStar, "", "");
+        break;
+    }
+    outputs.push_back(spec);
+  }
+};
+
+std::string PredToString(const core::DimPredicate& p) {
+  std::string out = p.dim + "." + p.column;
+  auto operand = [&](size_t i) {
+    return p.is_string ? "'" + p.strs[i] + "'" : std::to_string(p.ints[i]);
+  };
+  const size_t n = p.is_string ? p.strs.size() : p.ints.size();
+  switch (p.op) {
+    case core::PredOp::kEq:
+      out += " = " + operand(0);
+      break;
+    case core::PredOp::kRange:
+      out += " between " + operand(0) + " and " + operand(1);
+      break;
+    case core::PredOp::kIn:
+      out += " in (";
+      for (size_t i = 0; i < n; ++i) {
+        if (i != 0) out += ", ";
+        out += operand(i);
+      }
+      out += ")";
+      break;
+  }
+  return out;
+}
+
+std::string PredToString(const core::FactPredicate& p) {
+  return p.column + " in [" + std::to_string(p.lo) + ", " +
+         std::to_string(p.hi) + "]";
+}
+
+std::string SortToString(const core::SortSpec& sort) {
+  std::string out = "[";
+  for (size_t i = 0; i < sort.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += sort[i].column == core::SortKey::kMeasure
+               ? "measure"
+               : std::to_string(sort[i].column);
+    out += sort[i].ascending ? " asc" : " desc";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string PhysicalOp::ToString() const {
+  switch (kind) {
+    case Kind::kScan:
+      return "Scan(" + table + ")";
+    case Kind::kFilter: {
+      std::string out = "Filter(";
+      size_t i = 0;
+      for (const core::FactPredicate& p : fact_predicates) {
+        if (i++ != 0) out += " AND ";
+        out += PredToString(p);
+      }
+      for (const core::DimPredicate& p : table_predicates) {
+        if (i++ != 0) out += " AND ";
+        out += PredToString(p);
+      }
+      return out + ")";
+    }
+    case Kind::kJoin: {
+      std::string out =
+          "Join(" + edge.dim + " ON " + edge.fact_fk + " = " + edge.dim_key;
+      for (const core::DimPredicate& p : build_predicates) {
+        out += "; " + PredToString(p);
+      }
+      return out + ")";
+    }
+    case Kind::kGroupAgg: {
+      std::string out = "GroupAgg(keys=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += group_by[i].dim + "." + group_by[i].column;
+      }
+      out += "], slots=[";
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += slots[i].ToString();
+      }
+      out += "], outputs=[";
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        if (i != 0) out += ", ";
+        const core::OutputSpec& spec = outputs[i];
+        switch (spec.kind) {
+          case core::OutputSpec::Kind::kSlot:
+            out += "#" + std::to_string(spec.slot);
+            break;
+          case core::OutputSpec::Kind::kRatio:
+            out += "#" + std::to_string(spec.slot) + "/#" +
+                   std::to_string(spec.count_slot);
+            break;
+        }
+      }
+      return out + "])";
+    }
+    case Kind::kSort:
+      return "Sort" + SortToString(sort);
+  }
+  return "?";
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out = "PhysicalPlan ";
+  out += shape == Shape::kStar ? "star" : "single-table";
+  out += " " + query.id + "\n";
+  for (const PhysicalOp& op : ops) {
+    out += "  " + op.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<PhysicalPlan> LowerToPhysical(const Plan& plan) {
+  if (plan.root() < 0) {
+    return Status::NotSupported(
+        "plan does not lower to a physical plan: empty plan");
+  }
+  PhysicalPlan out;
+  out.query.id = plan.id();
+
+  // Root-down match: [Sort] → Aggregate → [GroupBy] → Join* → [Filter] →
+  // Scan. Node payloads are captured on the way down and lowered once the
+  // scan table — and with it the shape — is known.
+  int cur = plan.root();
+  const Node* n = &plan.node(cur);
+
+  bool has_sort = false;
+  core::SortSpec plan_sort;
+  if (n->kind == Node::Kind::kSort) {
+    has_sort = true;
+    plan_sort = n->sort;
+    cur = n->inputs[0];
+    n = &plan.node(cur);
+  }
+
+  if (n->kind != Node::Kind::kAggregate) {
+    return Reject(plan, cur, "root chain is missing the Aggregate node");
+  }
+  const int agg_id = cur;
+  const std::vector<AggExpr>& aggs = n->aggs;
+  if (aggs.empty()) {
+    return Reject(plan, cur, "Aggregate node has no expressions");
+  }
+  cur = n->inputs[0];
+  n = &plan.node(cur);
+
+  if (n->kind == Node::Kind::kGroupBy) {
+    for (const ColumnRef& key : n->group_keys) {
+      out.query.group_by.push_back({key.table, key.column});
+    }
+    cur = n->inputs[0];
+    n = &plan.node(cur);
+  }
+
+  // The join chain, root-down — i.e. reverse of the builder's call order.
+  // Per-edge predicates ride along so the JoinOps carry their build sides.
+  std::vector<std::vector<core::DimPredicate>> join_preds;
+  while (n->kind == Node::Kind::kJoin) {
+    const int join_id = cur;
+    int dim_id = n->inputs[1];
+    const Node* dim = &plan.node(dim_id);
+    std::vector<core::DimPredicate> dim_preds;
+    if (dim->kind == Node::Kind::kFilter) {
+      for (const Predicate& p : dim->predicates) {
+        dim_preds.push_back(LowerDimPredicate(p));
+      }
+      dim_id = dim->inputs[0];
+      dim = &plan.node(dim_id);
+    }
+    if (dim->kind != Node::Kind::kScan) {
+      return Reject(plan, join_id,
+                    "join build side is not Scan or Filter(Scan)");
+    }
+    for (const core::DimPredicate& p : dim_preds) {
+      if (p.dim != dim->table) {
+        return Reject(plan, join_id,
+                      "dimension filter references " + p.dim + "." + p.column +
+                          " on the " + dim->table + " build side");
+      }
+    }
+    out.joins.push_back(
+        {dim->table, n->left_key.column, n->right_key.column});
+    join_preds.push_back(std::move(dim_preds));
+    cur = n->inputs[0];
+    n = &plan.node(cur);
+  }
+  // Restore builder call order (probe order).
+  std::reverse(out.joins.begin(), out.joins.end());
+  std::reverse(join_preds.begin(), join_preds.end());
+
+  int filter_id = -1;
+  const Node* filter = nullptr;
+  if (n->kind == Node::Kind::kFilter) {
+    filter_id = cur;
+    filter = n;
+    cur = n->inputs[0];
+    n = &plan.node(cur);
+  }
+
+  if (n->kind != Node::Kind::kScan) {
+    return Reject(plan, cur, "probe chain does not bottom out at a base Scan");
+  }
+  const int scan_id = cur;
+  const std::string& base = n->table;
+
+  // Shape: any probe through joins is a star plan (the base is its fact
+  // table — the engine's planner cross-checks the name against the
+  // design's schema), and a join-free scan of the fact table stays star
+  // too, keeping its access paths, tombstones and delta overlay. Only a
+  // join-free scan of some other table lowers to the single-table shape.
+  const bool is_star = base == kFactTableName || !out.joins.empty();
+  out.shape =
+      is_star ? PhysicalPlan::Shape::kStar : PhysicalPlan::Shape::kSingleTable;
+  if (is_star) {
+    out.fact_table = base;
+  } else {
+    out.table = base;
+  }
+
+  // Base filter, now that the shape is known. Star plans take integer
+  // ranges only (the fact scan's compiled predicate form); single-table
+  // scans accept the full dimension predicate vocabulary.
+  if (filter != nullptr) {
+    for (const Predicate& p : filter->predicates) {
+      if (p.column.table != base) {
+        return Reject(plan, filter_id,
+                      "filter predicate references " + p.column.ToString() +
+                          " but the scan reads '" + base + "'");
+      }
+      if (is_star) {
+        core::FactPredicate fp;
+        Status s = LowerFactPredicate(plan, filter_id, p, &fp);
+        if (!s.ok()) return s;
+        out.query.fact_predicates.push_back(std::move(fp));
+      } else {
+        out.query.dim_predicates.push_back(LowerDimPredicate(p));
+      }
+    }
+  }
+  // Dimension predicates in builder call order, as the executors expect.
+  for (const std::vector<core::DimPredicate>& preds : join_preds) {
+    out.query.dim_predicates.insert(out.query.dim_predicates.end(),
+                                    preds.begin(), preds.end());
+  }
+
+  // Cross-checks that need the base identified: measures must come off the
+  // scanned base, and group-by keys must be attributes the pipeline
+  // produces (joined dimensions for star plans, the base itself for
+  // single-table plans).
+  for (const AggExpr& agg : aggs) {
+    bool bad = false;
+    switch (agg.kind) {
+      case core::AggKind::kSumColumn:
+      case core::AggKind::kMin:
+      case core::AggKind::kMax:
+      case core::AggKind::kAvg:
+        bad = agg.a.table != base;
+        break;
+      case core::AggKind::kSumProduct:
+      case core::AggKind::kSumDiff:
+        bad = agg.a.table != base || agg.b.table != base;
+        break;
+      case core::AggKind::kCountStar:
+      case core::AggKind::kCountColumn:
+        // Counts read no operand once lowered (COUNT(col) counts rows —
+        // SSB columns are never NULL), so any in-scope reference is fine.
+        break;
+    }
+    if (bad) {
+      return Reject(plan, agg_id,
+                    "aggregate " + agg.ToString() + " must read '" + base +
+                        "' columns");
+    }
+  }
+  for (const core::GroupByColumn& g : out.query.group_by) {
+    if (is_star) {
+      if (g.dim == base) {
+        return Reject(plan, agg_id, "group-by on fact column " + g.column);
+      }
+      bool joined = false;
+      for (const JoinEdge& j : out.joins) {
+        if (j.dim == g.dim) joined = true;
+      }
+      if (!joined) {
+        return Reject(plan, agg_id,
+                      "group-by references unjoined table " + g.dim);
+      }
+    } else if (g.dim != base) {
+      return Reject(plan, agg_id,
+                    "group-by references " + g.dim + "." + g.column +
+                        " but the plan scans only '" + base + "'");
+    }
+  }
+  if (is_star) {
+    for (const core::DimPredicate& p : out.query.dim_predicates) {
+      if (p.dim == base) {
+        return Reject(plan, scan_id,
+                      "fact predicate routed to a dimension filter");
+      }
+    }
+  }
+
+  // Aggregate slots + outputs. Ungrouped plans whose slots include a min or
+  // max get a hidden count slot: merging two ungrouped partial results
+  // (delta overlay, per-worker morsels) must distinguish "no rows on this
+  // side" from a real extremum, and the count is how. Grouped plans don't
+  // need it — an empty side simply contributes no groups.
+  SlotBuilder sb;
+  for (const AggExpr& agg : aggs) sb.Add(agg);
+  if (out.query.group_by.empty() && !sb.HasCountSlot()) {
+    bool has_minmax = false;
+    for (const core::Aggregate& s : sb.slots) {
+      if (s.kind == core::AggKind::kMin || s.kind == core::AggKind::kMax) {
+        has_minmax = true;
+      }
+    }
+    if (has_minmax) sb.FindOrAdd(core::AggKind::kCountStar, "", "");
+  }
+  out.query.aggs = sb.slots;
+  out.outputs = sb.outputs;
+  out.identity_outputs = core::IdentityOutputs(out.outputs, sb.slots.size());
+
+  // Result ordering. With identity outputs the executor's rows are final,
+  // so it gets the plan's sort and Finalize is a no-op — single-aggregate
+  // star plans run exactly the legacy path, bit for bit. Otherwise the
+  // executor produces the canonical order (group columns ascending, a
+  // total order) and the plan's ordering is applied after ApplyOutputs.
+  out.final_sort = plan_sort;
+  if (out.identity_outputs) {
+    out.query.sort = plan_sort;
+  }
+
+  // The operator pipeline, scan-first.
+  {
+    PhysicalOp scan;
+    scan.kind = PhysicalOp::Kind::kScan;
+    scan.table = base;
+    out.ops.push_back(std::move(scan));
+  }
+  if (filter != nullptr) {
+    PhysicalOp f;
+    f.kind = PhysicalOp::Kind::kFilter;
+    if (is_star) {
+      f.fact_predicates = out.query.fact_predicates;
+    } else {
+      f.table_predicates = out.query.dim_predicates;
+    }
+    out.ops.push_back(std::move(f));
+  }
+  for (size_t i = 0; i < out.joins.size(); ++i) {
+    PhysicalOp j;
+    j.kind = PhysicalOp::Kind::kJoin;
+    j.edge = out.joins[i];
+    j.build_predicates = join_preds[i];
+    out.ops.push_back(std::move(j));
+  }
+  {
+    PhysicalOp g;
+    g.kind = PhysicalOp::Kind::kGroupAgg;
+    g.group_by = out.query.group_by;
+    g.slots = out.query.aggs;
+    g.outputs = out.outputs;
+    out.ops.push_back(std::move(g));
+  }
+  if (has_sort) {
+    PhysicalOp s;
+    s.kind = PhysicalOp::Kind::kSort;
+    s.sort = plan_sort;
+    out.ops.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+void FinalizeResult(const PhysicalPlan& plan, core::QueryResult* result) {
+  if (plan.identity_outputs) return;
+  core::ApplyOutputs(plan.outputs, result);
+  result->Sort(plan.final_sort);
+}
+
+}  // namespace cstore::plan

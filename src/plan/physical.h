@@ -1,0 +1,138 @@
+// Physical plans: the typed operator layer between the logical DAG and the
+// design executors.
+//
+// plan::LowerToPhysical pattern-matches a validated plan::Plan into a
+// PhysicalPlan — a linear pipeline of typed operators (ScanOp → FilterOp →
+// JoinOp* → GroupAggOp → SortOp) plus the flattened per-operator payloads
+// the executors consume. Each engine::Design lowers once and then drives
+// its own access paths from the result; new plan shapes land here, not in
+// every executor. Two shapes lower today:
+//
+//   kStar        — the paper's shape: Scan(fact) probed through dimension
+//                  joins. The 13 canned SSB queries are the single-
+//                  aggregate instances of this pattern and execute through
+//                  exactly the code they always did (bit-identical hashes).
+//   kSingleTable — a join-free plan over one table, e.g. a dimension-only
+//                  query ("how many 1993 dates", "MIN(custkey) per
+//                  nation"). Dimensions are read-only, so these skip the
+//                  delta overlay entirely.
+//
+// Aggregates lower to *slots* + *outputs*: the slot list is what the
+// executors accumulate (sum/min/max accumulators only — COUNT is a sum of
+// the constant 1), the output list maps slot values onto the query's
+// result columns. AVG(a) becomes a SUM(a) slot plus a COUNT(*) slot and a
+// kRatio output (truncating int64 division); COUNT(col) becomes COUNT(*)
+// (SSB columns are never NULL). Ungrouped plans with MIN/MAX slots get a
+// hidden COUNT(*) slot so a merge of partial results (delta overlay,
+// worker partials) can tell an empty side from a real extremum; hidden
+// slots are dropped by the output mapping.
+//
+// Lowering is structural — no catalog needed — so the ssb layer can lower
+// plans (e.g. to build materialized views) without depending on the
+// engine. Anything that does not match is rejected with NotSupported
+// naming the offending node kind and quoting the rejected subtree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/star_query.h"
+#include "plan/plan.h"
+
+namespace cstore::plan {
+
+/// The SSB fact table name. Join-free plans over this table keep the star
+/// fast path (partition pruning, tombstones, the row designs' fact access
+/// paths); join-free plans over any other table lower to kSingleTable.
+/// Plans with joins always lower to kStar with the base scan as the fact
+/// table, whatever its name — the engine cross-checks it per design.
+inline constexpr std::string_view kFactTableName = "lineorder";
+
+/// One join edge the plan asserted: fact.fact_fk = dim.dim_key. The
+/// engine's planner cross-checks these against the design's StarSchema
+/// before executing.
+struct JoinEdge {
+  std::string dim;       ///< dimension table name
+  std::string fact_fk;   ///< fact column joined on
+  std::string dim_key;   ///< dimension key column joined on
+};
+
+/// One typed physical operator. A tagged struct like plan::Node: the
+/// pipeline is data the adapters walk, and only the fields for each kind
+/// are meaningful. Operators appear in pipeline order (scan first); a
+/// JoinOp carries its build side (the dimension scan + filter) inline.
+struct PhysicalOp {
+  enum class Kind { kScan, kFilter, kJoin, kGroupAgg, kSort };
+
+  Kind kind = Kind::kScan;
+
+  std::string table;  ///< kScan: the base table
+
+  /// kFilter: conjuncts on the base table — integer ranges for the fact
+  /// scan (star shape), arbitrary single-column predicates for a
+  /// single-table scan.
+  std::vector<core::FactPredicate> fact_predicates;
+  std::vector<core::DimPredicate> table_predicates;
+
+  /// kJoin: the edge plus the build side's predicates.
+  JoinEdge edge;
+  std::vector<core::DimPredicate> build_predicates;
+
+  /// kGroupAgg: keys, accumulator slots, and the slot→output mapping.
+  std::vector<core::GroupByColumn> group_by;
+  std::vector<core::Aggregate> slots;
+  std::vector<core::OutputSpec> outputs;
+
+  core::SortSpec sort;  ///< kSort: the query's result ordering
+
+  std::string ToString() const;
+};
+
+/// A lowered physical plan: the typed operator pipeline plus the flattened
+/// payloads the executors consume.
+struct PhysicalPlan {
+  enum class Shape {
+    kStar,         ///< Scan(fact) [Filter] Join* GroupAgg [Sort]
+    kSingleTable,  ///< Scan(t) [Filter] GroupAgg [Sort], t not the fact
+  };
+
+  Shape shape = Shape::kStar;
+
+  /// The operator pipeline, scan first.
+  std::vector<PhysicalOp> ops;
+
+  /// Flattened executor payload. `query.aggs` is the slot list;
+  /// `query.sort` is the *executor* sort: the plan's ordering when the
+  /// outputs are the identity (so single-aggregate plans execute exactly
+  /// as before), empty (canonical group order) otherwise — the final
+  /// ordering is then applied after ApplyOutputs.
+  core::StarQuery query;
+
+  std::string table;       ///< kSingleTable: the scanned table
+  std::string fact_table;  ///< kStar: the fact table name
+  std::vector<JoinEdge> joins;  ///< kStar: in builder call order
+
+  /// Slot→output mapping and the ordering to apply after it. When
+  /// `identity_outputs` the executor's result is final and both are no-ops.
+  std::vector<core::OutputSpec> outputs;
+  core::SortSpec final_sort;
+  bool identity_outputs = false;
+
+  std::string ToString() const;
+};
+
+/// Lowers a validated plan to its physical form, or NotSupported with the
+/// offending node kind and the rejected subtree quoted. Does not validate
+/// column references — run plan::Validate first when the plan comes from
+/// outside.
+Result<PhysicalPlan> LowerToPhysical(const Plan& plan);
+
+/// Finalizes an executor's result against the plan's output mapping:
+/// applies slot→output specs (dropping hidden slots) and the final sort.
+/// No-op for identity outputs, so legacy star results pass through
+/// untouched.
+void FinalizeResult(const PhysicalPlan& plan, core::QueryResult* result);
+
+}  // namespace cstore::plan

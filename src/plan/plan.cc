@@ -96,8 +96,18 @@ std::string AggExpr::ToString() const {
       return "SUM(" + a.ToString() + " * " + b.ToString() + ")";
     case core::AggKind::kSumDiff:
       return "SUM(" + a.ToString() + " - " + b.ToString() + ")";
+    case core::AggKind::kCountStar:
+      return "COUNT(*)";
+    case core::AggKind::kCountColumn:
+      return "COUNT(" + a.ToString() + ")";
+    case core::AggKind::kMin:
+      return "MIN(" + a.ToString() + ")";
+    case core::AggKind::kMax:
+      return "MAX(" + a.ToString() + ")";
+    case core::AggKind::kAvg:
+      return "AVG(" + a.ToString() + ")";
   }
-  return "SUM(?)";
+  return "AGG(?)";
 }
 
 std::string_view NodeKindName(Node::Kind kind) {
@@ -148,7 +158,11 @@ void DumpNode(const Plan& plan, int id, int depth, std::string* out) {
       *out += "]";
       break;
     case Node::Kind::kAggregate:
-      *out += " " + n.agg.ToString();
+      *out += " ";
+      for (size_t i = 0; i < n.aggs.size(); ++i) {
+        if (i != 0) *out += ", ";
+        *out += n.aggs[i].ToString();
+      }
       break;
     case Node::Kind::kSort:
       *out += " [";
@@ -172,6 +186,14 @@ void DumpNode(const Plan& plan, int id, int depth, std::string* out) {
 std::string Plan::ToString() const {
   std::string out = "Plan " + id_ + "\n";
   if (root_ >= 0) DumpNode(*this, root_, 1, &out);
+  return out;
+}
+
+std::string Plan::SubtreeToString(int id) const {
+  std::string out;
+  if (id >= 0 && id < static_cast<int>(nodes_.size())) {
+    DumpNode(*this, id, 0, &out);
+  }
   return out;
 }
 
@@ -211,28 +233,69 @@ PlanBuilder& PlanBuilder::GroupBy(std::string table, std::string column) {
 }
 
 PlanBuilder& PlanBuilder::Sum(std::string table, std::string column) {
-  agg_.kind = core::AggKind::kSumColumn;
-  agg_.a = {std::move(table), std::move(column)};
-  agg_.b = {};
-  have_agg_ = true;
+  AggExpr agg;
+  agg.kind = core::AggKind::kSumColumn;
+  agg.a = {std::move(table), std::move(column)};
+  aggs_.push_back(std::move(agg));
   return *this;
 }
 
 PlanBuilder& PlanBuilder::SumProduct(std::string table, std::string col_a,
                                      std::string col_b) {
-  agg_.kind = core::AggKind::kSumProduct;
-  agg_.a = {table, std::move(col_a)};
-  agg_.b = {std::move(table), std::move(col_b)};
-  have_agg_ = true;
+  AggExpr agg;
+  agg.kind = core::AggKind::kSumProduct;
+  agg.a = {table, std::move(col_a)};
+  agg.b = {std::move(table), std::move(col_b)};
+  aggs_.push_back(std::move(agg));
   return *this;
 }
 
 PlanBuilder& PlanBuilder::SumDiff(std::string table, std::string col_a,
                                   std::string col_b) {
-  agg_.kind = core::AggKind::kSumDiff;
-  agg_.a = {table, std::move(col_a)};
-  agg_.b = {std::move(table), std::move(col_b)};
-  have_agg_ = true;
+  AggExpr agg;
+  agg.kind = core::AggKind::kSumDiff;
+  agg.a = {table, std::move(col_a)};
+  agg.b = {std::move(table), std::move(col_b)};
+  aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::CountStar() {
+  AggExpr agg;
+  agg.kind = core::AggKind::kCountStar;
+  aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Count(std::string table, std::string column) {
+  AggExpr agg;
+  agg.kind = core::AggKind::kCountColumn;
+  agg.a = {std::move(table), std::move(column)};
+  aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Min(std::string table, std::string column) {
+  AggExpr agg;
+  agg.kind = core::AggKind::kMin;
+  agg.a = {std::move(table), std::move(column)};
+  aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Max(std::string table, std::string column) {
+  AggExpr agg;
+  agg.kind = core::AggKind::kMax;
+  agg.a = {std::move(table), std::move(column)};
+  aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Avg(std::string table, std::string column) {
+  AggExpr agg;
+  agg.kind = core::AggKind::kAvg;
+  agg.a = {std::move(table), std::move(column)};
+  aggs_.push_back(std::move(agg));
   return *this;
 }
 
@@ -248,7 +311,7 @@ PlanBuilder& PlanBuilder::OrderByMeasure(bool ascending) {
 
 Plan PlanBuilder::Build() const {
   CSTORE_CHECK(!fact_.empty());
-  CSTORE_CHECK(have_agg_);
+  CSTORE_CHECK(!aggs_.empty());
   Plan plan;
   plan.id_ = id_;
   auto add = [&](Node n) {
@@ -300,7 +363,7 @@ Plan PlanBuilder::Build() const {
   Node agg;
   agg.kind = Node::Kind::kAggregate;
   agg.inputs = {cur};
-  agg.agg = agg_;
+  agg.aggs = aggs_;
   cur = add(std::move(agg));
 
   if (!sort_.empty()) {

@@ -5,8 +5,9 @@
 // fluent PlanBuilder. The engine never pattern-matches canned query
 // structs: engine::Session::Run takes a Plan, validates it against the
 // catalog (validate.h), and each engine::Design lowers the validated plan
-// onto its own access paths (lower.h produces the flat star form in
-// core/star_query.h that the physical executors consume).
+// onto its own access paths (physical.h produces the typed physical
+// operator plan each design executes; the flat star form in
+// core/star_query.h is its per-operator payload).
 //
 // The IR deliberately reuses the executors' value vocabulary — PredOp,
 // AggKind, SortKey — so lowering is a structural walk, not a translation
@@ -59,10 +60,12 @@ struct Predicate {
   std::string ToString() const;
 };
 
-/// The aggregate measure: SUM over a one- or two-column expression.
+/// One aggregate expression: SUM over a one- or two-column expression,
+/// COUNT(*)/COUNT(col), MIN, MAX, or AVG. An Aggregate node carries a
+/// vector of these — one output column per expression, in order.
 struct AggExpr {
   core::AggKind kind = core::AggKind::kSumColumn;
-  ColumnRef a;
+  ColumnRef a;  ///< empty for kCountStar
   ColumnRef b;  ///< second operand for kSumProduct/kSumDiff
 
   std::string ToString() const;
@@ -85,7 +88,7 @@ struct Node {
   ColumnRef left_key;                 ///< kJoin: equi-join key, left input
   ColumnRef right_key;                ///< kJoin: equi-join key, right input
   std::vector<ColumnRef> group_keys;  ///< kGroupBy: output key columns
-  AggExpr agg;                        ///< kAggregate
+  std::vector<AggExpr> aggs;          ///< kAggregate: one or more outputs
   core::SortSpec sort;                ///< kSort: result ordering
 };
 
@@ -106,6 +109,10 @@ class Plan {
   /// Indented operator-tree dump (root first), for tests and debugging.
   std::string ToString() const;
 
+  /// Dump of the subtree rooted at node `id` — lowering diagnostics quote
+  /// the exact subtree they rejected.
+  std::string SubtreeToString(int id) const;
+
  private:
   friend class PlanBuilder;
 
@@ -114,8 +121,9 @@ class Plan {
   int root_ = -1;
 };
 
-/// Fluent builder for star-shaped plans — the one query shape the physical
-/// designs execute. Call order:
+/// Fluent builder for the plan shapes the physical designs execute: star
+/// plans (a fact scan joined to dimensions) and single-table plans (a scan
+/// with no joins — including dimension-only queries). Call order:
 ///
 ///   plan::Plan p = plan::PlanBuilder("2.1")
 ///       .Scan("lineorder")
@@ -129,19 +137,21 @@ class Plan {
 ///       .Build();
 ///
 /// Where() routes each predicate to the scan of the table it references
-/// (fact predicates filter above the fact scan, dimension predicates below
-/// the join that consumes the dimension), so selection pushdown is a
-/// property of the built plan, not a planner rewrite. Build() materializes
-/// the node DAG; it does not validate — pass the plan through
-/// plan::Validate before executing it.
+/// (base-table predicates filter above the base scan, dimension predicates
+/// below the join that consumes the dimension), so selection pushdown is a
+/// property of the built plan, not a planner rewrite. Each aggregate call
+/// appends one output column, in call order. Build() materializes the node
+/// DAG; it does not validate — pass the plan through plan::Validate before
+/// executing it.
 class PlanBuilder {
  public:
   explicit PlanBuilder(std::string query_id) : id_(std::move(query_id)) {}
 
-  /// The fact table (exactly one Scan per plan).
-  PlanBuilder& Scan(std::string fact_table);
+  /// The base table (exactly one per plan): the fact table of a star plan,
+  /// or the single table — e.g. a dimension — of a join-free plan.
+  PlanBuilder& Scan(std::string base_table);
 
-  /// Joins a dimension: fact.`fact_fk` = dim.`dim_key`. Join order in the
+  /// Joins a dimension: base.`fact_fk` = dim.`dim_key`. Join order in the
   /// plan follows call order.
   PlanBuilder& Join(std::string dim_table, std::string fact_fk,
                     std::string dim_key);
@@ -152,18 +162,24 @@ class PlanBuilder {
   /// Appends a group-by key column.
   PlanBuilder& GroupBy(std::string table, std::string column);
 
-  /// SUM(a) / SUM(a * b) / SUM(a - b). Exactly one aggregate per plan.
+  /// Aggregates. Every call appends one output column; a plan needs at
+  /// least one and may carry several (multi-aggregate plans).
   PlanBuilder& Sum(std::string table, std::string column);
   PlanBuilder& SumProduct(std::string table, std::string col_a,
                           std::string col_b);
   PlanBuilder& SumDiff(std::string table, std::string col_a,
                        std::string col_b);
+  PlanBuilder& CountStar();
+  PlanBuilder& Count(std::string table, std::string column);
+  PlanBuilder& Min(std::string table, std::string column);
+  PlanBuilder& Max(std::string table, std::string column);
+  PlanBuilder& Avg(std::string table, std::string column);
 
   /// Appends a result-ordering key on group-by output column `column`
   /// (index into the GroupBy keys, in call order). Omitting OrderBy
   /// entirely yields the canonical order: group columns ascending.
   PlanBuilder& OrderBy(int column, bool ascending = true);
-  /// Appends a result-ordering key on the aggregated measure.
+  /// Appends a result-ordering key on the first aggregate output.
   PlanBuilder& OrderByMeasure(bool ascending = true);
 
   /// Materializes the node DAG. The builder stays usable (Build is const).
@@ -182,8 +198,7 @@ class PlanBuilder {
   std::vector<Predicate> fact_predicates_;
   std::vector<DimJoin> joins_;
   std::vector<ColumnRef> group_keys_;
-  AggExpr agg_;
-  bool have_agg_ = false;
+  std::vector<AggExpr> aggs_;
   core::SortSpec sort_;
 };
 

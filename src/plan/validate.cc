@@ -206,11 +206,42 @@ class Validator {
           return Status::InvalidArgument(where +
                                          ": plan has multiple Aggregate nodes");
         }
-        s = ResolveInt(n.agg.a, *out, "aggregate");
-        if (!s.ok()) return s;
-        if (n.agg.kind != core::AggKind::kSumColumn) {
-          s = ResolveInt(n.agg.b, *out, "aggregate");
-          if (!s.ok()) return s;
+        if (n.aggs.empty()) {
+          return Status::InvalidArgument(where +
+                                         " has no aggregate expressions");
+        }
+        for (const AggExpr& agg : n.aggs) {
+          switch (agg.kind) {
+            case core::AggKind::kSumColumn:
+            case core::AggKind::kMin:
+            case core::AggKind::kMax:
+            case core::AggKind::kAvg:
+              s = ResolveInt(agg.a, *out, "aggregate");
+              if (!s.ok()) return s;
+              break;
+            case core::AggKind::kSumProduct:
+            case core::AggKind::kSumDiff:
+              s = ResolveInt(agg.a, *out, "aggregate");
+              if (!s.ok()) return s;
+              s = ResolveInt(agg.b, *out, "aggregate");
+              if (!s.ok()) return s;
+              break;
+            case core::AggKind::kCountStar:
+              // No operand to resolve.
+              break;
+            case core::AggKind::kCountColumn: {
+              // Any existing column counts (values are never NULL here, so
+              // COUNT(col) lowers to COUNT(*); the reference just has to
+              // resolve).
+              const Catalog::Column* c = Resolve(agg.a, *out);
+              if (c == nullptr) {
+                return Status::InvalidArgument(
+                    "aggregate references " + agg.a.ToString() +
+                    ", which is not in scope");
+              }
+              break;
+            }
+          }
         }
         out->has_aggregate = true;
         return Status::OK();

@@ -6,8 +6,8 @@
 // column reference resolves against a table scanned below the referencing
 // node, predicate/aggregate operand types match the column types, sort
 // keys index real group-by outputs). A plan that validates cleanly lowers
-// through plan::LowerToStar without surprises; a plan that does not never
-// reaches an executor.
+// through plan::LowerToPhysical without surprises; a plan that does not
+// never reaches an executor.
 #pragma once
 
 #include <string>

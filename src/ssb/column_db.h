@@ -56,8 +56,12 @@ class ColumnDatabase {
 };
 
 /// The pre-joined ("PJ") fact table of §6.3.3 / Figure 8: every dimension
-/// attribute the queries touch is widened into the fact table, so queries
-/// run without joins.
+/// attribute the queries touch is widened into the fact table, so star
+/// queries run without joins. The four dimension tables ride along in
+/// plain column form as a side-car — a dimension-only plan cannot run
+/// against the widened fact table (it would count fact-row multiplicities,
+/// not dimension rows), so the pre-joined design answers those from the
+/// side-car instead.
 class DenormalizedDatabase {
  public:
   static Result<std::unique_ptr<DenormalizedDatabase>> Build(
@@ -65,7 +69,12 @@ class DenormalizedDatabase {
       unsigned load_threads = 0);
 
   const col::ColumnTable& table() const { return *table_; }
+  /// Dimension side-car table ("date", "customer", "supplier", "part");
+  /// CHECK-fails on any other name.
+  const col::ColumnTable& dim(const std::string& name) const;
   col::CompressionMode mode() const { return mode_; }
+  /// Bytes of the pre-joined table alone — the Figure-8 space numbers are
+  /// about the widened fact representation, not the side-car dimensions.
   uint64_t SizeBytes() const { return table_->SizeBytes(); }
   storage::FileManager& files() { return *files_; }
 
@@ -75,6 +84,10 @@ class DenormalizedDatabase {
   std::unique_ptr<storage::FileManager> files_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<col::ColumnTable> table_;
+  std::unique_ptr<col::ColumnTable> date_;
+  std::unique_ptr<col::ColumnTable> customer_;
+  std::unique_ptr<col::ColumnTable> supplier_;
+  std::unique_ptr<col::ColumnTable> part_;
   col::CompressionMode mode_ = col::CompressionMode::kNone;
 };
 

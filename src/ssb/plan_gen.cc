@@ -26,6 +26,10 @@ struct DimSpec {
   const char* fact_fk;
   const char* dim_key;
   std::vector<DimAttr> attrs;
+  /// Integer columns a dimension-only plan may aggregate (the brute-force
+  /// oracle reads dimension measures by name, so the set is pinned to the
+  /// columns it exposes).
+  std::vector<const char*> int_measures;
 };
 
 const std::vector<DimSpec>& DimSpecs() {
@@ -36,19 +40,23 @@ const std::vector<DimSpec>& DimSpecs() {
        {{"year", false},
         {"yearmonthnum", false},
         {"weeknuminyear", false},
-        {"yearmonth", true}}},
+        {"yearmonth", true}},
+       {"datekey", "year", "yearmonthnum", "weeknuminyear"}},
       {"customer",
        "custkey",
        "custkey",
-       {{"region", true}, {"nation", true}, {"city", true}}},
+       {{"region", true}, {"nation", true}, {"city", true}},
+       {"custkey"}},
       {"supplier",
        "suppkey",
        "suppkey",
-       {{"region", true}, {"nation", true}, {"city", true}}},
+       {{"region", true}, {"nation", true}, {"city", true}},
+       {"suppkey"}},
       {"part",
        "partkey",
        "partkey",
-       {{"mfgr", true}, {"category", true}, {"brand1", true}}},
+       {{"mfgr", true}, {"category", true}, {"brand1", true}},
+       {"partkey"}},
   };
   return specs;
 }
@@ -142,6 +150,86 @@ Predicate RandomDimPredicate(util::Rng& rng, const std::string& table,
   return Predicate::StrRange(table, col, a, b);
 }
 
+/// Fact measures every design can aggregate, including the index-only one:
+/// each of these lineorder columns carries a secondary index.
+const char* RandomFactMeasure(util::Rng& rng) {
+  static const char* const kMeasures[] = {"revenue", "extendedprice",
+                                          "quantity", "supplycost", "discount"};
+  return kMeasures[rng.Uniform(0, 4)];
+}
+
+/// One random aggregate expression over the fact table: any logical kind,
+/// with the two-operand sums fixed to the shapes the paper's queries use.
+void AddStarAggregate(util::Rng& rng, plan::PlanBuilder& b) {
+  switch (rng.Uniform(0, 8)) {
+    case 0:
+      b.SumProduct("lineorder", "extendedprice", "discount");
+      break;
+    case 1:
+      b.SumDiff("lineorder", "revenue", "supplycost");
+      break;
+    case 2:
+      b.CountStar();
+      break;
+    case 3:
+      b.Count("lineorder", RandomFactMeasure(rng));
+      break;
+    case 4:
+      b.Min("lineorder", RandomFactMeasure(rng));
+      break;
+    case 5:
+      b.Max("lineorder", RandomFactMeasure(rng));
+      break;
+    case 6:
+      b.Avg("lineorder", RandomFactMeasure(rng));
+      break;
+    default:
+      b.Sum("lineorder", RandomFactMeasure(rng));
+      break;
+  }
+}
+
+/// One random aggregate expression over a dimension table, drawn from its
+/// integer columns.
+void AddDimAggregate(util::Rng& rng, plan::PlanBuilder& b,
+                     const DimSpec& spec) {
+  const char* col = spec.int_measures[static_cast<size_t>(rng.Uniform(
+      0, static_cast<int64_t>(spec.int_measures.size()) - 1))];
+  switch (rng.Uniform(0, 5)) {
+    case 0:
+      b.CountStar();
+      break;
+    case 1:
+      b.Count(spec.table, col);
+      break;
+    case 2:
+      b.Min(spec.table, col);
+      break;
+    case 3:
+      b.Max(spec.table, col);
+      break;
+    case 4:
+      b.Avg(spec.table, col);
+      break;
+    default:
+      b.Sum(spec.table, col);
+      break;
+  }
+}
+
+/// Ordering: default canonical order, or an explicit per-column spec
+/// (random directions, optionally ending on the first output measure).
+void AddRandomOrdering(util::Rng& rng, plan::PlanBuilder& b, int group_keys) {
+  if (group_keys > 0 && rng.Bernoulli(0.4)) {
+    const int n = static_cast<int>(rng.Uniform(1, group_keys));
+    for (int i = 0; i < n; ++i) {
+      b.OrderBy(static_cast<int>(rng.Uniform(0, group_keys - 1)),
+                rng.Bernoulli(0.5));
+    }
+    if (rng.Bernoulli(0.5)) b.OrderByMeasure(rng.Bernoulli(0.5));
+  }
+}
+
 Predicate RandomFactPredicate(util::Rng& rng) {
   if (rng.Bernoulli(0.5)) {
     const int64_t lo = rng.Uniform(0, 10);
@@ -158,11 +246,46 @@ Predicate RandomFactPredicate(util::Rng& rng) {
 plan::Plan RandomPlan(uint64_t seed) {
   util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   plan::PlanBuilder b("fuzz-" + std::to_string(seed));
+  const auto& specs = DimSpecs();
+
+  // About a quarter of the plans skip the fact table entirely: scan one
+  // dimension table with no joins — the shape the star funnel used to
+  // reject outright.
+  if (rng.Bernoulli(0.25)) {
+    const DimSpec& spec = specs[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(specs.size()) - 1))];
+    b.Scan(spec.table);
+    const int preds = static_cast<int>(rng.Uniform(0, 2));
+    for (int i = 0; i < preds; ++i) {
+      const DimAttr& attr = spec.attrs[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(spec.attrs.size()) - 1))];
+      b.Where(RandomDimPredicate(rng, spec.table, attr));
+    }
+    int group_keys = 0;
+    if (rng.Bernoulli(0.7)) {
+      const int want = static_cast<int>(rng.Uniform(1, 2));
+      std::vector<std::string> used;
+      for (int i = 0; i < want; ++i) {
+        const DimAttr& attr = spec.attrs[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(spec.attrs.size()) - 1))];
+        if (std::find(used.begin(), used.end(), attr.column) != used.end()) {
+          continue;
+        }
+        used.emplace_back(attr.column);
+        b.GroupBy(spec.table, attr.column);
+        ++group_keys;
+      }
+    }
+    const int naggs = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < naggs; ++i) AddDimAggregate(rng, b, spec);
+    AddRandomOrdering(rng, b, group_keys);
+    return b.Build();
+  }
+
   b.Scan("lineorder");
 
   // Join a random subset of dimensions (possibly none: a pure fact-table
   // scalar aggregate is a valid plan too).
-  const auto& specs = DimSpecs();
   std::vector<const DimSpec*> joined;
   for (const DimSpec& spec : specs) {
     if (!rng.Bernoulli(0.55)) continue;
@@ -205,33 +328,12 @@ plan::Plan RandomPlan(uint64_t seed) {
     }
   }
 
-  // Aggregate: the three measure shapes the executors support.
-  switch (rng.Uniform(0, 3)) {
-    case 0:
-      b.SumProduct("lineorder", "extendedprice", "discount");
-      break;
-    case 1:
-      b.SumDiff("lineorder", "revenue", "supplycost");
-      break;
-    default: {
-      static const char* const kMeasures[] = {"revenue", "extendedprice",
-                                              "quantity", "supplycost"};
-      b.Sum("lineorder", kMeasures[rng.Uniform(0, 3)]);
-      break;
-    }
-  }
+  // Aggregates: one to three expressions across all the logical kinds.
+  // Duplicate expressions are allowed — slot dedup must keep them coherent.
+  const int naggs = static_cast<int>(rng.Uniform(1, 3));
+  for (int i = 0; i < naggs; ++i) AddStarAggregate(rng, b);
 
-  // Ordering: default canonical order, or an explicit per-column spec
-  // (random directions, optionally ending on the measure).
-  if (group_keys > 0 && rng.Bernoulli(0.4)) {
-    const int n = static_cast<int>(rng.Uniform(1, group_keys));
-    for (int i = 0; i < n; ++i) {
-      b.OrderBy(static_cast<int>(rng.Uniform(0, group_keys - 1)),
-                rng.Bernoulli(0.5));
-    }
-    if (rng.Bernoulli(0.5)) b.OrderByMeasure(rng.Bernoulli(0.5));
-  }
-
+  AddRandomOrdering(rng, b, group_keys);
   return b.Build();
 }
 

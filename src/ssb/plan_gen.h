@@ -1,16 +1,23 @@
-// Seeded random star-plan generator over the SSB schema, for the
-// cross-design fuzz tests: every design must produce bit-identical results
-// for any generated plan, at any thread count, against the brute-force
-// reference executor.
+// Seeded random plan generator over the SSB schema, for the cross-design
+// fuzz tests: every design must produce bit-identical results for any
+// generated plan, at any thread count, against the brute-force reference
+// executor.
+//
+// Two shapes come out. Star plans join a random subset of dimensions into
+// the fact table and aggregate one to three expressions over any of the
+// logical kinds (SUM/SUM-product/SUM-diff/COUNT(*)/COUNT(col)/MIN/MAX/AVG).
+// Dimension-only plans scan a single dimension table with no joins — the
+// shape the old star funnel rejected outright.
 //
 // Generated plans stay inside the vocabulary all five designs support:
 // dimension attributes are drawn only from the columns the denormalized
 // design widens into the fact table (d_year, c_region, p_brand1, ...), fact
-// predicates only from the int columns every design scans (quantity,
-// discount), and group-by keys from joined dimensions only. Key
-// cardinalities are chosen so both group-by modes get exercised — small key
-// sets pack under the dense-array threshold, brand1/city combinations spill
-// into the hash path.
+// measures only from the lineorder columns the index-only design indexes,
+// fact predicates only from the int columns every design scans (quantity,
+// discount), and group-by keys from joined dimensions (or, for
+// dimension-only plans, the scanned table). Key cardinalities are chosen so
+// both group-by modes get exercised — small key sets pack under the
+// dense-array threshold, brand1/city combinations spill into the hash path.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +26,7 @@
 
 namespace cstore::ssb {
 
-/// Builds a random, always-valid star plan. Deterministic in `seed`: the
+/// Builds a random, always-valid plan. Deterministic in `seed`: the
 /// same seed yields the same plan on every platform (no std:: distribution
 /// types, whose sequences are implementation-defined). Plan ids are
 /// "fuzz-<seed>".

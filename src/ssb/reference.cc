@@ -1,5 +1,6 @@
 #include "ssb/reference.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -156,15 +157,71 @@ std::vector<DimSide> BuildDimSides(const SsbData& data, const StarQuery& q) {
   return sides;
 }
 
+namespace {
+
+std::vector<core::SlotKind> SlotKindsOf(const StarQuery& q) {
+  std::vector<core::SlotKind> kinds;
+  kinds.reserve(q.aggs.size());
+  for (const core::Aggregate& slot : q.aggs) {
+    kinds.push_back(core::SlotKindOf(slot.kind));
+  }
+  return kinds;
+}
+
+std::vector<int64_t> NeutralSlots(const std::vector<core::SlotKind>& kinds) {
+  std::vector<int64_t> vals(kinds.size(), 0);
+  for (size_t s = 0; s < kinds.size(); ++s) {
+    if (kinds[s] == core::SlotKind::kMin) vals[s] = INT64_MAX;
+    if (kinds[s] == core::SlotKind::kMax) vals[s] = INT64_MIN;
+  }
+  return vals;
+}
+
+/// Assembles the result from the accumulated groups / scalar. Pinned
+/// empty-input semantics for the ungrouped case: zero rows yields 0 for
+/// every slot, MIN/MAX included.
+core::QueryResult FinishSlots(
+    const StarQuery& q, std::map<std::vector<Value>, std::vector<int64_t>>&& groups,
+    std::vector<int64_t>&& scalar, bool any) {
+  core::QueryResult result;
+  if (q.group_by.empty()) {
+    if (!any) std::fill(scalar.begin(), scalar.end(), 0);
+    core::ResultRow row;
+    row.sum = scalar[0];
+    row.extras.assign(scalar.begin() + 1, scalar.end());
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+  for (auto& [key, vals] : groups) {
+    core::ResultRow row;
+    row.group_values = key;
+    row.sum = vals[0];
+    row.extras.assign(vals.begin() + 1, vals.end());
+    result.rows.push_back(std::move(row));
+  }
+  result.Sort(q.sort);
+  return result;
+}
+
+}  // namespace
+
 core::QueryResult ReferenceExecute(const SsbData& data,
                                    const core::StarQuery& q) {
   const LineorderTable& lo = data.lineorder;
   std::vector<DimSide> sides = BuildDimSides(data, q);
 
-  const std::vector<int64_t>& agg_a = FactIntColumn(data, q.agg.column_a);
-  const std::vector<int64_t>* agg_b =
-      q.agg.kind == AggKind::kSumColumn ? nullptr
-                                        : &FactIntColumn(data, q.agg.column_b);
+  const size_t num_slots = q.aggs.size();
+  std::vector<const std::vector<int64_t>*> slot_a(num_slots, nullptr);
+  std::vector<const std::vector<int64_t>*> slot_b(num_slots, nullptr);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    slot_a[s] = &FactIntColumn(data, slot.column_a);
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      slot_b[s] = &FactIntColumn(data, slot.column_b);
+    }
+  }
+  const std::vector<core::SlotKind> kinds = SlotKindsOf(q);
 
   struct GroupCol {
     DimView view;
@@ -186,8 +243,8 @@ core::QueryResult ReferenceExecute(const SsbData& data,
     group_cols.push_back(gc);
   }
 
-  std::map<std::vector<Value>, int64_t> groups;
-  int64_t scalar = 0;
+  std::map<std::vector<Value>, std::vector<int64_t>> groups;
+  std::vector<int64_t> scalar = NeutralSlots(kinds);
   bool any = false;
 
   for (size_t r = 0; r < lo.size(); ++r) {
@@ -213,41 +270,129 @@ core::QueryResult ReferenceExecute(const SsbData& data,
     if (!ok) continue;
     any = true;
 
-    int64_t measure = agg_a[r];
-    if (q.agg.kind == AggKind::kSumProduct) measure *= (*agg_b)[r];
-    if (q.agg.kind == AggKind::kSumDiff) measure -= (*agg_b)[r];
-
+    std::vector<int64_t>* totals;
     if (q.group_by.empty()) {
-      scalar += measure;
-      continue;
-    }
-    std::vector<Value> key;
-    key.reserve(group_cols.size());
-    for (const GroupCol& gc : group_cols) {
-      size_t dim_row = 0;
-      for (size_t s = 0; s < sides.size(); ++s) {
-        if (&sides[s] == gc.side) dim_row = dim_rows[s];
+      totals = &scalar;
+    } else {
+      std::vector<Value> key;
+      key.reserve(group_cols.size());
+      for (const GroupCol& gc : group_cols) {
+        size_t dim_row = 0;
+        for (size_t s = 0; s < sides.size(); ++s) {
+          if (&sides[s] == gc.side) dim_row = dim_rows[s];
+        }
+        if (gc.view.strs != nullptr) {
+          key.push_back(Value::Str((*gc.view.strs)[dim_row]));
+        } else {
+          key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+        }
       }
-      if (gc.view.strs != nullptr) {
-        key.push_back(Value::Str((*gc.view.strs)[dim_row]));
-      } else {
-        key.push_back(Value::Int64((*gc.view.ints)[dim_row]));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(std::move(key), NeutralSlots(kinds)).first;
       }
+      totals = &it->second;
     }
-    groups[key] += measure;
+    for (size_t s = 0; s < num_slots; ++s) {
+      const int64_t v =
+          slot_a[s] == nullptr
+              ? 1
+              : core::SlotRowValue(q.aggs[s].kind, (*slot_a[s])[r],
+                                   slot_b[s] == nullptr ? 0 : (*slot_b[s])[r]);
+      core::CombineSlotValue(kinds[s], &(*totals)[s], v);
+    }
   }
 
-  core::QueryResult result;
-  if (q.group_by.empty()) {
-    (void)any;
-    result.rows.push_back(core::ResultRow{{}, scalar});
-    return result;
+  return FinishSlots(q, std::move(groups), std::move(scalar), any);
+}
+
+core::QueryResult ReferenceExecuteTable(const SsbData& data,
+                                        const core::StarQuery& q,
+                                        const std::string& table) {
+  size_t n = 0;
+  if (table == "date") n = data.date.size();
+  else if (table == "customer") n = data.customer.size();
+  else if (table == "supplier") n = data.supplier.size();
+  else if (table == "part") n = data.part.size();
+  else CSTORE_CHECK(false);
+
+  struct PredView {
+    const DimPredicate* p;
+    DimView view;
+  };
+  std::vector<PredView> preds;
+  for (const auto& p : q.dim_predicates) {
+    CSTORE_CHECK(p.dim == table);
+    preds.push_back(PredView{&p, DimColumn(data, table, p.column)});
   }
-  for (const auto& [key, sum] : groups) {
-    result.rows.push_back(core::ResultRow{key, sum});
+  CSTORE_CHECK(q.fact_predicates.empty());
+  std::vector<DimView> group_views;
+  for (const auto& g : q.group_by) {
+    CSTORE_CHECK(g.dim == table);
+    group_views.push_back(DimColumn(data, table, g.column));
   }
-  result.Sort(q.sort);
-  return result;
+  const size_t num_slots = q.aggs.size();
+  std::vector<const std::vector<int64_t>*> slot_a(num_slots, nullptr);
+  std::vector<const std::vector<int64_t>*> slot_b(num_slots, nullptr);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    slot_a[s] = DimColumn(data, table, slot.column_a).ints;
+    CSTORE_CHECK(slot_a[s] != nullptr);
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      slot_b[s] = DimColumn(data, table, slot.column_b).ints;
+      CSTORE_CHECK(slot_b[s] != nullptr);
+    }
+  }
+  const std::vector<core::SlotKind> kinds = SlotKindsOf(q);
+
+  std::map<std::vector<Value>, std::vector<int64_t>> groups;
+  std::vector<int64_t> scalar = NeutralSlots(kinds);
+  bool any = false;
+
+  for (size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const PredView& pv : preds) {
+      if (pv.p->is_string) {
+        ok = MatchStr(*pv.p, (*pv.view.strs)[r]);
+      } else {
+        ok = MatchInt(*pv.p, (*pv.view.ints)[r]);
+      }
+      if (!ok) break;
+    }
+    if (!ok) continue;
+    any = true;
+
+    std::vector<int64_t>* totals;
+    if (q.group_by.empty()) {
+      totals = &scalar;
+    } else {
+      std::vector<Value> key;
+      key.reserve(group_views.size());
+      for (const DimView& view : group_views) {
+        if (view.strs != nullptr) {
+          key.push_back(Value::Str((*view.strs)[r]));
+        } else {
+          key.push_back(Value::Int64((*view.ints)[r]));
+        }
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(std::move(key), NeutralSlots(kinds)).first;
+      }
+      totals = &it->second;
+    }
+    for (size_t s = 0; s < num_slots; ++s) {
+      const int64_t v =
+          slot_a[s] == nullptr
+              ? 1
+              : core::SlotRowValue(q.aggs[s].kind, (*slot_a[s])[r],
+                                   slot_b[s] == nullptr ? 0 : (*slot_b[s])[r]);
+      core::CombineSlotValue(kinds[s], &(*totals)[s], v);
+    }
+  }
+
+  return FinishSlots(q, std::move(groups), std::move(scalar), any);
 }
 
 uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& q) {
@@ -273,11 +418,22 @@ uint64_t ReferenceMatchCount(const SsbData& data, const core::StarQuery& q) {
 }
 
 core::QueryResult ReferenceExecute(const SsbData& data, const plan::Plan& p) {
-  return ReferenceExecute(data, plan::LowerToStarQueryOrDie(p));
+  Result<plan::PhysicalPlan> lowered = plan::LowerToPhysical(p);
+  CSTORE_CHECK(lowered.ok());
+  const plan::PhysicalPlan phys = std::move(lowered).ValueOrDie();
+  core::QueryResult result =
+      phys.shape == plan::PhysicalPlan::Shape::kSingleTable
+          ? ReferenceExecuteTable(data, phys.query, phys.table)
+          : ReferenceExecute(data, phys.query);
+  plan::FinalizeResult(phys, &result);
+  return result;
 }
 
 uint64_t ReferenceMatchCount(const SsbData& data, const plan::Plan& p) {
-  return ReferenceMatchCount(data, plan::LowerToStarQueryOrDie(p));
+  Result<plan::PhysicalPlan> lowered = plan::LowerToPhysical(p);
+  CSTORE_CHECK(lowered.ok() &&
+               lowered.ValueOrDie().shape == plan::PhysicalPlan::Shape::kStar);
+  return ReferenceMatchCount(data, lowered.ValueOrDie().query);
 }
 
 }  // namespace cstore::ssb

@@ -46,12 +46,20 @@ struct DimSide {
 std::vector<DimSide> BuildDimSides(const SsbData& data,
                                    const core::StarQuery& q);
 
-/// Evaluates `query` over `data` by brute force (hash maps + per-row loops).
+/// Evaluates the star-shaped `query` over `data` by brute force (hash maps
+/// + per-row loops), every aggregate slot at once.
 core::QueryResult ReferenceExecute(const SsbData& data,
                                    const core::StarQuery& query);
 
-/// Plan front end: lowers `p` (CHECK-fails on non-star plans) and executes
-/// it by brute force.
+/// Evaluates a single-table (dimension-only) `query` over one dimension
+/// table of `data` by brute force.
+core::QueryResult ReferenceExecuteTable(const SsbData& data,
+                                        const core::StarQuery& query,
+                                        const std::string& table);
+
+/// Plan front end: lowers `p` to its physical plan (CHECK-fails if it does
+/// not lower), executes the matching brute-force evaluator, and applies the
+/// plan's output mapping (COUNT/AVG rewrites) and final ordering.
 core::QueryResult ReferenceExecute(const SsbData& data, const plan::Plan& p);
 
 /// Number of LINEORDER rows passing all predicates (for selectivity tests).

@@ -142,8 +142,14 @@ std::vector<std::string> QueryFactColumnsFor(const core::StarQuery& q) {
   for (const auto& p : q.dim_predicates) need.insert(fk_of(p.dim));
   for (const auto& g : q.group_by) need.insert(fk_of(g.dim));
   for (const auto& p : q.fact_predicates) need.insert(p.column);
-  need.insert(q.agg.column_a);
-  if (q.agg.kind != core::AggKind::kSumColumn) need.insert(q.agg.column_b);
+  for (const core::Aggregate& slot : q.aggs) {
+    if (slot.kind == core::AggKind::kCountStar) continue;
+    need.insert(slot.column_a);
+    if (slot.kind == core::AggKind::kSumProduct ||
+        slot.kind == core::AggKind::kSumDiff) {
+      need.insert(slot.column_b);
+    }
+  }
   std::vector<std::string> ordered;
   const Schema schema = LineorderSchema();
   for (const Field& f : schema.fields()) {

@@ -74,6 +74,9 @@ class RowDatabase {
   /// Per-query materialized view (minimal projection of lineorder).
   const row::RowTable& mv(const std::string& query_id) const;
   bool has_mvs() const { return !mvs_.empty(); }
+  bool has_mv(const std::string& query_id) const {
+    return mvs_.contains(query_id);
+  }
 
   const RowDbOptions& options() const { return options_; }
   storage::FileManager& files() { return *files_; }

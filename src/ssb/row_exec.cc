@@ -1,6 +1,7 @@
 #include "ssb/row_exec.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -89,6 +90,10 @@ struct RowContext {
   GroupKeyCodec codec;
   std::vector<std::unique_ptr<std::vector<std::string>>> pools;
   std::vector<uint32_t> partitions;  // pruned fact partitions ({} = all)
+  /// The query's aggregate slot kinds, in slot order; `single_sum` marks
+  /// the classic one-SUM layout every canned query uses (hot path).
+  std::vector<core::SlotKind> slot_kinds;
+  bool single_sum = true;
   /// Billing sink for the aggregation operator (may be null).
   core::ExecContext* exec = nullptr;
 };
@@ -97,6 +102,12 @@ struct RowContext {
 /// group-attribute payloads, and the group-key codec (in group-by order).
 Result<RowContext> BuildContext(const RowDatabase& db, const StarQuery& q) {
   RowContext ctx;
+  ctx.slot_kinds.reserve(q.aggs.size());
+  for (const core::Aggregate& slot : q.aggs) {
+    ctx.slot_kinds.push_back(core::SlotKindOf(slot.kind));
+  }
+  ctx.single_sum =
+      ctx.slot_kinds.size() == 1 && ctx.slot_kinds[0] == core::SlotKind::kSum;
 
   struct AttrMeta {
     DimSide* side = nullptr;
@@ -261,9 +272,15 @@ std::vector<const DimSide*> ProbeOrder(const RowContext& ctx) {
 struct FactFields {
   std::vector<std::pair<size_t, core::IntPredicate>> local_preds;
   std::vector<std::pair<const DimSide*, size_t>> probes;  // (side, fk field)
-  size_t agg_a = 0;
-  size_t agg_b = 0;
-  AggKind agg_kind = AggKind::kSumColumn;
+  /// One resolved (kind, operand fields) triple per aggregate slot. Count
+  /// slots read no field; single-operand slots leave `b` unused.
+  struct SlotField {
+    AggKind kind = AggKind::kSumColumn;
+    size_t a = 0;
+    size_t b = 0;
+  };
+  std::vector<SlotField> slots;
+  bool single_sum = true;
 };
 
 /// Resolves query fields against a fact table layout (full table or MV).
@@ -278,37 +295,72 @@ Result<FactFields> ResolveFactFields(const RowContext& ctx, const StarQuery& q,
     CSTORE_ASSIGN_OR_RETURN(size_t f, schema.IndexOf(FkOf(side->dim_name)));
     ff.probes.emplace_back(side, f);
   }
-  CSTORE_ASSIGN_OR_RETURN(ff.agg_a, schema.IndexOf(q.agg.column_a));
-  ff.agg_kind = q.agg.kind;
-  if (q.agg.kind != AggKind::kSumColumn) {
-    CSTORE_ASSIGN_OR_RETURN(ff.agg_b, schema.IndexOf(q.agg.column_b));
+  ff.slots.resize(q.aggs.size());
+  for (size_t s = 0; s < q.aggs.size(); ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    ff.slots[s].kind = slot.kind;
+    if (slot.kind == AggKind::kCountStar) continue;
+    CSTORE_ASSIGN_OR_RETURN(ff.slots[s].a, schema.IndexOf(slot.column_a));
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      CSTORE_ASSIGN_OR_RETURN(ff.slots[s].b, schema.IndexOf(slot.column_b));
+    }
   }
+  ff.single_sum = ctx.single_sum;
   return ff;
 }
 
-/// The shared aggregation sink.
+/// The shared aggregation sink: one accumulator set per aggregate slot,
+/// grouped or scalar. The classic one-SUM layout keeps its hot Add() path;
+/// wider layouts go through AddRow() with per-slot combine rules.
 class Sink {
  public:
   Sink(const RowContext& ctx, const StarQuery& q)
-      : grouped_(!q.group_by.empty()), agg_(ctx.codec), raw_(q.group_by.size()) {}
+      : grouped_(!q.group_by.empty()),
+        agg_(ctx.codec, ctx.slot_kinds),
+        raw_(q.group_by.size()),
+        slot_kinds_(ctx.slot_kinds),
+        scalar_(NeutralSlots(ctx.slot_kinds)),
+        vals_(ctx.slot_kinds.size(), 0) {}
 
+  /// Single-slot hot path (the {kSum} layout of every canned query).
   void Add(int64_t measure) {
     if (grouped_) {
       agg_.Add(codec_pack_(), measure);
     } else {
-      scalar_ += measure;
+      scalar_[0] += measure;
+    }
+    ++rows_;
+  }
+
+  /// Folds one row's per-slot values.
+  void AddRow(const int64_t* values) {
+    if (grouped_) {
+      agg_.AddRow(codec_pack_(), values);
+    } else {
+      for (size_t s = 0; s < slot_kinds_.size(); ++s) {
+        core::CombineSlotValue(slot_kinds_[s], &scalar_[s], values[s]);
+      }
     }
     ++rows_;
   }
 
   int64_t* raw() { return raw_.data(); }
   size_t raw_size() const { return raw_.size(); }
+  /// Scratch row for callers assembling per-slot values before AddRow().
+  int64_t* slot_scratch() { return vals_.data(); }
 
   core::QueryResult Finish(const RowContext& ctx, const StarQuery& q) {
     if (!grouped_) {
       core::ChargeAggregation(ctx.exec, rows_, 0);
+      std::vector<int64_t> totals = scalar_;
+      // Pinned empty-input semantics: zero rows yields 0 for every slot,
+      // MIN/MAX included — never a sentinel.
+      if (rows_ == 0) std::fill(totals.begin(), totals.end(), 0);
       core::QueryResult r;
-      r.rows.push_back(core::ResultRow{{}, scalar_});
+      core::ResultRow row;
+      row.sum = totals[0];
+      row.extras.assign(totals.begin() + 1, totals.end());
+      r.rows.push_back(std::move(row));
       return r;
     }
     core::ChargeAggregation(ctx.exec, rows_, agg_.num_groups());
@@ -318,9 +370,12 @@ class Sink {
   }
 
   /// Folds a thread-local partial sink into this one (parallel scans).
+  /// Min/max neutral sentinels make idle workers merge as no-ops.
   void MergeFrom(const Sink& other) {
     agg_.MergeFrom(other.agg_);
-    scalar_ += other.scalar_;
+    for (size_t s = 0; s < slot_kinds_.size(); ++s) {
+      core::CombineSlotValue(slot_kinds_[s], &scalar_[s], other.scalar_[s]);
+    }
     rows_ += other.rows_;
   }
 
@@ -330,23 +385,49 @@ class Sink {
   }
 
  private:
+  static std::vector<int64_t> NeutralSlots(
+      const std::vector<core::SlotKind>& kinds) {
+    std::vector<int64_t> vals(kinds.size(), 0);
+    for (size_t s = 0; s < kinds.size(); ++s) {
+      if (kinds[s] == core::SlotKind::kMin) vals[s] = INT64_MAX;
+      if (kinds[s] == core::SlotKind::kMax) vals[s] = INT64_MIN;
+    }
+    return vals;
+  }
+
   bool grouped_;
   core::GroupAggregator agg_;
   std::vector<int64_t> raw_;
-  int64_t scalar_ = 0;
+  std::vector<core::SlotKind> slot_kinds_;
+  std::vector<int64_t> scalar_;  // ungrouped per-slot accumulators
+  std::vector<int64_t> vals_;    // AddRow scratch
   uint64_t rows_ = 0;
   std::function<uint64_t()> codec_pack_;
 };
 
-int64_t ComputeMeasure(const FactFields& ff, const TupleLayout& layout,
-                       const char* tuple) {
-  int64_t m = layout.GetIntegral(tuple, ff.agg_a);
-  if (ff.agg_kind == AggKind::kSumProduct) {
-    m *= layout.GetIntegral(tuple, ff.agg_b);
-  } else if (ff.agg_kind == AggKind::kSumDiff) {
-    m -= layout.GetIntegral(tuple, ff.agg_b);
+int64_t SlotValueOf(const FactFields::SlotField& sf, const TupleLayout& layout,
+                    const char* tuple) {
+  if (sf.kind == AggKind::kCountStar) return 1;
+  const int64_t a = layout.GetIntegral(tuple, sf.a);
+  const int64_t b =
+      sf.kind == AggKind::kSumProduct || sf.kind == AggKind::kSumDiff
+          ? layout.GetIntegral(tuple, sf.b)
+          : 0;
+  return core::SlotRowValue(sf.kind, a, b);
+}
+
+/// Evaluates every slot's measure on `tuple` and feeds the sink.
+void AddMeasures(const FactFields& ff, const TupleLayout& layout,
+                 const char* tuple, Sink& sink) {
+  if (ff.single_sum) {
+    sink.Add(SlotValueOf(ff.slots[0], layout, tuple));
+    return;
   }
-  return m;
+  int64_t* vals = sink.slot_scratch();
+  for (size_t s = 0; s < ff.slots.size(); ++s) {
+    vals[s] = SlotValueOf(ff.slots[s], layout, tuple);
+  }
+  sink.AddRow(vals);
 }
 
 // ---------------------------------------------------------------------------
@@ -497,7 +578,7 @@ Result<core::QueryResult> ExecutePipelined(const RowDatabase& db,
       }
     }
     if (!pass) return;
-    sink.Add(ComputeMeasure(ff, layout, tuple));
+    AddMeasures(ff, layout, tuple, sink);
   };
 
   return SinkScan(fact, ctx.partitions, ctx, q, num_threads, process);
@@ -609,7 +690,7 @@ Result<core::QueryResult> ExecuteBitmap(const RowDatabase& db,
       }
     }
     if (!pass) return;
-    sink.Add(ComputeMeasure(ff, layout, tuple));
+    AddMeasures(ff, layout, tuple, sink);
   };
   return SinkScan(fact, ctx.partitions, ctx, q, num_threads, process);
 }
@@ -784,8 +865,17 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
   if (!result.initialized) {
     // No fact predicates and no active dimension sides (any joins are
     // unconstrained, so FK integrity makes them no-ops): every row
-    // survives. Materialize the full position list from the measure table.
-    const RowTable& vp = db.vp(q.agg.column_a);
+    // survives. Materialize the full position list from a measure table —
+    // or, for a pure COUNT(*) with no measure at all, from the orderkey
+    // column table (every lineorder integer column has a VP table).
+    std::string driver = "orderkey";
+    for (const core::Aggregate& slot : q.aggs) {
+      if (slot.kind != AggKind::kCountStar) {
+        driver = slot.column_a;
+        break;
+      }
+    }
+    const RowTable& vp = db.vp(driver);
     const TupleLayout& layout = vp.layout();
     CSTORE_ASSIGN_OR_RETURN(
         std::vector<std::vector<uint32_t>> chunks,
@@ -844,19 +934,45 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
     return Status::OK();
   };
 
-  std::vector<int64_t> measure;
-  CSTORE_RETURN_IF_ERROR(fetch_measure(q.agg.column_a, &measure));
-  if (q.agg.kind != AggKind::kSumColumn) {
-    std::vector<int64_t> b;
-    CSTORE_RETURN_IF_ERROR(fetch_measure(q.agg.column_b, &b));
-    core::CombineMeasures(&measure, b, q.agg.kind, num_threads);
+  // Per-slot measures, each "an additional hash join to pick up
+  // lo.revenue". Slots sharing a raw column share one fetch; count slots
+  // fetch nothing (every surviving position contributes the constant 1).
+  std::unordered_map<std::string, std::vector<int64_t>> raw_fetches;
+  auto fetched = [&](const std::string& name,
+                     const std::vector<int64_t>** out) -> Status {
+    auto it = raw_fetches.find(name);
+    if (it == raw_fetches.end()) {
+      std::vector<int64_t> vals;
+      CSTORE_RETURN_IF_ERROR(fetch_measure(name, &vals));
+      it = raw_fetches.emplace(name, std::move(vals)).first;
+    }
+    *out = &it->second;
+    return Status::OK();
+  };
+  std::vector<std::vector<int64_t>> slot_measures(q.aggs.size());
+  for (size_t s = 0; s < q.aggs.size(); ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    const std::vector<int64_t>* a = nullptr;
+    CSTORE_RETURN_IF_ERROR(fetched(slot.column_a, &a));
+    slot_measures[s] = *a;
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      const std::vector<int64_t>* b = nullptr;
+      CSTORE_RETURN_IF_ERROR(fetched(slot.column_b, &b));
+      core::CombineMeasures(&slot_measures[s], *b, slot.kind, num_threads);
+    }
   }
+  auto slot_val = [&](size_t s, uint64_t i) -> int64_t {
+    return slot_measures[s].empty() ? 1
+                                    : slot_measures[s][static_cast<size_t>(i)];
+  };
 
-  // Final aggregation over the assembled (group codes, measure) rows.
+  // Final aggregation over the assembled (group codes, measures) rows.
   // Snapshot overlay: VP positions are lineorder row positions.
+  const size_t num_slots = q.aggs.size();
   const util::BitVector* tombstones =
       ctx.exec == nullptr ? nullptr : ctx.exec->fact_tombstones;
-  return SinkOverRows(measure.size(), ctx, q, num_threads,
+  return SinkOverRows(result.pos.size(), ctx, q, num_threads,
                       [&](uint64_t i, Sink& sink) {
                         if (tombstones != nullptr &&
                             tombstones->Get(result.pos[i])) {
@@ -865,7 +981,15 @@ Result<core::QueryResult> ExecuteVerticalPartitioning(const RowDatabase& db,
                         for (size_t g = 0; g < q.group_by.size(); ++g) {
                           sink.raw()[g] = result.group_cols[g][i];
                         }
-                        sink.Add(measure[i]);
+                        if (ctx.single_sum) {
+                          sink.Add(slot_val(0, i));
+                          return;
+                        }
+                        int64_t* vals = sink.slot_scratch();
+                        for (size_t s = 0; s < num_slots; ++s) {
+                          vals[s] = slot_val(s, i);
+                        }
+                        sink.AddRow(vals);
                       });
 }
 
@@ -977,8 +1101,17 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
     auto add = [&](const std::string& n) { need.insert(n); };
     for (const DimSide& side : ctx.sides) add(FkOf(side.dim_name));
     for (const auto& fp : q.fact_predicates) add(fp.column);
-    add(q.agg.column_a);
-    if (q.agg.kind != AggKind::kSumColumn) add(q.agg.column_b);
+    for (const core::Aggregate& slot : q.aggs) {
+      if (slot.kind == AggKind::kCountStar) continue;
+      add(slot.column_a);
+      if (slot.kind == AggKind::kSumProduct ||
+          slot.kind == AggKind::kSumDiff) {
+        add(slot.column_b);
+      }
+    }
+    // A pure COUNT(*) with no predicates or joins still needs one driving
+    // index to enumerate the fact's record-ids.
+    if (need.empty()) add("orderdate");
     names.assign(need.begin(), need.end());
     // Several predicates may name the same column; their conjunction is the
     // intersected range (possibly empty — the tree scans return nothing for
@@ -1102,9 +1235,23 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
   for (const DimSide* side : order) {
     probe_cols.push_back(&column_of(FkOf(side->dim_name)));
   }
-  const std::vector<int64_t>& a = column_of(q.agg.column_a);
-  const std::vector<int64_t>* b =
-      q.agg.kind == AggKind::kSumColumn ? nullptr : &column_of(q.agg.column_b);
+  // Per-slot operand columns among the assembled ones (null for counts).
+  const size_t num_slots = q.aggs.size();
+  std::vector<const std::vector<int64_t>*> slot_a(num_slots, nullptr);
+  std::vector<const std::vector<int64_t>*> slot_b(num_slots, nullptr);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    if (slot.kind == AggKind::kCountStar) continue;
+    slot_a[s] = &column_of(slot.column_a);
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      slot_b[s] = &column_of(slot.column_b);
+    }
+  }
+  auto slot_val = [&](size_t s, uint64_t i) -> int64_t {
+    if (slot_a[s] == nullptr) return 1;
+    return core::SlotRowValue(q.aggs[s].kind, (*slot_a[s])[i],
+                              slot_b[s] == nullptr ? 0 : (*slot_b[s])[i]);
+  };
 
   // Snapshot overlay: B+Tree record-ids are lineorder row positions.
   const util::BitVector* tombstones =
@@ -1123,10 +1270,13 @@ Result<core::QueryResult> ExecuteIndexOnly(const RowDatabase& db,
       }
     }
     if (!pass) return;
-    int64_t measure = a[i];
-    if (q.agg.kind == AggKind::kSumProduct) measure *= (*b)[i];
-    if (q.agg.kind == AggKind::kSumDiff) measure -= (*b)[i];
-    sink.Add(measure);
+    if (ctx.single_sum) {
+      sink.Add(slot_val(0, i));
+      return;
+    }
+    int64_t* vals = sink.slot_scratch();
+    for (size_t s = 0; s < num_slots; ++s) vals[s] = slot_val(s, i);
+    sink.AddRow(vals);
   };
 
   return SinkOverRows(rids.size(), ctx, q, num_threads, process_row);
@@ -1165,6 +1315,13 @@ Result<core::QueryResult> ExecuteRowQueryImpl(const RowDatabase& db,
     case RowDesign::kTraditionalBitmap:
       return ExecuteBitmap(db, query, ctx, num_threads);
     case RowDesign::kMaterializedViews:
+      // MVs exist only for the canned workload; an ad-hoc plan (fuzzer,
+      // client) has no view to run against, which is a capability gap of
+      // this design, not an execution error.
+      if (!db.has_mv(query.id)) {
+        return Status::NotSupported("no materialized view for query '" +
+                                    query.id + "'");
+      }
       return ExecutePipelined(db, query, db.mv(query.id), ctx, num_threads);
     case RowDesign::kVerticalPartitioning:
       return ExecuteVerticalPartitioning(db, query, ctx, num_threads);
@@ -1184,6 +1341,142 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
   storage::ScopedIoSink io_sink(&exec_ctx->io);
   return ExecuteRowQueryImpl(db, query, design,
                              exec_ctx->config.ResolvedThreads(), exec_ctx);
+}
+
+namespace {
+
+Result<core::QueryResult> ExecuteRowTableQueryImpl(const RowDatabase& db,
+                                                   const core::StarQuery& q,
+                                                   const std::string& table,
+                                                   core::ExecContext* exec) {
+  const RowTable& t = db.dim(table);
+  const TupleLayout& layout = t.layout();
+
+  struct PredField {
+    const DimPredicate* pred;
+    size_t field;
+  };
+  std::vector<PredField> preds;
+  for (const auto& p : q.dim_predicates) {
+    if (p.dim != table) {
+      return Status::InvalidArgument("single-table query on '" + table +
+                                     "' has a predicate on '" + p.dim + "'");
+    }
+    CSTORE_ASSIGN_OR_RETURN(size_t f, layout.schema().IndexOf(p.column));
+    preds.push_back(PredField{&p, f});
+  }
+  if (!q.fact_predicates.empty()) {
+    return Status::InvalidArgument(
+        "single-table query carries fact predicates");
+  }
+
+  struct GroupField {
+    size_t field;
+    bool is_string;
+    uint32_t char_width;
+  };
+  std::vector<GroupField> groups;
+  for (const auto& g : q.group_by) {
+    if (g.dim != table) {
+      return Status::InvalidArgument("single-table query on '" + table +
+                                     "' groups by '" + g.dim + "' attribute");
+    }
+    CSTORE_ASSIGN_OR_RETURN(size_t f, layout.schema().IndexOf(g.column));
+    const auto& field = layout.schema().field(f);
+    groups.push_back(
+        GroupField{f, field.type == DataType::kChar, field.char_width});
+  }
+
+  std::vector<FactFields::SlotField> slots(q.aggs.size());
+  std::vector<core::SlotKind> slot_kinds;
+  for (size_t s = 0; s < q.aggs.size(); ++s) {
+    const core::Aggregate& slot = q.aggs[s];
+    slots[s].kind = slot.kind;
+    slot_kinds.push_back(core::SlotKindOf(slot.kind));
+    if (slot.kind == AggKind::kCountStar) continue;
+    CSTORE_ASSIGN_OR_RETURN(slots[s].a, layout.schema().IndexOf(slot.column_a));
+    if (slot.kind == AggKind::kSumProduct || slot.kind == AggKind::kSumDiff) {
+      CSTORE_ASSIGN_OR_RETURN(slots[s].b,
+                              layout.schema().IndexOf(slot.column_b));
+    }
+  }
+  auto neutral = [&] {
+    std::vector<int64_t> vals(slot_kinds.size(), 0);
+    for (size_t s = 0; s < slot_kinds.size(); ++s) {
+      if (slot_kinds[s] == core::SlotKind::kMin) vals[s] = INT64_MAX;
+      if (slot_kinds[s] == core::SlotKind::kMax) vals[s] = INT64_MIN;
+    }
+    return vals;
+  };
+
+  // One ordered map from group values to accumulators; Value's total order
+  // makes the scan order irrelevant, so the (serial) result is canonical.
+  std::map<std::vector<Value>, std::vector<int64_t>> acc;
+  std::vector<int64_t> scalar = neutral();
+  uint64_t rows = 0;
+
+  std::vector<Value> key(groups.size());
+  Status status = t.Scan([&](const char* tuple) {
+    for (const PredField& pf : preds) {
+      if (!EvalDimPredicate(*pf.pred, layout, pf.field, tuple)) return;
+    }
+    ++rows;
+    std::vector<int64_t>* totals;
+    if (groups.empty()) {
+      totals = &scalar;
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].is_string) {
+          key[g] = Value::Str(std::string(
+              TrimPadding(tuple + layout.field_offset(groups[g].field),
+                          groups[g].char_width)));
+        } else {
+          key[g] = Value::Int64(layout.GetIntegral(tuple, groups[g].field));
+        }
+      }
+      auto it = acc.find(key);
+      if (it == acc.end()) it = acc.emplace(key, neutral()).first;
+      totals = &it->second;
+    }
+    for (size_t s = 0; s < slots.size(); ++s) {
+      core::CombineSlotValue(slot_kinds[s], &(*totals)[s],
+                             SlotValueOf(slots[s], layout, tuple));
+    }
+  });
+  CSTORE_RETURN_IF_ERROR(status);
+
+  core::QueryResult result;
+  if (groups.empty()) {
+    core::ChargeAggregation(exec, rows, 0);
+    // Pinned empty-input semantics: zero rows yields 0 for every slot.
+    if (rows == 0) std::fill(scalar.begin(), scalar.end(), 0);
+    core::ResultRow row;
+    row.sum = scalar[0];
+    row.extras.assign(scalar.begin() + 1, scalar.end());
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+  core::ChargeAggregation(exec, rows, acc.size());
+  for (auto& [group, totals] : acc) {
+    core::ResultRow row;
+    row.group_values = group;
+    row.sum = totals[0];
+    row.extras.assign(totals.begin() + 1, totals.end());
+    result.rows.push_back(std::move(row));
+  }
+  result.Sort(q.sort);
+  return result;
+}
+
+}  // namespace
+
+Result<core::QueryResult> ExecuteRowTableQuery(const RowDatabase& db,
+                                               const core::StarQuery& query,
+                                               const std::string& table,
+                                               core::ExecContext* exec_ctx) {
+  CSTORE_CHECK(exec_ctx != nullptr);
+  storage::ScopedIoSink io_sink(&exec_ctx->io);
+  return ExecuteRowTableQueryImpl(db, query, table, exec_ctx);
 }
 
 }  // namespace cstore::ssb

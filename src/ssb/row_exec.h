@@ -60,4 +60,17 @@ Result<core::QueryResult> ExecuteRowQuery(const RowDatabase& db,
                                           RowDesign design,
                                           core::ExecContext* ctx);
 
+/// Executes a single-table (dimension-only) query against one dimension
+/// table of `db`: predicates, group-bys and aggregate slots all read
+/// `table`'s own columns, no joins. All row designs share this path — a
+/// dimension table has exactly one physical representation regardless of
+/// how lineorder is laid out, so there is nothing design-specific to vary.
+/// The scan is serial (dimensions are thousands of rows, not millions) and
+/// therefore trivially byte-identical at any thread budget. Charges pages
+/// and aggregation like ExecuteRowQuery.
+Result<core::QueryResult> ExecuteRowTableQuery(const RowDatabase& db,
+                                               const core::StarQuery& query,
+                                               const std::string& table,
+                                               core::ExecContext* ctx);
+
 }  // namespace cstore::ssb

@@ -424,10 +424,16 @@ Result<core::QueryResult> RowMvDatabase::Execute(
     local_preds.push_back(
         LocalPred{fact.offsets[fact.FieldIndex(fp.column)], fp.lo, fp.hi});
   }
-  const size_t agg_a = fact.offsets[fact.FieldIndex(q.agg.column_a)];
-  const size_t agg_b = q.agg.kind == AggKind::kSumColumn
+  // This hybrid is reached through the classic star funnel (LowerToStar),
+  // which only admits single-slot sum-family plans.
+  CSTORE_CHECK(q.aggs.size() == 1);
+  const core::Aggregate& slot = q.aggs[0];
+  CSTORE_CHECK(core::SlotKindOf(slot.kind) == core::SlotKind::kSum &&
+               slot.kind != AggKind::kCountStar);
+  const size_t agg_a = fact.offsets[fact.FieldIndex(slot.column_a)];
+  const size_t agg_b = slot.kind == AggKind::kSumColumn
                            ? agg_a
-                           : fact.offsets[fact.FieldIndex(q.agg.column_b)];
+                           : fact.offsets[fact.FieldIndex(slot.column_b)];
 
   core::GroupAggregator agg(codec);
   std::vector<int64_t> raw(q.group_by.size());
@@ -463,8 +469,8 @@ Result<core::QueryResult> RowMvDatabase::Execute(
       }
       if (!pass) continue;
       int64_t measure = ParseInt(row, agg_a);
-      if (q.agg.kind == AggKind::kSumProduct) measure *= ParseInt(row, agg_b);
-      if (q.agg.kind == AggKind::kSumDiff) measure -= ParseInt(row, agg_b);
+      if (slot.kind == AggKind::kSumProduct) measure *= ParseInt(row, agg_b);
+      if (slot.kind == AggKind::kSumDiff) measure -= ParseInt(row, agg_b);
       if (grouped) {
         agg.Add(codec.Pack(raw.data()), measure);
       } else {

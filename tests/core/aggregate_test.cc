@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 
@@ -139,6 +140,137 @@ TEST(GroupAggregatorTest, MergePartialsBothModes) {
       EXPECT_EQ(row.sum, ref[row.group_values[0].AsIntegral()]);
     }
   }
+}
+
+TEST(GroupAggregatorTest, MultiSlotBothModesMatchStdMapReference) {
+  // The same rows fed to a dense-mode and a hash-mode aggregator (the mode
+  // is a pure function of the declared key width) and to a std::map
+  // reference; all three must agree on every slot kind.
+  const std::vector<SlotKind> slots = {SlotKind::kSum, SlotKind::kMin,
+                                       SlotKind::kMax, SlotKind::kSum};
+  GroupKeyCodec narrow;
+  narrow.AddIntAttr(0, 50);
+  GroupKeyCodec wide;
+  wide.AddIntAttr(0, 1000000);
+  GroupAggregator dense(narrow, slots);
+  GroupAggregator hash(wide, slots);
+  EXPECT_TRUE(dense.dense());
+  EXPECT_FALSE(hash.dense());
+
+  struct Ref {
+    int64_t sum = 0, mn = INT64_MAX, mx = INT64_MIN, cnt = 0;
+  };
+  std::map<int64_t, Ref> ref;
+  util::Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t k = rng.Uniform(0, 50);
+    const int64_t v = rng.Uniform(-1000, 1000);
+    const int64_t vals[4] = {v, v, v, 1};
+    const int64_t raw[1] = {k};
+    dense.AddRow(narrow.Pack(raw), vals);
+    hash.AddRow(wide.Pack(raw), vals);
+    Ref& r = ref[k];
+    r.sum += v;
+    r.mn = std::min(r.mn, v);
+    r.mx = std::max(r.mx, v);
+    ++r.cnt;
+  }
+  for (GroupAggregator* agg : {&dense, &hash}) {
+    QueryResult res = agg->Finish();
+    res.Sort(SortSpec{});
+    ASSERT_EQ(res.rows.size(), ref.size());
+    size_t i = 0;
+    for (const auto& [k, r] : ref) {
+      EXPECT_EQ(res.rows[i].group_values[0].AsIntegral(), k);
+      EXPECT_EQ(res.rows[i].sum, r.sum);
+      ASSERT_EQ(res.rows[i].extras.size(), 3u);
+      EXPECT_EQ(res.rows[i].extras[0], r.mn);
+      EXPECT_EQ(res.rows[i].extras[1], r.mx);
+      EXPECT_EQ(res.rows[i].extras[2], r.cnt);
+      ++i;
+    }
+  }
+}
+
+TEST(GroupAggregatorTest, MultiSlotMergeIsSplitAndOrderInvariant) {
+  // Morsel-parallel aggregation splits rows across partial aggregators and
+  // merges them; the answer must not depend on the split or merge order.
+  const std::vector<SlotKind> slots = {SlotKind::kSum, SlotKind::kMin,
+                                       SlotKind::kMax};
+  GroupKeyCodec codec;
+  codec.AddIntAttr(0, 200);
+
+  struct Row {
+    uint64_t key;
+    int64_t vals[3];
+  };
+  std::vector<Row> rows;
+  util::Rng rng(555);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = rng.Uniform(0, 200);
+    const int64_t v = rng.Uniform(-500, 500);
+    const int64_t raw[1] = {k};
+    rows.push_back({codec.Pack(raw), {v, v, v}});
+  }
+
+  GroupAggregator serial(codec, slots);
+  for (const Row& r : rows) serial.AddRow(r.key, r.vals);
+  QueryResult expected = serial.Finish();
+  expected.Sort(SortSpec{});
+
+  for (const size_t parts : {2u, 3u, 7u}) {
+    for (const bool reverse_merge : {false, true}) {
+      std::vector<GroupAggregator> partials;
+      for (size_t p = 0; p < parts; ++p) partials.emplace_back(codec, slots);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        partials[i % parts].AddRow(rows[i].key, rows[i].vals);
+      }
+      GroupAggregator merged(codec, slots);
+      if (reverse_merge) {
+        for (size_t p = parts; p-- > 0;) merged.MergeFrom(partials[p]);
+      } else {
+        for (size_t p = 0; p < parts; ++p) merged.MergeFrom(partials[p]);
+      }
+      QueryResult got = merged.Finish();
+      got.Sort(SortSpec{});
+      EXPECT_EQ(got.ToString(), expected.ToString())
+          << "parts=" << parts << " reverse=" << reverse_merge;
+    }
+  }
+}
+
+TEST(ApplyOutputsTest, AvgTruncatesTowardZeroAndZeroCountYieldsZero) {
+  // The pinned AVG semantics: C++ int64 division (truncation toward zero,
+  // so AVG(-7)/2 is -3, not floor's -4), and an empty input (count 0)
+  // yields 0 rather than dividing by zero.
+  QueryResult r;
+  r.rows = {{{Value::Int64(0)}, -7, {2}},
+            {{Value::Int64(1)}, 7, {2}},
+            {{Value::Int64(2)}, 5, {0}}};
+  std::vector<OutputSpec> outputs(1);
+  outputs[0].kind = OutputSpec::Kind::kRatio;
+  outputs[0].slot = 0;
+  outputs[0].count_slot = 1;
+  EXPECT_FALSE(IdentityOutputs(outputs, 2));
+  ApplyOutputs(outputs, &r);
+  EXPECT_EQ(r.rows[0].sum, -3);
+  EXPECT_EQ(r.rows[1].sum, 3);
+  EXPECT_EQ(r.rows[2].sum, 0);
+  EXPECT_TRUE(r.rows[0].extras.empty());
+}
+
+TEST(ApplyOutputsTest, HiddenSlotsAreDroppedAndReorderedOutputsApplied) {
+  // Outputs may reference slots in any order and skip hidden ones (the
+  // planted COUNT(*) guard of ungrouped min/max plans).
+  QueryResult r;
+  r.rows = {{{}, 10, {3, 99}}};  // slots: sum=10, min=3, hidden count=99
+  std::vector<OutputSpec> outputs(2);
+  outputs[0].slot = 1;
+  outputs[1].slot = 0;
+  ApplyOutputs(outputs, &r);
+  EXPECT_EQ(r.rows[0].sum, 3);
+  ASSERT_EQ(r.rows[0].extras.size(), 1u);
+  EXPECT_EQ(r.rows[0].extras[0], 10);
 }
 
 TEST(QueryResultTest, EmptySpecSortsByGroupsAscending) {

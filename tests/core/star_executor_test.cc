@@ -57,7 +57,7 @@ TEST_F(StarExecutorTest, UngroupedSumWithDimPredicate) {
   StarQuery q;
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrEq("dim", "region", "EAST")};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   // Rows with fk in {1,2}: vals 1,2,5,6,9,10 = 33.
   for (const ExecConfig config :
        {ExecConfig::AllOn(), ExecConfig::AllOff(),
@@ -72,7 +72,7 @@ TEST_F(StarExecutorTest, GroupBySumProduct) {
   StarQuery q;
   q.id = "t";
   q.group_by = {GroupByColumn{"dim", "region"}};
-  q.agg = {AggKind::kSumProduct, "val", "val2"};
+  q.aggs = {{AggKind::kSumProduct, "val", "val2"}};
   // EAST (fk 1,2): 1*1 + 2*1 + 5*2 + 6*2 + 9*3 + 10*3 = 82.
   // WEST (fk 3,4): 3*1 + 4*1 + 7*2 + 8*2 = 37.
   const QueryResult r = Run(q, ExecConfig::AllOn());
@@ -87,7 +87,7 @@ TEST_F(StarExecutorTest, FactPredicateOnly) {
   StarQuery q;
   q.id = "t";
   q.fact_predicates = {FactPredicate{"val", 5, 8}};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   const QueryResult r = Run(q, ExecConfig::AllOn());
   EXPECT_EQ(r.rows[0].sum, 5 + 6 + 7 + 8);
 }
@@ -96,7 +96,7 @@ TEST_F(StarExecutorTest, SumDiff) {
   StarQuery q;
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrEq("dim", "city", "A")};
-  q.agg = {AggKind::kSumDiff, "val", "val2"};
+  q.aggs = {{AggKind::kSumDiff, "val", "val2"}};
   // fk==1 rows: (1-1) + (5-2) + (9-3) + (10-3) = 16.
   const QueryResult r = Run(q, ExecConfig::AllOn());
   EXPECT_EQ(r.rows[0].sum, 16);
@@ -107,7 +107,7 @@ TEST_F(StarExecutorTest, EmptyResultGroups) {
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrEq("dim", "region", "NORTH")};
   q.group_by = {GroupByColumn{"dim", "city"}};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   for (const ExecConfig config : {ExecConfig::AllOn(), ExecConfig::AllOff()}) {
     const QueryResult r = Run(q, config);
     EXPECT_TRUE(r.rows.empty());
@@ -118,7 +118,7 @@ TEST_F(StarExecutorTest, GroupByWithoutPredicate) {
   StarQuery q;
   q.id = "t";
   q.group_by = {GroupByColumn{"dim", "city"}};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   const QueryResult r = Run(q, ExecConfig::AllOn());
   ASSERT_EQ(r.rows.size(), 4u);
   // City A = fk 1 rows: 1+5+9+10 = 25.
@@ -148,7 +148,7 @@ TEST_F(StarExecutorTest, NonDenseKeysUseKeyPositionJoin) {
   q.id = "t";
   q.dim_predicates = {DimPredicate::IntRange("d", "key", 250, 450)};
   q.group_by = {GroupByColumn{"d", "name"}};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   for (const ExecConfig config : {ExecConfig::AllOn(), ExecConfig::AllOff()}) {
     ExecContext ctx(config);
     auto r = ExecuteStarQuery(schema, q, &ctx);
@@ -168,7 +168,7 @@ TEST_F(StarExecutorTest, BetweenRewriteAndHashJoinAgree) {
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrEq("dim", "region", "EAST")};
   q.group_by = {GroupByColumn{"dim", "city"}};
-  q.agg = {AggKind::kSumColumn, "val", ""};
+  q.aggs = {{AggKind::kSumColumn, "val", ""}};
   const QueryResult with_ij = Run(q, ExecConfig{true, true, true});
   const QueryResult without_ij = Run(q, ExecConfig{true, false, true});
   EXPECT_EQ(with_ij.ToString(), without_ij.ToString());

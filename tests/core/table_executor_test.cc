@@ -53,7 +53,7 @@ StarQuery RevenueByRegion() {
   q.id = "t";
   q.dim_predicates = {DimPredicate::IntEq("d", "year", 1993)};
   q.group_by = {GroupByColumn{"d", "region"}};
-  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  q.aggs = {{AggKind::kSumColumn, "revenue", ""}};
   return q;
 }
 
@@ -82,7 +82,7 @@ TEST_F(TableExecutorTest, StringPredicate) {
   StarQuery q;
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrEq("d", "region", "EAST")};
-  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  q.aggs = {{AggKind::kSumColumn, "revenue", ""}};
   const QueryResult r = Run(q);
   ASSERT_EQ(r.rows.size(), 1u);
   EXPECT_EQ(r.rows[0].sum, 10 + 30 + 50);
@@ -92,7 +92,7 @@ TEST_F(TableExecutorTest, NoPredicatesSumsEverything) {
   Load(col::CompressionMode::kFull);
   StarQuery q;
   q.id = "t";
-  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  q.aggs = {{AggKind::kSumColumn, "revenue", ""}};
   EXPECT_EQ(Run(q).rows[0].sum, 150);
 }
 
@@ -102,7 +102,7 @@ TEST_F(TableExecutorTest, ConjunctionOfPredicates) {
   q.id = "t";
   q.dim_predicates = {DimPredicate::StrIn("d", "region", {"EAST", "WEST"}),
                       DimPredicate::IntRange("d", "year", 1992, 1992)};
-  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  q.aggs = {{AggKind::kSumColumn, "revenue", ""}};
   EXPECT_EQ(Run(q).rows[0].sum, 30);
 }
 
@@ -113,7 +113,7 @@ TEST_F(TableExecutorTest, FactPredicateOnMeasureColumn) {
   StarQuery q;
   q.id = "t";
   q.fact_predicates = {FactPredicate{"revenue", 20, 40}};
-  q.agg = {AggKind::kSumColumn, "revenue", ""};
+  q.aggs = {{AggKind::kSumColumn, "revenue", ""}};
   EXPECT_EQ(Run(q).rows[0].sum, 20 + 30 + 40);
 }
 

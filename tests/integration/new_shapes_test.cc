@@ -1,0 +1,197 @@
+// The shapes the star funnel used to reject — multi-aggregate,
+// COUNT(col)/AVG, and dimension-only plans — through every design: answers
+// must be bit-identical to the brute-force oracle, read-only and under a
+// live write stream with merges (store-backed designs, delta overlay).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/designs.h"
+#include "engine/engine.h"
+#include "engine/store.h"
+#include "ssb/column_db.h"
+#include "ssb/generator.h"
+#include "ssb/mutations.h"
+#include "ssb/reference.h"
+#include "ssb/row_db.h"
+
+namespace cstore {
+namespace {
+
+std::vector<plan::Plan> NewShapePlans() {
+  using plan::PlanBuilder;
+  using plan::Predicate;
+  std::vector<plan::Plan> plans;
+  // Multi-aggregate star: four stats per year in one pass.
+  plans.push_back(PlanBuilder("multi-agg")
+                      .Scan("lineorder")
+                      .Join("date", "orderdate", "datekey")
+                      .GroupBy("date", "year")
+                      .Sum("lineorder", "revenue")
+                      .CountStar()
+                      .Min("lineorder", "quantity")
+                      .Max("lineorder", "quantity")
+                      .Build());
+  // COUNT(col) + AVG, ungrouped, under a fact predicate.
+  plans.push_back(PlanBuilder("count-avg")
+                      .Scan("lineorder")
+                      .Where(Predicate::IntRange("lineorder", "discount", 1, 3))
+                      .Count("lineorder", "revenue")
+                      .Avg("lineorder", "extendedprice")
+                      .Build());
+  // Ungrouped MIN/MAX over an empty selection (quantity caps at 50): the
+  // pinned zero semantics for empty inputs, on every design.
+  plans.push_back(
+      PlanBuilder("empty-minmax")
+          .Scan("lineorder")
+          .Where(Predicate::IntRange("lineorder", "quantity", 200, 300))
+          .Min("lineorder", "revenue")
+          .Max("lineorder", "revenue")
+          .Build());
+  // Dimension-only: calendar rows per year — no fact table involved.
+  plans.push_back(PlanBuilder("dim-count")
+                      .Scan("date")
+                      .GroupBy("date", "year")
+                      .CountStar()
+                      .Build());
+  // Dimension-only with a predicate and an AVG output.
+  plans.push_back(PlanBuilder("dim-avg")
+                      .Scan("customer")
+                      .Where(Predicate::StrEq("customer", "region", "ASIA"))
+                      .GroupBy("customer", "nation")
+                      .Avg("customer", "custkey")
+                      .CountStar()
+                      .Build());
+  return plans;
+}
+
+TEST(NewShapesTest, ReadOnlyDesignsMatchReference) {
+  ssb::GenParams params;
+  params.scale_factor = 0.005;
+  const ssb::SsbData data = ssb::Generate(params);
+  auto col_db =
+      ssb::ColumnDatabase::Build(data, col::CompressionMode::kFull).ValueOrDie();
+  ssb::RowDbOptions options;
+  options.bitmap_indexes = true;
+  options.vertical_partitions = true;
+  options.all_indexes = true;
+  auto row_db = ssb::RowDatabase::Build(data, options).ValueOrDie();
+  auto denorm_db =
+      ssb::DenormalizedDatabase::Build(data, col::CompressionMode::kFull)
+          .ValueOrDie();
+
+  engine::Engine engine;
+  engine.Register("CS", engine::MakeColumnStoreDesign(col_db->Schema()));
+  engine.Register("T", engine::MakeRowStoreDesign(row_db.get(),
+                                                  ssb::RowDesign::kTraditional));
+  engine.Register("T(B)",
+                  engine::MakeRowStoreDesign(
+                      row_db.get(), ssb::RowDesign::kTraditionalBitmap));
+  engine.Register("VP",
+                  engine::MakeRowStoreDesign(
+                      row_db.get(), ssb::RowDesign::kVerticalPartitioning));
+  engine.Register("AI", engine::MakeRowStoreDesign(row_db.get(),
+                                                   ssb::RowDesign::kIndexOnly));
+  engine.Register("PJ", engine::MakeDenormalizedDesign(denorm_db.get()));
+  engine.Register("MV", engine::MakeRowStoreDesign(
+                            row_db.get(), ssb::RowDesign::kMaterializedViews));
+
+  for (const plan::Plan& p : NewShapePlans()) {
+    const core::QueryResult expected = ssb::ReferenceExecute(data, p);
+    const bool dim_only = p.id() == "dim-count" || p.id() == "dim-avg";
+    if (p.id() != "empty-minmax") {
+      EXPECT_FALSE(expected.rows.empty()) << p.id();
+    }
+    for (const std::string& name :
+         {std::string("CS"), std::string("T"), std::string("T(B)"),
+          std::string("VP"), std::string("AI"), std::string("PJ")}) {
+      for (const unsigned threads : {1u, 8u}) {
+        auto session = engine.OpenSession(name);
+        session->config() = core::ExecConfig::AllOn();
+        session->config().num_threads = threads;
+        auto outcome = session->Run(p);
+        ASSERT_TRUE(outcome.ok()) << name << " " << p.id() << "\n"
+                                  << outcome.status().ToString();
+        EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
+            << name << " threads=" << threads << "\n"
+            << p.ToString();
+      }
+    }
+    // The MV design has no prebuilt view for ad-hoc star plans and must
+    // say so gracefully; dimension-only plans bypass the views entirely.
+    auto mv = engine.OpenSession("MV");
+    auto outcome = mv->Run(p);
+    if (dim_only) {
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString());
+    } else {
+      EXPECT_FALSE(outcome.ok()) << p.id();
+    }
+  }
+}
+
+TEST(NewShapesTest, StoreDesignsMatchReplayOracleUnderLiveWrites) {
+  ssb::GenParams params;
+  params.scale_factor = 0.005;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  engine::StoreOptions store_options;
+  store_options.build_column = true;
+  store_options.build_rows = true;
+  store_options.build_denormalized = true;
+  store_options.row_options.bitmap_indexes = true;
+  store_options.row_options.vertical_partitions = true;
+  store_options.row_options.all_indexes = true;
+  auto store = engine::Store::Open(data, store_options).ValueOrDie();
+
+  engine::Engine engine;
+  engine.AttachStore(store.get());
+  engine::RegisterStoreDesigns(&engine, store.get());
+
+  const std::vector<std::string> designs = {"CS", "T",  "T(B)",
+                                            "VP", "AI", "PJ"};
+  const std::vector<plan::Plan> plans = NewShapePlans();
+
+  auto writer = engine.OpenSession("CS");
+  ssb::MutationStream stream(data, /*seed=*/0xbeef);
+  std::vector<ssb::MutationOp> ops;
+  std::map<uint64_t, ssb::SsbData> replayed;
+
+  constexpr int kWriterOps = 8;
+  for (int n = 0; n < kWriterOps; ++n) {
+    ssb::MutationOp op = stream.Next(/*batch_rows=*/96);
+    auto out = op.kind == ssb::MutationOp::Kind::kInsert
+                   ? writer->Insert("lineorder", op.rows)
+                   : writer->Delete("lineorder", op.predicate);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    op.epoch = out.ValueOrDie().epoch;
+    ops.push_back(std::move(op));
+    // Merge mid-stream so some reads hit a merged base, some the overlay.
+    if (n == kWriterOps / 2) ASSERT_TRUE(store->MergeOnce().ok());
+
+    for (const std::string& name : designs) {
+      auto session = engine.OpenSession(name);
+      session->config() = core::ExecConfig::AllOn();
+      session->config().num_threads = 2;
+      for (const plan::Plan& p : plans) {
+        auto outcome = session->Run(p);
+        ASSERT_TRUE(outcome.ok()) << name << " " << p.id() << "\n"
+                                  << outcome.status().ToString();
+        const uint64_t epoch = outcome.ValueOrDie().snapshot_epoch;
+        auto rep = replayed.find(epoch);
+        if (rep == replayed.end()) {
+          rep = replayed.emplace(epoch, ssb::ReplayAt(data, ops, epoch)).first;
+        }
+        const core::QueryResult expected = ssb::ReferenceExecute(rep->second, p);
+        EXPECT_EQ(outcome.ValueOrDie().result.ToString(), expected.ToString())
+            << name << " " << p.id() << " at epoch " << epoch;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cstore

@@ -76,7 +76,7 @@ TEST_F(PlanFuzzTest, AllDesignsMatchReferenceAcrossThreadCounts) {
                             row_db_, ssb::RowDesign::kVerticalPartitioning));
   engine.Register("AI",
                   engine::MakeRowStoreDesign(row_db_, ssb::RowDesign::kIndexOnly));
-  engine.Register("PJ", engine::MakeDenormalizedDesign(&denorm_db_->table()));
+  engine.Register("PJ", engine::MakeDenormalizedDesign(denorm_db_));
 
   const int plans = PlanCount();
   int nonempty = 0;

@@ -1,0 +1,264 @@
+// Physical-plan lowering: shapes, slot/output mapping, and the rejection
+// diagnostics — every NotSupported must name the offending node kind and
+// quote the rejected subtree.
+#include <gtest/gtest.h>
+
+#include "plan/lower.h"
+#include "plan/physical.h"
+#include "plan/plan.h"
+
+namespace cstore::plan {
+namespace {
+
+using core::AggKind;
+using core::OutputSpec;
+
+/// Asserts the lowering rejection carries the full diagnostic contract:
+/// NotSupported, the reason, the node-kind name, and the quoted subtree
+/// (recognizable by the base scan appearing in the dump).
+void ExpectReject(const Plan& p, const std::string& why_fragment,
+                  const std::string& kind_name) {
+  const Result<PhysicalPlan> r = LowerToPhysical(p);
+  ASSERT_FALSE(r.ok()) << p.ToString();
+  const std::string msg = r.status().ToString();
+  EXPECT_NE(msg.find("does not lower"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(why_fragment), std::string::npos) << msg;
+  EXPECT_NE(msg.find(kind_name + " node"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Scan"), std::string::npos)
+      << "subtree dump missing:\n"
+      << msg;
+}
+
+TEST(PhysicalLowerTest, StarShapeKeepsLegacySingleAggregateContract) {
+  const Plan p = PlanBuilder("q")
+                     .Scan("lineorder")
+                     .Join("date", "orderdate", "datekey")
+                     .Where(Predicate::IntEq("date", "year", 1993))
+                     .GroupBy("date", "year")
+                     .Sum("lineorder", "revenue")
+                     .OrderBy(0)
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  EXPECT_EQ(phys.shape, PhysicalPlan::Shape::kStar);
+  EXPECT_EQ(phys.fact_table, "lineorder");
+  ASSERT_EQ(phys.query.aggs.size(), 1u);
+  EXPECT_EQ(phys.query.aggs[0].kind, AggKind::kSumColumn);
+  EXPECT_TRUE(phys.identity_outputs);
+  // Identity outputs: the executor gets the plan's sort directly and
+  // FinalizeResult must not touch the result.
+  ASSERT_EQ(phys.query.sort.size(), 1u);
+  core::QueryResult result;
+  result.rows = {{{Value::Int64(1993)}, 42}};
+  const std::string before = result.ToString();
+  FinalizeResult(phys, &result);
+  EXPECT_EQ(result.ToString(), before);
+}
+
+TEST(PhysicalLowerTest, PipelineListsOperatorsScanFirst) {
+  const Plan p = PlanBuilder("q")
+                     .Scan("lineorder")
+                     .Join("date", "orderdate", "datekey")
+                     .Where(Predicate::IntRange("lineorder", "discount", 1, 3))
+                     .GroupBy("date", "year")
+                     .Sum("lineorder", "revenue")
+                     .OrderBy(0)
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  ASSERT_EQ(phys.ops.size(), 5u);
+  EXPECT_EQ(phys.ops[0].kind, PhysicalOp::Kind::kScan);
+  EXPECT_EQ(phys.ops[1].kind, PhysicalOp::Kind::kFilter);
+  EXPECT_EQ(phys.ops[2].kind, PhysicalOp::Kind::kJoin);
+  EXPECT_EQ(phys.ops[3].kind, PhysicalOp::Kind::kGroupAgg);
+  EXPECT_EQ(phys.ops[4].kind, PhysicalOp::Kind::kSort);
+  const std::string s = phys.ToString();
+  for (const char* token : {"Scan(lineorder)", "Filter(", "Join(date",
+                            "GroupAgg(", "Sort["}) {
+    EXPECT_NE(s.find(token), std::string::npos) << token << " missing:\n" << s;
+  }
+}
+
+TEST(PhysicalLowerTest, DimensionOnlyPlanLowersToSingleTable) {
+  const Plan p = PlanBuilder("q")
+                     .Scan("date")
+                     .Where(Predicate::IntEq("date", "year", 1995))
+                     .GroupBy("date", "yearmonth")
+                     .CountStar()
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  EXPECT_EQ(phys.shape, PhysicalPlan::Shape::kSingleTable);
+  EXPECT_EQ(phys.table, "date");
+  // The base filter lowers into the dimension-predicate vocabulary (no
+  // integer-range restriction on single-table scans).
+  ASSERT_EQ(phys.query.dim_predicates.size(), 1u);
+  EXPECT_EQ(phys.query.dim_predicates[0].dim, "date");
+  ASSERT_EQ(phys.query.aggs.size(), 1u);
+  EXPECT_EQ(phys.query.aggs[0].kind, AggKind::kCountStar);
+}
+
+TEST(PhysicalLowerTest, JoinsProbingANonFactBaseStillLowerAsStar) {
+  // The plan layer is schema-agnostic: any probe through joins is a star,
+  // and the engine cross-checks the fact-table name per design.
+  const Plan p = PlanBuilder("q")
+                     .Scan("fact")
+                     .Join("dim", "fk", "key")
+                     .GroupBy("dim", "city")
+                     .Sum("fact", "val")
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  EXPECT_EQ(phys.shape, PhysicalPlan::Shape::kStar);
+  EXPECT_EQ(phys.fact_table, "fact");
+}
+
+TEST(PhysicalLowerTest, MultiAggregateSlotsDedupExactExpressions) {
+  // SUM(revenue) and AVG(revenue) share one sum slot; COUNT(*) and AVG's
+  // denominator share one count slot: 3 outputs over 2 slots.
+  const Plan p = PlanBuilder("q")
+                     .Scan("lineorder")
+                     .Sum("lineorder", "revenue")
+                     .Avg("lineorder", "revenue")
+                     .CountStar()
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  ASSERT_EQ(phys.query.aggs.size(), 2u);
+  EXPECT_EQ(phys.query.aggs[0].kind, AggKind::kSumColumn);
+  EXPECT_EQ(phys.query.aggs[1].kind, AggKind::kCountStar);
+  ASSERT_EQ(phys.outputs.size(), 3u);
+  EXPECT_EQ(phys.outputs[0].kind, OutputSpec::Kind::kSlot);
+  EXPECT_EQ(phys.outputs[0].slot, 0);
+  EXPECT_EQ(phys.outputs[1].kind, OutputSpec::Kind::kRatio);
+  EXPECT_EQ(phys.outputs[1].slot, 0);
+  EXPECT_EQ(phys.outputs[1].count_slot, 1);
+  EXPECT_EQ(phys.outputs[2].kind, OutputSpec::Kind::kSlot);
+  EXPECT_EQ(phys.outputs[2].slot, 1);
+  EXPECT_FALSE(phys.identity_outputs);
+  // Non-identity outputs: the executor produces canonical order and the
+  // plan's ordering is applied after the output mapping.
+  EXPECT_TRUE(phys.query.sort.empty());
+}
+
+TEST(PhysicalLowerTest, CountColumnLowersToCountStar) {
+  // SSB columns are never NULL, so COUNT(col) counts rows.
+  const Plan p = PlanBuilder("q")
+                     .Scan("lineorder")
+                     .Count("lineorder", "revenue")
+                     .Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  ASSERT_EQ(phys.query.aggs.size(), 1u);
+  EXPECT_EQ(phys.query.aggs[0].kind, AggKind::kCountStar);
+  EXPECT_TRUE(phys.identity_outputs);
+}
+
+TEST(PhysicalLowerTest, UngroupedMinMaxGetsHiddenCountSlot) {
+  // Merging ungrouped partials (delta overlay, worker morsels) must tell
+  // an empty side from a real extremum; lowering plants COUNT(*) for that
+  // and the output mapping drops it.
+  const Plan p =
+      PlanBuilder("q").Scan("lineorder").Min("lineorder", "quantity").Build();
+  const PhysicalPlan phys = LowerToPhysical(p).ValueOrDie();
+  ASSERT_EQ(phys.query.aggs.size(), 2u);
+  EXPECT_EQ(phys.query.aggs[0].kind, AggKind::kMin);
+  EXPECT_EQ(phys.query.aggs[1].kind, AggKind::kCountStar);
+  ASSERT_EQ(phys.outputs.size(), 1u);
+  EXPECT_EQ(phys.outputs[0].slot, 0);
+  EXPECT_FALSE(phys.identity_outputs);
+
+  // Grouped min/max needs no guard: empty sides contribute no groups.
+  const Plan grouped = PlanBuilder("q")
+                           .Scan("lineorder")
+                           .Join("date", "orderdate", "datekey")
+                           .GroupBy("date", "year")
+                           .Min("lineorder", "quantity")
+                           .Build();
+  EXPECT_EQ(LowerToPhysical(grouped).ValueOrDie().query.aggs.size(), 1u);
+}
+
+TEST(PhysicalLowerTest, RejectsStringPredicateOnStarFactScan) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("lineorder")
+                   .Where(Predicate::StrEq("lineorder", "shipmode", "AIR"))
+                   .Sum("lineorder", "revenue")
+                   .Build(),
+               "string predicate on fact column", "Filter");
+}
+
+TEST(PhysicalLowerTest, RejectsInPredicateOnStarFactScan) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("lineorder")
+                   .Where(Predicate::IntIn("lineorder", "discount", {1, 3}))
+                   .Sum("lineorder", "revenue")
+                   .Build(),
+               "IN predicate on fact column", "Filter");
+}
+
+TEST(PhysicalLowerTest, RejectsGroupByOnFactColumn) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("lineorder")
+                   .Join("date", "orderdate", "datekey")
+                   .GroupBy("lineorder", "quantity")
+                   .Sum("lineorder", "revenue")
+                   .Build(),
+               "group-by on fact column", "Aggregate");
+}
+
+TEST(PhysicalLowerTest, RejectsGroupByOnUnjoinedTable) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("lineorder")
+                   .GroupBy("date", "year")
+                   .Sum("lineorder", "revenue")
+                   .Build(),
+               "unjoined table date", "Aggregate");
+}
+
+TEST(PhysicalLowerTest, RejectsSingleTableGroupByOnOtherTable) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("date")
+                   .GroupBy("customer", "region")
+                   .Sum("date", "year")
+                   .Build(),
+               "scans only 'date'", "Aggregate");
+}
+
+TEST(PhysicalLowerTest, RejectsAggregateOffTheScannedBase) {
+  ExpectReject(PlanBuilder("q")
+                   .Scan("lineorder")
+                   .Join("date", "orderdate", "datekey")
+                   .GroupBy("date", "year")
+                   .Sum("date", "year")
+                   .Build(),
+               "must read 'lineorder' columns", "Aggregate");
+}
+
+TEST(PhysicalLowerTest, RejectsFilterOnTableTheScanDoesNotRead) {
+  // A predicate naming an unjoined table lands on the base filter, where
+  // lowering (like validation) refuses to resolve it.
+  ExpectReject(PlanBuilder("q")
+                   .Scan("date")
+                   .Where(Predicate::StrEq("customer", "region", "ASIA"))
+                   .Sum("date", "year")
+                   .Build(),
+               "the scan reads 'date'", "Filter");
+}
+
+TEST(LowerToStarTest, RejectsShapesOutsideTheClassicContract) {
+  // The compat wrapper keeps the strict classic contract for the MV
+  // builder and the RS(MV) hybrid: star shape, one slot, identity outputs.
+  const Plan dim_only =
+      PlanBuilder("q").Scan("date").Sum("date", "year").Build();
+  const Plan multi = PlanBuilder("q")
+                         .Scan("lineorder")
+                         .Sum("lineorder", "revenue")
+                         .CountStar()
+                         .Build();
+  const Plan avg =
+      PlanBuilder("q").Scan("lineorder").Avg("lineorder", "revenue").Build();
+  EXPECT_FALSE(LowerToStar(dim_only).ok());
+  EXPECT_FALSE(LowerToStar(multi).ok());
+  EXPECT_FALSE(LowerToStar(avg).ok());
+  // ...while each of them lowers fine as a physical plan.
+  EXPECT_TRUE(LowerToPhysical(dim_only).ok());
+  EXPECT_TRUE(LowerToPhysical(multi).ok());
+  EXPECT_TRUE(LowerToPhysical(avg).ok());
+}
+
+}  // namespace
+}  // namespace cstore::plan

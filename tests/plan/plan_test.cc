@@ -149,8 +149,9 @@ TEST(LowerTest, LowersTheStarShape) {
   ASSERT_EQ(q.group_by.size(), 1u);
   EXPECT_EQ(q.group_by[0].dim, "dim");
   EXPECT_EQ(q.group_by[0].column, "city");
-  EXPECT_EQ(q.agg.kind, core::AggKind::kSumColumn);
-  EXPECT_EQ(q.agg.column_a, "val");
+  ASSERT_EQ(q.aggs.size(), 1u);
+  EXPECT_EQ(q.aggs[0].kind, core::AggKind::kSumColumn);
+  EXPECT_EQ(q.aggs[0].column_a, "val");
 }
 
 TEST(LowerTest, PreservesJoinCallOrder) {
