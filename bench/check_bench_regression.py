@@ -14,8 +14,9 @@ Two modes:
 2. --diff-hashes A B: compares only the result hashes of two result files —
    e.g. the fig7 smoke run at 1 thread vs at nproc threads. Every (series,
    query) cell present in both files must hash identically, and within each
-   file every parallel series "X-pN" must hash-match its serial twin "X".
-   Any mismatch exits 2.
+   file every parallel series "X-pN" must hash-match its serial twin "X",
+   and every sharded series "X-sN" (fig_scale) its single-shard twin
+   "X-s1". Any mismatch exits 2.
 
 In both modes, per-client throughput series ("<mode>-cM-clientK", or
 "<mode>-cM-aN-clientK" when the run was admission-capped via
@@ -76,6 +77,25 @@ def check_parallel_twins(series, label):
     return mismatches
 
 
+def check_shard_twins(series, label):
+    """Within one file: every sharded series 'X-sN' (fig_scale) must
+    hash-match its single-shard twin 'X-s1' — scatter-gather execution must
+    never change an answer, whatever the partition count."""
+    mismatches = []
+    for name, queries in sorted(series.items()):
+        m = re.fullmatch(r"(.+)-s(\d+)", name)
+        if not m or m.group(2) == "1":
+            continue
+        twin = series.get(m.group(1) + "-s1")
+        if twin is None:
+            continue
+        for q, cell in sorted(queries.items()):
+            h, ht = cell_hash(cell), cell_hash(twin.get(q, {}))
+            if h is not None and ht is not None and h != ht:
+                mismatches.append((label, name, m.group(1) + "-s1", q, h, ht))
+    return mismatches
+
+
 def check_client_twins(series, label):
     """Within one file: every per-client throughput series
     ('<mode>-cM-clientK', or '<mode>-cM-aN-clientK' for admission-capped
@@ -115,6 +135,7 @@ def diff_hashes(path_a, path_b):
                 mismatches.append(("cross-file", name, name, q, ha, hb))
     for path, series in ((path_a, sa), (path_b, sb)):
         mismatches += check_parallel_twins(series, path)
+        mismatches += check_shard_twins(series, path)
         mismatches += check_client_twins(series, path)
     if not compared:
         print("check_bench_regression: no comparable result hashes",
@@ -126,9 +147,9 @@ def diff_hashes(path_a, path_b):
         for where, name, other, q, h1, h2 in mismatches:
             print(f"  [{where}] {name} vs {other} {q}: {h1} != {h2}")
         sys.exit(2)
-    print(f"OK: {compared} cross-file cells (plus parallel-vs-serial and "
-          f"client-vs-serial twins) hash-identical between {path_a} and "
-          f"{path_b}")
+    print(f"OK: {compared} cross-file cells (plus parallel-vs-serial, "
+          f"sharded-vs-s1, and client-vs-serial twins) hash-identical "
+          f"between {path_a} and {path_b}")
     sys.exit(0)
 
 
@@ -199,6 +220,8 @@ def main():
                 touch_regressions.append((name, q, vc / vb))
     hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
                         in check_parallel_twins(curr_series, args.current)]
+    hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
+                        in check_shard_twins(curr_series, args.current)]
     hash_mismatches += [(n, q, h1, h2) for _, n, _, q, h1, h2
                         in check_client_twins(curr_series, args.current)]
 

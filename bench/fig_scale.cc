@@ -1,0 +1,265 @@
+// The scale point: partitioned fact storage under a pool much smaller than
+// the data, one shard count against the unsharded reference.
+//
+// The paper measures one machine, one base; the ROADMAP's next regime is
+// data that outgrows a single base's working set. This bench builds the
+// same SSB database twice through shard::ShardedStore — once with a single
+// shard (bit-identical to the monolithic engine::Store) and once with
+// --shards N orderdate-year partitions — runs the 13-query SSBM mix plus
+// date-constrained probe queries, and reports device pages read per query
+// per shard count. The pool (set with --pool or --pool-mb, split across
+// shards) is deliberately much smaller than the generated data, so every
+// run pays real device reads: the out-of-core regime where partition
+// pruning is visible as I/O that never happens. Sweep --sf (and --shards)
+// across invocations for the scale series; each run emits one JSON.
+//
+// Two hard gates, mirrored by bench/check_bench_regression.py on the
+// emitted JSON (series "cs-s1" vs "cs-s<N>"):
+//   * every query's result hash at N shards must equal the 1-shard hash
+//     (scatter-gather must be bit-identical to unsharded execution);
+//   * pruned shards must bill zero device pages (checked from the
+//     per-shard receipts in QueryOutcome::shard_bills).
+//
+// Probe queries (fact-side orderdate ranges the manifest can prune on):
+//   S93    SUM(revenue) by year, orderdate within 1993
+//   S9495  SUM(revenue) by year, orderdate within 1994-1995
+//
+// The receipts run each probe cold on both the column store and the
+// traditional row store. Expect the reduction to be dramatic on "T" (heap
+// scans have no zone maps — pruning is all that stands between a one-year
+// probe and a full-table scan) and near zero on "CS": lineorder is sorted
+// by orderdate, so the column store's page zone maps already skip
+// out-of-range pages without I/O. Partitioning buys the row store what
+// sort order already buys the column store — the paper's asymmetry, at the
+// I/O layer.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "harness/runner.h"
+#include "shard/scatter.h"
+#include "shard/sharded_store.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+using namespace cstore;
+
+namespace {
+
+plan::Plan YearProbe(const std::string& id, int64_t lo_year, int64_t hi_year) {
+  return plan::PlanBuilder(id)
+      .Scan("lineorder")
+      .Join("date", "orderdate", "datekey")
+      .Where(plan::Predicate::IntRange("lineorder", "orderdate",
+                                       lo_year * 10000 + 101,
+                                       hi_year * 10000 + 1231))
+      .GroupBy("date", "year")
+      .Sum("lineorder", "revenue")
+      .Build();
+}
+
+struct ShardCountRun {
+  harness::SeriesResult series;
+  /// "design:probe" -> device pages billed by surviving (unpruned) shards
+  /// on a cold pool.
+  std::map<std::string, uint64_t> probe_pages;
+  /// "design:probe" -> shards the manifest pruned.
+  std::map<std::string, size_t> probe_pruned;
+};
+
+/// Drops every shard's page cache, so the next run pays cold device reads —
+/// the receipts below measure I/O pruning avoided, not cache luck.
+void ClearPools(shard::ShardedStore* store) {
+  shard::ShardedStore::Pinned pin = store->Pin();
+  for (const shard::ShardedStore::ShardPin& shard : pin.shards) {
+    if (shard.version->column_db != nullptr) {
+      CSTORE_CHECK(shard.version->column_db->pool().Clear().ok());
+    }
+    if (shard.version->row_db != nullptr) {
+      CSTORE_CHECK(shard.version->row_db->pool().Clear().ok());
+    }
+  }
+}
+
+ShardCountRun RunAtShardCount(const harness::BenchArgs& args,
+                              const ssb::SsbData& data, unsigned num_shards,
+                              const std::vector<plan::Plan>& queries,
+                              const std::vector<std::string>& probe_ids) {
+  shard::ShardedStore::Options options;
+  options.num_shards = num_shards;
+  options.store.build_column = true;
+  // The row store too: its heap scans have no zone maps, so it is the
+  // design where partition pruning (and nothing else) stands between a
+  // one-year probe and a full-table scan.
+  options.store.build_rows = true;
+  // Uncompressed: fact scans actually walk their pages (compressed flight
+  // scans are mostly zone-map skips), so a pool smaller than the data pays
+  // visible device reads — the regime pruning exists for.
+  options.store.compression = col::CompressionMode::kNone;
+  // One pool budget for the whole table, however it is partitioned: each
+  // shard gets an equal slice (floor of 16 frames so tiny slices still run).
+  options.store.pool_pages =
+      std::max<size_t>(16, args.pool_pages / std::max(1u, num_shards));
+  auto store = shard::ShardedStore::Open(data, options).ValueOrDie();
+
+  const shard::Manifest manifest = store->manifest();
+  uint64_t total_bytes = 0;
+  for (const shard::ShardInfo& info : manifest.shards) {
+    total_bytes += info.base_bytes;
+  }
+  std::fprintf(stderr,
+               "  s%u built: %zu shard(s), %.1f MB logical, pool %zu pages "
+               "(%.1f MB) per shard\n",
+               num_shards, manifest.shards.size(),
+               static_cast<double>(total_bytes) / (1024.0 * 1024.0),
+               options.store.pool_pages,
+               static_cast<double>(options.store.pool_pages) *
+                   storage::kPageSize / (1024.0 * 1024.0));
+  std::printf("manifest s%u: %s\n", num_shards, manifest.ToJson().c_str());
+
+  engine::Engine engine;
+  shard::RegisterShardedDesigns(&engine, store.get());
+  auto session = engine.OpenSession("CS");
+  session->config() = core::ExecConfig::AllOn();
+  session->config().num_threads = args.threads;
+
+  ShardCountRun run;
+  run.series.name = "cs-s" + std::to_string(num_shards);
+  for (const plan::Plan& q : queries) {
+    uint64_t result_hash = 0;
+    harness::CellResult cell = harness::TimeCell(
+        [&] {
+          auto outcome = session->Run(q);
+          CSTORE_CHECK(outcome.ok());
+          result_hash = outcome.ValueOrDie().result.Hash();
+          return outcome.ValueOrDie().stats;
+        },
+        args.repetitions);
+    cell.result_hash = result_hash;
+    run.series.by_query[q.id()] = cell;
+  }
+
+  // Pruning receipts: each probe once per design on a cold cache, auditing
+  // the per-shard bills. A pruned shard billing any device page is a bug,
+  // not a slow run.
+  for (const std::string& design : {std::string("CS"), std::string("T")}) {
+    auto probe_session = engine.OpenSession(design);
+    probe_session->config() = core::ExecConfig::AllOn();
+    probe_session->config().num_threads = args.threads;
+    for (const std::string& id : probe_ids) {
+      const plan::Plan* probe = nullptr;
+      for (const plan::Plan& q : queries) {
+        if (q.id() == id) probe = &q;
+      }
+      CSTORE_CHECK(probe != nullptr);
+      ClearPools(store.get());
+      auto outcome = probe_session->Run(*probe);
+      CSTORE_CHECK(outcome.ok());
+      uint64_t survivor_pages = 0;
+      size_t pruned = 0;
+      for (const core::ShardBill& bill : outcome.ValueOrDie().shard_bills) {
+        if (bill.pruned) {
+          ++pruned;
+          if (bill.stats.pages_read != 0) {
+            std::fprintf(
+                stderr,
+                "FATAL: %s s%u probe %s: pruned shard %u billed %llu "
+                "device pages\n",
+                design.c_str(), num_shards, id.c_str(), bill.shard,
+                static_cast<unsigned long long>(bill.stats.pages_read));
+            std::abort();
+          }
+        } else {
+          survivor_pages += bill.stats.pages_read;
+        }
+      }
+      run.probe_pages[design + ":" + id] = survivor_pages;
+      run.probe_pruned[design + ":" + id] = pruned;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchArgs args = harness::BenchArgs::Parse(argc, argv);
+  std::printf(
+      "Scale — SSBM mix + orderdate probes over partitioned fact storage, "
+      "SF=%.3g, pool=%zu pages (%.1f MB) total, shards={1,%u}, %u thread(s), "
+      "%d rep(s)\n",
+      args.scale_factor, args.pool_pages,
+      static_cast<double>(args.pool_pages) * storage::kPageSize /
+          (1024.0 * 1024.0),
+      args.shards, args.threads, args.repetitions);
+
+  ssb::GenParams params;
+  params.scale_factor = args.scale_factor;
+  const ssb::SsbData data = ssb::Generate(params);
+
+  std::vector<plan::Plan> queries = ssb::AllQueries();
+  queries.push_back(YearProbe("S93", 1993, 1993));
+  queries.push_back(YearProbe("S9495", 1994, 1995));
+  const std::vector<std::string> probe_ids = {"S93", "S9495"};
+  std::vector<std::string> ids;
+  for (const plan::Plan& q : queries) ids.push_back(q.id());
+
+  const ShardCountRun s1 =
+      RunAtShardCount(args, data, 1, queries, probe_ids);
+  const ShardCountRun sn =
+      RunAtShardCount(args, data, args.shards, queries, probe_ids);
+
+  // Hard gate, in-process: N-shard scatter-gather must answer every query
+  // bit-identically to the single shard.
+  for (const std::string& id : ids) {
+    const uint64_t h1 = s1.series.by_query.at(id).result_hash;
+    const uint64_t hn = sn.series.by_query.at(id).result_hash;
+    if (h1 != hn) {
+      std::fprintf(stderr,
+                   "FATAL: query %s: s%u hash %016llx != s1 hash %016llx\n",
+                   id.c_str(), args.shards,
+                   static_cast<unsigned long long>(hn),
+                   static_cast<unsigned long long>(h1));
+      std::abort();
+    }
+  }
+  std::printf("hash gate: %zu queries bit-identical at 1 and %u shard(s)\n",
+              ids.size(), args.shards);
+
+  harness::PrintFigure("Scale: time per query (ms)", ids,
+                       {s1.series, sn.series}, /*show_io=*/true);
+
+  std::printf(
+      "\npruning (cold-cache device pages read by surviving shards):\n");
+  std::printf("%-10s %14s %14s %18s\n", "probe", "s1 pages",
+              ("s" + std::to_string(args.shards) + " pages").c_str(),
+              "shards pruned");
+  bool pruning_reduced = false;
+  for (const std::string& design : {std::string("CS"), std::string("T")}) {
+    for (const std::string& id : probe_ids) {
+      const std::string key = design + ":" + id;
+      const uint64_t p1 = s1.probe_pages.at(key);
+      const uint64_t pn = sn.probe_pages.at(key);
+      if (pn < p1) pruning_reduced = true;
+      std::printf("%-10s %14llu %14llu %11zu of %-4u\n", key.c_str(),
+                  static_cast<unsigned long long>(p1),
+                  static_cast<unsigned long long>(pn),
+                  sn.probe_pruned.at(key), args.shards);
+    }
+  }
+  if (!pruning_reduced) {
+    std::printf(
+        "WARNING: pruning did not reduce device pages on any probe — pool "
+        "not smaller than the data at this SF?\n");
+  }
+
+  if (!args.json_path.empty()) {
+    harness::WriteResultsJson(args.json_path, "fig_scale", args, ids,
+                              {s1.series, sn.series});
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "column/column_reader.h"
 #include "core/exec_config.h"
@@ -98,6 +99,16 @@ struct QueryStats {
   }
 };
 
+/// One shard's share of a scatter-gather query: the billing the coordinator
+/// recorded for that partition. A pruned shard appears with `pruned` set and
+/// an all-zero stats block — the manifest ruled it out before any I/O, and
+/// the pruning-proof tests audit exactly that.
+struct ShardBill {
+  uint32_t shard = 0;
+  bool pruned = false;
+  QueryStats stats;
+};
+
 /// The per-query context threaded through the executors: the run-time knobs
 /// (thread budget, iteration/join/materialization switches, shared-scan
 /// handle) plus the telemetry sinks work is charged to. Sinks are atomics —
@@ -134,6 +145,11 @@ class ExecContext {
   uint64_t snapshot_epoch = 0;
   /// Delta-overlay billing (write-store rows examined).
   std::atomic<uint64_t> delta_rows_scanned{0};
+
+  /// Per-shard receipts, filled by a scatter-gather design after its shard
+  /// tasks complete (coordinator thread only — not a concurrent sink).
+  /// Empty for unsharded designs.
+  std::vector<ShardBill> shard_bills;
 
   /// Plain-value snapshot of the sinks. `seconds` and
   /// `admission_wait_seconds` are zero — the session measures those around

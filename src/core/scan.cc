@@ -5,6 +5,7 @@
 
 #include "column/column_reader.h"
 #include "simd/simd.h"
+#include "storage/buffer_pool.h"
 #include "util/thread_pool.h"
 
 namespace cstore::core {
@@ -275,21 +276,55 @@ uint64_t ScanIntPage(const compress::PageView& view, const IntPredicate& pred,
   return matches;
 }
 
-/// Runs `scan_pages(first_page, end_page, out)` over page-range morsels on
-/// `num_threads` workers, each filling a private *windowed* bitmap, then
-/// OR-combines the partials into `out`. OR is commutative and the morsels
-/// cover disjoint row ranges, so the merged bitmap is identical no matter
-/// which worker scanned which morsel. The page index fixes each morsel's
-/// row range before the scan, so a worker's bitmap is allocated (and
-/// zeroed) at window size on its first morsel and extended rightward as
-/// later morsels arrive (shared-counter morsel indices only increase) —
-/// both allocation and merge traffic scale with work done, not column size.
-template <typename ScanPagesFn>
+/// Zone-map-aware morsel-parallel scan. One serial pass over the page index
+/// settles every page the zone maps can decide — kSkip pages are counted,
+/// kAllMatch pages become SetRange calls — and collects the must-visit
+/// pages into a work list. Only that list is fanned out: morsels divide
+/// pages that actually need fetching, so a predicate matching one zone of
+/// the column no longer schedules workers onto ranges the zone maps would
+/// have skipped anyway. `decide` must be the same consultation the
+/// per-page scan body uses (the re-decision inside `scan_pages` then
+/// deterministically yields kVisit, so nothing is double-charged).
+///
+/// Each worker fills a private *windowed* bitmap over the rows of its
+/// morsels, then the partials OR-combine into `out`. OR is commutative and
+/// the morsels cover disjoint row ranges, so the merged bitmap is identical
+/// no matter which worker scanned which morsel; shared-counter morsel
+/// indices only increase, so a worker's window extends rightward and both
+/// allocation and merge traffic scale with work done, not column size.
+template <typename DecideFn, typename ScanPagesFn>
 Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
                                   unsigned num_threads, util::BitVector* out,
+                                  ExecContext* ctx, const DecideFn& decide,
                                   const ScanPagesFn& scan_pages) {
   const storage::PageNumber pages = column.num_pages();
   const compress::PageIndex& index = column.page_index();
+
+  std::vector<storage::PageNumber> visit;
+  uint64_t skipped = 0, all_matched = 0, ahead_matches = 0;
+  for (storage::PageNumber p = 0; p < pages; ++p) {
+    const compress::PageStats& stats = index.page(p);
+    switch (decide(stats)) {
+      case col::PageDecision::kSkip:
+        skipped++;
+        break;
+      case col::PageDecision::kAllMatch:
+        out->SetRange(stats.row_start, stats.row_end());
+        ahead_matches += stats.num_values;
+        all_matched++;
+        break;
+      case col::PageDecision::kVisit:
+        visit.push_back(p);
+        break;
+    }
+  }
+  if (ctx != nullptr) {
+    ctx->telemetry.pages_skipped.fetch_add(skipped, std::memory_order_relaxed);
+    ctx->telemetry.pages_all_match.fetch_add(all_matched,
+                                             std::memory_order_relaxed);
+  }
+  if (visit.empty()) return ahead_matches;
+
   struct WorkerState {
     util::BitVector bits;
     uint64_t matches = 0;
@@ -298,16 +333,17 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
   };
   std::vector<WorkerState> workers(num_threads);
   util::ParallelFor(
-      pages, util::kPageMorsel, num_threads,
+      visit.size(), util::kPageMorsel, num_threads,
       [&](unsigned worker, uint64_t begin, uint64_t end) {
         WorkerState& state = workers[worker];
         if (!state.status.ok()) return;  // a prior morsel of this worker failed
-        // Rows this page-range morsel covers; pages need not align to word
+        // Rows this morsel's pages cover; pages need not align to word
         // boundaries, so a boundary word may be shared by two workers — OR
         // merging makes that benign.
-        const uint64_t row_begin = index.row_start(begin);
+        const uint64_t row_begin = index.row_start(visit[begin]);
+        const storage::PageNumber last = visit[end - 1];
         const uint64_t row_end =
-            end < pages ? index.row_start(end) : column.num_values();
+            last + 1 < pages ? index.row_start(last + 1) : column.num_values();
         const size_t first_word = row_begin / 64;
         const size_t end_word = (row_end + 63) / 64;
         if (!state.used) {
@@ -316,16 +352,24 @@ Result<uint64_t> ParallelScanImpl(const col::StoredColumn& column,
         } else {
           state.bits.ExtendWindow(end_word);
         }
-        auto matches =
-            scan_pages(static_cast<storage::PageNumber>(begin),
-                       static_cast<storage::PageNumber>(end), &state.bits);
-        if (!matches.ok()) {
-          state.status = matches.status();
-          return;
+        // The work list need not be contiguous: split the morsel into
+        // maximal runs of adjacent pages, one scan call per run.
+        uint64_t i = begin;
+        while (i < end) {
+          uint64_t j = i + 1;
+          while (j < end && visit[j] == visit[j - 1] + 1) ++j;
+          auto matches = scan_pages(
+              visit[i], static_cast<storage::PageNumber>(visit[j - 1] + 1),
+              &state.bits);
+          if (!matches.ok()) {
+            state.status = matches.status();
+            return;
+          }
+          state.matches += matches.ValueOrDie();
+          i = j;
         }
-        state.matches += matches.ValueOrDie();
       });
-  uint64_t total = 0;
+  uint64_t total = ahead_matches;
   for (WorkerState& state : workers) {
     CSTORE_RETURN_IF_ERROR(state.status);
     if (!state.used) continue;
@@ -526,6 +570,10 @@ Result<uint64_t> SharedScanInt(const col::StoredColumn& column,
       column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
         SharedScanManager::Attachment attachment = shared->Attach(column);
+        // Cooperative full-column scans churn far more pages than they
+        // re-use: mark their fetches scan-transient so they recycle a few
+        // frames instead of evicting every hot page (scan-resistant LRU).
+        storage::ScopedScanCohort cohort;
         col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
         return reader.VisitPagesCircular(
             attachment.start_page(),
@@ -542,6 +590,7 @@ Result<uint64_t> SharedScanChar(const col::StoredColumn& column,
       column, pred, block_iteration, out, ctx,
       [&](auto&& decide, auto&& all_match, auto&& visit) {
         SharedScanManager::Attachment attachment = shared->Attach(column);
+        storage::ScopedScanCohort cohort;
         col::ColumnReader reader(&column, ExecContext::TelemetryOf(ctx));
         return reader.VisitPagesCircular(
             attachment.start_page(),
@@ -571,20 +620,29 @@ Result<uint64_t> ParallelScanColumn(const col::StoredColumn& column,
     return ScanColumn(column, pred, block_iteration, out, ctx);
   }
   if (pred.is_string()) {
+    // Char pages carry no value stats: every page is must-visit.
     return ParallelScanImpl(
-        column, num_threads, out,
+        column, num_threads, out, ctx,
+        [](const compress::PageStats&) { return col::PageDecision::kVisit; },
         [&](storage::PageNumber first, storage::PageNumber end,
             util::BitVector* bits) {
           return ScanCharPages(column, pred.str_pred(), block_iteration, first,
                                end, bits, ctx);
         });
   }
+  const IntPredicate& int_pred = pred.int_pred();
+  // Mirror the serial path's kEmpty short-circuit (no pages enumerated, no
+  // telemetry charged).
+  if (int_pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
   return ParallelScanImpl(
-      column, num_threads, out,
+      column, num_threads, out, ctx,
+      [&](const compress::PageStats& stats) {
+        return DecideInt(int_pred, stats);
+      },
       [&](storage::PageNumber first, storage::PageNumber end,
           util::BitVector* bits) {
-        return ScanIntPages(column, pred.int_pred(), block_iteration, first,
-                            end, bits, ctx);
+        return ScanIntPages(column, int_pred, block_iteration, first, end,
+                            bits, ctx);
       });
 }
 
@@ -609,7 +667,8 @@ Result<uint64_t> ParallelScanInt(const col::StoredColumn& column,
   }
   if (pred.kind == IntPredicate::Kind::kEmpty) return uint64_t{0};
   return ParallelScanImpl(
-      column, num_threads, out,
+      column, num_threads, out, ctx,
+      [&](const compress::PageStats& stats) { return DecideInt(pred, stats); },
       [&](storage::PageNumber first, storage::PageNumber end,
           util::BitVector* bits) {
         return ScanIntPages(column, pred, block_iteration, first, end, bits,

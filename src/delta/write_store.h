@@ -59,6 +59,10 @@ class WriteStore {
   uint64_t base_rows() const { return base_rows_; }
   /// Published insert count (any reader; acquire).
   uint64_t size() const { return rows_.size(); }
+  /// Whether any unmerged write exists (inserts or base tombstones) — the
+  /// incremental merge's per-shard rebuild test. Writer side: callers hold
+  /// the owner's mutex, like every base_delete_log() reader.
+  bool dirty() const { return size() != 0 || !base_delete_log_.empty(); }
   /// Approximate bytes of unmerged write state (relaxed running total).
   uint64_t delta_bytes() const {
     return delta_bytes_.load(std::memory_order_relaxed);

@@ -146,6 +146,22 @@ class DenormalizedDesign : public Design {
   const ssb::DenormalizedDatabase* db_;
 };
 
+ssb::RowDesign RowDesignOf(StoreDesignKind kind) {
+  switch (kind) {
+    case StoreDesignKind::kTraditional:
+      return ssb::RowDesign::kTraditional;
+    case StoreDesignKind::kTraditionalBitmap:
+      return ssb::RowDesign::kTraditionalBitmap;
+    case StoreDesignKind::kMaterializedViews:
+      return ssb::RowDesign::kMaterializedViews;
+    case StoreDesignKind::kVerticalPartitioning:
+      return ssb::RowDesign::kVerticalPartitioning;
+    default:
+      CSTORE_CHECK(kind == StoreDesignKind::kIndexOnly);
+      return ssb::RowDesign::kIndexOnly;
+  }
+}
+
 class StoreDesign : public Design {
  public:
   StoreDesign(Store* store, StoreDesignKind kind)
@@ -158,14 +174,14 @@ class StoreDesign : public Design {
     // races with nothing — the version is frozen, the snapshot immutable.
     Store::Pinned pin = store_->Pin();
     const StoreVersion& v = *pin.version;
-    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys, Lower(v, p));
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys, LowerOnVersion(v, kind_, p));
     ctx.snapshot_epoch = pin.snap.epoch;
     const bool star = phys.shape == PhysicalPlan::Shape::kStar;
     // Writes touch only the fact table; dimension-only plans read tables
     // no tombstone or delta row can affect, so they skip the overlay and
     // the mask entirely.
     if (star) ctx.fact_tombstones = pin.snap.tombstones.get();
-    Result<core::QueryResult> base = ExecuteBase(v, phys, ctx);
+    Result<core::QueryResult> base = ExecuteBaseOnVersion(v, kind_, phys, ctx);
     ctx.fact_tombstones = nullptr;
     CSTORE_RETURN_IF_ERROR(base.status());
     core::QueryResult result = std::move(base).ValueOrDie();
@@ -183,89 +199,6 @@ class StoreDesign : public Design {
   }
 
  private:
-  Result<PhysicalPlan> Lower(const StoreVersion& v, const plan::Plan& p) const {
-    if (kind_ == StoreDesignKind::kColumnStore) {
-      if (v.column_db == nullptr) {
-        return Status::NotSupported("store was opened without build_column");
-      }
-      return PlanToPhysicalForSchema(p, &v.catalog, v.star_schema);
-    }
-    return PlanToPhysical(p, nullptr);
-  }
-
-  Result<core::QueryResult> ExecuteBase(const StoreVersion& v,
-                                        const PhysicalPlan& phys,
-                                        core::ExecContext& ctx) const {
-    const bool single = phys.shape == PhysicalPlan::Shape::kSingleTable;
-    const core::StarQuery& query = phys.query;
-    switch (kind_) {
-      case StoreDesignKind::kColumnStore: {
-        if (v.column_db == nullptr) {
-          return Status::NotSupported("store was opened without build_column");
-        }
-        if (single) {
-          const col::ColumnTable* dim = DimTableOf(v.star_schema, phys.table);
-          CSTORE_CHECK(dim != nullptr);  // Lower() validated the name
-          return core::ExecuteTableQuery(*dim, query, IdentityColumnName,
-                                         &ctx);
-        }
-        return core::ExecuteStarQuery(v.star_schema, query, &ctx);
-      }
-      case StoreDesignKind::kDenormalized: {
-        if (v.denorm_db == nullptr) {
-          return Status::NotSupported(
-              "store was opened without build_denormalized");
-        }
-        if (single) {
-          if (!IsSsbDimension(phys.table)) {
-            return Status::InvalidArgument("plan scans unknown table '" +
-                                           phys.table + "'");
-          }
-          return core::ExecuteTableQuery(v.denorm_db->dim(phys.table), query,
-                                         IdentityColumnName, &ctx);
-        }
-        CSTORE_RETURN_IF_ERROR(CheckWidened(v.denorm_db->table(), query));
-        return core::ExecuteTableQuery(v.denorm_db->table(), query,
-                                       ssb::DenormalizedColumnName, &ctx);
-      }
-      case StoreDesignKind::kTraditional:
-      case StoreDesignKind::kTraditionalBitmap:
-      case StoreDesignKind::kMaterializedViews:
-      case StoreDesignKind::kVerticalPartitioning:
-      case StoreDesignKind::kIndexOnly: {
-        if (v.row_db == nullptr) {
-          return Status::NotSupported("store was opened without build_rows");
-        }
-        if (single) {
-          if (!IsSsbDimension(phys.table)) {
-            return Status::InvalidArgument("plan scans unknown table '" +
-                                           phys.table + "'");
-          }
-          return ssb::ExecuteRowTableQuery(*v.row_db, query, phys.table, &ctx);
-        }
-        return ssb::ExecuteRowQuery(*v.row_db, query, RowDesignOf(kind_),
-                                    &ctx);
-      }
-    }
-    return Status::InvalidArgument("unknown store design kind");
-  }
-
-  static ssb::RowDesign RowDesignOf(StoreDesignKind kind) {
-    switch (kind) {
-      case StoreDesignKind::kTraditional:
-        return ssb::RowDesign::kTraditional;
-      case StoreDesignKind::kTraditionalBitmap:
-        return ssb::RowDesign::kTraditionalBitmap;
-      case StoreDesignKind::kMaterializedViews:
-        return ssb::RowDesign::kMaterializedViews;
-      case StoreDesignKind::kVerticalPartitioning:
-        return ssb::RowDesign::kVerticalPartitioning;
-      default:
-        CSTORE_CHECK(kind == StoreDesignKind::kIndexOnly);
-        return ssb::RowDesign::kIndexOnly;
-    }
-  }
-
   Store* const store_;
   const StoreDesignKind kind_;
 };
@@ -292,6 +225,73 @@ class FunctionDesign : public Design {
 };
 
 }  // namespace
+
+Result<PhysicalPlan> LowerOnVersion(const StoreVersion& v, StoreDesignKind kind,
+                                    const plan::Plan& p) {
+  if (kind == StoreDesignKind::kColumnStore) {
+    if (v.column_db == nullptr) {
+      return Status::NotSupported("store was opened without build_column");
+    }
+    return PlanToPhysicalForSchema(p, &v.catalog, v.star_schema);
+  }
+  return PlanToPhysical(p, nullptr);
+}
+
+Result<core::QueryResult> ExecuteBaseOnVersion(const StoreVersion& v,
+                                               StoreDesignKind kind,
+                                               const PhysicalPlan& phys,
+                                               core::ExecContext& ctx) {
+  const bool single = phys.shape == PhysicalPlan::Shape::kSingleTable;
+  const core::StarQuery& query = phys.query;
+  switch (kind) {
+    case StoreDesignKind::kColumnStore: {
+      if (v.column_db == nullptr) {
+        return Status::NotSupported("store was opened without build_column");
+      }
+      if (single) {
+        const col::ColumnTable* dim = DimTableOf(v.star_schema, phys.table);
+        CSTORE_CHECK(dim != nullptr);  // LowerOnVersion validated the name
+        return core::ExecuteTableQuery(*dim, query, IdentityColumnName, &ctx);
+      }
+      return core::ExecuteStarQuery(v.star_schema, query, &ctx);
+    }
+    case StoreDesignKind::kDenormalized: {
+      if (v.denorm_db == nullptr) {
+        return Status::NotSupported(
+            "store was opened without build_denormalized");
+      }
+      if (single) {
+        if (!IsSsbDimension(phys.table)) {
+          return Status::InvalidArgument("plan scans unknown table '" +
+                                         phys.table + "'");
+        }
+        return core::ExecuteTableQuery(v.denorm_db->dim(phys.table), query,
+                                       IdentityColumnName, &ctx);
+      }
+      CSTORE_RETURN_IF_ERROR(CheckWidened(v.denorm_db->table(), query));
+      return core::ExecuteTableQuery(v.denorm_db->table(), query,
+                                     ssb::DenormalizedColumnName, &ctx);
+    }
+    case StoreDesignKind::kTraditional:
+    case StoreDesignKind::kTraditionalBitmap:
+    case StoreDesignKind::kMaterializedViews:
+    case StoreDesignKind::kVerticalPartitioning:
+    case StoreDesignKind::kIndexOnly: {
+      if (v.row_db == nullptr) {
+        return Status::NotSupported("store was opened without build_rows");
+      }
+      if (single) {
+        if (!IsSsbDimension(phys.table)) {
+          return Status::InvalidArgument("plan scans unknown table '" +
+                                         phys.table + "'");
+        }
+        return ssb::ExecuteRowTableQuery(*v.row_db, query, phys.table, &ctx);
+      }
+      return ssb::ExecuteRowQuery(*v.row_db, query, RowDesignOf(kind), &ctx);
+    }
+  }
+  return Status::InvalidArgument("unknown store design kind");
+}
 
 std::unique_ptr<Design> MakeColumnStoreDesign(core::StarSchema schema) {
   return std::make_unique<ColumnStoreDesign>(std::move(schema));

@@ -15,6 +15,7 @@
 
 #include "engine/engine.h"
 #include "engine/store.h"
+#include "plan/physical.h"
 #include "ssb/column_db.h"
 #include "ssb/row_exec.h"
 
@@ -65,6 +66,25 @@ std::unique_ptr<Design> MakeStoreDesign(Store* store, StoreDesignKind kind);
 /// benches' usual names: "CS" (build_column), "T", "T(B)", "MV", "VP",
 /// "AI" (build_rows), and "PJ" (build_denormalized).
 void RegisterStoreDesigns(Engine* engine, Store* store);
+
+/// Lowers `p` for `kind` against one pinned version: the column-store kind
+/// validates against the version's cached catalog and schema, every other
+/// kind lowers structurally. PhysicalPlan carries names only — no table
+/// pointers — so the scatter-gather coordinator (src/shard) lowers once and
+/// executes the same physical plan against every shard's version.
+Result<plan::PhysicalPlan> LowerOnVersion(const StoreVersion& v,
+                                          StoreDesignKind kind,
+                                          const plan::Plan& p);
+
+/// Executes the base (frozen file-set) half of `phys` against one pinned
+/// version through `kind`'s executor, honoring ctx's knobs and tombstone
+/// mask and charging its sinks. The delta overlay and FinalizeResult are
+/// the caller's job — StoreDesign applies them per store, the shard
+/// coordinator after folding shard partials.
+Result<core::QueryResult> ExecuteBaseOnVersion(const StoreVersion& v,
+                                               StoreDesignKind kind,
+                                               const plan::PhysicalPlan& phys,
+                                               core::ExecContext& ctx);
 
 /// Escape hatch for bespoke executors (e.g. the Row-MV-in-column-store
 /// hybrid): wraps any callable. The engine still installs the context's

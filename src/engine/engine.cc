@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <algorithm>
+
 #include "util/stopwatch.h"
 
 namespace cstore::engine {
@@ -35,13 +37,13 @@ Engine::Stats Engine::stats() const {
   return stats_;
 }
 
-double Engine::Admit() {
+Engine::Admission Engine::Admit() {
   const size_t cap = options_.max_inflight_queries;
   std::unique_lock<std::mutex> lock(mu_);
   if (cap == 0 || inflight_ < cap) {
     ++inflight_;
     ++stats_.queries_run;
-    return 0;
+    return Admission{0, inflight_};
   }
   util::Stopwatch wait;
   slot_freed_.wait(lock, [&] { return inflight_ < cap; });
@@ -50,7 +52,7 @@ double Engine::Admit() {
   ++stats_.queries_run;
   ++stats_.queries_waited;
   stats_.admission_wait_seconds += waited;
-  return waited;
+  return Admission{waited, inflight_};
 }
 
 void Engine::Release() {
@@ -64,11 +66,18 @@ void Engine::Release() {
 
 Result<QueryOutcome> Session::Run(const plan::Plan& p) {
   util::Stopwatch wall;
-  const double waited = engine_->Admit();
+  const Engine::Admission admission = engine_->Admit();
 
   core::ExecContext ctx(config_);
   if (engine_->options().shared_scans && ctx.config.shared_scans == nullptr) {
     ctx.config.shared_scans = &engine_->shared_scans_;
+  }
+  if (engine_->options().dynamic_thread_budget && config_.num_threads == 0) {
+    // This query's pool share: the machine divided by how many queries are
+    // in flight at admission. Sessions that pinned a thread count keep it.
+    const unsigned hw = util::ThreadPool::HardwareThreads();
+    ctx.config.num_threads = std::max<unsigned>(
+        1, hw / static_cast<unsigned>(std::max<size_t>(1, admission.inflight)));
   }
   Result<core::QueryResult> result = design_->Execute(p, ctx);
   engine_->Release();
@@ -77,9 +86,11 @@ Result<QueryOutcome> Session::Run(const plan::Plan& p) {
   QueryOutcome outcome;
   outcome.result = std::move(result).ValueOrDie();
   outcome.stats = ctx.Stats();
-  outcome.stats.admission_wait_seconds = waited;
+  outcome.stats.admission_wait_seconds = admission.waited;
   outcome.stats.seconds = wall.ElapsedSeconds();
   outcome.snapshot_epoch = ctx.snapshot_epoch;
+  outcome.thread_budget = ctx.config.ResolvedThreads();
+  outcome.shard_bills = std::move(ctx.shard_bills);
   totals_ += outcome.stats;
   return outcome;
 }
@@ -90,7 +101,7 @@ Result<WriteOutcome> Session::Insert(std::string_view table,
     return Status::NotSupported("engine has no writeable store attached");
   }
   util::Stopwatch wall;
-  const double waited = engine_->Admit();
+  const double waited = engine_->Admit().waited;
   Result<WriteOutcome> result =
       engine_->store()->Insert(table, std::move(rows));
   engine_->Release();
@@ -111,7 +122,7 @@ Result<WriteOutcome> Session::Delete(
     return Status::NotSupported("engine has no writeable store attached");
   }
   util::Stopwatch wall;
-  const double waited = engine_->Admit();
+  const double waited = engine_->Admit().waited;
   Result<WriteOutcome> result = engine_->store()->Delete(table, predicate);
   engine_->Release();
   CSTORE_RETURN_IF_ERROR(result.status());

@@ -77,6 +77,14 @@ struct EngineOptions {
   /// When true, sessions' fact scans attach to the engine's shared
   /// SharedScanManager (cooperative scans across concurrent clients).
   bool shared_scans = false;
+  /// When true, sessions whose ExecConfig::num_threads is auto (0) get a
+  /// per-query pool share computed at admission — hardware threads divided
+  /// by the number of in-flight queries — instead of the full machine. One
+  /// fat scatter-gather query then cannot starve short ones: its budget
+  /// shrinks while others are in flight. Sessions that pin num_threads
+  /// explicitly are never overridden. Results are identical either way
+  /// (thread count never changes answers), only scheduling differs.
+  bool dynamic_thread_budget = false;
   /// Starting ExecConfig for every session (thread budget per query, the
   /// Figure-7 knobs). Sessions may adjust their own copy via config().
   core::ExecConfig default_config;
@@ -90,6 +98,13 @@ struct QueryOutcome {
   /// designs with no store attached). Writes committed at epoch <= this
   /// are reflected in `result`; later ones are not.
   uint64_t snapshot_epoch = 0;
+  /// The worker budget this query executed under (after the dynamic
+  /// thread-budget division, when enabled).
+  unsigned thread_budget = 0;
+  /// Per-shard billing from a scatter-gather design (empty otherwise):
+  /// one entry per shard in shard order, pruned shards included with zero
+  /// I/O — the receipts the pruning-proof tests audit.
+  std::vector<core::ShardBill> shard_bills;
 };
 
 class Session;
@@ -115,10 +130,12 @@ class Engine {
   /// Attaches the writeable store sessions' Insert/Delete go through (the
   /// engine does not own it; it must outlive the engine). Store-backed
   /// designs (engine/designs.h: MakeStoreDesign) read from the same store,
-  /// so queries see writes at their pinned epoch. One store per engine;
-  /// attach at setup time, before sessions write.
-  void AttachStore(Store* store) { store_ = store; }
-  Store* store() const { return store_; }
+  /// so queries see writes at their pinned epoch. Accepts any WriteTarget —
+  /// a monolithic Store or a shard::ShardedStore routing writes to
+  /// partitions. One store per engine; attach at setup time, before
+  /// sessions write.
+  void AttachStore(WriteTarget* store) { store_ = store; }
+  WriteTarget* store() const { return store_; }
 
   /// The manager sessions' scans attach to when options().shared_scans.
   core::SharedScanManager& shared_scan_manager() { return shared_scans_; }
@@ -138,14 +155,21 @@ class Engine {
  private:
   friend class Session;
 
-  /// Blocks until an in-flight slot frees (no-op when unlimited); returns
-  /// the seconds spent waiting.
-  double Admit();
+  /// One admission through the gate: the wait it cost and the in-flight
+  /// count (this query included) at the moment it was admitted — the
+  /// divisor the dynamic thread budget splits the pool by.
+  struct Admission {
+    double waited = 0;
+    size_t inflight = 1;
+  };
+
+  /// Blocks until an in-flight slot frees (no-op when unlimited).
+  Admission Admit();
   void Release();
 
   const EngineOptions options_;
   core::SharedScanManager shared_scans_;
-  Store* store_ = nullptr;
+  WriteTarget* store_ = nullptr;
 
   /// Registered designs. Registration happens at setup time; sessions hold
   /// raw Design pointers, so entries must not be replaced while queries run.

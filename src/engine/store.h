@@ -94,7 +94,22 @@ struct WriteOutcome {
   core::QueryStats stats;
 };
 
-class Store {
+/// The write half of a store — what engine::Session::Insert/Delete need.
+/// Store implements it over one monolithic base; shard::ShardedStore routes
+/// each write to the partition owning its orderdate. Engine::AttachStore
+/// accepts either, so the Session write API is identical sharded or not.
+class WriteTarget {
+ public:
+  virtual ~WriteTarget() = default;
+
+  virtual Result<WriteOutcome> Insert(std::string_view table,
+                                      std::vector<ssb::LineorderRow> rows) = 0;
+  virtual Result<WriteOutcome> Delete(
+      std::string_view table,
+      const std::vector<core::FactPredicate>& predicate) = 0;
+};
+
+class Store : public WriteTarget {
  public:
   /// Builds version 1 from `data`. Fails if any requested physical
   /// database fails to build.
@@ -114,13 +129,13 @@ class Store {
   /// Appends `rows` to the fact table's write store under a fresh epoch.
   /// Only "lineorder" is writeable.
   Result<WriteOutcome> Insert(std::string_view table,
-                              std::vector<ssb::LineorderRow> rows);
+                              std::vector<ssb::LineorderRow> rows) override;
 
   /// Tombstones every live fact row matching all of `predicate`
   /// (conjunctive integer ranges) under a fresh epoch.
   Result<WriteOutcome> Delete(
       std::string_view table,
-      const std::vector<core::FactPredicate>& predicate);
+      const std::vector<core::FactPredicate>& predicate) override;
 
   /// Runs one merge cycle: drains writes visible at the current epoch into
   /// a freshly built version and swaps it in. Writes landing during the
@@ -145,11 +160,15 @@ class Store {
 
   const StoreOptions& options() const { return options_; }
 
- private:
-  explicit Store(StoreOptions options) : options_(std::move(options)) {}
-
+  /// Builds one frozen version from `data`: the physical databases the
+  /// options request plus an empty write store. Public so
+  /// shard::ShardedStore builds its per-shard versions through the exact
+  /// staged Build the monolithic store uses (bit-identical file sets).
   static Result<std::shared_ptr<StoreVersion>> BuildVersion(
       uint64_t id, ssb::SsbData data, const StoreOptions& options);
+
+ private:
+  explicit Store(StoreOptions options) : options_(std::move(options)) {}
 
   void MergerLoop();
 

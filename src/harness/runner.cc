@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "storage/page.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -119,6 +120,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.repetitions = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
       args.pool_pages = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pool-mb") == 0 && i + 1 < argc) {
+      args.pool_pages = static_cast<size_t>(std::atoll(argv[++i])) *
+                        (1024 * 1024 / storage::kPageSize);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      args.shards = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (args.shards == 0) args.shards = 1;
     } else if (std::strcmp(argv[i], "--disk") == 0 && i + 1 < argc) {
       args.disk_mbps = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {

@@ -74,8 +74,9 @@ void PrintSpeedups(const std::string& title,
                    const SeriesResult& base, const SeriesResult& parallel);
 
 /// Parses "--sf <double>", "--reps <int>", "--pool <pages>",
-/// "--disk <MB/s>", "--threads <n>", "--clients <m>", "--admit <n>",
-/// "--writers <n>", "--json <path>" flags (very small helper).
+/// "--pool-mb <MB>" (same knob in megabytes), "--disk <MB/s>",
+/// "--threads <n>", "--clients <m>", "--admit <n>", "--writers <n>",
+/// "--shards <n>", "--json <path>" flags (very small helper).
 struct BenchArgs {
   double scale_factor = 0.1;
   int repetitions = 1;
@@ -99,6 +100,10 @@ struct BenchArgs {
   /// Simulated disk bandwidth in MB/s (the paper's array: 160-200 MB/s).
   /// 0 disables the disk model.
   double disk_mbps = 200.0;
+  /// Partition count for the sharded series of the scale bench (the
+  /// one-shard reference series always runs as well); clamped to SSB's
+  /// seven orderdate years by the sharded store.
+  unsigned shards = 4;
   /// When non-empty, the bench writes its per-query results here as JSON.
   std::string json_path;
   static BenchArgs Parse(int argc, char** argv);

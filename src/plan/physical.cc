@@ -1,6 +1,7 @@
 #include "plan/physical.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/macros.h"
@@ -490,6 +491,18 @@ void FinalizeResult(const PhysicalPlan& plan, core::QueryResult* result) {
   if (plan.identity_outputs) return;
   core::ApplyOutputs(plan.outputs, result);
   result->Sort(plan.final_sort);
+}
+
+FactColumnBounds FactBoundsFor(const PhysicalPlan& plan,
+                               std::string_view column) {
+  FactColumnBounds b{std::numeric_limits<int64_t>::min(),
+                     std::numeric_limits<int64_t>::max()};
+  for (const core::FactPredicate& p : plan.query.fact_predicates) {
+    if (p.column != column) continue;
+    b.lo = std::max(b.lo, p.lo);
+    b.hi = std::min(b.hi, p.hi);
+  }
+  return b;
 }
 
 }  // namespace cstore::plan

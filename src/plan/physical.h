@@ -135,4 +135,17 @@ Result<PhysicalPlan> LowerToPhysical(const Plan& plan);
 /// untouched.
 void FinalizeResult(const PhysicalPlan& plan, core::QueryResult* result);
 
+/// The closed interval `plan`'s fact predicates confine `column` to: the
+/// intersection of every conjunct on that column. Unconstrained columns
+/// come back [INT64_MIN, INT64_MAX]; an unsatisfiable conjunction comes
+/// back with lo > hi. Partition pruning intersects this with a shard's
+/// manifest bounds — a plan whose interval misses the shard's value range
+/// cannot match any of its rows.
+struct FactColumnBounds {
+  int64_t lo;
+  int64_t hi;
+};
+FactColumnBounds FactBoundsFor(const PhysicalPlan& plan,
+                               std::string_view column);
+
 }  // namespace cstore::plan

@@ -1,0 +1,159 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cstore::shard {
+
+namespace {
+
+/// SSB's fixed date span (the generator emits 1992-01-01 .. 1998-12-31).
+constexpr int64_t kFirstYear = 1992;
+constexpr int64_t kLastYear = 1998;
+
+/// The integer fact columns tracked in the manifest — the same set delete
+/// predicates may range over (engine::Store's IsFactIntColumn contract).
+using IntColumn = std::pair<const char*,
+                            const std::vector<int64_t> ssb::LineorderTable::*>;
+const std::vector<IntColumn>& IntColumnTable() {
+  static const std::vector<IntColumn> kColumns = {
+      {"orderkey", &ssb::LineorderTable::orderkey},
+      {"linenumber", &ssb::LineorderTable::linenumber},
+      {"custkey", &ssb::LineorderTable::custkey},
+      {"partkey", &ssb::LineorderTable::partkey},
+      {"suppkey", &ssb::LineorderTable::suppkey},
+      {"orderdate", &ssb::LineorderTable::orderdate},
+      {"quantity", &ssb::LineorderTable::quantity},
+      {"extendedprice", &ssb::LineorderTable::extendedprice},
+      {"ordtotalprice", &ssb::LineorderTable::ordtotalprice},
+      {"discount", &ssb::LineorderTable::discount},
+      {"revenue", &ssb::LineorderTable::revenue},
+      {"supplycost", &ssb::LineorderTable::supplycost},
+      {"tax", &ssb::LineorderTable::tax},
+      {"commitdate", &ssb::LineorderTable::commitdate},
+  };
+  return kColumns;
+}
+
+uint64_t ApproxBytes(const ssb::LineorderTable& t) {
+  uint64_t bytes = IntColumnTable().size() * sizeof(int64_t) * t.size();
+  for (const std::string& s : t.ordpriority) bytes += s.size();
+  for (const std::string& s : t.shippriority) bytes += s.size();
+  for (const std::string& s : t.shipmode) bytes += s.size();
+  return bytes;
+}
+
+}  // namespace
+
+const ShardInfo::ColumnBounds* ShardInfo::BoundsFor(
+    const std::string& column) const {
+  for (const ColumnBounds& b : column_bounds) {
+    if (b.column == column) return &b;
+  }
+  return nullptr;
+}
+
+uint32_t Manifest::ShardForOrderdate(int64_t orderdate) const {
+  const int64_t year = ssb::YearOfDatekey(orderdate);
+  for (const ShardInfo& s : shards) {
+    if (year >= s.year_lo && year <= s.year_hi) return s.shard;
+  }
+  CSTORE_CHECK(false);  // Insert validated orderdate against the date dim
+  return 0;
+}
+
+std::string Manifest::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardInfo& s = shards[i];
+    if (i != 0) out += ",";
+    out += "{\"shard\":" + std::to_string(s.shard) +
+           ",\"year_lo\":" + std::to_string(s.year_lo) +
+           ",\"year_hi\":" + std::to_string(s.year_hi) +
+           ",\"orderdate_lo\":" + std::to_string(s.orderdate_lo) +
+           ",\"orderdate_hi\":" + std::to_string(s.orderdate_hi) +
+           ",\"base_rows\":" + std::to_string(s.base_rows) +
+           ",\"base_bytes\":" + std::to_string(s.base_bytes) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> YearRanges(unsigned num_shards) {
+  const int64_t span = kLastYear - kFirstYear + 1;
+  const int64_t n =
+      std::clamp<int64_t>(static_cast<int64_t>(num_shards), 1, span);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(n);
+  int64_t next = kFirstYear;
+  for (int64_t i = 0; i < n; ++i) {
+    // Near-equal split: the first (span % n) shards take one extra year.
+    const int64_t len = span / n + (i < span % n ? 1 : 0);
+    ranges.emplace_back(next, next + len - 1);
+    next += len;
+  }
+  CSTORE_CHECK(next == kLastYear + 1);
+  return ranges;
+}
+
+std::vector<ssb::SsbData> PartitionByYear(
+    const ssb::SsbData& data,
+    const std::vector<std::pair<int64_t, int64_t>>& ranges) {
+  const std::vector<int64_t>& od = data.lineorder.orderdate;
+  std::vector<ssb::SsbData> shards;
+  shards.reserve(ranges.size());
+  size_t begin = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    CSTORE_CHECK(ranges[i].first <= ranges[i].second);
+    if (i != 0) CSTORE_CHECK(ranges[i].first == ranges[i - 1].second + 1);
+    // The fact table is orderdate-sorted, so the shard's rows are the run
+    // [begin, end) where the year first exceeds the range.
+    size_t end = begin;
+    while (end < od.size() &&
+           ssb::YearOfDatekey(od[end]) <= ranges[i].second) {
+      CSTORE_CHECK(ssb::YearOfDatekey(od[end]) >= ranges[i].first);
+      ++end;
+    }
+    ssb::SsbData shard;
+    shard.scale_factor = data.scale_factor;
+    shard.date = data.date;
+    shard.customer = data.customer;
+    shard.supplier = data.supplier;
+    shard.part = data.part;
+    shard.lineorder = ssb::SliceLineorder(data.lineorder, begin, end);
+    shards.push_back(std::move(shard));
+    begin = end;
+  }
+  CSTORE_CHECK(begin == od.size());  // ranges cover every row
+  return shards;
+}
+
+ShardInfo DescribeShard(uint32_t shard, int64_t year_lo, int64_t year_hi,
+                        const ssb::LineorderTable& base) {
+  ShardInfo info;
+  info.shard = shard;
+  info.year_lo = year_lo;
+  info.year_hi = year_hi;
+  info.orderdate_lo = year_lo * 10000 + 101;   // Jan 1
+  info.orderdate_hi = year_hi * 10000 + 1231;  // Dec 31
+  info.base_rows = base.size();
+  info.base_bytes = ApproxBytes(base);
+  for (const auto& [name, member] : IntColumnTable()) {
+    ShardInfo::ColumnBounds b;
+    b.column = name;
+    const std::vector<int64_t>& vals = base.*member;
+    if (vals.empty()) {
+      b.lo = 1;  // empty interval: lo > hi prunes against everything
+      b.hi = 0;
+    } else {
+      const auto [lo, hi] = std::minmax_element(vals.begin(), vals.end());
+      b.lo = *lo;
+      b.hi = *hi;
+    }
+    info.column_bounds.push_back(std::move(b));
+  }
+  return info;
+}
+
+}  // namespace cstore::shard

@@ -1,0 +1,90 @@
+// Fact-table partitioning: orderdate-year shards and the manifest that
+// describes them.
+//
+// LINEORDER is generated sorted by (orderdate, quantity, discount), so
+// partitioning by orderdate year is a contiguous slice per shard — each
+// slice keeps the sort order every design exploits (between-predicate
+// rewriting, zone-map runs on the leading column). Dimension tables are
+// read-only join sides and small next to the fact table; every shard
+// carries its own copy so a shard is self-contained: its files, its zone
+// maps, its per-design physical databases, joinable without reaching into
+// a sibling.
+//
+// The manifest is the pruning input ("Processing a Trillion Cells per
+// Mouse Click": skip whole partitions by metadata before any page is
+// touched): per shard, the closed orderdate interval its year range owns
+// plus conservative min/max bounds for every integer fact column over the
+// shard's *base* rows, and row/byte counts for placement decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ssb/data.h"
+
+namespace cstore::shard {
+
+/// One shard's manifest entry. `orderdate_lo/hi` derive from the owned
+/// year range and stay valid under live writes (inserts are routed by
+/// orderdate year, so no write can land outside them). `column_bounds`
+/// cover base rows only — valid for pruning exactly when the shard has no
+/// unmerged inserts (tombstones only shrink the true range, which keeps
+/// the stored bounds conservative).
+struct ShardInfo {
+  uint32_t shard = 0;
+  /// Closed calendar-year range this shard owns.
+  int64_t year_lo = 0;
+  int64_t year_hi = 0;
+  /// Closed yyyymmdd interval implied by the year range.
+  int64_t orderdate_lo = 0;
+  int64_t orderdate_hi = 0;
+  uint64_t base_rows = 0;
+  /// Approximate in-memory bytes of the base fact slice.
+  uint64_t base_bytes = 0;
+
+  /// Conservative [lo, hi] over one integer fact column's base rows
+  /// (lo > hi for an empty shard).
+  struct ColumnBounds {
+    std::string column;
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  std::vector<ColumnBounds> column_bounds;
+
+  /// The stored bounds for `column`, or null when untracked (char columns).
+  const ColumnBounds* BoundsFor(const std::string& column) const;
+};
+
+/// The shard map of one sharded store: entries in shard order, year ranges
+/// contiguous and disjoint, covering all of SSB's 1992..1998.
+struct Manifest {
+  std::vector<ShardInfo> shards;
+
+  /// Index of the shard owning `orderdate`'s year (CHECK-fails outside the
+  /// covered range — Insert validates orderdate against the date dimension
+  /// first, so routing is total).
+  uint32_t ShardForOrderdate(int64_t orderdate) const;
+
+  std::string ToJson() const;
+};
+
+/// [1992, 1998] split into `num_shards` contiguous, near-equal year runs
+/// (num_shards clamped to [1, 7]).
+std::vector<std::pair<int64_t, int64_t>> YearRanges(unsigned num_shards);
+
+/// Splits `data` into one self-contained SsbData per year range: the fact
+/// slice owning those years plus full copies of every dimension table.
+/// Ranges must be ascending and contiguous over the data's orderdate span.
+std::vector<ssb::SsbData> PartitionByYear(
+    const ssb::SsbData& data,
+    const std::vector<std::pair<int64_t, int64_t>>& ranges);
+
+/// The manifest entry for one shard's base slice: row/byte counts and
+/// per-integer-column min/max, with the orderdate interval taken from the
+/// owned year range (not the slice — an empty shard still owns its years).
+ShardInfo DescribeShard(uint32_t shard, int64_t year_lo, int64_t year_hi,
+                        const ssb::LineorderTable& base);
+
+}  // namespace cstore::shard

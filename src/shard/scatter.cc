@@ -1,0 +1,213 @@
+#include "shard/scatter.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "delta/delta_exec.h"
+#include "plan/physical.h"
+#include "util/thread_pool.h"
+
+namespace cstore::shard {
+
+namespace {
+
+using engine::StoreDesignKind;
+using plan::PhysicalPlan;
+
+/// Whether the manifest proves `phys` cannot match any row of this shard.
+/// The orderdate test uses the interval the shard *owns* — valid under live
+/// writes, because inserts are routed by orderdate year. The per-column
+/// base bounds are consulted only when the snapshot has no unmerged
+/// inserts: tombstones only shrink the true range (conservative), but an
+/// insert could widen it.
+bool ManifestPrunes(const PhysicalPlan& phys, const ShardedStore::ShardPin& pin) {
+  const plan::FactColumnBounds od = plan::FactBoundsFor(phys, "orderdate");
+  if (od.hi < pin.info.orderdate_lo || od.lo > pin.info.orderdate_hi) {
+    return true;
+  }
+  if (pin.snap.delta_rows != 0) return false;
+  for (const ShardInfo::ColumnBounds& b : pin.info.column_bounds) {
+    const plan::FactColumnBounds q = plan::FactBoundsFor(phys, b.column);
+    if (std::max(q.lo, b.lo) > std::min(q.hi, b.hi)) return true;
+  }
+  return false;
+}
+
+/// Adds one shard's billing into the coordinator's sinks, so the query's
+/// top-line QueryStats cover all shards (the per-shard split lives in
+/// shard_bills).
+void Charge(const core::QueryStats& s, core::ExecContext* ctx) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  ctx->io.pages_read.fetch_add(s.pages_read, kRelaxed);
+  ctx->io.pages_written.fetch_add(s.pages_written, kRelaxed);
+  ctx->telemetry.pages_skipped.fetch_add(s.pages_skipped, kRelaxed);
+  ctx->telemetry.pages_all_match.fetch_add(s.pages_all_match, kRelaxed);
+  ctx->telemetry.pages_scanned.fetch_add(s.pages_scanned, kRelaxed);
+  ctx->telemetry.values_scanned.fetch_add(s.values_scanned, kRelaxed);
+  ctx->telemetry.pages_gathered.fetch_add(s.pages_gathered, kRelaxed);
+  ctx->telemetry.values_gathered.fetch_add(s.values_gathered, kRelaxed);
+  ctx->rows_aggregated.fetch_add(s.rows_aggregated, kRelaxed);
+  ctx->groups_emitted.fetch_add(s.groups_emitted, kRelaxed);
+  ctx->delta_rows_scanned.fetch_add(s.delta_rows_scanned, kRelaxed);
+}
+
+class ShardedDesign : public engine::Design {
+ public:
+  ShardedDesign(ShardedStore* store, StoreDesignKind kind)
+      : store_(store), kind_(kind) {}
+
+  Result<core::QueryResult> Execute(const plan::Plan& p,
+                                    core::ExecContext& ctx) const override {
+    // One mutex acquisition pins every shard at the same epoch: the query
+    // sees one consistent cut of the logical table however many shards it
+    // fans out to.
+    ShardedStore::Pinned pin = store_->Pin();
+    CSTORE_CHECK(!pin.shards.empty());
+    ctx.snapshot_epoch = pin.epoch;
+
+    // Lower once, against shard 0's version: the physical plan carries
+    // names only, and every shard's catalog exposes the same vocabulary.
+    CSTORE_ASSIGN_OR_RETURN(PhysicalPlan phys,
+                            LowerOnVersion(*pin.shards[0].version, kind_, p));
+
+    if (phys.shape == PhysicalPlan::Shape::kSingleTable) {
+      // Dimensions are read-only and replicated identically: shard 0
+      // answers alone, no overlay, no fan-out.
+      Result<core::QueryResult> r =
+          ExecuteBaseOnVersion(*pin.shards[0].version, kind_, phys, ctx);
+      CSTORE_RETURN_IF_ERROR(r.status());
+      core::QueryResult result = std::move(r).ValueOrDie();
+      plan::FinalizeResult(phys, &result);
+      return result;
+    }
+
+    // Prune whole shards against the manifest before any I/O.
+    std::vector<size_t> survivors;
+    std::vector<char> pruned(pin.shards.size(), 0);
+    for (size_t s = 0; s < pin.shards.size(); ++s) {
+      if (ManifestPrunes(phys, pin.shards[s])) {
+        pruned[s] = 1;
+      } else {
+        survivors.push_back(s);
+      }
+    }
+    if (survivors.empty()) {
+      // The aggregate shape still owes an answer (a scalar query answers
+      // even over zero rows). Shard 0 computes it: its zone maps skip the
+      // unsatisfiable scan almost as cheaply.
+      pruned[0] = 0;
+      survivors.push_back(0);
+    }
+
+    // Scatter: each surviving shard gets its own context (per-shard
+    // billing) and a share of the query's thread budget.
+    const unsigned budget = ctx.config.ResolvedThreads();
+    const unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(survivors.size(), budget));
+    const unsigned per_shard = std::max(1u, budget / std::max(1u, workers));
+    std::vector<std::unique_ptr<core::ExecContext>> shard_ctx;
+    std::vector<core::QueryResult> partial(survivors.size());
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      auto c = std::make_unique<core::ExecContext>(ctx.config);
+      c->config.num_threads = survivors.size() == 1 ? budget : per_shard;
+      c->snapshot_epoch = pin.epoch;
+      shard_ctx.push_back(std::move(c));
+    }
+    const Status scatter_status = util::ParallelForStatus(
+        survivors.size(), workers, [&](uint64_t i) -> Status {
+          const ShardedStore::ShardPin& shard = pin.shards[survivors[i]];
+          core::ExecContext& sctx = *shard_ctx[i];
+          sctx.fact_tombstones = shard.snap.tombstones.get();
+          Result<core::QueryResult> base =
+              ExecuteBaseOnVersion(*shard.version, kind_, phys, sctx);
+          sctx.fact_tombstones = nullptr;
+          CSTORE_RETURN_IF_ERROR(base.status());
+          core::QueryResult r = std::move(base).ValueOrDie();
+          if (shard.snap.delta_rows != 0) {
+            core::QueryResult delta_partial =
+                delta::ExecuteDelta(shard.version->data, *shard.version->writes,
+                                    shard.snap, phys.query, &sctx);
+            r = delta::MergeResults(std::move(r), std::move(delta_partial),
+                                    phys.query);
+          }
+          partial[i] = std::move(r);
+          return Status::OK();
+        });
+    CSTORE_RETURN_IF_ERROR(scatter_status);
+
+    // Bills: every shard appears, pruned ones with zero stats — the
+    // pruning-proof tests audit exactly that. Shard totals also roll up
+    // into the coordinator's own sinks.
+    ctx.shard_bills.clear();
+    ctx.shard_bills.reserve(pin.shards.size());
+    {
+      size_t next_survivor = 0;
+      for (size_t s = 0; s < pin.shards.size(); ++s) {
+        core::ShardBill bill;
+        bill.shard = static_cast<uint32_t>(s);
+        bill.pruned = pruned[s] != 0;
+        if (!bill.pruned) {
+          bill.stats = shard_ctx[next_survivor]->Stats();
+          Charge(bill.stats, &ctx);
+          ++next_survivor;
+        }
+        ctx.shard_bills.push_back(std::move(bill));
+      }
+      CSTORE_CHECK(next_survivor == survivors.size());
+    }
+
+    // Gather: fold partials in shard order. MergeResults is the same
+    // slot-wise combine the delta overlay uses — sums add, min/max combine
+    // under the hidden-count guard, grouped rows merge and re-sort under
+    // the executor sort's total order — so the fold is deterministic
+    // whatever order the shards finished in.
+    core::QueryResult result = std::move(partial[0]);
+    for (size_t i = 1; i < partial.size(); ++i) {
+      result = delta::MergeResults(std::move(result), std::move(partial[i]),
+                                   phys.query);
+    }
+    plan::FinalizeResult(phys, &result);
+    return result;
+  }
+
+ private:
+  ShardedStore* const store_;
+  const StoreDesignKind kind_;
+};
+
+}  // namespace
+
+std::unique_ptr<engine::Design> MakeShardedDesign(ShardedStore* store,
+                                                  StoreDesignKind kind) {
+  CSTORE_CHECK(store != nullptr);
+  return std::make_unique<ShardedDesign>(store, kind);
+}
+
+void RegisterShardedDesigns(engine::Engine* engine, ShardedStore* store) {
+  CSTORE_CHECK(engine != nullptr && store != nullptr);
+  const engine::StoreOptions& opt = store->options().store;
+  if (opt.build_column) {
+    engine->Register("CS",
+                     MakeShardedDesign(store, StoreDesignKind::kColumnStore));
+  }
+  if (opt.build_rows) {
+    engine->Register("T",
+                     MakeShardedDesign(store, StoreDesignKind::kTraditional));
+    engine->Register(
+        "T(B)", MakeShardedDesign(store, StoreDesignKind::kTraditionalBitmap));
+    engine->Register(
+        "MV", MakeShardedDesign(store, StoreDesignKind::kMaterializedViews));
+    engine->Register(
+        "VP",
+        MakeShardedDesign(store, StoreDesignKind::kVerticalPartitioning));
+    engine->Register("AI",
+                     MakeShardedDesign(store, StoreDesignKind::kIndexOnly));
+  }
+  if (opt.build_denormalized) {
+    engine->Register("PJ",
+                     MakeShardedDesign(store, StoreDesignKind::kDenormalized));
+  }
+}
+
+}  // namespace cstore::shard

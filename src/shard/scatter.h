@@ -1,0 +1,50 @@
+// shard scatter-gather: the engine::Design adapter over a ShardedStore.
+//
+// Execute pins every shard at one epoch, lowers the plan ONCE (the
+// PhysicalPlan carries names only, so one lowering drives every shard's
+// executor), and then:
+//
+//   prune    — intersects the plan's fact-predicate intervals with each
+//              shard's manifest bounds. The orderdate interval a shard owns
+//              is always valid (inserts are routed by year); the per-column
+//              base bounds are consulted only when the shard has no
+//              unmerged inserts (tombstones only shrink the true range).
+//              A pruned shard is never touched — zero pages, zero values —
+//              and appears in the query's shard bills flagged `pruned`.
+//   scatter  — fans the surviving shards out on the shared pool
+//              (util::ParallelForStatus), each with its own ExecContext so
+//              billing is per shard, splitting the query's thread budget
+//              across shards. Each shard runs base executor + tombstone
+//              mask + delta overlay, exactly like the unsharded store
+//              design.
+//   gather   — folds the per-shard partials in shard order through
+//              delta::MergeResults (sum slots add, min/max slots combine
+//              under the hidden-count guard, grouped rows merge and re-sort
+//              under the executor sort's total order), then applies
+//              FinalizeResult once. Deterministic and bit-identical to
+//              unsharded execution on every design, at any thread count.
+//
+// Dimension-only (single-table) plans run on shard 0 alone: dimensions are
+// replicated identically across shards and are read-only.
+#pragma once
+
+#include <memory>
+
+#include "engine/designs.h"
+#include "shard/sharded_store.h"
+
+namespace cstore::shard {
+
+/// A scatter-gather design over `store` executing through `kind`'s
+/// per-shard physical databases. The store must outlive the design and
+/// have built the databases the kind needs.
+std::unique_ptr<engine::Design> MakeShardedDesign(ShardedStore* store,
+                                                  engine::StoreDesignKind kind);
+
+/// Registers every design the store's options can back, under the same
+/// names as RegisterStoreDesigns ("CS", "T", "T(B)", "MV", "VP", "AI",
+/// "PJ") — sharded execution is a deployment choice, not a new design
+/// vocabulary.
+void RegisterShardedDesigns(engine::Engine* engine, ShardedStore* store);
+
+}  // namespace cstore::shard

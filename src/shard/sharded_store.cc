@@ -1,0 +1,345 @@
+#include "shard/sharded_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "delta/merge.h"
+
+namespace cstore::shard {
+
+namespace {
+
+/// The closed interval `predicate` confines `column` to (conjunct
+/// intersection; unconstrained = the whole int64 line).
+std::pair<int64_t, int64_t> PredicateInterval(
+    const std::vector<core::FactPredicate>& predicate,
+    const std::string& column) {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  for (const core::FactPredicate& p : predicate) {
+    if (p.column != column) continue;
+    lo = std::max(lo, p.lo);
+    hi = std::min(hi, p.hi);
+  }
+  return {lo, hi};
+}
+
+/// Integer lineorder columns a delete predicate may range over (the
+/// engine::Store contract).
+bool IsFactIntColumn(const std::string& name) {
+  static const char* const kNames[] = {
+      "orderkey",   "linenumber",    "custkey",    "partkey", "suppkey",
+      "orderdate",  "quantity",      "extendedprice", "ordtotalprice",
+      "discount",   "revenue",       "supplycost", "tax",     "commitdate"};
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(ssb::SsbData data,
+                                                         Options options) {
+  std::unique_ptr<ShardedStore> store(new ShardedStore(std::move(options)));
+  store->ranges_ = YearRanges(store->options_.num_shards);
+  std::vector<ssb::SsbData> parts = PartitionByYear(data, store->ranges_);
+  for (size_t s = 0; s < parts.size(); ++s) {
+    const auto [year_lo, year_hi] = store->ranges_[s];
+    store->manifest_.shards.push_back(DescribeShard(
+        static_cast<uint32_t>(s), year_lo, year_hi, parts[s].lineorder));
+    CSTORE_ASSIGN_OR_RETURN(
+        std::shared_ptr<engine::StoreVersion> v,
+        engine::Store::BuildVersion(1, std::move(parts[s]),
+                                    store->options_.store));
+    store->current_.push_back(std::move(v));
+  }
+  if (store->options_.merge_threshold_rows > 0) {
+    store->merger_ = std::thread([s = store.get()] { s->MergerLoop(); });
+  }
+  return store;
+}
+
+ShardedStore::~ShardedStore() {
+  if (merger_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(merge_cv_mu_);
+      stop_ = true;
+    }
+    merge_cv_.notify_all();
+    merger_.join();
+  }
+}
+
+ShardedStore::Pinned ShardedStore::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Pinned p;
+  p.epoch = epoch_;
+  p.shards.reserve(current_.size());
+  for (size_t s = 0; s < current_.size(); ++s) {
+    ShardPin pin;
+    pin.version = current_[s];
+    pin.snap.epoch = epoch_;
+    pin.snap.delta_rows = current_[s]->writes->size();
+    pin.snap.tombstones = current_[s]->writes->TombstonesAt(epoch_);
+    pin.info = manifest_.shards[s];
+    p.shards.push_back(std::move(pin));
+  }
+  return p;
+}
+
+Result<engine::WriteOutcome> ShardedStore::Insert(
+    std::string_view table, std::vector<ssb::LineorderRow> rows) {
+  if (table != "lineorder") {
+    return Status::NotSupported(
+        "only the fact table (lineorder) is writeable; dimensions are "
+        "read-only join sides");
+  }
+  // FK validation against the (immutable, shard-identical) dimensions — the
+  // same front door as engine::Store::Insert. Pinning shard 0 keeps the
+  // dims alive across a concurrent merge swap. Validating orderdate against
+  // the date dimension also makes the year routing below total: every
+  // accepted orderdate falls in some shard's range.
+  {
+    std::shared_ptr<const engine::StoreVersion> v;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      v = current_[0];
+    }
+    const ssb::SsbData& dims = v->data;
+    for (const ssb::LineorderRow& r : rows) {
+      if (r.custkey < 1 ||
+          r.custkey > static_cast<int64_t>(dims.customer.size()) ||
+          r.suppkey < 1 ||
+          r.suppkey > static_cast<int64_t>(dims.supplier.size()) ||
+          r.partkey < 1 ||
+          r.partkey > static_cast<int64_t>(dims.part.size())) {
+        return Status::InvalidArgument("insert row has an unknown dimension key");
+      }
+      if (!std::binary_search(dims.date.datekey.begin(),
+                              dims.date.datekey.end(), r.orderdate)) {
+        return Status::InvalidArgument("insert row has an unknown orderdate");
+      }
+    }
+  }
+  // Route by orderdate year (ranges_ is immutable — no lock needed), then
+  // commit every bucket under one epoch: snapshots see all of this insert
+  // or none of it.
+  std::vector<std::vector<ssb::LineorderRow>> buckets(ranges_.size());
+  for (ssb::LineorderRow& r : rows) {
+    const int64_t year = ssb::YearOfDatekey(r.orderdate);
+    size_t s = 0;
+    while (year > ranges_[s].second) ++s;
+    CSTORE_CHECK(year >= ranges_[s].first);
+    buckets[s].push_back(std::move(r));
+  }
+  engine::WriteOutcome out;
+  out.rows_affected = rows.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.epoch = ++epoch_;
+    for (size_t s = 0; s < buckets.size(); ++s) {
+      for (ssb::LineorderRow& r : buckets[s]) {
+        current_[s]->writes->Append(std::move(r), out.epoch);
+      }
+    }
+    for (const auto& v : current_) out.delta_bytes += v->writes->delta_bytes();
+  }
+  if (options_.merge_threshold_rows > 0) merge_cv_.notify_one();
+  return out;
+}
+
+Result<engine::WriteOutcome> ShardedStore::Delete(
+    std::string_view table, const std::vector<core::FactPredicate>& predicate) {
+  if (table != "lineorder") {
+    return Status::NotSupported(
+        "only the fact table (lineorder) is writeable; dimensions are "
+        "read-only join sides");
+  }
+  for (const core::FactPredicate& p : predicate) {
+    if (!IsFactIntColumn(p.column)) {
+      return Status::InvalidArgument("delete predicate on unknown column " +
+                                     p.column);
+    }
+  }
+  const auto [od_lo, od_hi] = PredicateInterval(predicate, "orderdate");
+
+  engine::WriteOutcome out;
+  for (;;) {
+    std::vector<std::shared_ptr<engine::StoreVersion>> pinned;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pinned = current_;
+    }
+    // The O(base_rows) scans run without the mutex, one per reachable
+    // shard. A shard whose owned orderdate interval misses the predicate's
+    // cannot hold a match — base rows by partitioning, unmerged inserts by
+    // routing — so it is skipped outright.
+    std::vector<char> scanned_shard(pinned.size(), 0);
+    std::vector<std::vector<uint32_t>> base_hits(pinned.size());
+    std::vector<std::vector<uint64_t>> delta_hits(pinned.size());
+    std::vector<uint64_t> scanned(pinned.size(), 0);
+    for (size_t s = 0; s < pinned.size(); ++s) {
+      // The owned orderdate interval derives from ranges_ (immutable — the
+      // manifest entry itself is rewritten under mu_ by merges).
+      const int64_t shard_lo = ranges_[s].first * 10000 + 101;
+      const int64_t shard_hi = ranges_[s].second * 10000 + 1231;
+      if (od_hi < shard_lo || od_lo > shard_hi) continue;
+      scanned_shard[s] = 1;
+      scanned[s] = pinned[s]->writes->FindMatches(pinned[s]->data, predicate,
+                                                  &base_hits[s], &delta_hits[s]);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    bool stale = false;
+    for (size_t s = 0; s < pinned.size(); ++s) {
+      if (scanned_shard[s] && current_[s] != pinned[s]) stale = true;
+    }
+    if (stale) continue;  // a merge swapped a scanned shard: positions are
+                          // stale, re-evaluate against the new base
+    out.epoch = ++epoch_;
+    for (size_t s = 0; s < pinned.size(); ++s) {
+      if (!scanned_shard[s]) continue;
+      out.rows_affected += current_[s]->writes->ApplyDelete(
+          base_hits[s], delta_hits[s], scanned[s], predicate, out.epoch);
+    }
+    for (const auto& v : current_) out.delta_bytes += v->writes->delta_bytes();
+    break;
+  }
+  if (options_.merge_threshold_rows > 0) merge_cv_.notify_one();
+  return out;
+}
+
+Status ShardedStore::MergeOnce() {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+
+  Status first_error = Status::OK();
+  bool any_dirty = false;
+  for (size_t s = 0; s < ranges_.size(); ++s) {
+    std::shared_ptr<engine::StoreVersion> old;
+    uint64_t epoch = 0;
+    uint64_t hwm = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = current_[s];
+      epoch = epoch_;
+      hwm = old->writes->size();
+      if (hwm == 0 && old->writes->base_delete_log().empty()) {
+        merge_stats_.shards_skipped++;  // clean shard: incremental skip
+        continue;
+      }
+    }
+    any_dirty = true;
+
+    // Expensive part, no locks: fold the shard's writes into a fresh base
+    // through the ordinary staged Build. Writers keep appending meanwhile.
+    delta::MergePlan plan =
+        delta::BuildMergePlan(old->data, *old->writes, epoch, hwm);
+    Result<std::shared_ptr<engine::StoreVersion>> built =
+        engine::Store::BuildVersion(old->id + 1, std::move(plan.data),
+                                    options_.store);
+    if (!built.ok()) {
+      // Leave this shard untouched — its write store keeps accumulating and
+      // the next cycle retries. Other shards still get their merge.
+      std::lock_guard<std::mutex> lock(mu_);
+      merge_stats_.failed_merges++;
+      if (first_error.ok()) first_error = built.status();
+      continue;
+    }
+    std::shared_ptr<engine::StoreVersion> next =
+        std::move(built).ValueOrDie();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Migrate writes that committed after the merge snapshot onto the new
+      // base — identical to engine::Store::MergeOnce, scoped to this shard.
+      std::vector<std::pair<uint32_t, uint64_t>> moved;
+      for (const auto& [pos, e] : old->writes->base_delete_log()) {
+        if (e <= epoch) continue;  // folded into the merge (row dropped)
+        const uint32_t np = plan.base_to_new[pos];
+        CSTORE_CHECK(np != delta::MergePlan::kDropped);
+        moved.emplace_back(np, e);
+      }
+      for (uint64_t i = 0; i < hwm; ++i) {
+        const uint64_t d = old->writes->delta_deleted_at(i);
+        if (d == 0 || d <= epoch) continue;
+        const uint32_t np = plan.delta_to_new[i];
+        CSTORE_CHECK(np != delta::MergePlan::kDropped);
+        moved.emplace_back(np, d);
+      }
+      std::sort(moved.begin(), moved.end(), [](const auto& a, const auto& b) {
+        return a.second < b.second;
+      });
+      for (const auto& [np, e] : moved) next->writes->TombstoneBase(np, e);
+      const uint64_t tail_end = old->writes->size();
+      for (uint64_t i = hwm; i < tail_end; ++i) {
+        const uint64_t j = next->writes->Append(old->writes->row(i),
+                                                old->writes->inserted_at(i));
+        const uint64_t d = old->writes->delta_deleted_at(i);
+        if (d != 0) next->writes->TombstoneDelta(j, d);
+      }
+      current_[s] = std::move(next);
+      // Refresh the manifest entry from the rebuilt base: row/byte counts
+      // and column bounds now describe the new file set.
+      manifest_.shards[s] =
+          DescribeShard(static_cast<uint32_t>(s), ranges_[s].first,
+                        ranges_[s].second, current_[s]->data.lineorder);
+      merge_stats_.shards_rebuilt++;
+      merge_stats_.rows_out += current_[s]->data.lineorder.size();
+      merge_stats_.base_dropped += plan.base_dropped;
+      merge_stats_.inserts_applied += plan.inserts_applied;
+    }
+  }
+  if (any_dirty) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merge_stats_.merge_cycles++;
+  }
+  return first_error;
+}
+
+Manifest ShardedStore::manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_;
+}
+
+uint64_t ShardedStore::write_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t ShardedStore::unmerged_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rows = 0;
+  for (const auto& v : current_) {
+    rows += v->writes->size() + v->writes->base_delete_log().size();
+  }
+  return rows;
+}
+
+ShardedStore::MergeStats ShardedStore::merge_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merge_stats_;
+}
+
+void ShardedStore::MergerLoop() {
+  std::chrono::milliseconds wait(20);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(merge_cv_mu_);
+      merge_cv_.wait_for(lock, wait);
+      if (stop_) return;
+    }
+    if (unmerged_rows() < options_.merge_threshold_rows) continue;
+    const Status s = MergeOnce();
+    if (s.ok()) {
+      wait = std::chrono::milliseconds(20);
+      continue;
+    }
+    std::fprintf(stderr, "cstore: background merge failed (will retry): %s\n",
+                 s.ToString().c_str());
+    wait = std::min(wait * 2, std::chrono::milliseconds(2000));
+  }
+}
+
+}  // namespace cstore::shard

@@ -1,0 +1,146 @@
+// shard::ShardedStore: the partitioned counterpart of engine::Store.
+//
+// One logical lineorder table, physically split into orderdate-year shards
+// (shard/partition.h). Each shard is a self-contained engine::StoreVersion
+// — its own file set, zone maps, per-design physical databases, and
+// delta::WriteStore — built through the exact staged Store::BuildVersion
+// the monolithic store uses, so a one-shard sharded store is bit-identical
+// to an unsharded one.
+//
+// Concurrency model mirrors engine::Store, scaled out:
+//
+//   Pin()       — ONE mutex acquisition returns the global epoch plus, per
+//                 shard, {version, Snapshot, ShardInfo}. All shards are
+//                 pinned at the same epoch, so a scatter-gather query sees
+//                 one consistent cut of the logical table.
+//   Insert      — validates FKs once (dimensions are identical across
+//                 shards), routes each row to the shard owning its
+//                 orderdate year, and appends all rows under ONE fresh
+//                 epoch: a multi-shard insert is atomic to snapshots.
+//   Delete      — pins every shard, prunes shards whose orderdate interval
+//                 misses the predicate, runs the O(base_rows) scans outside
+//                 the mutex, then stamps all shards under ONE epoch
+//                 (retrying whole if a merge swapped any scanned shard).
+//   MergeOnce   — INCREMENTAL: only shards with unmerged writes rebuild;
+//                 clean shards are skipped untouched (and counted). Each
+//                 rebuilt shard's manifest entry is refreshed from its new
+//                 base.
+//
+// The manifest (year ranges, orderdate intervals, per-column base bounds,
+// row/byte counts) is the scatter coordinator's pruning input; Pin hands
+// each shard's entry out under the same lock as its version, so bounds
+// always describe the pinned base.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/store.h"
+#include "shard/partition.h"
+
+namespace cstore::shard {
+
+class ShardedStore : public engine::WriteTarget {
+ public:
+  struct Options {
+    /// Partition count (clamped to SSB's 7 orderdate years).
+    unsigned num_shards = 2;
+    /// Per-shard physical databases — same knobs as the monolithic store.
+    /// (Its merge_threshold_rows is ignored; the sharded store has its own
+    /// below, applied to the whole table.)
+    engine::StoreOptions store;
+    /// When > 0, a background merger drains dirty shards whenever total
+    /// unmerged rows (inserts + tombstones, all shards) reach this many.
+    uint64_t merge_threshold_rows = 0;
+  };
+
+  /// Partitions `data` by orderdate year and builds every shard's version 1.
+  static Result<std::unique_ptr<ShardedStore>> Open(ssb::SsbData data,
+                                                    Options options);
+  ~ShardedStore() override;
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ShardedStore);
+
+  /// One shard's pinned read view: frozen base + visibility snapshot +
+  /// the manifest entry describing that base (pruning bounds, counts).
+  struct ShardPin {
+    std::shared_ptr<const engine::StoreVersion> version;
+    delta::Snapshot snap;
+    ShardInfo info;
+  };
+  /// All shards pinned at one global epoch, in shard order.
+  struct Pinned {
+    uint64_t epoch = 0;
+    std::vector<ShardPin> shards;
+  };
+  Pinned Pin();
+
+  /// Routes each row to the shard owning its orderdate year; all rows
+  /// commit under one epoch. Only "lineorder" is writeable.
+  Result<engine::WriteOutcome> Insert(
+      std::string_view table, std::vector<ssb::LineorderRow> rows) override;
+
+  /// Tombstones matching rows across every shard the predicate's orderdate
+  /// interval can reach, under one epoch.
+  Result<engine::WriteOutcome> Delete(
+      std::string_view table,
+      const std::vector<core::FactPredicate>& predicate) override;
+
+  /// One incremental merge cycle: rebuilds each dirty shard (its unmerged
+  /// writes folded into a fresh base), skips clean shards entirely. A
+  /// shard whose rebuild fails is left untouched (writes keep
+  /// accumulating; a later cycle retries); the first error is returned
+  /// after all shards were attempted. Serialized against itself.
+  Status MergeOnce();
+
+  /// The current shard map (entries refresh as merges rebuild shards).
+  Manifest manifest() const;
+
+  uint64_t write_epoch() const;
+  /// Total unmerged rows (inserts + tombstones) across all shards.
+  uint64_t unmerged_rows() const;
+  /// Fixed after Open.
+  size_t num_shards() const { return ranges_.size(); }
+
+  struct MergeStats {
+    uint64_t merge_cycles = 0;     ///< MergeOnce calls that found dirt
+    uint64_t shards_rebuilt = 0;
+    uint64_t shards_skipped = 0;   ///< clean shards an incremental cycle skipped
+    uint64_t rows_out = 0;         ///< rows written into rebuilt bases
+    uint64_t base_dropped = 0;
+    uint64_t inserts_applied = 0;
+    uint64_t failed_merges = 0;    ///< per-shard rebuilds that errored
+  };
+  MergeStats merge_stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  explicit ShardedStore(Options options) : options_(std::move(options)) {}
+
+  void MergerLoop();
+
+  const Options options_;
+  /// Year ranges in shard order — immutable after Open, so Insert routes
+  /// without taking the mutex.
+  std::vector<std::pair<int64_t, int64_t>> ranges_;
+
+  mutable std::mutex mu_;  ///< guards current_, manifest_, epoch_, stats
+  std::vector<std::shared_ptr<engine::StoreVersion>> current_;
+  Manifest manifest_;
+  uint64_t epoch_ = 0;
+  MergeStats merge_stats_;
+
+  std::mutex merge_mu_;  ///< serializes MergeOnce
+  std::thread merger_;
+  std::condition_variable merge_cv_;
+  std::mutex merge_cv_mu_;
+  bool stop_ = false;
+};
+
+}  // namespace cstore::shard

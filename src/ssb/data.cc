@@ -71,4 +71,31 @@ size_t LineorderRowBytes(const LineorderRow& row) {
          row.shippriority.size() + row.shipmode.size();
 }
 
+LineorderTable SliceLineorder(const LineorderTable& t, size_t begin,
+                              size_t end) {
+  CSTORE_CHECK(begin <= end && end <= t.size());
+  LineorderTable out;
+  auto slice = [&](const auto& src, auto& dst) {
+    dst.assign(src.begin() + begin, src.begin() + end);
+  };
+  slice(t.orderkey, out.orderkey);
+  slice(t.linenumber, out.linenumber);
+  slice(t.custkey, out.custkey);
+  slice(t.partkey, out.partkey);
+  slice(t.suppkey, out.suppkey);
+  slice(t.orderdate, out.orderdate);
+  slice(t.ordpriority, out.ordpriority);
+  slice(t.shippriority, out.shippriority);
+  slice(t.quantity, out.quantity);
+  slice(t.extendedprice, out.extendedprice);
+  slice(t.ordtotalprice, out.ordtotalprice);
+  slice(t.discount, out.discount);
+  slice(t.revenue, out.revenue);
+  slice(t.supplycost, out.supplycost);
+  slice(t.tax, out.tax);
+  slice(t.commitdate, out.commitdate);
+  slice(t.shipmode, out.shipmode);
+  return out;
+}
+
 }  // namespace cstore::ssb

@@ -142,6 +142,15 @@ int64_t LineorderIntField(const LineorderRow& row, const std::string& column);
 /// the unit WriteOutcome::delta_bytes is reported in.
 size_t LineorderRowBytes(const LineorderRow& row);
 
+/// Calendar year of a yyyymmdd datekey.
+inline int64_t YearOfDatekey(int64_t datekey) { return datekey / 10000; }
+
+/// Rows [begin, end) of `t` as a new table (column-wise copies). The fact
+/// table is sorted by (orderdate, quantity, discount), so a contiguous
+/// slice keeps that order — the property shard partitioning relies on.
+LineorderTable SliceLineorder(const LineorderTable& t, size_t begin,
+                              size_t end);
+
 /// The whole generated benchmark database.
 struct SsbData {
   double scale_factor = 0.0;

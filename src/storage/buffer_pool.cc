@@ -4,6 +4,16 @@
 
 namespace cstore::storage {
 
+namespace {
+/// Depth of nested scan cohorts on this thread (0 = not scanning).
+thread_local int scan_cohort_depth = 0;
+}  // namespace
+
+ScopedScanCohort::ScopedScanCohort() { ++scan_cohort_depth; }
+ScopedScanCohort::~ScopedScanCohort() { --scan_cohort_depth; }
+
+bool ScanCohortActive() { return scan_cohort_depth > 0; }
+
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
@@ -53,6 +63,9 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
         lru_.erase(f.lru_pos);
         f.in_lru = false;
       }
+      // A re-use from outside any scan cohort proves the page is not
+      // scan-transient after all: promote it to the normal LRU discipline.
+      if (f.scan_transient && !ScanCohortActive()) f.scan_transient = false;
       f.pin_count++;
       return PageGuard(this, it->second, f.data.get());
     }
@@ -70,6 +83,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     f.page_id = id;
     f.used = true;
     f.dirty = false;
+    f.scan_transient = ScanCohortActive();
     f.pin_count = 1;
     f.in_lru = false;
     page_table_[id] = frame;
@@ -97,6 +111,7 @@ Result<PageGuard> BufferPool::NewPage(FileId file, PageNumber* page_number) {
   f.page_id = id;
   f.used = true;
   f.dirty = false;
+  f.scan_transient = false;
   f.pin_count = 1;
   f.in_lru = false;
   page_table_[id] = frame;
@@ -138,7 +153,10 @@ void BufferPool::Unpin(size_t frame) {
   Frame& f = frames_[frame];
   CSTORE_CHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
-    f.lru_pos = lru_.insert(lru_.end(), frame);
+    // Scan-transient pages park at the eviction end: a long scan then
+    // recycles its own frames instead of pushing every hot page out.
+    f.lru_pos = f.scan_transient ? lru_.insert(lru_.begin(), frame)
+                                 : lru_.insert(lru_.end(), frame);
     f.in_lru = true;
   }
 }

@@ -20,6 +20,23 @@ namespace cstore::storage {
 
 class BufferPool;
 
+/// Marks the calling thread as running a scan that should not wipe the
+/// pool: while one of these is alive, pages the thread faults in are
+/// tagged *scan-transient* and go to the eviction end of the LRU list when
+/// unpinned (evict-MRU), so a long shared scan recycles a handful of
+/// frames instead of flushing every hot page. A hit on a tagged page from
+/// outside any scan cohort promotes it to the normal LRU discipline.
+/// Nestable; per-thread, like the I/O sink.
+class ScopedScanCohort {
+ public:
+  ScopedScanCohort();
+  ~ScopedScanCohort();
+  CSTORE_DISALLOW_COPY_AND_ASSIGN(ScopedScanCohort);
+};
+
+/// Whether the calling thread is inside a ScopedScanCohort.
+bool ScanCohortActive();
+
 /// RAII pin on a buffer frame. The referenced bytes stay valid while the
 /// guard is alive; mark dirty before writing.
 class PageGuard {
@@ -93,6 +110,9 @@ class BufferPool {
     PageId page_id;
     bool used = false;
     bool dirty = false;
+    /// Faulted in under a scan cohort and not re-used outside one: on
+    /// unpin the frame goes to the eviction end of the LRU list.
+    bool scan_transient = false;
     int pin_count = 0;
     /// Iterator into lru_ when pin_count == 0 and used.
     std::list<size_t>::iterator lru_pos;

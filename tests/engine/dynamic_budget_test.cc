@@ -1,0 +1,104 @@
+// Dynamic per-query thread budgets: with the option on, a session that
+// leaves num_threads on auto gets hardware_threads / inflight_queries at
+// admission — a lone query gets the machine, concurrent ones split it — and
+// an explicitly pinned thread count is never overridden. Budgets change
+// scheduling only, never answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/designs.h"
+#include "engine/engine.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/reference.h"
+#include "util/thread_pool.h"
+
+namespace cstore {
+namespace {
+
+class DynamicBudgetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::GenParams params;
+    params.scale_factor = 0.002;
+    data_ = new ssb::SsbData(ssb::Generate(params));
+    engine::StoreOptions options;
+    store_ = engine::Store::Open(*data_, options).ValueOrDie().release();
+  }
+
+  static ssb::SsbData* data_;
+  static engine::Store* store_;
+};
+
+ssb::SsbData* DynamicBudgetTest::data_ = nullptr;
+engine::Store* DynamicBudgetTest::store_ = nullptr;
+
+TEST_F(DynamicBudgetTest, LoneAutoQueryGetsTheWholeMachine) {
+  engine::EngineOptions options;
+  options.dynamic_thread_budget = true;
+  engine::Engine engine(options);
+  engine::RegisterStoreDesigns(&engine, store_);
+
+  auto session = engine.OpenSession("CS");
+  ASSERT_EQ(session->config().num_threads, 0u);  // auto
+  auto outcome = session->Run(ssb::QueryById("2.1"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.ValueOrDie().thread_budget,
+            util::ThreadPool::HardwareThreads());
+}
+
+TEST_F(DynamicBudgetTest, PinnedThreadCountIsNeverOverridden) {
+  engine::EngineOptions options;
+  options.dynamic_thread_budget = true;
+  engine::Engine engine(options);
+  engine::RegisterStoreDesigns(&engine, store_);
+
+  auto session = engine.OpenSession("CS");
+  session->config().num_threads = 3;
+  auto outcome = session->Run(ssb::QueryById("2.1"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.ValueOrDie().thread_budget, 3u);
+}
+
+TEST_F(DynamicBudgetTest, ConcurrentBudgetsAreBoundedAndAnswersIdentical) {
+  engine::EngineOptions options;
+  options.dynamic_thread_budget = true;
+  engine::Engine engine(options);
+  engine::RegisterStoreDesigns(&engine, store_);
+
+  const plan::Plan& p = ssb::QueryById("3.2");
+  const core::QueryResult expected = ssb::ReferenceExecute(*data_, p);
+  const unsigned hw = util::ThreadPool::HardwareThreads();
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto session = engine.OpenSession("CS");
+      for (int r = 0; r < kRounds; ++r) {
+        auto outcome = session->Run(p);
+        if (!outcome.ok()) {
+          ++failures;
+          continue;
+        }
+        const unsigned budget = outcome.ValueOrDie().thread_budget;
+        if (budget < 1 || budget > hw) ++failures;
+        if (outcome.ValueOrDie().result.ToString() != expected.ToString()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace cstore
